@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablation studies of PLR's design choices, covering the future-work
+ * items Section 7 calls out:
+ *
+ *  1. shared-memory factor-cache size (the paper buffers the first 1024
+ *     factors and suggests buffering more for higher-order prefix sums);
+ *  2. the look-back window (pipeline depth c <= 32), measured live on the
+ *     execution simulator: achieved look-back distances and busy-wait
+ *     spins as the window shrinks;
+ *  3. suppressing the shifted factor list (k > 1) — storage saved;
+ *  4. each individual Section-3.1 optimization toggled off alone.
+ */
+
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "perfmodel/algo_profiles.h"
+#include "util/table.h"
+
+namespace {
+
+using plr::perfmodel::Algo;
+
+const plr::perfmodel::HardwareModel kHw;
+
+void
+cache_size_sweep()
+{
+    std::cout << "== Ablation 1: shared-memory factor-cache size ==\n"
+              << "modeled PLR throughput at n = 2^30, billion words/s\n";
+    plr::TextTable table({"recurrence", "cache=0", "512", "1024 (paper)",
+                          "2048", "4096"});
+    for (const auto& [name, sig] :
+         {std::pair{"2nd-order prefix sum",
+                    plr::dsp::higher_order_prefix_sum(2)},
+          std::pair{"3rd-order prefix sum",
+                    plr::dsp::higher_order_prefix_sum(3)},
+          std::pair{"2-stage low-pass", plr::dsp::lowpass(0.8, 2)}}) {
+        std::vector<std::string> row = {name};
+        for (std::size_t cache : {0u, 512u, 1024u, 2048u, 4096u}) {
+            plr::Optimizations opts;
+            opts.shared_factor_cache = cache > 0;
+            opts.shared_cache_elems = cache;
+            row.push_back(plr::format_fixed(
+                plr::perfmodel::algo_throughput(Algo::kPlr, sig,
+                                                std::size_t{1} << 30, kHw,
+                                                opts) /
+                    1e9,
+                2));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+lookback_window_sweep()
+{
+    std::cout << "== Ablation 2: look-back window (simulator-measured) ==\n"
+              << "prefix sum, n = 2^16, m = 64 (1024 chunks)\n";
+    plr::TextTable table(
+        {"window", "max look-back", "avg look-back", "busy-wait spins"});
+    const std::size_t n = 1 << 16;
+    const auto input = plr::dsp::random_ints(n, 3);
+    for (std::size_t window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        auto plan =
+            plr::make_plan_with_chunk(plr::dsp::prefix_sum(), n, 64, 64);
+        plan.pipeline_depth = window;
+        plr::kernels::PlrKernel<plr::IntRing> kernel(plan);
+        plr::gpusim::Device device;
+        plr::kernels::PlrRunStats stats;
+        kernel.run(device, input, &stats);
+        table.add_row(
+            {std::to_string(window), std::to_string(stats.max_lookback),
+             plr::format_fixed(static_cast<double>(stats.total_lookback) /
+                                   static_cast<double>(stats.chunks - 1),
+                               2),
+             std::to_string(stats.counters.busy_wait_spins)});
+    }
+    table.print(std::cout);
+    std::cout << "(distances adapt dynamically; the paper notes c is "
+                 "typically much smaller than 32)\n\n";
+}
+
+void
+shifted_list_ablation()
+{
+    std::cout << "== Ablation 3: shifted-list suppression (k > 1) ==\n";
+    const std::size_t n = 1 << 16;
+    const auto sig = plr::Signature::parse("(1: 1, 1)");  // Fibonacci
+    const auto input = plr::dsp::random_ints(n, 5);
+    for (bool suppress : {false, true}) {
+        plr::Optimizations opts;
+        opts.suppress_shifted_list = suppress;
+        plr::gpusim::Device device;
+        plr::kernels::PlrKernel<plr::IntRing> kernel(
+            plr::make_plan_with_chunk(sig, n, 2048, 256, opts));
+        kernel.run(device, input);
+        // Count live factor-array allocations from the ledger.
+        std::size_t factor_bytes = 0;
+        for (const auto& rec : device.memory().ledger())
+            if (rec.label.rfind("plr.factors", 0) == 0)
+                factor_bytes += rec.bytes;
+        std::cout << "  suppress=" << (suppress ? "on " : "off")
+                  << ": factor-array storage " << factor_bytes
+                  << " bytes\n";
+    }
+    std::cout << "\n";
+}
+
+void
+individual_optimizations()
+{
+    std::cout << "== Ablation 4: each optimization off alone ==\n"
+              << "modeled PLR throughput at n = 2^30, billion words/s\n";
+    struct Toggle {
+        const char* name;
+        void (*apply)(plr::Optimizations&);
+    };
+    const Toggle toggles[] = {
+        {"all on", [](plr::Optimizations&) {}},
+        {"no shared cache",
+         [](plr::Optimizations& o) { o.shared_factor_cache = false; }},
+        {"no constant fold",
+         [](plr::Optimizations& o) { o.constant_fold = false; }},
+        {"no conditional add",
+         [](plr::Optimizations& o) { o.conditional_add = false; }},
+        {"no periodic compress",
+         [](plr::Optimizations& o) { o.periodic_compress = false; }},
+        {"no zero-tail suppress",
+         [](plr::Optimizations& o) {
+             o.zero_tail_suppress = false;
+             o.flush_denormals = false;
+         }},
+    };
+    plr::TextTable table({"configuration", "prefix sum", "3-tuple",
+                          "2nd-order", "2-stage low-pass"});
+    for (const Toggle& toggle : toggles) {
+        plr::Optimizations opts;
+        toggle.apply(opts);
+        auto cell = [&](const plr::Signature& sig) {
+            return plr::format_fixed(
+                plr::perfmodel::algo_throughput(Algo::kPlr, sig,
+                                                std::size_t{1} << 30, kHw,
+                                                opts) /
+                    1e9,
+                2);
+        };
+        table.add_row({toggle.name, cell(plr::dsp::prefix_sum()),
+                       cell(plr::dsp::tuple_prefix_sum(3)),
+                       cell(plr::dsp::higher_order_prefix_sum(2)),
+                       cell(plr::dsp::lowpass(0.8, 2))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    cache_size_sweep();
+    lookback_window_sweep();
+    shifted_list_ablation();
+    individual_optimizations();
+    return 0;
+}

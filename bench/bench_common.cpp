@@ -1,0 +1,173 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <iostream>
+
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/alg3like.h"
+#include "kernels/cublike.h"
+#include "kernels/memcpy_kernel.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/reclike.h"
+#include "kernels/samlike.h"
+#include "kernels/scan_baseline.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+#include "util/table.h"
+
+namespace plr::bench {
+
+namespace {
+
+using perfmodel::Algo;
+
+const perfmodel::HardwareModel kHw;
+
+std::string
+throughput_cell(Algo algo, const Signature& sig, std::size_t n)
+{
+    if (!perfmodel::algo_supports(algo, sig))
+        return "n/a";
+    if (n > perfmodel::algo_max_elements(algo, sig, kHw))
+        return "-";
+    return format_fixed(perfmodel::algo_throughput(algo, sig, n, kHw) / 1e9,
+                        2);
+}
+
+/** Run one simulator code and validate it against the serial result. */
+template <typename Ring>
+bool
+validate_one(Algo algo, const Signature& sig, std::size_t n)
+{
+    using V = typename Ring::value_type;
+    std::vector<V> input;
+    if constexpr (Ring::is_exact)
+        input = dsp::random_ints(n, 99);
+    else
+        input = dsp::random_floats(n, 99);
+    const auto expected = kernels::serial_recurrence<Ring>(sig, input);
+
+    gpusim::Device device;
+    std::vector<V> actual;
+    switch (algo) {
+      case Algo::kMemcpy:
+        return true;  // nothing to validate
+      case Algo::kPlr: {
+        kernels::PlrKernel<Ring> kernel(
+            make_plan_with_chunk(sig, n, 1024, 256));
+        actual = kernel.run(device, input);
+        break;
+      }
+      case Algo::kCub: {
+        kernels::CubLikeKernel<Ring> kernel(sig, n, 2048);
+        actual = kernel.run(device, input);
+        break;
+      }
+      case Algo::kSam: {
+        kernels::SamLikeKernel<Ring> kernel(sig, n, 2048);
+        actual = kernel.run(device, input);
+        break;
+      }
+      case Algo::kScan: {
+        kernels::ScanBaseline<Ring> kernel(sig, n, 512);
+        actual = kernel.run(device, input);
+        break;
+      }
+      case Algo::kAlg3:
+      case Algo::kRec: {
+        // 2D setup (Section 5): a square image, row filtering; validate
+        // each row against the serial filter.
+        if constexpr (!Ring::is_exact) {
+            const std::size_t side = static_cast<std::size_t>(
+                std::sqrt(static_cast<double>(n)));
+            const std::size_t image_n = side * side;
+            std::vector<float> image(input.begin(),
+                                     input.begin() + image_n);
+            std::vector<float> result;
+            if (algo == Algo::kAlg3) {
+                kernels::Alg3LikeKernel kernel(sig, side, side);
+                result = kernel.run(device, image);
+            } else {
+                kernels::RecLikeKernel kernel(sig, side, side);
+                result = kernel.run(device, image);
+            }
+            for (std::size_t r = 0; r < side; ++r) {
+                const auto row_ref = kernels::serial_recurrence<FloatRing>(
+                    sig,
+                    std::span<const float>(image.data() + r * side, side));
+                const auto row = std::span<const float>(
+                    result.data() + r * side, side);
+                if (!validate_close(row_ref, row, 1e-3).ok)
+                    return false;
+            }
+            return true;
+        }
+        return false;
+      }
+    }
+
+    if constexpr (Ring::is_exact)
+        return validate_exact(expected, actual).ok;
+    else
+        return validate_close(expected, actual, 1e-3).ok;
+}
+
+}  // namespace
+
+void
+print_figure(const FigureSpec& spec)
+{
+    std::cout << "== " << spec.title << " ==\n";
+    std::cout << "signature " << spec.signature.to_string() << ", "
+              << (spec.is_float ? "32-bit floats" : "32-bit integers")
+              << "; modeled throughput in billion words per second\n";
+
+    std::vector<std::string> headers = {"n"};
+    for (Algo algo : spec.algos)
+        headers.push_back(perfmodel::to_string(algo));
+    TextTable table(std::move(headers));
+
+    for (int e = spec.min_exp; e <= spec.max_exp; ++e) {
+        const std::size_t n = std::size_t{1} << e;
+        std::vector<std::string> row = {format_pow2(n)};
+        for (Algo algo : spec.algos)
+            row.push_back(throughput_cell(algo, spec.signature, n));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+}
+
+bool
+validate_figure(const FigureSpec& spec, std::size_t n)
+{
+    std::cout << "\nfunctional cross-check on the execution simulator (n="
+              << n << "):\n";
+    bool all_ok = true;
+    for (Algo algo : spec.algos) {
+        if (algo == Algo::kMemcpy)
+            continue;
+        if (!perfmodel::algo_supports(algo, spec.signature))
+            continue;
+        const bool ok =
+            spec.is_float
+                ? validate_one<FloatRing>(algo, spec.signature, n)
+                : validate_one<IntRing>(algo, spec.signature, n);
+        all_ok = all_ok && ok;
+        std::cout << "  " << perfmodel::to_string(algo) << ": "
+                  << (ok ? "ok (matches serial reference)" : "MISMATCH")
+                  << "\n";
+    }
+    return all_ok;
+}
+
+int
+figure_main(const FigureSpec& spec)
+{
+    print_figure(spec);
+    const bool ok = validate_figure(spec);
+    std::cout << std::endl;
+    return ok ? 0 : 1;
+}
+
+}  // namespace plr::bench

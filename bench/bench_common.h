@@ -1,0 +1,53 @@
+#ifndef PLR_BENCH_BENCH_COMMON_H_
+#define PLR_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared driver for the figure and table benchmarks.
+ *
+ * Every figure bench prints the same series the paper plots — throughput
+ * in billions of 32-bit words per second over input sizes 2^14..2^30 —
+ * from the analytic performance model, and then cross-checks the
+ * functional kernels on the execution simulator at a small size (the
+ * paper validates every run against the serial code; we do the same at
+ * simulator scale).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "perfmodel/algo_profiles.h"
+
+namespace plr::bench {
+
+/** Configuration of one figure. */
+struct FigureSpec {
+    std::string title;
+    Signature signature;
+    /** Codes in the paper's legend order. */
+    std::vector<perfmodel::Algo> algos;
+    /** True for 32-bit float series (filters), false for int32. */
+    bool is_float = false;
+    /** Smallest and largest exponent of the size sweep. */
+    int min_exp = 14;
+    int max_exp = 30;
+};
+
+/** Print one figure's series (modeled throughput vs. size). */
+void print_figure(const FigureSpec& spec);
+
+/**
+ * Functional cross-check: run every code of the figure on the gpusim
+ * substrate at a small size and validate against the serial reference,
+ * printing one ok/MISMATCH line per code. Returns false on any mismatch.
+ */
+bool validate_figure(const FigureSpec& spec, std::size_t n = 1 << 14);
+
+/** Standard main body used by the per-figure executables. */
+int figure_main(const FigureSpec& spec);
+
+}  // namespace plr::bench
+
+#endif  // PLR_BENCH_BENCH_COMMON_H_

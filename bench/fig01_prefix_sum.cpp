@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 1: standard prefix-sum throughput, (1: 1) on 32-bit integers,
+ * for memcpy, CUB, SAM, Scan, and PLR over sizes 2^14..2^30.
+ */
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 1: prefix-sum throughput",
+        plr::dsp::prefix_sum(),
+        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
+        /*is_float=*/false};
+    return plr::bench::figure_main(spec);
+}

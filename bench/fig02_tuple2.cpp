@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 2: two-tuple prefix-sum throughput, (1: 0, 1) on 32-bit
+ * integers, for memcpy, CUB, SAM, Scan, and PLR.
+ */
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 2: two-tuple prefix-sum throughput",
+        plr::dsp::tuple_prefix_sum(2),
+        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
+        /*is_float=*/false};
+    return plr::bench::figure_main(spec);
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 3: three-tuple prefix-sum throughput, (1: 0, 0, 1) on 32-bit
+ * integers. The paper also mentions PLR's 4-tuple throughput exceeding
+ * its 3-tuple throughput; that extra series is included here.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 3: three-tuple prefix-sum throughput",
+        plr::dsp::tuple_prefix_sum(3),
+        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
+        /*is_float=*/false};
+    const int rc = plr::bench::figure_main(spec);
+
+    // Section 6.1.2 aside: power-of-two tuples optimize better.
+    const plr::perfmodel::HardwareModel hw;
+    const std::size_t n = std::size_t{1} << 30;
+    std::cout << "PLR 4-tuple vs 3-tuple at n=2^30 (Section 6.1.2): "
+              << plr::perfmodel::algo_throughput(
+                     Algo::kPlr, plr::dsp::tuple_prefix_sum(4), n, hw) /
+                     1e9
+              << " vs "
+              << plr::perfmodel::algo_throughput(
+                     Algo::kPlr, plr::dsp::tuple_prefix_sum(3), n, hw) /
+                     1e9
+              << " billion ints/s\n";
+    return rc;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 4: second-order prefix-sum throughput, (1: 2, -1) on 32-bit
+ * integers.
+ */
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 4: second-order prefix-sum throughput",
+        plr::dsp::higher_order_prefix_sum(2),
+        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
+        /*is_float=*/false};
+    return plr::bench::figure_main(spec);
+}

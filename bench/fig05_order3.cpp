@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 5: third-order prefix-sum throughput, (1: 3, -3, 1) on 32-bit
+ * integers, plus the order-4 comparison the paper describes in the text
+ * (SAM's advantage shrinking, PLR's advantage over CUB growing).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 5: third-order prefix-sum throughput",
+        plr::dsp::higher_order_prefix_sum(3),
+        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
+        /*is_float=*/false};
+    const int rc = plr::bench::figure_main(spec);
+
+    const plr::perfmodel::HardwareModel hw;
+    const std::size_t n = std::size_t{1} << 30;
+    std::cout << "SAM advantage over PLR by order (Section 6.1.3):\n";
+    for (std::size_t k = 2; k <= 4; ++k) {
+        const auto sig = plr::dsp::higher_order_prefix_sum(k);
+        const double sam =
+            plr::perfmodel::algo_throughput(Algo::kSam, sig, n, hw);
+        const double p =
+            plr::perfmodel::algo_throughput(Algo::kPlr, sig, n, hw);
+        const double cub =
+            plr::perfmodel::algo_throughput(Algo::kCub, sig, n, hw);
+        std::cout << "  order " << k << ": SAM/PLR = " << sam / p
+                  << ", PLR/CUB = " << p / cub << "\n";
+    }
+    return rc;
+}

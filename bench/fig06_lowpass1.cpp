@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 6: 1-stage low-pass filter throughput, (0.2: 0.8) on 32-bit
+ * floats, for memcpy, Alg3, Rec, Scan, and PLR.
+ */
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 6: 1-stage low-pass filter throughput",
+        plr::dsp::lowpass(0.8, 1),
+        {Algo::kMemcpy, Algo::kAlg3, Algo::kRec, Algo::kScan, Algo::kPlr},
+        /*is_float=*/true};
+    return plr::bench::figure_main(spec);
+}

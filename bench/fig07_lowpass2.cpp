@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 7: 2-stage low-pass filter throughput, (0.04: 1.6, -0.64) on
+ * 32-bit floats.
+ */
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    plr::bench::FigureSpec spec{
+        "Figure 7: 2-stage low-pass filter throughput",
+        plr::dsp::lowpass(0.8, 2),
+        {Algo::kMemcpy, Algo::kAlg3, Algo::kRec, Algo::kScan, Algo::kPlr},
+        /*is_float=*/true};
+    return plr::bench::figure_main(spec);
+}

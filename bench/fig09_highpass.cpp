@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9: high-pass recursive-filter throughput on 32-bit floats.
+ * Neither Alg3 nor Rec supports more than one non-recursive coefficient,
+ * so the figure shows memcpy, Scan on the 1-stage filter, and PLR on the
+ * 1-, 2-, and 3-stage filters; the Scan implementation reuses PLR's map
+ * operation for the FIR coefficients (Section 6.2.2).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    using plr::perfmodel::algo_max_elements;
+    using plr::perfmodel::algo_throughput;
+
+    const plr::perfmodel::HardwareModel hw;
+    const auto hp1 = plr::dsp::highpass(0.8, 1);
+    const auto hp2 = plr::dsp::highpass(0.8, 2);
+    const auto hp3 = plr::dsp::highpass(0.8, 3);
+
+    std::cout << "== Figure 9: high-pass filter throughput ==\n";
+    std::cout << "signatures " << hp1.to_string(2) << ", " << hp2.to_string(2)
+              << ", " << hp3.to_string(2)
+              << "; 32-bit floats; billion words per second\n";
+
+    plr::TextTable table({"n", "memcpy", "Scan1", "PLR1", "PLR2", "PLR3"});
+    for (int e = 14; e <= 30; ++e) {
+        const std::size_t n = std::size_t{1} << e;
+        auto cell = [&](Algo algo, const plr::Signature& sig) {
+            if (n > algo_max_elements(algo, sig, hw))
+                return std::string("-");
+            return plr::format_fixed(algo_throughput(algo, sig, n, hw) / 1e9,
+                                     2);
+        };
+        table.add_row({plr::format_pow2(n), cell(Algo::kMemcpy, hp1),
+                       cell(Algo::kScan, hp1), cell(Algo::kPlr, hp1),
+                       cell(Algo::kPlr, hp2), cell(Algo::kPlr, hp3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nhigh-pass vs low-pass penalty (Section 6.2.2, ~17%):\n";
+    for (std::size_t stages = 1; stages <= 3; ++stages) {
+        const double hp = algo_throughput(
+            Algo::kPlr, plr::dsp::highpass(0.8, stages), 1 << 28, hw);
+        const double lp = algo_throughput(
+            Algo::kPlr, plr::dsp::lowpass(0.8, stages), 1 << 28, hw);
+        std::cout << "  " << stages << "-stage: " << (1.0 - hp / lp) * 100
+                  << "% below low-pass\n";
+    }
+
+    // Functional cross-checks of PLR and Scan on the high-pass filters.
+    bool ok = true;
+    for (const auto& sig : {hp1, hp2, hp3}) {
+        plr::bench::FigureSpec spec{"", sig, {Algo::kScan, Algo::kPlr},
+                                    /*is_float=*/true};
+        ok = plr::bench::validate_figure(spec) && ok;
+    }
+    std::cout << std::endl;
+    return ok ? 0 : 1;
+}

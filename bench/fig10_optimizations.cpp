@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10: PLR throughput with and without the correction-factor
+ * optimizations (Section 3.1), for the eleven recurrences of Table 1 on
+ * the largest input. "Off" means the factors are always loaded from
+ * global memory and no specialized code is emitted for constant, 0/1,
+ * periodic, or decayed factors.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    const plr::perfmodel::HardwareModel hw;
+
+    struct Row {
+        const char* name;
+        plr::Signature sig;
+    };
+    const std::vector<Row> rows = {
+        {"prefix sum", plr::dsp::prefix_sum()},
+        {"2-tuple prefix sum", plr::dsp::tuple_prefix_sum(2)},
+        {"3-tuple prefix sum", plr::dsp::tuple_prefix_sum(3)},
+        {"2nd-order prefix sum", plr::dsp::higher_order_prefix_sum(2)},
+        {"3rd-order prefix sum", plr::dsp::higher_order_prefix_sum(3)},
+        {"1-stage low-pass", plr::dsp::lowpass(0.8, 1)},
+        {"2-stage low-pass", plr::dsp::lowpass(0.8, 2)},
+        {"3-stage low-pass", plr::dsp::lowpass(0.8, 3)},
+        {"1-stage high-pass", plr::dsp::highpass(0.8, 1)},
+        {"2-stage high-pass", plr::dsp::highpass(0.8, 2)},
+        {"3-stage high-pass", plr::dsp::highpass(0.8, 3)},
+    };
+
+    std::cout << "== Figure 10: PLR throughput with and without "
+                 "optimizations ==\n";
+    std::cout << "largest input (n = 2^30); billion words per second\n";
+
+    const std::size_t n = std::size_t{1} << 30;
+    const auto off = plr::Optimizations::all_off();
+    plr::TextTable table({"recurrence", "opts on", "opts off", "gain"});
+    for (const Row& row : rows) {
+        const double on =
+            plr::perfmodel::algo_throughput(Algo::kPlr, row.sig, n, hw);
+        const double without =
+            plr::perfmodel::algo_throughput(Algo::kPlr, row.sig, n, hw, off);
+        table.add_row({row.name, plr::format_fixed(on / 1e9, 2),
+                       plr::format_fixed(without / 1e9, 2),
+                       plr::format_fixed(on / without, 2) + "x"});
+    }
+    table.print(std::cout);
+
+    // Functional check: optimizations must not change results.
+    std::cout << "\nfunctional cross-check (optimizations on == off):\n";
+    bool ok = true;
+    for (const Row& row : rows) {
+        plr::bench::FigureSpec spec{"", row.sig, {Algo::kPlr},
+                                    !row.sig.is_integral()};
+        ok = plr::bench::validate_figure(spec, 1 << 13) && ok;
+    }
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Micro-benchmark of the PLR compiler itself. The paper reports that the
+ * entire code generation takes roughly 10 ms on one CPU thread because
+ * the correction factors are computed with the n-nacci recurrence rather
+ * than by solving equations (Section 3); this benchmark checks that our
+ * implementation is in the same class.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/codegen.h"
+#include "core/correction_factors.h"
+#include "dsp/filter_design.h"
+#include "util/ring.h"
+
+namespace {
+
+void
+BM_GenerateCuda(benchmark::State& state)
+{
+    const auto sig =
+        plr::dsp::higher_order_prefix_sum(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto code = plr::generate_cuda(sig);
+        benchmark::DoNotOptimize(code.source.data());
+    }
+}
+BENCHMARK(BM_GenerateCuda)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void
+BM_GenerateCudaFilter(benchmark::State& state)
+{
+    const auto sig =
+        plr::dsp::lowpass(0.8, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto code = plr::generate_cuda(sig);
+        benchmark::DoNotOptimize(code.source.data());
+    }
+}
+BENCHMARK(BM_GenerateCudaFilter)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CorrectionFactors(benchmark::State& state)
+{
+    const auto sig = plr::dsp::higher_order_prefix_sum(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto factors = plr::CorrectionFactors<plr::IntRing>::generate(
+            sig.recursive_part(), 11264);
+        benchmark::DoNotOptimize(factors.list(1).data());
+    }
+}
+BENCHMARK(BM_CorrectionFactors)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Micro-benchmarks of the execution-simulator substrate: how fast the
+ * host simulates the PLR kernel and the look-back protocol. These gauge
+ * the cost of functional validation runs, not GPU performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+
+namespace {
+
+void
+BM_SimulatedPlrPrefixSum(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto sig = plr::dsp::prefix_sum();
+    const auto input = plr::dsp::random_ints(n, 1);
+    plr::kernels::PlrKernel<plr::IntRing> kernel(
+        plr::make_plan_with_chunk(sig, n, 1024, 256));
+    for (auto _ : state) {
+        plr::gpusim::Device device;
+        auto out = kernel.run(device, input);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_SimulatedPlrPrefixSum)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+
+void
+BM_SerialReference(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto sig = plr::dsp::higher_order_prefix_sum(3);
+    const auto input = plr::dsp::random_ints(n, 2);
+    for (auto _ : state) {
+        auto out = plr::kernels::serial_recurrence<plr::IntRing>(sig, input);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                            state.iterations());
+}
+BENCHMARK(BM_SerialReference)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

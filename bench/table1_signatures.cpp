@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 1: the signature notation for the evaluated recurrences. All
+ * signatures are regenerated from first principles: the prefix-sum
+ * family from its definition, the digital filters from Smith's
+ * single-pole recipes cascaded with the z-transform (polynomial
+ * multiplication), with x = 0.8. The paper truncates some filter
+ * coefficients for readability; the full-precision values are printed in
+ * a second column.
+ */
+
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using plr::dsp::higher_order_prefix_sum;
+    using plr::dsp::highpass;
+    using plr::dsp::lowpass;
+    using plr::dsp::prefix_sum;
+    using plr::dsp::tuple_prefix_sum;
+
+    std::cout << "== Table 1: signatures of a few linear recurrences ==\n";
+    plr::TextTable table({"signature (as in the paper)", "full precision",
+                          "computation"});
+    auto add = [&](const plr::Signature& sig, const char* name) {
+        table.add_row({sig.to_string(2), sig.to_string(), name});
+    };
+    add(prefix_sum(), "prefix sum");
+    add(tuple_prefix_sum(2), "2-tuple prefix sum");
+    add(tuple_prefix_sum(3), "3-tuple prefix sum");
+    add(higher_order_prefix_sum(2), "2nd-order prefix sum");
+    add(higher_order_prefix_sum(3), "3rd-order prefix sum");
+    add(lowpass(0.8, 1), "a 1-stage low-pass filter");
+    add(lowpass(0.8, 2), "a 2-stage low-pass filter");
+    add(lowpass(0.8, 3), "a 3-stage low-pass filter");
+    add(highpass(0.8, 1), "a 1-stage high-pass filter");
+    add(highpass(0.8, 2), "a 2-stage high-pass filter");
+    add(highpass(0.8, 3), "a 3-stage high-pass filter");
+    table.print(std::cout);
+    return 0;
+}

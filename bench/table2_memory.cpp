@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 2: total GPU memory usage in megabytes when processing the
+ * largest input all six codes support (67,108,864 words), for recurrence
+ * orders 1-3. Usage depends only on the order, not the coefficients or
+ * the data type, so integer sums and float filters of equal order share
+ * a row (Section 6.4).
+ */
+
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "perfmodel/memory_usage.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    using plr::perfmodel::memory_usage;
+    const plr::perfmodel::HardwareModel hw;
+    const std::size_t n = 67108864;
+
+    std::cout << "== Table 2: total GPU memory usage in megabytes "
+                 "(n = 67,108,864) ==\n";
+    plr::TextTable table(
+        {"", "PLR", "CUB", "SAM", "Scan", "Alg3", "Rec", "memcpy"});
+    for (std::size_t k = 1; k <= 3; ++k) {
+        const auto sum_sig = k == 1 ? plr::dsp::prefix_sum()
+                                    : plr::dsp::higher_order_prefix_sum(k);
+        const auto filter_sig = plr::dsp::lowpass(0.8, k);
+        auto mb = [&](Algo algo, const plr::Signature& sig) {
+            return plr::format_fixed(
+                memory_usage(algo, sig, n, hw).total_mb(), 1);
+        };
+        table.add_row({"order " + std::to_string(k),
+                       mb(Algo::kPlr, sum_sig), mb(Algo::kCub, sum_sig),
+                       mb(Algo::kSam, sum_sig), mb(Algo::kScan, sum_sig),
+                       mb(Algo::kAlg3, filter_sig), mb(Algo::kRec, filter_sig),
+                       mb(Algo::kMemcpy, sum_sig)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper reference values:\n"
+              << "order 1  623.5  623.5  622.5  1135.5  895.8  638.5  621.5\n"
+              << "order 2  623.5  623.5  622.5  3188.8  911.8  654.5  621.5\n"
+              << "order 3  624.5  623.5  622.5  6278.9  927.8  670.5  621.5\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 3: L2 cache read misses converted into megabytes (32-byte blocks)
+ * when processing the 67,108,864-word input, for orders 1-3. The closed
+ * forms are validated against the gpusim set-associative L2 model at
+ * cache-exceeding sizes (see tests/perfmodel_test.cpp); this driver also
+ * runs one such validation live.
+ */
+
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "perfmodel/l2_misses.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using plr::perfmodel::Algo;
+    using plr::perfmodel::l2_read_miss_bytes;
+    const plr::perfmodel::HardwareModel hw;
+    const std::size_t n = 67108864;
+    constexpr double kMb = 1024.0 * 1024.0;
+
+    std::cout << "== Table 3: L2 cache read misses in megabytes "
+                 "(n = 67,108,864) ==\n";
+    plr::TextTable table({"", "PLR", "CUB", "SAM", "Scan", "Alg3", "Rec"});
+    for (std::size_t k = 1; k <= 3; ++k) {
+        const auto sum_sig = k == 1 ? plr::dsp::prefix_sum()
+                                    : plr::dsp::higher_order_prefix_sum(k);
+        const auto filter_sig = plr::dsp::lowpass(0.8, k);
+        auto mb = [&](Algo algo, const plr::Signature& sig) {
+            return plr::format_fixed(l2_read_miss_bytes(algo, sig, n, hw) / kMb,
+                                     1);
+        };
+        table.add_row({"order " + std::to_string(k), mb(Algo::kPlr, sum_sig),
+                       mb(Algo::kCub, sum_sig), mb(Algo::kSam, sum_sig),
+                       mb(Algo::kScan, sum_sig), mb(Algo::kAlg3, filter_sig),
+                       mb(Algo::kRec, filter_sig)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper reference values:\n"
+              << "order 1  256.1  256.5  256.2   512.3  550.6  528.3\n"
+              << "order 2  256.2  256.1  256.6  1537.1  591.3  545.3\n"
+              << "order 3  256.4  256.2  256.8  3074.1  632.0  562.5\n";
+
+    // Live validation with the set-associative L2 model at a size whose
+    // data exceeds the 2 MB cache.
+    const std::size_t sim_n = 1 << 20;
+    plr::gpusim::Device device(plr::gpusim::titan_x(), /*model_l2=*/true);
+    const auto input = plr::dsp::random_ints(sim_n, 7);
+    plr::kernels::PlrKernel<plr::IntRing> kernel(
+        plr::make_plan_with_chunk(plr::dsp::prefix_sum(), sim_n, 4096, 256));
+    plr::kernels::PlrRunStats stats;
+    kernel.run(device, input, &stats);
+    const double measured = static_cast<double>(
+        stats.counters.l2_read_miss_bytes(32)) / kMb;
+    const double modeled =
+        l2_read_miss_bytes(Algo::kPlr, plr::dsp::prefix_sum(), sim_n, hw) /
+        kMb;
+    std::cout << "\nL2-model validation at n=2^20 (4 MB of ints): measured "
+              << plr::format_fixed(measured, 2) << " MB vs closed form "
+              << plr::format_fixed(modeled, 2) << " MB\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Audio-style denoising with a recursive low-pass filter — the classic
+ * IIR use case the paper motivates (DC removal, noise suppression,
+ * smoothing; Section 1).
+ *
+ * A noisy sine wave is filtered with a k-stage single-pole low-pass
+ * filter designed from a cutoff frequency (Smith's recipe); the filter
+ * runs in parallel through PLR on the simulated GPU, and the example
+ * reports the signal-to-noise ratio before and after along with the
+ * filter's signature.
+ *
+ *   ./audio_denoise --stages 2 --cutoff 0.02 --n 65536
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "util/cli.h"
+#include "util/compare.h"
+
+namespace {
+
+/** SNR of @p signal against the clean @p reference, in dB. */
+double
+snr_db(const std::vector<float>& reference, const std::vector<float>& signal)
+{
+    double signal_power = 0, noise_power = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        signal_power += reference[i] * reference[i];
+        const double e = signal[i] - reference[i];
+        noise_power += e * e;
+    }
+    return 10.0 * std::log10(signal_power / noise_power);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const plr::CliArgs args(argc, argv);
+    const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1 << 16));
+    const std::size_t stages =
+        static_cast<std::size_t>(args.get_int("stages", 2));
+    const double cutoff = args.get_double("cutoff", 0.02);
+    const double tone = args.get_double("tone", 0.005);
+
+    // Design the filter from the cutoff frequency and report its
+    // signature — the same DSL string PLR compiles to CUDA.
+    const double pole = plr::dsp::pole_from_cutoff(cutoff);
+    const auto filter = plr::dsp::lowpass(pole, stages);
+    std::cout << stages << "-stage low-pass, cutoff " << cutoff
+              << " of the sample rate\n"
+              << "signature: " << filter.to_string() << "\n";
+
+    // Synthesize a tone buried in noise.
+    const auto clean = plr::dsp::sine(n, tone);
+    const auto noisy = plr::dsp::noisy_sine(n, tone, 0.5, 7);
+    std::cout << "input SNR:  " << snr_db(clean, noisy) << " dB\n";
+
+    // Filter it with the parallel PLR kernel.
+    plr::gpusim::Device device;
+    plr::kernels::PlrKernel<plr::FloatRing> kernel(
+        plr::make_plan_with_chunk(filter, n, 1024, 256));
+    const auto filtered = kernel.run(device, noisy);
+
+    // A k-stage low-pass delays the signal; compensate the group delay
+    // (~k * x / (1 - x) samples at DC) before measuring the SNR.
+    const std::size_t delay = static_cast<std::size_t>(
+        std::round(static_cast<double>(stages) * pole / (1.0 - pole)));
+    std::vector<float> aligned(n, 0.0f);
+    for (std::size_t i = delay; i < n; ++i)
+        aligned[i - delay] = filtered[i];
+    std::cout << "output SNR: " << snr_db(clean, aligned)
+              << " dB (group delay " << delay << " samples)\n";
+
+    // The parallel result matches the serial filter.
+    const auto serial =
+        plr::kernels::serial_recurrence<plr::FloatRing>(filter, noisy);
+    std::cout << "parallel vs serial filter: "
+              << plr::validate_close(serial, filtered).describe() << "\n";
+    return 0;
+}

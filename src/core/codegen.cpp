@@ -1,0 +1,584 @@
+#include "core/codegen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/correction_factors.h"
+#include "util/code_writer.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr {
+
+namespace {
+
+/** Per-list emission strategy resolved from analysis + options. */
+struct ListEmission {
+    bool constant = false;        // single literal, no array
+    bool conditional = false;     // 0/1 factors: conditional add
+    bool shifted_alias = false;   // served by list 1 shifted
+    std::size_t array_elems = 0;  // elements actually emitted
+    std::size_t cache_elems = 0;  // elements buffered in shared memory
+    std::size_t eff_len = 0;      // guard bound for decayed tails
+    std::size_t period = 0;       // modulo for periodic access
+    bool has_array() const { return !constant && !shifted_alias; }
+};
+
+std::string
+format_value(double v, bool is_integer)
+{
+    if (is_integer)
+        return std::to_string(static_cast<long long>(std::llround(v)));
+    std::ostringstream os;
+    os << std::setprecision(9) << v;
+    std::string s = os.str();
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos)
+        s += ".0";
+    return s + "f";
+}
+
+template <typename Ring>
+std::string
+format_ring_value(typename Ring::value_type v)
+{
+    if constexpr (Ring::is_exact) {
+        return std::to_string(v);
+    } else {
+        std::ostringstream os;
+        os << std::setprecision(9) << v;
+        std::string s = os.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos)
+            s += ".0";
+        return s + "f";
+    }
+}
+
+/** Emit the section-1 factor array / accessor macro for one list. */
+template <typename Ring>
+void
+emit_factor_list(CodeWriter& w, const CorrectionFactors<Ring>& factors,
+                 std::size_t j, const ListEmission& em, const char* val_t)
+{
+    const std::string name = "plr_factor_" + std::to_string(j);
+    auto list = factors.list(j);
+
+    if (em.constant) {
+        w.line("// List " + std::to_string(j) +
+               ": all factors equal; folded into a constant (Section 3.1).");
+        w.line("#define PLR_FACTOR_" + std::to_string(j) + "(o) ((" +
+               std::string(val_t) + ")" + format_ring_value<Ring>(list[0]) +
+               ")");
+        return;
+    }
+    if (em.shifted_alias) {
+        w.line("// List " + std::to_string(j) +
+               " equals list 1 shifted by one position; its array is");
+        w.line("// suppressed (Section 3.1 future-work optimization).");
+        w.line("#define PLR_FACTOR_" + std::to_string(j) +
+               "(o) ((o) == 0 ? (" + std::string(val_t) + ")" +
+               format_ring_value<Ring>(list[0]) + " : PLR_FACTOR_1((o) - 1))");
+        return;
+    }
+
+    if (em.period < factors.length())
+        w.line("// List " + std::to_string(j) + ": periodic with period " +
+               std::to_string(em.period) +
+               "; only the first repetition is stored (Section 3.1).");
+    if (em.eff_len < factors.length())
+        w.line("// List " + std::to_string(j) + ": decays to zero after " +
+               std::to_string(em.eff_len) +
+               " elements (denormals flushed, Section 3.1).");
+
+    std::ostringstream init;
+    for (std::size_t o = 0; o < em.array_elems; ++o) {
+        if (o)
+            init << (o % 8 == 0 ? ",\n    " : ", ");
+        init << format_ring_value<Ring>(list[o]);
+    }
+    w.line("__device__ const " + std::string(val_t) + " " + name + "[" +
+           std::to_string(em.array_elems) + "] = {");
+    w.raw("    " + init.str() + "\n");
+    w.line("};");
+
+    const std::string idx =
+        em.period < factors.length()
+            ? "((o) % " + std::to_string(em.period) + ")"
+            : "(o)";
+    if (em.cache_elems > 0) {
+        // The cache array is declared inside each kernel; the macro is
+        // only expanded there.
+        w.line("#define PLR_FACTOR_" + std::to_string(j) + "(o) (" + idx +
+               " < " + std::to_string(em.cache_elems) + " ? " + name +
+               "_cache[" + idx + "] : " + name + "[" + idx + "])");
+    } else {
+        w.line("#define PLR_FACTOR_" + std::to_string(j) + "(o) (" + name +
+               "[" + idx + "])");
+    }
+}
+
+/** One correction statement: acc += F_j[offset] * carry (specialized). */
+std::string
+correction_stmt(std::size_t j, const ListEmission& em,
+                const std::string& offset, const std::string& carry,
+                std::size_t m)
+{
+    std::string stmt;
+    if (em.conditional)
+        stmt = "if (PLR_FACTOR_" + std::to_string(j) + "(" + offset +
+               ")) acc += " + carry + ";";
+    else
+        stmt = "acc += PLR_FACTOR_" + std::to_string(j) + "(" + offset +
+               ") * " + carry + ";";
+    if (em.eff_len < m)
+        stmt = "if ((o) < " + std::to_string(em.eff_len) + ") { " + stmt +
+               " }  // zero tail suppressed";
+    return stmt;
+}
+
+}  // namespace
+
+GeneratedCode
+generate_cuda(const Signature& sig, const CodegenOptions& options)
+{
+    PLR_REQUIRE(sig.order() >= 1,
+                "PLR generates code for recurrences of order >= 1; the last "
+                "recursive coefficient must not be zero");
+    const bool is_int = sig.is_integral();
+    const std::size_t k = sig.order();
+    const std::size_t threads = options.block_threads;
+    const std::size_t x_cap = is_int ? 11 : 9;
+    PLR_REQUIRE(k <= x_cap,
+                "recurrence order " << k << " exceeds the supported cap");
+
+    // Kernels keep each thread's x values in registers, so the carries a
+    // merge needs (the last k values of the preceding thread chunk) must
+    // fit in one thread: x >= k.
+    std::vector<std::size_t> xs = options.x_values;
+    if (xs.empty()) {
+        for (std::size_t x = 1; x <= x_cap; x += 2)
+            if (x >= k)
+                xs.push_back(x);
+        if (xs.empty() || xs.front() > k)
+            xs.insert(xs.begin(), k);
+    }
+    for (std::size_t x : xs)
+        PLR_REQUIRE(x >= k && x <= x_cap,
+                    "per-thread element count " << x << " outside [" << k
+                                                << ", " << x_cap << "]");
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    const std::size_t m_max = threads * xs.back();
+
+    Optimizations opts = options.opts;
+    if (is_int) {
+        opts.flush_denormals = false;
+        opts.zero_tail_suppress = false;
+    }
+
+    GeneratedCode out;
+    out.is_integer = is_int;
+    out.x_values = xs;
+
+    std::vector<ListEmission> emissions(k);
+    CodeWriter w;
+    const char* val_t = is_int ? "int" : "float";
+
+    // ---------------------------------------------------------- header
+    w.line("// Generated by PLR (Parallelized Linear Recurrences).");
+    w.line("// Signature: " + sig.to_string());
+    w.line("// Recurrence order k = " + std::to_string(k) +
+           ", feed-forward taps p = " + std::to_string(sig.fir_taps()) + ".");
+    w.line("// Requires compute capability >= 3.0; sequences up to 4 GB.");
+    w.line();
+    w.line("#include <cmath>");
+    w.line("#include <cstdio>");
+    w.line("#include <cstdlib>");
+    w.line("#include <cuda_runtime.h>");
+    w.line();
+    w.line("typedef " + std::string(val_t) + " val_t;");
+    w.line("#define PLR_WARP 32");
+    w.line("#define PLR_THREADS " + std::to_string(threads));
+    w.line("#define PLR_ORDER " + std::to_string(k));
+    w.line("#define PLR_WINDOW 32  // maximum look-back distance");
+    w.line();
+
+    // --------------------------------------------- section 1: factors
+    w.line("// ---- Section 1: precomputed correction factors (the n-nacci");
+    w.line("// sequences of the recurrence (0: b...), Section 2.1). One");
+    w.line("// array per carry; the longest list contains all shorter ones.");
+    auto resolve_and_emit = [&](auto ring_tag) {
+        using Ring = decltype(ring_tag);
+        const auto factors = CorrectionFactors<Ring>::generate(
+            sig.recursive_part(), m_max, opts.flush_denormals);
+        const auto props = analyze_factors(factors);
+        out.factor_properties = props;
+        for (std::size_t j = 1; j <= k; ++j) {
+            ListEmission& em = emissions[j - 1];
+            const auto& lp = props.lists[j - 1];
+            em.constant = opts.constant_fold && lp.all_equal;
+            em.conditional = opts.conditional_add && lp.all_zero_one;
+            em.period = opts.periodic_compress ? lp.period : m_max;
+            em.eff_len =
+                opts.zero_tail_suppress ? std::max<std::size_t>(
+                                              lp.effective_length, 1)
+                                        : m_max;
+            em.array_elems = std::min(em.period, m_max);
+            if (opts.zero_tail_suppress)
+                em.array_elems = std::min(em.array_elems, em.eff_len);
+            em.cache_elems =
+                opts.shared_factor_cache
+                    ? std::min<std::size_t>(em.array_elems,
+                                            opts.shared_cache_elems)
+                    : 0;
+            em.shifted_alias = j == k && k > 1 &&
+                               opts.suppress_shifted_list &&
+                               props.last_is_shift_of_first &&
+                               !emissions[0].constant &&
+                               emissions[0].period == m_max &&
+                               em.period == m_max;
+            emit_factor_list<Ring>(w, factors, j, em, val_t);
+            out.factor_array_elems.push_back(em.has_array() ? em.array_elems
+                                                            : 0);
+        }
+    };
+    if (is_int)
+        resolve_and_emit(IntRing{});
+    else
+        resolve_and_emit(FloatRing{});
+    w.line();
+    w.line("__device__ unsigned int plr_chunk_counter = 0;");
+    w.line();
+
+    // ------------------------------------------------- kernels per x
+    for (std::size_t x : xs) {
+        const std::size_t m = threads * x;
+        const std::string X = std::to_string(x);
+        w.line("// ---- Kernel for x = " + X +
+               " values per thread (chunk size m = " + std::to_string(m) +
+               ").");
+        w.line("__global__ void plr_kernel_x" + X);
+        w.open("    (const val_t* __restrict__ in, val_t* __restrict__ out,"
+               " size_t n,");
+        w.line(" volatile val_t* lcarry, volatile val_t* gcarry,");
+        w.line(" volatile unsigned int* lflag, volatile unsigned int* gflag)");
+        w.dedent();
+        w.open("{");
+        w.line("const int lane = threadIdx.x % PLR_WARP;");
+        w.line("const int warp = threadIdx.x / PLR_WARP;");
+        w.line("__shared__ unsigned int chunk_s;");
+        w.line("__shared__ val_t warp_carry[PLR_THREADS / PLR_WARP]"
+               "[PLR_ORDER];");
+        w.line("__shared__ val_t carry_s[PLR_ORDER];");
+        for (std::size_t j = 1; j <= k; ++j) {
+            if (emissions[j - 1].has_array() &&
+                emissions[j - 1].cache_elems > 0)
+                w.line("__shared__ val_t plr_factor_" + std::to_string(j) +
+                       "_cache[" +
+                       std::to_string(emissions[j - 1].cache_elems) + "];");
+        }
+        w.line();
+        w.line("// -- Section 2: grab a chunk id and load its values; fill");
+        w.line("// the shared-memory factor caches (Section 3.1).");
+        w.line("if (threadIdx.x == 0) chunk_s = "
+               "atomicAdd(&plr_chunk_counter, 1);");
+        for (std::size_t j = 1; j <= k; ++j) {
+            const ListEmission& em = emissions[j - 1];
+            if (em.has_array() && em.cache_elems > 0) {
+                w.line("for (int i = threadIdx.x; i < " +
+                       std::to_string(em.cache_elems) +
+                       "; i += PLR_THREADS) plr_factor_" + std::to_string(j) +
+                       "_cache[i] = plr_factor_" + std::to_string(j) + "[i];");
+            }
+        }
+        w.line("__syncthreads();");
+        w.line("const size_t chunk = chunk_s;");
+        w.line("const size_t base = chunk * (size_t)" + std::to_string(m) +
+               ";");
+        w.line("val_t r[" + X + "];");
+        w.open("for (int i = 0; i < " + X + "; i++) {");
+        w.line("const size_t gi = base + (size_t)threadIdx.x * " + X +
+               " + i;");
+        w.line("r[i] = gi < n ? in[gi] : (val_t)0;");
+        w.close();
+        w.line();
+
+        // Section 3: map operation.
+        if (!sig.is_pure_recursive()) {
+            w.line("// -- Section 3: map operation (eq. 2) eliminating the");
+            w.line("// non-recursive coefficients; boundary taps re-read");
+            w.line("// neighbor inputs from global memory.");
+            w.open("{");
+            w.line("val_t t[" + X + "];");
+            w.open("for (int i = 0; i < " + X + "; i++) {");
+            w.line("const size_t gi = base + (size_t)threadIdx.x * " + X +
+                   " + i;");
+            w.line("val_t acc = (val_t)" + format_value(sig.a()[0], is_int) +
+                   " * r[i];");
+            for (std::size_t tap = 1; tap < sig.a().size(); ++tap) {
+                const std::string T = std::to_string(tap);
+                w.line("if (gi >= " + T + ") acc += (val_t)" +
+                       format_value(sig.a()[tap], is_int) + " * (i >= " + T +
+                       " ? r[i - " + T + "] : in[gi - " + T + "]);");
+            }
+            w.line("t[i] = acc;");
+            w.close();
+            w.line("for (int i = 0; i < " + X + "; i++) r[i] = t[i];");
+            w.close();
+            w.line();
+        }
+
+        // Section 4: Phase 1.
+        w.line("// -- Section 4: Phase 1 — hierarchical pairwise merging");
+        w.line("// (Section 2.1). Each thread first solves its own x-value");
+        w.line("// chunk serially, then thread chunks merge: within warps");
+        w.line("// via shuffles, across warps via shared memory.");
+        w.open("for (int i = 1; i < " + X + "; i++) {");
+        w.line("val_t acc = r[i];");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line("if (i >= " + std::to_string(j) + ") acc += (val_t)" +
+                   format_value(sig.b()[j - 1], is_int) + " * r[i - " +
+                   std::to_string(j) + "];");
+        w.line("r[i] = acc;");
+        w.close();
+        w.line();
+        w.open("for (int span = 1; span < PLR_WARP; span <<= 1) {");
+        w.line("// Fetch the last k values of the preceding thread chunk.");
+        w.line("const int delta = (lane & (span - 1)) + 1;");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line("const val_t c" + std::to_string(j) +
+                   " = __shfl_up_sync(~0u, r[" + X + " - " +
+                   std::to_string(j) + "], delta);");
+        w.open("if ((lane & (2 * span - 1)) >= span) {");
+        w.line("const int pos = (lane & (span - 1)) * " + X + ";");
+        w.open("for (int i = 0; i < " + X + "; i++) {");
+        w.line("const int o = pos + i;");
+        w.line("val_t acc = r[i];");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line(correction_stmt(j, emissions[j - 1], "o",
+                                   "c" + std::to_string(j), m));
+        w.line("r[i] = acc;");
+        w.close();
+        w.close();
+        w.close();
+        w.line();
+        w.line("// Cross-warp merges (thread-block level, shared memory).");
+        w.line("if (lane == PLR_WARP - 1)");
+        w.line("    for (int j = 0; j < PLR_ORDER; j++)");
+        w.line("        warp_carry[warp][j] = r[" + X + " - 1 - j];");
+        w.line("__syncthreads();");
+        w.open("for (int tspan = PLR_WARP; tspan < PLR_THREADS; tspan <<= 1) "
+               "{");
+        w.open("if ((threadIdx.x & (2 * tspan - 1)) >= tspan) {");
+        w.line("const int src_warp = ((threadIdx.x & ~(2 * tspan - 1)) + "
+               "tspan) / PLR_WARP - 1;");
+        w.line("const int pos = (threadIdx.x & (tspan - 1)) * " + X + ";");
+        w.open("for (int i = 0; i < " + X + "; i++) {");
+        w.line("const int o = pos + i;");
+        w.line("val_t acc = r[i];");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line(correction_stmt(j, emissions[j - 1], "o",
+                                   "warp_carry[src_warp][" +
+                                       std::to_string(j - 1) + "]", m));
+        w.line("r[i] = acc;");
+        w.close();
+        w.close();
+        w.line("__syncthreads();");
+        w.line("if (lane == PLR_WARP - 1)");
+        w.line("    for (int j = 0; j < PLR_ORDER; j++)");
+        w.line("        warp_carry[warp][j] = r[" + X + " - 1 - j];");
+        w.line("__syncthreads();");
+        w.close();
+        w.line();
+
+        // Section 5: local carries.
+        w.line("// -- Section 5: publish the local carries behind a fence.");
+        w.open("if (threadIdx.x == PLR_THREADS - 1) {");
+        w.line("for (int j = 0; j < PLR_ORDER; j++)");
+        w.line("    lcarry[chunk * PLR_ORDER + j] = r[" + X + " - 1 - j];");
+        w.line("__threadfence();");
+        w.line("lflag[chunk] = 1;");
+        w.close();
+        w.line();
+
+        // Section 6: look-back.
+        w.line("// -- Section 6: variable look-back (Section 2.2): take the");
+        w.line("// most recent global carries within the window plus all");
+        w.line("// later local carries and advance them (O(c*k^2) work).");
+        w.open("if (chunk > 0 && threadIdx.x == 0) {");
+        w.line("val_t carry[PLR_ORDER];");
+        w.line("long g;");
+        w.open("for (;;) {");
+        w.line("const long lo = chunk > PLR_WINDOW ? (long)(chunk - "
+               "PLR_WINDOW) : 0;");
+        w.line("g = -1;");
+        w.line("for (long q = (long)chunk - 1; q >= lo; q--)");
+        w.line("    if (gflag[q]) { g = q; break; }");
+        w.open("if (g >= 0) {");
+        w.line("bool ready = true;");
+        w.line("for (long q = g + 1; q < (long)chunk; q++)");
+        w.line("    if (!lflag[q]) { ready = false; break; }");
+        w.line("if (ready) break;");
+        w.close();
+        w.close();
+        w.line("for (int j = 0; j < PLR_ORDER; j++)");
+        w.line("    carry[j] = gcarry[g * PLR_ORDER + j];");
+        w.open("for (long q = g + 1; q < (long)chunk; q++) {");
+        w.line("val_t next[PLR_ORDER];");
+        w.open("for (int j = 1; j <= PLR_ORDER; j++) {");
+        w.line("val_t acc = lcarry[q * PLR_ORDER + (j - 1)];");
+        w.line("const int o = " + std::to_string(m) + " - j;");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line(correction_stmt(j, emissions[j - 1], "o",
+                                   "carry[" + std::to_string(j - 1) + "]", m));
+        w.line("next[j - 1] = acc;");
+        w.close();
+        w.line("for (int j = 0; j < PLR_ORDER; j++) carry[j] = next[j];");
+        w.close();
+        w.line("for (int j = 0; j < PLR_ORDER; j++) carry_s[j] = carry[j];");
+        w.close();
+        w.line("else if (threadIdx.x == 0)");
+        w.line("    for (int j = 0; j < PLR_ORDER; j++) carry_s[j] = "
+               "(val_t)0;");
+        w.line("__syncthreads();");
+        w.line();
+        w.line("// Publish this chunk's global carries as soon as possible.");
+        w.open("if (threadIdx.x == PLR_THREADS - 1) {");
+        w.open("for (int j = 1; j <= PLR_ORDER; j++) {");
+        w.line("val_t acc = r[" + X + " - j];");
+        w.line("const int o = " + std::to_string(m) + " - j;");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line(correction_stmt(j, emissions[j - 1], "o",
+                                   "carry_s[" + std::to_string(j - 1) + "]",
+                                   m));
+        w.line("gcarry[chunk * PLR_ORDER + (j - 1)] = acc;");
+        w.close();
+        w.line("__threadfence();");
+        w.line("gflag[chunk] = 1;");
+        w.close();
+        w.line();
+
+        // Section 7: final correction + store.
+        w.line("// -- Section 7: correct all values and store the result.");
+        w.open("for (int i = 0; i < " + X + "; i++) {");
+        w.line("const size_t gi = base + (size_t)threadIdx.x * " + X +
+               " + i;");
+        w.line("if (gi >= n) break;");
+        w.line("const int o = threadIdx.x * " + X + " + i;");
+        w.line("val_t acc = r[i];");
+        w.open("if (chunk > 0) {");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line(correction_stmt(j, emissions[j - 1], "o",
+                                   "carry_s[" + std::to_string(j - 1) + "]",
+                                   m));
+        w.close();
+        w.line("out[gi] = acc;");
+        w.close();
+        w.close();
+        w.line();
+    }
+
+    // ----------------------------------------------------- section 8
+    if (options.emit_main) {
+        w.line("// ---- Section 8: test driver — picks a kernel by input");
+        w.line("// size, measures the runtime, and validates the output");
+        w.line("// against the serial code (exact for integers, 1e-3 for");
+        w.line("// floats).");
+        w.open("static void plr_serial(const val_t* x, val_t* y, size_t n)");
+        w.dedent();
+        w.open("{");
+        w.open("for (size_t i = 0; i < n; i++) {");
+        w.line("val_t acc = (val_t)0;");
+        for (std::size_t tap = 0; tap < sig.a().size(); ++tap)
+            w.line("if (i >= " + std::to_string(tap) + ") acc += (val_t)" +
+                   format_value(sig.a()[tap], is_int) + " * x[i - " +
+                   std::to_string(tap) + "];");
+        for (std::size_t j = 1; j <= k; ++j)
+            w.line("if (i >= " + std::to_string(j) + ") acc += (val_t)" +
+                   format_value(sig.b()[j - 1], is_int) + " * y[i - " +
+                   std::to_string(j) + "];");
+        w.line("y[i] = acc;");
+        w.close();
+        w.close();
+        w.line();
+        w.open("int main(int argc, char* argv[])");
+        w.dedent();
+        w.open("{");
+        w.line("const size_t n = argc > 1 ? (size_t)atoll(argv[1]) : "
+               "(size_t)1 << 24;");
+        w.line("if (n < 1 || n > ((size_t)1 << 30)) { fprintf(stderr, "
+               "\"bad n\\n\"); return 1; }");
+        w.line("val_t* hin = (val_t*)malloc(n * sizeof(val_t));");
+        w.line("val_t* hout = (val_t*)malloc(n * sizeof(val_t));");
+        w.line("val_t* href = (val_t*)malloc(n * sizeof(val_t));");
+        w.line("for (size_t i = 0; i < n; i++) hin[i] = (val_t)((int)(i % "
+               "199) - 99);");
+        w.line("plr_serial(hin, href, n);");
+        w.line("val_t *din, *dout, *dlc, *dgc;");
+        w.line("unsigned int *dlf, *dgf;");
+        w.line("cudaMalloc(&din, n * sizeof(val_t));");
+        w.line("cudaMalloc(&dout, n * sizeof(val_t));");
+        w.line("const size_t max_chunks = n / (PLR_THREADS * " +
+               std::to_string(xs.front()) + ") + 1;");
+        w.line("cudaMalloc(&dlc, max_chunks * PLR_ORDER * sizeof(val_t));");
+        w.line("cudaMalloc(&dgc, max_chunks * PLR_ORDER * sizeof(val_t));");
+        w.line("cudaMalloc(&dlf, max_chunks * sizeof(unsigned int));");
+        w.line("cudaMalloc(&dgf, max_chunks * sizeof(unsigned int));");
+        w.line("cudaMemcpy(din, hin, n * sizeof(val_t), "
+               "cudaMemcpyHostToDevice);");
+        w.line("cudaMemset(dlf, 0, max_chunks * sizeof(unsigned int));");
+        w.line("cudaMemset(dgf, 0, max_chunks * sizeof(unsigned int));");
+        w.line("int dev_sms = 0;");
+        w.line("cudaDeviceGetAttribute(&dev_sms, "
+               "cudaDevAttrMultiProcessorCount, 0);");
+        w.line("const size_t T = (size_t)dev_sms * 2;  // resident blocks");
+        w.line("size_t x = n / (PLR_THREADS * T) + 1;  // Section 3 "
+               "heuristic");
+        w.line("if (x > " + std::to_string(x_cap) + ") x = " +
+               std::to_string(x_cap) + ";");
+        w.line("cudaEvent_t ev0, ev1;");
+        w.line("cudaEventCreate(&ev0); cudaEventCreate(&ev1);");
+        w.line("cudaEventRecord(ev0);");
+        w.line("size_t chunks;");
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const std::size_t x = xs[i];
+            const std::size_t m = threads * x;
+            std::string stmt;
+            if (i + 1 < xs.size())
+                stmt = "if (x <= " + std::to_string(x) + ") ";
+            stmt += "{ chunks = (n + " + std::to_string(m) + " - 1) / " +
+                    std::to_string(m) + "; plr_kernel_x" + std::to_string(x) +
+                    "<<<chunks, PLR_THREADS>>>(din, dout, n, dlc, dgc, dlf, "
+                    "dgf); }";
+            if (i + 1 < xs.size())
+                stmt += " else";
+            w.line(stmt);
+        }
+        w.line("cudaEventRecord(ev1);");
+        w.line("cudaEventSynchronize(ev1);");
+        w.line("float ms = 0;");
+        w.line("cudaEventElapsedTime(&ms, ev0, ev1);");
+        w.line("cudaMemcpy(hout, dout, n * sizeof(val_t), "
+               "cudaMemcpyDeviceToHost);");
+        w.line("size_t bad = 0;");
+        if (is_int) {
+            w.line("for (size_t i = 0; i < n; i++) if (hout[i] != href[i]) "
+                   "bad++;");
+        } else {
+            w.line("for (size_t i = 0; i < n; i++) { const double d = "
+                   "fabs((double)hout[i] - (double)href[i]) / fmax(1.0, "
+                   "fabs((double)href[i])); if (d > 1e-3) bad++; }");
+        }
+        w.line("printf(\"n=%zu time=%.3f ms throughput=%.3f Gelem/s %s\\n\","
+               " n, ms, n / ms / 1e6, bad ? \"MISMATCH\" : \"ok\");");
+        w.line("return bad ? 1 : 0;");
+        w.close();
+    }
+
+    out.source = w.str();
+    return out;
+}
+
+}  // namespace plr

@@ -1,0 +1,76 @@
+#ifndef PLR_CORE_CODEGEN_H_
+#define PLR_CORE_CODEGEN_H_
+
+/**
+ * @file
+ * The PLR domain-specific compiler (paper Section 3): translates a
+ * recurrence signature into a self-contained CUDA source file.
+ *
+ * The emitted program follows the paper's eight code sections:
+ *   1. constant factor arrays (correction factors, possibly specialized),
+ *   2. kernel prologue: atomic chunk-id counter + chunk load,
+ *   3. the map operation (eq. 2) eliminating the non-recursive taps,
+ *   4. Phase 1: unrolled shuffle merges up to warp width, then
+ *      shared-memory merges across warps,
+ *   5. local-carry publication behind a fence and flag,
+ *   6. variable look-back and carry correction,
+ *   7. result store,
+ *   8. one kernel per per-thread element count x plus a main() that picks
+ *      a kernel, times it, and validates against the serial code.
+ *
+ * The Section-3.1 optimizations specialize the factor accesses: constant
+ * folding, 0/1 conditional adds, periodic compression, shared-memory
+ * caching of the first 1024 factors, decayed-tail suppression, and
+ * shifted-list sharing.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/factor_analysis.h"
+#include "core/plan.h"
+#include "core/signature.h"
+
+namespace plr {
+
+/** Options controlling CUDA emission. */
+struct CodegenOptions {
+    /** Section-3.1 optimization toggles. */
+    Optimizations opts;
+    /**
+     * Per-thread element counts to emit kernels for; empty = the
+     * defaults {1, 3, 5, 7, 9[, 11]} up to the type's cap.
+     */
+    std::vector<std::size_t> x_values;
+    /** Threads per block. */
+    std::size_t block_threads = 1024;
+    /** Emit the testing main() (timing + validation), Section 3 item 8. */
+    bool emit_main = true;
+};
+
+/** Result of code generation. */
+struct GeneratedCode {
+    /** The complete CUDA translation unit. */
+    std::string source;
+    /** x values kernels were emitted for. */
+    std::vector<std::size_t> x_values;
+    /** Elements emitted per factor array (after compression/decay). */
+    std::vector<std::size_t> factor_array_elems;
+    /** Factor-set analysis the specializations were derived from. */
+    FactorSetProperties factor_properties;
+    /** True when the code uses exact int32 arithmetic. */
+    bool is_integer = false;
+};
+
+/**
+ * Translate @p sig into CUDA. Runs the same planning and factor analysis
+ * as the simulator kernel, so the emitted specializations match the
+ * modeled ones.
+ */
+GeneratedCode generate_cuda(const Signature& sig,
+                            const CodegenOptions& options = CodegenOptions{});
+
+}  // namespace plr
+
+#endif  // PLR_CORE_CODEGEN_H_

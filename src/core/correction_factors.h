@@ -1,0 +1,122 @@
+#ifndef PLR_CORE_CORRECTION_FACTORS_H_
+#define PLR_CORE_CORRECTION_FACTORS_H_
+
+/**
+ * @file
+ * Correction-factor generation (paper Section 2.1).
+ *
+ * For the recurrence (1 : b-1..b-k), merging two adjacent chunks requires
+ * adding, to the element at offset o of the second chunk, the terms
+ * F_j[o] * w[last-(j-1)] for each carry j in 1..k, where w[last-(j-1)] are
+ * the up-to-k trailing values of the first chunk. The factor sequences F_j
+ * are the (b-1..b-k)-nacci numbers: each is seeded with the k-element unit
+ * vector whose 1 sits at the position of the corresponding carry, then
+ * extended with the recurrence (0 : b-1..b-k).
+ *
+ * Example, signature (1: 2, -1) (second-order prefix sum):
+ *   F_1 (carry = last element):        seed 0,1 -> 2, 3, 4, 5, ...
+ *   F_2 (carry = second-to-last):      seed 1,0 -> -1, -2, -3, -4, ...
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/diag.h"
+
+namespace plr {
+
+/**
+ * Precomputed correction-factor lists for one recurrence and chunk size.
+ *
+ * @tparam Ring arithmetic policy (IntRing or FloatRing from util/ring.h)
+ */
+template <typename Ring>
+class CorrectionFactors {
+  public:
+    using value_type = typename Ring::value_type;
+
+    /**
+     * Generate the k factor lists of length m for the recursive part of
+     * @p sig.
+     *
+     * @param sig the recurrence; only its feedback coefficients are used
+     * @param m number of factors per list (the Phase-1 terminal chunk size;
+     *          Phase 2 needs no more than this many)
+     * @param flush_denormals apply Ring::flush_denormal while generating,
+     *          accelerating the decay of stable IIR impulse responses
+     *          (Section 3.1); only meaningful for the float ring
+     */
+    static CorrectionFactors
+    generate(const Signature& sig, std::size_t m, bool flush_denormals = false)
+    {
+        const std::size_t k = sig.order();
+        PLR_REQUIRE(k >= 1, "correction factors need a recurrence of order >= 1");
+        PLR_REQUIRE(m >= 1, "chunk size must be positive");
+
+        std::vector<value_type> b(k);
+        for (std::size_t i = 0; i < k; ++i)
+            b[i] = Ring::from_coefficient(sig.b()[i]);
+
+        CorrectionFactors result;
+        result.order_ = k;
+        result.length_ = m;
+        result.lists_.resize(k);
+        for (std::size_t j = 1; j <= k; ++j) {
+            auto& list = result.lists_[j - 1];
+            list.resize(m);
+            // history[h] holds the value at index t-1-h while computing f[t];
+            // initialized with the unit-vector seed: value at index -i is
+            // 1 when i == j, else 0 (i counted backwards from the chunk end).
+            std::vector<value_type> history(k, Ring::zero());
+            history[j - 1] = Ring::one();
+            for (std::size_t t = 0; t < m; ++t) {
+                value_type acc = Ring::zero();
+                for (std::size_t i = 1; i <= k; ++i)
+                    acc = Ring::mul_add(acc, b[i - 1], history[i - 1]);
+                if (flush_denormals)
+                    acc = Ring::flush_denormal(acc);
+                list[t] = acc;
+                // Shift the history window forward by one position.
+                for (std::size_t i = k; i-- > 1;)
+                    history[i] = history[i - 1];
+                history[0] = acc;
+            }
+        }
+        return result;
+    }
+
+    /** Recurrence order k (number of lists). */
+    std::size_t order() const { return order_; }
+
+    /** Factors per list (the m the lists were generated for). */
+    std::size_t length() const { return length_; }
+
+    /**
+     * The factor list for carry j (1-based; j=1 corrects with the last
+     * element of the preceding chunk, j=2 with the second-to-last, ...).
+     */
+    std::span<const value_type> list(std::size_t carry_j) const
+    {
+        PLR_ASSERT(carry_j >= 1 && carry_j <= order_,
+                   "carry index " << carry_j << " out of range");
+        return lists_[carry_j - 1];
+    }
+
+    /** Single factor F_j[offset]. */
+    value_type factor(std::size_t carry_j, std::size_t offset) const
+    {
+        PLR_ASSERT(offset < length_, "factor offset " << offset << " >= m");
+        return list(carry_j)[offset];
+    }
+
+  private:
+    std::size_t order_ = 0;
+    std::size_t length_ = 0;
+    std::vector<std::vector<value_type>> lists_;
+};
+
+}  // namespace plr
+
+#endif  // PLR_CORE_CORRECTION_FACTORS_H_

@@ -1,0 +1,134 @@
+#ifndef PLR_CORE_FACTOR_ANALYSIS_H_
+#define PLR_CORE_FACTOR_ANALYSIS_H_
+
+/**
+ * @file
+ * Analysis of correction-factor lists (paper Section 3.1).
+ *
+ * PLR inspects the precomputed factor lists and specializes the emitted
+ * code: constant lists become literal constants, 0/1 lists become
+ * conditional adds, periodic lists are stored compressed, and decayed
+ * (all-zero) tails let later warps skip Phase 1 entirely. This header
+ * computes the properties those optimizations key on.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/correction_factors.h"
+
+namespace plr {
+
+/** Properties of a single correction-factor list. */
+struct FactorListProperties {
+    /** All elements identical: replace array accesses by one constant. */
+    bool all_equal = false;
+    /** Every element is 0 or 1: use a conditional add, no multiply. */
+    bool all_zero_one = false;
+    /**
+     * Smallest period p such that f[o+p] == f[o] for all o; equals the list
+     * length when aperiodic. Periodic lists are emitted compressed.
+     */
+    std::size_t period = 0;
+    /**
+     * Smallest L such that f[o] == 0 for all o >= L (after denormal
+     * flushing for floats). Equals the list length when the tail is
+     * nonzero. Warps whose factors are all zero skip Phase 1.
+     */
+    std::size_t effective_length = 0;
+};
+
+/** Properties of the full k-list factor set. */
+struct FactorSetProperties {
+    std::vector<FactorListProperties> lists;  // index j-1 for carry j
+
+    /**
+     * True when list k equals list 1 shifted right by one and scaled by
+     * b-k (exactly the "same values except shifted" observation of
+     * Section 3.1 when b-k == 1); enables suppressing one of the two
+     * arrays (listed as future work in the paper, implemented here).
+     */
+    bool last_is_shift_of_first = false;
+
+    /** Largest effective length over all lists (Phase-1 work bound). */
+    std::size_t max_effective_length = 0;
+};
+
+namespace detail {
+
+template <typename Ring>
+FactorListProperties
+analyze_factor_list(std::span<const typename Ring::value_type> f)
+{
+    FactorListProperties props;
+    props.period = f.size();
+    props.effective_length = f.size();
+    if (f.empty())
+        return props;
+
+    props.all_equal = true;
+    props.all_zero_one = true;
+    for (auto v : f) {
+        if (!(v == f[0]))
+            props.all_equal = false;
+        if (!Ring::is_zero(v) && !Ring::is_one(v))
+            props.all_zero_one = false;
+    }
+
+    for (std::size_t p = 1; p < f.size(); ++p) {
+        bool periodic = true;
+        for (std::size_t o = 0; o + p < f.size(); ++o) {
+            if (!(f[o + p] == f[o])) {
+                periodic = false;
+                break;
+            }
+        }
+        if (periodic) {
+            props.period = p;
+            break;
+        }
+    }
+
+    while (props.effective_length > 0 &&
+           Ring::is_zero(f[props.effective_length - 1]))
+        --props.effective_length;
+
+    return props;
+}
+
+}  // namespace detail
+
+/** Analyze every list of a factor set. */
+template <typename Ring>
+FactorSetProperties
+analyze_factors(const CorrectionFactors<Ring>& factors)
+{
+    FactorSetProperties props;
+    const std::size_t k = factors.order();
+    props.lists.reserve(k);
+    for (std::size_t j = 1; j <= k; ++j) {
+        props.lists.push_back(
+            detail::analyze_factor_list<Ring>(factors.list(j)));
+        props.max_effective_length = std::max(
+            props.max_effective_length, props.lists.back().effective_length);
+    }
+
+    if (k > 1) {
+        // F_k[o] == b_k * F_1[o-1] with F_1[-1] == 1 always holds; the
+        // paper's shift observation is the b_k == 1 case. We only claim the
+        // plain shift here and verify it numerically.
+        auto first = factors.list(1);
+        auto last = factors.list(k);
+        bool shift = Ring::is_one(last[0]);
+        for (std::size_t o = 1; shift && o < factors.length(); ++o)
+            if (!(last[o] == first[o - 1]))
+                shift = false;
+        props.last_is_shift_of_first = shift;
+    }
+    return props;
+}
+
+}  // namespace plr
+
+#endif  // PLR_CORE_FACTOR_ANALYSIS_H_

@@ -1,0 +1,93 @@
+#include "core/plan.h"
+
+#include "util/diag.h"
+
+namespace plr {
+
+Optimizations
+Optimizations::all_off()
+{
+    Optimizations off;
+    off.shared_factor_cache = false;
+    off.constant_fold = false;
+    off.conditional_add = false;
+    off.periodic_compress = false;
+    off.zero_tail_suppress = false;
+    off.flush_denormals = false;
+    off.suppress_shifted_list = false;
+    return off;
+}
+
+KernelPlan
+make_plan(const Signature& sig, std::size_t n, const PlannerLimits& limits,
+          const Optimizations& opts)
+{
+    PLR_REQUIRE(n >= 1, "input must not be empty");
+    PLR_REQUIRE(sig.order() >= 1,
+                "PLR requires a recurrence of order >= 1 (map operations "
+                "are embarrassingly parallel and need no plan)");
+    // Sequences are limited to 4 GB, i.e. 2^30 32-bit words (Section 3).
+    PLR_REQUIRE(n <= (std::size_t{1} << 30),
+                "PLR supports sequences of at most 2^30 words, got " << n);
+
+    KernelPlan plan(sig, n);
+    plan.is_integer = sig.is_integral();
+    plan.block_threads = limits.max_block_threads;
+    plan.pipeline_depth = 32;
+
+    // x: smallest integer with x * block_threads * T > n, capped at 9
+    // (float) or 11 (integer) values per thread.
+    const std::size_t cap = plan.is_integer ? 11 : 9;
+    const std::size_t wave = plan.block_threads * limits.resident_blocks;
+    std::size_t x = n / wave + 1;  // smallest x with x * wave > n
+    if (x > cap)
+        x = cap;
+    plan.x = x;
+    plan.m = plan.x * plan.block_threads;
+
+    // Register heuristic: 32 for float signatures and for integer
+    // signatures containing only zeros and ones, 64 for complex integer
+    // signatures (Section 3).
+    if (!plan.is_integer || sig.coefficients_are_zero_one())
+        plan.registers_per_thread = 32;
+    else
+        plan.registers_per_thread = 64;
+
+    plan.opts = opts;
+    if (plan.is_integer) {
+        // Denormal flushing is a float-only concept.
+        plan.opts.flush_denormals = false;
+        plan.opts.zero_tail_suppress = false;
+    }
+    return plan;
+}
+
+KernelPlan
+make_plan_with_chunk(const Signature& sig, std::size_t n, std::size_t m,
+                     std::size_t block_threads, const Optimizations& opts)
+{
+    PLR_REQUIRE(n >= 1, "input must not be empty");
+    // m need not be a power of two: Phase 1's pairwise merging handles a
+    // partial final chunk at every level (and the production m = 1024*x is
+    // generally not a power of two).
+    PLR_REQUIRE(m >= 1, "chunk size must be positive");
+    PLR_REQUIRE(block_threads >= 1 && m % block_threads == 0,
+                "chunk size " << m << " must be a multiple of block_threads "
+                              << block_threads);
+
+    KernelPlan plan(sig, n);
+    plan.is_integer = sig.is_integral();
+    plan.block_threads = block_threads;
+    plan.m = m;
+    plan.x = m / block_threads;
+    plan.registers_per_thread =
+        (!plan.is_integer || sig.coefficients_are_zero_one()) ? 32 : 64;
+    plan.opts = opts;
+    if (plan.is_integer) {
+        plan.opts.flush_denormals = false;
+        plan.opts.zero_tail_suppress = false;
+    }
+    return plan;
+}
+
+}  // namespace plr

@@ -1,0 +1,101 @@
+#ifndef PLR_CORE_PLAN_H_
+#define PLR_CORE_PLAN_H_
+
+/**
+ * @file
+ * Kernel planning: the Section-3 heuristics that pick the chunk size m,
+ * the per-thread element count x, and the register budget, plus the
+ * Section-3.1 optimization toggles.
+ */
+
+#include <cstddef>
+
+#include "core/signature.h"
+
+namespace plr {
+
+/** Hardware parameters the planner needs (a slice of the device spec). */
+struct PlannerLimits {
+    /** Thread blocks the GPU can process simultaneously (the paper's T). */
+    std::size_t resident_blocks = 48;
+    /** Maximum threads per block. */
+    std::size_t max_block_threads = 1024;
+    /** Warp width. */
+    std::size_t warp_size = 32;
+};
+
+/** Section-3.1 optimization toggles (all on by default, as in PLR). */
+struct Optimizations {
+    /** Cache the first shared_cache_elems factors of each list on chip. */
+    bool shared_factor_cache = true;
+    /** Elements of each factor list buffered in shared memory. */
+    std::size_t shared_cache_elems = 1024;
+    /** Replace an all-equal factor list by a literal constant. */
+    bool constant_fold = true;
+    /** Use conditional adds when all factors are 0/1. */
+    bool conditional_add = true;
+    /** Store only the first repetition of periodic factor lists. */
+    bool periodic_compress = true;
+    /** Skip Phase-1 work where factors have decayed to zero. */
+    bool zero_tail_suppress = true;
+    /** Flush denormal factors to zero (float recurrences, Section 3.1). */
+    bool flush_denormals = true;
+    /**
+     * Share list k with list 1 when they are shifted copies (future-work
+     * optimization from Section 3.1, implemented here).
+     */
+    bool suppress_shifted_list = true;
+
+    /** The "optimizations off" configuration of Figure 10. */
+    static Optimizations all_off();
+};
+
+/** A fully resolved execution plan for one recurrence and input size. */
+struct KernelPlan {
+    KernelPlan(Signature sig, std::size_t input_n)
+        : signature(std::move(sig)), n(input_n)
+    {
+    }
+
+    Signature signature;
+    /** Input length in elements. */
+    std::size_t n = 0;
+    /** Values processed per thread (the paper's x). */
+    std::size_t x = 1;
+    /** Threads per block. */
+    std::size_t block_threads = 1024;
+    /** Phase-1 terminal chunk size, m = x * block_threads. */
+    std::size_t m = 1024;
+    /** Register allocation per thread (32 or 64, Section 3). */
+    std::size_t registers_per_thread = 32;
+    /** Maximum look-back distance c (Section 2.2). */
+    std::size_t pipeline_depth = 32;
+    /** True when the plan runs in the exact int32 ring. */
+    bool is_integer = true;
+    Optimizations opts;
+
+    /** Number of chunks, ceil(n / m). */
+    std::size_t num_chunks() const { return (n + m - 1) / m; }
+};
+
+/**
+ * Build a plan with the paper's heuristics: x is the smallest integer with
+ * x * block_threads * T > n, capped at 9 (float) or 11 (integer); 32
+ * registers per thread for float signatures and integer signatures whose
+ * coefficients are all zeros/ones, 64 otherwise.
+ */
+KernelPlan make_plan(const Signature& sig, std::size_t n,
+                     const PlannerLimits& limits = PlannerLimits{},
+                     const Optimizations& opts = Optimizations{});
+
+/**
+ * Build a plan with an explicit chunk size; used by tests and small-input
+ * simulator runs where the production m = 1024x would exceed n.
+ */
+KernelPlan make_plan_with_chunk(const Signature& sig, std::size_t n,
+                                std::size_t m, std::size_t block_threads,
+                                const Optimizations& opts = Optimizations{});
+
+}  // namespace plr
+
+#endif  // PLR_CORE_PLAN_H_

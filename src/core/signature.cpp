@@ -1,0 +1,249 @@
+#include "core/signature.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr {
+
+namespace {
+
+bool
+is_integral_value(double v)
+{
+    return std::nearbyint(v) == v && std::fabs(v) < 9.0e15;
+}
+
+void
+trim_trailing_zeros(std::vector<double>& v)
+{
+    while (!v.empty() && v.back() == 0.0)
+        v.pop_back();
+}
+
+/** Binomial coefficient C(n, r) as a double (small n only). */
+double
+binomial(std::size_t n, std::size_t r)
+{
+    double result = 1.0;
+    for (std::size_t i = 0; i < r; ++i)
+        result = result * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    return std::nearbyint(result);
+}
+
+std::vector<double>
+parse_coefficient_list(const std::string& text)
+{
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        while (pos < text.size() && (std::isspace(static_cast<unsigned char>(text[pos])) || text[pos] == ','))
+            ++pos;
+        if (pos >= text.size())
+            break;
+        const char* start = text.c_str() + pos;
+        char* end = nullptr;
+        const double v = std::strtod(start, &end);
+        PLR_REQUIRE(end != start, "malformed coefficient list: '" << text << "'");
+        values.push_back(v);
+        pos = static_cast<std::size_t>(end - text.c_str());
+    }
+    return values;
+}
+
+}  // namespace
+
+const char*
+to_string(SignatureClass c)
+{
+    switch (c) {
+      case SignatureClass::kPrefixSum: return "prefix-sum";
+      case SignatureClass::kTuplePrefixSum: return "tuple-prefix-sum";
+      case SignatureClass::kHigherOrderPrefixSum: return "higher-order-prefix-sum";
+      case SignatureClass::kGeneralInteger: return "general-integer";
+      case SignatureClass::kGeneralReal: return "general-real";
+    }
+    return "unknown";
+}
+
+Signature::Signature(std::vector<double> a, std::vector<double> b,
+                     bool allow_fir)
+    : a_(std::move(a)), b_(std::move(b))
+{
+    trim_trailing_zeros(a_);
+    trim_trailing_zeros(b_);
+    PLR_REQUIRE(!a_.empty(),
+                "signature rejected: all feed-forward coefficients are zero, "
+                "the output would be identically zero");
+    PLR_REQUIRE(allow_fir || !b_.empty(),
+                "signature rejected: all feedback coefficients are zero; "
+                "this is a map operation, not a recurrence");
+    for (double c : a_)
+        PLR_REQUIRE(std::isfinite(c), "non-finite feed-forward coefficient");
+    for (double c : b_)
+        PLR_REQUIRE(std::isfinite(c), "non-finite feedback coefficient");
+}
+
+Signature
+Signature::max_plus(std::vector<double> a, std::vector<double> b)
+{
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    PLR_REQUIRE(!a.empty() && a.back() != neg_inf,
+                "max-plus signature needs a present trailing feed-forward "
+                "coefficient");
+    PLR_REQUIRE(!b.empty() && b.back() != neg_inf,
+                "max-plus signature needs a present trailing feedback "
+                "coefficient");
+    for (double c : a)
+        PLR_REQUIRE(!std::isnan(c) && c < std::numeric_limits<double>::infinity(),
+                    "bad max-plus coefficient");
+    for (double c : b)
+        PLR_REQUIRE(!std::isnan(c) && c < std::numeric_limits<double>::infinity(),
+                    "bad max-plus coefficient");
+
+    Signature sig({1.0}, {1.0});  // placeholder; fields replaced below
+    sig.a_ = std::move(a);
+    sig.b_ = std::move(b);
+    sig.max_plus_ = true;
+    return sig;
+}
+
+Signature
+Signature::parse(const std::string& text, bool allow_fir)
+{
+    std::string body = text;
+    // Strip optional outer parentheses.
+    auto first = body.find_first_not_of(" \t\n");
+    auto last = body.find_last_not_of(" \t\n");
+    PLR_REQUIRE(first != std::string::npos, "empty signature");
+    body = body.substr(first, last - first + 1);
+    if (!body.empty() && body.front() == '(' && body.back() == ')')
+        body = body.substr(1, body.size() - 2);
+
+    const auto colon = body.find(':');
+    PLR_REQUIRE(colon != std::string::npos,
+                "signature '" << text << "' is missing the ':' separator");
+    PLR_REQUIRE(body.find(':', colon + 1) == std::string::npos,
+                "signature '" << text << "' has more than one ':'");
+
+    return Signature(parse_coefficient_list(body.substr(0, colon)),
+                     parse_coefficient_list(body.substr(colon + 1)),
+                     allow_fir);
+}
+
+bool
+Signature::is_integral() const
+{
+    if (max_plus_)
+        return false;  // tropical recurrences run in the float domain
+    for (double c : a_)
+        if (!is_integral_value(c))
+            return false;
+    for (double c : b_)
+        if (!is_integral_value(c))
+            return false;
+    return true;
+}
+
+bool
+Signature::is_pure_recursive() const
+{
+    // The multiplicative identity is 1 in ordinary rings and 0 in the
+    // max-plus semiring.
+    return a_.size() == 1 && a_[0] == (max_plus_ ? 0.0 : 1.0);
+}
+
+bool
+Signature::coefficients_are_zero_one() const
+{
+    for (double c : a_)
+        if (c != 0.0 && c != 1.0)
+            return false;
+    for (double c : b_)
+        if (c != 0.0 && c != 1.0)
+            return false;
+    return true;
+}
+
+SignatureClass
+Signature::classify() const
+{
+    if (max_plus_ || !is_integral())
+        return SignatureClass::kGeneralReal;
+    if (is_pure_recursive()) {
+        if (b_.size() == 1 && b_[0] == 1.0)
+            return SignatureClass::kPrefixSum;
+        if (tuple_size() > 0)
+            return SignatureClass::kTuplePrefixSum;
+        // k-th order prefix sum: b_j = (-1)^(j+1) * C(k, j).
+        const std::size_t k = b_.size();
+        bool higher_order = k >= 2;
+        for (std::size_t j = 1; higher_order && j <= k; ++j) {
+            const double expect = (j % 2 == 1 ? 1.0 : -1.0) * binomial(k, j);
+            if (b_[j - 1] != expect)
+                higher_order = false;
+        }
+        if (higher_order)
+            return SignatureClass::kHigherOrderPrefixSum;
+    }
+    return SignatureClass::kGeneralInteger;
+}
+
+std::size_t
+Signature::tuple_size() const
+{
+    if (!is_pure_recursive() || b_.size() < 2)
+        return 0;
+    for (std::size_t j = 0; j + 1 < b_.size(); ++j)
+        if (b_[j] != 0.0)
+            return 0;
+    return b_.back() == 1.0 ? b_.size() : 0;
+}
+
+Signature
+Signature::recursive_part() const
+{
+    if (max_plus_)
+        return max_plus({0.0}, b_);
+    return Signature({1.0}, b_);
+}
+
+Signature
+Signature::map_part() const
+{
+    if (max_plus_) {
+        Signature sig = *this;
+        sig.b_.clear();
+        return sig;
+    }
+    return Signature(a_, {}, /*allow_fir=*/true);
+}
+
+std::string
+Signature::to_string(int precision) const
+{
+    std::ostringstream os;
+    if (precision >= 0)
+        os.precision(precision);
+    if (max_plus_)
+        os << "max+";
+    os << "(";
+    for (std::size_t i = 0; i < a_.size(); ++i)
+        os << (i ? ", " : "") << a_[i];
+    os << ":";
+    for (std::size_t i = 0; i < b_.size(); ++i)
+        os << (i ? ", " : " ") << b_[i];
+    os << ")";
+    return os.str();
+}
+
+bool
+Signature::operator==(const Signature& other) const
+{
+    return a_ == other.a_ && b_ == other.b_ && max_plus_ == other.max_plus_;
+}
+
+}  // namespace plr

@@ -1,0 +1,145 @@
+#ifndef PLR_CORE_SIGNATURE_H_
+#define PLR_CORE_SIGNATURE_H_
+
+/**
+ * @file
+ * The PLR signature DSL (paper Section 1).
+ *
+ * An order-k homogeneous linear recurrence with constant coefficients,
+ *
+ *   y[i] = a0*x[i] + a-1*x[i-1] + ... + a-p*x[i-p]
+ *        + b-1*y[i-1] + b-2*y[i-2] + ... + b-k*y[i-k],
+ *
+ * is written as the signature `(a0, a-1, ..., a-p : b-1, b-2, ..., b-k)`.
+ * The aj are the non-recursion (feed-forward / FIR) coefficients and the bj
+ * the recursion (feedback) coefficients. Values before the sequence start
+ * are zero.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plr {
+
+/** Broad shape classes used by the planner and code generator. */
+enum class SignatureClass {
+    /** (1: 1) — the standard prefix sum. */
+    kPrefixSum,
+    /** (1: 0,...,0,1) — prefix sum over s-tuples. */
+    kTuplePrefixSum,
+    /** (1: C(k,1), -C(k,2), ...) — k-th order prefix sum (iterated sums). */
+    kHigherOrderPrefixSum,
+    /** Any other signature with integral coefficients. */
+    kGeneralInteger,
+    /** Signature with at least one non-integral coefficient. */
+    kGeneralReal,
+};
+
+/** Returns a human-readable name for a signature class. */
+const char* to_string(SignatureClass c);
+
+/**
+ * A parsed, validated recurrence signature.
+ *
+ * Coefficients are stored as doubles; integer recurrences are those whose
+ * coefficients are all integral (exactly representable), in which case the
+ * kernels may run in the exact int32 ring.
+ */
+class Signature {
+  public:
+    /**
+     * Construct from coefficient lists. Trailing zeros are trimmed (the
+     * paper requires a-p != 0 and b-k != 0 for the effective p and k).
+     *
+     * @param a feed-forward coefficients a0..a-p (must not be all zero)
+     * @param b feedback coefficients b-1..b-k (may be empty only if
+     *          allow_fir is true)
+     * @param allow_fir permit a pure map operation (b empty); the PLR
+     *          kernel itself requires order >= 1, but the map stage (eq. 2)
+     *          is expressible as an order-0 signature
+     */
+    Signature(std::vector<double> a, std::vector<double> b,
+              bool allow_fir = false);
+
+    /**
+     * Parse the textual signature format, e.g. "(1: 2, -1)" or "1:2,-1".
+     * Whitespace is insignificant; parentheses are optional.
+     */
+    static Signature parse(const std::string& text, bool allow_fir = false);
+
+    /**
+     * Construct a signature over the max-plus (tropical) semiring, where
+     * coefficients combine with max and apply with +. In that domain the
+     * multiplicative identity is 0 and "absent" is -infinity, so the
+     * ordinary zero-trimming and all-zero checks do not apply; e.g.
+     * max_plus({0}, {-d}) is the decaying running maximum
+     * y[i] = max(x[i], y[i-1] - d). Evaluate with TropicalRing.
+     * (Supporting operators other than addition is future work in the
+     * paper's Section 7.)
+     */
+    static Signature max_plus(std::vector<double> a, std::vector<double> b);
+
+    /** True for signatures built with max_plus(). */
+    bool is_max_plus() const { return max_plus_; }
+
+    /** Feed-forward coefficients a0..a-p. */
+    const std::vector<double>& a() const { return a_; }
+
+    /** Feedback coefficients b-1..b-k. */
+    const std::vector<double>& b() const { return b_; }
+
+    /** Recurrence order k (number of feedback taps). */
+    std::size_t order() const { return b_.size(); }
+
+    /** Number of feed-forward taps beyond a0 (the paper's p). */
+    std::size_t fir_taps() const { return a_.empty() ? 0 : a_.size() - 1; }
+
+    /** True when every coefficient is integral. */
+    bool is_integral() const;
+
+    /** True when the feed-forward part is exactly {1} (no map op needed). */
+    bool is_pure_recursive() const;
+
+    /** True when every coefficient is 0 or 1 (planner register heuristic). */
+    bool coefficients_are_zero_one() const;
+
+    /** Shape classification used for optimization selection. */
+    SignatureClass classify() const;
+
+    /** Tuple size s for kTuplePrefixSum signatures; 0 otherwise. */
+    std::size_t tuple_size() const;
+
+    /**
+     * The recurrence with the feed-forward part eliminated: (1 : b...).
+     * This is the "type (3)" recurrence the two-phase algorithm computes
+     * after the map operation.
+     */
+    Signature recursive_part() const;
+
+    /**
+     * The map operation (a0..a-p : ), i.e. equation (2) of the paper —
+     * a pure FIR filter producing the intermediate sequence t.
+     */
+    Signature map_part() const;
+
+    /**
+     * The correction-factor generator (0 : b...): same feedback, zero
+     * feed-forward (Section 2.1).
+     */
+    std::vector<double> factor_recurrence() const { return b_; }
+
+    /** Render in the paper's notation, e.g. "(1: 2, -1)". */
+    std::string to_string(int precision = -1) const;
+
+    bool operator==(const Signature& other) const;
+
+  private:
+    std::vector<double> a_;
+    std::vector<double> b_;
+    bool max_plus_ = false;
+};
+
+}  // namespace plr
+
+#endif  // PLR_CORE_SIGNATURE_H_

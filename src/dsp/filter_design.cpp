@@ -1,0 +1,182 @@
+#include "dsp/filter_design.h"
+
+#include <cmath>
+
+#include "dsp/polynomial.h"
+#include "util/diag.h"
+
+namespace plr::dsp {
+
+namespace {
+
+/** Numerator polynomial A(u) = a0 + a-1 u + ... with u = z^-1. */
+Polynomial
+numerator(const Signature& sig)
+{
+    return Polynomial(sig.a());
+}
+
+/** Denominator polynomial B(u) = 1 - b-1 u - b-2 u^2 - ... */
+Polynomial
+denominator(const Signature& sig)
+{
+    std::vector<double> coeffs(sig.order() + 1, 0.0);
+    coeffs[0] = 1.0;
+    for (std::size_t j = 1; j <= sig.order(); ++j)
+        coeffs[j] = -sig.b()[j - 1];
+    return Polynomial(std::move(coeffs));
+}
+
+/** Convert transfer function A/B back into a signature. */
+Signature
+from_transfer(const Polynomial& a, const Polynomial& b)
+{
+    PLR_ASSERT(!b.is_zero() && b[0] == 1.0,
+               "denominator must be monic in u^0, got " << b.to_string());
+    std::vector<double> bs(b.degree());
+    for (std::size_t j = 1; j <= b.degree(); ++j)
+        bs[j - 1] = -b[j];
+    return Signature(a.coefficients(), std::move(bs), /*allow_fir=*/true);
+}
+
+}  // namespace
+
+Signature
+cascade(const Signature& f, const Signature& g)
+{
+    return from_transfer(numerator(f) * numerator(g),
+                         denominator(f) * denominator(g));
+}
+
+Signature
+parallel_sum(const Signature& f, const Signature& g)
+{
+    // H = A1/B1 + A2/B2 = (A1*B2 + A2*B1) / (B1*B2).
+    return from_transfer(numerator(f) * denominator(g) +
+                             numerator(g) * denominator(f),
+                         denominator(f) * denominator(g));
+}
+
+std::complex<double>
+frequency_response(const Signature& sig, double f)
+{
+    PLR_REQUIRE(f >= 0.0 && f <= 0.5,
+                "frequency must lie in [0, 0.5] of the sample rate, got "
+                    << f);
+    // u = z^-1 = e^{-j 2 pi f}; evaluate A(u) / B(u) by Horner.
+    const std::complex<double> u =
+        std::polar(1.0, -2.0 * 3.14159265358979323846 * f);
+    auto eval = [&u](const Polynomial& p) {
+        std::complex<double> acc = 0.0;
+        const auto& c = p.coefficients();
+        for (std::size_t i = c.size(); i-- > 0;)
+            acc = acc * u + c[i];
+        return acc;
+    };
+    return eval(numerator(sig)) / eval(denominator(sig));
+}
+
+double
+magnitude_response(const Signature& sig, double f)
+{
+    return std::abs(frequency_response(sig, f));
+}
+
+Signature
+cascade_stages(const Signature& stage, std::size_t stages)
+{
+    PLR_REQUIRE(stages >= 1, "need at least one stage");
+    Signature result = stage;
+    for (std::size_t s = 1; s < stages; ++s)
+        result = cascade(result, stage);
+    return result;
+}
+
+Signature
+lowpass(double x, std::size_t stages)
+{
+    PLR_REQUIRE(x > 0.0 && x < 1.0,
+                "low-pass pole must lie in (0, 1) for stability, got " << x);
+    return cascade_stages(Signature({1.0 - x}, {x}), stages);
+}
+
+Signature
+highpass(double x, std::size_t stages)
+{
+    PLR_REQUIRE(x > 0.0 && x < 1.0,
+                "high-pass pole must lie in (0, 1) for stability, got " << x);
+    const double g = (1.0 + x) / 2.0;
+    return cascade_stages(Signature({g, -g}, {x}), stages);
+}
+
+double
+pole_from_cutoff(double fc)
+{
+    PLR_REQUIRE(fc > 0.0 && fc < 0.5,
+                "cutoff must lie in (0, 0.5) of the sample rate, got " << fc);
+    return std::exp(-2.0 * 3.14159265358979323846 * fc);
+}
+
+double
+spectral_radius(const Signature& sig)
+{
+    const std::size_t k = sig.order();
+    PLR_REQUIRE(k >= 1, "spectral radius needs a recurrence of order >= 1");
+    // Power iteration on the companion matrix, with periodic
+    // normalization; the growth rate of the norm estimates |lambda_max|.
+    // Complex-conjugate pole pairs make single-vector iteration
+    // oscillate, so we average the growth over a window.
+    std::vector<double> state(k, 0.0);
+    state[0] = 1.0;
+    const auto& b = sig.b();
+    double log_growth = 0.0;
+    const int warmup = 2000, measure = 12000;
+    for (int it = 0; it < warmup + measure; ++it) {
+        std::vector<double> next(k, 0.0);
+        for (std::size_t j = 0; j < k; ++j)
+            next[0] += b[j] * state[j];
+        for (std::size_t r = 1; r < k; ++r)
+            next[r] = state[r - 1];
+        double norm = 0.0;
+        for (double v : next)
+            norm = std::max(norm, std::fabs(v));
+        if (norm == 0.0)
+            return 0.0;  // nilpotent (e.g. pure delays)
+        for (double& v : next)
+            v /= norm;
+        if (it >= warmup)
+            log_growth += std::log(norm);
+        state = std::move(next);
+    }
+    return std::exp(log_growth / measure);
+}
+
+bool
+is_stable(const Signature& sig, double margin)
+{
+    return spectral_radius(sig) < 1.0 - margin;
+}
+
+Signature
+prefix_sum()
+{
+    return Signature({1.0}, {1.0});
+}
+
+Signature
+tuple_prefix_sum(std::size_t s)
+{
+    PLR_REQUIRE(s >= 1, "tuple size must be >= 1");
+    std::vector<double> b(s, 0.0);
+    b.back() = 1.0;
+    return Signature({1.0}, std::move(b));
+}
+
+Signature
+higher_order_prefix_sum(std::size_t k)
+{
+    PLR_REQUIRE(k >= 1, "order must be >= 1");
+    return cascade_stages(prefix_sum(), k);
+}
+
+}  // namespace plr::dsp

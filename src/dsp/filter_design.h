@@ -1,0 +1,92 @@
+#ifndef PLR_DSP_FILTER_DESIGN_H_
+#define PLR_DSP_FILTER_DESIGN_H_
+
+/**
+ * @file
+ * Recursive-filter design and signature composition.
+ *
+ * The filters of Table 1 follow Smith's "The Scientist and Engineer's Guide
+ * to Digital Signal Processing" single-pole recipes:
+ *
+ *   low-pass stage:  y[i] = (1-x)*t[i] + x*y[i-1]           -> (1-x : x)
+ *   high-pass stage: y[i] = (1+x)/2*(t[i]-t[i-1]) + x*y[i-1]
+ *                                                  -> ((1+x)/2, -(1+x)/2 : x)
+ *
+ * with x = exp(-2*pi*fc) for cutoff frequency fc (fraction of the sample
+ * rate). Multi-stage filters cascade identical stages; the combined
+ * signature is obtained with the z-transform (polynomial multiplication of
+ * numerators and denominators), which is how the 2- and 3-stage rows of
+ * Table 1 arise. Higher-order and tuple-based prefix sums are also
+ * expressible as signatures (Section 1).
+ */
+
+#include <complex>
+#include <cstddef>
+
+#include "core/signature.h"
+
+namespace plr::dsp {
+
+/** Cascade two recurrences: the signature computing g applied after f. */
+Signature cascade(const Signature& f, const Signature& g);
+
+/**
+ * Parallel (sum) composition: the signature whose output equals the sum
+ * of f's and g's outputs on the same input — numerators cross-multiplied
+ * onto the common denominator. Useful for shelving/band filters built
+ * from low- and high-pass prototypes.
+ */
+Signature parallel_sum(const Signature& f, const Signature& g);
+
+/**
+ * Complex frequency response H(e^{j 2 pi f}) of the recurrence, with f
+ * the frequency as a fraction of the sample rate in [0, 0.5].
+ */
+std::complex<double> frequency_response(const Signature& sig, double f);
+
+/** |H| at frequency f. */
+double magnitude_response(const Signature& sig, double f);
+
+/** Cascade @p stages copies of @p stage. */
+Signature cascade_stages(const Signature& stage, std::size_t stages);
+
+/**
+ * Single-pole low-pass filter chain from the pole location x in (0, 1).
+ * stages = 1 yields (1-x : x); higher stage counts are cascades.
+ * The Table-1 filters use x = 0.8.
+ */
+Signature lowpass(double x, std::size_t stages = 1);
+
+/** Single-pole high-pass filter chain from the pole location x in (0, 1). */
+Signature highpass(double x, std::size_t stages = 1);
+
+/** Pole location for a cutoff frequency fc in (0, 0.5): x = exp(-2 pi fc). */
+double pole_from_cutoff(double fc);
+
+/**
+ * Spectral radius of the recurrence's companion matrix — the magnitude
+ * of the dominant pole. The recurrence is BIBO-stable (and its
+ * correction factors decay, enabling the zero-tail optimization) exactly
+ * when this is < 1. Computed by power iteration.
+ */
+double spectral_radius(const Signature& sig);
+
+/** True when all poles lie strictly inside the unit circle. */
+bool is_stable(const Signature& sig, double margin = 1e-9);
+
+/** Standard prefix sum (1: 1). */
+Signature prefix_sum();
+
+/** Prefix sum over s-tuples, (1: 0,..,0,1) with s-1 zeros. */
+Signature tuple_prefix_sum(std::size_t s);
+
+/**
+ * k-th order prefix sum (prefix sum of prefix sums, k deep): the cascade of
+ * k standard prefix sums, whose feedback coefficients are the alternating
+ * binomial coefficients (Section 1).
+ */
+Signature higher_order_prefix_sum(std::size_t k);
+
+}  // namespace plr::dsp
+
+#endif  // PLR_DSP_FILTER_DESIGN_H_

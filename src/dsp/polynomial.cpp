@@ -1,0 +1,142 @@
+#include "dsp/polynomial.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr::dsp {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coeffs_(std::move(coefficients))
+{
+    trim();
+}
+
+Polynomial
+Polynomial::constant(double c)
+{
+    return Polynomial({c});
+}
+
+Polynomial
+Polynomial::monomial(double c, std::size_t power)
+{
+    std::vector<double> coeffs(power + 1, 0.0);
+    coeffs[power] = c;
+    return Polynomial(std::move(coeffs));
+}
+
+double
+Polynomial::evaluate(double u) const
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * u + coeffs_[i];
+    return acc;
+}
+
+Polynomial
+Polynomial::operator+(const Polynomial& other) const
+{
+    std::vector<double> result(std::max(coeffs_.size(), other.coeffs_.size()),
+                               0.0);
+    for (std::size_t i = 0; i < result.size(); ++i)
+        result[i] = (*this)[i] + other[i];
+    return Polynomial(std::move(result));
+}
+
+Polynomial
+Polynomial::operator-(const Polynomial& other) const
+{
+    std::vector<double> result(std::max(coeffs_.size(), other.coeffs_.size()),
+                               0.0);
+    for (std::size_t i = 0; i < result.size(); ++i)
+        result[i] = (*this)[i] - other[i];
+    return Polynomial(std::move(result));
+}
+
+Polynomial
+Polynomial::operator*(const Polynomial& other) const
+{
+    if (is_zero() || other.is_zero())
+        return Polynomial();
+    std::vector<double> result(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+    for (std::size_t i = 0; i < coeffs_.size(); ++i)
+        for (std::size_t j = 0; j < other.coeffs_.size(); ++j)
+            result[i + j] += coeffs_[i] * other.coeffs_[j];
+    return Polynomial(std::move(result));
+}
+
+Polynomial
+Polynomial::operator*(double scalar) const
+{
+    std::vector<double> result = coeffs_;
+    for (double& c : result)
+        c *= scalar;
+    return Polynomial(std::move(result));
+}
+
+Polynomial
+Polynomial::pow(std::size_t exponent) const
+{
+    Polynomial result = constant(1.0);
+    Polynomial base = *this;
+    while (exponent > 0) {
+        if (exponent & 1)
+            result = result * base;
+        base = base * base;
+        exponent >>= 1;
+    }
+    return result;
+}
+
+bool
+Polynomial::almost_equal(const Polynomial& other, double tolerance) const
+{
+    const std::size_t size = std::max(coeffs_.size(), other.coeffs_.size());
+    for (std::size_t i = 0; i < size; ++i)
+        if (std::fabs((*this)[i] - other[i]) > tolerance)
+            return false;
+    return true;
+}
+
+std::string
+Polynomial::to_string() const
+{
+    if (is_zero())
+        return "0";
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+        const double c = coeffs_[i];
+        if (c == 0.0)
+            continue;
+        if (first) {
+            if (c < 0)
+                os << "-";
+            first = false;
+        } else {
+            os << (c < 0 ? " - " : " + ");
+        }
+        const double mag = std::fabs(c);
+        if (i == 0 || mag != 1.0)
+            os << mag;
+        if (i >= 1)
+            os << "u";
+        if (i >= 2)
+            os << "^" << i;
+    }
+    return os.str();
+}
+
+void
+Polynomial::trim()
+{
+    while (!coeffs_.empty() && coeffs_.back() == 0.0)
+        coeffs_.pop_back();
+    for (double c : coeffs_)
+        PLR_REQUIRE(std::isfinite(c), "non-finite polynomial coefficient");
+}
+
+}  // namespace plr::dsp

@@ -1,0 +1,77 @@
+#ifndef PLR_DSP_POLYNOMIAL_H_
+#define PLR_DSP_POLYNOMIAL_H_
+
+/**
+ * @file
+ * Dense univariate polynomials over double.
+ *
+ * Used for z-transform manipulation of recurrences: a signature
+ * (a0..a-p : b-1..b-k) corresponds to the transfer function
+ * H(z) = A(z) / B(z) with A(z) = sum a-j z^-j and
+ * B(z) = 1 - sum b-j z^-j. Cascading filters multiplies transfer
+ * functions, which is polynomial multiplication on A and B — this is how
+ * the k-stage filters of Table 1 are derived from single-pole stages.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plr::dsp {
+
+/** Polynomial c0 + c1*u + c2*u^2 + ... (u plays the role of z^-1). */
+class Polynomial {
+  public:
+    /** The zero polynomial. */
+    Polynomial() = default;
+
+    /** From low-order-first coefficients; trailing zeros are trimmed. */
+    explicit Polynomial(std::vector<double> coefficients);
+
+    /** The constant polynomial c. */
+    static Polynomial constant(double c);
+
+    /** The monomial c * u^power. */
+    static Polynomial monomial(double c, std::size_t power);
+
+    /** Low-order-first coefficients (empty for the zero polynomial). */
+    const std::vector<double>& coefficients() const { return coeffs_; }
+
+    /** Degree; the zero polynomial reports degree 0. */
+    std::size_t degree() const { return coeffs_.empty() ? 0 : coeffs_.size() - 1; }
+
+    /** True for the zero polynomial. */
+    bool is_zero() const { return coeffs_.empty(); }
+
+    /** Coefficient of u^i (0 beyond the stored degree). */
+    double operator[](std::size_t i) const
+    {
+        return i < coeffs_.size() ? coeffs_[i] : 0.0;
+    }
+
+    /** Evaluate at u (Horner). */
+    double evaluate(double u) const;
+
+    Polynomial operator+(const Polynomial& other) const;
+    Polynomial operator-(const Polynomial& other) const;
+    Polynomial operator*(const Polynomial& other) const;
+    Polynomial operator*(double scalar) const;
+
+    /** Integer power (repeated squaring). */
+    Polynomial pow(std::size_t exponent) const;
+
+    /** Coefficient-wise comparison within @p tolerance. */
+    bool almost_equal(const Polynomial& other, double tolerance = 1e-12) const;
+
+    /** Render like "1 - 1.6u + 0.64u^2". */
+    std::string to_string() const;
+
+  private:
+    void trim();
+
+    std::vector<double> coeffs_;
+};
+
+}  // namespace plr::dsp
+
+#endif  // PLR_DSP_POLYNOMIAL_H_

@@ -1,0 +1,94 @@
+#include "dsp/signal.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace plr::dsp {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::vector<std::int32_t>
+random_ints(std::size_t n, std::uint64_t seed, std::int32_t lo,
+            std::int32_t hi)
+{
+    Rng rng(seed);
+    std::vector<std::int32_t> values(n);
+    for (auto& v : values)
+        v = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+    return values;
+}
+
+std::vector<float>
+random_floats(std::size_t n, std::uint64_t seed, float lo, float hi)
+{
+    Rng rng(seed);
+    std::vector<float> values(n);
+    for (auto& v : values)
+        v = static_cast<float>(rng.uniform_double(lo, hi));
+    return values;
+}
+
+std::vector<std::int32_t>
+alternating_ramp(std::size_t n)
+{
+    std::vector<std::int32_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t magnitude = static_cast<std::int32_t>(i) + 3;
+        values[i] = (i % 2 == 0) ? magnitude : -magnitude;
+    }
+    return values;
+}
+
+std::vector<float>
+impulse(std::size_t n)
+{
+    std::vector<float> values(n, 0.0f);
+    if (n > 0)
+        values[0] = 1.0f;
+    return values;
+}
+
+std::vector<float>
+step(std::size_t n)
+{
+    return std::vector<float>(n, 1.0f);
+}
+
+std::vector<float>
+sine(std::size_t n, double frequency, double amplitude, double phase)
+{
+    std::vector<float> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = static_cast<float>(
+            amplitude * std::sin(2.0 * kPi * frequency * static_cast<double>(i) + phase));
+    return values;
+}
+
+std::vector<float>
+noisy_sine(std::size_t n, double frequency, double noise_stddev,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> values = sine(n, frequency);
+    for (auto& v : values)
+        v += static_cast<float>(noise_stddev * rng.normal());
+    return values;
+}
+
+std::vector<float>
+chirp(std::size_t n, double f0, double f1)
+{
+    std::vector<float> values(n);
+    const double span = n > 1 ? static_cast<double>(n - 1) : 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        const double f = f0 + (f1 - f0) * t / (2.0 * span);
+        values[i] = static_cast<float>(std::sin(2.0 * kPi * f * t));
+    }
+    return values;
+}
+
+}  // namespace plr::dsp

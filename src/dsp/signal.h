@@ -1,0 +1,50 @@
+#ifndef PLR_DSP_SIGNAL_H_
+#define PLR_DSP_SIGNAL_H_
+
+/**
+ * @file
+ * Synthetic signal/workload generators for tests, examples, and benches.
+ *
+ * The paper notes that the evaluated codes' control flow and memory
+ * behavior are input-independent, so any sequence of a given length works
+ * for performance; for correctness we still want varied, reproducible
+ * inputs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace plr::dsp {
+
+/** Uniform random int32 values in [lo, hi]. */
+std::vector<std::int32_t> random_ints(std::size_t n, std::uint64_t seed,
+                                      std::int32_t lo = -100,
+                                      std::int32_t hi = 100);
+
+/** Uniform random floats in [lo, hi). */
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed,
+                                 float lo = -1.0f, float hi = 1.0f);
+
+/** The paper's worked-example input: 3, -4, 5, -6, 7, -8, ... */
+std::vector<std::int32_t> alternating_ramp(std::size_t n);
+
+/** Unit impulse: 1, 0, 0, ... (exposes the filter's impulse response). */
+std::vector<float> impulse(std::size_t n);
+
+/** Unit step: 1, 1, 1, ... */
+std::vector<float> step(std::size_t n);
+
+/** Sine wave with the given frequency (cycles per sample) and amplitude. */
+std::vector<float> sine(std::size_t n, double frequency,
+                        double amplitude = 1.0, double phase = 0.0);
+
+/** Sum of a sine and white Gaussian noise — a denoising test signal. */
+std::vector<float> noisy_sine(std::size_t n, double frequency,
+                              double noise_stddev, std::uint64_t seed);
+
+/** Linear chirp sweeping from f0 to f1 over the signal length. */
+std::vector<float> chirp(std::size_t n, double f0, double f1);
+
+}  // namespace plr::dsp
+
+#endif  // PLR_DSP_SIGNAL_H_

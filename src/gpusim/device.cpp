@@ -1,0 +1,193 @@
+#include "gpusim/device.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace plr::gpusim {
+
+namespace {
+
+/** Spins before the deadlock watchdog declares the launch wedged. */
+constexpr std::uint64_t kSpinWatchdogLimit = 200'000'000;
+
+}  // namespace
+
+// ---------------------------------------------------------------- Block
+
+BlockContext::BlockContext(Device& device, std::size_t block_index)
+    : device_(device), block_index_(block_index)
+{
+}
+
+BlockContext::~BlockContext()
+{
+    local_.blocks_executed = 1;
+    device_.counters_.accumulate(local_);
+}
+
+void
+BlockContext::note_global_access(std::uint64_t addr, std::size_t bytes,
+                                 bool is_read, bool scalar)
+{
+    const std::uint64_t line = 32;
+    std::uint64_t transactions;
+    std::uint64_t counted_bytes;
+    if (scalar) {
+        transactions = 1;
+        counted_bytes = line;  // a lone access still moves a 32-byte sector
+    } else {
+        const std::uint64_t first = addr / line;
+        const std::uint64_t last = (addr + bytes - 1) / line;
+        transactions = last - first + 1;
+        counted_bytes = transactions * line;
+    }
+    if (is_read) {
+        local_.global_load_bytes += counted_bytes;
+        local_.global_load_transactions += transactions;
+    } else {
+        local_.global_store_bytes += counted_bytes;
+        local_.global_store_transactions += transactions;
+    }
+    if (L2Cache* l2 = device_.l2()) {
+        const auto result = l2->access(addr, scalar ? line : bytes, is_read);
+        if (is_read) {
+            local_.l2_read_hits += result.hits;
+            local_.l2_read_misses += result.misses;
+        } else {
+            local_.l2_write_accesses += result.hits + result.misses;
+        }
+    }
+}
+
+std::uint32_t
+BlockContext::atomic_add(const Buffer<std::uint32_t>& buf, std::size_t i,
+                         std::uint32_t value)
+{
+    bounds_check(buf, i, 1);
+    ++local_.atomic_ops;
+    std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
+    return ref.fetch_add(value, std::memory_order_acq_rel);
+}
+
+std::uint32_t
+BlockContext::ld_acquire(const Buffer<std::uint32_t>& buf, std::size_t i)
+{
+    bounds_check(buf, i, 1);
+    ++local_.atomic_ops;
+    std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
+    return ref.load(std::memory_order_acquire);
+}
+
+void
+BlockContext::st_release(const Buffer<std::uint32_t>& buf, std::size_t i,
+                         std::uint32_t value)
+{
+    bounds_check(buf, i, 1);
+    ++local_.atomic_ops;
+    std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
+    ref.store(value, std::memory_order_release);
+}
+
+void
+BlockContext::alloc_shared(std::size_t bytes)
+{
+    shared_bytes_used_ += bytes;
+    const std::size_t limit = device_.spec().shared_mem_per_block;
+    PLR_ASSERT(shared_bytes_used_ <= limit,
+               "block " << block_index_ << " exceeds the "
+                        << limit << "-byte shared-memory budget ("
+                        << shared_bytes_used_ << " bytes requested)");
+}
+
+void
+BlockContext::threadfence()
+{
+    ++local_.fences;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void
+BlockContext::spin_wait()
+{
+    ++local_.busy_wait_spins;
+    if (device_.failed_.load(std::memory_order_relaxed))
+        throw PanicError("kernel aborted: another block failed");
+    if (++spin_count_ > kSpinWatchdogLimit)
+        PLR_PANIC("deadlock watchdog: block " << block_index_
+                  << " spun " << spin_count_ << " times without progress");
+    std::this_thread::yield();
+}
+
+// --------------------------------------------------------------- Device
+
+Device::Device(DeviceSpec spec, bool model_l2)
+    : spec_(std::move(spec)),
+      pool_(spec_.dram_bytes),
+      l2_(spec_.l2_bytes, spec_.l2_line_bytes, spec_.l2_ways),
+      l2_enabled_(model_l2)
+{
+}
+
+void
+Device::launch(std::size_t num_blocks,
+               const std::function<void(BlockContext&)>& body,
+               std::size_t max_resident)
+{
+    if (num_blocks == 0)
+        return;
+
+    std::size_t resident = spec_.max_resident_blocks();
+    if (max_resident != 0 && max_resident < resident)
+        resident = max_resident;
+    resident = std::min(resident, num_blocks);
+
+    failed_.store(false, std::memory_order_relaxed);
+    std::atomic<std::size_t> next_block{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            if (failed_.load(std::memory_order_relaxed))
+                return;
+            const std::size_t index =
+                next_block.fetch_add(1, std::memory_order_relaxed);
+            if (index >= num_blocks)
+                return;
+            try {
+                BlockContext ctx(*this, index);
+                body(ctx);
+            } catch (...) {
+                failed_.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (resident == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(resident);
+        for (std::size_t t = 0; t < resident; ++t)
+            threads.emplace_back(worker);
+        for (auto& thread : threads)
+            thread.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+Device::reset_counters()
+{
+    counters_.reset();
+    l2_.clear();
+}
+
+}  // namespace plr::gpusim

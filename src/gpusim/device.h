@@ -1,0 +1,323 @@
+#ifndef PLR_GPUSIM_DEVICE_H_
+#define PLR_GPUSIM_DEVICE_H_
+
+/**
+ * @file
+ * The simulated GPU device and the block-level execution context.
+ *
+ * Kernels are written as C++ callables invoked once per thread block, in a
+ * warp-synchronous style: block-local state lives in plain containers
+ * (registers/shared memory), global memory is accessed through the counted
+ * BlockContext accessors, and inter-block communication uses device-memory
+ * atomics with acquire/release semantics — exactly the toolbox CUDA
+ * exposes. Resident blocks execute on real OS threads, so the decoupled
+ * look-back protocol (busy-waiting on carry flags) runs under genuine
+ * concurrency.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/l2_cache.h"
+#include "gpusim/memory.h"
+#include "gpusim/perf_counters.h"
+
+namespace plr::gpusim {
+
+class Device;
+
+/**
+ * Per-block execution context handed to kernel bodies.
+ *
+ * Global-memory accessors count bytes and 32-byte transactions (bulk
+ * accessors model perfectly coalesced warps; scalar accessors model a
+ * single transaction). On-chip events (shared-memory accesses, shuffles,
+ * arithmetic) are counted via the count_* methods since block-local state
+ * is held in host containers.
+ */
+class BlockContext {
+  public:
+    BlockContext(Device& device, std::size_t block_index);
+    ~BlockContext();
+
+    BlockContext(const BlockContext&) = delete;
+    BlockContext& operator=(const BlockContext&) = delete;
+
+    /** Index of this block in the launch (scheduling order). */
+    std::size_t block_index() const { return block_index_; }
+
+    /** Scalar global load (one 32-byte transaction). */
+    template <typename T>
+    T
+    ld(const Buffer<T>& buf, std::size_t i)
+    {
+        bounds_check(buf, i, 1);
+        note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/true,
+                           /*scalar=*/true);
+        return pool().data(buf)[i];
+    }
+
+    /** Scalar global store (one 32-byte transaction). */
+    template <typename T>
+    void
+    st(const Buffer<T>& buf, std::size_t i, T value)
+    {
+        bounds_check(buf, i, 1);
+        note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/false,
+                           /*scalar=*/true);
+        pool().data(buf)[i] = value;
+    }
+
+    /**
+     * Single-element load that is part of a warp-coalesced pattern
+     * (neighboring lanes read neighboring elements, e.g. correction-
+     * factor fetches indexed by the element offset): counts only the
+     * element's bytes rather than a full 32-byte sector per lane.
+     */
+    template <typename T>
+    T
+    ld_coalesced(const Buffer<T>& buf, std::size_t i)
+    {
+        bounds_check(buf, i, 1);
+        local_.global_load_bytes += sizeof(T);
+        if (++coalesced_residual_ * sizeof(T) >= 32) {
+            coalesced_residual_ = 0;
+            ++local_.global_load_transactions;
+        }
+        if (L2Cache* l2 = device_l2()) {
+            const auto result =
+                l2->access(addr_of(buf, i), sizeof(T), /*is_read=*/true);
+            local_.l2_read_hits += result.hits;
+            local_.l2_read_misses += result.misses;
+        }
+        return pool().data(buf)[i];
+    }
+
+    /** Store counterpart of ld_coalesced. */
+    template <typename T>
+    void
+    st_coalesced(const Buffer<T>& buf, std::size_t i, T value)
+    {
+        bounds_check(buf, i, 1);
+        local_.global_store_bytes += sizeof(T);
+        if (++coalesced_residual_ * sizeof(T) >= 32) {
+            coalesced_residual_ = 0;
+            ++local_.global_store_transactions;
+        }
+        if (L2Cache* l2 = device_l2()) {
+            const auto result =
+                l2->access(addr_of(buf, i), sizeof(T), /*is_read=*/false);
+            local_.l2_write_accesses += result.hits + result.misses;
+        }
+        pool().data(buf)[i] = value;
+    }
+
+    /** Coalesced global load of a contiguous range. */
+    template <typename T>
+    void
+    ld_bulk(const Buffer<T>& buf, std::size_t first, std::span<T> out)
+    {
+        if (out.empty())
+            return;
+        bounds_check(buf, first, out.size());
+        note_global_access(addr_of(buf, first), out.size() * sizeof(T),
+                           /*is_read=*/true, /*scalar=*/false);
+        const T* src = pool().data(buf) + first;
+        std::copy(src, src + out.size(), out.begin());
+    }
+
+    /** Coalesced global store of a contiguous range. */
+    template <typename T>
+    void
+    st_bulk(const Buffer<T>& buf, std::size_t first, std::span<const T> in)
+    {
+        if (in.empty())
+            return;
+        bounds_check(buf, first, in.size());
+        note_global_access(addr_of(buf, first), in.size() * sizeof(T),
+                           /*is_read=*/false, /*scalar=*/false);
+        std::copy(in.begin(), in.end(), pool().data(buf) + first);
+    }
+
+    /** Atomic fetch-add on a device word (returns the old value). */
+    std::uint32_t atomic_add(const Buffer<std::uint32_t>& buf, std::size_t i,
+                             std::uint32_t value);
+
+    /** Atomic load with acquire ordering (flag polling). */
+    std::uint32_t ld_acquire(const Buffer<std::uint32_t>& buf, std::size_t i);
+
+    /** Atomic store with release ordering (flag publication). */
+    void st_release(const Buffer<std::uint32_t>& buf, std::size_t i,
+                    std::uint32_t value);
+
+    /** __threadfence() equivalent. */
+    void threadfence();
+
+    /**
+     * One busy-wait iteration: yields the CPU, counts the spin, aborts the
+     * kernel if another block failed or a deadlock watchdog trips.
+     */
+    void spin_wait();
+
+    /**
+     * Reserve @p bytes of the block's shared memory. Panics when the
+     * block exceeds the per-block capacity (48 kB on the Titan X) — the
+     * budget a real kernel launch would fail against. Released when the
+     * block finishes.
+     */
+    void alloc_shared(std::size_t bytes);
+
+    /** Shared-memory bytes reserved by this block so far. */
+    std::size_t shared_bytes_used() const { return shared_bytes_used_; }
+
+    /** Account shared-memory accesses. */
+    void count_shared(std::uint64_t n = 1) { local_.shared_accesses += n; }
+
+    /** Account warp shuffle operations. */
+    void count_shuffle(std::uint64_t n = 1) { local_.shuffles += n; }
+
+    /** Account arithmetic operations (multiply-add counts as one). */
+    void count_flop(std::uint64_t n = 1) { local_.flops += n; }
+
+    /** Raw counter access for kernel-specific bookkeeping. */
+    CounterSnapshot& local_counters() { return local_; }
+
+  private:
+    template <typename T>
+    std::uint64_t
+    addr_of(const Buffer<T>& buf, std::size_t i) const
+    {
+        return pool_base(buf) + i * sizeof(T);
+    }
+
+    template <typename T>
+    void
+    bounds_check(const Buffer<T>& buf, std::size_t first,
+                 std::size_t count) const
+    {
+        PLR_ASSERT(buf.valid(), "access through an invalid buffer handle");
+        PLR_ASSERT(first + count <= buf.count,
+                   "device access out of bounds: [" << first << ", "
+                       << first + count << ") of " << buf.count);
+    }
+
+    template <typename T>
+    std::uint64_t pool_base(const Buffer<T>& buf) const;
+
+    MemoryPool& pool();
+    const MemoryPool& pool() const;
+
+    void note_global_access(std::uint64_t addr, std::size_t bytes,
+                            bool is_read, bool scalar);
+
+    L2Cache* device_l2();
+
+    Device& device_;
+    std::size_t block_index_;
+    CounterSnapshot local_;
+    std::uint64_t spin_count_ = 0;
+    std::uint64_t coalesced_residual_ = 0;
+    std::size_t shared_bytes_used_ = 0;
+};
+
+/** The simulated GPU. */
+class Device {
+  public:
+    /**
+     * @param spec hardware description (defaults to the paper's Titan X)
+     * @param model_l2 enable the per-access L2 cache model (slower; used
+     *        by cache-accuracy tests and Table-3 validation)
+     */
+    explicit Device(DeviceSpec spec = titan_x(), bool model_l2 = false);
+
+    const DeviceSpec& spec() const { return spec_; }
+    MemoryPool& memory() { return pool_; }
+    const MemoryPool& memory() const { return pool_; }
+    PerfCounters& counters() { return counters_; }
+    L2Cache* l2() { return l2_enabled_ ? &l2_ : nullptr; }
+
+    /** Allocate a zero-initialized device buffer. */
+    template <typename T>
+    Buffer<T>
+    alloc(std::size_t count, const std::string& label)
+    {
+        return pool_.alloc<T>(count, label);
+    }
+
+    /** Host-to-device copy (not counted; the paper excludes transfers). */
+    template <typename T>
+    void
+    upload(const Buffer<T>& buf, std::span<const T> host)
+    {
+        PLR_REQUIRE(host.size() <= buf.count, "upload overflows buffer");
+        std::copy(host.begin(), host.end(), pool_.data(buf));
+    }
+
+    /** Device-to-host copy (not counted). */
+    template <typename T>
+    std::vector<T>
+    download(const Buffer<T>& buf)
+    {
+        const T* src = pool_.data(buf);
+        return std::vector<T>(src, src + buf.count);
+    }
+
+    /**
+     * Launch @p num_blocks blocks running @p body. At most
+     * min(spec().max_resident_blocks(), @p max_resident) blocks are
+     * resident at once (0 = hardware limit), matching the wave scheduling
+     * of a real GPU: blocks are assigned to free slots in index order.
+     */
+    void launch(std::size_t num_blocks,
+                const std::function<void(BlockContext&)>& body,
+                std::size_t max_resident = 0);
+
+    /** Zero the performance counters and clear the L2 model. */
+    void reset_counters();
+
+    /** Snapshot of the performance counters. */
+    CounterSnapshot snapshot() const { return counters_.snapshot(); }
+
+  private:
+    friend class BlockContext;
+
+    DeviceSpec spec_;
+    MemoryPool pool_;
+    PerfCounters counters_;
+    L2Cache l2_;
+    bool l2_enabled_;
+    std::atomic<bool> failed_{false};
+};
+
+template <typename T>
+std::uint64_t
+BlockContext::pool_base(const Buffer<T>& buf) const
+{
+    return device_.pool_.base_addr(buf);
+}
+
+inline MemoryPool&
+BlockContext::pool()
+{
+    return device_.pool_;
+}
+
+inline L2Cache*
+BlockContext::device_l2()
+{
+    return device_.l2();
+}
+
+inline const MemoryPool&
+BlockContext::pool() const
+{
+    return device_.pool_;
+}
+
+}  // namespace plr::gpusim
+
+#endif  // PLR_GPUSIM_DEVICE_H_

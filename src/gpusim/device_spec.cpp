@@ -1,0 +1,29 @@
+#include "gpusim/device_spec.h"
+
+namespace plr::gpusim {
+
+DeviceSpec
+titan_x()
+{
+    DeviceSpec spec;
+    spec.name = "GeForce GTX Titan X (Maxwell)";
+    // All values from Section 5 of the paper.
+    spec.num_sms = 24;
+    spec.cores_per_sm = 128;
+    spec.core_clock_ghz = 1.1;
+    spec.warp_size = 32;
+    spec.max_block_threads = 1024;
+    spec.max_threads = 49152;
+    spec.shared_mem_per_sm = 96 * 1024;
+    spec.shared_mem_per_block = 48 * 1024;
+    spec.registers_per_sm = 65536;
+    spec.l2_bytes = 2 * 1024 * 1024;
+    spec.l2_line_bytes = 32;
+    spec.l2_ways = 16;
+    spec.dram_bandwidth_gbps = 336.0;
+    spec.dram_clock_ghz = 3.5;
+    spec.dram_bytes = std::size_t{12} * 1024 * 1024 * 1024;
+    return spec;
+}
+
+}  // namespace plr::gpusim

@@ -1,0 +1,62 @@
+#ifndef PLR_GPUSIM_DEVICE_SPEC_H_
+#define PLR_GPUSIM_DEVICE_SPEC_H_
+
+/**
+ * @file
+ * Hardware description of the simulated GPU.
+ *
+ * The defaults describe the paper's evaluation machine: a GeForce GTX
+ * Titan X (Maxwell) — 3072 processing elements in 24 SMs, contexts for up
+ * to 49,152 threads, 96 kB shared memory per SM (48 kB per block), a 2 MB
+ * L2 cache, and 12 GB of GDDR5 at a peak of 336 GB/s (Section 5).
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace plr::gpusim {
+
+/** Static hardware parameters of the simulated device. */
+struct DeviceSpec {
+    std::string name = "simulated-gpu";
+
+    std::size_t num_sms = 24;
+    std::size_t cores_per_sm = 128;
+    double core_clock_ghz = 1.1;
+
+    std::size_t warp_size = 32;
+    std::size_t max_block_threads = 1024;
+    /** Maximum thread contexts across the device. */
+    std::size_t max_threads = 49152;
+
+    std::size_t shared_mem_per_sm = 96 * 1024;
+    std::size_t shared_mem_per_block = 48 * 1024;
+    std::size_t registers_per_sm = 65536;
+
+    std::size_t l2_bytes = 2 * 1024 * 1024;
+    std::size_t l2_line_bytes = 32;
+    std::size_t l2_ways = 16;
+
+    double dram_bandwidth_gbps = 336.0;
+    double dram_clock_ghz = 3.5;
+    std::size_t dram_bytes = std::size_t{12} * 1024 * 1024 * 1024;
+
+    /**
+     * Thread blocks the device processes simultaneously at 1024 threads
+     * per block (the planner's T).
+     */
+    std::size_t max_resident_blocks() const
+    {
+        return max_threads / max_block_threads;
+    }
+
+    /** Total processing elements. */
+    std::size_t total_cores() const { return num_sms * cores_per_sm; }
+};
+
+/** The paper's GeForce GTX Titan X (Maxwell) configuration. */
+DeviceSpec titan_x();
+
+}  // namespace plr::gpusim
+
+#endif  // PLR_GPUSIM_DEVICE_SPEC_H_

@@ -1,0 +1,94 @@
+#include "gpusim/l2_cache.h"
+
+#include "util/diag.h"
+
+namespace plr::gpusim {
+
+L2Cache::L2Cache(std::size_t capacity_bytes, std::size_t line_bytes,
+                 std::size_t ways)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    PLR_REQUIRE(line_bytes >= 1 && (line_bytes & (line_bytes - 1)) == 0,
+                "cache line size must be a power of two");
+    PLR_REQUIRE(ways >= 1, "cache must have at least one way");
+    PLR_REQUIRE(capacity_bytes >= line_bytes * ways,
+                "cache capacity below one set");
+    num_sets_ = capacity_bytes / (line_bytes * ways);
+    PLR_REQUIRE(num_sets_ >= 1, "cache must have at least one set");
+    lines_.assign(num_sets_ * ways_, Line{});
+}
+
+bool
+L2Cache::touch_line(std::uint64_t line_addr, bool is_read)
+{
+    const std::uint64_t set = line_addr % num_sets_;
+    const std::uint64_t tag = line_addr / num_sets_;
+    Line* set_lines = &lines_[set * ways_];
+    ++stamp_;
+
+    // Hit path.
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set_lines[w].valid && set_lines[w].tag == tag) {
+            set_lines[w].lru_stamp = stamp_;
+            return true;
+        }
+    }
+
+    // Miss: fill the LRU way (write-allocate).
+    std::size_t victim = 0;
+    for (std::size_t w = 1; w < ways_; ++w) {
+        if (!set_lines[w].valid) {
+            victim = w;
+            break;
+        }
+        if (set_lines[w].lru_stamp < set_lines[victim].lru_stamp &&
+            set_lines[victim].valid)
+            victim = w;
+    }
+    set_lines[victim] = Line{tag, stamp_, true};
+    (void)is_read;
+    return false;
+}
+
+CacheAccessResult
+L2Cache::access(std::uint64_t addr, std::size_t bytes, bool is_read)
+{
+    CacheAccessResult result;
+    if (bytes == 0)
+        return result;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t first = addr / line_bytes_;
+    const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        const bool hit = touch_line(line, is_read);
+        if (is_read) {
+            if (hit) {
+                ++result.hits;
+                ++read_hits_;
+            } else {
+                ++result.misses;
+                ++read_misses_;
+            }
+        } else {
+            ++write_accesses_;
+            if (hit)
+                ++result.hits;
+            else
+                ++result.misses;
+        }
+    }
+    return result;
+}
+
+void
+L2Cache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.assign(lines_.size(), Line{});
+    stamp_ = 0;
+    read_hits_ = 0;
+    read_misses_ = 0;
+    write_accesses_ = 0;
+}
+
+}  // namespace plr::gpusim

@@ -1,0 +1,77 @@
+#include "gpusim/memory.h"
+
+#include <cstring>
+
+namespace plr::gpusim {
+
+MemoryPool::MemoryPool(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes)
+{
+}
+
+std::size_t
+MemoryPool::alloc_raw(std::size_t bytes, const std::string& label)
+{
+    PLR_REQUIRE(live_bytes_ + bytes <= capacity_bytes_,
+                "device out of memory allocating " << bytes << " bytes for '"
+                << label << "' (" << live_bytes_ << " of " << capacity_bytes_
+                << " in use)");
+    const std::size_t id = records_.size();
+
+    AllocationRecord rec;
+    rec.label = label;
+    rec.bytes = bytes;
+    rec.base_addr = next_base_addr_;
+    records_.push_back(rec);
+
+    // Keep allocations 256-byte aligned in the virtual address space so
+    // distinct buffers never share a cache line.
+    const std::size_t aligned = (bytes + 255) / 256 * 256;
+    next_base_addr_ += aligned + 256;
+
+    auto block = std::make_unique<std::byte[]>(bytes == 0 ? 1 : bytes);
+    std::memset(block.get(), 0, bytes);
+    storage_.push_back(std::move(block));
+
+    live_bytes_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+    return id;
+}
+
+void
+MemoryPool::free_raw(std::size_t alloc_id)
+{
+    PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
+    PLR_ASSERT(!records_[alloc_id].freed, "double free of allocation "
+                                              << alloc_id);
+    records_[alloc_id].freed = true;
+    live_bytes_ -= records_[alloc_id].bytes;
+    storage_[alloc_id].reset();
+}
+
+std::byte*
+MemoryPool::raw_data(std::size_t alloc_id)
+{
+    PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
+    PLR_ASSERT(!records_[alloc_id].freed,
+               "use after free of allocation " << alloc_id);
+    return storage_[alloc_id].get();
+}
+
+const std::byte*
+MemoryPool::raw_data(std::size_t alloc_id) const
+{
+    PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
+    PLR_ASSERT(!records_[alloc_id].freed,
+               "use after free of allocation " << alloc_id);
+    return storage_[alloc_id].get();
+}
+
+const AllocationRecord&
+MemoryPool::record(std::size_t alloc_id) const
+{
+    PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
+    return records_[alloc_id];
+}
+
+}  // namespace plr::gpusim

@@ -1,0 +1,115 @@
+#ifndef PLR_GPUSIM_MEMORY_H_
+#define PLR_GPUSIM_MEMORY_H_
+
+/**
+ * @file
+ * Simulated device (global) memory.
+ *
+ * Allocations receive stable virtual base addresses so the L2 model can
+ * index them, and every allocation is recorded in a ledger that backs the
+ * Table-2 memory-usage accounting.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/diag.h"
+
+namespace plr::gpusim {
+
+/** Typed handle to a device allocation. */
+template <typename T>
+struct Buffer {
+    std::size_t alloc_id = static_cast<std::size_t>(-1);
+    std::size_t count = 0;
+
+    bool valid() const { return alloc_id != static_cast<std::size_t>(-1); }
+    std::size_t bytes() const { return count * sizeof(T); }
+};
+
+/** One entry of the allocation ledger. */
+struct AllocationRecord {
+    std::string label;
+    std::size_t bytes = 0;
+    std::uint64_t base_addr = 0;
+    bool freed = false;
+};
+
+/** Simulated global-memory pool with an allocation ledger. */
+class MemoryPool {
+  public:
+    /** @param capacity_bytes device memory size (allocation-failure model) */
+    explicit MemoryPool(std::size_t capacity_bytes);
+
+    /** Allocate @p count elements of T, zero-initialized. */
+    template <typename T>
+    Buffer<T>
+    alloc(std::size_t count, const std::string& label)
+    {
+        Buffer<T> buffer;
+        buffer.alloc_id = alloc_raw(count * sizeof(T), label);
+        buffer.count = count;
+        return buffer;
+    }
+
+    /** Release an allocation (ledger keeps the record, marked freed). */
+    template <typename T>
+    void
+    free(const Buffer<T>& buffer)
+    {
+        free_raw(buffer.alloc_id);
+    }
+
+    /** Host pointer to the backing storage. */
+    template <typename T>
+    T*
+    data(const Buffer<T>& buffer)
+    {
+        return reinterpret_cast<T*>(raw_data(buffer.alloc_id));
+    }
+
+    template <typename T>
+    const T*
+    data(const Buffer<T>& buffer) const
+    {
+        return reinterpret_cast<const T*>(raw_data(buffer.alloc_id));
+    }
+
+    /** Virtual device address of element 0 of the allocation. */
+    template <typename T>
+    std::uint64_t
+    base_addr(const Buffer<T>& buffer) const
+    {
+        return record(buffer.alloc_id).base_addr;
+    }
+
+    /** Bytes currently allocated (not freed). */
+    std::size_t live_bytes() const { return live_bytes_; }
+
+    /** High-water mark of live_bytes(). */
+    std::size_t peak_bytes() const { return peak_bytes_; }
+
+    /** Full allocation history. */
+    const std::vector<AllocationRecord>& ledger() const { return records_; }
+
+  private:
+    std::size_t alloc_raw(std::size_t bytes, const std::string& label);
+    void free_raw(std::size_t alloc_id);
+    std::byte* raw_data(std::size_t alloc_id);
+    const std::byte* raw_data(std::size_t alloc_id) const;
+    const AllocationRecord& record(std::size_t alloc_id) const;
+
+    std::size_t capacity_bytes_;
+    std::size_t live_bytes_ = 0;
+    std::size_t peak_bytes_ = 0;
+    std::uint64_t next_base_addr_ = 0x1000;  // leave page 0 unmapped
+    std::vector<AllocationRecord> records_;
+    std::vector<std::unique_ptr<std::byte[]>> storage_;
+};
+
+}  // namespace plr::gpusim
+
+#endif  // PLR_GPUSIM_MEMORY_H_

@@ -1,0 +1,93 @@
+#include "gpusim/perf_counters.h"
+
+namespace plr::gpusim {
+
+CounterSnapshot
+operator-(const CounterSnapshot& after, const CounterSnapshot& before)
+{
+    CounterSnapshot d;
+    d.global_load_bytes = after.global_load_bytes - before.global_load_bytes;
+    d.global_store_bytes =
+        after.global_store_bytes - before.global_store_bytes;
+    d.global_load_transactions =
+        after.global_load_transactions - before.global_load_transactions;
+    d.global_store_transactions =
+        after.global_store_transactions - before.global_store_transactions;
+    d.atomic_ops = after.atomic_ops - before.atomic_ops;
+    d.fences = after.fences - before.fences;
+    d.shared_accesses = after.shared_accesses - before.shared_accesses;
+    d.shuffles = after.shuffles - before.shuffles;
+    d.flops = after.flops - before.flops;
+    d.busy_wait_spins = after.busy_wait_spins - before.busy_wait_spins;
+    d.l2_read_hits = after.l2_read_hits - before.l2_read_hits;
+    d.l2_read_misses = after.l2_read_misses - before.l2_read_misses;
+    d.l2_write_accesses =
+        after.l2_write_accesses - before.l2_write_accesses;
+    d.blocks_executed = after.blocks_executed - before.blocks_executed;
+    return d;
+}
+
+void
+PerfCounters::accumulate(const CounterSnapshot& delta)
+{
+    const auto relaxed = std::memory_order_relaxed;
+    global_load_bytes_.fetch_add(delta.global_load_bytes, relaxed);
+    global_store_bytes_.fetch_add(delta.global_store_bytes, relaxed);
+    global_load_transactions_.fetch_add(delta.global_load_transactions, relaxed);
+    global_store_transactions_.fetch_add(delta.global_store_transactions,
+                                         relaxed);
+    atomic_ops_.fetch_add(delta.atomic_ops, relaxed);
+    fences_.fetch_add(delta.fences, relaxed);
+    shared_accesses_.fetch_add(delta.shared_accesses, relaxed);
+    shuffles_.fetch_add(delta.shuffles, relaxed);
+    flops_.fetch_add(delta.flops, relaxed);
+    busy_wait_spins_.fetch_add(delta.busy_wait_spins, relaxed);
+    l2_read_hits_.fetch_add(delta.l2_read_hits, relaxed);
+    l2_read_misses_.fetch_add(delta.l2_read_misses, relaxed);
+    l2_write_accesses_.fetch_add(delta.l2_write_accesses, relaxed);
+    blocks_executed_.fetch_add(delta.blocks_executed, relaxed);
+}
+
+CounterSnapshot
+PerfCounters::snapshot() const
+{
+    const auto relaxed = std::memory_order_relaxed;
+    CounterSnapshot s;
+    s.global_load_bytes = global_load_bytes_.load(relaxed);
+    s.global_store_bytes = global_store_bytes_.load(relaxed);
+    s.global_load_transactions = global_load_transactions_.load(relaxed);
+    s.global_store_transactions = global_store_transactions_.load(relaxed);
+    s.atomic_ops = atomic_ops_.load(relaxed);
+    s.fences = fences_.load(relaxed);
+    s.shared_accesses = shared_accesses_.load(relaxed);
+    s.shuffles = shuffles_.load(relaxed);
+    s.flops = flops_.load(relaxed);
+    s.busy_wait_spins = busy_wait_spins_.load(relaxed);
+    s.l2_read_hits = l2_read_hits_.load(relaxed);
+    s.l2_read_misses = l2_read_misses_.load(relaxed);
+    s.l2_write_accesses = l2_write_accesses_.load(relaxed);
+    s.blocks_executed = blocks_executed_.load(relaxed);
+    return s;
+}
+
+void
+PerfCounters::reset()
+{
+    const auto relaxed = std::memory_order_relaxed;
+    global_load_bytes_.store(0, relaxed);
+    global_store_bytes_.store(0, relaxed);
+    global_load_transactions_.store(0, relaxed);
+    global_store_transactions_.store(0, relaxed);
+    atomic_ops_.store(0, relaxed);
+    fences_.store(0, relaxed);
+    shared_accesses_.store(0, relaxed);
+    shuffles_.store(0, relaxed);
+    flops_.store(0, relaxed);
+    busy_wait_spins_.store(0, relaxed);
+    l2_read_hits_.store(0, relaxed);
+    l2_read_misses_.store(0, relaxed);
+    l2_write_accesses_.store(0, relaxed);
+    blocks_executed_.store(0, relaxed);
+}
+
+}  // namespace plr::gpusim

@@ -1,0 +1,83 @@
+#ifndef PLR_GPUSIM_PERF_COUNTERS_H_
+#define PLR_GPUSIM_PERF_COUNTERS_H_
+
+/**
+ * @file
+ * Performance counters collected while simulating kernels.
+ *
+ * Counter values are interleaving-independent (they are pure sums of
+ * per-block contributions), except for busy_wait_spins which depends on
+ * scheduling and is excluded from determinism-sensitive checks.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace plr::gpusim {
+
+/** Plain snapshot of the counter values. */
+struct CounterSnapshot {
+    std::uint64_t global_load_bytes = 0;
+    std::uint64_t global_store_bytes = 0;
+    std::uint64_t global_load_transactions = 0;
+    std::uint64_t global_store_transactions = 0;
+    std::uint64_t atomic_ops = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t shared_accesses = 0;
+    std::uint64_t shuffles = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t busy_wait_spins = 0;
+    std::uint64_t l2_read_hits = 0;
+    std::uint64_t l2_read_misses = 0;
+    std::uint64_t l2_write_accesses = 0;
+    std::uint64_t blocks_executed = 0;
+
+    /** Total DRAM-visible traffic (loads + stores). */
+    std::uint64_t total_global_bytes() const
+    {
+        return global_load_bytes + global_store_bytes;
+    }
+
+    /** L2 read misses converted into bytes (the paper's Table 3 metric). */
+    std::uint64_t l2_read_miss_bytes(std::size_t line_bytes) const
+    {
+        return l2_read_misses * line_bytes;
+    }
+};
+
+/** Elementwise difference of two snapshots (after - before). */
+CounterSnapshot operator-(const CounterSnapshot& after,
+                          const CounterSnapshot& before);
+
+/** Thread-safe accumulation of CounterSnapshot deltas. */
+class PerfCounters {
+  public:
+    /** Add a per-block contribution. */
+    void accumulate(const CounterSnapshot& delta);
+
+    /** Read the current totals. */
+    CounterSnapshot snapshot() const;
+
+    /** Zero all counters. */
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> global_load_bytes_{0};
+    std::atomic<std::uint64_t> global_store_bytes_{0};
+    std::atomic<std::uint64_t> global_load_transactions_{0};
+    std::atomic<std::uint64_t> global_store_transactions_{0};
+    std::atomic<std::uint64_t> atomic_ops_{0};
+    std::atomic<std::uint64_t> fences_{0};
+    std::atomic<std::uint64_t> shared_accesses_{0};
+    std::atomic<std::uint64_t> shuffles_{0};
+    std::atomic<std::uint64_t> flops_{0};
+    std::atomic<std::uint64_t> busy_wait_spins_{0};
+    std::atomic<std::uint64_t> l2_read_hits_{0};
+    std::atomic<std::uint64_t> l2_read_misses_{0};
+    std::atomic<std::uint64_t> l2_write_accesses_{0};
+    std::atomic<std::uint64_t> blocks_executed_{0};
+};
+
+}  // namespace plr::gpusim
+
+#endif  // PLR_GPUSIM_PERF_COUNTERS_H_

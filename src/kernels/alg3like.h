@@ -1,0 +1,69 @@
+#ifndef PLR_KERNELS_ALG3LIKE_H_
+#define PLR_KERNELS_ALG3LIKE_H_
+
+/**
+ * @file
+ * The Alg3-like baseline, modeling Nehab et al.'s GPU-efficient recursive
+ * filtering ("Alg3" in the paper) under the paper's measurement setup:
+ * a square 2D image of about the same total size as the 1D input, with
+ * vertical filtering disabled, filtering the rows in the causal (positive)
+ * direction and then — not disableable, as the paper notes — in the
+ * anticausal (negative) direction.
+ *
+ * The properties the paper measures and that this model reproduces:
+ *  - two filter passes over the data (the extra anticausal work),
+ *  - not communication-efficient: the second pass re-reads the data,
+ *    which misses in L2 whenever the image exceeds the 2 MB cache,
+ *  - large extra allocations (an n-word intermediate plus order-dependent
+ *    boundary-carry buffers), cf. Tables 2 and 3.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one Alg3-like run. */
+struct Alg3RunStats {
+    gpusim::CounterSnapshot counters;
+};
+
+/** Alg3-like two-direction row filter on a 2D image. */
+class Alg3LikeKernel {
+  public:
+    /**
+     * @param sig recursive filter (float coefficients, any order)
+     * @param rows image height
+     * @param cols image width (row length; each row filtered independently)
+     */
+    Alg3LikeKernel(Signature sig, std::size_t rows, std::size_t cols);
+
+    /**
+     * Filter all rows. Returns the *causal* row-filter result (the
+     * component comparable to PLR's output); the anticausal pass runs and
+     * is counted but its product is overhead, exactly as in the paper's
+     * measurements.
+     */
+    std::vector<float> run(gpusim::Device& device,
+                           std::span<const float> image,
+                           Alg3RunStats* stats = nullptr) const;
+
+    /** The anticausal result of the last run (for validation in tests). */
+    const std::vector<float>& last_anticausal() const { return anticausal_; }
+
+  private:
+    Signature sig_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<float> a_;
+    std::vector<float> b_;
+    mutable std::vector<float> anticausal_;
+};
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_ALG3LIKE_H_

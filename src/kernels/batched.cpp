@@ -1,0 +1,95 @@
+#include "kernels/batched.h"
+
+namespace plr::kernels {
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+batched_recurrence(gpusim::Device& device, const Signature& sig,
+                   std::span<const typename Ring::value_type> input,
+                   std::size_t rows, std::size_t cols, Axis axis,
+                   BatchedRunStats* stats)
+{
+    using V = typename Ring::value_type;
+    const std::size_t n = rows * cols;
+    PLR_REQUIRE(input.size() == n,
+                "input size " << input.size() << " != " << rows << "x"
+                              << cols);
+    PLR_REQUIRE(sig.order() >= 1, "batched recurrence needs order >= 1");
+
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    std::vector<V> b(sig.order());
+    for (std::size_t j = 0; j < b.size(); ++j)
+        b[j] = Ring::from_coefficient(sig.b()[j]);
+
+    auto in = device.alloc<V>(n, "batched.input");
+    auto out = device.alloc<V>(n, "batched.output");
+    device.upload<V>(in, input);
+    const auto before = device.snapshot();
+
+    const std::size_t lines = axis == Axis::kRows ? rows : cols;
+    const std::size_t length = axis == Axis::kRows ? cols : rows;
+    const std::size_t stride = axis == Axis::kRows ? 1 : cols;
+
+    device.launch(lines, [&](gpusim::BlockContext& ctx) {
+        const std::size_t line = ctx.block_index();
+        const std::size_t base =
+            axis == Axis::kRows ? line * cols : line;
+
+        // Load the line: contiguous for rows; for columns the accesses of
+        // the blocks in a wave interleave and coalesce.
+        std::vector<V> x(length);
+        if (axis == Axis::kRows) {
+            ctx.ld_bulk<V>(in, base, x);
+        } else {
+            for (std::size_t i = 0; i < length; ++i)
+                x[i] = ctx.ld_coalesced(in, base + i * stride);
+        }
+
+        std::vector<V> y(length);
+        for (std::size_t i = 0; i < length; ++i) {
+            V acc = Ring::zero();
+            for (std::size_t j = 0; j < a.size() && j <= i; ++j) {
+                acc = Ring::mul_add(acc, a[j], x[i - j]);
+                ctx.count_flop(2);
+            }
+            for (std::size_t j = 1; j <= b.size() && j <= i; ++j) {
+                acc = Ring::mul_add(acc, b[j - 1], y[i - j]);
+                ctx.count_flop(2);
+            }
+            y[i] = acc;
+        }
+
+        if (axis == Axis::kRows) {
+            ctx.st_bulk<V>(out, base, std::span<const V>(y));
+        } else {
+            for (std::size_t i = 0; i < length; ++i)
+                ctx.st(out, base + i * stride, y[i]);
+        }
+    });
+
+    auto result = device.download<V>(out);
+    if (stats) {
+        stats->lines = lines;
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template std::vector<std::int32_t>
+batched_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                            std::span<const std::int32_t>, std::size_t,
+                            std::size_t, Axis, BatchedRunStats*);
+template std::vector<float>
+batched_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                              std::span<const float>, std::size_t,
+                              std::size_t, Axis, BatchedRunStats*);
+template std::vector<float>
+batched_recurrence<TropicalRing>(gpusim::Device&, const Signature&,
+                                 std::span<const float>, std::size_t,
+                                 std::size_t, Axis, BatchedRunStats*);
+
+}  // namespace plr::kernels

@@ -1,0 +1,70 @@
+#ifndef PLR_KERNELS_BATCHED_H_
+#define PLR_KERNELS_BATCHED_H_
+
+/**
+ * @file
+ * Batched recurrences over the rows or columns of a 2D array — the
+ * paper's "multiple dimensions" future-work item (Section 7).
+ *
+ * Rows (or columns) are independent recurrences, so the batch is
+ * embarrassingly parallel across lines while each line runs the usual
+ * recurrence. One thread block processes one line: along rows the block
+ * streams a contiguous line; along columns the accesses of consecutive
+ * blocks interleave, which a real GPU coalesces across the blocks of a
+ * wave (modeled with coalesced element accesses). Composing a row pass
+ * with a column pass of the prefix sum yields the summed-area table of
+ * Hensley et al., one of the earliest GPU recurrence applications the
+ * paper cites.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Direction a batched recurrence runs in. */
+enum class Axis {
+    /** Left to right along each row (contiguous lines). */
+    kRows,
+    /** Top to bottom along each column (strided lines). */
+    kCols,
+};
+
+/** Execution statistics of one batched run. */
+struct BatchedRunStats {
+    std::size_t lines = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/**
+ * Apply @p sig independently along every row or column of the row-major
+ * @p rows x @p cols array @p input.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+batched_recurrence(gpusim::Device& device, const Signature& sig,
+                   std::span<const typename Ring::value_type> input,
+                   std::size_t rows, std::size_t cols, Axis axis,
+                   BatchedRunStats* stats = nullptr);
+
+extern template std::vector<std::int32_t>
+batched_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                            std::span<const std::int32_t>, std::size_t,
+                            std::size_t, Axis, BatchedRunStats*);
+extern template std::vector<float>
+batched_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                              std::span<const float>, std::size_t,
+                              std::size_t, Axis, BatchedRunStats*);
+extern template std::vector<float>
+batched_recurrence<TropicalRing>(gpusim::Device&, const Signature&,
+                                 std::span<const float>, std::size_t,
+                                 std::size_t, Axis, BatchedRunStats*);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_BATCHED_H_

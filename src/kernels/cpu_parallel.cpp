@@ -1,0 +1,164 @@
+#include "kernels/cpu_parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "kernels/serial.h"
+
+namespace plr::kernels {
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence(const Signature& sig,
+                        std::span<const typename Ring::value_type> input,
+                        std::size_t threads, CpuRunStats* stats)
+{
+    using V = typename Ring::value_type;
+    const std::size_t n = input.size();
+    const std::size_t k = sig.order();
+    PLR_REQUIRE(k >= 1, "parallel recurrence needs order >= 1");
+
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    // Each chunk must have at least k elements; small inputs run serially.
+    const std::size_t min_chunk = std::max<std::size_t>(4 * k, 256);
+    threads = std::min(threads, n / min_chunk);
+    if (threads <= 1) {
+        if (stats) {
+            stats->threads_used = 1;
+            stats->chunk_size = n;
+        }
+        return serial_recurrence<Ring>(sig, input);
+    }
+
+    const std::size_t chunk = (n + threads - 1) / threads;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    const auto factors = CorrectionFactors<Ring>::generate(
+        sig.recursive_part(), chunk, /*flush_denormals=*/!Ring::is_exact);
+    const auto props = analyze_factors(factors);
+
+    // Respect the decay optimization: offsets beyond the effective length
+    // need no correction at all (IIR filters decay; Section 3.1).
+    std::size_t eff = 0;
+    for (const auto& list : props.lists)
+        eff = std::max(eff, list.effective_length);
+
+    // ---- Map operation (eq. 2): embarrassingly parallel over the full
+    // input, so chunk-boundary FIR taps see the true neighbors.
+    const bool has_map = !sig.is_pure_recursive();
+    const Signature recursive = sig.recursive_part();
+    std::vector<V> t;
+    if (has_map) {
+        std::vector<V> a(sig.a().size());
+        for (std::size_t j = 0; j < a.size(); ++j)
+            a[j] = Ring::from_coefficient(sig.a()[j]);
+        t.resize(n);
+        std::vector<std::thread> workers;
+        workers.reserve(num_chunks);
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            workers.emplace_back([&, c]() {
+                const std::size_t base = c * chunk;
+                const std::size_t len = std::min(chunk, n - base);
+                for (std::size_t i = base; i < base + len; ++i) {
+                    V acc = Ring::zero();
+                    for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+                        acc = Ring::mul_add(acc, a[j], input[i - j]);
+                    t[i] = acc;
+                }
+            });
+        }
+        for (auto& worker : workers)
+            worker.join();
+    }
+    const std::span<const V> stage_input =
+        has_map ? std::span<const V>(t) : input;
+
+    // ---- Phase A: per-thread serial recurrence on each chunk.
+    std::vector<V> y(n);
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(num_chunks);
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            workers.emplace_back([&, c]() {
+                const std::size_t base = c * chunk;
+                const std::size_t len = std::min(chunk, n - base);
+                auto local = serial_recurrence<Ring>(
+                    recursive, stage_input.subspan(base, len));
+                std::copy(local.begin(), local.end(), y.begin() + base);
+            });
+        }
+        for (auto& worker : workers)
+            worker.join();
+    }
+
+    // ---- Carry fix-up: advance the k boundary carries sequentially
+    // across chunks (O(num_chunks * k^2), trivial for CPU thread counts).
+    std::vector<std::vector<V>> carries(num_chunks);  // carries INTO chunk c
+    std::vector<V> carry(k, Ring::zero());
+    for (std::size_t c = 1; c < num_chunks; ++c) {
+        const std::size_t prev_base = (c - 1) * chunk;
+        const std::size_t prev_len = std::min(chunk, n - prev_base);
+        std::vector<V> next(k, Ring::zero());
+        for (std::size_t j = 1; j <= k && j <= prev_len; ++j) {
+            V acc = y[prev_base + prev_len - j];
+            const std::size_t o = prev_len - j;
+            for (std::size_t i = 1; i <= k; ++i)
+                acc = Ring::mul_add(acc, factors.factor(i, o),
+                                    carry[i - 1]);
+            next[j - 1] = acc;
+        }
+        carry = std::move(next);
+        carries[c] = carry;
+    }
+
+    // ---- Phase B: parallel correction of every chunk with its carry.
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(num_chunks);
+        for (std::size_t c = 1; c < num_chunks; ++c) {
+            workers.emplace_back([&, c]() {
+                const std::size_t base = c * chunk;
+                const std::size_t len = std::min(chunk, n - base);
+                const std::vector<V>& in_carry = carries[c];
+                const std::size_t limit = std::min(len, std::max(eff, k));
+                for (std::size_t o = 0; o < limit; ++o) {
+                    V acc = y[base + o];
+                    for (std::size_t i = 1; i <= k; ++i) {
+                        if (o >= props.lists[i - 1].effective_length)
+                            continue;
+                        acc = Ring::mul_add(acc, factors.factor(i, o),
+                                            in_carry[i - 1]);
+                    }
+                    y[base + o] = acc;
+                }
+            });
+        }
+        for (auto& worker : workers)
+            worker.join();
+    }
+
+    if (stats) {
+        stats->threads_used = num_chunks;
+        stats->chunk_size = chunk;
+    }
+    return y;
+}
+
+template std::vector<std::int32_t>
+cpu_parallel_recurrence<IntRing>(const Signature&,
+                                 std::span<const std::int32_t>, std::size_t,
+                                 CpuRunStats*);
+template std::vector<float>
+cpu_parallel_recurrence<FloatRing>(const Signature&, std::span<const float>,
+                                   std::size_t, CpuRunStats*);
+template std::vector<float>
+cpu_parallel_recurrence<TropicalRing>(const Signature&,
+                                      std::span<const float>, std::size_t,
+                                      CpuRunStats*);
+
+}  // namespace plr::kernels

@@ -1,0 +1,65 @@
+#ifndef PLR_KERNELS_CPU_PARALLEL_H_
+#define PLR_KERNELS_CPU_PARALLEL_H_
+
+/**
+ * @file
+ * A native CPU backend for the PLR algorithm.
+ *
+ * The paper points out that the algorithm, the parallelization approach,
+ * and most optimizations are not GPU specific (Section 7). This backend
+ * maps the two phases onto host threads:
+ *
+ *   1. the input is split into one chunk per thread; each thread computes
+ *      its chunk's recurrence serially (work-efficient, like a thread's
+ *      in-register pass on the GPU) and publishes its local carries;
+ *   2. the carries are corrected sequentially across the T chunk
+ *      boundaries with the precomputed correction factors (O(T*k^2), T =
+ *      thread count — negligible), after which every thread corrects its
+ *      own chunk in parallel using the factor lists.
+ *
+ * This is exactly Phase 2 of the paper with the pipeline replaced by a
+ * barrier, which is the right trade-off at CPU core counts.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Statistics of one CPU-parallel run. */
+struct CpuRunStats {
+    std::size_t threads_used = 0;
+    std::size_t chunk_size = 0;
+};
+
+/**
+ * Compute @p sig over @p input using @p threads host threads
+ * (0 = hardware concurrency). Falls back to the serial code for inputs
+ * too small to split.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence(const Signature& sig,
+                        std::span<const typename Ring::value_type> input,
+                        std::size_t threads = 0,
+                        CpuRunStats* stats = nullptr);
+
+extern template std::vector<std::int32_t>
+cpu_parallel_recurrence<IntRing>(const Signature&,
+                                 std::span<const std::int32_t>, std::size_t,
+                                 CpuRunStats*);
+extern template std::vector<float>
+cpu_parallel_recurrence<FloatRing>(const Signature&, std::span<const float>,
+                                   std::size_t, CpuRunStats*);
+extern template std::vector<float>
+cpu_parallel_recurrence<TropicalRing>(const Signature&,
+                                      std::span<const float>, std::size_t,
+                                      CpuRunStats*);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_CPU_PARALLEL_H_

@@ -1,0 +1,129 @@
+#include "kernels/cublike.h"
+
+#include "kernels/lookback_chain.h"
+
+namespace plr::kernels {
+
+template <typename Ring>
+bool
+CubLikeKernel<Ring>::supports(const Signature& sig)
+{
+    switch (sig.classify()) {
+      case SignatureClass::kPrefixSum:
+      case SignatureClass::kTuplePrefixSum:
+      case SignatureClass::kHigherOrderPrefixSum:
+        return true;
+      default:
+        return false;
+    }
+}
+
+template <typename Ring>
+CubLikeKernel<Ring>::CubLikeKernel(Signature sig, std::size_t n,
+                                   std::size_t chunk)
+    : sig_(std::move(sig)), n_(n)
+{
+    PLR_REQUIRE(supports(sig_),
+                "CUB-like kernel only supports the prefix-sum family, got "
+                    << sig_.to_string());
+    PLR_REQUIRE(n_ >= 1, "input must not be empty");
+
+    const auto cls = sig_.classify();
+    tuple_ = cls == SignatureClass::kTuplePrefixSum ? sig_.tuple_size() : 1;
+    passes_ =
+        cls == SignatureClass::kHigherOrderPrefixSum ? sig_.order() : 1;
+    chunk_ = std::max<std::size_t>(chunk, tuple_);
+    chunk_ = (chunk_ + tuple_ - 1) / tuple_ * tuple_;
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+CubLikeKernel<Ring>::run(gpusim::Device& device,
+                         std::span<const value_type> input,
+                         CubRunStats* stats) const
+{
+    using V = value_type;
+    PLR_REQUIRE(input.size() == n_,
+                "input length " << input.size() << " != configured " << n_);
+
+    const std::size_t s = tuple_;
+    const std::size_t num_chunks = (n_ + chunk_ - 1) / chunk_;
+    const auto before = device.snapshot();
+
+    auto in = device.alloc<V>(n_, "cub.input");
+    auto out = device.alloc<V>(n_, "cub.output");
+    device.upload<V>(in, input);
+
+    for (std::size_t pass = 0; pass < passes_; ++pass) {
+        // Pass 0 reads the input array; later passes rescan the output
+        // array in place (CUB allocates no additional n-sized buffers,
+        // Table 2).
+        const auto& src = pass == 0 ? in : out;
+
+        LookbackChain<V> chain(device, num_chunks, s, 32,
+                               "cub.chain." + std::to_string(pass));
+        auto fold = [s](std::vector<V> carry, const std::vector<V>& local) {
+            for (std::size_t l = 0; l < s; ++l)
+                carry[l] = Ring::add(carry[l], local[l]);
+            return carry;
+        };
+
+        device.launch(num_chunks, [&](gpusim::BlockContext& ctx) {
+            const std::size_t chunk_id = ctx.block_index();
+            const std::size_t base = chunk_id * chunk_;
+            const std::size_t len = std::min(chunk_, n_ - base);
+
+            std::vector<V> w(len);
+            ctx.ld_bulk<V>(src, base, w);
+
+            // Local per-lane inclusive scan (lane = global index mod s;
+            // base is a multiple of s by construction).
+            for (std::size_t i = s; i < len; ++i) {
+                w[i] = Ring::add(w[i], w[i - s]);
+                ctx.count_flop(1);
+            }
+
+            // Lane sums of this chunk.
+            std::vector<V> sums(s, Ring::zero());
+            for (std::size_t l = 0; l < s && l < len; ++l) {
+                std::size_t last = len - 1 - ((len - 1 - l) % s);
+                sums[l] = w[last];
+            }
+            chain.publish_local(ctx, chunk_id, sums);
+
+            std::vector<V> carry(s, Ring::zero());
+            if (chunk_id > 0)
+                carry = chain.wait_and_resolve(ctx, chunk_id, fold);
+
+            std::vector<V> inclusive(s);
+            for (std::size_t l = 0; l < s; ++l)
+                inclusive[l] = Ring::add(carry[l], sums[l]);
+            chain.publish_global(ctx, chunk_id, inclusive);
+
+            if (chunk_id > 0) {
+                for (std::size_t i = 0; i < len; ++i) {
+                    w[i] = Ring::add(w[i], carry[i % s]);
+                    ctx.count_flop(1);
+                }
+            }
+            ctx.st_bulk<V>(out, base, std::span<const V>(w));
+        });
+
+        chain.free(device);
+    }
+
+    auto result = device.download<V>(out);
+    if (stats) {
+        stats->passes = passes_;
+        stats->chunks_per_pass = num_chunks;
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template class CubLikeKernel<IntRing>;
+template class CubLikeKernel<FloatRing>;
+
+}  // namespace plr::kernels

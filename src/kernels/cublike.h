@@ -1,0 +1,72 @@
+#ifndef PLR_KERNELS_CUBLIKE_H_
+#define PLR_KERNELS_CUBLIKE_H_
+
+/**
+ * @file
+ * The CUB-like baseline: a work-efficient single-pass prefix scan with
+ * decoupled look-back and 2n data movement, mirroring how the paper's
+ * CUB 1.5.1 comparison behaves (Sections 4 and 6.1):
+ *
+ *  - standard prefix sum: single-pass scalar scan;
+ *  - s-tuple prefix sum: a scan over s-element vectors (CUB's approach,
+ *    which the paper contrasts with SAM's interleaved scalar sums and
+ *    PLR's scalar order-s recurrence);
+ *  - order-k prefix sum: the entire scan repeated k times (prefix sums of
+ *    prefix sums), re-reading and re-writing the data each pass — the
+ *    reason CUB trails SAM and PLR on higher orders.
+ *
+ * General recurrences (arbitrary coefficients) are not supported, as in
+ * the real library.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one CUB-like run. */
+struct CubRunStats {
+    /** Scan passes executed (k for order-k prefix sums, else 1). */
+    std::size_t passes = 0;
+    std::size_t chunks_per_pass = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/** CUB-like scan kernel for the prefix-sum family. */
+template <typename Ring>
+class CubLikeKernel {
+  public:
+    using value_type = typename Ring::value_type;
+
+    /** True for standard, tuple-based, and higher-order prefix sums. */
+    static bool supports(const Signature& sig);
+
+    /**
+     * @param chunk elements per thread block per pass (rounded up to a
+     *        multiple of the tuple size)
+     */
+    CubLikeKernel(Signature sig, std::size_t n, std::size_t chunk = 4096);
+
+    std::vector<value_type> run(gpusim::Device& device,
+                                std::span<const value_type> input,
+                                CubRunStats* stats = nullptr) const;
+
+  private:
+    Signature sig_;
+    std::size_t n_;
+    std::size_t chunk_;
+    std::size_t tuple_;  // vector width s (1 for scalar scans)
+    std::size_t passes_;
+};
+
+extern template class CubLikeKernel<IntRing>;
+extern template class CubLikeKernel<FloatRing>;
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_CUBLIKE_H_

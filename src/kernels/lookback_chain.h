@@ -1,0 +1,153 @@
+#ifndef PLR_KERNELS_LOOKBACK_CHAIN_H_
+#define PLR_KERNELS_LOOKBACK_CHAIN_H_
+
+/**
+ * @file
+ * Decoupled look-back carry propagation (Merrill & Garland), shared by the
+ * single-pass baseline kernels (Scan, CUB-like, SAM-like).
+ *
+ * Each chunk publishes a *local* aggregate (over its own elements) behind
+ * a flag, then resolves its *exclusive* carry by walking backwards from
+ * the previous chunk: it takes the most recent available inclusive
+ * (global) state and folds in the local aggregates of the chunks in
+ * between, finally publishing its own inclusive state. This is the same
+ * protocol PLR's Phase 2 uses; PLR differs in how carries are combined
+ * (correction factors instead of the scan operator).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace plr::kernels {
+
+/**
+ * Carry chain over fixed-width carry states stored in device memory.
+ *
+ * @tparam V element type of the carry state
+ */
+template <typename V>
+class LookbackChain {
+  public:
+    /**
+     * Allocate the chain's device state.
+     *
+     * @param width number of V words per carry state
+     * @param window maximum look-back distance before a chunk must wait
+     */
+    LookbackChain(gpusim::Device& device, std::size_t num_chunks,
+                  std::size_t width, std::size_t window,
+                  const std::string& label)
+        : width_(width), window_(window), num_chunks_(num_chunks)
+    {
+        local_state_ = device.alloc<V>(num_chunks * width, label + ".local");
+        global_state_ =
+            device.alloc<V>(num_chunks * width, label + ".global");
+        local_flags_ =
+            device.alloc<std::uint32_t>(num_chunks, label + ".local_flags");
+        global_flags_ =
+            device.alloc<std::uint32_t>(num_chunks, label + ".global_flags");
+    }
+
+    /** Publish the chunk-local aggregate behind a fence + flag. */
+    void
+    publish_local(gpusim::BlockContext& ctx, std::size_t chunk,
+                  const std::vector<V>& state)
+    {
+        for (std::size_t i = 0; i < width_; ++i)
+            ctx.st(local_state_, chunk * width_ + i, state[i]);
+        ctx.threadfence();
+        ctx.st_release(local_flags_, chunk, 1);
+    }
+
+    /**
+     * Resolve the exclusive carry for @p chunk (which must be > 0):
+     * waits for a global state within the window and all later local
+     * states, then folds the local aggregates into the global state with
+     * @p fold(carry, local_state_of_q) applied in increasing chunk order.
+     * Returns the exclusive carry and reports the look-back distance.
+     */
+    std::vector<V>
+    wait_and_resolve(
+        gpusim::BlockContext& ctx, std::size_t chunk,
+        const std::function<std::vector<V>(std::vector<V>,
+                                           const std::vector<V>&)>& fold,
+        std::size_t* lookback_distance = nullptr)
+    {
+        const std::size_t lo = chunk > window_ ? chunk - window_ : 0;
+        std::size_t g = chunk;  // sentinel
+        for (;;) {
+            g = chunk;
+            for (std::size_t q = chunk; q-- > lo;) {
+                if (ctx.ld_acquire(global_flags_, q) != 0) {
+                    g = q;
+                    break;
+                }
+            }
+            if (g != chunk) {
+                bool ready = true;
+                for (std::size_t q = g + 1; q < chunk; ++q) {
+                    if (ctx.ld_acquire(local_flags_, q) == 0) {
+                        ready = false;
+                        break;
+                    }
+                }
+                if (ready)
+                    break;
+            }
+            ctx.spin_wait();
+        }
+        if (lookback_distance)
+            *lookback_distance = chunk - g;
+
+        std::vector<V> carry(width_);
+        for (std::size_t i = 0; i < width_; ++i)
+            carry[i] = ctx.ld(global_state_, g * width_ + i);
+        for (std::size_t q = g + 1; q < chunk; ++q) {
+            std::vector<V> local(width_);
+            for (std::size_t i = 0; i < width_; ++i)
+                local[i] = ctx.ld(local_state_, q * width_ + i);
+            carry = fold(std::move(carry), local);
+        }
+        return carry;
+    }
+
+    /** Publish the chunk's inclusive (global) state behind a flag. */
+    void
+    publish_global(gpusim::BlockContext& ctx, std::size_t chunk,
+                   const std::vector<V>& state)
+    {
+        for (std::size_t i = 0; i < width_; ++i)
+            ctx.st(global_state_, chunk * width_ + i, state[i]);
+        ctx.threadfence();
+        ctx.st_release(global_flags_, chunk, 1);
+    }
+
+    /** Release the chain's device allocations. */
+    void
+    free(gpusim::Device& device)
+    {
+        device.memory().free(local_state_);
+        device.memory().free(global_state_);
+        device.memory().free(local_flags_);
+        device.memory().free(global_flags_);
+    }
+
+    std::size_t width() const { return width_; }
+
+  private:
+    std::size_t width_;
+    std::size_t window_;
+    std::size_t num_chunks_;
+    gpusim::Buffer<V> local_state_;
+    gpusim::Buffer<V> global_state_;
+    gpusim::Buffer<std::uint32_t> local_flags_;
+    gpusim::Buffer<std::uint32_t> global_flags_;
+};
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_LOOKBACK_CHAIN_H_

@@ -1,0 +1,39 @@
+#include "kernels/memcpy_kernel.h"
+
+#include "util/diag.h"
+
+namespace plr::kernels {
+
+template <typename T>
+std::vector<T>
+device_memcpy(gpusim::Device& device, std::span<const T> input,
+              std::size_t chunk)
+{
+    PLR_REQUIRE(chunk >= 1, "chunk must be positive");
+    const std::size_t n = input.size();
+    auto in = device.alloc<T>(n, "memcpy.input");
+    auto out = device.alloc<T>(n, "memcpy.output");
+    device.upload<T>(in, input);
+
+    const std::size_t blocks = (n + chunk - 1) / chunk;
+    device.launch(blocks, [&](gpusim::BlockContext& ctx) {
+        const std::size_t base = ctx.block_index() * chunk;
+        const std::size_t len = std::min(chunk, n - base);
+        std::vector<T> tmp(len);
+        ctx.ld_bulk<T>(in, base, tmp);
+        ctx.st_bulk<T>(out, base, std::span<const T>(tmp));
+    });
+
+    auto result = device.download<T>(out);
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template std::vector<std::int32_t>
+device_memcpy<std::int32_t>(gpusim::Device&, std::span<const std::int32_t>,
+                            std::size_t);
+template std::vector<float>
+device_memcpy<float>(gpusim::Device&, std::span<const float>, std::size_t);
+
+}  // namespace plr::kernels

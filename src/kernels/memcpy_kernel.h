@@ -1,0 +1,37 @@
+#ifndef PLR_KERNELS_MEMCPY_KERNEL_H_
+#define PLR_KERNELS_MEMCPY_KERNEL_H_
+
+/**
+ * @file
+ * The memory-copy "kernel": copies input to output with no computation.
+ * The paper uses its throughput as the upper bound no recurrence code can
+ * exceed, since every code must read each input value and write each
+ * output value at least once.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace plr::kernels {
+
+/**
+ * Copy @p input through device memory in chunks of @p chunk elements per
+ * block; returns the copied sequence and counts the traffic.
+ */
+template <typename T>
+std::vector<T> device_memcpy(gpusim::Device& device,
+                             std::span<const T> input,
+                             std::size_t chunk = 4096);
+
+extern template std::vector<std::int32_t>
+device_memcpy<std::int32_t>(gpusim::Device&, std::span<const std::int32_t>,
+                            std::size_t);
+extern template std::vector<float>
+device_memcpy<float>(gpusim::Device&, std::span<const float>, std::size_t);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_MEMCPY_KERNEL_H_

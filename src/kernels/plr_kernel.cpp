@@ -1,0 +1,459 @@
+#include "kernels/plr_kernel.h"
+
+#include <atomic>
+
+namespace plr::kernels {
+
+namespace {
+
+using gpusim::BlockContext;
+using gpusim::Buffer;
+
+/**
+ * Resolved access strategy for one correction-factor list, combining the
+ * Section-3.1 optimizations with the shared-memory cache policy.
+ */
+template <typename Ring>
+struct FactorAccess {
+    using V = typename Ring::value_type;
+
+    /** Host copy of the (possibly compressed) factor values. */
+    std::vector<V> values;
+    /** Device copy backing uncached accesses; invalid when not needed. */
+    Buffer<V> device_values;
+    /** Compression period (values.size()); == full length when aperiodic. */
+    std::size_t period = 0;
+    /** Offsets >= eff_len have zero factors and are skipped entirely. */
+    std::size_t eff_len = 0;
+    /** Leading elements served from the shared-memory cache. */
+    std::size_t cached_elems = 0;
+    /** All factors identical: no loads at all. */
+    bool constant = false;
+    /** All factors 0/1 and conditional adds enabled: add, don't multiply. */
+    bool conditional = false;
+    /** This list is served by list 1 shifted one position (k > 1). */
+    bool shifted_alias = false;
+
+    /**
+     * Fetch factor[o], counting the shared or global access it would cost
+     * on the GPU. @p offset must be < eff_len.
+     */
+    V
+    fetch(BlockContext& ctx, std::size_t offset) const
+    {
+        const std::size_t o = offset % period;
+        if (constant)
+            return values[0];
+        if (o < cached_elems) {
+            ctx.count_shared(1);
+            return values[o];
+        }
+        if (shifted_alias) {
+            // Served by list 1's array shifted one position; F_k[0] is an
+            // inline constant in the generated code.
+            if (o == 0)
+                return values[0];
+            const V loaded = ctx.ld_coalesced(device_values, o - 1);
+            PLR_ASSERT(loaded == values[o],
+                       "shifted-list alias returned a wrong factor");
+            return loaded;
+        }
+        // Neighboring lanes fetch neighboring offsets: coalesced.
+        return ctx.ld_coalesced(device_values, o);
+    }
+};
+
+/** Per-run device-side state shared by all blocks. */
+template <typename Ring>
+struct DeviceState {
+    using V = typename Ring::value_type;
+
+    Buffer<V> input;
+    Buffer<V> output;
+    Buffer<V> local_carries;   // num_chunks * k
+    Buffer<V> global_carries;  // num_chunks * k
+    Buffer<std::uint32_t> local_flags;
+    Buffer<std::uint32_t> global_flags;
+    Buffer<std::uint32_t> chunk_counter;  // one word
+};
+
+/**
+ * Apply the correction for carry j to an accumulator:
+ * acc += F_j[offset] * carry (or a conditional add for 0/1 factors).
+ */
+template <typename Ring>
+typename Ring::value_type
+apply_correction(BlockContext& ctx, const FactorAccess<Ring>& access,
+                 std::size_t offset, typename Ring::value_type acc,
+                 typename Ring::value_type carry)
+{
+    using V = typename Ring::value_type;
+    const V f = access.fetch(ctx, offset);
+    if (access.conditional) {
+        if (Ring::is_zero(f))
+            return acc;
+        ctx.count_flop(1);
+        return Ring::add(acc, carry);
+    }
+    ctx.count_flop(2);
+    return Ring::mul_add(acc, f, carry);
+}
+
+/**
+ * Phase 1: iteratively merge adjacent chunk pairs, doubling the chunk
+ * size from 1 to w.size(). Merges below the warp width use shuffles;
+ * larger merges exchange data through shared memory (Section 3, code
+ * section 4). In-place: corrections write only the second chunk of each
+ * pair and read only the (unmodified) first chunk.
+ */
+template <typename Ring>
+void
+phase1(BlockContext& ctx, std::span<typename Ring::value_type> w,
+       const std::vector<FactorAccess<Ring>>& access, std::size_t warp_size)
+{
+    using V = typename Ring::value_type;
+    const std::size_t len = w.size();
+    const std::size_t k = access.size();
+
+    for (std::size_t s = 1; s < len; s *= 2) {
+        const bool warp_level = 2 * s <= warp_size;
+        for (std::size_t base = 0; base + s < len; base += 2 * s) {
+            const std::size_t second_len = std::min(s, len - base - s);
+            for (std::size_t o = 0; o < second_len; ++o) {
+                V acc = w[base + s + o];
+                bool touched = false;
+                // Only existing terms are corrected; when s < k the
+                // missing carries are zero and their terms suppressed
+                // (PLR emits no code for them).
+                for (std::size_t j = 1; j <= k && j <= s; ++j) {
+                    if (o >= access[j - 1].eff_len)
+                        continue;  // decayed factor tail: no work
+                    acc = apply_correction<Ring>(ctx, access[j - 1], o, acc,
+                                                 w[base + s - j]);
+                    touched = true;
+                    if (warp_level)
+                        ctx.count_shuffle(1);
+                    else
+                        ctx.count_shared(2);
+                }
+                if (touched)
+                    w[base + s + o] = acc;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+template <typename Ring>
+PlrKernel<Ring>::PlrKernel(KernelPlan plan)
+    : plan_(std::move(plan)),
+      factors_(CorrectionFactors<Ring>::generate(
+          plan_.signature.recursive_part(), plan_.m,
+          plan_.opts.flush_denormals)),
+      props_(analyze_factors(factors_))
+{
+    PLR_REQUIRE(plan_.m >= plan_.signature.order(),
+                "chunk size " << plan_.m << " below recurrence order "
+                              << plan_.signature.order());
+    map_coeffs_.resize(plan_.signature.a().size());
+    for (std::size_t j = 0; j < map_coeffs_.size(); ++j)
+        map_coeffs_[j] = Ring::from_coefficient(plan_.signature.a()[j]);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+PlrKernel<Ring>::run(gpusim::Device& device,
+                     std::span<const value_type> input,
+                     PlrRunStats* stats) const
+{
+    using V = value_type;
+    PLR_REQUIRE(input.size() == plan_.n,
+                "input length " << input.size() << " != planned n "
+                                << plan_.n);
+
+    const std::size_t n = plan_.n;
+    const std::size_t m = plan_.m;
+    const std::size_t k = plan_.signature.order();
+    const std::size_t num_chunks = plan_.num_chunks();
+    const Optimizations& opts = plan_.opts;
+
+    // Resolve the per-list access strategies from the factor analysis.
+    std::vector<FactorAccess<Ring>> access(k);
+    for (std::size_t j = 1; j <= k; ++j) {
+        FactorAccess<Ring>& fa = access[j - 1];
+        const FactorListProperties& props = props_.lists[j - 1];
+        auto list = factors_.list(j);
+
+        fa.eff_len = opts.zero_tail_suppress ? props.effective_length
+                                             : factors_.length();
+        fa.period = (opts.periodic_compress && props.period < list.size())
+                        ? props.period
+                        : list.size();
+        fa.constant = opts.constant_fold && props.all_equal;
+        fa.conditional = opts.conditional_add && props.all_zero_one;
+        fa.values.assign(list.begin(),
+                         list.begin() + static_cast<std::ptrdiff_t>(fa.period));
+        fa.cached_elems =
+            opts.shared_factor_cache
+                ? std::min(fa.period, opts.shared_cache_elems)
+                : 0;
+    }
+    // Shifted-list sharing (Section 3.1 future-work optimization): when
+    // list k is list 1 shifted by one position, serve it from list 1's
+    // storage and allocate no second array. Only applied when neither
+    // list is otherwise specialized or compressed.
+    const bool use_shift_alias =
+        k > 1 && opts.suppress_shifted_list && props_.last_is_shift_of_first &&
+        !access[0].constant && !access[k - 1].constant &&
+        access[0].period == factors_.length() &&
+        access[k - 1].period == factors_.length();
+
+    // Device allocations (section 1 of the generated code + the carry and
+    // flag arrays of Section 2.2).
+    DeviceState<Ring> dev;
+    dev.input = device.alloc<V>(n, "plr.input");
+    dev.output = device.alloc<V>(n, "plr.output");
+    dev.local_carries = device.alloc<V>(num_chunks * k, "plr.local_carries");
+    dev.global_carries = device.alloc<V>(num_chunks * k, "plr.global_carries");
+    dev.local_flags =
+        device.alloc<std::uint32_t>(num_chunks, "plr.local_flags");
+    dev.global_flags =
+        device.alloc<std::uint32_t>(num_chunks, "plr.global_flags");
+    dev.chunk_counter = device.alloc<std::uint32_t>(1, "plr.chunk_counter");
+    device.upload<V>(dev.input, input);
+
+    for (std::size_t j = 1; j <= k; ++j) {
+        FactorAccess<Ring>& fa = access[j - 1];
+        if (use_shift_alias && j == k) {
+            fa.shifted_alias = true;
+            fa.device_values = access[0].device_values;
+            continue;
+        }
+        const bool needs_device_array =
+            !fa.constant && fa.cached_elems < fa.period;
+        if (needs_device_array) {
+            fa.device_values = device.alloc<V>(
+                fa.period, "plr.factors." + std::to_string(j));
+            device.upload<V>(fa.device_values, fa.values);
+        }
+    }
+
+    std::atomic<std::size_t> max_lookback{0};
+    std::atomic<std::size_t> total_lookback{0};
+
+    const std::size_t p = map_coeffs_.size() > 0 ? map_coeffs_.size() - 1 : 0;
+    const bool has_map = map_coeffs_.size() != 1 ||
+                         !Ring::is_one(map_coeffs_[0]);
+    const auto& map_coeffs = map_coeffs_;
+    const std::size_t warp_size = device.spec().warp_size;
+    const auto counters_before = device.snapshot();
+
+    auto body = [&](BlockContext& ctx) {
+        // -- Section 2: grab a chunk id, load the chunk.
+        const std::size_t chunk = ctx.atomic_add(dev.chunk_counter, 0, 1);
+        const std::size_t base = chunk * m;
+        const std::size_t len = std::min(m, n - base);
+        std::vector<V> w(len);
+        ctx.ld_bulk<V>(dev.input, base, w);
+
+        // Reserve the block's shared memory: the factor caches plus the
+        // cross-warp carry staging area; the 48 kB per-block budget is
+        // enforced (a real launch would fail beyond it).
+        {
+            std::size_t shared_bytes =
+                (plan_.block_threads / warp_size) * k * sizeof(V) +
+                k * sizeof(V);
+            for (std::size_t j = 1; j <= k; ++j) {
+                const FactorAccess<Ring>& fa = access[j - 1];
+                if (!fa.constant && !fa.shifted_alias)
+                    shared_bytes += fa.cached_elems * sizeof(V);
+            }
+            ctx.alloc_shared(shared_bytes);
+        }
+
+        // Load the shared-memory factor cache (counted once per block).
+        for (std::size_t j = 1; j <= k; ++j) {
+            const FactorAccess<Ring>& fa = access[j - 1];
+            if (fa.cached_elems > 0 && !fa.constant) {
+                const std::size_t load =
+                    std::min(fa.cached_elems, fa.eff_len);
+                if (load > 0 && !fa.shifted_alias) {
+                    // One coalesced read of the factor array prefix plus
+                    // the shared-memory fills.
+                    if (fa.device_values.valid()) {
+                        std::vector<V> tmp(load);
+                        ctx.ld_bulk<V>(fa.device_values, 0, tmp);
+                    } else {
+                        ctx.local_counters().global_load_bytes +=
+                            (load * sizeof(V) + 31) / 32 * 32;
+                        ctx.local_counters().global_load_transactions +=
+                            (load * sizeof(V) + 31) / 32;
+                    }
+                    ctx.count_shared(load);
+                }
+            }
+        }
+
+        // -- Section 3: the map operation (eq. 2), embarrassingly
+        // parallel; boundary elements read the previous chunk's inputs
+        // directly from global memory.
+        if (has_map) {
+            std::vector<V> t(len);
+            for (std::size_t i = 0; i < len; ++i) {
+                V acc = Ring::zero();
+                for (std::size_t j = 0; j <= p; ++j) {
+                    const std::size_t global_i = base + i;
+                    if (j > global_i)
+                        break;
+                    V x;
+                    if (j > i)  // crosses the chunk boundary
+                        x = ctx.ld(dev.input, global_i - j);
+                    else
+                        x = w[i - j];
+                    acc = Ring::mul_add(acc, map_coeffs[j], x);
+                    ctx.count_flop(2);
+                }
+                t[i] = acc;
+            }
+            std::copy(t.begin(), t.end(), w.begin());
+        }
+
+        // -- Section 4: Phase 1, hierarchical pairwise merging.
+        phase1<Ring>(ctx, w, access, warp_size);
+
+        // -- Section 5: publish the local carries (last k values).
+        for (std::size_t j = 1; j <= k && j <= len; ++j)
+            ctx.st(dev.local_carries, chunk * k + (j - 1), w[len - j]);
+        ctx.threadfence();
+        ctx.st_release(dev.local_flags, chunk, 1);
+
+        // -- Section 6: variable look-back (Section 2.2).
+        std::vector<V> carry(k, Ring::zero());
+        if (chunk > 0) {
+            const std::size_t window = plan_.pipeline_depth;
+            const std::size_t lo = chunk > window ? chunk - window : 0;
+            std::size_t g = chunk;  // sentinel: not found
+            for (;;) {
+                g = chunk;
+                for (std::size_t q = chunk; q-- > lo;) {
+                    if (ctx.ld_acquire(dev.global_flags, q) != 0) {
+                        g = q;
+                        break;
+                    }
+                }
+                if (g != chunk) {
+                    bool locals_ready = true;
+                    for (std::size_t q = g + 1; q < chunk; ++q) {
+                        if (ctx.ld_acquire(dev.local_flags, q) == 0) {
+                            locals_ready = false;
+                            break;
+                        }
+                    }
+                    if (locals_ready)
+                        break;
+                }
+                ctx.spin_wait();
+            }
+
+            const std::size_t distance = chunk - g;
+            total_lookback.fetch_add(distance, std::memory_order_relaxed);
+            std::size_t seen = max_lookback.load(std::memory_order_relaxed);
+            while (distance > seen &&
+                   !max_lookback.compare_exchange_weak(
+                       seen, distance, std::memory_order_relaxed)) {
+            }
+
+            // Global carries of chunk g...
+            for (std::size_t j = 1; j <= k; ++j)
+                carry[j - 1] = ctx.ld(dev.global_carries, g * k + (j - 1));
+            // ...advanced across the intervening chunks' local carries
+            // with the last k correction factors: O(c*k^2) work.
+            for (std::size_t q = g + 1; q < chunk; ++q) {
+                std::vector<V> lc(k);
+                for (std::size_t j = 1; j <= k; ++j)
+                    lc[j - 1] = ctx.ld(dev.local_carries, q * k + (j - 1));
+                std::vector<V> corrected(k);
+                for (std::size_t j = 1; j <= k; ++j) {
+                    V acc = lc[j - 1];
+                    const std::size_t o = m - j;  // offset of carry j
+                    for (std::size_t i = 1; i <= k; ++i) {
+                        if (o >= access[i - 1].eff_len)
+                            continue;
+                        acc = apply_correction<Ring>(ctx, access[i - 1], o,
+                                                     acc, carry[i - 1]);
+                    }
+                    corrected[j - 1] = acc;
+                }
+                carry = std::move(corrected);
+            }
+        }
+
+        // Global carries of this chunk: its local carries corrected with
+        // the incoming carry, published as early as possible.
+        for (std::size_t j = 1; j <= k && j <= len; ++j) {
+            V acc = w[len - j];
+            const std::size_t o = len - j;
+            for (std::size_t i = 1; i <= k; ++i) {
+                if (o >= access[i - 1].eff_len)
+                    continue;
+                acc = apply_correction<Ring>(ctx, access[i - 1], o, acc,
+                                             carry[i - 1]);
+            }
+            ctx.st(dev.global_carries, chunk * k + (j - 1), acc);
+        }
+        ctx.threadfence();
+        ctx.st_release(dev.global_flags, chunk, 1);
+
+        // -- Section 7: correct the whole chunk and store it.
+        if (chunk > 0) {
+            for (std::size_t o = 0; o < len; ++o) {
+                V acc = w[o];
+                bool touched = false;
+                for (std::size_t i = 1; i <= k; ++i) {
+                    if (o >= access[i - 1].eff_len)
+                        continue;
+                    acc = apply_correction<Ring>(ctx, access[i - 1], o, acc,
+                                                 carry[i - 1]);
+                    touched = true;
+                }
+                if (touched)
+                    w[o] = acc;
+            }
+        }
+        ctx.st_bulk<V>(dev.output, base, std::span<const V>(w));
+    };
+
+    device.launch(num_chunks, body);
+
+    std::vector<V> result = device.download<V>(dev.output);
+
+    if (stats) {
+        stats->chunks = num_chunks;
+        stats->max_lookback = max_lookback.load();
+        stats->total_lookback = total_lookback.load();
+        stats->counters = device.snapshot() - counters_before;
+    }
+
+    // Free the run's buffers; the ledger keeps the records for accounting.
+    device.memory().free(dev.input);
+    device.memory().free(dev.output);
+    device.memory().free(dev.local_carries);
+    device.memory().free(dev.global_carries);
+    device.memory().free(dev.local_flags);
+    device.memory().free(dev.global_flags);
+    device.memory().free(dev.chunk_counter);
+    for (std::size_t j = 1; j <= k; ++j) {
+        if (access[j - 1].device_values.valid() &&
+            !access[j - 1].shifted_alias)
+            device.memory().free(access[j - 1].device_values);
+    }
+
+    return result;
+}
+
+template class PlrKernel<IntRing>;
+template class PlrKernel<FloatRing>;
+template class PlrKernel<TropicalRing>;
+
+}  // namespace plr::kernels

@@ -1,0 +1,84 @@
+#ifndef PLR_KERNELS_PLR_KERNEL_H_
+#define PLR_KERNELS_PLR_KERNEL_H_
+
+/**
+ * @file
+ * The PLR recurrence kernel (paper Sections 2 and 3) running on the
+ * gpusim substrate.
+ *
+ * Per chunk (thread block), following the eight code sections of
+ * Section 3: grab a chunk id with an atomic counter; load the chunk; run
+ * the map operation (eq. 2); run Phase 1 hierarchically (shuffle-width
+ * merges, then shared-memory merges) with the precomputed correction
+ * factors; publish the local carries (last k values) behind a memory
+ * fence and flag; look back up to 32 chunks for the most recent global
+ * carries, correcting the intervening local carries (O(c*k^2)); publish
+ * the global carries; correct all m values; store the result.
+ *
+ * All Section-3.1 optimizations are implemented and individually
+ * toggleable through the plan:
+ * shared-memory factor caching, constant folding, 0/1 conditional adds,
+ * periodic compression, denormal flushing with zero-tail suppression,
+ * and shifted-list sharing.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "core/plan.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one PLR kernel run. */
+struct PlrRunStats {
+    /** Number of chunks processed. */
+    std::size_t chunks = 0;
+    /** Maximum look-back distance observed (the paper's dynamic c). */
+    std::size_t max_lookback = 0;
+    /** Sum of look-back distances over all chunks (chunk 0 contributes 0). */
+    std::size_t total_lookback = 0;
+    /** Device counters for this run only. */
+    gpusim::CounterSnapshot counters;
+};
+
+/** The PLR kernel for one recurrence plan. */
+template <typename Ring>
+class PlrKernel {
+  public:
+    using value_type = typename Ring::value_type;
+
+    /**
+     * Prepare the kernel: precompute the correction factors with the
+     * n-nacci method (Section 2.1) and analyze them for the Section-3.1
+     * optimizations.
+     */
+    explicit PlrKernel(KernelPlan plan);
+
+    /** Compute the recurrence on @p input; validates nothing by itself. */
+    std::vector<value_type> run(gpusim::Device& device,
+                                std::span<const value_type> input,
+                                PlrRunStats* stats = nullptr) const;
+
+    const KernelPlan& plan() const { return plan_; }
+    const CorrectionFactors<Ring>& factors() const { return factors_; }
+    const FactorSetProperties& properties() const { return props_; }
+
+  private:
+    KernelPlan plan_;
+    CorrectionFactors<Ring> factors_;
+    FactorSetProperties props_;
+    std::vector<value_type> map_coeffs_;  // a0..a-p in ring domain
+};
+
+extern template class PlrKernel<IntRing>;
+extern template class PlrKernel<FloatRing>;
+extern template class PlrKernel<TropicalRing>;
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_PLR_KERNEL_H_

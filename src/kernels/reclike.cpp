@@ -1,0 +1,167 @@
+#include "kernels/reclike.h"
+
+namespace plr::kernels {
+
+namespace {
+
+/** Tile-local causal filter assuming zero history before the tile. */
+void
+filter_tile(gpusim::BlockContext& ctx, std::vector<float>& w, float a0,
+            const std::vector<float>& b)
+{
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        float acc = a0 * w[i];
+        ctx.count_flop(1);
+        for (std::size_t j = 1; j <= b.size() && j <= i; ++j) {
+            acc += b[j - 1] * w[i - j];
+            ctx.count_flop(2);
+        }
+        w[i] = acc;
+    }
+}
+
+}  // namespace
+
+bool
+RecLikeKernel::supports(const Signature& sig)
+{
+    return sig.order() >= 1 && sig.a().size() == 1;
+}
+
+RecLikeKernel::RecLikeKernel(Signature sig, std::size_t rows,
+                             std::size_t cols, std::size_t tile)
+    : sig_(std::move(sig)),
+      rows_(rows),
+      cols_(cols),
+      tile_(tile),
+      a0_(static_cast<float>(sig_.a().empty() ? 1.0 : sig_.a()[0])),
+      factors_(CorrectionFactors<FloatRing>::generate(
+          sig_.recursive_part(), std::max(tile, sig_.order()),
+          /*flush_denormals=*/true))
+{
+    PLR_REQUIRE(supports(sig_),
+                "Rec supports recursive filters with a single non-recursive "
+                "coefficient, got " << sig_.to_string());
+    PLR_REQUIRE(rows_ >= 1 && cols_ >= 1, "empty image");
+    PLR_REQUIRE(tile_ >= sig_.order(), "tile below filter order");
+    b_.resize(sig_.order());
+    for (std::size_t j = 0; j < b_.size(); ++j)
+        b_[j] = static_cast<float>(sig_.b()[j]);
+}
+
+std::vector<float>
+RecLikeKernel::run(gpusim::Device& device, std::span<const float> image,
+                   RecRunStats* stats) const
+{
+    const std::size_t n = rows_ * cols_;
+    PLR_REQUIRE(image.size() == n,
+                "image size " << image.size() << " != " << rows_ << "x"
+                              << cols_);
+    const std::size_t k = sig_.order();
+    const std::size_t tiles_per_row = (cols_ + tile_ - 1) / tile_;
+    const auto before = device.snapshot();
+
+    auto in = device.alloc<float>(n, "rec.input");
+    auto out = device.alloc<float>(n, "rec.output");
+    auto local_carries = device.alloc<float>(rows_ * tiles_per_row * k,
+                                             "rec.local_carries");
+    auto global_carries = device.alloc<float>(rows_ * tiles_per_row * k,
+                                              "rec.global_carries");
+    device.upload<float>(in, image);
+
+    const float a0 = a0_;
+    const auto& b = b_;
+    const auto& factors = factors_;
+    const std::size_t cols = cols_;
+    const std::size_t tile = tile_;
+
+    // Pass 1: tile-local filters; publish the per-tile carries (written
+    // coalesced, one row's worth at a time).
+    device.launch(rows_, [&](gpusim::BlockContext& ctx) {
+        const std::size_t row = ctx.block_index();
+        std::vector<float> carries(tiles_per_row * k, 0.0f);
+        for (std::size_t t = 0; t < tiles_per_row; ++t) {
+            const std::size_t base = row * cols + t * tile;
+            const std::size_t len = std::min(tile, cols - t * tile);
+            std::vector<float> w(len);
+            ctx.ld_bulk<float>(in, base, w);
+            filter_tile(ctx, w, a0, b);
+            for (std::size_t j = 1; j <= k && j <= len; ++j)
+                carries[t * k + (j - 1)] = w[len - j];
+        }
+        ctx.st_bulk<float>(local_carries, row * tiles_per_row * k,
+                           std::span<const float>(carries));
+    });
+
+    // Pass 2: serial carry combination along each row (Rec combines the
+    // local carries serially, unlike PLR which parallelizes this stage).
+    device.launch(rows_, [&](gpusim::BlockContext& ctx) {
+        const std::size_t row = ctx.block_index();
+        std::vector<float> local(tiles_per_row * k);
+        ctx.ld_bulk<float>(local_carries, row * tiles_per_row * k, local);
+        std::vector<float> global(tiles_per_row * k, 0.0f);
+        std::vector<float> carry(k, 0.0f);
+        for (std::size_t t = 0; t < tiles_per_row; ++t) {
+            const std::size_t len = std::min(tile, cols - t * tile);
+            std::vector<float> corrected(k);
+            for (std::size_t j = 1; j <= k; ++j) {
+                float acc = local[t * k + (j - 1)];
+                if (t > 0 && j <= len) {
+                    for (std::size_t i = 1; i <= k; ++i) {
+                        acc += factors.factor(i, len - j) * carry[i - 1];
+                        ctx.count_flop(2);
+                    }
+                }
+                corrected[j - 1] = acc;
+            }
+            carry = corrected;
+            for (std::size_t j = 1; j <= k; ++j)
+                global[t * k + (j - 1)] = carry[j - 1];
+        }
+        ctx.st_bulk<float>(global_carries, row * tiles_per_row * k,
+                           std::span<const float>(global));
+    });
+
+    // Pass 3: fix-up. Re-reads the input tiles (the second read the paper
+    // measures in Table 3), recomputes the local filters, applies the
+    // carries of the preceding tile, and writes the final rows.
+    device.launch(rows_, [&](gpusim::BlockContext& ctx) {
+        const std::size_t row = ctx.block_index();
+        std::vector<float> global(tiles_per_row * k);
+        ctx.ld_bulk<float>(global_carries, row * tiles_per_row * k, global);
+        for (std::size_t t = 0; t < tiles_per_row; ++t) {
+            const std::size_t base = row * cols + t * tile;
+            const std::size_t len = std::min(tile, cols - t * tile);
+            std::vector<float> w(len);
+            ctx.ld_bulk<float>(in, base, w);
+            filter_tile(ctx, w, a0, b);
+            if (t > 0) {
+                std::vector<float> carry(k);
+                for (std::size_t j = 1; j <= k; ++j)
+                    carry[j - 1] = global[(t - 1) * k + (j - 1)];
+                for (std::size_t o = 0; o < len; ++o) {
+                    float acc = w[o];
+                    for (std::size_t i = 1; i <= k; ++i) {
+                        acc += factors.factor(i, o) * carry[i - 1];
+                        ctx.count_flop(2);
+                    }
+                    w[o] = acc;
+                }
+            }
+            ctx.st_bulk<float>(out, base, std::span<const float>(w));
+        }
+    });
+
+    auto result = device.download<float>(out);
+    if (stats) {
+        stats->tiles = rows_ * tiles_per_row;
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(in);
+    device.memory().free(out);
+    device.memory().free(local_carries);
+    device.memory().free(global_carries);
+    return result;
+}
+
+}  // namespace plr::kernels

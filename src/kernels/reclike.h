@@ -1,0 +1,69 @@
+#ifndef PLR_KERNELS_RECLIKE_H_
+#define PLR_KERNELS_RECLIKE_H_
+
+/**
+ * @file
+ * The Rec-like baseline, modeling Chaurasia et al.'s Halide-generated
+ * recursive filters ("Rec" in the paper), restricted — as in the paper's
+ * setup — to one horizontal direction on a square 2D image.
+ *
+ * Rec tiles each row, computes tile-local filters in parallel, combines
+ * the tile carries *serially* (the paper contrasts this with PLR
+ * parallelizing every stage), and runs a fix-up pass that re-reads the
+ * input tiles to apply the carries:
+ *  - many small filter operations -> strong small-input performance,
+ *  - the fix-up pass re-reads the data: beyond the 2 MB L2 this doubles
+ *    the DRAM reads, which is why PLR overtakes Rec at one million
+ *    entries (Section 6.5),
+ *  - tile-carry buffers grow with the order (Table 2).
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/correction_factors.h"
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one Rec-like run. */
+struct RecRunStats {
+    std::size_t tiles = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/** Rec-like tiled row filter on a 2D image. */
+class RecLikeKernel {
+  public:
+    /**
+     * @param sig recursive filter; Rec supports at most one non-recursive
+     *        coefficient (Section 6.2.2), enforced here
+     * @param tile tile width in elements
+     */
+    RecLikeKernel(Signature sig, std::size_t rows, std::size_t cols,
+                  std::size_t tile = 32);
+
+    /** True when Rec can express the filter (a single a0 coefficient). */
+    static bool supports(const Signature& sig);
+
+    /** Filter all rows causally; validated per row against the serial code. */
+    std::vector<float> run(gpusim::Device& device,
+                           std::span<const float> image,
+                           RecRunStats* stats = nullptr) const;
+
+  private:
+    Signature sig_;
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t tile_;
+    float a0_;
+    std::vector<float> b_;
+    CorrectionFactors<FloatRing> factors_;
+};
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_RECLIKE_H_

@@ -1,0 +1,243 @@
+#include "kernels/related_work.h"
+
+namespace plr::kernels {
+
+namespace {
+
+/** Pairs processed per block in the tree sweeps. */
+constexpr std::size_t kPairsPerBlock = 256;
+
+}  // namespace
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+kogge_stone_recurrence(gpusim::Device& device, const Signature& sig,
+                       std::span<const typename Ring::value_type> input,
+                       RelatedWorkStats* stats)
+{
+    using V = typename Ring::value_type;
+    PLR_REQUIRE(sig.order() == 1,
+                "recursive doubling handles first-order recurrences; "
+                "Kogge & Stone's higher-order extension is not modeled");
+    const std::size_t n = input.size();
+    PLR_REQUIRE(n >= 1, "empty input");
+
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    const V b = Ring::from_coefficient(sig.b()[0]);
+
+    // Double-buffered value and coefficient arrays.
+    gpusim::Buffer<V> y[2] = {device.alloc<V>(n, "ks.y0"),
+                              device.alloc<V>(n, "ks.y1")};
+    gpusim::Buffer<V> c[2] = {device.alloc<V>(n, "ks.c0"),
+                              device.alloc<V>(n, "ks.c1")};
+    auto in = device.alloc<V>(n, "ks.input");
+    device.upload<V>(in, input);
+    const auto before = device.snapshot();
+
+    const std::size_t chunk = 4096;
+    const std::size_t blocks = (n + chunk - 1) / chunk;
+
+    // Initialize: y = map(t), c[i] = b (c[0] = 0: element 0 is final).
+    device.launch(blocks, [&](gpusim::BlockContext& ctx) {
+        const std::size_t base = ctx.block_index() * chunk;
+        const std::size_t len = std::min(chunk, n - base);
+        std::vector<V> x(len), t(len), coeff(len);
+        ctx.ld_bulk<V>(in, base, x);
+        for (std::size_t i = 0; i < len; ++i) {
+            V acc = Ring::zero();
+            for (std::size_t j = 0; j < a.size(); ++j) {
+                const std::size_t gi = base + i;
+                if (j > gi)
+                    break;
+                const V xv = (j > i) ? ctx.ld(in, gi - j) : x[i - j];
+                acc = Ring::mul_add(acc, a[j], xv);
+                ctx.count_flop(2);
+            }
+            t[i] = acc;
+            coeff[i] = (base + i == 0) ? Ring::zero() : b;
+        }
+        ctx.st_bulk<V>(y[0], base, std::span<const V>(t));
+        ctx.st_bulk<V>(c[0], base, std::span<const V>(coeff));
+    });
+
+    // Recursive doubling sweeps: O(log n) full passes over the data.
+    std::size_t sweeps = 0;
+    int src = 0;
+    for (std::size_t d = 1; d < n; d *= 2, src ^= 1, ++sweeps) {
+        const int dst = src ^ 1;
+        device.launch(blocks, [&](gpusim::BlockContext& ctx) {
+            const std::size_t base = ctx.block_index() * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            std::vector<V> yv(len), cv(len);
+            ctx.ld_bulk<V>(y[src], base, yv);
+            ctx.ld_bulk<V>(c[src], base, cv);
+            std::vector<V> yo(len), co(len);
+            for (std::size_t i = 0; i < len; ++i) {
+                const std::size_t gi = base + i;
+                if (gi < d) {
+                    yo[i] = yv[i];
+                    co[i] = cv[i];
+                    continue;
+                }
+                // Neighbor 2^s back may live in another chunk.
+                const V yn = (gi - d >= base) ? yv[gi - d - base]
+                                              : ctx.ld(y[src], gi - d);
+                const V cn = (gi - d >= base) ? cv[gi - d - base]
+                                              : ctx.ld(c[src], gi - d);
+                yo[i] = Ring::mul_add(yv[i], cv[i], yn);
+                co[i] = Ring::mul(cv[i], cn);
+                ctx.count_flop(3);
+            }
+            ctx.st_bulk<V>(y[dst], base, std::span<const V>(yo));
+            ctx.st_bulk<V>(c[dst], base, std::span<const V>(co));
+        });
+    }
+
+    auto result = device.download<V>(y[src]);
+    if (stats) {
+        stats->sweeps = sweeps;
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(y[0]);
+    device.memory().free(y[1]);
+    device.memory().free(c[0]);
+    device.memory().free(c[1]);
+    device.memory().free(in);
+    return result;
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+blelloch_tree_prefix_sum(gpusim::Device& device,
+                         std::span<const typename Ring::value_type> input,
+                         RelatedWorkStats* stats)
+{
+    using V = typename Ring::value_type;
+    const std::size_t n = input.size();
+    PLR_REQUIRE(n >= 1, "empty input");
+    std::size_t padded = 1;
+    while (padded < n)
+        padded *= 2;
+
+    auto data = device.alloc<V>(padded, "blelloch.data");
+    auto in = device.alloc<V>(n, "blelloch.input");
+    device.upload<V>(in, input);
+    {
+        std::vector<V> host(padded, Ring::zero());
+        std::copy(input.begin(), input.end(), host.begin());
+        device.upload<V>(data, host);
+    }
+    const auto before = device.snapshot();
+
+    std::size_t sweeps = 0;
+    // Upsweep: build the reduction tree in place. Accesses at small
+    // strides coalesce within a warp; beyond a sector they are isolated
+    // transactions (hence the tree scans' memory inefficiency).
+    for (std::size_t d = 1; d < padded; d *= 2, ++sweeps) {
+        const std::size_t pairs = padded / (2 * d);
+        const bool coalesced = 2 * d * sizeof(V) <= 32;
+        const std::size_t blocks =
+            (pairs + kPairsPerBlock - 1) / kPairsPerBlock;
+        device.launch(blocks, [&](gpusim::BlockContext& ctx) {
+            const std::size_t first = ctx.block_index() * kPairsPerBlock;
+            const std::size_t last = std::min(pairs, first + kPairsPerBlock);
+            for (std::size_t p = first; p < last; ++p) {
+                const std::size_t i = p * 2 * d;
+                V left, right;
+                if (coalesced) {
+                    left = ctx.ld_coalesced(data, i + d - 1);
+                    right = ctx.ld_coalesced(data, i + 2 * d - 1);
+                    ctx.st_coalesced(data, i + 2 * d - 1,
+                                     Ring::add(left, right));
+                } else {
+                    left = ctx.ld(data, i + d - 1);
+                    right = ctx.ld(data, i + 2 * d - 1);
+                    ctx.st(data, i + 2 * d - 1, Ring::add(left, right));
+                }
+                ctx.count_flop(1);
+            }
+        });
+    }
+
+    // Downsweep: clear the root, push partial sums down.
+    device.launch(1, [&](gpusim::BlockContext& ctx) {
+        ctx.st(data, padded - 1, Ring::zero());
+    });
+    for (std::size_t d = padded / 2; d >= 1; d /= 2, ++sweeps) {
+        const std::size_t pairs = padded / (2 * d);
+        const bool coalesced = 2 * d * sizeof(V) <= 32;
+        const std::size_t blocks =
+            (pairs + kPairsPerBlock - 1) / kPairsPerBlock;
+        device.launch(blocks, [&](gpusim::BlockContext& ctx) {
+            const std::size_t first = ctx.block_index() * kPairsPerBlock;
+            const std::size_t last = std::min(pairs, first + kPairsPerBlock);
+            for (std::size_t p = first; p < last; ++p) {
+                const std::size_t i = p * 2 * d;
+                V left, right;
+                if (coalesced) {
+                    left = ctx.ld_coalesced(data, i + d - 1);
+                    right = ctx.ld_coalesced(data, i + 2 * d - 1);
+                    ctx.st_coalesced(data, i + d - 1, right);
+                    ctx.st_coalesced(data, i + 2 * d - 1,
+                                     Ring::add(left, right));
+                } else {
+                    left = ctx.ld(data, i + d - 1);
+                    right = ctx.ld(data, i + 2 * d - 1);
+                    ctx.st(data, i + d - 1, right);
+                    ctx.st(data, i + 2 * d - 1, Ring::add(left, right));
+                }
+                ctx.count_flop(1);
+            }
+        });
+        if (d == 1)
+            break;
+    }
+
+    // Exclusive -> inclusive: add the input back elementwise.
+    const std::size_t chunk = 4096;
+    device.launch((n + chunk - 1) / chunk, [&](gpusim::BlockContext& ctx) {
+        const std::size_t base = ctx.block_index() * chunk;
+        const std::size_t len = std::min(chunk, n - base);
+        std::vector<V> ex(len), x(len);
+        ctx.ld_bulk<V>(data, base, ex);
+        ctx.ld_bulk<V>(in, base, x);
+        std::vector<V> out(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            out[i] = Ring::add(ex[i], x[i]);
+            ctx.count_flop(1);
+        }
+        ctx.st_bulk<V>(data, base, std::span<const V>(out));
+    });
+    ++sweeps;
+
+    auto padded_result = device.download<V>(data);
+    padded_result.resize(n);
+    if (stats) {
+        stats->sweeps = sweeps;
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(data);
+    device.memory().free(in);
+    return padded_result;
+}
+
+template std::vector<std::int32_t>
+kogge_stone_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                                std::span<const std::int32_t>,
+                                RelatedWorkStats*);
+template std::vector<float>
+kogge_stone_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                                  std::span<const float>,
+                                  RelatedWorkStats*);
+template std::vector<std::int32_t>
+blelloch_tree_prefix_sum<IntRing>(gpusim::Device&,
+                                  std::span<const std::int32_t>,
+                                  RelatedWorkStats*);
+template std::vector<float>
+blelloch_tree_prefix_sum<FloatRing>(gpusim::Device&,
+                                    std::span<const float>,
+                                    RelatedWorkStats*);
+
+}  // namespace plr::kernels

@@ -1,0 +1,79 @@
+#ifndef PLR_KERNELS_RELATED_WORK_H_
+#define PLR_KERNELS_RELATED_WORK_H_
+
+/**
+ * @file
+ * Historical parallel-recurrence algorithms from the paper's related
+ * work (Section 4), implemented as reference baselines:
+ *
+ *  - **Recursive doubling** (Stone 1973; Kogge & Stone 1973): solves a
+ *    first-order recurrence in ceil(log2 n) data-parallel sweeps, each
+ *    updating every element from its neighbor 2^s positions back. Simple
+ *    and step-efficient, but it performs O(n log n) work and moves
+ *    O(n log n) words — the inefficiency later algorithms (including
+ *    PLR) were designed to avoid.
+ *
+ *  - **Blelloch tree scan** (Blelloch 1989): the classic work-efficient
+ *    two-sweep (upsweep/downsweep) prefix sum, O(n) work but two tree
+ *    traversals over the data and an exclusive-to-inclusive fix-up.
+ *
+ * Both run on the gpusim substrate so their data movement can be
+ * compared against PLR's single pass (bench/related_work.cpp).
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Statistics of a related-work run. */
+struct RelatedWorkStats {
+    std::size_t sweeps = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/**
+ * Kogge-Stone recursive doubling for a first-order recurrence
+ * (a0..a-p : b). Performs ceil(log2 n) full passes over the data.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+kogge_stone_recurrence(gpusim::Device& device, const Signature& sig,
+                       std::span<const typename Ring::value_type> input,
+                       RelatedWorkStats* stats = nullptr);
+
+/**
+ * Blelloch two-sweep prefix sum (signature (1: 1) semantics), returned
+ * inclusive. Works for any ring's add operation.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+blelloch_tree_prefix_sum(gpusim::Device& device,
+                         std::span<const typename Ring::value_type> input,
+                         RelatedWorkStats* stats = nullptr);
+
+extern template std::vector<std::int32_t>
+kogge_stone_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                                std::span<const std::int32_t>,
+                                RelatedWorkStats*);
+extern template std::vector<float>
+kogge_stone_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                                  std::span<const float>,
+                                  RelatedWorkStats*);
+extern template std::vector<std::int32_t>
+blelloch_tree_prefix_sum<IntRing>(gpusim::Device&,
+                                  std::span<const std::int32_t>,
+                                  RelatedWorkStats*);
+extern template std::vector<float>
+blelloch_tree_prefix_sum<FloatRing>(gpusim::Device&,
+                                    std::span<const float>,
+                                    RelatedWorkStats*);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_RELATED_WORK_H_

@@ -1,0 +1,69 @@
+#include "kernels/runner.h"
+
+#include <algorithm>
+
+#include "gpusim/device.h"
+#include "kernels/cpu_parallel.h"
+#include "kernels/plr_kernel.h"
+
+namespace plr::kernels {
+
+namespace {
+
+/**
+ * A production plan scaled to the input: the Section-3 heuristics, with
+ * the chunk shrunk for inputs too small to fill even one 1024-thread
+ * block sensibly (the simulator equivalent of launching fewer threads).
+ */
+KernelPlan
+auto_plan(const Signature& sig, std::size_t n)
+{
+    if (n >= 4096)
+        return make_plan(sig, n);
+    std::size_t m = 64;
+    while (m < sig.order())
+        m *= 2;
+    return make_plan_with_chunk(sig, n, m, std::min<std::size_t>(m, 64));
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+dispatch(const Signature& sig, std::span<const typename Ring::value_type> input,
+         Backend backend)
+{
+    PLR_REQUIRE(!input.empty(), "input must not be empty");
+    switch (backend) {
+      case Backend::kSimulatedGpu: {
+        gpusim::Device device;
+        PlrKernel<Ring> kernel(auto_plan(sig, input.size()));
+        return kernel.run(device, input);
+      }
+      case Backend::kCpu:
+        return cpu_parallel_recurrence<Ring>(sig, input);
+    }
+    PLR_PANIC("unreachable");
+}
+
+}  // namespace
+
+std::vector<std::int32_t>
+run_recurrence(const Signature& sig, std::span<const std::int32_t> input,
+               Backend backend)
+{
+    PLR_REQUIRE(sig.is_integral(),
+                "integer data needs an integral signature; " << sig.to_string()
+                << " has fractional (or max-plus) coefficients — use float "
+                   "data instead");
+    return dispatch<IntRing>(sig, input, backend);
+}
+
+std::vector<float>
+run_recurrence(const Signature& sig, std::span<const float> input,
+               Backend backend)
+{
+    if (sig.is_max_plus())
+        return dispatch<TropicalRing>(sig, input, backend);
+    return dispatch<FloatRing>(sig, input, backend);
+}
+
+}  // namespace plr::kernels

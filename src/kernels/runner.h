@@ -1,0 +1,53 @@
+#ifndef PLR_KERNELS_RUNNER_H_
+#define PLR_KERNELS_RUNNER_H_
+
+/**
+ * @file
+ * The one-call convenience API: hand it a signature and data, get the
+ * recurrence back.
+ *
+ * Ring dispatch is automatic: int32 data runs in the exact wrap-around
+ * ring (requires an integral signature), float data runs in the float
+ * ring — or in the max-plus semiring when the signature was built with
+ * Signature::max_plus. The backend is either the simulated GPU (the PLR
+ * kernel with the production Section-3 plan, scaled down for small
+ * inputs) or the native multithreaded CPU implementation.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+
+namespace plr::kernels {
+
+/** Execution backend for run_recurrence. */
+enum class Backend {
+    /** PLR kernel on the bundled GPU execution simulator. */
+    kSimulatedGpu,
+    /** Native std::thread two-phase implementation. */
+    kCpu,
+};
+
+/**
+ * Compute @p sig over int32 data. The signature must be integral (the
+ * exact ring has no fractional coefficients); results match the serial
+ * code bit-for-bit.
+ */
+std::vector<std::int32_t> run_recurrence(const Signature& sig,
+                                         std::span<const std::int32_t> input,
+                                         Backend backend = Backend::kSimulatedGpu);
+
+/**
+ * Compute @p sig over float data — in the max-plus semiring when the
+ * signature was built with Signature::max_plus, in the ordinary float
+ * ring otherwise.
+ */
+std::vector<float> run_recurrence(const Signature& sig,
+                                  std::span<const float> input,
+                                  Backend backend = Backend::kSimulatedGpu);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_RUNNER_H_

@@ -1,0 +1,187 @@
+#include "kernels/samlike.h"
+
+#include "kernels/lookback_chain.h"
+
+namespace plr::kernels {
+
+namespace {
+
+/**
+ * Modeled SAM auto-tuner: pick the per-thread element count x (threads
+ * fixed at 256 per block) so that one wave of the device roughly covers
+ * the input, clamped to the range SAM's tuner explores.
+ */
+std::size_t
+auto_tune_x(std::size_t n)
+{
+    constexpr std::size_t threads = 256;
+    constexpr std::size_t resident_blocks = 192;  // 49152 threads / 256
+    const std::size_t wave = threads * resident_blocks;
+    std::size_t x = n / wave + 1;
+    return std::min<std::size_t>(x, 16);
+}
+
+}  // namespace
+
+template <typename Ring>
+bool
+SamLikeKernel<Ring>::supports(const Signature& sig)
+{
+    switch (sig.classify()) {
+      case SignatureClass::kPrefixSum:
+      case SignatureClass::kTuplePrefixSum:
+      case SignatureClass::kHigherOrderPrefixSum:
+        return true;
+      default:
+        return false;
+    }
+}
+
+template <typename Ring>
+SamLikeKernel<Ring>::SamLikeKernel(Signature sig, std::size_t n,
+                                   std::size_t chunk)
+    : sig_(std::move(sig)),
+      n_(n),
+      chunk_(chunk),
+      x_(0),
+      k_(sig_.order()),
+      tuple_(sig_.tuple_size()),
+      factors_(CorrectionFactors<Ring>::generate(
+          sig_.recursive_part(),
+          std::max<std::size_t>(chunk ? chunk : auto_tune_x(n) * 256,
+                                sig_.order())))
+{
+    PLR_REQUIRE(supports(sig_),
+                "SAM-like kernel only supports the prefix-sum family, got "
+                    << sig_.to_string());
+    PLR_REQUIRE(n_ >= 1, "input must not be empty");
+    if (chunk_ == 0) {
+        x_ = auto_tune_x(n_);
+        chunk_ = x_ * 256;
+    } else {
+        x_ = (chunk_ + 255) / 256;
+    }
+    PLR_REQUIRE(chunk_ >= k_, "chunk below recurrence order");
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+SamLikeKernel<Ring>::run(gpusim::Device& device,
+                         std::span<const value_type> input,
+                         SamRunStats* stats) const
+{
+    using V = value_type;
+    PLR_REQUIRE(input.size() == n_,
+                "input length " << input.size() << " != configured " << n_);
+
+    const std::size_t num_chunks = (n_ + chunk_ - 1) / chunk_;
+    const bool is_tuple = tuple_ > 0;
+    const std::size_t iterations = is_tuple ? 1 : k_;
+    const std::size_t stride = is_tuple ? tuple_ : 1;
+    const auto before = device.snapshot();
+
+    auto in = device.alloc<V>(n_, "sam.input");
+    auto out = device.alloc<V>(n_, "sam.output");
+    device.upload<V>(in, input);
+
+    // Carry state: the last k values of the (locally computed) chunk,
+    // advanced across chunks with the closed-form correction weights,
+    // exactly like PLR's carries but computed arithmetically instead of
+    // loaded from factor arrays.
+    LookbackChain<V> chain(device, num_chunks, k_, 32, "sam.chain");
+    const auto& factors = factors_;
+    const std::size_t m = chunk_;
+    const std::size_t k = k_;
+    auto fold = [&factors, m, k](std::vector<V> carry,
+                                 const std::vector<V>& local) {
+        std::vector<V> corrected(k);
+        for (std::size_t j = 1; j <= k; ++j) {
+            V acc = local[j - 1];
+            for (std::size_t i = 1; i <= k; ++i)
+                acc = Ring::mul_add(acc, factors.factor(i, m - j),
+                                    carry[i - 1]);
+            corrected[j - 1] = acc;
+        }
+        return corrected;
+    };
+
+    device.launch(num_chunks, [&](gpusim::BlockContext& ctx) {
+        const std::size_t chunk_id = ctx.block_index();
+        const std::size_t base = chunk_id * chunk_;
+        const std::size_t len = std::min(chunk_, n_ - base);
+
+        std::vector<V> w(len);
+        ctx.ld_bulk<V>(in, base, w);
+
+        // Repeat the computation, not the I/O: k iterated in-register
+        // prefix sums (or one interleaved pass for tuples).
+        for (std::size_t r = 0; r < iterations; ++r) {
+            for (std::size_t i = stride; i < len; ++i) {
+                w[i] = Ring::add(w[i], w[i - stride]);
+                ctx.count_flop(1);
+            }
+        }
+
+        // Publish the local carries (last k values, zero-padded when the
+        // final partial chunk is shorter than k — nothing follows it).
+        std::vector<V> local(k, Ring::zero());
+        for (std::size_t j = 1; j <= k && j <= len; ++j)
+            local[j - 1] = w[len - j];
+        chain.publish_local(ctx, chunk_id, local);
+
+        std::vector<V> carry(k, Ring::zero());
+        if (chunk_id > 0) {
+            carry = chain.wait_and_resolve(ctx, chunk_id, fold);
+            // Correct this chunk's carries and publish the global state.
+            std::vector<V> global(k, Ring::zero());
+            for (std::size_t j = 1; j <= k && j <= len; ++j) {
+                V acc = w[len - j];
+                for (std::size_t i = 1; i <= k; ++i) {
+                    acc = Ring::mul_add(acc, factors.factor(i, len - j),
+                                        carry[i - 1]);
+                    ctx.count_flop(2);
+                }
+                global[j - 1] = acc;
+            }
+            chain.publish_global(ctx, chunk_id, global);
+
+            // Correct every element with the closed-form weights.
+            for (std::size_t o = 0; o < len; ++o) {
+                V acc = w[o];
+                for (std::size_t i = 1; i <= k; ++i) {
+                    const V f = factors.factor(i, o);
+                    if (Ring::is_zero(f))
+                        continue;
+                    if (Ring::is_one(f)) {
+                        acc = Ring::add(acc, carry[i - 1]);
+                        ctx.count_flop(1);
+                    } else {
+                        acc = Ring::mul_add(acc, f, carry[i - 1]);
+                        ctx.count_flop(2);
+                    }
+                }
+                w[o] = acc;
+            }
+        } else {
+            chain.publish_global(ctx, chunk_id, local);
+        }
+
+        ctx.st_bulk<V>(out, base, std::span<const V>(w));
+    });
+
+    auto result = device.download<V>(out);
+    if (stats) {
+        stats->chunks = num_chunks;
+        stats->x = x_;
+        stats->counters = device.snapshot() - before;
+    }
+    chain.free(device);
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template class SamLikeKernel<IntRing>;
+template class SamLikeKernel<FloatRing>;
+
+}  // namespace plr::kernels

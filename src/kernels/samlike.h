@@ -1,0 +1,80 @@
+#ifndef PLR_KERNELS_SAMLIKE_H_
+#define PLR_KERNELS_SAMLIKE_H_
+
+/**
+ * @file
+ * The SAM-like baseline (Maleki, Yang & Burtscher, PLDI'16): the fastest
+ * prior code for higher-order and tuple-based prefix sums. Like CUB it is
+ * a work-efficient single-pass scan with 2n data movement, but:
+ *
+ *  - for order-k prefix sums it repeats the *computation* (k iterated
+ *    in-register sums per chunk) without repeating the I/O, which is why
+ *    it beats CUB on higher orders (Section 6.1.3);
+ *  - for s-tuples it computes s independent interleaved scalar prefix
+ *    sums (Section 6.1.2);
+ *  - an install-time auto-tuner picks the per-thread element count x for
+ *    each input size, which gives it the edge on small inputs; we model
+ *    the tuner with the published heuristic of minimizing wave count.
+ *
+ * Carry propagation across chunks uses decoupled look-back; the chunk
+ * correction applies the closed-form binomial weights, which are exactly
+ * the correction factors of the corresponding signature, computed on the
+ * fly rather than stored in arrays.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/correction_factors.h"
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one SAM-like run. */
+struct SamRunStats {
+    std::size_t chunks = 0;
+    /** Auto-tuned per-thread element count. */
+    std::size_t x = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/** SAM-like single-pass kernel for the prefix-sum family. */
+template <typename Ring>
+class SamLikeKernel {
+  public:
+    using value_type = typename Ring::value_type;
+
+    /** True for standard, tuple-based, and higher-order prefix sums. */
+    static bool supports(const Signature& sig);
+
+    /**
+     * @param chunk elements per block; 0 = auto-tune from the input size
+     *        (the modeled install-time tuner)
+     */
+    SamLikeKernel(Signature sig, std::size_t n, std::size_t chunk = 0);
+
+    std::vector<value_type> run(gpusim::Device& device,
+                                std::span<const value_type> input,
+                                SamRunStats* stats = nullptr) const;
+
+    std::size_t chunk_size() const { return chunk_; }
+
+  private:
+    Signature sig_;
+    std::size_t n_;
+    std::size_t chunk_;
+    std::size_t x_;
+    std::size_t k_;
+    std::size_t tuple_;
+    CorrectionFactors<Ring> factors_;
+};
+
+extern template class SamLikeKernel<IntRing>;
+extern template class SamLikeKernel<FloatRing>;
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_SAMLIKE_H_

@@ -1,0 +1,78 @@
+#ifndef PLR_KERNELS_SCAN_BASELINE_H_
+#define PLR_KERNELS_SCAN_BASELINE_H_
+
+/**
+ * @file
+ * The "Scan" baseline: Blelloch's general reduction of linear recurrences
+ * to a prefix scan (Sections 4 and 5).
+ *
+ * Every element is encoded as a pair (A, v) of a k-by-k matrix and a
+ * k-element vector; the associative operator is
+ *   (A2, v2) o (A1, v1) = (A2*A1, A2*v1 + v2),
+ * and the inclusive scan of the pairs (C, t_i*e1) — C the companion
+ * matrix of the recurrence — carries the state vector
+ * s_i = (y_i, ..., y_{i-k+1}) in its vector component.
+ *
+ * As in the paper's setup, the pair arrays are the scan's input and
+ * output (O(n*k^2) memory, Table 2), the pair expansion is input
+ * preparation (not timed/counted, like the host-to-device copy), and the
+ * map operation reuses PLR's map code when the signature has FIR taps.
+ * The scan itself runs as a single-pass chunked scan with decoupled
+ * look-back, using CUB for the actual scan as the paper did.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Execution statistics of one Scan run. */
+struct ScanRunStats {
+    std::size_t chunks = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/** Blelloch scan baseline for one recurrence. */
+template <typename Ring>
+class ScanBaseline {
+  public:
+    using value_type = typename Ring::value_type;
+
+    /**
+     * @param sig the recurrence (any order >= 1; FIR taps handled by a
+     *        map pass)
+     * @param n input length
+     * @param chunk elements per thread block in the scan pass
+     */
+    ScanBaseline(Signature sig, std::size_t n, std::size_t chunk = 1024);
+
+    /** Compute the recurrence; validated against the serial reference. */
+    std::vector<value_type> run(gpusim::Device& device,
+                                std::span<const value_type> input,
+                                ScanRunStats* stats = nullptr) const;
+
+    /** Words of device memory per element pair (k^2 + k). */
+    std::size_t pair_words() const { return k_ * k_ + k_; }
+
+    const Signature& signature() const { return sig_; }
+
+  private:
+    Signature sig_;
+    std::size_t n_;
+    std::size_t chunk_;
+    std::size_t k_;
+    std::vector<value_type> companion_;  // k x k, row-major
+    std::vector<value_type> map_coeffs_;
+};
+
+extern template class ScanBaseline<IntRing>;
+extern template class ScanBaseline<FloatRing>;
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_SCAN_BASELINE_H_

@@ -1,0 +1,106 @@
+#include "kernels/segmented.h"
+
+namespace plr::kernels {
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+segmented_recurrence(gpusim::Device& device,
+                     const std::vector<Signature>& signatures,
+                     const std::vector<Segment>& segments,
+                     std::span<const typename Ring::value_type> input,
+                     SegmentedRunStats* stats)
+{
+    using V = typename Ring::value_type;
+    PLR_REQUIRE(!signatures.empty(), "need at least one signature");
+    PLR_REQUIRE(!segments.empty(), "need at least one segment");
+
+    std::size_t total = 0;
+    for (const Segment& segment : segments) {
+        PLR_REQUIRE(segment.length >= 1, "empty segment");
+        PLR_REQUIRE(segment.signature_index < signatures.size(),
+                    "segment references signature "
+                        << segment.signature_index << " of "
+                        << signatures.size());
+        total += segment.length;
+    }
+    PLR_REQUIRE(total == input.size(),
+                "segment lengths sum to " << total << " but the input has "
+                                          << input.size() << " elements");
+
+    // Precompute ring-domain coefficients per signature.
+    struct Coeffs {
+        std::vector<V> a;
+        std::vector<V> b;
+    };
+    std::vector<Coeffs> coeffs(signatures.size());
+    for (std::size_t s = 0; s < signatures.size(); ++s) {
+        PLR_REQUIRE(signatures[s].order() >= 1,
+                    "segment signature must have order >= 1");
+        coeffs[s].a.resize(signatures[s].a().size());
+        for (std::size_t j = 0; j < coeffs[s].a.size(); ++j)
+            coeffs[s].a[j] = Ring::from_coefficient(signatures[s].a()[j]);
+        coeffs[s].b.resize(signatures[s].order());
+        for (std::size_t j = 0; j < coeffs[s].b.size(); ++j)
+            coeffs[s].b[j] = Ring::from_coefficient(signatures[s].b()[j]);
+    }
+
+    // Segment base offsets.
+    std::vector<std::size_t> bases(segments.size());
+    std::size_t offset = 0;
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        bases[s] = offset;
+        offset += segments[s].length;
+    }
+
+    const std::size_t n = input.size();
+    auto in = device.alloc<V>(n, "segmented.input");
+    auto out = device.alloc<V>(n, "segmented.output");
+    device.upload<V>(in, input);
+    const auto before = device.snapshot();
+
+    device.launch(segments.size(), [&](gpusim::BlockContext& ctx) {
+        const std::size_t s = ctx.block_index();
+        const std::size_t base = bases[s];
+        const std::size_t len = segments[s].length;
+        const Coeffs& co = coeffs[segments[s].signature_index];
+
+        std::vector<V> x(len);
+        ctx.ld_bulk<V>(in, base, x);
+        std::vector<V> y(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            V acc = Ring::zero();
+            for (std::size_t j = 0; j < co.a.size() && j <= i; ++j) {
+                acc = Ring::mul_add(acc, co.a[j], x[i - j]);
+                ctx.count_flop(2);
+            }
+            for (std::size_t j = 1; j <= co.b.size() && j <= i; ++j) {
+                acc = Ring::mul_add(acc, co.b[j - 1], y[i - j]);
+                ctx.count_flop(2);
+            }
+            y[i] = acc;
+        }
+        ctx.st_bulk<V>(out, base, std::span<const V>(y));
+    });
+
+    auto result = device.download<V>(out);
+    if (stats) {
+        stats->segments = segments.size();
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template std::vector<std::int32_t>
+segmented_recurrence<IntRing>(gpusim::Device&, const std::vector<Signature>&,
+                              const std::vector<Segment>&,
+                              std::span<const std::int32_t>,
+                              SegmentedRunStats*);
+template std::vector<float>
+segmented_recurrence<FloatRing>(gpusim::Device&,
+                                const std::vector<Signature>&,
+                                const std::vector<Segment>&,
+                                std::span<const float>, SegmentedRunStats*);
+
+}  // namespace plr::kernels

@@ -1,0 +1,69 @@
+#ifndef PLR_KERNELS_SEGMENTED_H_
+#define PLR_KERNELS_SEGMENTED_H_
+
+/**
+ * @file
+ * Segmented multi-signature recurrences — the paper's "inputs that
+ * consist of multiple signatures" future-work item (Section 7).
+ *
+ * The input is a concatenation of segments, each carrying its own
+ * signature; the recurrence state resets at every segment boundary (as
+ * in segmented scans). This models, e.g., an audio stream whose filter
+ * parameters change between blocks, or batched independent sequences of
+ * varying length. Segments are mutually independent, so they run in
+ * parallel (one thread block per segment on the simulated device), with
+ * each segment evaluated by the ordinary recurrence machinery.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** One segment of a segmented recurrence. */
+struct Segment {
+    /** Elements in this segment. */
+    std::size_t length = 0;
+    /** Index into the signature table passed alongside. */
+    std::size_t signature_index = 0;
+};
+
+/** Statistics of one segmented run. */
+struct SegmentedRunStats {
+    std::size_t segments = 0;
+    gpusim::CounterSnapshot counters;
+};
+
+/**
+ * Evaluate a segmented recurrence: segment s covers the next
+ * segments[s].length input elements and computes
+ * signatures[segments[s].signature_index] with fresh (zero) history.
+ * The segment lengths must sum to input.size().
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+segmented_recurrence(gpusim::Device& device,
+                     const std::vector<Signature>& signatures,
+                     const std::vector<Segment>& segments,
+                     std::span<const typename Ring::value_type> input,
+                     SegmentedRunStats* stats = nullptr);
+
+extern template std::vector<std::int32_t>
+segmented_recurrence<IntRing>(gpusim::Device&, const std::vector<Signature>&,
+                              const std::vector<Segment>&,
+                              std::span<const std::int32_t>,
+                              SegmentedRunStats*);
+extern template std::vector<float>
+segmented_recurrence<FloatRing>(gpusim::Device&,
+                                const std::vector<Signature>&,
+                                const std::vector<Segment>&,
+                                std::span<const float>, SegmentedRunStats*);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_SEGMENTED_H_

@@ -1,0 +1,39 @@
+#include "kernels/serial.h"
+
+namespace plr::kernels {
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+serial_recurrence(const Signature& sig,
+                  std::span<const typename Ring::value_type> input)
+{
+    using V = typename Ring::value_type;
+
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    std::vector<V> b(sig.order());
+    for (std::size_t j = 0; j < b.size(); ++j)
+        b[j] = Ring::from_coefficient(sig.b()[j]);
+
+    const std::size_t n = input.size();
+    std::vector<V> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        V acc = Ring::zero();
+        for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+            acc = Ring::mul_add(acc, a[j], input[i - j]);
+        for (std::size_t j = 1; j <= b.size() && j <= i; ++j)
+            acc = Ring::mul_add(acc, b[j - 1], y[i - j]);
+        y[i] = acc;
+    }
+    return y;
+}
+
+template std::vector<std::int32_t>
+serial_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>);
+template std::vector<float>
+serial_recurrence<FloatRing>(const Signature&, std::span<const float>);
+template std::vector<float>
+serial_recurrence<TropicalRing>(const Signature&, std::span<const float>);
+
+}  // namespace plr::kernels

@@ -1,0 +1,41 @@
+#ifndef PLR_KERNELS_SERIAL_H_
+#define PLR_KERNELS_SERIAL_H_
+
+/**
+ * @file
+ * The serial reference implementation of equation (1) from Section 2:
+ *
+ *   for (i = 0; i < n; i++) {
+ *       y[i] = a0*x[i] + ... + a-p*x[i-p];
+ *       for (j = 1; j <= min(i, k); j++)
+ *           y[i] += b[j] * y[i - j];
+ *   }
+ *
+ * Every parallel code in this repository is validated against this
+ * function, exactly as the paper validates against the serial CPU result.
+ */
+
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** Evaluate the full recurrence (map + recursive part) serially. */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+serial_recurrence(const Signature& sig,
+                  std::span<const typename Ring::value_type> input);
+
+extern template std::vector<std::int32_t>
+serial_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>);
+extern template std::vector<float>
+serial_recurrence<FloatRing>(const Signature&, std::span<const float>);
+extern template std::vector<float>
+serial_recurrence<TropicalRing>(const Signature&, std::span<const float>);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_SERIAL_H_

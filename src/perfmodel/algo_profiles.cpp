@@ -1,0 +1,468 @@
+#include "perfmodel/algo_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::perfmodel {
+
+namespace {
+
+constexpr double kWord = 4.0;  // bytes per 32-bit element
+
+bool
+is_power_of_two(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Carry/flag side traffic of a look-back pipeline (bytes, both ways). */
+double
+chain_overhead_bytes(std::size_t chunks, std::size_t state_words)
+{
+    // Per chunk: local + global state (stores and one read by a later
+    // chunk) plus two flags, all moving 32-byte sectors.
+    const double sectors =
+        2.0 * (2.0 * ((state_words * kWord + 31) / 32) + 2.0);
+    return static_cast<double>(chunks) * sectors * 32.0;
+}
+
+/** Resolved factor-list behavior used by the PLR profile. */
+struct ListCost {
+    double eff_len = 0;     // offsets that do any work
+    double period = 0;      // storage period
+    double cached = 0;      // leading elements in shared memory
+    bool constant = false;  // no loads at all
+    double op_cost = 2;     // mult+add = 2, conditional add = 1
+    double density = 1.0;   // fraction of nonzero factors (conditional adds
+                            // only execute where the factor is 1)
+};
+
+template <typename Ring>
+std::vector<ListCost>
+resolve_lists(const Signature& sig, const KernelPlan& plan)
+{
+    const auto factors = CorrectionFactors<Ring>::generate(
+        sig.recursive_part(), plan.m, plan.opts.flush_denormals);
+    const auto props = analyze_factors(factors);
+    std::vector<ListCost> lists(sig.order());
+    for (std::size_t j = 1; j <= sig.order(); ++j) {
+        const auto& lp = props.lists[j - 1];
+        ListCost& lc = lists[j - 1];
+        lc.eff_len = plan.opts.zero_tail_suppress
+                         ? static_cast<double>(std::max<std::size_t>(
+                               lp.effective_length, 1))
+                         : static_cast<double>(plan.m);
+        lc.period = plan.opts.periodic_compress
+                        ? static_cast<double>(lp.period)
+                        : static_cast<double>(plan.m);
+        lc.constant = plan.opts.constant_fold && lp.all_equal;
+        lc.cached = plan.opts.shared_factor_cache
+                        ? static_cast<double>(std::min<std::size_t>(
+                              plan.opts.shared_cache_elems, plan.m))
+                        : 0.0;
+        const bool conditional =
+            plan.opts.conditional_add && lp.all_zero_one;
+        lc.op_cost = conditional ? 1.0 : 2.0;
+        if (conditional) {
+            auto list = factors.list(j);
+            std::size_t nonzero = 0;
+            const std::size_t limit = static_cast<std::size_t>(lc.eff_len);
+            for (std::size_t o = 0; o < limit && o < list.size(); ++o)
+                if (!Ring::is_zero(list[o]))
+                    ++nonzero;
+            lc.density = limit > 0 ? static_cast<double>(nonzero) /
+                                         static_cast<double>(limit)
+                                   : 0.0;
+        }
+    }
+    return lists;
+}
+
+/** PLR: single pass, hierarchical Phase 1 + pipelined Phase 2. */
+TrafficProfile
+plr_profile(const Signature& sig, std::size_t n, const HardwareModel& hw,
+            const Optimizations& opts)
+{
+    PlannerLimits limits;
+    limits.resident_blocks = hw.spec.max_resident_blocks();
+    const KernelPlan plan = make_plan(sig, n, limits, opts);
+    const std::size_t k = sig.order();
+    const double m = static_cast<double>(plan.m);
+    const double chunks = static_cast<double>(plan.num_chunks());
+    const double dn = static_cast<double>(n);
+
+    const std::vector<ListCost> lists =
+        plan.is_integer ? resolve_lists<IntRing>(sig, plan)
+                        : resolve_lists<FloatRing>(sig, plan);
+
+    TrafficProfile profile;
+    profile.dram_read_bytes = dn * kWord;
+    profile.dram_write_bytes = dn * kWord;
+    const double state_words = static_cast<double>(k);
+    profile.dram_read_bytes += chain_overhead_bytes(
+                                   plan.num_chunks(),
+                                   static_cast<std::size_t>(state_words)) /
+                               2;
+    profile.dram_write_bytes += chain_overhead_bytes(
+                                    plan.num_chunks(),
+                                    static_cast<std::size_t>(state_words)) /
+                                2;
+
+    // Map operation (eq. 2).
+    const double p_taps = static_cast<double>(sig.a().size());
+    const bool has_map = !sig.is_pure_recursive();
+    if (has_map) {
+        profile.compute_ops += dn * p_taps * 2.0;
+        // Boundary taps re-read a few neighbor inputs per chunk.
+        profile.dram_read_bytes += chunks * (p_taps - 1) * 32.0;
+    }
+
+    // Shared-memory cache fill: every block reads the cached prefix of
+    // each factor array once (served by L2, the arrays are small).
+    for (const ListCost& lc : lists) {
+        if (!lc.constant && lc.cached > 0) {
+            const double fill =
+                std::min({lc.cached, lc.period, lc.eff_len});
+            profile.l2_read_bytes += chunks * fill * kWord;
+        }
+    }
+
+    // Phase 1: merge levels with doubling span. Per level, half the
+    // elements are corrected; per correction, each carry whose factor has
+    // not decayed costs one fetch (shared or L2) and 1-2 ops.
+    for (double s = 1; s < m; s *= 2) {
+        for (const ListCost& lc : lists) {
+            const double active = std::min(lc.eff_len, s) / s;  // fraction
+            profile.compute_ops +=
+                (dn / 2.0) * active * lc.op_cost * lc.density;
+            if (!lc.constant) {
+                const double span_len = std::min(s, lc.period);
+                const double uncached =
+                    std::max(0.0, std::min(span_len, lc.eff_len) - lc.cached);
+                profile.l2_read_bytes += (dn / 2.0) * (uncached / s) * kWord;
+            }
+        }
+    }
+    // Phase 2: every element corrected with k factors at offsets [0, m).
+    for (const ListCost& lc : lists) {
+        const double active = std::min(lc.eff_len, m) / m;
+        profile.compute_ops += dn * active * lc.op_cost * lc.density;
+        if (!lc.constant) {
+            const double stored = std::min(m, lc.period);
+            const double uncached =
+                std::max(0.0, std::min(stored, lc.eff_len) - lc.cached);
+            profile.l2_read_bytes += dn * (uncached / m) * kWord;
+        }
+    }
+    // Look-back carry correction: O(c k^2) per chunk, c small.
+    profile.compute_ops += chunks * 2.0 * k * k * 2.0;
+
+    profile.occupancy =
+        plan.registers_per_thread >= 64 ? hw.occupancy_64_regs : 1.0;
+
+    // Calibrated per-code efficiency (see EXPERIMENTS.md):
+    //  - 0.97 baseline: PLR's untuned m/x heuristics leave a little
+    //    bandwidth unused (Section 3 notes the heuristics are crude);
+    //  - FIR taps cost a consistent ~17% (Figure 9);
+    //  - non-power-of-two tuple sizes miss vectorization (Section 6.1.2).
+    profile.efficiency = 0.97;
+    if (sig.fir_taps() >= 1) {
+        // The map operation costs a consistent ~17% regardless of the
+        // order (Figure 9); it slows both the memory pipeline (extra
+        // boundary loads) and the arithmetic (FIR taps per element).
+        profile.efficiency *= 0.833;
+        profile.compute_scale *= 0.833;
+    }
+    const std::size_t tuple = sig.tuple_size();
+    if (tuple >= 3)
+        profile.efficiency *= is_power_of_two(tuple) ? 0.89 : 0.875;
+
+    profile.kernel_launches = 1;
+    profile.launch_overhead_s = 8e-6;  // long-chunk pipeline ramp-up
+    return profile;
+}
+
+/** CUB: single-pass scan; k full passes for order-k prefix sums. */
+TrafficProfile
+cub_profile(const Signature& sig, std::size_t n, const HardwareModel&)
+{
+    const auto cls = sig.classify();
+    const double passes =
+        cls == SignatureClass::kHigherOrderPrefixSum
+            ? static_cast<double>(sig.order())
+            : 1.0;
+    const double s = cls == SignatureClass::kTuplePrefixSum
+                         ? static_cast<double>(sig.tuple_size())
+                         : 1.0;
+    const double dn = static_cast<double>(n);
+    const std::size_t chunks = (n + 4095) / 4096;
+
+    TrafficProfile profile;
+    profile.dram_read_bytes = passes * dn * kWord;
+    profile.dram_write_bytes = passes * dn * kWord;
+    profile.dram_read_bytes +=
+        passes * chain_overhead_bytes(chunks, static_cast<std::size_t>(s)) / 2;
+    profile.dram_write_bytes +=
+        passes * chain_overhead_bytes(chunks, static_cast<std::size_t>(s)) / 2;
+    profile.compute_ops = passes * dn * 2.0;
+    // Vector-type scans lose efficiency as the tuple widens; CUB uses one
+    // code base for every tuple size (Section 6.1.2).
+    if (s >= 2)
+        profile.efficiency = 0.743 / (1.0 + 0.062 * (s - 2.0));
+    profile.kernel_launches = passes;
+    profile.launch_overhead_s = 6e-6;
+    return profile;
+}
+
+/** SAM: single pass; repeats computation (not I/O); auto-tuned x. */
+TrafficProfile
+sam_profile(const Signature& sig, std::size_t n, const HardwareModel&)
+{
+    const auto cls = sig.classify();
+    const double k = static_cast<double>(sig.order());
+    const double s = cls == SignatureClass::kTuplePrefixSum
+                         ? static_cast<double>(sig.tuple_size())
+                         : 1.0;
+    const double dn = static_cast<double>(n);
+    const std::size_t chunks = (n + 4095) / 4096;
+
+    TrafficProfile profile;
+    profile.dram_read_bytes =
+        dn * kWord + chain_overhead_bytes(chunks, sig.order()) / 2;
+    profile.dram_write_bytes =
+        dn * kWord + chain_overhead_bytes(chunks, sig.order()) / 2;
+    const double iterations =
+        cls == SignatureClass::kHigherOrderPrefixSum ? k : 1.0;
+    profile.compute_ops = dn * iterations + dn * 2.0 * k;
+    // Repeated in-register computation and wider carry states cost
+    // bandwidth headroom as the order/tuple grows (Section 6.1.3).
+    if (cls == SignatureClass::kHigherOrderPrefixSum && k >= 2)
+        profile.efficiency = 1.0 / (1.0 + 0.13 * k);
+    else if (cls == SignatureClass::kTuplePrefixSum && s >= 2)
+        profile.efficiency = 0.743 / (1.0 + 0.062 * (s - 2.0));
+    // The install-time auto-tuner gives SAM the lowest ramp-up cost of
+    // the single-pass codes (Sections 6.1.1-6.1.3).
+    profile.kernel_launches = 1;
+    profile.launch_overhead_s = 2.5e-6;
+    return profile;
+}
+
+/** Scan: k x k matrix + k-vector pairs through a generic scan. */
+TrafficProfile
+scan_profile(const Signature& sig, std::size_t n, const HardwareModel&)
+{
+    const double k = static_cast<double>(sig.order());
+    const double pw = k * k + k;
+    const double dn = static_cast<double>(n);
+
+    TrafficProfile profile;
+    profile.dram_read_bytes = dn * pw * kWord;
+    profile.dram_write_bytes = dn * pw * kWord;
+    if (!sig.is_pure_recursive()) {
+        // Map pass (PLR's map code) over the raw values.
+        profile.dram_read_bytes += dn * kWord;
+        profile.dram_write_bytes += dn * kWord;
+        profile.kernel_launches += 1;
+        profile.compute_ops +=
+            dn * static_cast<double>(sig.a().size()) * 2.0;
+    }
+    // Two local sweeps of (A2*A1, A2*v1 + v2) per element.
+    profile.compute_ops += 2.0 * dn * (k * k * k + k * k + k) * 2.0;
+    profile.efficiency = 0.90;
+    // The k x k pair state inflates register pressure (Section 6.1.2).
+    profile.occupancy = sig.order() >= 2 ? 0.80 : 1.0;
+    profile.launch_overhead_s = 6e-6;
+    return profile;
+}
+
+/** Alg3: both horizontal directions, re-reading the data. */
+TrafficProfile
+alg3_profile(const Signature& sig, std::size_t n, const HardwareModel& hw)
+{
+    const double k = static_cast<double>(sig.order());
+    const double dn = static_cast<double>(n);
+    const double data_bytes = dn * kWord;
+
+    TrafficProfile profile;
+    profile.dram_read_bytes = data_bytes;   // causal pass
+    profile.dram_write_bytes = 2.0 * data_bytes;  // intermediate + output
+    // Anticausal pass re-reads the intermediate: from L2 while it fits,
+    // from DRAM beyond (the Section 6.5 observation).
+    if (data_bytes <= static_cast<double>(hw.l2_capacity()))
+        profile.l2_read_bytes += data_bytes;
+    else
+        profile.dram_read_bytes += data_bytes;
+    profile.compute_ops = 2.0 * dn * (2.0 + 2.0 * k);
+    profile.efficiency = 0.85 / (1.0 + 0.02 * (k - 1.0));
+    profile.kernel_launches = 2;
+    profile.launch_overhead_s = 5e-6;
+    return profile;
+}
+
+/** Rec: tiled filters; fix-up pass re-reads the input; serial combine. */
+TrafficProfile
+rec_profile(const Signature& sig, std::size_t n, const HardwareModel& hw)
+{
+    const double k = static_cast<double>(sig.order());
+    const double dn = static_cast<double>(n);
+    const double data_bytes = dn * kWord;
+    const double carry_bytes = 2.0 * (dn / 32.0) * k * kWord;
+
+    TrafficProfile profile;
+    profile.dram_read_bytes = data_bytes + carry_bytes;
+    profile.dram_write_bytes = data_bytes + carry_bytes;
+    // Fix-up pass re-reads the input: L2 while it fits, DRAM beyond —
+    // this is why PLR starts outperforming Rec at one million entries
+    // (Section 6.5).
+    if (data_bytes <= static_cast<double>(hw.l2_capacity()))
+        profile.l2_read_bytes += data_bytes;
+    else
+        profile.dram_read_bytes += data_bytes;
+    profile.compute_ops = 2.0 * dn * (1.0 + 2.0 * k) + dn * 2.0 * k;
+    // The serial carry combination contributes a per-row serial chain;
+    // rows run in parallel, so only the per-row tile count serializes.
+    const double rows = std::sqrt(dn);
+    profile.serial_ops = (rows / 32.0) * k * k * 2.0;
+    profile.efficiency = 0.78 / (1.0 + 0.015 * (k - 1.0));
+    profile.kernel_launches = 3;
+    profile.launch_overhead_s = 1.5e-6;
+    return profile;
+}
+
+TrafficProfile
+memcpy_profile(std::size_t n)
+{
+    TrafficProfile profile;
+    profile.dram_read_bytes = static_cast<double>(n) * kWord;
+    profile.dram_write_bytes = static_cast<double>(n) * kWord;
+    profile.efficiency = 1.0;
+    // The cheapest possible kernel: its ramp-up is the floor every other
+    // code's overhead sits on, keeping memcpy an upper bound at every
+    // size (Figure 1 shows no code above it anywhere).
+    profile.launch_overhead_s = 2.5e-6;
+    return profile;
+}
+
+}  // namespace
+
+const char*
+to_string(Algo algo)
+{
+    switch (algo) {
+      case Algo::kMemcpy: return "memcpy";
+      case Algo::kPlr: return "PLR";
+      case Algo::kCub: return "CUB";
+      case Algo::kSam: return "SAM";
+      case Algo::kScan: return "Scan";
+      case Algo::kAlg3: return "Alg3";
+      case Algo::kRec: return "Rec";
+    }
+    return "?";
+}
+
+bool
+algo_supports(Algo algo, const Signature& sig)
+{
+    switch (algo) {
+      case Algo::kMemcpy:
+        return true;
+      case Algo::kPlr:
+      case Algo::kScan:
+        return sig.order() >= 1;
+      case Algo::kCub:
+      case Algo::kSam:
+        switch (sig.classify()) {
+          case SignatureClass::kPrefixSum:
+          case SignatureClass::kTuplePrefixSum:
+          case SignatureClass::kHigherOrderPrefixSum:
+            return true;
+          default:
+            return false;
+        }
+      case Algo::kAlg3:
+      case Algo::kRec:
+        // Neither supports more than one non-recursive coefficient
+        // (Section 6.2.2).
+        return sig.order() >= 1 && sig.a().size() == 1;
+    }
+    return false;
+}
+
+std::size_t
+algo_max_elements(Algo algo, const Signature& sig, const HardwareModel& hw)
+{
+    const std::size_t four_gb_words = std::size_t{1} << 30;
+    switch (algo) {
+      case Algo::kMemcpy:
+      case Algo::kPlr:
+      case Algo::kCub:
+      case Algo::kSam:
+        return four_gb_words;
+      case Algo::kScan: {
+        // Input and output pair arrays must fit in device memory.
+        const std::size_t pw = sig.order() * sig.order() + sig.order();
+        const std::size_t per_elem = 2 * pw * 4 + 8;
+        std::size_t max_n = hw.spec.dram_bytes / per_elem;
+        // Round down to a power of two as the sweeps use.
+        std::size_t pow2 = 1;
+        while (pow2 * 2 <= max_n && pow2 * 2 <= four_gb_words)
+            pow2 *= 2;
+        return pow2;
+      }
+      case Algo::kAlg3:
+        return std::size_t{1} << 29;  // 2 GB of 32-bit words
+      case Algo::kRec:
+        return std::size_t{1} << 28;  // 1 GB
+    }
+    return 0;
+}
+
+TrafficProfile
+make_profile(Algo algo, const Signature& sig, std::size_t n,
+             const HardwareModel& hw, const Optimizations& plr_opts)
+{
+    PLR_REQUIRE(algo_supports(algo, sig),
+                to_string(algo) << " does not support " << sig.to_string());
+    switch (algo) {
+      case Algo::kMemcpy: return memcpy_profile(n);
+      case Algo::kPlr: return plr_profile(sig, n, hw, plr_opts);
+      case Algo::kCub: return cub_profile(sig, n, hw);
+      case Algo::kSam: return sam_profile(sig, n, hw);
+      case Algo::kScan: return scan_profile(sig, n, hw);
+      case Algo::kAlg3: return alg3_profile(sig, n, hw);
+      case Algo::kRec: return rec_profile(sig, n, hw);
+    }
+    PLR_PANIC("unreachable");
+}
+
+double
+algo_throughput(Algo algo, const Signature& sig, std::size_t n,
+                const HardwareModel& hw, const Optimizations& plr_opts)
+{
+    if (n > algo_max_elements(algo, sig, hw))
+        return 0.0;
+    return modeled_throughput(hw, make_profile(algo, sig, n, hw, plr_opts),
+                              n);
+}
+
+std::size_t
+crossover_size(Algo a, Algo b, const Signature& sig, const HardwareModel& hw)
+{
+    for (int e = 14; e <= 30; ++e) {
+        const std::size_t n = std::size_t{1} << e;
+        const double ta = algo_throughput(a, sig, n, hw);
+        const double tb = algo_throughput(b, sig, n, hw);
+        if (ta == 0.0 || tb == 0.0)
+            break;  // one of the codes no longer supports this size
+        if (ta > tb)
+            return n;
+    }
+    return 0;
+}
+
+}  // namespace plr::perfmodel

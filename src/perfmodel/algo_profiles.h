@@ -1,0 +1,78 @@
+#ifndef PLR_PERFMODEL_ALGO_PROFILES_H_
+#define PLR_PERFMODEL_ALGO_PROFILES_H_
+
+/**
+ * @file
+ * Per-algorithm traffic/operation profiles.
+ *
+ * Each profile builder encodes the *mechanisms* the paper identifies for
+ * its code: how many bytes move, whether re-reads hit in L2, how much
+ * arithmetic runs per element, register pressure, and fixed overheads.
+ * The DRAM byte counts are validated against the execution simulator's
+ * transaction counters at small sizes (tests/perfmodel_test.cpp); the
+ * remaining constants are calibrated to the paper's reported ratios and
+ * documented in hardware_model.h and EXPERIMENTS.md.
+ */
+
+#include <cstddef>
+#include <optional>
+
+#include "core/plan.h"
+#include "core/signature.h"
+#include "perfmodel/cost_model.h"
+
+namespace plr::perfmodel {
+
+/** The seven codes of the evaluation (Section 5). */
+enum class Algo {
+    kMemcpy,
+    kPlr,
+    kCub,
+    kSam,
+    kScan,
+    kAlg3,
+    kRec,
+};
+
+/** Display name as used in the paper's figures. */
+const char* to_string(Algo algo);
+
+/** Whether the code supports this recurrence at all. */
+bool algo_supports(Algo algo, const Signature& sig);
+
+/**
+ * Largest input (in 32-bit words) the code supports on the modeled GPU:
+ * all codes cap sequences at 4 GB = 2^30 words; Scan's O(k^2) pair
+ * encoding, Alg3's 2 GB limit, and Rec's 1 GB limit shrink that further
+ * (Section 6.2).
+ */
+std::size_t algo_max_elements(Algo algo, const Signature& sig,
+                              const HardwareModel& hw);
+
+/**
+ * Build the traffic profile of one run.
+ *
+ * @param plr_opts optimization toggles; only meaningful for Algo::kPlr
+ *        (Figure 10's on/off comparison)
+ */
+TrafficProfile make_profile(Algo algo, const Signature& sig, std::size_t n,
+                            const HardwareModel& hw,
+                            const Optimizations& plr_opts = Optimizations{});
+
+/** Convenience: modeled throughput in words/s (0 if unsupported size). */
+double algo_throughput(Algo algo, const Signature& sig, std::size_t n,
+                       const HardwareModel& hw,
+                       const Optimizations& plr_opts = Optimizations{});
+
+/**
+ * Smallest power-of-two size at which @p a overtakes @p b on @p sig
+ * (scanning 2^14..2^30), or 0 when it never does within the sizes both
+ * support. Used for claims like "PLR starts outperforming Rec at one
+ * million entries" (Section 6.5).
+ */
+std::size_t crossover_size(Algo a, Algo b, const Signature& sig,
+                           const HardwareModel& hw);
+
+}  // namespace plr::perfmodel
+
+#endif  // PLR_PERFMODEL_ALGO_PROFILES_H_

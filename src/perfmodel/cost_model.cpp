@@ -1,0 +1,50 @@
+#include "perfmodel/cost_model.h"
+
+#include <algorithm>
+
+#include "util/diag.h"
+
+namespace plr::perfmodel {
+
+double
+modeled_time_s(const HardwareModel& hw, const TrafficProfile& profile)
+{
+    PLR_REQUIRE(profile.efficiency > 0 && profile.occupancy > 0,
+                "profile factors must be positive");
+
+    const double mem_scale = profile.efficiency * profile.occupancy;
+    const double dram_time =
+        (profile.dram_read_bytes + profile.dram_write_bytes) /
+        (hw.dram_bandwidth() * mem_scale);
+    // L2 reads overlap with the DRAM stream and are not limited by the
+    // resident-warp count the way DRAM latency hiding is, so only the
+    // code's efficiency scales them.
+    const double l2_time =
+        profile.l2_read_bytes / (hw.l2_bandwidth() * profile.efficiency);
+    const double compute_time =
+        profile.compute_ops /
+        (hw.achieved_compute_rate * profile.compute_scale);
+    // Serial work proceeds at one lane's rate: the achieved rate divided
+    // by the device's parallel width.
+    const double serial_time =
+        profile.serial_ops /
+        (hw.achieved_compute_rate / static_cast<double>(hw.spec.total_cores()));
+
+    // Roofline with a small contention tax: work that is not the
+    // bottleneck still issues instructions and occupies queues, so it is
+    // not entirely free.
+    const double bottleneck = std::max({dram_time, l2_time, compute_time});
+    const double contention =
+        0.08 * (dram_time + l2_time + compute_time - bottleneck);
+    return profile.kernel_launches * profile.launch_overhead_s + bottleneck +
+           contention + serial_time;
+}
+
+double
+modeled_throughput(const HardwareModel& hw, const TrafficProfile& profile,
+                   std::size_t n)
+{
+    return static_cast<double>(n) / modeled_time_s(hw, profile);
+}
+
+}  // namespace plr::perfmodel

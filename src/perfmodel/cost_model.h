@@ -1,0 +1,64 @@
+#ifndef PLR_PERFMODEL_COST_MODEL_H_
+#define PLR_PERFMODEL_COST_MODEL_H_
+
+/**
+ * @file
+ * Cost accounting: a per-run traffic/operation profile and its modeled
+ * execution time.
+ *
+ * The model is a bottleneck (roofline-style) model: a kernel's time is
+ * its fixed launch/pipeline overhead plus the maximum of its DRAM time,
+ * its on-chip (L2) time, and its compute time, divided by the efficiency
+ * and occupancy factors of the code. Serial phases (e.g. Rec's serial
+ * carry combination) add on top. This reproduces the paper's shapes
+ * because the evaluated codes differ precisely in these inputs: bytes
+ * moved (2n vs re-reads vs O(k^2) blow-up), where the bytes are served
+ * from (DRAM vs L2), per-element arithmetic, register pressure, and
+ * fixed overheads.
+ */
+
+#include <cstddef>
+
+#include "perfmodel/hardware_model.h"
+
+namespace plr::perfmodel {
+
+/** Mechanistic inputs of one kernel execution. */
+struct TrafficProfile {
+    /** Bytes read from / written to DRAM. */
+    double dram_read_bytes = 0;
+    double dram_write_bytes = 0;
+    /** Additional reads served by the L2 cache (factor arrays, re-reads
+     *  of data still resident on chip). */
+    double l2_read_bytes = 0;
+    /** Scalar multiply-add-equivalent operations. */
+    double compute_ops = 0;
+    /** Operations executed serially (no parallelism across the device). */
+    double serial_ops = 0;
+    /** Kernel launches (each pays the fixed overhead once). */
+    double kernel_launches = 1;
+    /** Fixed overhead per launch in seconds (code-specific). */
+    double launch_overhead_s = 6e-6;
+    /** Achieved-bandwidth efficiency of this code (1.0 = streaming). */
+    double efficiency = 1.0;
+    /**
+     * Occupancy factor (register pressure). Scales the *memory* times
+     * only: fewer resident warps means less latency hiding on loads and
+     * stores, while the arithmetic pipelines stay busy on the warps that
+     * remain.
+     */
+    double occupancy = 1.0;
+    /** Scale on the achieved compute rate (per-code instruction mix). */
+    double compute_scale = 1.0;
+};
+
+/** Modeled wall-clock time of the profile in seconds. */
+double modeled_time_s(const HardwareModel& hw, const TrafficProfile& profile);
+
+/** Throughput in words (elements) per second for an n-element run. */
+double modeled_throughput(const HardwareModel& hw,
+                          const TrafficProfile& profile, std::size_t n);
+
+}  // namespace plr::perfmodel
+
+#endif  // PLR_PERFMODEL_COST_MODEL_H_

@@ -1,0 +1,63 @@
+#ifndef PLR_PERFMODEL_HARDWARE_MODEL_H_
+#define PLR_PERFMODEL_HARDWARE_MODEL_H_
+
+/**
+ * @file
+ * The analytic performance model's hardware description.
+ *
+ * The structural parameters come from the paper's GTX Titan X (Section 5).
+ * The *calibration* constants translate those parameters into achieved
+ * rates; each is tied to a measurement the paper reports:
+ *
+ *  - memcpy_efficiency: the paper's memory-copy upper bound plateaus at
+ *    ~35 billion 32-bit words/s = 280 GB/s of combined read+write traffic,
+ *    83% of the 336 GB/s peak (Figure 1).
+ *  - l2_bandwidth_scale: on-chip L2 bandwidth relative to DRAM; Maxwell's
+ *    L2 sustains roughly 3-4x DRAM bandwidth. Governs the cost of factor
+ *    loads that hit in L2 (Figure 10's optimizations-off mode).
+ *  - achieved_compute_rate: effective scalar multiply-add throughput of
+ *    dependent per-thread arithmetic, far below the 6.1 Tflop/s peak
+ *    because recurrence corrections are latency-chained. Calibrated so
+ *    the 3-stage low-pass filter becomes mildly compute-bound, matching
+ *    Figure 8's PLR curve.
+ *  - occupancy at 64 registers/thread: complex integer signatures spill
+ *    to 64 regs (Section 3), halving resident threads; calibrated to
+ *    PLR's ~18 Gword/s plateau on higher-order prefix sums (Figure 4).
+ */
+
+#include <cstddef>
+
+#include "gpusim/device_spec.h"
+
+namespace plr::perfmodel {
+
+/** Structural + calibrated hardware parameters. */
+struct HardwareModel {
+    gpusim::DeviceSpec spec = gpusim::titan_x();
+
+    /** Fraction of peak DRAM bandwidth streaming kernels achieve. */
+    double memcpy_efficiency = 0.834;
+    /** L2-to-DRAM bandwidth ratio for on-chip reads. */
+    double l2_bandwidth_scale = 4.25;
+    /** Achieved dependent multiply-add rate in ops/s. */
+    double achieved_compute_rate = 1.15e12;
+    /** Occupancy factor when a kernel needs 64 registers per thread. */
+    double occupancy_64_regs = 0.555;
+
+    /** Achieved DRAM bandwidth in bytes/s. */
+    double
+    dram_bandwidth() const
+    {
+        return spec.dram_bandwidth_gbps * 1e9 * memcpy_efficiency;
+    }
+
+    /** Achieved L2 bandwidth in bytes/s. */
+    double l2_bandwidth() const { return dram_bandwidth() * l2_bandwidth_scale; }
+
+    /** L2 capacity in bytes. */
+    std::size_t l2_capacity() const { return spec.l2_bytes; }
+};
+
+}  // namespace plr::perfmodel
+
+#endif  // PLR_PERFMODEL_HARDWARE_MODEL_H_

@@ -1,0 +1,61 @@
+#include "perfmodel/l2_misses.h"
+
+#include "util/diag.h"
+
+namespace plr::perfmodel {
+
+namespace {
+constexpr double kWord = 4.0;
+constexpr double kMb = 1024.0 * 1024.0;
+}  // namespace
+
+double
+l2_read_miss_bytes(Algo algo, const Signature& sig, std::size_t n,
+                   const HardwareModel& hw)
+{
+    PLR_REQUIRE(algo_supports(algo, sig),
+                to_string(algo) << " does not support " << sig.to_string());
+    const double dn = static_cast<double>(n);
+    const double k = static_cast<double>(sig.order());
+    const double data = dn * kWord;
+    const bool fits_l2 = data <= static_cast<double>(hw.l2_capacity());
+
+    switch (algo) {
+      case Algo::kMemcpy:
+        // The paper could not measure memcpy (it bypasses the L2).
+        return 0.0;
+      case Algo::kPlr:
+        // Cold misses on the input plus carry/flag and uncached factor
+        // traffic (a fraction of a megabyte).
+        return data + 0.2 * kMb * k;
+      case Algo::kCub: {
+        const double passes =
+            sig.classify() == SignatureClass::kHigherOrderPrefixSum ? k : 1.0;
+        // Later passes re-read data just written; beyond the L2 those
+        // reads miss again.
+        return (fits_l2 ? data : passes * data) + 0.1 * kMb;
+      }
+      case Algo::kSam:
+        return data + 0.3 * kMb;
+      case Algo::kScan: {
+        const double pw = k * k + k;
+        return dn * pw * kWord + 0.3 * kMb * pw / 2.0;
+      }
+      case Algo::kAlg3: {
+        // Reads the data twice (causal + anticausal) plus boundary and
+        // runtime buffers that grow with the order.
+        const double second = fits_l2 ? 0.0 : data;
+        return data + second + (38.6 + 40.7 * (k - 1.0)) * kMb;
+      }
+      case Algo::kRec: {
+        // Fix-up pass re-reads the input; the tile carries are written
+        // and read back (2 * n/32 * k words).
+        const double second = fits_l2 ? 0.0 : data;
+        const double carries = 2.0 * (dn / 32.0) * k * kWord;
+        return data + second + carries + 0.1 * kMb;
+      }
+    }
+    PLR_PANIC("unreachable");
+}
+
+}  // namespace plr::perfmodel

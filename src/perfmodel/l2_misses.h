@@ -1,0 +1,30 @@
+#ifndef PLR_PERFMODEL_L2_MISSES_H_
+#define PLR_PERFMODEL_L2_MISSES_H_
+
+/**
+ * @file
+ * L2 read-miss accounting (the paper's Table 3).
+ *
+ * The paper converts nvprof's L2 read-miss counts into megabytes at the
+ * 32-byte block size. For working sets far beyond the 2 MB L2, misses
+ * are essentially cold misses on whatever each code streams from DRAM:
+ * PLR/CUB/SAM read the data once (256 MB at n = 2^26); Scan reads pairs
+ * (2/6/12x); Alg3 and Rec read the data twice plus their auxiliary
+ * buffers. These audits are validated against the gpusim L2 model at
+ * cache-exceeding sizes in tests/perfmodel_test.cpp.
+ */
+
+#include <cstddef>
+
+#include "core/signature.h"
+#include "perfmodel/algo_profiles.h"
+
+namespace plr::perfmodel {
+
+/** Modeled L2 read misses in bytes for one run of @p algo. */
+double l2_read_miss_bytes(Algo algo, const Signature& sig, std::size_t n,
+                          const HardwareModel& hw);
+
+}  // namespace plr::perfmodel
+
+#endif  // PLR_PERFMODEL_L2_MISSES_H_

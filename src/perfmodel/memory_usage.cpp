@@ -1,0 +1,79 @@
+#include "perfmodel/memory_usage.h"
+
+#include <cmath>
+
+#include "util/diag.h"
+
+namespace plr::perfmodel {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+/** Context/runtime overhead measured for every code incl. memcpy. */
+constexpr double kContextBytes = 109.5 * kMb;
+constexpr double kWord = 4.0;
+
+}  // namespace
+
+MemoryUsage
+memory_usage(Algo algo, const Signature& sig, std::size_t n,
+             const HardwareModel& hw)
+{
+    PLR_REQUIRE(algo_supports(algo, sig),
+                to_string(algo) << " does not support " << sig.to_string());
+    const double dn = static_cast<double>(n);
+    const double k = static_cast<double>(sig.order());
+
+    MemoryUsage usage;
+    usage.context_bytes = kContextBytes;
+    usage.data_bytes = 2.0 * dn * kWord;  // input + output arrays
+
+    switch (algo) {
+      case Algo::kMemcpy:
+        break;
+      case Algo::kPlr: {
+        // Module/kernel code plus carries, flags, and factor arrays.
+        PlannerLimits limits;
+        limits.resident_blocks = hw.spec.max_resident_blocks();
+        const KernelPlan plan = make_plan(sig, n, limits);
+        const double chunks = static_cast<double>(plan.num_chunks());
+        usage.auxiliary_bytes = 1.9 * kMb                      // code
+                                + chunks * 2.0 * k * kWord     // carries
+                                + chunks * 2.0 * kWord         // flags
+                                + k * static_cast<double>(plan.m) * kWord;
+        break;
+      }
+      case Algo::kCub:
+        // One code base, temp storage for the decoupled look-back.
+        usage.auxiliary_bytes =
+            2.0 * kMb + (dn / 4096.0) * 2.0 * (k + 2.0) * kWord;
+        break;
+      case Algo::kSam:
+        usage.auxiliary_bytes =
+            1.0 * kMb + (dn / 4096.0) * 2.0 * (k + 2.0) * kWord;
+        break;
+      case Algo::kScan: {
+        // Input and output both become (k x k matrix, k vector) pairs.
+        const double pw = k * k + k;
+        usage.data_bytes = 2.0 * dn * pw * kWord;
+        usage.auxiliary_bytes =
+            2.0 * kMb + (dn / 1024.0) * 2.0 * pw * kWord;  // chain state
+        break;
+      }
+      case Algo::kAlg3: {
+        // n-word intermediate plus per-32-column boundary buffers in
+        // both directions (grows ~16 MB per order at n = 2^26).
+        const double side = std::sqrt(dn);
+        usage.auxiliary_bytes = 2.3 * kMb + dn * kWord +
+                                2.0 * side * (side / 32.0) * k * kWord;
+        break;
+      }
+      case Algo::kRec:
+        // Local + global tile-carry buffers (~16.8 MB per order).
+        usage.auxiliary_bytes = 0.2 * kMb + 2.0 * (dn / 32.0) * k * kWord;
+        break;
+    }
+    return usage;
+}
+
+}  // namespace plr::perfmodel

@@ -1,0 +1,48 @@
+#ifndef PLR_PERFMODEL_MEMORY_USAGE_H_
+#define PLR_PERFMODEL_MEMORY_USAGE_H_
+
+/**
+ * @file
+ * GPU memory-usage accounting (the paper's Table 2).
+ *
+ * Table 2 is an allocation ledger: the input/output arrays every code
+ * shares, the CUDA context/runtime overhead that even the memory-copy
+ * program pays (109.5 MB on the paper's system), and each code's own
+ * auxiliary buffers. We reproduce the ledger from each code's buffer
+ * inventory; the context overhead is taken from the paper's memcpy row
+ * (it is a property of the driver stack, not of the algorithms).
+ */
+
+#include <cstddef>
+
+#include "core/signature.h"
+#include "perfmodel/algo_profiles.h"
+
+namespace plr::perfmodel {
+
+/** Breakdown of one code's device-memory footprint in bytes. */
+struct MemoryUsage {
+    /** Input + output data arrays. */
+    double data_bytes = 0;
+    /** CUDA context/runtime overhead (constant across codes). */
+    double context_bytes = 0;
+    /** Code-specific auxiliary allocations (carries, flags, buffers). */
+    double auxiliary_bytes = 0;
+
+    double total_bytes() const
+    {
+        return data_bytes + context_bytes + auxiliary_bytes;
+    }
+    double total_mb() const { return total_bytes() / (1024.0 * 1024.0); }
+};
+
+/**
+ * Memory usage of @p algo computing @p sig on @p n words, mirroring the
+ * Table-2 measurement setup (n = 67,108,864).
+ */
+MemoryUsage memory_usage(Algo algo, const Signature& sig, std::size_t n,
+                         const HardwareModel& hw);
+
+}  // namespace plr::perfmodel
+
+#endif  // PLR_PERFMODEL_MEMORY_USAGE_H_

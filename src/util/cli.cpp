@@ -1,0 +1,85 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/diag.h"
+
+namespace plr {
+
+CliArgs::CliArgs(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        PLR_REQUIRE(!body.empty(), "empty flag '--'");
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[body] = argv[++i];
+        } else {
+            flags_[body] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string& name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string& name, const std::string& def) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t
+CliArgs::get_int(const std::string& name, std::int64_t def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    PLR_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                "flag --" << name << " expects an integer, got '" << it->second
+                          << "'");
+    return v;
+}
+
+double
+CliArgs::get_double(const std::string& name, double def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    PLR_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                "flag --" << name << " expects a number, got '" << it->second
+                          << "'");
+    return v;
+}
+
+bool
+CliArgs::get_bool(const std::string& name, bool def) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    const std::string& v = it->second;
+    if (v.empty() || v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    PLR_FATAL("flag --" << name << " expects a boolean, got '" << v << "'");
+}
+
+}  // namespace plr

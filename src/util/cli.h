@@ -1,0 +1,48 @@
+#ifndef PLR_UTIL_CLI_H_
+#define PLR_UTIL_CLI_H_
+
+/**
+ * @file
+ * Tiny command-line flag parser shared by the examples and bench drivers.
+ * Supports `--flag=value`, `--flag value`, and boolean `--flag` forms.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace plr {
+
+/** Parsed command-line arguments. */
+class CliArgs {
+  public:
+    /** Parse argv; throws FatalError on malformed flags. */
+    CliArgs(int argc, const char* const* argv);
+
+    /** True when --name was given (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** String flag with default. */
+    std::string get(const std::string& name, const std::string& def) const;
+
+    /** Integer flag with default; throws on non-numeric values. */
+    std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+    /** Double flag with default. */
+    double get_double(const std::string& name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false. */
+    bool get_bool(const std::string& name, bool def) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace plr
+
+#endif  // PLR_UTIL_CLI_H_

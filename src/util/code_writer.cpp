@@ -1,0 +1,49 @@
+#include "util/code_writer.h"
+
+#include "util/diag.h"
+
+namespace plr {
+
+CodeWriter&
+CodeWriter::line(const std::string& text)
+{
+    if (!text.empty())
+        out_ << std::string(static_cast<std::size_t>(level_ * indent_width_),
+                            ' ')
+             << text;
+    out_ << "\n";
+    return *this;
+}
+
+CodeWriter&
+CodeWriter::open(const std::string& text)
+{
+    line(text);
+    ++level_;
+    return *this;
+}
+
+CodeWriter&
+CodeWriter::close(const std::string& text)
+{
+    dedent();
+    line(text);
+    return *this;
+}
+
+CodeWriter&
+CodeWriter::raw(const std::string& text)
+{
+    out_ << text;
+    return *this;
+}
+
+CodeWriter&
+CodeWriter::dedent()
+{
+    PLR_ASSERT(level_ > 0, "unbalanced dedent");
+    --level_;
+    return *this;
+}
+
+}  // namespace plr

@@ -1,0 +1,49 @@
+#ifndef PLR_UTIL_CODE_WRITER_H_
+#define PLR_UTIL_CODE_WRITER_H_
+
+/**
+ * @file
+ * Indentation-aware text emitter used by the CUDA code generator.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace plr {
+
+/** Builds source text line by line with managed indentation. */
+class CodeWriter {
+  public:
+    /** @param indent_width spaces per indentation level */
+    explicit CodeWriter(int indent_width = 4) : indent_width_(indent_width) {}
+
+    /** Append one line at the current indentation (empty = blank line). */
+    CodeWriter& line(const std::string& text = std::string());
+
+    /** Append a line and increase indentation (e.g. "if (...) {"). */
+    CodeWriter& open(const std::string& text);
+
+    /** Decrease indentation and append a line (e.g. "}"). */
+    CodeWriter& close(const std::string& text = "}");
+
+    /** Append raw text verbatim (no indentation handling). */
+    CodeWriter& raw(const std::string& text);
+
+    /** Increase the indentation level. */
+    CodeWriter& indent() { ++level_; return *this; }
+
+    /** Decrease the indentation level. */
+    CodeWriter& dedent();
+
+    /** The accumulated source text. */
+    std::string str() const { return out_.str(); }
+
+  private:
+    std::ostringstream out_;
+    int indent_width_;
+    int level_ = 0;
+};
+
+}  // namespace plr
+
+#endif  // PLR_UTIL_CODE_WRITER_H_

@@ -1,0 +1,68 @@
+#include "util/compare.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plr {
+
+std::string
+ValidationResult::describe() const
+{
+    std::ostringstream os;
+    if (ok) {
+        os << "ok (max discrepancy " << max_discrepancy << ")";
+    } else {
+        os << "MISMATCH at index "
+           << (first_mismatch ? std::to_string(*first_mismatch) : "?")
+           << ", max discrepancy " << max_discrepancy;
+    }
+    return os.str();
+}
+
+ValidationResult
+validate_exact(std::span<const std::int32_t> expected,
+               std::span<const std::int32_t> actual)
+{
+    ValidationResult result;
+    if (expected.size() != actual.size()) {
+        result.ok = false;
+        result.first_mismatch = std::min(expected.size(), actual.size());
+        return result;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (expected[i] != actual[i]) {
+            result.ok = false;
+            if (!result.first_mismatch)
+                result.first_mismatch = i;
+            result.max_discrepancy = 1.0;
+        }
+    }
+    return result;
+}
+
+ValidationResult
+validate_close(std::span<const float> expected, std::span<const float> actual,
+               double tolerance)
+{
+    ValidationResult result;
+    if (expected.size() != actual.size()) {
+        result.ok = false;
+        result.first_mismatch = std::min(expected.size(), actual.size());
+        return result;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const double a = actual[i];
+        const double b = expected[i];
+        const double denom = std::max(1.0, std::fabs(b));
+        const double disc = std::fabs(a - b) / denom;
+        result.max_discrepancy = std::max(result.max_discrepancy, disc);
+        if (!(disc <= tolerance)) {  // NaN-safe: NaN fails
+            result.ok = false;
+            if (!result.first_mismatch)
+                result.first_mismatch = i;
+        }
+    }
+    return result;
+}
+
+}  // namespace plr

@@ -1,0 +1,46 @@
+#ifndef PLR_UTIL_COMPARE_H_
+#define PLR_UTIL_COMPARE_H_
+
+/**
+ * @file
+ * Result-validation helpers mirroring the paper's methodology (Section 5):
+ * integer outputs must match the serial CPU result exactly; float outputs
+ * must be within a discrepancy of 1e-3.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace plr {
+
+/** Outcome of a sequence validation. */
+struct ValidationResult {
+    bool ok = true;
+    /** Index of the first offending element, if any. */
+    std::optional<std::size_t> first_mismatch;
+    /** Largest observed discrepancy (floats) or 0/1 mismatch flag (ints). */
+    double max_discrepancy = 0.0;
+
+    /** Human-readable summary for test failure messages. */
+    std::string describe() const;
+};
+
+/** Exact elementwise comparison (integer recurrences). */
+ValidationResult validate_exact(std::span<const std::int32_t> expected,
+                                std::span<const std::int32_t> actual);
+
+/**
+ * Tolerant comparison for float recurrences. The discrepancy metric is
+ * |a-b| / max(1, |b|), i.e. absolute for small magnitudes and relative for
+ * large ones, checked against the paper's 1e-3 bound by default.
+ */
+ValidationResult validate_close(std::span<const float> expected,
+                                std::span<const float> actual,
+                                double tolerance = 1e-3);
+
+}  // namespace plr
+
+#endif  // PLR_UTIL_COMPARE_H_

@@ -1,0 +1,34 @@
+#include "util/diag.h"
+
+#include <sstream>
+
+namespace plr {
+namespace detail {
+
+namespace {
+
+std::string
+format_location(const char* file, int line, const char* kind,
+                const std::string& msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+}  // namespace
+
+void
+throw_fatal(const char* file, int line, const std::string& msg)
+{
+    throw FatalError(format_location(file, line, "fatal", msg));
+}
+
+void
+throw_panic(const char* file, int line, const std::string& msg)
+{
+    throw PanicError(format_location(file, line, "panic", msg));
+}
+
+}  // namespace detail
+}  // namespace plr

@@ -1,0 +1,62 @@
+#ifndef PLR_UTIL_DIAG_H_
+#define PLR_UTIL_DIAG_H_
+
+/**
+ * @file
+ * Diagnostic helpers: fatal/panic-style error reporting and check macros.
+ *
+ * Following the gem5 convention, `fatal` is for user-caused conditions
+ * (bad signatures, unsupported parameters) and `panic` is for internal
+ * invariant violations that indicate a library bug.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace plr {
+
+/** Exception thrown for user-caused errors (invalid input, bad config). */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_fatal(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_panic(const char* file, int line, const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace plr
+
+/** Report a user-caused error; throws plr::FatalError. */
+#define PLR_FATAL(msg)                                                        \
+    ::plr::detail::throw_fatal(__FILE__, __LINE__,                            \
+                               (::std::ostringstream() << msg).str())
+
+/** Report an internal invariant violation; throws plr::PanicError. */
+#define PLR_PANIC(msg)                                                        \
+    ::plr::detail::throw_panic(__FILE__, __LINE__,                            \
+                               (::std::ostringstream() << msg).str())
+
+/** Validate a user-facing precondition. */
+#define PLR_REQUIRE(cond, msg)                                                \
+    do {                                                                      \
+        if (!(cond)) PLR_FATAL(msg);                                          \
+    } while (0)
+
+/** Validate an internal invariant. */
+#define PLR_ASSERT(cond, msg)                                                 \
+    do {                                                                      \
+        if (!(cond)) PLR_PANIC("assertion failed: " #cond ": " << msg);       \
+    } while (0)
+
+#endif  // PLR_UTIL_DIAG_H_

@@ -1,0 +1,179 @@
+#ifndef PLR_UTIL_RING_H_
+#define PLR_UTIL_RING_H_
+
+/**
+ * @file
+ * Arithmetic policies ("rings") for recurrence evaluation.
+ *
+ * The paper evaluates recurrences on 32-bit integers and 32-bit floats.
+ * Integer results are validated for exact equality: this works because all
+ * recurrence/correction arithmetic is linear, and two's-complement wrap-around
+ * (arithmetic mod 2^32) is a ring homomorphism, so serial and parallel
+ * evaluation orders agree bit-for-bit. We therefore perform all integer
+ * arithmetic on uint32_t (well-defined wrap in C++), presenting values as
+ * int32_t, which matches GPU integer semantics.
+ *
+ * Float arithmetic is not associative, so parallel evaluation produces small
+ * discrepancies; the paper accepts results within 1e-3 (see compare.h).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace plr {
+
+/** 32-bit integer ring with two's-complement wrap-around semantics. */
+struct IntRing {
+    using value_type = std::int32_t;
+
+    /** Integer arithmetic is exact; results must match the serial code. */
+    static constexpr bool is_exact = true;
+
+    static constexpr value_type zero() { return 0; }
+    static constexpr value_type one() { return 1; }
+
+    static constexpr value_type
+    add(value_type a, value_type b)
+    {
+        return static_cast<value_type>(static_cast<std::uint32_t>(a) +
+                                       static_cast<std::uint32_t>(b));
+    }
+
+    static constexpr value_type
+    sub(value_type a, value_type b)
+    {
+        return static_cast<value_type>(static_cast<std::uint32_t>(a) -
+                                       static_cast<std::uint32_t>(b));
+    }
+
+    static constexpr value_type
+    mul(value_type a, value_type b)
+    {
+        return static_cast<value_type>(static_cast<std::uint32_t>(a) *
+                                       static_cast<std::uint32_t>(b));
+    }
+
+    /** acc + f * v, all mod 2^32. */
+    static constexpr value_type
+    mul_add(value_type acc, value_type f, value_type v)
+    {
+        return add(acc, mul(f, v));
+    }
+
+    /** Convert a signature coefficient; must be integral for the int ring. */
+    static value_type
+    from_coefficient(double c)
+    {
+        return static_cast<value_type>(
+            static_cast<std::uint32_t>(static_cast<std::int64_t>(std::llround(c))));
+    }
+
+    static constexpr bool is_zero(value_type v) { return v == 0; }
+    static constexpr bool is_one(value_type v) { return v == 1; }
+
+    /** No denormals in integer arithmetic; identity. */
+    static constexpr value_type flush_denormal(value_type v) { return v; }
+};
+
+/** 32-bit IEEE float ring (GPU fast-math style with denormal flushing). */
+struct FloatRing {
+    using value_type = float;
+
+    /** Float results are validated within a tolerance, not exactly. */
+    static constexpr bool is_exact = false;
+
+    static constexpr value_type zero() { return 0.0f; }
+    static constexpr value_type one() { return 1.0f; }
+
+    static constexpr value_type add(value_type a, value_type b) { return a + b; }
+    static constexpr value_type sub(value_type a, value_type b) { return a - b; }
+    static constexpr value_type mul(value_type a, value_type b) { return a * b; }
+
+    static constexpr value_type
+    mul_add(value_type acc, value_type f, value_type v)
+    {
+        return acc + f * v;
+    }
+
+    static value_type from_coefficient(double c) { return static_cast<float>(c); }
+
+    static bool is_zero(value_type v) { return v == 0.0f; }
+    static bool is_one(value_type v) { return v == 1.0f; }
+
+    /**
+     * Flush denormal magnitudes to zero, as PLR does to accelerate the decay
+     * of IIR correction factors (Section 3.1).
+     */
+    static value_type
+    flush_denormal(value_type v)
+    {
+        return std::fabs(v) < 1.17549435e-38f ? 0.0f : v;
+    }
+};
+
+/**
+ * Max-plus (tropical) semiring: "addition" is max, "multiplication" is +.
+ *
+ * The paper lists supporting operators other than addition as future work
+ * (Section 7). The entire correction-factor machinery only relies on
+ * semiring axioms (associativity, commutativity of (+), distributivity of
+ * (*) over (+)) plus superposition of linear systems, all of which
+ * max-plus satisfies; idempotency of max makes re-applied corrections
+ * harmless. A recurrence like
+ *
+ *   y[i] = max(x[i], y[i-1] - d)      — signature (0 : -d) in this ring —
+ *
+ * is a decaying running maximum (an envelope follower in audio terms).
+ */
+struct TropicalRing {
+    using value_type = float;
+
+    /** Max of floats is exact, but inputs are floats: use tolerances. */
+    static constexpr bool is_exact = false;
+
+    /** Additive identity: -infinity. */
+    static value_type zero()
+    {
+        return -std::numeric_limits<float>::infinity();
+    }
+    /** Multiplicative identity: 0 (adding nothing). */
+    static constexpr value_type one() { return 0.0f; }
+
+    /** Semiring (+) = max. */
+    static value_type add(value_type a, value_type b) { return a > b ? a : b; }
+
+    /** Semiring (*) = IEEE addition; zero() absorbs. */
+    static value_type
+    mul(value_type a, value_type b)
+    {
+        if (is_zero(a) || is_zero(b))
+            return zero();
+        return a + b;
+    }
+
+    /** max(acc, f + v). */
+    static value_type
+    mul_add(value_type acc, value_type f, value_type v)
+    {
+        return add(acc, mul(f, v));
+    }
+
+    static value_type from_coefficient(double c)
+    {
+        return static_cast<float>(c);
+    }
+
+    static bool is_zero(value_type v)
+    {
+        return v == -std::numeric_limits<float>::infinity();
+    }
+    static bool is_one(value_type v) { return v == 0.0f; }
+
+    /** No denormal semantics in the tropical domain. */
+    static value_type flush_denormal(value_type v) { return v; }
+};
+
+}  // namespace plr
+
+#endif  // PLR_UTIL_RING_H_

@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/diag.h"
+
+namespace plr {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int s)
+{
+    return (x << s) | (x >> (64 - s));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    PLR_ASSERT(lo <= hi, "invalid range [" << lo << ", " << hi << "]");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double
+Rng::uniform_double()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform_double(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform_double();
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform_double();
+    double u2 = uniform_double();
+    while (u1 <= 1e-300) u1 = uniform_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+}  // namespace plr

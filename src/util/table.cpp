@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PLR_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    PLR_REQUIRE(cells.size() == headers_.size(),
+                "row arity " << cells.size() << " != header arity "
+                             << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c], '-') + (c + 1 < widths.size() ? "  " : "");
+    os << rule << "\n";
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+format_fixed(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+format_pow2(std::size_t n)
+{
+    if (n != 0 && (n & (n - 1)) == 0) {
+        int exp = 0;
+        for (std::size_t v = n; v > 1; v >>= 1)
+            ++exp;
+        return "2^" + std::to_string(exp);
+    }
+    return std::to_string(n);
+}
+
+std::string
+format_bytes(double bytes)
+{
+    const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    return format_fixed(bytes, unit == 0 ? 0 : 1) + " " + units[unit];
+}
+
+}  // namespace plr

@@ -1,0 +1,47 @@
+#ifndef PLR_UTIL_TABLE_H_
+#define PLR_UTIL_TABLE_H_
+
+/**
+ * @file
+ * Minimal text-table printer used by the benchmark drivers to emit the
+ * figure series and tables in the same row/column layout as the paper.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace plr {
+
+/** Column-aligned text table with a header row. */
+class TextTable {
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t num_rows() const { return rows_.size(); }
+
+    /** Render with right-aligned numeric-looking cells. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string format_fixed(double value, int precision);
+
+/** Format an element count as a power of two when exact (e.g. "2^20"). */
+std::string format_pow2(std::size_t n);
+
+/** Format a byte count as a human-readable string (KB/MB/GB). */
+std::string format_bytes(double bytes);
+
+}  // namespace plr
+
+#endif  // PLR_UTIL_TABLE_H_

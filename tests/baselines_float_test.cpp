@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/alg3like.h"
+#include "kernels/cublike.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/reclike.h"
+#include "kernels/samlike.h"
+#include "kernels/scan_baseline.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+// The paper notes float prefix sums perform like integer ones on every
+// code (Section 6.1.1); these tests pin down that the float paths are
+// exercised and correct.
+
+TEST(FloatBaselines, CubFloatPrefixSum)
+{
+    const std::size_t n = 4000;
+    const auto input = dsp::random_floats(n, 1);
+    gpusim::Device device;
+    CubLikeKernel<FloatRing> cub(dsp::prefix_sum(), n, 512);
+    const auto expected =
+        serial_recurrence<FloatRing>(dsp::prefix_sum(), input);
+    EXPECT_TRUE(validate_close(expected, cub.run(device, input), 1e-3).ok);
+}
+
+TEST(FloatBaselines, CubFloatTuples)
+{
+    const std::size_t n = 3000;
+    const auto input = dsp::random_floats(n, 2);
+    for (std::size_t s : {2u, 3u}) {
+        gpusim::Device device;
+        CubLikeKernel<FloatRing> cub(dsp::tuple_prefix_sum(s), n, 512);
+        const auto expected =
+            serial_recurrence<FloatRing>(dsp::tuple_prefix_sum(s), input);
+        EXPECT_TRUE(validate_close(expected, cub.run(device, input), 1e-3).ok)
+            << s;
+    }
+}
+
+TEST(FloatBaselines, SamFloatHigherOrder)
+{
+    const std::size_t n = 3000;
+    // Higher-order float prefix sums are ill-conditioned (values grow
+    // like n^k/k!, so re-association amplifies rounding); the paper only
+    // evaluates integer higher orders. Order 2 with tiny inputs stays
+    // within a loose tolerance.
+    const auto input = dsp::random_floats(n, 3, -0.01f, 0.01f);
+    for (std::size_t k : {2u}) {
+        gpusim::Device device;
+        SamLikeKernel<FloatRing> sam(dsp::higher_order_prefix_sum(k), n,
+                                     512);
+        const auto expected = serial_recurrence<FloatRing>(
+            dsp::higher_order_prefix_sum(k), input);
+        EXPECT_TRUE(validate_close(expected, sam.run(device, input), 1e-2).ok)
+            << k;
+    }
+}
+
+TEST(FloatBaselines, ScanFloatThirdOrderFilter)
+{
+    const auto sig = dsp::lowpass(0.8, 3);
+    const std::size_t n = 2500;
+    const auto input = dsp::random_floats(n, 4);
+    gpusim::Device device;
+    ScanBaseline<FloatRing> scan(sig, n, 128);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(expected, scan.run(device, input), 1e-3).ok);
+}
+
+// ------------------------------------------- rectangular 2D baselines
+
+TEST(Rectangular, Alg3WideImage)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    const std::size_t rows = 8, cols = 512;
+    const auto image = dsp::random_floats(rows * cols, 5);
+    gpusim::Device device;
+    Alg3LikeKernel alg3(sig, rows, cols);
+    const auto result = alg3.run(device, image);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto expected = serial_recurrence<FloatRing>(
+            sig, std::span<const float>(image.data() + r * cols, cols));
+        EXPECT_TRUE(validate_close(expected,
+                                   std::span<const float>(
+                                       result.data() + r * cols, cols),
+                                   1e-3)
+                        .ok)
+            << r;
+    }
+}
+
+TEST(Rectangular, RecTallImageWithPartialTiles)
+{
+    const auto sig = dsp::lowpass(0.8, 2);
+    const std::size_t rows = 64, cols = 75;  // not a multiple of the tile
+    const auto image = dsp::random_floats(rows * cols, 7);
+    gpusim::Device device;
+    RecLikeKernel rec(sig, rows, cols);
+    const auto result = rec.run(device, image);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto expected = serial_recurrence<FloatRing>(
+            sig, std::span<const float>(image.data() + r * cols, cols));
+        EXPECT_TRUE(validate_close(expected,
+                                   std::span<const float>(
+                                       result.data() + r * cols, cols),
+                                   1e-3)
+                        .ok)
+            << r;
+    }
+}
+
+TEST(Rectangular, RecCustomTileWidth)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    const std::size_t rows = 8, cols = 200;
+    const auto image = dsp::random_floats(rows * cols, 9);
+    for (std::size_t tile : {8u, 16u, 64u}) {
+        gpusim::Device device;
+        RecLikeKernel rec(sig, rows, cols, tile);
+        const auto result = rec.run(device, image);
+        const auto expected = serial_recurrence<FloatRing>(
+            sig, std::span<const float>(image.data(), cols));
+        EXPECT_TRUE(validate_close(expected,
+                                   std::span<const float>(result.data(),
+                                                          cols),
+                                   1e-3)
+                        .ok)
+            << tile;
+    }
+}
+
+// ------------------------------------------------- residency stress
+
+TEST(Residency, PlrCorrectUnderRestrictedResidency)
+{
+    // The look-back pipeline must work whether 1, 2, or 48 blocks are
+    // resident; exercise the protocol under different concurrency.
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const std::size_t n = 1 << 14;
+    const auto input = dsp::random_ints(n, 11);
+    const auto expected = serial_recurrence<IntRing>(sig, input);
+
+    for (std::size_t resident : {1u, 2u, 7u, 48u}) {
+        gpusim::DeviceSpec spec = gpusim::titan_x();
+        spec.max_threads = spec.max_block_threads * resident;
+        gpusim::Device device(spec);
+        PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, n, 64, 64));
+        EXPECT_EQ(kernel.run(device, input), expected)
+            << "resident=" << resident;
+    }
+}
+
+TEST(Residency, WindowNarrowerThanResidencyStillCompletes)
+{
+    // More resident blocks than the look-back window: later blocks spin
+    // until earlier ones publish, but progress is guaranteed.
+    const auto sig = dsp::prefix_sum();
+    const std::size_t n = 1 << 13;
+    const auto input = dsp::random_ints(n, 13);
+    auto plan = make_plan_with_chunk(sig, n, 32, 32);
+    plan.pipeline_depth = 2;  // tiny window, 48 resident blocks
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(plan);
+    PlrRunStats stats;
+    EXPECT_EQ(kernel.run(device, input, &stats),
+              serial_recurrence<IntRing>(sig, input));
+    EXPECT_LE(stats.max_lookback, 2u);
+}
+
+}  // namespace
+}  // namespace plr::kernels

@@ -1,0 +1,144 @@
+#include "kernels/batched.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+TEST(Batched, RowPassMatchesSerialPerRow)
+{
+    const std::size_t rows = 9, cols = 37;
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const auto image = dsp::random_ints(rows * cols, 3);
+    gpusim::Device device;
+    const auto out = batched_recurrence<IntRing>(device, sig, image, rows,
+                                                 cols, Axis::kRows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto expected = serial_recurrence<IntRing>(
+            sig,
+            std::span<const std::int32_t>(image.data() + r * cols, cols));
+        for (std::size_t c = 0; c < cols; ++c)
+            EXPECT_EQ(out[r * cols + c], expected[c]) << r << "," << c;
+    }
+}
+
+TEST(Batched, ColumnPassMatchesSerialPerColumn)
+{
+    const std::size_t rows = 21, cols = 8;
+    const auto sig = dsp::prefix_sum();
+    const auto image = dsp::random_ints(rows * cols, 4);
+    gpusim::Device device;
+    const auto out = batched_recurrence<IntRing>(device, sig, image, rows,
+                                                 cols, Axis::kCols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::vector<std::int32_t> column(rows);
+        for (std::size_t r = 0; r < rows; ++r)
+            column[r] = image[r * cols + c];
+        const auto expected = serial_recurrence<IntRing>(sig, column);
+        for (std::size_t r = 0; r < rows; ++r)
+            EXPECT_EQ(out[r * cols + c], expected[r]) << r << "," << c;
+    }
+}
+
+TEST(Batched, FloatFilterRows)
+{
+    const std::size_t rows = 6, cols = 200;
+    const auto sig = dsp::lowpass(0.8, 2);
+    const auto image = dsp::random_floats(rows * cols, 9);
+    gpusim::Device device;
+    const auto out = batched_recurrence<FloatRing>(device, sig, image, rows,
+                                                   cols, Axis::kRows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto expected = serial_recurrence<FloatRing>(
+            sig, std::span<const float>(image.data() + r * cols, cols));
+        const auto actual =
+            std::span<const float>(out.data() + r * cols, cols);
+        EXPECT_TRUE(validate_close(expected, actual, 1e-3).ok) << r;
+    }
+}
+
+TEST(Batched, TropicalRows)
+{
+    const std::size_t rows = 4, cols = 64;
+    const auto sig = Signature::max_plus({0.0}, {-0.5});
+    const auto image = dsp::random_floats(rows * cols, 11, 0.0f, 10.0f);
+    gpusim::Device device;
+    const auto out = batched_recurrence<TropicalRing>(
+        device, sig, image, rows, cols, Axis::kRows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto expected = serial_recurrence<TropicalRing>(
+            sig, std::span<const float>(image.data() + r * cols, cols));
+        for (std::size_t c = 0; c < cols; ++c)
+            EXPECT_NEAR(out[r * cols + c], expected[c], 1e-4);
+    }
+}
+
+TEST(Batched, SummedAreaTableIdentity)
+{
+    // Row pass then column pass = 2D inclusive prefix sum: check against
+    // a direct double loop.
+    const std::size_t rows = 16, cols = 16;
+    const auto image = dsp::random_ints(rows * cols, 13, -3, 3);
+    gpusim::Device device;
+    const auto sig = dsp::prefix_sum();
+    const auto row_pass = batched_recurrence<IntRing>(device, sig, image,
+                                                      rows, cols, Axis::kRows);
+    const auto sat = batched_recurrence<IntRing>(device, sig, row_pass, rows,
+                                                 cols, Axis::kCols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            std::int32_t direct = 0;
+            for (std::size_t rr = 0; rr <= r; ++rr)
+                for (std::size_t cc = 0; cc <= c; ++cc)
+                    direct = IntRing::add(direct, image[rr * cols + cc]);
+            EXPECT_EQ(sat[r * cols + c], direct) << r << "," << c;
+        }
+    }
+}
+
+TEST(Batched, RowAndColumnPassesCommute)
+{
+    const std::size_t rows = 12, cols = 18;
+    const auto image = dsp::random_ints(rows * cols, 17);
+    gpusim::Device device;
+    const auto sig = dsp::prefix_sum();
+    const auto rc = batched_recurrence<IntRing>(
+        device, sig,
+        batched_recurrence<IntRing>(device, sig, image, rows, cols,
+                                    Axis::kRows),
+        rows, cols, Axis::kCols);
+    const auto cr = batched_recurrence<IntRing>(
+        device, sig,
+        batched_recurrence<IntRing>(device, sig, image, rows, cols,
+                                    Axis::kCols),
+        rows, cols, Axis::kRows);
+    EXPECT_EQ(rc, cr);
+}
+
+TEST(Batched, RejectsShapeMismatch)
+{
+    gpusim::Device device;
+    const auto image = dsp::random_ints(100, 1);
+    EXPECT_THROW(batched_recurrence<IntRing>(device, dsp::prefix_sum(),
+                                             image, 11, 10, Axis::kRows),
+                 FatalError);
+}
+
+TEST(Batched, SingleRowEqualsPlainRecurrence)
+{
+    const std::size_t n = 500;
+    const auto sig = Signature::parse("(2, 1: 1, -1)");
+    const auto input = dsp::random_ints(n, 19);
+    gpusim::Device device;
+    const auto batched = batched_recurrence<IntRing>(device, sig, input, 1,
+                                                     n, Axis::kRows);
+    EXPECT_EQ(batched, serial_recurrence<IntRing>(sig, input));
+}
+
+}  // namespace
+}  // namespace plr::kernels

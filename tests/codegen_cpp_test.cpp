@@ -1,0 +1,100 @@
+#include "core/codegen_cpp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "dsp/filter_design.h"
+#include "util/diag.h"
+
+namespace plr {
+namespace {
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CodegenCpp, StructureOfTheEmittedProgram)
+{
+    const auto code = generate_cpp(Signature::parse("(1: 2, -1)"));
+    EXPECT_TRUE(code.is_integer);
+    EXPECT_TRUE(contains(code.source, "plr_compute_factors"));
+    EXPECT_TRUE(contains(code.source, "std::thread"));
+    EXPECT_TRUE(contains(code.source, "plr_serial"));
+    EXPECT_TRUE(contains(code.source, "plr_parallel"));
+    EXPECT_TRUE(contains(code.source, "int main"));
+    // Exact wrap-around arithmetic for the integer ring.
+    EXPECT_TRUE(contains(code.source, "(uint32_t)a + (uint32_t)b"));
+}
+
+TEST(CodegenCpp, PrefixSumConstantFolds)
+{
+    const auto code = generate_cpp(dsp::prefix_sum());
+    EXPECT_EQ(code.constant_lists, 1u);
+    EXPECT_TRUE(contains(code.source, "constant-folded list 1"));
+}
+
+TEST(CodegenCpp, TupleUsesConditionalAdds)
+{
+    const auto code = generate_cpp(dsp::tuple_prefix_sum(3));
+    EXPECT_EQ(code.conditional_lists, 3u);
+    EXPECT_TRUE(contains(code.source, "0/1 list"));
+}
+
+TEST(CodegenCpp, FloatFilterEmitsDecaySuppression)
+{
+    const auto code = generate_cpp(dsp::lowpass(0.8, 2));
+    EXPECT_FALSE(code.is_integer);
+    EXPECT_TRUE(contains(code.source, "Decayed-tail suppression"));
+    EXPECT_TRUE(contains(code.source, "plr_eff"));
+}
+
+TEST(CodegenCpp, MaxPlusRejected)
+{
+    EXPECT_THROW(generate_cpp(Signature::max_plus({0.0}, {-1.0})),
+                 FatalError);
+}
+
+/** Write, compile with the host compiler, run, and check the output. */
+void
+compile_and_run(const Signature& sig, const char* tag)
+{
+    const auto code = generate_cpp(sig);
+    const std::string dir = ::testing::TempDir();
+    const std::string src = dir + "/plr_gen_" + tag + ".cpp";
+    const std::string bin = dir + "/plr_gen_" + tag;
+    {
+        std::ofstream file(src);
+        ASSERT_TRUE(file.good());
+        file << code.source;
+    }
+    const std::string compile =
+        "g++ -std=c++17 -O1 -pthread -o " + bin + " " + src + " 2>&1";
+    ASSERT_EQ(std::system(compile.c_str()), 0) << "compilation failed";
+
+    // Awkward size + 5 threads: exercises partial chunks.
+    const std::string run = bin + " 100003 5 > " + bin + ".out 2>&1";
+    ASSERT_EQ(std::system(run.c_str()), 0) << "generated program failed";
+    std::ifstream result(bin + ".out");
+    std::string output((std::istreambuf_iterator<char>(result)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_TRUE(contains(output, "ok")) << output;
+    EXPECT_FALSE(contains(output, "MISMATCH")) << output;
+}
+
+TEST(CodegenCpp, GeneratedIntegerProgramCompilesAndValidates)
+{
+    compile_and_run(Signature::parse("(1: 2, -1)"), "order2");
+}
+
+TEST(CodegenCpp, GeneratedFilterProgramCompilesAndValidates)
+{
+    compile_and_run(dsp::highpass(0.8, 2), "highpass2");
+}
+
+}  // namespace
+}  // namespace plr

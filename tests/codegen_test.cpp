@@ -1,0 +1,278 @@
+#include "core/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "util/diag.h"
+
+namespace plr {
+namespace {
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+std::size_t
+count_occurrences(const std::string& haystack, const std::string& needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+CodegenOptions
+small_options()
+{
+    CodegenOptions options;
+    options.block_threads = 64;
+    options.x_values = {3};
+    return options;
+}
+
+TEST(Codegen, EmitsAllEightSections)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 2, -1)"),
+                                    small_options());
+    EXPECT_TRUE(contains(code.source, "Section 1"));
+    EXPECT_TRUE(contains(code.source, "Section 2"));
+    EXPECT_TRUE(contains(code.source, "Section 4"));
+    EXPECT_TRUE(contains(code.source, "Section 5"));
+    EXPECT_TRUE(contains(code.source, "Section 6"));
+    EXPECT_TRUE(contains(code.source, "Section 7"));
+    EXPECT_TRUE(contains(code.source, "Section 8"));
+}
+
+TEST(Codegen, UsesTheThreeGpuCommunicationLevels)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 2, -1)"),
+                                    small_options());
+    // Warps: shuffle instructions; blocks: shared memory + barrier;
+    // grid: global-memory carries, fences, flags, atomic chunk counter.
+    EXPECT_TRUE(contains(code.source, "__shfl_up_sync"));
+    EXPECT_TRUE(contains(code.source, "__shared__"));
+    EXPECT_TRUE(contains(code.source, "__syncthreads()"));
+    EXPECT_TRUE(contains(code.source, "__threadfence()"));
+    EXPECT_TRUE(contains(code.source, "atomicAdd(&plr_chunk_counter"));
+    EXPECT_TRUE(contains(code.source, "volatile"));
+}
+
+TEST(Codegen, IntSignatureUsesIntValues)
+{
+    const auto code =
+        generate_cuda(Signature::parse("(1: 1)"), small_options());
+    EXPECT_TRUE(code.is_integer);
+    EXPECT_TRUE(contains(code.source, "typedef int val_t;"));
+}
+
+TEST(Codegen, FloatSignatureUsesFloatValues)
+{
+    const auto code = generate_cuda(dsp::lowpass(0.8, 1), small_options());
+    EXPECT_FALSE(code.is_integer);
+    EXPECT_TRUE(contains(code.source, "typedef float val_t;"));
+}
+
+TEST(Codegen, PrefixSumFoldsFactorsToConstant)
+{
+    // (1: 1): all correction factors are 1 -> no factor array at all.
+    const auto code =
+        generate_cuda(Signature::parse("(1: 1)"), small_options());
+    EXPECT_TRUE(contains(code.source, "folded into a constant"));
+    EXPECT_FALSE(contains(code.source, "__device__ const int plr_factor"));
+    ASSERT_EQ(code.factor_array_elems.size(), 1u);
+    EXPECT_EQ(code.factor_array_elems[0], 0u);
+}
+
+TEST(Codegen, TupleSumUsesConditionalAddsAndPeriodicStorage)
+{
+    const auto code =
+        generate_cuda(Signature::parse("(1: 0, 0, 1)"), small_options());
+    // 0/1 factors: conditional add, no multiply on the factor.
+    EXPECT_TRUE(contains(code.source, "if (PLR_FACTOR_1(o)) acc +="));
+    // Period 3: only the first repetition stored.
+    EXPECT_TRUE(contains(code.source, "periodic with period 3"));
+    EXPECT_TRUE(contains(code.source, "% 3)"));
+    for (std::size_t elems : code.factor_array_elems)
+        EXPECT_LE(elems, 3u);
+}
+
+TEST(Codegen, HigherOrderSumsKeepFullArrays)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 2, -1)"),
+                                    small_options());
+    // No special-case optimization applies (Section 6.3); both arrays
+    // are emitted in full (m = 64 * 3 = 192 entries each).
+    ASSERT_EQ(code.factor_array_elems.size(), 2u);
+    EXPECT_EQ(code.factor_array_elems[0], 192u);
+    EXPECT_EQ(code.factor_array_elems[1], 192u);
+    EXPECT_TRUE(contains(code.source, "* carry"));
+}
+
+TEST(Codegen, StableFilterTailIsSuppressed)
+{
+    // The 2-stage low-pass factors decay below float precision well
+    // before m; the emitted arrays stop at the effective length and the
+    // correction code is guarded.
+    CodegenOptions options;
+    options.block_threads = 1024;
+    options.x_values = {2};
+    const auto code = generate_cuda(dsp::lowpass(0.8, 2), options);
+    ASSERT_EQ(code.factor_array_elems.size(), 2u);
+    EXPECT_LT(code.factor_array_elems[0], 2048u);
+    EXPECT_TRUE(contains(code.source, "zero tail suppressed"));
+    EXPECT_TRUE(contains(code.source, "decays to zero after"));
+}
+
+TEST(Codegen, FibonacciSharesShiftedList)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 1, 1)"),
+                                    small_options());
+    EXPECT_TRUE(contains(code.source, "shifted by one position"));
+    // Only list 1 gets an array; list 2 is an alias macro.
+    EXPECT_EQ(code.factor_array_elems[1], 0u);
+    EXPECT_TRUE(contains(code.source, "PLR_FACTOR_1((o) - 1)"));
+}
+
+TEST(Codegen, OptimizationsOffEmitsPlainArrays)
+{
+    CodegenOptions options = small_options();
+    options.opts = Optimizations::all_off();
+    const auto code = generate_cuda(Signature::parse("(1: 1)"), options);
+    // Even the all-ones prefix-sum factors stay a full global array.
+    EXPECT_TRUE(contains(code.source, "__device__ const int plr_factor_1"));
+    EXPECT_FALSE(contains(code.source, "folded into a constant"));
+    EXPECT_FALSE(contains(code.source, "_cache["));
+    EXPECT_EQ(code.factor_array_elems[0], 192u);
+}
+
+TEST(Codegen, MapOperationEmittedOnlyWhenNeeded)
+{
+    const auto pure = generate_cuda(Signature::parse("(1: 1)"),
+                                    small_options());
+    EXPECT_FALSE(contains(pure.source, "Section 3: map operation"));
+
+    const auto highpass = generate_cuda(dsp::highpass(0.8, 1),
+                                        small_options());
+    EXPECT_TRUE(contains(highpass.source, "Section 3: map operation"));
+}
+
+TEST(Codegen, EmitsOneKernelPerXValue)
+{
+    CodegenOptions options;
+    options.block_threads = 64;
+    options.x_values = {2, 4, 8};
+    const auto code = generate_cuda(Signature::parse("(1: 2, -1)"), options);
+    EXPECT_TRUE(contains(code.source, "plr_kernel_x2"));
+    EXPECT_TRUE(contains(code.source, "plr_kernel_x4"));
+    EXPECT_TRUE(contains(code.source, "plr_kernel_x8"));
+    EXPECT_EQ(count_occurrences(code.source, "__global__ void"), 3u);
+}
+
+TEST(Codegen, DefaultXValuesRespectTypeCaps)
+{
+    const auto int_code = generate_cuda(Signature::parse("(1: 1)"));
+    EXPECT_EQ(int_code.x_values.back(), 11u);
+    const auto float_code = generate_cuda(dsp::lowpass(0.8, 1));
+    EXPECT_EQ(float_code.x_values.back(), 9u);
+}
+
+TEST(Codegen, MainEmitsTimingAndValidation)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 1)"),
+                                    small_options());
+    EXPECT_TRUE(contains(code.source, "int main"));
+    EXPECT_TRUE(contains(code.source, "cudaEventElapsedTime"));
+    EXPECT_TRUE(contains(code.source, "plr_serial"));
+    EXPECT_TRUE(contains(code.source, "MISMATCH"));
+}
+
+TEST(Codegen, MainCanBeSuppressed)
+{
+    CodegenOptions options = small_options();
+    options.emit_main = false;
+    const auto code = generate_cuda(Signature::parse("(1: 1)"), options);
+    EXPECT_FALSE(contains(code.source, "int main"));
+}
+
+TEST(Codegen, FloatToleranceValidationEmitted)
+{
+    const auto code = generate_cuda(dsp::lowpass(0.8, 1), small_options());
+    EXPECT_TRUE(contains(code.source, "1e-3"));
+}
+
+TEST(Codegen, RejectsMapOnlySignature)
+{
+    const auto fir = Signature::parse("(1, 2: 0)", /*allow_fir=*/true);
+    EXPECT_THROW(generate_cuda(fir), FatalError);
+}
+
+TEST(Codegen, RejectsXBelowOrder)
+{
+    CodegenOptions options;
+    options.x_values = {1};
+    EXPECT_THROW(generate_cuda(Signature::parse("(1: 2, -1)"), options),
+                 FatalError);
+}
+
+TEST(Codegen, SignatureEchoedInHeader)
+{
+    const auto code = generate_cuda(Signature::parse("(1: 3, -3, 1)"),
+                                    small_options());
+    EXPECT_TRUE(contains(code.source, "Signature: (1: 3, -3, 1)"));
+}
+
+TEST(Codegen, BalancedBraces)
+{
+    for (const char* text :
+         {"(1: 1)", "(1: 0, 1)", "(1: 2, -1)", "(0.2: 0.8)",
+          "(0.9, -0.9: 0.8)", "(1: 1, 1)"}) {
+        const auto code = generate_cuda(Signature::parse(text));
+        EXPECT_EQ(count_occurrences(code.source, "{"),
+                  count_occurrences(code.source, "}"))
+            << text;
+    }
+}
+
+
+// ------------------------------------- sweep over every Table-1 row
+
+class CodegenTable1Sweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodegenTable1Sweep, WellFormedForEveryPaperRecurrence)
+{
+    const auto sig = Signature::parse(GetParam());
+    CodegenOptions options;
+    options.block_threads = 64;
+    options.x_values = {std::max<std::size_t>(sig.order(), 4)};
+    const auto code = generate_cuda(sig, options);
+
+    EXPECT_EQ(count_occurrences(code.source, "{"),
+              count_occurrences(code.source, "}"));
+    EXPECT_EQ(count_occurrences(code.source, "("),
+              count_occurrences(code.source, ")"));
+    EXPECT_TRUE(contains(code.source,
+                         code.is_integer ? "typedef int val_t;"
+                                         : "typedef float val_t;"));
+    EXPECT_EQ(code.factor_array_elems.size(), sig.order());
+    EXPECT_TRUE(contains(code.source, "plr_kernel_x"));
+    EXPECT_TRUE(contains(code.source, "int main"));
+    // One accessor macro per carry.
+    for (std::size_t j = 1; j <= sig.order(); ++j)
+        EXPECT_TRUE(contains(code.source,
+                             "PLR_FACTOR_" + std::to_string(j) + "("))
+            << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, CodegenTable1Sweep,
+    ::testing::Values("(1: 1)", "(1: 0, 1)", "(1: 0, 0, 1)", "(1: 2, -1)",
+                      "(1: 3, -3, 1)", "(0.2: 0.8)", "(0.04: 1.6, -0.64)",
+                      "(0.008: 2.4, -1.92, 0.512)", "(0.9, -0.9: 0.8)",
+                      "(0.81, -1.62, 0.81: 1.6, -0.64)",
+                      "(0.729, -2.187, 2.187, -0.729: 2.4, -1.92, 0.512)"));
+
+}  // namespace
+}  // namespace plr

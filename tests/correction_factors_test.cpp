@@ -1,0 +1,234 @@
+#include "core/correction_factors.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factor_analysis.h"
+#include "core/signature.h"
+#include "dsp/filter_design.h"
+#include "kernels/serial.h"
+#include "util/ring.h"
+
+namespace plr {
+namespace {
+
+using IntFactors = CorrectionFactors<IntRing>;
+using FloatFactors = CorrectionFactors<FloatRing>;
+
+TEST(CorrectionFactors, PaperWorkedExampleLists)
+{
+    // Section 2.3: for (1: 2, -1) with m = 8 the two lists are
+    //   list 1 (seed 0,1): 2, 3, 4, 5, 6, 7, 8, 9
+    //   list 2 (seed 1,0): -1, -2, -3, -4, -5, -6, -7, -8
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const auto factors = IntFactors::generate(sig, 8);
+    ASSERT_EQ(factors.order(), 2u);
+    for (int o = 0; o < 8; ++o) {
+        EXPECT_EQ(factors.factor(1, o), o + 2) << "list 1 offset " << o;
+        EXPECT_EQ(factors.factor(2, o), -(o + 1)) << "list 2 offset " << o;
+    }
+}
+
+TEST(CorrectionFactors, FirstOrderFactorsArePowers)
+{
+    // Section 2.1: for (1: d) the factors are d, d^2, d^3, ...
+    const auto sig = Signature::parse("(1: 3)");
+    const auto factors = IntFactors::generate(sig, 10);
+    std::int32_t expect = 1;
+    for (int o = 0; o < 10; ++o) {
+        expect = IntRing::mul(expect, 3);
+        EXPECT_EQ(factors.factor(1, o), expect);
+    }
+}
+
+TEST(CorrectionFactors, FibonacciForUnitSecondOrder)
+{
+    // (1: 1, 1) yields the two Fibonacci seedings (Section 2.1).
+    const auto sig = Signature::parse("(1: 1, 1)");
+    const auto factors = IntFactors::generate(sig, 10);
+    const std::int32_t fib1[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+    const std::int32_t fib2[] = {1, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+    for (int o = 0; o < 10; ++o) {
+        EXPECT_EQ(factors.factor(1, o), fib1[o]);
+        EXPECT_EQ(factors.factor(2, o), fib2[o]);
+    }
+}
+
+TEST(CorrectionFactors, TribonacciMiddleSequenceDiffers)
+{
+    // (1: 1, 1, 1): three Tribonacci seedings; the paper points out that
+    // the middle sequence (OEIS A001590) differs from the outer two
+    // (A000073 shifted).
+    const auto sig = Signature::parse("(1: 1, 1, 1)");
+    const auto factors = IntFactors::generate(sig, 8);
+    // Seed 0,0,1 -> 1, 2, 4, 7, 13, 24, 44, 81 (the A000073 tail).
+    const std::int32_t outer[] = {1, 2, 4, 7, 13, 24, 44, 81};
+    for (int o = 0; o < 8; ++o)
+        EXPECT_EQ(factors.factor(1, o), outer[o]);
+    // The middle list must differ from both outer lists somewhere.
+    bool differs_from_first = false;
+    bool differs_from_last = false;
+    for (int o = 0; o < 8; ++o) {
+        if (factors.factor(2, o) != factors.factor(1, o))
+            differs_from_first = true;
+        if (factors.factor(2, o) != factors.factor(3, o))
+            differs_from_last = true;
+    }
+    EXPECT_TRUE(differs_from_first);
+    EXPECT_TRUE(differs_from_last);
+}
+
+TEST(CorrectionFactors, OuterTribonacciListsAreShifted)
+{
+    const auto sig = Signature::parse("(1: 1, 1, 1)");
+    const auto factors = IntFactors::generate(sig, 8);
+    // List 3 is list 1 shifted by one position (b_k == 1).
+    EXPECT_EQ(factors.factor(3, 0), 1);
+    for (int o = 1; o < 8; ++o)
+        EXPECT_EQ(factors.factor(3, o), factors.factor(1, o - 1));
+}
+
+TEST(CorrectionFactors, MatchesEquationDerivation)
+{
+    // Independent derivation of the factors "by solving the equations"
+    // (the approach the authors started from, Section 3): F_j[o] is the
+    // correction the second chunk's element o receives when the first
+    // chunk's *output* is the unit vector with a 1 at position s-j. We
+    // construct an input producing that output with the inverse filter
+    // x[i] = y[i] - sum b_l y[i-l], run the serial code on
+    // [x | 0,...,0], and read the factors off the second chunk.
+    const auto sig = Signature::parse("(1: 2, -1, 3)").recursive_part();
+    const std::size_t k = sig.order();
+    const std::size_t s = 16;
+    const auto factors = IntFactors::generate(sig, s);
+
+    for (std::size_t j = 1; j <= k; ++j) {
+        std::vector<std::int32_t> desired(s, 0);
+        desired[s - j] = 1;
+        std::vector<std::int32_t> input(2 * s, 0);
+        for (std::size_t i = 0; i < s; ++i) {
+            std::int32_t x = desired[i];
+            for (std::size_t l = 1; l <= k && l <= i; ++l)
+                x = IntRing::sub(
+                    x, IntRing::mul(IntRing::from_coefficient(sig.b()[l - 1]),
+                                    desired[i - l]));
+            input[i] = x;
+        }
+        const auto full = kernels::serial_recurrence<IntRing>(sig, input);
+        for (std::size_t i = 0; i < s; ++i)
+            ASSERT_EQ(full[i], desired[i]) << "inverse filter failed at " << i;
+        for (std::size_t o = 0; o < s; ++o)
+            EXPECT_EQ(factors.factor(j, o), full[s + o])
+                << "j=" << j << " o=" << o;
+    }
+}
+
+TEST(CorrectionFactors, MergeCorrectionEqualsRecomputation)
+{
+    // Property (the heart of Phase 1): computing the recurrence on two
+    // concatenated chunks equals computing it on each chunk independently
+    // and then correcting the second chunk with the factor lists.
+    for (const char* text : {"(1: 1)", "(1: 2, -1)", "(1: 1, 1)",
+                             "(1: 0, 1)", "(1: 3, -3, 1)", "(1: 1, -2, 3)"}) {
+        const auto sig = Signature::parse(text).recursive_part();
+        const std::size_t k = sig.order();
+        const std::size_t s = 16;  // chunk size
+        const auto factors = IntFactors::generate(sig, s);
+
+        std::vector<std::int32_t> input(2 * s);
+        for (std::size_t i = 0; i < input.size(); ++i)
+            input[i] = static_cast<std::int32_t>(7 * i + 3) * (i % 3 ? 1 : -1);
+
+        const auto full = kernels::serial_recurrence<IntRing>(sig, input);
+        const auto first = kernels::serial_recurrence<IntRing>(
+            sig, std::span<const std::int32_t>(input.data(), s));
+        const auto second = kernels::serial_recurrence<IntRing>(
+            sig, std::span<const std::int32_t>(input.data() + s, s));
+
+        for (std::size_t o = 0; o < s; ++o) {
+            std::int32_t corrected = second[o];
+            for (std::size_t j = 1; j <= k && j <= s; ++j)
+                corrected = IntRing::mul_add(corrected, factors.factor(j, o),
+                                             first[s - j]);
+            EXPECT_EQ(corrected, full[s + o]) << text << " offset " << o;
+        }
+    }
+}
+
+TEST(CorrectionFactors, FloatLowpassFactorsDecay)
+{
+    // Stable IIR impulse responses decay below float precision; with
+    // denormal flushing the tail becomes exactly zero (Section 3.1).
+    const auto sig = dsp::lowpass(0.8, 2);
+    const auto factors =
+        FloatFactors::generate(sig, 4096, /*flush_denormals=*/true);
+    const auto props = analyze_factors(factors);
+    for (std::size_t j = 1; j <= 2; ++j) {
+        EXPECT_LT(props.lists[j - 1].effective_length, 4096u)
+            << "list " << j << " did not decay";
+        EXPECT_GT(props.lists[j - 1].effective_length, 16u);
+    }
+}
+
+TEST(CorrectionFactors, RejectsOrderZero)
+{
+    const auto fir = Signature::parse("(1, 2: 0)", /*allow_fir=*/true);
+    EXPECT_THROW(IntFactors::generate(fir, 8), FatalError);
+}
+
+TEST(FactorAnalysis, PrefixSumFactorsAreConstantOne)
+{
+    const auto factors =
+        IntFactors::generate(Signature::parse("(1: 1)"), 64);
+    const auto props = analyze_factors(factors);
+    ASSERT_EQ(props.lists.size(), 1u);
+    EXPECT_TRUE(props.lists[0].all_equal);
+    EXPECT_TRUE(props.lists[0].all_zero_one);
+    EXPECT_EQ(props.lists[0].period, 1u);
+    EXPECT_EQ(factors.factor(1, 0), 1);
+}
+
+TEST(FactorAnalysis, TupleFactorsArePeriodicZeroOne)
+{
+    const auto factors =
+        IntFactors::generate(Signature::parse("(1: 0, 0, 1)"), 64);
+    const auto props = analyze_factors(factors);
+    for (std::size_t j = 1; j <= 3; ++j) {
+        EXPECT_TRUE(props.lists[j - 1].all_zero_one) << j;
+        EXPECT_EQ(props.lists[j - 1].period, 3u) << j;
+        EXPECT_FALSE(props.lists[j - 1].all_equal) << j;
+    }
+    // F_j[o] == 1 exactly when (o + j) % 3 == 0 (carry j corrects the
+    // element of the same tuple lane).
+    for (std::size_t j = 1; j <= 3; ++j)
+        for (std::size_t o = 0; o < 12; ++o)
+            EXPECT_EQ(factors.factor(j, o), ((o + j) % 3 == 0) ? 1 : 0);
+}
+
+TEST(FactorAnalysis, HigherOrderFactorsNotOptimizable)
+{
+    // Section 6.3: none of the special-case optimizations apply to
+    // higher-order prefix sums (factors grow, are aperiodic, not 0/1).
+    const auto factors =
+        IntFactors::generate(Signature::parse("(1: 2, -1)"), 64);
+    const auto props = analyze_factors(factors);
+    for (const auto& list : props.lists) {
+        EXPECT_FALSE(list.all_equal);
+        EXPECT_FALSE(list.all_zero_one);
+        EXPECT_EQ(list.period, 64u);
+        EXPECT_EQ(list.effective_length, 64u);
+    }
+}
+
+TEST(FactorAnalysis, ShiftDetection)
+{
+    const auto fib =
+        IntFactors::generate(Signature::parse("(1: 1, 1)"), 32);
+    EXPECT_TRUE(analyze_factors(fib).last_is_shift_of_first);
+
+    const auto order2 =
+        IntFactors::generate(Signature::parse("(1: 2, -1)"), 32);
+    EXPECT_FALSE(analyze_factors(order2).last_is_shift_of_first);
+}
+
+}  // namespace
+}  // namespace plr

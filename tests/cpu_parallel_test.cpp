@@ -1,0 +1,109 @@
+#include "kernels/cpu_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+struct CpuCase {
+    const char* signature;
+    std::size_t n;
+    std::size_t threads;
+};
+
+class CpuParallelSweep : public ::testing::TestWithParam<CpuCase> {};
+
+TEST_P(CpuParallelSweep, IntMatchesSerialExactly)
+{
+    const auto& param = GetParam();
+    const auto sig = Signature::parse(param.signature);
+    const auto input = dsp::random_ints(param.n, 50 + param.n);
+    CpuRunStats stats;
+    const auto result = cpu_parallel_recurrence<IntRing>(
+        sig, input, param.threads, &stats);
+    const auto expected = serial_recurrence<IntRing>(sig, input);
+    EXPECT_TRUE(validate_exact(expected, result).ok)
+        << param.signature << " n=" << param.n << " threads=" << param.threads
+        << " (used " << stats.threads_used << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CpuParallelSweep,
+    ::testing::Values(CpuCase{"(1: 1)", 100000, 4},
+                      CpuCase{"(1: 1)", 100001, 7},
+                      CpuCase{"(1: 0, 1)", 50000, 3},
+                      CpuCase{"(1: 2, -1)", 80000, 8},
+                      CpuCase{"(1: 3, -3, 1)", 60000, 5},
+                      CpuCase{"(2, 1: 1, -2)", 40000, 2},
+                      CpuCase{"(1: 1, 1)", 30000, 16},
+                      CpuCase{"(1: 1)", 100, 4}));  // too small: serial path
+
+TEST(CpuParallel, FloatFilterWithinTolerance)
+{
+    const auto sig = dsp::lowpass(0.8, 2);
+    const std::size_t n = 100000;
+    const auto input = dsp::random_floats(n, 5);
+    const auto result = cpu_parallel_recurrence<FloatRing>(sig, input, 6);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+TEST(CpuParallel, HighPassWithMapOperation)
+{
+    const auto sig = dsp::highpass(0.8, 3);
+    const std::size_t n = 50000;
+    const auto input = dsp::noisy_sine(n, 0.01, 0.2, 9);
+    const auto result = cpu_parallel_recurrence<FloatRing>(sig, input, 4);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+TEST(CpuParallel, TropicalEnvelope)
+{
+    const auto sig = Signature::max_plus({0.0}, {-0.125});
+    const std::size_t n = 60000;
+    const auto input = dsp::random_floats(n, 13, 0.0f, 50.0f);
+    const auto result = cpu_parallel_recurrence<TropicalRing>(sig, input, 5);
+    const auto expected = serial_recurrence<TropicalRing>(sig, input);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_NEAR(result[i], expected[i], 1e-4) << i;
+}
+
+TEST(CpuParallel, SmallInputFallsBackToSerial)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(50, 1);
+    CpuRunStats stats;
+    const auto result =
+        cpu_parallel_recurrence<IntRing>(sig, input, 8, &stats);
+    EXPECT_EQ(stats.threads_used, 1u);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(CpuParallel, DefaultThreadCountWorks)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(100000, 2);
+    const auto result = cpu_parallel_recurrence<IntRing>(sig, input);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(CpuParallel, ManyThreadsOnModestInput)
+{
+    // More threads than sensible chunks: the implementation must clamp.
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const auto input = dsp::random_ints(3000, 3);
+    CpuRunStats stats;
+    const auto result =
+        cpu_parallel_recurrence<IntRing>(sig, input, 64, &stats);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+    EXPECT_LE(stats.threads_used, 12u);
+}
+
+}  // namespace
+}  // namespace plr::kernels

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/lookback_chain.h"
+
+namespace plr::kernels {
+namespace {
+
+using gpusim::BlockContext;
+using gpusim::Device;
+
+// The look-back protocol's interesting paths — taking a global state
+// several chunks back and folding the intervening local states — only
+// trigger when earlier chunks are slow to publish. These tests force
+// that with artificial delays, which ordinary runs (and hardware) hit
+// only probabilistically.
+
+TEST(DeepLookback, StragglerForcesMultiChunkResolution)
+{
+    Device device;
+    const std::size_t chunks = 64;
+    LookbackChain<std::int32_t> chain(device, chunks, 1, 32, "t");
+    auto carries_seen = device.alloc<std::uint32_t>(chunks, "seen");
+    std::atomic<std::size_t> max_distance{0};
+
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+
+    device.launch(chunks, [&](BlockContext& ctx) {
+        const std::size_t q = ctx.block_index();
+        chain.publish_local(ctx, q, {1});
+        std::vector<std::int32_t> carry = {0};
+        std::size_t distance = 0;
+        if (q > 0)
+            carry = chain.wait_and_resolve(ctx, q, fold, &distance);
+        // Chunks 5..9 stall before publishing their inclusive state, so
+        // chunks behind them must resolve through local states instead
+        // of waiting for the stragglers' globals.
+        if (q >= 5 && q < 10)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        chain.publish_global(ctx, q, {carry[0] + 1});
+        ctx.st(carries_seen, q, static_cast<std::uint32_t>(carry[0]));
+
+        std::size_t seen = max_distance.load();
+        while (distance > seen &&
+               !max_distance.compare_exchange_weak(seen, distance)) {
+        }
+    });
+
+    // Correctness is unconditional...
+    const auto host = device.download(carries_seen);
+    for (std::size_t q = 0; q < chunks; ++q)
+        EXPECT_EQ(host[q], q) << q;
+    // ...and at least one chunk resolved across more than one chunk
+    // (with 48 resident blocks and 20 ms stalls this is deterministic in
+    // practice; the window still bounds it).
+    EXPECT_GE(max_distance.load(), 2u);
+    EXPECT_LE(max_distance.load(), 32u);
+    chain.free(device);
+}
+
+TEST(DeepLookback, WindowBoundHoldsUnderRandomStalls)
+{
+    Device device;
+    const std::size_t chunks = 128;
+    const std::size_t window = 8;
+    LookbackChain<std::int32_t> chain(device, chunks, 1, window, "t");
+    auto ok = device.alloc<std::uint32_t>(1, "ok");
+
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+
+    device.launch(chunks, [&](BlockContext& ctx) {
+        const std::size_t q = ctx.block_index();
+        chain.publish_local(ctx, q, {3});
+        std::vector<std::int32_t> carry = {0};
+        std::size_t distance = 0;
+        if (q > 0)
+            carry = chain.wait_and_resolve(ctx, q, fold, &distance);
+        if ((q * 2654435761u) % 7 == 0)  // pseudo-random stalls
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        chain.publish_global(ctx, q, {carry[0] + 3});
+        if (distance > window ||
+            carry[0] != static_cast<std::int32_t>(3 * q))
+            ctx.atomic_add(ok, 0, 1);
+    });
+    EXPECT_EQ(device.download(ok)[0], 0u);
+    chain.free(device);
+}
+
+}  // namespace
+}  // namespace plr::kernels

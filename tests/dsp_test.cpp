@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "dsp/filter_design.h"
+#include "dsp/polynomial.h"
+#include "dsp/signal.h"
+#include "kernels/serial.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::dsp {
+namespace {
+
+// ---------------------------------------------------------- Polynomial
+
+TEST(Polynomial, TrimsTrailingZeros)
+{
+    Polynomial p({1.0, 2.0, 0.0, 0.0});
+    EXPECT_EQ(p.degree(), 1u);
+    EXPECT_EQ(p.coefficients().size(), 2u);
+}
+
+TEST(Polynomial, ZeroPolynomial)
+{
+    Polynomial zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_EQ(zero.degree(), 0u);
+    EXPECT_DOUBLE_EQ(zero.evaluate(3.0), 0.0);
+    EXPECT_TRUE(Polynomial({0.0, 0.0}).is_zero());
+}
+
+TEST(Polynomial, Evaluation)
+{
+    // 2 - 3u + u^2 at u = 5: 2 - 15 + 25 = 12.
+    Polynomial p({2.0, -3.0, 1.0});
+    EXPECT_DOUBLE_EQ(p.evaluate(5.0), 12.0);
+    EXPECT_DOUBLE_EQ(p.evaluate(0.0), 2.0);
+}
+
+TEST(Polynomial, AdditionAndSubtraction)
+{
+    Polynomial a({1.0, 2.0});
+    Polynomial b({3.0, -2.0, 5.0});
+    const auto sum = a + b;
+    EXPECT_DOUBLE_EQ(sum[0], 4.0);
+    EXPECT_DOUBLE_EQ(sum[1], 0.0);
+    EXPECT_DOUBLE_EQ(sum[2], 5.0);
+    EXPECT_TRUE((sum - b).almost_equal(a));
+}
+
+TEST(Polynomial, CancellationTrims)
+{
+    Polynomial a({1.0, 1.0});
+    Polynomial b({0.0, 1.0});
+    EXPECT_EQ((a - b).degree(), 0u);
+}
+
+TEST(Polynomial, Multiplication)
+{
+    // (1 - u)(1 + u) = 1 - u^2.
+    Polynomial a({1.0, -1.0});
+    Polynomial b({1.0, 1.0});
+    EXPECT_TRUE((a * b).almost_equal(Polynomial({1.0, 0.0, -1.0})));
+    EXPECT_TRUE((a * Polynomial()).is_zero());
+}
+
+TEST(Polynomial, PowMatchesRepeatedMultiplication)
+{
+    Polynomial base({1.0, -0.8});
+    Polynomial by_mul = Polynomial::constant(1.0);
+    for (int i = 0; i < 5; ++i)
+        by_mul = by_mul * base;
+    EXPECT_TRUE(base.pow(5).almost_equal(by_mul));
+    EXPECT_TRUE(base.pow(0).almost_equal(Polynomial::constant(1.0)));
+}
+
+TEST(Polynomial, BinomialExpansionViaPow)
+{
+    // (1 - u)^3 = 1 - 3u + 3u^2 - u^3.
+    const auto p = Polynomial({1.0, -1.0}).pow(3);
+    EXPECT_TRUE(p.almost_equal(Polynomial({1.0, -3.0, 3.0, -1.0})));
+}
+
+TEST(Polynomial, Monomial)
+{
+    const auto m = Polynomial::monomial(2.5, 3);
+    EXPECT_EQ(m.degree(), 3u);
+    EXPECT_DOUBLE_EQ(m[3], 2.5);
+    EXPECT_DOUBLE_EQ(m[0], 0.0);
+}
+
+TEST(Polynomial, ToStringReadable)
+{
+    EXPECT_EQ(Polynomial({1.0, -1.6, 0.64}).to_string(),
+              "1 - 1.6u + 0.64u^2");
+    EXPECT_EQ(Polynomial().to_string(), "0");
+}
+
+// ------------------------------------------------------- FilterDesign
+
+TEST(FilterDesign, Table1LowPassSignatures)
+{
+    // The paper's Table 1 rows, exactly (x = 0.8).
+    const auto lp1 = lowpass(0.8, 1);
+    ASSERT_EQ(lp1.a().size(), 1u);
+    EXPECT_NEAR(lp1.a()[0], 0.2, 1e-12);
+    EXPECT_EQ(lp1.b(), std::vector<double>({0.8}));
+
+    const auto lp2 = lowpass(0.8, 2);
+    EXPECT_NEAR(lp2.a()[0], 0.04, 1e-12);
+    EXPECT_NEAR(lp2.b()[0], 1.6, 1e-12);
+    EXPECT_NEAR(lp2.b()[1], -0.64, 1e-12);
+
+    const auto lp3 = lowpass(0.8, 3);
+    EXPECT_NEAR(lp3.a()[0], 0.008, 1e-12);
+    EXPECT_NEAR(lp3.b()[0], 2.4, 1e-12);
+    EXPECT_NEAR(lp3.b()[1], -1.92, 1e-12);
+    EXPECT_NEAR(lp3.b()[2], 0.512, 1e-12);
+}
+
+TEST(FilterDesign, Table1HighPassSignatures)
+{
+    const auto hp1 = highpass(0.8, 1);
+    EXPECT_NEAR(hp1.a()[0], 0.9, 1e-12);
+    EXPECT_NEAR(hp1.a()[1], -0.9, 1e-12);
+    EXPECT_NEAR(hp1.b()[0], 0.8, 1e-12);
+
+    const auto hp2 = highpass(0.8, 2);
+    EXPECT_NEAR(hp2.a()[0], 0.81, 1e-12);
+    EXPECT_NEAR(hp2.a()[1], -1.62, 1e-12);
+    EXPECT_NEAR(hp2.a()[2], 0.81, 1e-12);
+    EXPECT_NEAR(hp2.b()[0], 1.6, 1e-12);
+    EXPECT_NEAR(hp2.b()[1], -0.64, 1e-12);
+
+    // 3-stage values the paper truncates: 0.729, -2.187, 2.187, -0.729.
+    const auto hp3 = highpass(0.8, 3);
+    EXPECT_NEAR(hp3.a()[0], 0.729, 1e-12);
+    EXPECT_NEAR(hp3.a()[1], -2.187, 1e-12);
+    EXPECT_NEAR(hp3.b()[0], 2.4, 1e-12);
+    EXPECT_NEAR(hp3.b()[2], 0.512, 1e-12);
+}
+
+TEST(FilterDesign, HigherOrderPrefixSumsAreAlternatingBinomials)
+{
+    EXPECT_EQ(higher_order_prefix_sum(1).b(), std::vector<double>({1.0}));
+    EXPECT_EQ(higher_order_prefix_sum(2).b(),
+              std::vector<double>({2.0, -1.0}));
+    EXPECT_EQ(higher_order_prefix_sum(3).b(),
+              std::vector<double>({3.0, -3.0, 1.0}));
+    EXPECT_EQ(higher_order_prefix_sum(4).b(),
+              std::vector<double>({4.0, -6.0, 4.0, -1.0}));
+}
+
+TEST(FilterDesign, TupleSignatures)
+{
+    EXPECT_EQ(tuple_prefix_sum(1), prefix_sum());
+    EXPECT_EQ(tuple_prefix_sum(3).b(), std::vector<double>({0.0, 0.0, 1.0}));
+}
+
+TEST(FilterDesign, CascadeEqualsSequentialApplication)
+{
+    // Applying g after f serially equals the cascaded signature.
+    const auto f = lowpass(0.8, 1);
+    const auto g = highpass(0.6, 1);
+    const auto combined = cascade(f, g);
+
+    const auto input = random_floats(512, 11);
+    const auto f_out = kernels::serial_recurrence<FloatRing>(f, input);
+    const auto expected = kernels::serial_recurrence<FloatRing>(g, f_out);
+    const auto actual = kernels::serial_recurrence<FloatRing>(combined, input);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        EXPECT_NEAR(actual[i], expected[i], 1e-4) << i;
+}
+
+TEST(FilterDesign, CascadeIsAssociative)
+{
+    const auto a = lowpass(0.8, 1);
+    const auto b = highpass(0.5, 1);
+    const auto c = lowpass(0.3, 1);
+    const auto left = cascade(cascade(a, b), c);
+    const auto right = cascade(a, cascade(b, c));
+    ASSERT_EQ(left.order(), right.order());
+    for (std::size_t j = 0; j < left.order(); ++j)
+        EXPECT_NEAR(left.b()[j], right.b()[j], 1e-12);
+    for (std::size_t j = 0; j < left.a().size(); ++j)
+        EXPECT_NEAR(left.a()[j], right.a()[j], 1e-12);
+}
+
+TEST(FilterDesign, PoleFromCutoff)
+{
+    // x = exp(-2 pi fc); spot values.
+    EXPECT_NEAR(pole_from_cutoff(0.25), std::exp(-3.14159265358979 / 2.0),
+                1e-9);
+    EXPECT_GT(pole_from_cutoff(0.01), pole_from_cutoff(0.1));
+    EXPECT_THROW(pole_from_cutoff(0.0), FatalError);
+    EXPECT_THROW(pole_from_cutoff(0.5), FatalError);
+}
+
+TEST(FilterDesign, RejectsUnstablePole)
+{
+    EXPECT_THROW(lowpass(1.0, 1), FatalError);
+    EXPECT_THROW(lowpass(0.0, 1), FatalError);
+    EXPECT_THROW(highpass(1.5, 1), FatalError);
+}
+
+TEST(FilterDesign, LowPassDcGainIsUnity)
+{
+    // A low-pass chain must pass DC unchanged: steady-state of the step
+    // response is 1.
+    for (std::size_t stages : {1u, 2u, 3u}) {
+        const auto sig = lowpass(0.8, stages);
+        const auto out = kernels::serial_recurrence<FloatRing>(
+            sig, std::vector<float>(2000, 1.0f));
+        EXPECT_NEAR(out.back(), 1.0f, 1e-3) << stages;
+    }
+}
+
+TEST(FilterDesign, HighPassBlocksDc)
+{
+    for (std::size_t stages : {1u, 2u, 3u}) {
+        const auto sig = highpass(0.8, stages);
+        const auto out = kernels::serial_recurrence<FloatRing>(
+            sig, std::vector<float>(2000, 1.0f));
+        EXPECT_NEAR(out.back(), 0.0f, 1e-3) << stages;
+    }
+}
+
+TEST(FilterDesign, LowPassAttenuatesHighFrequencies)
+{
+    const auto sig = lowpass(pole_from_cutoff(0.01), 2);
+    const auto lo = sine(4096, 0.002);
+    const auto hi = sine(4096, 0.25);
+    auto energy = [](const std::vector<float>& v) {
+        double e = 0;
+        for (std::size_t i = v.size() / 2; i < v.size(); ++i)
+            e += v[i] * v[i];
+        return e;
+    };
+    const auto lo_out = kernels::serial_recurrence<FloatRing>(sig, lo);
+    const auto hi_out = kernels::serial_recurrence<FloatRing>(sig, hi);
+    EXPECT_GT(energy(lo_out) / energy(lo), 0.5);
+    EXPECT_LT(energy(hi_out) / energy(hi), 0.01);
+}
+
+// ------------------------------------------------------------- Signal
+
+TEST(Signal, AlternatingRampMatchesPaperExample)
+{
+    const auto ramp = alternating_ramp(6);
+    EXPECT_EQ(ramp, (std::vector<std::int32_t>{3, -4, 5, -6, 7, -8}));
+}
+
+TEST(Signal, RandomIntsDeterministicAndBounded)
+{
+    const auto a = random_ints(1000, 7, -5, 5);
+    const auto b = random_ints(1000, 7, -5, 5);
+    EXPECT_EQ(a, b);
+    for (auto v : a) {
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_NE(a, random_ints(1000, 8, -5, 5));
+}
+
+TEST(Signal, RandomFloatsInRange)
+{
+    const auto v = random_floats(1000, 3, -2.0f, 2.0f);
+    for (auto f : v) {
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 2.0f);
+    }
+}
+
+TEST(Signal, ImpulseAndStep)
+{
+    const auto d = impulse(4);
+    EXPECT_EQ(d, (std::vector<float>{1.0f, 0.0f, 0.0f, 0.0f}));
+    const auto s = step(3);
+    EXPECT_EQ(s, (std::vector<float>{1.0f, 1.0f, 1.0f}));
+}
+
+TEST(Signal, SineHasExpectedPeriod)
+{
+    // frequency 0.25: period 4 samples: 0, 1, 0, -1, ...
+    const auto v = sine(8, 0.25);
+    EXPECT_NEAR(v[0], 0.0f, 1e-6);
+    EXPECT_NEAR(v[1], 1.0f, 1e-6);
+    EXPECT_NEAR(v[2], 0.0f, 1e-6);
+    EXPECT_NEAR(v[3], -1.0f, 1e-6);
+}
+
+TEST(Signal, ImpulseResponseEqualsFactorSequenceForPureRecurrence)
+{
+    // Feeding the impulse through (1: b...) yields 1 followed by the
+    // correction-factor list F_1 — ties the signal generator, the serial
+    // code, and the factor machinery together.
+    const auto sig = Signature::parse("(1: 0.5, 0.25)");
+    const auto response = kernels::serial_recurrence<FloatRing>(
+        sig, impulse(16));
+    const auto factors = CorrectionFactors<FloatRing>::generate(sig, 15);
+    EXPECT_FLOAT_EQ(response[0], 1.0f);
+    for (std::size_t o = 0; o < 15; ++o)
+        EXPECT_FLOAT_EQ(response[o + 1], factors.factor(1, o)) << o;
+}
+
+
+// ----------------------------------------------------------- stability
+
+TEST(Stability, SpectralRadiusOfKnownFilters)
+{
+    // Single pole at 0.8: radius 0.8.
+    EXPECT_NEAR(spectral_radius(lowpass(0.8, 1)), 0.8, 1e-6);
+    // Cascades keep the same dominant pole (repeated poles converge
+    // polynomially in the power iteration, hence the looser tolerance).
+    EXPECT_NEAR(spectral_radius(lowpass(0.8, 3)), 0.8, 1e-3);
+    // Prefix sums sit exactly on the unit circle (marginally stable).
+    EXPECT_NEAR(spectral_radius(prefix_sum()), 1.0, 1e-6);
+    EXPECT_NEAR(spectral_radius(tuple_prefix_sum(3)), 1.0, 1e-6);
+    EXPECT_NEAR(spectral_radius(higher_order_prefix_sum(2)), 1.0, 1e-3);
+}
+
+TEST(Stability, ClassifiesStableAndUnstable)
+{
+    EXPECT_TRUE(is_stable(lowpass(0.8, 2)));
+    EXPECT_TRUE(is_stable(highpass(0.8, 3)));
+    EXPECT_FALSE(is_stable(prefix_sum()));
+    // y[i] = x[i] + 2 y[i-1] blows up.
+    EXPECT_FALSE(is_stable(Signature::parse("(1: 2)")));
+    EXPECT_NEAR(spectral_radius(Signature::parse("(1: 2)")), 2.0, 1e-6);
+}
+
+TEST(Stability, StabilityPredictsFactorDecay)
+{
+    // The zero-tail optimization fires exactly for stable filters: their
+    // factors (the impulse response) decay below float precision.
+    for (const auto& sig :
+         {lowpass(0.8, 1), lowpass(0.5, 2), highpass(0.9, 1)}) {
+        ASSERT_TRUE(is_stable(sig)) << sig.to_string();
+        const auto factors = CorrectionFactors<FloatRing>::generate(
+            sig.recursive_part(), 8192, /*flush_denormals=*/true);
+        const auto props = analyze_factors(factors);
+        EXPECT_LT(props.max_effective_length, 8192u) << sig.to_string();
+    }
+    // Marginally stable recurrences never decay.
+    const auto factors = CorrectionFactors<FloatRing>::generate(
+        prefix_sum(), 4096, true);
+    EXPECT_EQ(analyze_factors(factors).max_effective_length, 4096u);
+}
+
+}  // namespace
+}  // namespace plr::dsp

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/cublike.h"
+#include "kernels/memcpy_kernel.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/samlike.h"
+#include "kernels/scan_baseline.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr {
+namespace {
+
+using namespace kernels;
+
+// ------------------------------------------------------------- memcpy
+
+TEST(EdgeCases, MemcpyPartialChunks)
+{
+    for (std::size_t n : {1u, 5u, 1023u, 1025u}) {
+        gpusim::Device device;
+        const auto input = dsp::random_ints(n, n);
+        EXPECT_EQ(device_memcpy<std::int32_t>(device, input, 1024), input)
+            << n;
+    }
+}
+
+TEST(EdgeCases, MemcpyRejectsZeroChunk)
+{
+    gpusim::Device device;
+    const auto input = dsp::random_ints(8, 1);
+    EXPECT_THROW(device_memcpy<std::int32_t>(device, input, 0), FatalError);
+}
+
+// ------------------------------------------------------------ kernels
+
+TEST(EdgeCases, WrongInputLengthRejectedEverywhere)
+{
+    const auto sig = dsp::prefix_sum();
+    gpusim::Device device;
+    const auto input = dsp::random_ints(99, 1);
+    EXPECT_THROW(ScanBaseline<IntRing>(sig, 100, 64).run(device, input),
+                 FatalError);
+    EXPECT_THROW(CubLikeKernel<IntRing>(sig, 100, 64).run(device, input),
+                 FatalError);
+    EXPECT_THROW(SamLikeKernel<IntRing>(sig, 100, 64).run(device, input),
+                 FatalError);
+}
+
+TEST(EdgeCases, UnsupportedSignaturesRejectedByConstructors)
+{
+    const auto filter = dsp::lowpass(0.8, 1);
+    EXPECT_THROW(CubLikeKernel<FloatRing>(filter, 100), FatalError);
+    EXPECT_THROW(SamLikeKernel<FloatRing>(filter, 100), FatalError);
+}
+
+TEST(EdgeCases, ScanPairWordsAccessor)
+{
+    EXPECT_EQ(ScanBaseline<IntRing>(dsp::prefix_sum(), 10).pair_words(), 2u);
+    EXPECT_EQ(
+        ScanBaseline<IntRing>(dsp::higher_order_prefix_sum(3), 10).pair_words(),
+        12u);
+}
+
+TEST(EdgeCases, PlrInputSmallerThanOrder)
+{
+    // n < k: every output only sees existing history.
+    const auto sig = dsp::higher_order_prefix_sum(3);
+    const std::vector<std::int32_t> input = {5, -2};
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 2, 8, 8));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(EdgeCases, ChunkLargerThanInput)
+{
+    const auto sig = Signature::parse("(1: 1, 1)");
+    const auto input = dsp::random_ints(37, 3);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 37, 4096, 512));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(EdgeCases, AllZeroInput)
+{
+    const auto sig = dsp::higher_order_prefix_sum(2);
+    const std::vector<std::int32_t> input(500, 0);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 500, 64, 64));
+    const auto result = kernel.run(device, input);
+    for (auto v : result)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(EdgeCases, ExtremeValuesWrapConsistently)
+{
+    // INT_MIN/INT_MAX inputs: the exact mod-2^32 semantics must agree
+    // between serial and parallel (no UB anywhere).
+    const auto sig = Signature::parse("(1: 2, -1)");
+    std::vector<std::int32_t> input(1000);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = (i % 2) ? std::numeric_limits<std::int32_t>::max()
+                           : std::numeric_limits<std::int32_t>::min();
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 1000, 64, 64));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(EdgeCases, NegativeCoefficientsOnly)
+{
+    const auto sig = Signature::parse("(-1: -1, -1)");
+    const auto input = dsp::random_ints(800, 5);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 800, 64, 64));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(EdgeCases, LongFirTail)
+{
+    // More feed-forward taps than the recurrence order.
+    const auto sig = Signature::parse("(1, 2, 3, 4, 5, 6: 1)");
+    const auto input = dsp::random_ints(700, 7);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 700, 64, 64));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(EdgeCases, SerialReferenceOnEmptyInput)
+{
+    const auto out = serial_recurrence<IntRing>(
+        dsp::prefix_sum(), std::span<const std::int32_t>{});
+    EXPECT_TRUE(out.empty());
+}
+
+// -------------------------------------------------------- device spec
+
+TEST(EdgeCases, CustomDeviceSpecPropagates)
+{
+    gpusim::DeviceSpec spec = gpusim::titan_x();
+    spec.max_threads = 2048;  // 2 resident blocks
+    gpusim::Device device(spec);
+    EXPECT_EQ(device.spec().max_resident_blocks(), 2u);
+
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(5000, 9);
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 5000, 128, 128));
+    EXPECT_EQ(kernel.run(device, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+}  // namespace
+}  // namespace plr

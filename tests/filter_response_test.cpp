@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::dsp {
+namespace {
+
+TEST(FrequencyResponse, LowPassDcGainIsOne)
+{
+    for (std::size_t stages : {1u, 2u, 3u})
+        EXPECT_NEAR(magnitude_response(lowpass(0.8, stages), 0.0), 1.0,
+                    1e-12)
+            << stages;
+}
+
+TEST(FrequencyResponse, HighPassNyquistGainIsOne)
+{
+    // Smith's high-pass stage has unit gain at Nyquist (f = 0.5) and
+    // zero at DC.
+    for (std::size_t stages : {1u, 2u, 3u}) {
+        EXPECT_NEAR(magnitude_response(highpass(0.8, stages), 0.5), 1.0,
+                    1e-9)
+            << stages;
+        EXPECT_NEAR(magnitude_response(highpass(0.8, stages), 0.0), 0.0,
+                    1e-12)
+            << stages;
+    }
+}
+
+TEST(FrequencyResponse, MonotoneRollOff)
+{
+    const auto lp = lowpass(0.8, 2);
+    double prev = magnitude_response(lp, 0.0);
+    for (double f = 0.05; f <= 0.5; f += 0.05) {
+        const double mag = magnitude_response(lp, f);
+        EXPECT_LT(mag, prev) << f;
+        prev = mag;
+    }
+}
+
+TEST(FrequencyResponse, CascadeMultipliesResponses)
+{
+    const auto f1 = lowpass(0.8, 1);
+    const auto f2 = highpass(0.6, 1);
+    const auto combined = cascade(f1, f2);
+    for (double f : {0.01, 0.1, 0.25, 0.4}) {
+        const auto expected =
+            frequency_response(f1, f) * frequency_response(f2, f);
+        const auto actual = frequency_response(combined, f);
+        EXPECT_NEAR(std::abs(actual - expected), 0.0, 1e-9) << f;
+    }
+}
+
+TEST(FrequencyResponse, MeasuredGainMatchesPrediction)
+{
+    // Drive the filter with a long sine through the PLR kernel and
+    // compare the steady-state amplitude with |H(f)|.
+    const auto sig = lowpass(0.8, 1);
+    const double freq = 0.05;
+    const std::size_t n = 8192;
+    const auto input = sine(n, freq);
+
+    gpusim::Device device;
+    kernels::PlrKernel<FloatRing> kernel(
+        make_plan_with_chunk(sig, n, 1024, 256));
+    const auto output = kernel.run(device, input);
+
+    float peak = 0.0f;
+    for (std::size_t i = n / 2; i < n; ++i)
+        peak = std::max(peak, std::fabs(output[i]));
+    EXPECT_NEAR(peak, magnitude_response(sig, freq), 0.02);
+}
+
+TEST(FrequencyResponse, RejectsOutOfRangeFrequency)
+{
+    EXPECT_THROW(magnitude_response(lowpass(0.8, 1), -0.1), FatalError);
+    EXPECT_THROW(magnitude_response(lowpass(0.8, 1), 0.6), FatalError);
+}
+
+TEST(ParallelSum, OutputEqualsSumOfBranchOutputs)
+{
+    const auto f = lowpass(0.8, 1);
+    const auto g = highpass(0.6, 1);
+    const auto sum = parallel_sum(f, g);
+
+    const auto input = random_floats(600, 21);
+    const auto f_out = kernels::serial_recurrence<FloatRing>(f, input);
+    const auto g_out = kernels::serial_recurrence<FloatRing>(g, input);
+    const auto sum_out = kernels::serial_recurrence<FloatRing>(sum, input);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        EXPECT_NEAR(sum_out[i], f_out[i] + g_out[i], 1e-3) << i;
+}
+
+TEST(ParallelSum, ResponseIsSumOfResponses)
+{
+    const auto f = lowpass(0.8, 2);
+    const auto g = highpass(0.5, 1);
+    const auto sum = parallel_sum(f, g);
+    for (double fr : {0.0, 0.1, 0.3, 0.5}) {
+        const auto expected =
+            frequency_response(f, fr) + frequency_response(g, fr);
+        EXPECT_NEAR(std::abs(frequency_response(sum, fr) - expected), 0.0,
+                    1e-9)
+            << fr;
+    }
+}
+
+TEST(ParallelSum, SharedPoleEndpointGains)
+{
+    // Same pole in both branches: at DC only the low-pass passes
+    // (gain 1); at Nyquist the high-pass passes with unit gain and the
+    // low-pass leaks a0/(1+x) = 0.2/1.8 on top of it.
+    const auto sum = parallel_sum(lowpass(0.8, 1), highpass(0.8, 1));
+    EXPECT_NEAR(magnitude_response(sum, 0.0), 1.0, 1e-9);
+    EXPECT_NEAR(magnitude_response(sum, 0.5), 1.0 + 0.2 / 1.8, 1e-9);
+}
+
+TEST(ParallelSum, RunsThroughPlrKernel)
+{
+    // The composed signature is an ordinary recurrence; PLR runs it.
+    const auto sum = parallel_sum(lowpass(0.8, 1), highpass(0.6, 1));
+    const std::size_t n = 3000;
+    const auto input = random_floats(n, 31);
+    gpusim::Device device;
+    kernels::PlrKernel<FloatRing> kernel(
+        make_plan_with_chunk(sum, n, 256, 64));
+    const auto result = kernel.run(device, input);
+    const auto expected = kernels::serial_recurrence<FloatRing>(sum, input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+}  // namespace
+}  // namespace plr::dsp

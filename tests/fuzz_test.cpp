@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/scan_baseline.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+#include "util/rng.h"
+
+namespace plr {
+namespace {
+
+using kernels::PlrKernel;
+using kernels::ScanBaseline;
+using kernels::serial_recurrence;
+
+/** Random integer signature with small coefficients. */
+Signature
+random_int_signature(Rng& rng)
+{
+    const std::size_t p = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<double> a(p + 1), b(k);
+    do {
+        for (auto& c : a)
+            c = static_cast<double>(rng.uniform_int(-3, 3));
+        a.back() = static_cast<double>(rng.uniform_int(1, 3));
+    } while (a[0] == 0.0 && a.size() == 1);
+    for (auto& c : b)
+        c = static_cast<double>(rng.uniform_int(-3, 3));
+    b.back() = static_cast<double>(rng.uniform_int(1, 3));
+    return Signature(std::move(a), std::move(b));
+}
+
+/** Random *stable* float filter: poles drawn inside the unit disk. */
+Signature
+random_stable_filter(Rng& rng)
+{
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    // Build the denominator from real poles in (-0.95, 0.95):
+    // B(u) = prod (1 - p_i u) -> feedback coefficients.
+    std::vector<double> denom = {1.0};
+    for (std::size_t i = 0; i < k; ++i) {
+        const double pole = rng.uniform_double(-0.95, 0.95);
+        std::vector<double> next(denom.size() + 1, 0.0);
+        for (std::size_t j = 0; j < denom.size(); ++j) {
+            next[j] += denom[j];
+            next[j + 1] -= pole * denom[j];
+        }
+        denom = std::move(next);
+    }
+    std::vector<double> b(denom.size() - 1);
+    for (std::size_t j = 1; j < denom.size(); ++j)
+        b[j - 1] = -denom[j];
+    if (b.back() == 0.0)
+        b.back() = 0.01;  // keep the order as drawn
+    std::vector<double> a = {rng.uniform_double(0.1, 1.0)};
+    if (rng.uniform_int(0, 1))
+        a.push_back(rng.uniform_double(-1.0, 1.0));
+    return Signature(std::move(a), std::move(b));
+}
+
+TEST(Fuzz, RandomIntegerSignaturesMatchSerialExactly)
+{
+    Rng rng(0xF00D);
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto sig = random_int_signature(rng);
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(1, 5000));
+        const std::size_t m_choices[] = {32, 64, 96, 128, 256};
+        const std::size_t m = m_choices[rng.uniform_int(0, 4)];
+        if (m < sig.order())
+            continue;
+        const auto input = dsp::random_ints(n, 1000 + trial);
+
+        gpusim::Device device;
+        PlrKernel<IntRing> kernel(
+            make_plan_with_chunk(sig, n, m, m % 64 == 0 ? 64 : 32));
+        const auto result = kernel.run(device, input);
+        const auto expected = serial_recurrence<IntRing>(sig, input);
+        const auto validation = validate_exact(expected, result);
+        ASSERT_TRUE(validation.ok)
+            << "trial " << trial << " sig " << sig.to_string() << " n=" << n
+            << " m=" << m << ": " << validation.describe();
+    }
+}
+
+TEST(Fuzz, RandomStableFiltersMatchSerialWithinTolerance)
+{
+    Rng rng(0xBEEF);
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto sig = random_stable_filter(rng);
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(100, 8000));
+        const auto input = dsp::random_floats(n, 2000 + trial);
+
+        gpusim::Device device;
+        PlrKernel<FloatRing> kernel(make_plan_with_chunk(sig, n, 128, 64));
+        const auto result = kernel.run(device, input);
+        const auto expected = serial_recurrence<FloatRing>(sig, input);
+        const auto validation = validate_close(expected, result, 1e-3);
+        ASSERT_TRUE(validation.ok)
+            << "trial " << trial << " sig " << sig.to_string() << " n=" << n
+            << ": " << validation.describe();
+    }
+}
+
+TEST(Fuzz, PlrAndScanAgreeOnRandomIntegerSignatures)
+{
+    // Scan is the only baseline supporting every signature PLR does; the
+    // two independent implementations must agree bit-for-bit on ints.
+    Rng rng(0xCAFE);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto sig = random_int_signature(rng);
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(64, 3000));
+        const auto input = dsp::random_ints(n, 3000 + trial);
+
+        gpusim::Device device;
+        PlrKernel<IntRing> plr_kernel(make_plan_with_chunk(sig, n, 64, 64));
+        ScanBaseline<IntRing> scan(sig, n, 128);
+        ASSERT_EQ(plr_kernel.run(device, input), scan.run(device, input))
+            << "trial " << trial << " " << sig.to_string() << " n=" << n;
+    }
+}
+
+TEST(Fuzz, OptimizationsInvariantOnRandomSignatures)
+{
+    Rng rng(0xDEAD);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto sig = random_int_signature(rng);
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniform_int(64, 2000));
+        const auto input = dsp::random_ints(n, 4000 + trial);
+        gpusim::Device device;
+        PlrKernel<IntRing> on(make_plan_with_chunk(sig, n, 64, 64));
+        PlrKernel<IntRing> off(
+            make_plan_with_chunk(sig, n, 64, 64, Optimizations::all_off()));
+        ASSERT_EQ(on.run(device, input), off.run(device, input))
+            << sig.to_string();
+    }
+}
+
+TEST(Fuzz, PipelineStressManyTinyChunks)
+{
+    // Thousands of chunks with the full 48-block residency exercise the
+    // look-back pipeline hard; results must stay exact and the window
+    // bound must hold.
+    const auto sig = Signature::parse("(1: 1, 1)");
+    const std::size_t n = 1 << 16;
+    const auto input = dsp::random_ints(n, 77);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, n, 32, 32));
+    kernels::PlrRunStats stats;
+    const auto result = kernel.run(device, input, &stats);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+    EXPECT_EQ(stats.chunks, n / 32);
+    EXPECT_LE(stats.max_lookback, 32u);
+}
+
+TEST(Fuzz, RepeatedRunsAreDeterministic)
+{
+    // Results must be bit-identical regardless of thread interleaving.
+    // The byte counters vary only by the look-back reads (the dynamic
+    // distance depends on scheduling, as on real hardware), which are
+    // bounded by window * (k+1) sectors per chunk.
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const std::size_t n = 20000;
+    const auto input = dsp::random_ints(n, 88);
+    const std::size_t chunks = (n + 127) / 128;
+    const double lookback_bound =
+        static_cast<double>(chunks) * 32 * (2 + 1) * 32;
+    std::vector<std::int32_t> first;
+    std::uint64_t first_bytes = 0;
+    for (int round = 0; round < 3; ++round) {
+        gpusim::Device device;
+        PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, n, 128, 64));
+        kernels::PlrRunStats stats;
+        const auto result = kernel.run(device, input, &stats);
+        if (round == 0) {
+            first = result;
+            first_bytes = stats.counters.total_global_bytes();
+        } else {
+            EXPECT_EQ(result, first);
+            EXPECT_NEAR(
+                static_cast<double>(stats.counters.total_global_bytes()),
+                static_cast<double>(first_bytes), lookback_bound);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plr

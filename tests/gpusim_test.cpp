@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/device.h"
+#include "util/diag.h"
+
+namespace plr::gpusim {
+namespace {
+
+// ---------------------------------------------------------- MemoryPool
+
+TEST(MemoryPool, AllocatesZeroInitialized)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(100, "test");
+    const auto host = device.download(buf);
+    for (auto v : host)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(MemoryPool, TracksLiveAndPeakBytes)
+{
+    Device device;
+    EXPECT_EQ(device.memory().live_bytes(), 0u);
+    auto a = device.alloc<std::int32_t>(1000, "a");
+    auto b = device.alloc<float>(500, "b");
+    EXPECT_EQ(device.memory().live_bytes(), 6000u);
+    device.memory().free(a);
+    EXPECT_EQ(device.memory().live_bytes(), 2000u);
+    EXPECT_EQ(device.memory().peak_bytes(), 6000u);
+    device.memory().free(b);
+    EXPECT_EQ(device.memory().live_bytes(), 0u);
+}
+
+TEST(MemoryPool, LedgerKeepsFreedRecords)
+{
+    Device device;
+    auto a = device.alloc<std::int32_t>(10, "first");
+    device.memory().free(a);
+    auto b = device.alloc<std::int32_t>(20, "second");
+    (void)b;
+    const auto& ledger = device.memory().ledger();
+    ASSERT_EQ(ledger.size(), 2u);
+    EXPECT_EQ(ledger[0].label, "first");
+    EXPECT_TRUE(ledger[0].freed);
+    EXPECT_FALSE(ledger[1].freed);
+}
+
+TEST(MemoryPool, DistinctBaseAddresses)
+{
+    Device device;
+    auto a = device.alloc<std::int32_t>(100, "a");
+    auto b = device.alloc<std::int32_t>(100, "b");
+    const auto base_a = device.memory().base_addr(a);
+    const auto base_b = device.memory().base_addr(b);
+    EXPECT_NE(base_a, base_b);
+    // 256-byte alignment: buffers never share a cache line.
+    EXPECT_EQ(base_a % 256, 0u);
+    EXPECT_EQ(base_b % 256, 0u);
+}
+
+TEST(MemoryPool, OutOfMemoryIsFatal)
+{
+    DeviceSpec small = titan_x();
+    small.dram_bytes = 1024;
+    Device device(small);
+    EXPECT_THROW(device.alloc<std::int32_t>(1000, "too big"), FatalError);
+}
+
+TEST(MemoryPool, DoubleFreeIsPanic)
+{
+    Device device;
+    auto a = device.alloc<std::int32_t>(10, "a");
+    device.memory().free(a);
+    EXPECT_THROW(device.memory().free(a), PanicError);
+}
+
+TEST(MemoryPool, UploadOverflowRejected)
+{
+    Device device;
+    auto a = device.alloc<std::int32_t>(4, "a");
+    std::vector<std::int32_t> big(5);
+    EXPECT_THROW(device.upload<std::int32_t>(a, big), FatalError);
+}
+
+// ------------------------------------------------------------- launch
+
+TEST(Device, LaunchRunsEveryBlockExactlyOnce)
+{
+    Device device;
+    auto buf = device.alloc<std::uint32_t>(1000, "marks");
+    device.launch(1000, [&](BlockContext& ctx) {
+        ctx.atomic_add(buf, ctx.block_index(), 1);
+    });
+    const auto host = device.download(buf);
+    for (std::size_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(host[i], 1u) << i;
+    EXPECT_EQ(device.snapshot().blocks_executed, 1000u);
+}
+
+TEST(Device, LaunchZeroBlocksIsNoop)
+{
+    Device device;
+    device.launch(0, [](BlockContext&) { FAIL(); });
+}
+
+TEST(Device, AtomicCounterAssignsUniqueIds)
+{
+    Device device;
+    auto counter = device.alloc<std::uint32_t>(1, "counter");
+    auto seen = device.alloc<std::uint32_t>(256, "seen");
+    device.launch(256, [&](BlockContext& ctx) {
+        const std::uint32_t id = ctx.atomic_add(counter, 0, 1);
+        ctx.atomic_add(seen, id, 1);
+    });
+    const auto host = device.download(seen);
+    for (std::size_t i = 0; i < 256; ++i)
+        EXPECT_EQ(host[i], 1u);
+}
+
+TEST(Device, BlockExceptionPropagatesAndAbortsLaunch)
+{
+    Device device;
+    EXPECT_THROW(device.launch(100,
+                               [&](BlockContext& ctx) {
+                                   if (ctx.block_index() == 13)
+                                       PLR_FATAL("boom");
+                               }),
+                 FatalError);
+}
+
+TEST(Device, FailurePropagatesToSpinningBlocks)
+{
+    // A block that throws must unwedge blocks busy-waiting on its flag.
+    Device device;
+    auto flag = device.alloc<std::uint32_t>(1, "flag");
+    EXPECT_THROW(device.launch(
+                     2,
+                     [&](BlockContext& ctx) {
+                         if (ctx.block_index() == 1)
+                             PLR_FATAL("producer died");
+                         while (ctx.ld_acquire(flag, 0) == 0)
+                             ctx.spin_wait();
+                     },
+                     /*max_resident=*/2),
+                 std::exception);
+}
+
+TEST(Device, ReleaseAcquireFlagProtocol)
+{
+    // Producer writes data then releases a flag; consumer acquires the
+    // flag and must observe the data. Run many rounds under real
+    // concurrency.
+    Device device;
+    const std::size_t rounds = 200;
+    auto data = device.alloc<std::uint32_t>(rounds, "data");
+    auto flags = device.alloc<std::uint32_t>(rounds, "flags");
+    std::atomic<std::size_t> violations{0};
+
+    device.launch(2 * rounds, [&](BlockContext& ctx) {
+        const std::size_t i = ctx.block_index();
+        if (i % 2 == 0) {  // producer for round i/2
+            const std::size_t r = i / 2;
+            ctx.st(data, r, static_cast<std::uint32_t>(r + 1));
+            ctx.threadfence();
+            ctx.st_release(flags, r, 1);
+        } else {  // consumer for round i/2
+            const std::size_t r = i / 2;
+            while (ctx.ld_acquire(flags, r) == 0)
+                ctx.spin_wait();
+            if (ctx.ld(data, r) != r + 1)
+                violations.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(violations.load(), 0u);
+}
+
+// ----------------------------------------------------------- counters
+
+TEST(Counters, BulkAccessCountsBytesAndTransactions)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(1024, "buf");
+    device.launch(1, [&](BlockContext& ctx) {
+        std::vector<std::int32_t> tmp(256);
+        ctx.ld_bulk<std::int32_t>(buf, 0, tmp);
+        ctx.st_bulk<std::int32_t>(buf, 256,
+                                  std::span<const std::int32_t>(tmp));
+    });
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.global_load_bytes, 1024u);
+    EXPECT_EQ(counters.global_store_bytes, 1024u);
+    EXPECT_EQ(counters.global_load_transactions, 32u);   // 1024 / 32
+    EXPECT_EQ(counters.global_store_transactions, 32u);
+}
+
+TEST(Counters, ScalarAccessMovesAFullSector)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(16, "buf");
+    device.launch(1, [&](BlockContext& ctx) {
+        (void)ctx.ld(buf, 3);
+        ctx.st(buf, 4, 7);
+    });
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.global_load_bytes, 32u);
+    EXPECT_EQ(counters.global_store_bytes, 32u);
+}
+
+TEST(Counters, CoalescedElementLoadsCountElementBytes)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(64, "buf");
+    device.launch(1, [&](BlockContext& ctx) {
+        for (std::size_t i = 0; i < 64; ++i)
+            (void)ctx.ld_coalesced(buf, i);
+    });
+    EXPECT_EQ(device.snapshot().global_load_bytes, 256u);
+}
+
+TEST(Counters, OnChipEventsAccumulate)
+{
+    Device device;
+    device.launch(3, [&](BlockContext& ctx) {
+        ctx.count_shared(5);
+        ctx.count_shuffle(2);
+        ctx.count_flop(10);
+    });
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.shared_accesses, 15u);
+    EXPECT_EQ(counters.shuffles, 6u);
+    EXPECT_EQ(counters.flops, 30u);
+}
+
+TEST(Counters, ResetClearsEverything)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(64, "buf");
+    device.launch(1, [&](BlockContext& ctx) {
+        std::vector<std::int32_t> tmp(64);
+        ctx.ld_bulk<std::int32_t>(buf, 0, tmp);
+    });
+    device.reset_counters();
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.global_load_bytes, 0u);
+    EXPECT_EQ(counters.blocks_executed, 0u);
+}
+
+TEST(Counters, SnapshotSubtraction)
+{
+    CounterSnapshot a, b;
+    a.global_load_bytes = 100;
+    a.flops = 50;
+    b.global_load_bytes = 40;
+    b.flops = 20;
+    const auto d = a - b;
+    EXPECT_EQ(d.global_load_bytes, 60u);
+    EXPECT_EQ(d.flops, 30u);
+}
+
+TEST(Counters, OutOfBoundsAccessIsPanic)
+{
+    Device device;
+    auto buf = device.alloc<std::int32_t>(8, "buf");
+    EXPECT_THROW(
+        device.launch(1, [&](BlockContext& ctx) { (void)ctx.ld(buf, 8); }),
+        PanicError);
+}
+
+// ------------------------------------------------------------ L2 model
+
+TEST(L2Cache, ColdMissesThenHits)
+{
+    L2Cache cache(1024, 32, 4);
+    auto first = cache.access(0, 256, /*is_read=*/true);
+    EXPECT_EQ(first.misses, 8u);
+    EXPECT_EQ(first.hits, 0u);
+    auto second = cache.access(0, 256, /*is_read=*/true);
+    EXPECT_EQ(second.hits, 8u);
+    EXPECT_EQ(second.misses, 0u);
+}
+
+TEST(L2Cache, CapacityEviction)
+{
+    L2Cache cache(1024, 32, 4);  // 32 lines total
+    cache.access(0, 2048, /*is_read=*/true);  // 64 lines: wraps the cache
+    // Re-reading the first half must miss again (evicted by the second).
+    auto result = cache.access(0, 1024, /*is_read=*/true);
+    EXPECT_EQ(result.misses, 32u);
+}
+
+TEST(L2Cache, LruKeepsHotLines)
+{
+    // 1 set x 4 ways of 32 B: touching 4 lines then a 5th evicts the LRU.
+    L2Cache cache(128, 32, 4);
+    for (std::uint64_t line = 0; line < 4; ++line)
+        cache.access(line * 32, 1, true);
+    cache.access(0, 1, true);        // refresh line 0
+    cache.access(4 * 32, 1, true);   // evicts line 1 (LRU), not line 0
+    EXPECT_EQ(cache.access(0, 1, true).hits, 1u);
+    EXPECT_EQ(cache.access(1 * 32, 1, true).misses, 1u);
+}
+
+TEST(L2Cache, WriteAllocate)
+{
+    L2Cache cache(1024, 32, 4);
+    cache.access(0, 32, /*is_read=*/false);
+    EXPECT_EQ(cache.access(0, 32, /*is_read=*/true).hits, 1u);
+    EXPECT_EQ(cache.total_write_accesses(), 1u);
+}
+
+TEST(L2Cache, ClearInvalidates)
+{
+    L2Cache cache(1024, 32, 4);
+    cache.access(0, 32, true);
+    cache.clear();
+    EXPECT_EQ(cache.access(0, 32, true).misses, 1u);
+    EXPECT_EQ(cache.total_read_misses(), 1u);
+}
+
+TEST(L2Cache, SpansLineBoundaries)
+{
+    L2Cache cache(1024, 32, 4);
+    // 8 bytes straddling a line boundary touch two lines.
+    auto result = cache.access(28, 8, true);
+    EXPECT_EQ(result.misses + result.hits, 2u);
+}
+
+TEST(L2Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(L2Cache(1024, 33, 4), FatalError);   // non-pow2 line
+    EXPECT_THROW(L2Cache(64, 32, 4), FatalError);     // capacity < 1 set
+}
+
+TEST(Device, L2ModelIntegration)
+{
+    Device device(titan_x(), /*model_l2=*/true);
+    auto buf = device.alloc<std::int32_t>(1024, "buf");
+    device.launch(1, [&](BlockContext& ctx) {
+        std::vector<std::int32_t> tmp(1024);
+        ctx.ld_bulk<std::int32_t>(buf, 0, tmp);  // cold: 128 line misses
+        ctx.ld_bulk<std::int32_t>(buf, 0, tmp);  // warm: 128 hits
+    });
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.l2_read_misses, 128u);
+    EXPECT_EQ(counters.l2_read_hits, 128u);
+}
+
+// -------------------------------------------------------- device spec
+
+TEST(DeviceSpec, TitanXMatchesPaperSection5)
+{
+    const DeviceSpec spec = titan_x();
+    EXPECT_EQ(spec.total_cores(), 3072u);
+    EXPECT_EQ(spec.num_sms, 24u);
+    EXPECT_EQ(spec.max_threads, 49152u);
+    EXPECT_EQ(spec.max_resident_blocks(), 48u);
+    EXPECT_EQ(spec.l2_bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(spec.shared_mem_per_block, 48u * 1024);
+    EXPECT_EQ(spec.registers_per_sm, 65536u);
+    EXPECT_DOUBLE_EQ(spec.dram_bandwidth_gbps, 336.0);
+    EXPECT_EQ(spec.dram_bytes, std::size_t{12} * 1024 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace plr::gpusim

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/codegen_cpp.h"
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/batched.h"
+#include "kernels/segmented.h"
+#include "kernels/serial.h"
+#include "perfmodel/memory_usage.h"
+#include "util/compare.h"
+
+namespace plr {
+namespace {
+
+// ------------------------------------------- gpusim coalesced counters
+
+TEST(Coalesced, StoreCountsElementBytes)
+{
+    gpusim::Device device;
+    auto buf = device.alloc<float>(64, "buf");
+    device.launch(1, [&](gpusim::BlockContext& ctx) {
+        for (std::size_t i = 0; i < 64; ++i)
+            ctx.st_coalesced(buf, i, static_cast<float>(i));
+    });
+    EXPECT_EQ(device.snapshot().global_store_bytes, 256u);
+    const auto host = device.download(buf);
+    EXPECT_FLOAT_EQ(host[63], 63.0f);
+}
+
+TEST(Coalesced, LoadsHitTheL2Model)
+{
+    gpusim::Device device(gpusim::titan_x(), /*model_l2=*/true);
+    auto buf = device.alloc<std::int32_t>(256, "buf");
+    device.launch(1, [&](gpusim::BlockContext& ctx) {
+        for (std::size_t i = 0; i < 256; ++i)
+            (void)ctx.ld_coalesced(buf, i);  // cold: 32 line misses
+        for (std::size_t i = 0; i < 256; ++i)
+            (void)ctx.ld_coalesced(buf, i);  // warm: hits
+    });
+    const auto counters = device.snapshot();
+    EXPECT_EQ(counters.l2_read_misses, 32u);
+    EXPECT_EQ(counters.l2_read_hits, 256u + 256u - 32u);
+}
+
+// --------------------------------------------- tropical in 2D/segments
+
+TEST(TropicalExtensions, BatchedColumnsDecayingMax)
+{
+    const auto sig = Signature::max_plus({0.0}, {-1.0});
+    const std::size_t rows = 12, cols = 5;
+    const auto image = dsp::random_floats(rows * cols, 3, 0.0f, 30.0f);
+    gpusim::Device device;
+    const auto out = kernels::batched_recurrence<TropicalRing>(
+        device, sig, image, rows, cols, kernels::Axis::kCols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::vector<float> column(rows);
+        for (std::size_t r = 0; r < rows; ++r)
+            column[r] = image[r * cols + c];
+        const auto expected =
+            kernels::serial_recurrence<TropicalRing>(sig, column);
+        for (std::size_t r = 0; r < rows; ++r)
+            EXPECT_NEAR(out[r * cols + c], expected[r], 1e-4)
+                << r << "," << c;
+    }
+}
+
+// ----------------------------------------------- C++ backend structure
+
+class CppBackendSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CppBackendSweep, EmitsBalancedCompilableLookingSource)
+{
+    const auto sig = Signature::parse(GetParam());
+    const auto code = generate_cpp(sig);
+    auto count = [&](const std::string& needle) {
+        std::size_t c = 0;
+        for (auto pos = code.source.find(needle); pos != std::string::npos;
+             pos = code.source.find(needle, pos + needle.size()))
+            ++c;
+        return c;
+    };
+    EXPECT_EQ(count("{"), count("}"));
+    EXPECT_EQ(count("("), count(")"));
+    EXPECT_TRUE(code.source.find("plr_parallel") != std::string::npos);
+    EXPECT_TRUE(code.source.find("plr_correct") != std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, CppBackendSweep,
+    ::testing::Values("(1: 1)", "(1: 0, 1)", "(1: 0, 0, 1)", "(1: 2, -1)",
+                      "(1: 3, -3, 1)", "(0.2: 0.8)", "(0.04: 1.6, -0.64)",
+                      "(0.008: 2.4, -1.92, 0.512)", "(0.9, -0.9: 0.8)",
+                      "(0.81, -1.62, 0.81: 1.6, -0.64)",
+                      "(0.729, -2.187, 2.187, -0.729: 2.4, -1.92, 0.512)"));
+
+TEST(CppBackend, NoMainMode)
+{
+    CppCodegenOptions options;
+    options.emit_main = false;
+    const auto code = generate_cpp(dsp::prefix_sum(), options);
+    EXPECT_EQ(code.source.find("int main"), std::string::npos);
+    EXPECT_NE(code.source.find("plr_parallel"), std::string::npos);
+}
+
+TEST(CppBackend, OptimizationsOffEmitsGeneralCorrections)
+{
+    CppCodegenOptions options;
+    options.opts = Optimizations::all_off();
+    const auto code = generate_cpp(dsp::prefix_sum(), options);
+    EXPECT_EQ(code.constant_lists, 0u);
+    EXPECT_EQ(code.conditional_lists, 0u);
+    EXPECT_NE(code.source.find("plr_mul(plr_factor[0][o]"),
+              std::string::npos);
+}
+
+// --------------------------------------------------- perfmodel details
+
+TEST(MemoryUsageDetails, BreakdownComponentsAddUp)
+{
+    const perfmodel::HardwareModel hw;
+    const auto usage = perfmodel::memory_usage(
+        perfmodel::Algo::kPlr, dsp::prefix_sum(), 67108864, hw);
+    EXPECT_DOUBLE_EQ(usage.total_bytes(), usage.data_bytes +
+                                              usage.context_bytes +
+                                              usage.auxiliary_bytes);
+    EXPECT_GT(usage.data_bytes, usage.auxiliary_bytes);
+}
+
+TEST(MemoryUsageDetails, UnsupportedComboRejected)
+{
+    const perfmodel::HardwareModel hw;
+    EXPECT_THROW(perfmodel::memory_usage(perfmodel::Algo::kCub,
+                                         dsp::lowpass(0.8, 1), 1024, hw),
+                 FatalError);
+}
+
+// ------------------------------------------------- segmented + batched
+
+TEST(SegmentedExtensions, AlternatingTinySegments)
+{
+    const std::vector<Signature> sigs = {dsp::prefix_sum()};
+    std::vector<kernels::Segment> segments(100, {1, 0});
+    const auto input = dsp::random_ints(100, 31);
+    gpusim::Device device;
+    const auto out = kernels::segmented_recurrence<IntRing>(
+        device, sigs, segments, input);
+    // Length-1 prefix sums: identity.
+    EXPECT_EQ(out, input);
+}
+
+TEST(BatchedExtensions, HighOrderFilterAcrossColumns)
+{
+    const auto sig = dsp::lowpass(0.8, 3);
+    const std::size_t rows = 300, cols = 4;
+    const auto image = dsp::random_floats(rows * cols, 17);
+    gpusim::Device device;
+    const auto out = kernels::batched_recurrence<FloatRing>(
+        device, sig, image, rows, cols, kernels::Axis::kCols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::vector<float> column(rows);
+        for (std::size_t r = 0; r < rows; ++r)
+            column[r] = image[r * cols + c];
+        const auto expected =
+            kernels::serial_recurrence<FloatRing>(sig, column);
+        std::vector<float> actual(rows);
+        for (std::size_t r = 0; r < rows; ++r)
+            actual[r] = out[r * cols + c];
+        EXPECT_TRUE(validate_close(expected, actual, 1e-3).ok) << c;
+    }
+}
+
+}  // namespace
+}  // namespace plr

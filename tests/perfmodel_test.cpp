@@ -1,0 +1,609 @@
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/alg3like.h"
+#include "kernels/cublike.h"
+#include "kernels/memcpy_kernel.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/reclike.h"
+#include "kernels/samlike.h"
+#include "kernels/scan_baseline.h"
+#include "perfmodel/algo_profiles.h"
+#include "perfmodel/l2_misses.h"
+#include "perfmodel/memory_usage.h"
+
+namespace plr {
+namespace {
+
+using namespace perfmodel;
+
+const HardwareModel kHw;
+constexpr std::size_t kBig = std::size_t{1} << 28;
+constexpr double kMb = 1024.0 * 1024.0;
+
+double
+gput(Algo algo, const Signature& sig, std::size_t n)
+{
+    return algo_throughput(algo, sig, n, kHw) / 1e9;
+}
+
+// ------------------------------------------------- Figure 1 (prefix sum)
+
+TEST(Shapes, Fig1_SinglePassCodesReachMemcpyAtLargeSizes)
+{
+    const auto sig = dsp::prefix_sum();
+    const double copy = gput(Algo::kMemcpy, sig, kBig);
+    EXPECT_GE(gput(Algo::kCub, sig, kBig), 0.90 * copy);
+    EXPECT_GE(gput(Algo::kSam, sig, kBig), 0.90 * copy);
+    EXPECT_GE(gput(Algo::kPlr, sig, kBig), 0.90 * copy);
+    // Nothing exceeds the memory-copy bound.
+    EXPECT_LE(gput(Algo::kCub, sig, kBig), copy);
+    EXPECT_LE(gput(Algo::kSam, sig, kBig), copy);
+    EXPECT_LE(gput(Algo::kPlr, sig, kBig), copy);
+}
+
+TEST(Shapes, Fig1_ScanDeliversAboutHalfTheThroughput)
+{
+    const auto sig = dsp::prefix_sum();
+    const double copy = gput(Algo::kMemcpy, sig, kBig);
+    const double scan = gput(Algo::kScan, sig, kBig);
+    EXPECT_LE(scan, 0.55 * copy);
+    EXPECT_GE(scan, 0.35 * copy);
+}
+
+TEST(Shapes, Fig1_SamFastestOnSmallInputsDueToAutoTuning)
+{
+    const auto sig = dsp::prefix_sum();
+    const std::size_t small = 1 << 14;
+    EXPECT_GT(gput(Algo::kSam, sig, small), gput(Algo::kCub, sig, small));
+    EXPECT_GT(gput(Algo::kSam, sig, small), gput(Algo::kPlr, sig, small));
+    EXPECT_GT(gput(Algo::kSam, sig, small), gput(Algo::kScan, sig, small));
+}
+
+TEST(Shapes, ThroughputRisesWithInputSize)
+{
+    const auto sig = dsp::prefix_sum();
+    for (Algo algo : {Algo::kMemcpy, Algo::kPlr, Algo::kCub, Algo::kSam}) {
+        double prev = 0;
+        for (int e = 14; e <= 28; e += 2) {
+            const double t = gput(algo, sig, std::size_t{1} << e);
+            EXPECT_GE(t, prev * 0.999) << to_string(algo) << " 2^" << e;
+            prev = t;
+        }
+    }
+}
+
+// --------------------------------------------- Figures 2-3 (tuple sums)
+
+TEST(Shapes, Fig2_PlrWinsTwoTuplesByAboutThirtyPercent)
+{
+    const auto sig = dsp::tuple_prefix_sum(2);
+    const double best =
+        std::max(gput(Algo::kCub, sig, kBig), gput(Algo::kSam, sig, kBig));
+    const double ratio = gput(Algo::kPlr, sig, kBig) / best;
+    EXPECT_GE(ratio, 1.20);
+    EXPECT_LE(ratio, 1.45);
+}
+
+TEST(Shapes, Fig3_PlrWinsThreeTuples)
+{
+    const auto sig = dsp::tuple_prefix_sum(3);
+    const double best =
+        std::max(gput(Algo::kCub, sig, kBig), gput(Algo::kSam, sig, kBig));
+    const double ratio = gput(Algo::kPlr, sig, kBig) / best;
+    EXPECT_GE(ratio, 1.10);
+    EXPECT_LE(ratio, 1.35);
+}
+
+TEST(Shapes, TupleThroughputOfCubAndSamDecreasesWithTupleSize)
+{
+    for (Algo algo : {Algo::kCub, Algo::kSam}) {
+        double prev = 1e18;
+        for (std::size_t s = 2; s <= 4; ++s) {
+            const double t = gput(algo, dsp::tuple_prefix_sum(s), kBig);
+            EXPECT_LT(t, prev) << to_string(algo) << " s=" << s;
+            prev = t;
+        }
+    }
+}
+
+TEST(Shapes, PlrFourTupleBeatsThreeTuple)
+{
+    // Power-of-two tuple sizes allow extra optimizations (Section 6.1.2).
+    EXPECT_GT(gput(Algo::kPlr, dsp::tuple_prefix_sum(4), kBig),
+              gput(Algo::kPlr, dsp::tuple_prefix_sum(3), kBig));
+}
+
+TEST(Shapes, ScanTupleThroughputDropsWithTheSquaredRepresentation)
+{
+    const std::size_t n = std::size_t{1} << 26;
+    const double t1 = gput(Algo::kScan, dsp::prefix_sum(), n);
+    const double t2 = gput(Algo::kScan, dsp::tuple_prefix_sum(2), n);
+    const double t3 = gput(Algo::kScan, dsp::tuple_prefix_sum(3), n);
+    EXPECT_LT(t2, 0.5 * t1);
+    EXPECT_LT(t3, t2);
+}
+
+// ------------------------------------- Figures 4-5 (higher-order sums)
+
+TEST(Shapes, Fig4_OrderTwoRanking)
+{
+    const auto sig = dsp::higher_order_prefix_sum(2);
+    const double cub = gput(Algo::kCub, sig, kBig);
+    const double sam = gput(Algo::kSam, sig, kBig);
+    const double plr = gput(Algo::kPlr, sig, kBig);
+    const double scan = gput(Algo::kScan, sig, std::size_t{1} << 26);
+    // SAM highest, PLR in the middle barely above CUB, Scan lowest.
+    EXPECT_GT(sam, plr);
+    EXPECT_GT(plr, cub);
+    EXPECT_LT(plr, 1.15 * cub);  // "barely outperforms"
+    EXPECT_LT(scan, cub);
+    // SAM's advantage is about 50%.
+    EXPECT_NEAR(sam / plr, 1.5, 0.15);
+}
+
+TEST(Shapes, Fig5_SamAdvantageShrinksWithOrder)
+{
+    double prev_ratio = 1e9;
+    for (std::size_t k = 2; k <= 4; ++k) {
+        const auto sig = dsp::higher_order_prefix_sum(k);
+        const double ratio =
+            gput(Algo::kSam, sig, kBig) / gput(Algo::kPlr, sig, kBig);
+        EXPECT_LT(ratio, prev_ratio) << "k=" << k;
+        prev_ratio = ratio;
+    }
+}
+
+TEST(Shapes, Fig5_PlrAdvantageOverCubGrowsWithOrder)
+{
+    double prev_ratio = 0;
+    for (std::size_t k = 2; k <= 4; ++k) {
+        const auto sig = dsp::higher_order_prefix_sum(k);
+        const double ratio =
+            gput(Algo::kPlr, sig, kBig) / gput(Algo::kCub, sig, kBig);
+        EXPECT_GT(ratio, prev_ratio) << "k=" << k;
+        prev_ratio = ratio;
+    }
+}
+
+// --------------------------------------- Figures 6-8 (low-pass filters)
+
+TEST(Shapes, Fig6_PlrReachesMemcpyOnSingleStageFilter)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    EXPECT_GE(gput(Algo::kPlr, sig, kBig),
+              0.90 * gput(Algo::kMemcpy, sig, kBig));
+}
+
+TEST(Shapes, Fig6_PlrBeatsRecByAboutNinetyPercentAtOneGb)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    const double ratio =
+        gput(Algo::kPlr, sig, kBig) / gput(Algo::kRec, sig, kBig);
+    EXPECT_NEAR(ratio, 1.90, 0.20);
+}
+
+TEST(Shapes, Fig6_RecAtLeastMatchesPlrBelowOneMillionEntries)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    for (int e = 14; e <= 17; ++e) {
+        const std::size_t n = std::size_t{1} << e;
+        EXPECT_GE(gput(Algo::kRec, sig, n), 0.95 * gput(Algo::kPlr, sig, n))
+            << "2^" << e;
+    }
+    // ...and PLR clearly wins beyond the L2 capacity.
+    EXPECT_GT(gput(Algo::kPlr, sig, std::size_t{1} << 21),
+              gput(Algo::kRec, sig, std::size_t{1} << 21));
+}
+
+TEST(Shapes, Fig7and8_PlrStaysFastestAtLargeSizes)
+{
+    for (std::size_t stages : {2u, 3u}) {
+        const auto sig = dsp::lowpass(0.8, stages);
+        const double plr = gput(Algo::kPlr, sig, kBig);
+        EXPECT_GT(plr, gput(Algo::kRec, sig, kBig)) << stages;
+        EXPECT_GT(plr, gput(Algo::kAlg3, sig, kBig)) << stages;
+        EXPECT_GT(plr, gput(Algo::kScan, sig, std::size_t{1} << 26))
+            << stages;
+    }
+}
+
+TEST(Shapes, Fig8_AllThroughputsDecreaseWithFilterOrder)
+{
+    for (Algo algo : {Algo::kPlr, Algo::kRec, Algo::kAlg3}) {
+        double prev = 1e18;
+        for (std::size_t stages = 1; stages <= 3; ++stages) {
+            const double t = gput(algo, dsp::lowpass(0.8, stages), kBig);
+            EXPECT_LE(t, prev) << to_string(algo) << " stages=" << stages;
+            prev = t;
+        }
+    }
+}
+
+TEST(Shapes, SupportedSizeLimits)
+{
+    // Alg3 caps at 2 GB, Rec at 1 GB, Scan shrinks with the order
+    // (Section 6.2.1), all below PLR's 4 GB.
+    const auto lp = dsp::lowpass(0.8, 1);
+    EXPECT_EQ(algo_max_elements(Algo::kPlr, lp, kHw), std::size_t{1} << 30);
+    EXPECT_EQ(algo_max_elements(Algo::kAlg3, lp, kHw), std::size_t{1} << 29);
+    EXPECT_EQ(algo_max_elements(Algo::kRec, lp, kHw), std::size_t{1} << 28);
+    EXPECT_EQ(algo_max_elements(Algo::kScan, dsp::prefix_sum(), kHw),
+              std::size_t{1} << 29);
+    const std::size_t scan2 =
+        algo_max_elements(Algo::kScan, dsp::higher_order_prefix_sum(2), kHw);
+    const std::size_t scan3 =
+        algo_max_elements(Algo::kScan, dsp::higher_order_prefix_sum(3), kHw);
+    EXPECT_LT(scan2, std::size_t{1} << 29);
+    EXPECT_LT(scan3, scan2);
+}
+
+// ------------------------------------------ Figure 9 (high-pass filters)
+
+TEST(Shapes, Fig9_HighPassCostsAConsistentSeventeenPercent)
+{
+    for (std::size_t stages : {1u, 2u}) {
+        const double hp = gput(Algo::kPlr, dsp::highpass(0.8, stages), kBig);
+        const double lp = gput(Algo::kPlr, dsp::lowpass(0.8, stages), kBig);
+        EXPECT_NEAR(hp / lp, 0.83, 0.04) << stages;
+    }
+    // Third stage is compute-bound and drops slightly more.
+    const double hp3 = gput(Algo::kPlr, dsp::highpass(0.8, 3), kBig);
+    const double lp3 = gput(Algo::kPlr, dsp::lowpass(0.8, 3), kBig);
+    EXPECT_GE(hp3 / lp3, 0.70);
+    EXPECT_LE(hp3 / lp3, 0.88);
+}
+
+TEST(Shapes, Fig9_HighPassThroughputDecreasesWithOrder)
+{
+    double prev = 1e18;
+    for (std::size_t stages = 1; stages <= 3; ++stages) {
+        const double t = gput(Algo::kPlr, dsp::highpass(0.8, stages), kBig);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+// ------------------------------------------ Figure 10 (optimizations)
+
+TEST(Shapes, Fig10_OptimizationsHelpInAllCases)
+{
+    const auto off = Optimizations::all_off();
+    for (const char* text :
+         {"(1: 1)", "(1: 0, 1)", "(1: 0, 0, 1)", "(1: 2, -1)",
+          "(1: 3, -3, 1)"}) {
+        const auto sig = Signature::parse(text);
+        EXPECT_GT(gput(Algo::kPlr, sig, kBig),
+                  algo_throughput(Algo::kPlr, sig, kBig, kHw, off) / 1e9)
+            << text;
+    }
+    for (std::size_t stages : {1u, 2u, 3u}) {
+        for (const auto& sig :
+             {dsp::lowpass(0.8, stages), dsp::highpass(0.8, stages)}) {
+            EXPECT_GT(gput(Algo::kPlr, sig, kBig),
+                      algo_throughput(Algo::kPlr, sig, kBig, kHw, off) / 1e9)
+                << sig.to_string();
+        }
+    }
+}
+
+TEST(Shapes, Fig10_TwoStageLowPassGainIsLarge)
+{
+    const auto sig = dsp::lowpass(0.8, 2);
+    const double on = gput(Algo::kPlr, sig, kBig);
+    const double off =
+        algo_throughput(Algo::kPlr, sig, kBig, kHw,
+                        Optimizations::all_off()) /
+        1e9;
+    EXPECT_GE(on / off, 1.8);
+}
+
+TEST(Shapes, Fig10_HigherOrderGainIsSmall)
+{
+    const auto sig = dsp::higher_order_prefix_sum(2);
+    const double on = gput(Algo::kPlr, sig, kBig);
+    const double off =
+        algo_throughput(Algo::kPlr, sig, kBig, kHw,
+                        Optimizations::all_off()) /
+        1e9;
+    EXPECT_LE(on / off, 1.2);
+    EXPECT_GE(on / off, 1.0);
+}
+
+// ------------------------------------------------- Table 2 (memory)
+
+TEST(Tables, Table2_MemoryUsageMatchesPaper)
+{
+    const std::size_t n = 67108864;
+    const auto ps = dsp::prefix_sum();
+    EXPECT_NEAR(memory_usage(Algo::kMemcpy, ps, n, kHw).total_mb(), 621.5,
+                1.0);
+    // PLR, CUB, SAM stay within ~3 MB of memcpy.
+    for (Algo algo : {Algo::kPlr, Algo::kCub, Algo::kSam}) {
+        for (std::size_t k : {1u, 2u, 3u}) {
+            const auto sig =
+                k == 1 ? ps : dsp::higher_order_prefix_sum(k);
+            EXPECT_NEAR(memory_usage(algo, sig, n, kHw).total_mb(), 623.0,
+                        2.0)
+                << to_string(algo) << " k=" << k;
+        }
+    }
+    // Scan's pair encoding: 1135.5 / 3188.8 / 6278.9 MB.
+    EXPECT_NEAR(memory_usage(Algo::kScan, ps, n, kHw).total_mb(), 1135.5,
+                20.0);
+    EXPECT_NEAR(
+        memory_usage(Algo::kScan, dsp::higher_order_prefix_sum(2), n, kHw)
+            .total_mb(),
+        3188.8, 30.0);
+    EXPECT_NEAR(
+        memory_usage(Algo::kScan, dsp::higher_order_prefix_sum(3), n, kHw)
+            .total_mb(),
+        6278.9, 40.0);
+    // Alg3: 895.8 / 911.8 / 927.8; Rec: 638.5 / 654.5 / 670.5.
+    for (std::size_t k : {1u, 2u, 3u}) {
+        const auto lp = dsp::lowpass(0.8, k);
+        EXPECT_NEAR(memory_usage(Algo::kAlg3, lp, n, kHw).total_mb(),
+                    895.8 + 16.0 * (k - 1), 4.0)
+            << k;
+        EXPECT_NEAR(memory_usage(Algo::kRec, lp, n, kHw).total_mb(),
+                    638.5 + 16.0 * (k - 1), 4.0)
+            << k;
+    }
+}
+
+// ------------------------------------------------- Table 3 (L2 misses)
+
+TEST(Tables, Table3_L2ReadMissesMatchPaper)
+{
+    const std::size_t n = 67108864;
+    const auto ps = dsp::prefix_sum();
+    for (Algo algo : {Algo::kPlr, Algo::kSam}) {
+        for (std::size_t k : {1u, 2u, 3u}) {
+            const auto sig = k == 1 ? ps : dsp::higher_order_prefix_sum(k);
+            EXPECT_NEAR(l2_read_miss_bytes(algo, sig, n, kHw) / kMb, 256.4,
+                        1.5)
+                << to_string(algo) << " k=" << k;
+        }
+    }
+    EXPECT_NEAR(l2_read_miss_bytes(Algo::kCub, ps, n, kHw) / kMb, 256.5, 1.0);
+    // Scan: 512.3 / 1537.1 / 3074.1.
+    EXPECT_NEAR(l2_read_miss_bytes(Algo::kScan, ps, n, kHw) / kMb, 512.3,
+                3.0);
+    EXPECT_NEAR(l2_read_miss_bytes(Algo::kScan,
+                                   dsp::higher_order_prefix_sum(2), n, kHw) /
+                    kMb,
+                1537.1, 5.0);
+    EXPECT_NEAR(l2_read_miss_bytes(Algo::kScan,
+                                   dsp::higher_order_prefix_sum(3), n, kHw) /
+                    kMb,
+                3074.1, 8.0);
+    // Alg3: 550.6 / 591.3 / 632.0; Rec: 528.3 / 545.3 / 562.5.
+    for (std::size_t k : {1u, 2u, 3u}) {
+        const auto lp = dsp::lowpass(0.8, k);
+        EXPECT_NEAR(l2_read_miss_bytes(Algo::kAlg3, lp, n, kHw) / kMb,
+                    550.6 + 40.7 * (k - 1), 3.0)
+            << k;
+        EXPECT_NEAR(l2_read_miss_bytes(Algo::kRec, lp, n, kHw) / kMb,
+                    528.3 + 17.1 * (k - 1), 3.0)
+            << k;
+    }
+}
+
+// ----------------------- closed-form traffic vs. simulator validation
+
+double
+sim_total_bytes(const gpusim::CounterSnapshot& c)
+{
+    return static_cast<double>(c.global_load_bytes + c.global_store_bytes);
+}
+
+TEST(TrafficValidation, MemcpyMatchesSimulator)
+{
+    const std::size_t n = 1 << 16;
+    gpusim::Device device;
+    const auto input = dsp::random_ints(n, 3);
+    kernels::device_memcpy<std::int32_t>(device, input, 4096);
+    const auto profile = make_profile(Algo::kMemcpy, dsp::prefix_sum(), n, kHw);
+    EXPECT_NEAR(sim_total_bytes(device.snapshot()),
+                profile.dram_read_bytes + profile.dram_write_bytes,
+                0.02 * 8 * n);
+}
+
+TEST(TrafficValidation, PlrMatchesSimulator)
+{
+    // Compare the closed-form byte count with the simulator's counters
+    // for the same plan (the profile assigns uncached factor reads to L2,
+    // the simulator counts them as global loads: compare the sums).
+    const std::size_t n = 1 << 16;
+    for (const char* text : {"(1: 1)", "(1: 0, 1)", "(1: 2, -1)"}) {
+        const auto sig = Signature::parse(text);
+        gpusim::Device device;
+        const auto input = dsp::random_ints(n, 5);
+        PlannerLimits limits;
+        limits.resident_blocks = kHw.spec.max_resident_blocks();
+        kernels::PlrKernel<IntRing> kernel(make_plan(sig, n, limits));
+        kernels::PlrRunStats stats;
+        kernel.run(device, input, &stats);
+
+        const auto profile = make_profile(Algo::kPlr, sig, n, kHw);
+        const double model = profile.dram_read_bytes +
+                             profile.dram_write_bytes +
+                             profile.l2_read_bytes;
+        EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.12 * model)
+            << text;
+    }
+}
+
+TEST(TrafficValidation, CubMatchesSimulator)
+{
+    const std::size_t n = 1 << 16;
+    for (const char* text : {"(1: 1)", "(1: 0, 1)", "(1: 2, -1)"}) {
+        const auto sig = Signature::parse(text);
+        gpusim::Device device;
+        const auto input = dsp::random_ints(n, 7);
+        kernels::CubLikeKernel<IntRing> cub(sig, n, 4096);
+        kernels::CubRunStats stats;
+        cub.run(device, input, &stats);
+        const auto profile = make_profile(Algo::kCub, sig, n, kHw);
+        const double model =
+            profile.dram_read_bytes + profile.dram_write_bytes;
+        EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.10 * model)
+            << text;
+    }
+}
+
+TEST(TrafficValidation, SamMatchesSimulator)
+{
+    const std::size_t n = 1 << 16;
+    for (const char* text : {"(1: 1)", "(1: 2, -1)", "(1: 3, -3, 1)"}) {
+        const auto sig = Signature::parse(text);
+        gpusim::Device device;
+        const auto input = dsp::random_ints(n, 9);
+        kernels::SamLikeKernel<IntRing> sam(sig, n, 4096);
+        kernels::SamRunStats stats;
+        sam.run(device, input, &stats);
+        const auto profile = make_profile(Algo::kSam, sig, n, kHw);
+        const double model =
+            profile.dram_read_bytes + profile.dram_write_bytes;
+        EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.10 * model)
+            << text;
+    }
+}
+
+TEST(TrafficValidation, ScanMatchesSimulator)
+{
+    const std::size_t n = 1 << 14;
+    for (const char* text : {"(1: 1)", "(1: 2, -1)"}) {
+        const auto sig = Signature::parse(text);
+        gpusim::Device device;
+        const auto input = dsp::random_ints(n, 11);
+        kernels::ScanBaseline<IntRing> scan(sig, n, 1024);
+        kernels::ScanRunStats stats;
+        scan.run(device, input, &stats);
+        const auto profile = make_profile(Algo::kScan, sig, n, kHw);
+        const double model =
+            profile.dram_read_bytes + profile.dram_write_bytes;
+        EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.10 * model)
+            << text;
+    }
+}
+
+TEST(TrafficValidation, RecMatchesSimulatorBeyondL2)
+{
+    // 1024x1024 floats = 4 MB > 2 MB L2: the fix-up pass misses.
+    const std::size_t side = 1024;
+    const std::size_t n = side * side;
+    const auto sig = dsp::lowpass(0.8, 1);
+    gpusim::Device device;
+    const auto image = dsp::random_floats(n, 13);
+    kernels::RecLikeKernel rec(sig, side, side);
+    kernels::RecRunStats stats;
+    rec.run(device, image, &stats);
+    const auto profile = make_profile(Algo::kRec, sig, n, kHw);
+    const double model = profile.dram_read_bytes + profile.dram_write_bytes;
+    EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.10 * model);
+}
+
+TEST(TrafficValidation, Alg3MatchesSimulatorBeyondL2)
+{
+    const std::size_t side = 1024;
+    const std::size_t n = side * side;
+    const auto sig = dsp::lowpass(0.8, 1);
+    gpusim::Device device;
+    const auto image = dsp::random_floats(n, 15);
+    kernels::Alg3LikeKernel alg3(sig, side, side);
+    kernels::Alg3RunStats stats;
+    alg3.run(device, image, &stats);
+    const auto profile = make_profile(Algo::kAlg3, sig, n, kHw);
+    const double model = profile.dram_read_bytes + profile.dram_write_bytes;
+    EXPECT_NEAR(sim_total_bytes(stats.counters), model, 0.10 * model);
+}
+
+TEST(TrafficValidation, L2ModelConfirmsColdMissAccounting)
+{
+    // Run PLR on the simulator with the L2 model enabled at a size whose
+    // data exceeds the 2 MB cache; the read misses must match the
+    // closed-form Table-3 audit (cold misses on the input).
+    const std::size_t n = 1 << 20;  // 4 MB of ints
+    const auto sig = dsp::prefix_sum();
+    gpusim::Device device(gpusim::titan_x(), /*model_l2=*/true);
+    const auto input = dsp::random_ints(n, 17);
+    kernels::PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, n, 4096, 256));
+    kernels::PlrRunStats stats;
+    kernel.run(device, input, &stats);
+
+    const double measured =
+        static_cast<double>(stats.counters.l2_read_miss_bytes(32));
+    const double modeled = l2_read_miss_bytes(Algo::kPlr, sig, n, kHw);
+    EXPECT_NEAR(measured, modeled, 0.10 * modeled);
+}
+
+// -------------------------------------------------------- misc model
+
+TEST(Model, UnsupportedSizesReportZeroThroughput)
+{
+    EXPECT_EQ(algo_throughput(Algo::kRec, dsp::lowpass(0.8, 1),
+                              std::size_t{1} << 29, kHw),
+              0.0);
+}
+
+TEST(Model, UnsupportedSignaturesRejected)
+{
+    EXPECT_FALSE(algo_supports(Algo::kCub, dsp::lowpass(0.8, 1)));
+    EXPECT_FALSE(algo_supports(Algo::kRec, dsp::highpass(0.8, 1)));
+    EXPECT_TRUE(algo_supports(Algo::kScan, dsp::highpass(0.8, 1)));
+    EXPECT_THROW(make_profile(Algo::kCub, dsp::lowpass(0.8, 1), 1024, kHw),
+                 FatalError);
+}
+
+
+TEST(Model, CrossoverFinderLocatesRecPlrSwitch)
+{
+    // "PLR starts outperforming Rec at a size of one million entries"
+    // (Section 6.5): the modeled crossover must fall within a factor of
+    // two of 2^20.
+    const auto n = crossover_size(Algo::kPlr, Algo::kRec,
+                                  dsp::lowpass(0.8, 1), kHw);
+    EXPECT_GE(n, std::size_t{1} << 19);
+    EXPECT_LE(n, std::size_t{1} << 21);
+}
+
+TEST(Model, CrossoverReturnsZeroWhenNeverOvertaken)
+{
+    // Scan never beats the memory-copy bound at any size.
+    EXPECT_EQ(crossover_size(Algo::kScan, Algo::kMemcpy, dsp::prefix_sum(),
+                             kHw),
+              0u);
+}
+
+TEST(Model, MemcpyBoundsEveryCode)
+{
+    // No code may exceed the memory-copy upper bound at any size.
+    for (int e = 14; e <= 28; e += 2) {
+        const std::size_t n = std::size_t{1} << e;
+        const double bound = gput(Algo::kMemcpy, dsp::prefix_sum(), n);
+        for (Algo algo : {Algo::kPlr, Algo::kCub, Algo::kSam, Algo::kScan})
+            EXPECT_LE(gput(algo, dsp::prefix_sum(), n), bound * 1.0001)
+                << to_string(algo) << " 2^" << e;
+        const double fbound = gput(Algo::kMemcpy, dsp::lowpass(0.8, 1), n);
+        for (Algo algo : {Algo::kPlr, Algo::kAlg3, Algo::kRec})
+            EXPECT_LE(gput(algo, dsp::lowpass(0.8, 1), n), fbound * 1.0001)
+                << to_string(algo) << " 2^" << e;
+    }
+}
+
+TEST(Model, ProfilesAreDeterministic)
+{
+    const auto a = make_profile(Algo::kPlr, dsp::lowpass(0.8, 2), 1 << 24,
+                                kHw);
+    const auto b = make_profile(Algo::kPlr, dsp::lowpass(0.8, 2), 1 << 24,
+                                kHw);
+    EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes);
+    EXPECT_EQ(a.l2_read_bytes, b.l2_read_bytes);
+    EXPECT_EQ(a.compute_ops, b.compute_ops);
+}
+
+}  // namespace
+}  // namespace plr

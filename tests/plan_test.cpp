@@ -1,0 +1,120 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "util/diag.h"
+
+namespace plr {
+namespace {
+
+TEST(Plan, XIsSmallestIntegerCoveringTheInputInOneWave)
+{
+    // Section 3: x is the smallest integer with x * 1024 * T > n.
+    PlannerLimits limits;  // T = 48, 1024 threads
+    const auto sig = dsp::prefix_sum();
+    EXPECT_EQ(make_plan(sig, 1000, limits).x, 1u);
+    EXPECT_EQ(make_plan(sig, 48 * 1024, limits).x, 2u);  // x*wave > n strict
+    EXPECT_EQ(make_plan(sig, 48 * 1024 + 1, limits).x, 2u);
+    EXPECT_EQ(make_plan(sig, 3 * 48 * 1024, limits).x, 4u);
+}
+
+TEST(Plan, XCapsAtElevenForIntegersAndNineForFloats)
+{
+    PlannerLimits limits;
+    const std::size_t huge = std::size_t{1} << 30;
+    EXPECT_EQ(make_plan(dsp::prefix_sum(), huge, limits).x, 11u);
+    EXPECT_EQ(make_plan(dsp::lowpass(0.8, 1), huge, limits).x, 9u);
+}
+
+TEST(Plan, ChunkSizeIsXTimesBlockThreads)
+{
+    const auto plan = make_plan(dsp::prefix_sum(), std::size_t{1} << 24);
+    EXPECT_EQ(plan.m, plan.x * plan.block_threads);
+    EXPECT_EQ(plan.block_threads, 1024u);
+}
+
+TEST(Plan, RegisterHeuristic)
+{
+    // 32 registers for float signatures and 0/1-integer signatures,
+    // 64 for complex integer signatures (Section 3).
+    EXPECT_EQ(make_plan(dsp::prefix_sum(), 1000).registers_per_thread, 32u);
+    EXPECT_EQ(make_plan(dsp::tuple_prefix_sum(3), 1000).registers_per_thread,
+              32u);
+    EXPECT_EQ(make_plan(dsp::lowpass(0.8, 2), 1000).registers_per_thread,
+              32u);
+    EXPECT_EQ(
+        make_plan(dsp::higher_order_prefix_sum(2), 1000).registers_per_thread,
+        64u);
+    EXPECT_EQ(make_plan(Signature::parse("(1: 1, 2)"), 1000)
+                  .registers_per_thread,
+              64u);
+}
+
+TEST(Plan, PipelineDepthIsThirtyTwo)
+{
+    EXPECT_EQ(make_plan(dsp::prefix_sum(), 1000).pipeline_depth, 32u);
+}
+
+TEST(Plan, RejectsOversizedInputs)
+{
+    // Sequences are limited to 4 GB = 2^30 words (Section 3).
+    EXPECT_NO_THROW(make_plan(dsp::prefix_sum(), std::size_t{1} << 30));
+    EXPECT_THROW(make_plan(dsp::prefix_sum(), (std::size_t{1} << 30) + 1),
+                 FatalError);
+}
+
+TEST(Plan, RejectsEmptyInputAndMapOnly)
+{
+    EXPECT_THROW(make_plan(dsp::prefix_sum(), 0), FatalError);
+    const auto fir = Signature::parse("(1, 2: 0)", /*allow_fir=*/true);
+    EXPECT_THROW(make_plan(fir, 100), FatalError);
+}
+
+TEST(Plan, IntegerPlansDisableDenormalOptimizations)
+{
+    const auto plan = make_plan(dsp::higher_order_prefix_sum(2), 1000);
+    EXPECT_FALSE(plan.opts.flush_denormals);
+    EXPECT_FALSE(plan.opts.zero_tail_suppress);
+    const auto fplan = make_plan(dsp::lowpass(0.8, 1), 1000);
+    EXPECT_TRUE(fplan.opts.flush_denormals);
+    EXPECT_TRUE(fplan.opts.zero_tail_suppress);
+}
+
+TEST(Plan, NumChunksRoundsUp)
+{
+    const auto plan = make_plan_with_chunk(dsp::prefix_sum(), 100, 32, 32);
+    EXPECT_EQ(plan.num_chunks(), 4u);
+    const auto exact = make_plan_with_chunk(dsp::prefix_sum(), 96, 32, 32);
+    EXPECT_EQ(exact.num_chunks(), 3u);
+}
+
+TEST(Plan, ChunkMustBeMultipleOfBlockThreads)
+{
+    EXPECT_THROW(make_plan_with_chunk(dsp::prefix_sum(), 100, 48, 32),
+                 FatalError);
+    EXPECT_NO_THROW(make_plan_with_chunk(dsp::prefix_sum(), 100, 96, 32));
+}
+
+TEST(Plan, AllOffDisablesEverything)
+{
+    const auto off = Optimizations::all_off();
+    EXPECT_FALSE(off.shared_factor_cache);
+    EXPECT_FALSE(off.constant_fold);
+    EXPECT_FALSE(off.conditional_add);
+    EXPECT_FALSE(off.periodic_compress);
+    EXPECT_FALSE(off.zero_tail_suppress);
+    EXPECT_FALSE(off.flush_denormals);
+    EXPECT_FALSE(off.suppress_shifted_list);
+}
+
+TEST(Plan, SmallerResidencyRaisesX)
+{
+    PlannerLimits tiny;
+    tiny.resident_blocks = 4;
+    const auto plan = make_plan(dsp::prefix_sum(), 1 << 18, tiny);
+    EXPECT_GT(plan.x, make_plan(dsp::prefix_sum(), 1 << 18).x);
+}
+
+}  // namespace
+}  // namespace plr

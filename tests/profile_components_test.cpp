@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+
+namespace plr::perfmodel {
+namespace {
+
+const HardwareModel kHw;
+constexpr std::size_t kN = std::size_t{1} << 26;
+constexpr double kWord = 4.0;
+
+// Unit tests of the profile builders' mechanistic components.
+
+TEST(ProfileComponents, MemcpyMovesExactly2N)
+{
+    const auto p = make_profile(Algo::kMemcpy, dsp::prefix_sum(), kN, kHw);
+    EXPECT_DOUBLE_EQ(p.dram_read_bytes, kN * kWord);
+    EXPECT_DOUBLE_EQ(p.dram_write_bytes, kN * kWord);
+    EXPECT_DOUBLE_EQ(p.compute_ops, 0.0);
+    EXPECT_DOUBLE_EQ(p.l2_read_bytes, 0.0);
+}
+
+TEST(ProfileComponents, PlrPrefixSumHasNoFactorTraffic)
+{
+    // All factors fold to the constant 1: no L2 factor reads at all.
+    const auto p = make_profile(Algo::kPlr, dsp::prefix_sum(), kN, kHw);
+    EXPECT_DOUBLE_EQ(p.l2_read_bytes, 0.0);
+    // Data plus a small carry/flag overhead.
+    EXPECT_NEAR(p.dram_read_bytes, kN * kWord, 0.01 * kN * kWord);
+    EXPECT_EQ(p.occupancy, 1.0);
+}
+
+TEST(ProfileComponents, PlrHigherOrderPaysOccupancy)
+{
+    const auto p =
+        make_profile(Algo::kPlr, dsp::higher_order_prefix_sum(2), kN, kHw);
+    EXPECT_DOUBLE_EQ(p.occupancy, kHw.occupancy_64_regs);
+    EXPECT_GT(p.l2_read_bytes, 0.0);  // uncached factor tail + cache fill
+}
+
+TEST(ProfileComponents, PlrFilterSuppresssesMostFactorWork)
+{
+    // The 2-stage low-pass factors decay after a few hundred entries, so
+    // per-element factor traffic is far below the k words an unsuppressed
+    // kernel would read.
+    const auto p = make_profile(Algo::kPlr, dsp::lowpass(0.8, 2), kN, kHw);
+    EXPECT_LT(p.l2_read_bytes, 0.25 * kN * kWord);
+}
+
+TEST(ProfileComponents, CubPassCountsByClass)
+{
+    EXPECT_DOUBLE_EQ(
+        make_profile(Algo::kCub, dsp::prefix_sum(), kN, kHw).kernel_launches,
+        1.0);
+    EXPECT_DOUBLE_EQ(make_profile(Algo::kCub, dsp::tuple_prefix_sum(3), kN,
+                                  kHw)
+                         .kernel_launches,
+                     1.0);
+    EXPECT_DOUBLE_EQ(
+        make_profile(Algo::kCub, dsp::higher_order_prefix_sum(3), kN, kHw)
+            .kernel_launches,
+        3.0);
+    const auto p3 =
+        make_profile(Algo::kCub, dsp::higher_order_prefix_sum(3), kN, kHw);
+    EXPECT_NEAR(p3.dram_read_bytes, 3.0 * kN * kWord, 0.02 * 3 * kN * kWord);
+}
+
+TEST(ProfileComponents, SamSinglePassAtEveryOrder)
+{
+    for (std::size_t k : {1u, 2u, 4u}) {
+        const auto sig =
+            k == 1 ? dsp::prefix_sum() : dsp::higher_order_prefix_sum(k);
+        const auto p = make_profile(Algo::kSam, sig, kN, kHw);
+        EXPECT_NEAR(p.dram_read_bytes, kN * kWord, 0.02 * kN * kWord) << k;
+        // Computation repeats with the order.
+        EXPECT_GE(p.compute_ops, static_cast<double>(k) * kN) << k;
+    }
+}
+
+TEST(ProfileComponents, ScanBytesScaleWithPairWords)
+{
+    for (std::size_t k : {1u, 2u, 3u}) {
+        const auto sig =
+            k == 1 ? dsp::prefix_sum() : dsp::higher_order_prefix_sum(k);
+        const auto p = make_profile(Algo::kScan, sig, kN, kHw);
+        const double pw = static_cast<double>(k * k + k);
+        EXPECT_DOUBLE_EQ(p.dram_read_bytes, kN * pw * kWord) << k;
+        EXPECT_DOUBLE_EQ(p.dram_write_bytes, kN * pw * kWord) << k;
+    }
+}
+
+TEST(ProfileComponents, RecSecondReadMovesToL2BelowCapacity)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    const std::size_t small = 1 << 18;  // 1 MB < 2 MB L2
+    const auto p_small = make_profile(Algo::kRec, sig, small, kHw);
+    EXPECT_DOUBLE_EQ(p_small.l2_read_bytes, small * kWord);
+    const std::size_t big = 1 << 21;  // 8 MB > 2 MB L2
+    const auto p_big = make_profile(Algo::kRec, sig, big, kHw);
+    EXPECT_DOUBLE_EQ(p_big.l2_read_bytes, 0.0);
+    EXPECT_GT(p_big.dram_read_bytes, 2.0 * big * kWord);
+}
+
+TEST(ProfileComponents, Alg3WritesIntermediateAndOutput)
+{
+    const auto p = make_profile(Algo::kAlg3, dsp::lowpass(0.8, 1), kN, kHw);
+    EXPECT_DOUBLE_EQ(p.dram_write_bytes, 2.0 * kN * kWord);
+    EXPECT_DOUBLE_EQ(p.kernel_launches, 2.0);
+}
+
+// Calibration regression locks: if a model change moves the headline
+// plateaus, these fail before EXPERIMENTS.md silently goes stale.
+
+TEST(CalibrationLock, HeadlinePlateausAt2to30)
+{
+    const std::size_t n = std::size_t{1} << 30;
+    auto g = [&](Algo a, const Signature& s) {
+        return algo_throughput(a, s, n, kHw) / 1e9;
+    };
+    EXPECT_NEAR(g(Algo::kMemcpy, dsp::prefix_sum()), 35.0, 0.3);
+    EXPECT_NEAR(g(Algo::kPlr, dsp::prefix_sum()), 33.2, 0.5);
+    EXPECT_NEAR(g(Algo::kPlr, dsp::higher_order_prefix_sum(2)), 17.7, 0.6);
+    EXPECT_NEAR(g(Algo::kSam, dsp::higher_order_prefix_sum(2)), 27.3, 0.6);
+    EXPECT_NEAR(g(Algo::kCub, dsp::higher_order_prefix_sum(2)), 17.3, 0.6);
+    const std::size_t gb = std::size_t{1} << 28;
+    EXPECT_NEAR(algo_throughput(Algo::kRec, dsp::lowpass(0.8, 1), gb, kHw) /
+                    1e9,
+                17.3, 0.6);
+    EXPECT_NEAR(algo_throughput(Algo::kPlr, dsp::lowpass(0.8, 1), gb, kHw) /
+                    1e9,
+                32.8, 0.6);
+}
+
+}  // namespace
+}  // namespace plr::perfmodel

@@ -1,0 +1,142 @@
+#include "kernels/related_work.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+TEST(KoggeStone, PrefixSumMatchesSerial)
+{
+    for (std::size_t n : {1u, 2u, 100u, 1024u, 5000u}) {
+        const auto input = dsp::random_ints(n, n);
+        gpusim::Device device;
+        const auto result = kogge_stone_recurrence<IntRing>(
+            device, dsp::prefix_sum(), input);
+        EXPECT_EQ(result, serial_recurrence<IntRing>(dsp::prefix_sum(),
+                                                     input))
+            << n;
+    }
+}
+
+TEST(KoggeStone, FirstOrderFilterMatchesSerial)
+{
+    const auto sig = dsp::lowpass(0.8, 1);
+    const std::size_t n = 3000;
+    const auto input = dsp::random_floats(n, 3);
+    gpusim::Device device;
+    const auto result = kogge_stone_recurrence<FloatRing>(device, sig, input);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+TEST(KoggeStone, HighPassWithMapMatchesSerial)
+{
+    const auto sig = dsp::highpass(0.8, 1);
+    const std::size_t n = 2000;
+    const auto input = dsp::random_floats(n, 5);
+    gpusim::Device device;
+    const auto result = kogge_stone_recurrence<FloatRing>(device, sig, input);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+TEST(KoggeStone, RejectsHigherOrders)
+{
+    gpusim::Device device;
+    const auto input = dsp::random_ints(100, 1);
+    EXPECT_THROW(kogge_stone_recurrence<IntRing>(
+                     device, Signature::parse("(1: 2, -1)"), input),
+                 FatalError);
+}
+
+TEST(KoggeStone, SweepCountIsLogarithmic)
+{
+    gpusim::Device device;
+    const auto input = dsp::random_ints(4096, 7);
+    RelatedWorkStats stats;
+    kogge_stone_recurrence<IntRing>(device, dsp::prefix_sum(), input,
+                                    &stats);
+    EXPECT_EQ(stats.sweeps, 12u);  // log2(4096)
+}
+
+TEST(KoggeStone, MovesOrderNLogNWords)
+{
+    // The work-inefficiency the paper's related work discusses: traffic
+    // scales with log n sweeps, far above PLR's single pass.
+    const std::size_t n = 1 << 14;
+    const auto input = dsp::random_ints(n, 9);
+
+    gpusim::Device ks_device;
+    RelatedWorkStats ks_stats;
+    kogge_stone_recurrence<IntRing>(ks_device, dsp::prefix_sum(), input,
+                                    &ks_stats);
+
+    gpusim::Device plr_device;
+    PlrRunStats plr_stats;
+    PlrKernel<IntRing> kernel(
+        make_plan_with_chunk(dsp::prefix_sum(), n, 1024, 256));
+    kernel.run(plr_device, input, &plr_stats);
+
+    EXPECT_GT(ks_stats.counters.total_global_bytes(),
+              8 * plr_stats.counters.total_global_bytes());
+}
+
+TEST(BlellochTree, PrefixSumMatchesSerialAtAwkwardSizes)
+{
+    for (std::size_t n : {1u, 2u, 3u, 255u, 256u, 257u, 5000u}) {
+        const auto input = dsp::random_ints(n, 100 + n);
+        gpusim::Device device;
+        const auto result = blelloch_tree_prefix_sum<IntRing>(device, input);
+        EXPECT_EQ(result, serial_recurrence<IntRing>(dsp::prefix_sum(),
+                                                     input))
+            << n;
+    }
+}
+
+TEST(BlellochTree, FloatPrefixSumWithinTolerance)
+{
+    const std::size_t n = 4000;
+    const auto input = dsp::random_floats(n, 11);
+    gpusim::Device device;
+    const auto result = blelloch_tree_prefix_sum<FloatRing>(device, input);
+    const auto expected =
+        serial_recurrence<FloatRing>(dsp::prefix_sum(), input);
+    EXPECT_TRUE(validate_close(expected, result, 1e-3).ok);
+}
+
+TEST(BlellochTree, WorkEfficientButMultiPass)
+{
+    // O(n) operations, but still several traversals of the data —
+    // cheaper than Kogge-Stone, costlier than PLR's 2n movement.
+    const std::size_t n = 1 << 14;
+    const auto input = dsp::random_ints(n, 13);
+
+    gpusim::Device bl_device;
+    RelatedWorkStats bl_stats;
+    blelloch_tree_prefix_sum<IntRing>(bl_device, input, &bl_stats);
+
+    gpusim::Device ks_device;
+    RelatedWorkStats ks_stats;
+    kogge_stone_recurrence<IntRing>(ks_device, dsp::prefix_sum(), input,
+                                    &ks_stats);
+
+    // Operation counts: Blelloch ~2n adds vs Kogge-Stone ~n log n.
+    EXPECT_LT(bl_stats.counters.flops, ks_stats.counters.flops / 3);
+
+    gpusim::Device plr_device;
+    PlrRunStats plr_stats;
+    PlrKernel<IntRing> kernel(
+        make_plan_with_chunk(dsp::prefix_sum(), n, 1024, 256));
+    kernel.run(plr_device, input, &plr_stats);
+    EXPECT_GT(bl_stats.counters.total_global_bytes(),
+              plr_stats.counters.total_global_bytes());
+}
+
+}  // namespace
+}  // namespace plr::kernels

@@ -1,0 +1,119 @@
+#include "kernels/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+TEST(Runner, IntOnBothBackends)
+{
+    const auto sig = Signature::parse("(1: 2, -1)");
+    const auto input = dsp::random_ints(50000, 3);
+    const auto expected = serial_recurrence<IntRing>(sig, input);
+    EXPECT_EQ(run_recurrence(sig, input, Backend::kSimulatedGpu), expected);
+    EXPECT_EQ(run_recurrence(sig, input, Backend::kCpu), expected);
+}
+
+TEST(Runner, FloatOnBothBackends)
+{
+    const auto sig = dsp::highpass(0.8, 2);
+    const auto input = dsp::random_floats(30000, 5);
+    const auto expected = serial_recurrence<FloatRing>(sig, input);
+    EXPECT_TRUE(validate_close(
+                    expected,
+                    run_recurrence(sig, input, Backend::kSimulatedGpu), 1e-3)
+                    .ok);
+    EXPECT_TRUE(
+        validate_close(expected, run_recurrence(sig, input, Backend::kCpu),
+                       1e-3)
+            .ok);
+}
+
+TEST(Runner, MaxPlusDispatchesToTheTropicalRing)
+{
+    const auto sig = Signature::max_plus({0.0}, {-0.25});
+    const auto input = dsp::random_floats(10000, 7, 0.0f, 20.0f);
+    const auto expected = serial_recurrence<TropicalRing>(sig, input);
+    const auto result = run_recurrence(sig, input);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        ASSERT_NEAR(result[i], expected[i], 1e-4);
+}
+
+TEST(Runner, IntDataWithFractionalSignatureRejected)
+{
+    const auto input = dsp::random_ints(100, 1);
+    EXPECT_THROW(run_recurrence(dsp::lowpass(0.8, 1), input), FatalError);
+    EXPECT_THROW(
+        run_recurrence(Signature::max_plus({0.0}, {-1.0}), input),
+        FatalError);
+}
+
+TEST(Runner, TinyInputsWork)
+{
+    const auto sig = dsp::prefix_sum();
+    const std::vector<std::int32_t> one = {42};
+    EXPECT_EQ(run_recurrence(sig, one), one);
+    const auto small = dsp::random_ints(7, 2);
+    EXPECT_EQ(run_recurrence(sig, small),
+              serial_recurrence<IntRing>(sig, small));
+}
+
+TEST(Runner, EmptyInputRejected)
+{
+    EXPECT_THROW(
+        run_recurrence(dsp::prefix_sum(), std::span<const std::int32_t>{}),
+        FatalError);
+}
+
+TEST(Runner, HighOrderTinyInput)
+{
+    // Order larger than small default chunks: auto_plan must still pick
+    // a chunk >= k.
+    const auto sig = dsp::higher_order_prefix_sum(4);
+    const auto input = dsp::random_ints(50, 9);
+    EXPECT_EQ(run_recurrence(sig, input),
+              serial_recurrence<IntRing>(sig, input));
+}
+
+// ----------------------------------------------- shared-memory budget
+
+TEST(SharedMemoryBudget, PlrFactorCachesFitTheBlockBudget)
+{
+    // The worst supported integer case (order 11 would exceed x_cap; use
+    // a deep tuple): k * 1024 cached factors * 4 B stays within 48 kB.
+    const auto sig = dsp::tuple_prefix_sum(8);
+    const auto input = dsp::random_ints(20000, 11);
+    gpusim::Device device;
+    PlrKernel<IntRing> kernel(make_plan_with_chunk(sig, 20000, 1024, 256));
+    EXPECT_NO_THROW(kernel.run(device, input));
+}
+
+TEST(SharedMemoryBudget, OverBudgetKernelPanics)
+{
+    gpusim::Device device;
+    EXPECT_THROW(device.launch(1,
+                               [&](gpusim::BlockContext& ctx) {
+                                   ctx.alloc_shared(49 * 1024);
+                               }),
+                 PanicError);
+}
+
+TEST(SharedMemoryBudget, WithinBudgetAccumulates)
+{
+    gpusim::Device device;
+    device.launch(1, [&](gpusim::BlockContext& ctx) {
+        ctx.alloc_shared(16 * 1024);
+        ctx.alloc_shared(16 * 1024);
+        EXPECT_EQ(ctx.shared_bytes_used(), 32u * 1024);
+    });
+}
+
+}  // namespace
+}  // namespace plr::kernels

@@ -1,0 +1,135 @@
+#include "kernels/segmented.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+
+namespace plr::kernels {
+namespace {
+
+TEST(Segmented, EachSegmentMatchesSerialWithFreshHistory)
+{
+    const std::vector<Signature> sigs = {dsp::prefix_sum(),
+                                         Signature::parse("(1: 2, -1)")};
+    const std::vector<Segment> segments = {{100, 0}, {57, 1}, {200, 0}};
+    const auto input = dsp::random_ints(357, 7);
+
+    gpusim::Device device;
+    const auto out =
+        segmented_recurrence<IntRing>(device, sigs, segments, input);
+
+    std::size_t base = 0;
+    for (const Segment& segment : segments) {
+        const auto expected = serial_recurrence<IntRing>(
+            sigs[segment.signature_index],
+            std::span<const std::int32_t>(input.data() + base,
+                                          segment.length));
+        for (std::size_t i = 0; i < segment.length; ++i)
+            EXPECT_EQ(out[base + i], expected[i]) << base + i;
+        base += segment.length;
+    }
+}
+
+TEST(Segmented, StateResetsAtBoundaries)
+{
+    // Two prefix-sum segments over all-ones input: each restarts at 1.
+    const std::vector<Signature> sigs = {dsp::prefix_sum()};
+    const std::vector<Segment> segments = {{5, 0}, {5, 0}};
+    const std::vector<std::int32_t> input(10, 1);
+    gpusim::Device device;
+    const auto out =
+        segmented_recurrence<IntRing>(device, sigs, segments, input);
+    const std::vector<std::int32_t> expected = {1, 2, 3, 4, 5, 1, 2, 3, 4, 5};
+    EXPECT_EQ(out, expected);
+}
+
+TEST(Segmented, MixedFilterParametersPerSegment)
+{
+    // A float stream whose filter changes per block (the motivating
+    // use case): gentle then aggressive smoothing.
+    const std::vector<Signature> sigs = {dsp::lowpass(0.5, 1),
+                                         dsp::lowpass(0.9, 2)};
+    const std::vector<Segment> segments = {{300, 0}, {300, 1}, {400, 0}};
+    const auto input = dsp::random_floats(1000, 3);
+    gpusim::Device device;
+    SegmentedRunStats stats;
+    const auto out = segmented_recurrence<FloatRing>(device, sigs, segments,
+                                                     input, &stats);
+    EXPECT_EQ(stats.segments, 3u);
+
+    std::size_t base = 0;
+    for (const Segment& segment : segments) {
+        const auto expected = serial_recurrence<FloatRing>(
+            sigs[segment.signature_index],
+            std::span<const float>(input.data() + base, segment.length));
+        const auto actual =
+            std::span<const float>(out.data() + base, segment.length);
+        EXPECT_TRUE(validate_close(expected, actual, 1e-3).ok);
+        base += segment.length;
+    }
+}
+
+TEST(Segmented, SingleSegmentEqualsPlainRecurrence)
+{
+    const std::vector<Signature> sigs = {Signature::parse("(1: 1, 1)")};
+    const auto input = dsp::random_ints(777, 11);
+    gpusim::Device device;
+    const auto out = segmented_recurrence<IntRing>(device, sigs,
+                                                   {{777, 0}}, input);
+    EXPECT_EQ(out, serial_recurrence<IntRing>(sigs[0], input));
+}
+
+TEST(Segmented, ValidationErrors)
+{
+    gpusim::Device device;
+    const auto input = dsp::random_ints(10, 1);
+    const std::vector<Signature> sigs = {dsp::prefix_sum()};
+    // Lengths don't sum to n.
+    EXPECT_THROW(segmented_recurrence<IntRing>(device, sigs, {{5, 0}}, input),
+                 FatalError);
+    // Bad signature index.
+    EXPECT_THROW(
+        segmented_recurrence<IntRing>(device, sigs, {{10, 3}}, input),
+        FatalError);
+    // Empty segment.
+    EXPECT_THROW(
+        segmented_recurrence<IntRing>(device, sigs, {{0, 0}, {10, 0}}, input),
+        FatalError);
+    // No segments.
+    EXPECT_THROW(segmented_recurrence<IntRing>(device, sigs, {}, input),
+                 FatalError);
+}
+
+TEST(Segmented, ManySmallSegmentsRunConcurrently)
+{
+    const std::vector<Signature> sigs = {dsp::prefix_sum(),
+                                         Signature::parse("(1: 0, 1)"),
+                                         Signature::parse("(1: 2, -1)")};
+    std::vector<Segment> segments;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < 200; ++s) {
+        segments.push_back({10 + s % 17, s % sigs.size()});
+        total += segments.back().length;
+    }
+    const auto input = dsp::random_ints(total, 23);
+    gpusim::Device device;
+    const auto out =
+        segmented_recurrence<IntRing>(device, sigs, segments, input);
+
+    std::size_t base = 0;
+    for (const Segment& segment : segments) {
+        const auto expected = serial_recurrence<IntRing>(
+            sigs[segment.signature_index],
+            std::span<const std::int32_t>(input.data() + base,
+                                          segment.length));
+        for (std::size_t i = 0; i < segment.length; ++i)
+            ASSERT_EQ(out[base + i], expected[i]);
+        base += segment.length;
+    }
+}
+
+}  // namespace
+}  // namespace plr::kernels

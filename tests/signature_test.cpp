@@ -1,0 +1,161 @@
+#include "core/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "util/diag.h"
+
+namespace plr {
+namespace {
+
+TEST(Signature, ParsesPrefixSum)
+{
+    const auto sig = Signature::parse("(1: 1)");
+    EXPECT_EQ(sig.a(), std::vector<double>({1.0}));
+    EXPECT_EQ(sig.b(), std::vector<double>({1.0}));
+    EXPECT_EQ(sig.order(), 1u);
+    EXPECT_EQ(sig.fir_taps(), 0u);
+}
+
+TEST(Signature, ParsesWithoutParentheses)
+{
+    const auto sig = Signature::parse("1: 2, -1");
+    EXPECT_EQ(sig.b(), std::vector<double>({2.0, -1.0}));
+}
+
+TEST(Signature, ParsesNegativeAndFractionalCoefficients)
+{
+    const auto sig = Signature::parse("(0.9, -0.9: 0.8)");
+    EXPECT_DOUBLE_EQ(sig.a()[0], 0.9);
+    EXPECT_DOUBLE_EQ(sig.a()[1], -0.9);
+    EXPECT_DOUBLE_EQ(sig.b()[0], 0.8);
+    EXPECT_EQ(sig.fir_taps(), 1u);
+}
+
+TEST(Signature, ParsesWithArbitraryWhitespace)
+{
+    const auto sig = Signature::parse("  ( 1 ,0 , 2:  0 ,1 )  ");
+    EXPECT_EQ(sig.a(), std::vector<double>({1.0, 0.0, 2.0}));
+    EXPECT_EQ(sig.b(), std::vector<double>({0.0, 1.0}));
+}
+
+TEST(Signature, TrimsTrailingZeroCoefficients)
+{
+    const auto sig = Signature::parse("(1, 0, 0: 1, 1, 0, 0)");
+    EXPECT_EQ(sig.a().size(), 1u);
+    EXPECT_EQ(sig.order(), 2u);
+}
+
+TEST(Signature, RejectsAllZeroFeedForward)
+{
+    EXPECT_THROW(Signature::parse("(0, 0: 1)"), FatalError);
+}
+
+TEST(Signature, RejectsAllZeroFeedbackByDefault)
+{
+    EXPECT_THROW(Signature::parse("(1: 0)"), FatalError);
+}
+
+TEST(Signature, AllowsFirWhenRequested)
+{
+    const auto sig = Signature::parse("(1, 2: 0)", /*allow_fir=*/true);
+    EXPECT_EQ(sig.order(), 0u);
+}
+
+TEST(Signature, RejectsMissingColon)
+{
+    EXPECT_THROW(Signature::parse("(1, 1)"), FatalError);
+}
+
+TEST(Signature, RejectsDoubleColon)
+{
+    EXPECT_THROW(Signature::parse("(1: 1: 1)"), FatalError);
+}
+
+TEST(Signature, RejectsGarbage)
+{
+    EXPECT_THROW(Signature::parse("(1: one)"), FatalError);
+}
+
+TEST(Signature, RejectsEmpty)
+{
+    EXPECT_THROW(Signature::parse("   "), FatalError);
+}
+
+TEST(Signature, RoundTripsThroughToString)
+{
+    const auto sig = Signature::parse("(1, -2.5: 0, 1)");
+    const auto again = Signature::parse(sig.to_string());
+    EXPECT_EQ(sig, again);
+}
+
+TEST(Signature, ClassifiesPrefixSum)
+{
+    EXPECT_EQ(Signature::parse("(1: 1)").classify(),
+              SignatureClass::kPrefixSum);
+}
+
+TEST(Signature, ClassifiesTuplePrefixSums)
+{
+    EXPECT_EQ(Signature::parse("(1: 0, 1)").classify(),
+              SignatureClass::kTuplePrefixSum);
+    EXPECT_EQ(Signature::parse("(1: 0, 0, 1)").classify(),
+              SignatureClass::kTuplePrefixSum);
+    EXPECT_EQ(Signature::parse("(1: 0, 1)").tuple_size(), 2u);
+    EXPECT_EQ(Signature::parse("(1: 0, 0, 0, 1)").tuple_size(), 4u);
+}
+
+TEST(Signature, ClassifiesHigherOrderPrefixSums)
+{
+    EXPECT_EQ(Signature::parse("(1: 2, -1)").classify(),
+              SignatureClass::kHigherOrderPrefixSum);
+    EXPECT_EQ(Signature::parse("(1: 3, -3, 1)").classify(),
+              SignatureClass::kHigherOrderPrefixSum);
+    EXPECT_EQ(Signature::parse("(1: 4, -6, 4, -1)").classify(),
+              SignatureClass::kHigherOrderPrefixSum);
+}
+
+TEST(Signature, ClassifiesGeneralInteger)
+{
+    EXPECT_EQ(Signature::parse("(1: 1, 2)").classify(),
+              SignatureClass::kGeneralInteger);
+    EXPECT_EQ(Signature::parse("(2: 1)").classify(),
+              SignatureClass::kGeneralInteger);
+}
+
+TEST(Signature, ClassifiesGeneralReal)
+{
+    EXPECT_EQ(Signature::parse("(0.2: 0.8)").classify(),
+              SignatureClass::kGeneralReal);
+}
+
+TEST(Signature, IntegralityDetection)
+{
+    EXPECT_TRUE(Signature::parse("(1: 3, -3, 1)").is_integral());
+    EXPECT_FALSE(Signature::parse("(1: 0.5)").is_integral());
+}
+
+TEST(Signature, ZeroOneCoefficientDetection)
+{
+    EXPECT_TRUE(Signature::parse("(1: 0, 1)").coefficients_are_zero_one());
+    EXPECT_FALSE(Signature::parse("(1: 2, -1)").coefficients_are_zero_one());
+}
+
+TEST(Signature, RecursiveAndMapParts)
+{
+    const auto sig = Signature::parse("(0.9, -0.9: 0.8)");
+    const auto rec = sig.recursive_part();
+    EXPECT_EQ(rec.a(), std::vector<double>({1.0}));
+    EXPECT_EQ(rec.b(), sig.b());
+    const auto map = sig.map_part();
+    EXPECT_EQ(map.a(), sig.a());
+    EXPECT_EQ(map.order(), 0u);
+}
+
+TEST(Signature, NonFiniteCoefficientsRejected)
+{
+    EXPECT_THROW(Signature({1.0}, {std::numeric_limits<double>::infinity()}),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace plr

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/correction_factors.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "util/ring.h"
+
+namespace plr {
+namespace {
+
+// The paper lists supporting operators other than addition as future work
+// (Section 7). The correction-factor construction only needs semiring
+// axioms, so the max-plus (tropical) semiring — max as addition, + as
+// multiplication — gives parallel decaying-maximum recurrences for free.
+
+TEST(TropicalRing, SemiringAxioms)
+{
+    using T = TropicalRing;
+    const float a = 3.0f, b = -1.5f, c = 0.25f;
+    // Commutativity and associativity of (+) = max.
+    EXPECT_EQ(T::add(a, b), T::add(b, a));
+    EXPECT_EQ(T::add(T::add(a, b), c), T::add(a, T::add(b, c)));
+    // Identities.
+    EXPECT_EQ(T::add(a, T::zero()), a);
+    EXPECT_EQ(T::mul(a, T::one()), a);
+    // Distributivity: a*(b+c) = a*b + a*c.
+    EXPECT_EQ(T::mul(a, T::add(b, c)), T::add(T::mul(a, b), T::mul(a, c)));
+    // zero() absorbs under (*).
+    EXPECT_TRUE(T::is_zero(T::mul(a, T::zero())));
+}
+
+TEST(TropicalSignature, ConstructionAndClassification)
+{
+    const auto sig = Signature::max_plus({0.0}, {-0.125});
+    EXPECT_TRUE(sig.is_max_plus());
+    EXPECT_TRUE(sig.is_pure_recursive());  // a = {0}, the tropical one
+    EXPECT_FALSE(sig.is_integral());
+    EXPECT_EQ(sig.order(), 1u);
+    EXPECT_EQ(sig.classify(), SignatureClass::kGeneralReal);
+    EXPECT_EQ(sig.to_string(), "max+(0: -0.125)");
+}
+
+TEST(TropicalSignature, ZeroCoefficientsAreMeaningful)
+{
+    // In max-plus, 0 is the multiplicative identity, not "absent":
+    // trailing zeros must not be trimmed.
+    const auto sig = Signature::max_plus({0.0}, {-1.0, 0.0});
+    EXPECT_EQ(sig.order(), 2u);
+}
+
+TEST(TropicalSerial, DecayingRunningMax)
+{
+    // y[i] = max(x[i], y[i-1] - 1): after a spike of 10, the output decays
+    // by 1 per step until the input takes over again.
+    const auto sig = Signature::max_plus({0.0}, {-1.0});
+    std::vector<float> x = {0, 10, 0, 0, 0, 0, 8, 0};
+    const auto y = kernels::serial_recurrence<TropicalRing>(sig, x);
+    const std::vector<float> expected = {0, 10, 9, 8, 7, 6, 8, 7};
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], expected[i]) << i;
+}
+
+TEST(TropicalFactors, FirstOrderFactorsAreMultiplesOfTheDecay)
+{
+    // (0 : -d) in max-plus: F_1[o] = (o+1) * (-d) — the "powers" of the
+    // coefficient under tropical multiplication.
+    const auto sig = Signature::max_plus({0.0}, {-0.5});
+    const auto factors =
+        CorrectionFactors<TropicalRing>::generate(sig.recursive_part(), 12);
+    for (std::size_t o = 0; o < 12; ++o)
+        EXPECT_FLOAT_EQ(factors.factor(1, o),
+                        -0.5f * static_cast<float>(o + 1));
+}
+
+TEST(TropicalFactors, MergeCorrectionEqualsRecomputation)
+{
+    // The Phase-1 identity holds in the tropical semiring: recomputing a
+    // concatenation equals correcting the second chunk with the factors.
+    const auto sig = Signature::max_plus({0.0}, {-0.75, -2.0});
+    const std::size_t s = 16;
+    const auto factors = CorrectionFactors<TropicalRing>::generate(sig, s);
+    const auto input = dsp::random_floats(2 * s, 5, 0.0f, 10.0f);
+
+    const auto full = kernels::serial_recurrence<TropicalRing>(sig, input);
+    const auto first = kernels::serial_recurrence<TropicalRing>(
+        sig, std::span<const float>(input.data(), s));
+    const auto second = kernels::serial_recurrence<TropicalRing>(
+        sig, std::span<const float>(input.data() + s, s));
+
+    for (std::size_t o = 0; o < s; ++o) {
+        float corrected = second[o];
+        for (std::size_t j = 1; j <= 2; ++j)
+            corrected = TropicalRing::mul_add(
+                corrected, factors.factor(j, o), first[s - j]);
+        EXPECT_FLOAT_EQ(corrected, full[s + o]) << o;
+    }
+}
+
+TEST(TropicalPlr, MatchesSerialOnTheSimulator)
+{
+    for (const auto& sig :
+         {Signature::max_plus({0.0}, {-0.25}),
+          Signature::max_plus({0.0}, {-0.5, -1.5}),
+          Signature::max_plus({0.0, -3.0}, {-1.0})}) {
+        const std::size_t n = 3000;
+        const auto input = dsp::random_floats(n, 21, 0.0f, 100.0f);
+        gpusim::Device device;
+        kernels::PlrKernel<TropicalRing> kernel(
+            make_plan_with_chunk(sig, n, 128, 64));
+        const auto result = kernel.run(device, input);
+        const auto expected =
+            kernels::serial_recurrence<TropicalRing>(sig, input);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(result[i], expected[i], 1e-4)
+                << sig.to_string() << " @ " << i;
+    }
+}
+
+TEST(TropicalPlr, EnvelopeFollowerTracksPeaks)
+{
+    // Envelope of a decaying tone burst: the output never drops below the
+    // rectified signal and decays linearly between peaks.
+    const std::size_t n = 4096;
+    auto burst = dsp::sine(n, 0.01, 5.0);
+    for (std::size_t i = 0; i < n; ++i)
+        burst[i] = std::fabs(burst[i]);
+    const auto sig = Signature::max_plus({0.0}, {-0.02f});
+
+    gpusim::Device device;
+    kernels::PlrKernel<TropicalRing> kernel(
+        make_plan_with_chunk(sig, n, 256, 64));
+    const auto envelope = kernel.run(device, burst);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_GE(envelope[i], burst[i] - 1e-4) << i;
+        if (i > 0) {
+            EXPECT_GE(envelope[i], envelope[i - 1] - 0.02f - 1e-4) << i;
+        }
+    }
+}
+
+TEST(TropicalSignature, RejectsBadCoefficients)
+{
+    EXPECT_THROW(Signature::max_plus({}, {-1.0}), FatalError);
+    EXPECT_THROW(Signature::max_plus({0.0}, {}), FatalError);
+    EXPECT_THROW(
+        Signature::max_plus({0.0}, {std::numeric_limits<double>::quiet_NaN()}),
+        FatalError);
+}
+
+}  // namespace
+}  // namespace plr

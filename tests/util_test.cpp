@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/code_writer.h"
+#include "util/compare.h"
+#include "util/diag.h"
+#include "util/ring.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace plr {
+namespace {
+
+// ----------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRangeAndCoversIt)
+{
+    Rng rng(7);
+    std::vector<int> counts(11, 0);
+    for (int i = 0; i < 11000; ++i) {
+        const auto v = rng.uniform_int(-5, 5);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 5);
+        ++counts[static_cast<std::size_t>(v + 5)];
+    }
+    for (int c : counts)
+        EXPECT_GT(c, 700);  // roughly uniform (expected 1000)
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform_double();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance)
+{
+    Rng rng(11);
+    double sum = 0, sumsq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SingleValueRange)
+{
+    Rng rng(13);
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+// ---------------------------------------------------------------- Ring
+
+TEST(IntRing, WrapAroundIsExact)
+{
+    const std::int32_t big = 2000000000;
+    // 2e9 + 2e9 wraps mod 2^32 (would be UB on plain int32 addition).
+    EXPECT_EQ(IntRing::add(big, big), -294967296);
+    EXPECT_EQ(IntRing::mul(65536, 65536), 0);
+    EXPECT_EQ(IntRing::sub(0, 1), -1);
+}
+
+TEST(IntRing, MulAddComposition)
+{
+    EXPECT_EQ(IntRing::mul_add(10, 3, 4), 22);
+    EXPECT_EQ(IntRing::mul_add(0, -1, 5), -5);
+}
+
+TEST(IntRing, LinearityUnderWrap)
+{
+    // (a + b) * c == a*c + b*c even when intermediate values wrap — the
+    // property that makes exact integer validation possible.
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = static_cast<std::int32_t>(rng.next_u32());
+        const auto b = static_cast<std::int32_t>(rng.next_u32());
+        const auto c = static_cast<std::int32_t>(rng.next_u32());
+        EXPECT_EQ(IntRing::mul(IntRing::add(a, b), c),
+                  IntRing::add(IntRing::mul(a, c), IntRing::mul(b, c)));
+    }
+}
+
+TEST(IntRing, CoefficientConversion)
+{
+    EXPECT_EQ(IntRing::from_coefficient(3.0), 3);
+    EXPECT_EQ(IntRing::from_coefficient(-1.0), -1);
+}
+
+TEST(FloatRing, DenormalFlush)
+{
+    EXPECT_EQ(FloatRing::flush_denormal(1e-40f), 0.0f);
+    EXPECT_EQ(FloatRing::flush_denormal(-1e-44f), 0.0f);
+    EXPECT_FLOAT_EQ(FloatRing::flush_denormal(1e-30f), 1e-30f);
+    EXPECT_FLOAT_EQ(FloatRing::flush_denormal(-2.5f), -2.5f);
+}
+
+TEST(FloatRing, IdentityPredicates)
+{
+    EXPECT_TRUE(FloatRing::is_zero(0.0f));
+    EXPECT_TRUE(FloatRing::is_one(1.0f));
+    EXPECT_FALSE(FloatRing::is_one(1.0f + 1e-6f));
+}
+
+// ------------------------------------------------------------- compare
+
+TEST(Compare, ExactDetectsFirstMismatch)
+{
+    const std::vector<std::int32_t> a = {1, 2, 3, 4};
+    const std::vector<std::int32_t> b = {1, 2, 9, 9};
+    const auto r = validate_exact(a, b);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(*r.first_mismatch, 2u);
+}
+
+TEST(Compare, ExactPasses)
+{
+    const std::vector<std::int32_t> a = {1, 2, 3};
+    EXPECT_TRUE(validate_exact(a, a).ok);
+}
+
+TEST(Compare, SizeMismatchFails)
+{
+    const std::vector<std::int32_t> a = {1, 2, 3};
+    const std::vector<std::int32_t> b = {1, 2};
+    EXPECT_FALSE(validate_exact(a, b).ok);
+}
+
+TEST(Compare, CloseUsesAbsoluteForSmallAndRelativeForLarge)
+{
+    // Small magnitudes: absolute tolerance.
+    const std::vector<float> small_ref = {0.0f};
+    const std::vector<float> small_ok = {5e-4f};
+    EXPECT_TRUE(validate_close(small_ref, small_ok, 1e-3).ok);
+    // Large magnitudes: relative tolerance.
+    const std::vector<float> big_ref = {10000.0f};
+    const std::vector<float> big_ok = {10005.0f};
+    EXPECT_TRUE(validate_close(big_ref, big_ok, 1e-3).ok);
+    const std::vector<float> big_bad = {10020.0f};
+    EXPECT_FALSE(validate_close(big_ref, big_bad, 1e-3).ok);
+}
+
+TEST(Compare, NanFailsValidation)
+{
+    const std::vector<float> ref = {1.0f};
+    const std::vector<float> nan_val = {std::nanf("")};
+    EXPECT_FALSE(validate_close(ref, nan_val, 1e-3).ok);
+}
+
+TEST(Compare, DescribeMentionsIndex)
+{
+    const std::vector<std::int32_t> a = {1};
+    const std::vector<std::int32_t> b = {2};
+    EXPECT_NE(validate_exact(a, b).describe().find("0"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- cli
+
+TEST(Cli, ParsesAllForms)
+{
+    const char* argv[] = {"prog",     "--alpha=3",  "--beta", "7",
+                          "--gamma",  "positional", "--flag"};
+    CliArgs args(7, argv);
+    EXPECT_EQ(args.get_int("alpha", 0), 3);
+    EXPECT_EQ(args.get_int("beta", 0), 7);
+    EXPECT_EQ(args.get("gamma", ""), "positional");
+    EXPECT_TRUE(args.get_bool("flag", false));
+    EXPECT_TRUE(args.positional().empty());  // consumed by --gamma
+}
+
+TEST(Cli, PositionalArguments)
+{
+    const char* argv[] = {"prog", "input.txt", "--n=5", "output.txt"};
+    CliArgs args(4, argv);
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.txt");
+    EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(Cli, Defaults)
+{
+    const char* argv[] = {"prog"};
+    CliArgs args(1, argv);
+    EXPECT_EQ(args.get_int("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+    EXPECT_FALSE(args.get_bool("missing", false));
+    EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, RejectsMalformedNumbers)
+{
+    const char* argv[] = {"prog", "--n=abc"};
+    CliArgs args(2, argv);
+    EXPECT_THROW(args.get_int("n", 0), FatalError);
+}
+
+TEST(Cli, BooleanSpellings)
+{
+    const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=false"};
+    CliArgs args(5, argv);
+    EXPECT_TRUE(args.get_bool("a", false));
+    EXPECT_FALSE(args.get_bool("b", true));
+    EXPECT_TRUE(args.get_bool("c", false));
+    EXPECT_FALSE(args.get_bool("d", true));
+}
+
+// --------------------------------------------------------------- table
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.add_row({"x", "1"});
+    table.add_row({"longer", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only one"}), FatalError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_pow2(1024), "2^10");
+    EXPECT_EQ(format_pow2(1000), "1000");
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(2048), "2.0 KB");
+}
+
+// ----------------------------------------------------------- CodeWriter
+
+TEST(CodeWriter, IndentsNestedBlocks)
+{
+    CodeWriter w;
+    w.open("if (x) {");
+    w.line("y = 1;");
+    w.close();
+    EXPECT_EQ(w.str(), "if (x) {\n    y = 1;\n}\n");
+}
+
+TEST(CodeWriter, BlankLinesCarryNoSpaces)
+{
+    CodeWriter w;
+    w.indent();
+    w.line();
+    EXPECT_EQ(w.str(), "\n");
+}
+
+TEST(CodeWriter, UnbalancedDedentPanics)
+{
+    CodeWriter w;
+    EXPECT_THROW(w.dedent(), PanicError);
+}
+
+// ----------------------------------------------------------------- diag
+
+TEST(Diag, FatalCarriesMessageAndLocation)
+{
+    try {
+        PLR_FATAL("value " << 42 << " is bad");
+        FAIL();
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("value 42 is bad"), std::string::npos);
+        EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Diag, RequireAndAssert)
+{
+    EXPECT_NO_THROW(PLR_REQUIRE(true, "fine"));
+    EXPECT_THROW(PLR_REQUIRE(false, "nope"), FatalError);
+    EXPECT_THROW(PLR_ASSERT(1 == 2, "broken"), PanicError);
+}
+
+}  // namespace
+}  // namespace plr
