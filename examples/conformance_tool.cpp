@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The conformance harness as a command-line tool (docs/TESTING.md):
+ * differential + metamorphic validation of every registered kernel over
+ * the shared signature corpus, with seed-replay and input shrinking for
+ * failures.
+ *
+ *   ./conformance_tool run                          # full sweep
+ *   ./conformance_tool run --kernels plr_sim,scan   # subset
+ *   ./conformance_tool run --include-broken         # prove the harness
+ *                                                   # catches a mutant
+ *   ./conformance_tool replay 'plr-repro:v1 kernel=... n=145 ...'
+ *   ./conformance_tool shrink 'plr-repro:v1 kernel=... n=145 ...'
+ *   ./conformance_tool list                         # kernels and corpus
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "testing/chunked_reference.h"
+#include "testing/corpus.h"
+#include "testing/oracle.h"
+#include "testing/repro.h"
+#include "util/cli.h"
+#include "util/diag.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: conformance_tool <command> [options]\n"
+           "  run     [--kernels a,b] [--seed S] [--per-generator N]\n"
+           "          [--chunk M] [--no-metamorphic] [--include-broken]\n"
+           "          [--repro-log FILE]   run the conformance sweep\n"
+           "  replay  '<reproducer line>'  re-run one failing case\n"
+           "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
+           "  list                         print kernels and corpus entries\n";
+    return 2;
+}
+
+std::vector<std::string>
+split_csv(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+cmd_run(const plr::CliArgs& args)
+{
+    using namespace plr::testing;
+    auto kernels = conformance_kernels(args.get_bool("include-broken", false));
+    if (args.has("kernels")) {
+        const auto wanted = split_csv(args.get("kernels", ""));
+        std::erase_if(kernels, [&](const plr::kernels::KernelInfo& info) {
+            return !info.is_reference &&
+                   std::find(wanted.begin(), wanted.end(), info.name) ==
+                       wanted.end();
+        });
+        PLR_REQUIRE(kernels.size() > 1, "no known kernel in --kernels list");
+    }
+
+    const auto corpus = full_corpus(
+        static_cast<std::uint64_t>(args.get_int("seed", 0x51C0)),
+        static_cast<std::size_t>(args.get_int("per-generator", 2)));
+
+    OracleOptions opts;
+    opts.chunk = static_cast<std::size_t>(args.get_int("chunk", 64));
+    opts.metamorphic = !args.get_bool("no-metamorphic", false);
+    opts.repro_log = args.get("repro-log", "");
+
+    const auto report = run_conformance(kernels, corpus, opts);
+    std::cout << report.summary() << "\n";
+    return report.ok() ? 0 : 1;
+}
+
+int
+cmd_replay(const std::string& line)
+{
+    using namespace plr::testing;
+    const auto repro = parse_reproducer(line);
+    const auto failure = replay(repro, conformance_kernels(true));
+    if (failure) {
+        std::cout << "still FAILS: " << failure->detail << "\n"
+                  << failure->reproducer() << "\n";
+        return 1;
+    }
+    std::cout << "passes now\n";
+    return 0;
+}
+
+int
+cmd_shrink(const std::string& line)
+{
+    using namespace plr::testing;
+    const auto repro = parse_reproducer(line);
+    const auto kernels = conformance_kernels(true);
+    std::size_t replays = 0;
+    const auto minimal = shrink(repro, kernels, {}, &replays);
+    const auto failure = replay(minimal, kernels);
+    PLR_REQUIRE(failure, "internal error: shrunk case no longer fails");
+    std::cout << "minimal failing n = " << minimal.n << " (from " << repro.n
+              << ", " << replays << " replays)\n"
+              << failure->reproducer() << "\n"
+              << failure->detail << "\n";
+    return 1;
+}
+
+int
+cmd_list()
+{
+    using namespace plr::testing;
+    std::cout << "kernels:\n";
+    for (const auto& info : conformance_kernels(true))
+        std::cout << "  " << info.name
+                  << (info.is_reference ? " (reference)" : "") << " — "
+                  << info.description << "\n";
+    std::cout << "corpus:\n";
+    for (const auto& entry : full_corpus())
+        std::cout << "  " << entry.name << " "
+                  << plr::kernels::to_string(entry.domain) << " "
+                  << entry.sig.to_string(4)
+                  << (entry.stable ? " (stable)" : "") << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const plr::CliArgs args(argc, argv);
+    if (args.positional().empty())
+        return usage();
+    const std::string& command = args.positional()[0];
+
+    try {
+        if (command == "run")
+            return cmd_run(args);
+        if (command == "list")
+            return cmd_list();
+        if (command == "replay" || command == "shrink") {
+            if (args.positional().size() < 2) {
+                std::cerr << command << " needs a reproducer line\n";
+                return 2;
+            }
+            return command == "replay" ? cmd_replay(args.positional()[1])
+                                       : cmd_shrink(args.positional()[1]);
+        }
+        std::cerr << "unknown command '" << command << "'\n";
+        return usage();
+    } catch (const plr::FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

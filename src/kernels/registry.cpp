@@ -1,0 +1,264 @@
+#include "kernels/registry.h"
+
+#include <algorithm>
+
+#include "core/plan.h"
+#include "gpusim/device.h"
+#include "kernels/cpu_parallel.h"
+#include "kernels/cublike.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/samlike.h"
+#include "kernels/scan_baseline.h"
+#include "kernels/serial.h"
+#include "util/diag.h"
+
+namespace plr::kernels {
+
+const char*
+to_string(Domain d)
+{
+    switch (d) {
+      case Domain::kInt: return "int";
+      case Domain::kFloat: return "float";
+      case Domain::kTropical: return "tropical";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+domain_matches_ring(const Signature& sig, Domain domain)
+{
+    switch (domain) {
+      case Domain::kInt:
+        return sig.is_integral() && !sig.is_max_plus();
+      case Domain::kFloat:
+        return !sig.is_max_plus();
+      case Domain::kTropical:
+        return sig.is_max_plus();
+    }
+    return false;
+}
+
+/**
+ * Resolve a requested chunk size to a (m, block_threads) pair PLR's
+ * planner accepts: m >= order, block_threads the largest power of two
+ * <= min(m, 64) that divides m.
+ */
+std::pair<std::size_t, std::size_t>
+plr_chunk_shape(const Signature& sig, std::size_t requested)
+{
+    std::size_t m = requested ? requested : 64;
+    m = std::max(m, std::max<std::size_t>(sig.order(), 1));
+    std::size_t block = 1;
+    for (std::size_t b = 2; b <= 64 && b <= m; b *= 2)
+        if (m % b == 0)
+            block = b;
+    return {m, block};
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_plr_sim(const Signature& sig,
+            std::span<const typename Ring::value_type> input,
+            const RunOptions& opts)
+{
+    if (input.empty())
+        return {};
+    const auto [m, block] = plr_chunk_shape(sig, opts.chunk);
+    gpusim::Device device;
+    PlrKernel<Ring> kernel(make_plan_with_chunk(sig, input.size(), m, block));
+    return kernel.run(device, input);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_scan(const Signature& sig,
+         std::span<const typename Ring::value_type> input,
+         const RunOptions& opts)
+{
+    if (input.empty())
+        return {};
+    const std::size_t chunk = opts.chunk ? opts.chunk : 1024;
+    gpusim::Device device;
+    ScanBaseline<Ring> kernel(sig, input.size(), chunk);
+    return kernel.run(device, input);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_cublike(const Signature& sig,
+            std::span<const typename Ring::value_type> input,
+            const RunOptions& opts)
+{
+    if (input.empty())
+        return {};
+    const std::size_t chunk = opts.chunk ? opts.chunk : 4096;
+    gpusim::Device device;
+    CubLikeKernel<Ring> kernel(sig, input.size(), chunk);
+    return kernel.run(device, input);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_samlike(const Signature& sig,
+            std::span<const typename Ring::value_type> input,
+            const RunOptions& opts)
+{
+    if (input.empty())
+        return {};
+    // 0 = the kernel's install-time auto-tuner; otherwise SAM requires
+    // chunk >= order.
+    const std::size_t chunk =
+        opts.chunk ? std::max(opts.chunk, sig.order()) : 0;
+    gpusim::Device device;
+    SamLikeKernel<Ring> kernel(sig, input.size(), chunk);
+    return kernel.run(device, input);
+}
+
+std::vector<KernelInfo>
+build_registry()
+{
+    std::vector<KernelInfo> registry;
+
+    {
+        KernelInfo info;
+        info.name = "serial";
+        info.description = "serial reference evaluation of equation (1)";
+        info.is_reference = true;
+        info.chunk_sensitive = false;
+        info.supports = domain_matches_ring;
+        info.run_int = [](const Signature& sig,
+                          std::span<const std::int32_t> input,
+                          const RunOptions&) {
+            return serial_recurrence<IntRing>(sig, input);
+        };
+        info.run_float = [](const Signature& sig, std::span<const float> input,
+                            const RunOptions&) {
+            return sig.is_max_plus()
+                       ? serial_recurrence<TropicalRing>(sig, input)
+                       : serial_recurrence<FloatRing>(sig, input);
+        };
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "plr_sim";
+        info.description =
+            "PLR two-phase kernel on the simulated GPU (Sections 2-3)";
+        info.supports = [](const Signature& sig, Domain domain) {
+            return sig.order() >= 1 && domain_matches_ring(sig, domain);
+        };
+        info.run_int = run_plr_sim<IntRing>;
+        info.run_float = [](const Signature& sig, std::span<const float> input,
+                            const RunOptions& opts) {
+            return sig.is_max_plus()
+                       ? run_plr_sim<TropicalRing>(sig, input, opts)
+                       : run_plr_sim<FloatRing>(sig, input, opts);
+        };
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "cpu_parallel";
+        info.description =
+            "native std::thread two-phase backend (Section 7 port)";
+        info.supports = [](const Signature& sig, Domain domain) {
+            return sig.order() >= 1 && domain_matches_ring(sig, domain);
+        };
+        info.run_int = [](const Signature& sig,
+                          std::span<const std::int32_t> input,
+                          const RunOptions& opts) {
+            if (input.empty())
+                return std::vector<std::int32_t>{};
+            return cpu_parallel_recurrence<IntRing>(sig, input, opts.threads);
+        };
+        info.run_float = [](const Signature& sig, std::span<const float> input,
+                            const RunOptions& opts) {
+            if (input.empty())
+                return std::vector<float>{};
+            return sig.is_max_plus()
+                       ? cpu_parallel_recurrence<TropicalRing>(sig, input,
+                                                               opts.threads)
+                       : cpu_parallel_recurrence<FloatRing>(sig, input,
+                                                            opts.threads);
+        };
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "scan";
+        info.description =
+            "Blelloch matrix-pair scan baseline with decoupled look-back";
+        info.supports = [](const Signature& sig, Domain domain) {
+            return sig.order() >= 1 && domain != Domain::kTropical &&
+                   domain_matches_ring(sig, domain);
+        };
+        info.run_int = run_scan<IntRing>;
+        info.run_float = run_scan<FloatRing>;
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "cublike";
+        info.description = "CUB-like scan (prefix-sum family only)";
+        info.supports = [](const Signature& sig, Domain domain) {
+            return domain != Domain::kTropical &&
+                   domain_matches_ring(sig, domain) &&
+                   CubLikeKernel<IntRing>::supports(sig);
+        };
+        info.run_int = run_cublike<IntRing>;
+        info.run_float = run_cublike<FloatRing>;
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "samlike";
+        info.description = "SAM-like scan (prefix-sum family only)";
+        info.supports = [](const Signature& sig, Domain domain) {
+            return domain != Domain::kTropical &&
+                   domain_matches_ring(sig, domain) &&
+                   SamLikeKernel<IntRing>::supports(sig);
+        };
+        info.run_int = run_samlike<IntRing>;
+        info.run_float = run_samlike<FloatRing>;
+        registry.push_back(std::move(info));
+    }
+
+    return registry;
+}
+
+}  // namespace
+
+const std::vector<KernelInfo>&
+kernel_registry()
+{
+    static const std::vector<KernelInfo> registry = build_registry();
+    return registry;
+}
+
+const KernelInfo*
+find_kernel(std::string_view name)
+{
+    for (const KernelInfo& info : kernel_registry())
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+std::vector<std::string>
+kernel_names()
+{
+    std::vector<std::string> names;
+    for (const KernelInfo& info : kernel_registry())
+        names.push_back(info.name);
+    return names;
+}
+
+}  // namespace plr::kernels

@@ -1,0 +1,155 @@
+#include "testing/chunked_reference.h"
+
+#include <algorithm>
+
+#include "core/correction_factors.h"
+#include "core/signature.h"
+#include "util/ring.h"
+
+namespace plr::testing {
+
+namespace {
+
+using kernels::Domain;
+using kernels::KernelInfo;
+using kernels::RunOptions;
+
+/** Offset of the single mutated factor in the sabotaged variant. */
+constexpr std::size_t kSabotagedOffset = 7;
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+chunked_eval(const Signature& sig,
+             std::span<const typename Ring::value_type> input, std::size_t m,
+             bool sabotage)
+{
+    using V = typename Ring::value_type;
+    const std::size_t n = input.size();
+    if (n == 0)
+        return {};
+    m = std::max<std::size_t>(m ? m : 64, 1);
+    const std::size_t k = sig.order();
+
+    // Map operation (eq. 2): t[i] = a0*x[i] + ... + a-p*x[i-p].
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    std::vector<V> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        V acc = Ring::zero();
+        for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+            acc = Ring::mul_add(acc, a[j], input[i - j]);
+        y[i] = acc;
+    }
+
+    // Per-chunk local recurrence of (1 : b...) with zero history.
+    std::vector<V> b(k);
+    for (std::size_t j = 0; j < k; ++j)
+        b[j] = Ring::from_coefficient(sig.b()[j]);
+    for (std::size_t start = 0; start < n; start += m) {
+        const std::size_t len = std::min(m, n - start);
+        for (std::size_t o = 0; o < len; ++o) {
+            V acc = y[start + o];
+            for (std::size_t j = 1; j <= std::min(k, o); ++j)
+                acc = Ring::mul_add(acc, b[j - 1], y[start + o - j]);
+            y[start + o] = acc;
+        }
+    }
+
+    // Correction factors, with one value mutated in the sabotaged build.
+    const auto factors = CorrectionFactors<Ring>::generate(sig, m);
+    std::vector<std::vector<V>> lists(k);
+    for (std::size_t j = 1; j <= k; ++j) {
+        const auto span = factors.list(j);
+        lists[j - 1].assign(span.begin(), span.end());
+    }
+    if (sabotage && !lists.empty()) {
+        const std::size_t offset = std::min(kSabotagedOffset, m - 1);
+        lists[0][offset] = Ring::add(lists[0][offset], Ring::one());
+    }
+
+    // Left-to-right chunk merging: chunk c reads the final (already
+    // corrected) trailing values of chunk c-1.
+    for (std::size_t start = m; start < n; start += m) {
+        const std::size_t len = std::min(m, n - start);
+        for (std::size_t j = 1; j <= k && j <= start; ++j) {
+            const V carry = y[start - j];
+            if (Ring::is_zero(carry))
+                continue;
+            const auto& list = lists[j - 1];
+            for (std::size_t o = 0; o < len; ++o)
+                y[start + o] = Ring::mul_add(y[start + o], list[o], carry);
+        }
+    }
+    return y;
+}
+
+KernelInfo
+make_chunked(const char* name, const char* description, bool sabotage)
+{
+    KernelInfo info;
+    info.name = name;
+    info.description = description;
+    info.supports = [sabotage](const Signature& sig, Domain domain) {
+        if (sig.order() < 1)
+            return false;
+        switch (domain) {
+          case Domain::kInt:
+            return sig.is_integral() && !sig.is_max_plus();
+          case Domain::kFloat:
+            return !sig.is_max_plus();
+          case Domain::kTropical:
+            // Bumping a tropical factor by one() = 0 can be a no-op, so
+            // the canary only claims the ordinary rings.
+            return !sabotage && sig.is_max_plus();
+        }
+        return false;
+    };
+    info.run_int = [sabotage](const Signature& sig,
+                              std::span<const std::int32_t> input,
+                              const RunOptions& opts) {
+        return chunked_eval<IntRing>(sig, input, opts.chunk, sabotage);
+    };
+    info.run_float = [sabotage](const Signature& sig,
+                                std::span<const float> input,
+                                const RunOptions& opts) {
+        return sig.is_max_plus()
+                   ? chunked_eval<TropicalRing>(sig, input, opts.chunk,
+                                                sabotage)
+                   : chunked_eval<FloatRing>(sig, input, opts.chunk,
+                                             sabotage);
+    };
+    return info;
+}
+
+}  // namespace
+
+KernelInfo
+chunked_reference_kernel()
+{
+    return make_chunked(
+        "chunked_ref",
+        "independent chunk-and-correct evaluator (no simulator, no threads)",
+        /*sabotage=*/false);
+}
+
+KernelInfo
+broken_factor_kernel()
+{
+    return make_chunked(
+        "broken_factor",
+        "chunked evaluator with one mutated correction factor (harness canary)",
+        /*sabotage=*/true);
+}
+
+std::vector<KernelInfo>
+conformance_kernels(bool include_broken)
+{
+    std::vector<KernelInfo> kernels = kernels::kernel_registry();
+    kernels.push_back(chunked_reference_kernel());
+    if (include_broken)
+        kernels.push_back(broken_factor_kernel());
+    return kernels;
+}
+
+}  // namespace plr::testing

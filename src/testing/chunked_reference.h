@@ -1,0 +1,43 @@
+#ifndef PLR_TESTING_CHUNKED_REFERENCE_H_
+#define PLR_TESTING_CHUNKED_REFERENCE_H_
+
+/**
+ * @file
+ * A second, independent implementation of the paper's chunk-and-correct
+ * algorithm, written directly against core/correction_factors.h with no
+ * simulator, no threads and no optimizations: split the input into
+ * chunks, run each chunk's recurrence with zero history, then fix the
+ * chunks up left-to-right with the n-nacci correction factors.
+ *
+ * Two registry entries are built on it:
+ *
+ *  - "chunked_ref": the honest evaluator — a cross-check implementation
+ *    that shares no code path with the kernels under test;
+ *  - "broken_factor": the same evaluator with ONE mutated correction
+ *    factor (F_1[7] bumped by the ring's one). The conformance harness
+ *    must catch it and emit a replayable, shrinkable reproducer — this is
+ *    the harness's own canary (docs/TESTING.md).
+ */
+
+#include <vector>
+
+#include "kernels/registry.h"
+
+namespace plr::testing {
+
+/** The honest chunked evaluator as a registry entry ("chunked_ref"). */
+kernels::KernelInfo chunked_reference_kernel();
+
+/** The sabotaged evaluator ("broken_factor"); int and float domains. */
+kernels::KernelInfo broken_factor_kernel();
+
+/**
+ * The kernel set the conformance suite runs: the production registry
+ * plus the chunked cross-check, plus the canary when asked.
+ */
+std::vector<kernels::KernelInfo> conformance_kernels(
+    bool include_broken = false);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_CHUNKED_REFERENCE_H_

@@ -1,0 +1,239 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+
+namespace plr::testing {
+
+namespace {
+
+/** Expand the denominator prod_i (1 - p_i u) into feedback coefficients. */
+std::vector<double>
+feedback_from_poles(const std::vector<double>& poles)
+{
+    std::vector<double> denom = {1.0};
+    for (double pole : poles) {
+        std::vector<double> next(denom.size() + 1, 0.0);
+        for (std::size_t j = 0; j < denom.size(); ++j) {
+            next[j] += denom[j];
+            next[j + 1] -= pole * denom[j];
+        }
+        denom = std::move(next);
+    }
+    std::vector<double> b(denom.size() - 1);
+    for (std::size_t j = 1; j < denom.size(); ++j)
+        b[j - 1] = -denom[j];
+    if (b.back() == 0.0)
+        b.back() = 0.01;  // keep the order as drawn
+    return b;
+}
+
+/** splitmix64 step — derives independent child seeds from one seed. */
+std::uint64_t
+mix_seed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + salt * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<CorpusEntry>
+table1_corpus()
+{
+    std::vector<CorpusEntry> corpus;
+    auto add = [&](const char* name, Signature sig, Domain domain,
+                   bool stable) {
+        corpus.push_back(
+            {std::string("table1/") + name, std::move(sig), domain, stable});
+    };
+    add("prefix-sum", dsp::prefix_sum(), Domain::kInt, false);
+    add("2-tuple-prefix-sum", dsp::tuple_prefix_sum(2), Domain::kInt, false);
+    add("3-tuple-prefix-sum", dsp::tuple_prefix_sum(3), Domain::kInt, false);
+    add("2nd-order-prefix-sum", dsp::higher_order_prefix_sum(2), Domain::kInt,
+        false);
+    add("3rd-order-prefix-sum", dsp::higher_order_prefix_sum(3), Domain::kInt,
+        false);
+    add("1-stage-lowpass", dsp::lowpass(0.8, 1), Domain::kFloat, true);
+    add("2-stage-lowpass", dsp::lowpass(0.8, 2), Domain::kFloat, true);
+    add("3-stage-lowpass", dsp::lowpass(0.8, 3), Domain::kFloat, true);
+    add("1-stage-highpass", dsp::highpass(0.8, 1), Domain::kFloat, true);
+    add("2-stage-highpass", dsp::highpass(0.8, 2), Domain::kFloat, true);
+    add("3-stage-highpass", dsp::highpass(0.8, 3), Domain::kFloat, true);
+    // Float-domain variants of a few integral rows: integral signatures
+    // are legal over float data, and this is the only way the prefix-sum
+    // family kernels' float instantiations get differential coverage.
+    add("prefix-sum@float", dsp::prefix_sum(), Domain::kFloat, false);
+    add("2-tuple-prefix-sum@float", dsp::tuple_prefix_sum(2), Domain::kFloat,
+        false);
+    add("2nd-order-prefix-sum@float", dsp::higher_order_prefix_sum(2),
+        Domain::kFloat, false);
+    return corpus;
+}
+
+Signature
+random_int_signature(Rng& rng)
+{
+    const std::size_t p = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<double> a(p + 1), b(k);
+    do {
+        for (auto& c : a)
+            c = static_cast<double>(rng.uniform_int(-3, 3));
+        a.back() = static_cast<double>(rng.uniform_int(1, 3));
+    } while (a[0] == 0.0 && a.size() == 1);
+    for (auto& c : b)
+        c = static_cast<double>(rng.uniform_int(-3, 3));
+    b.back() = static_cast<double>(rng.uniform_int(1, 3));
+    return Signature(std::move(a), std::move(b));
+}
+
+Signature
+random_stable_filter(Rng& rng)
+{
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    std::vector<double> poles(k);
+    for (auto& pole : poles)
+        pole = rng.uniform_double(-0.95, 0.95);
+    std::vector<double> a = {rng.uniform_double(0.1, 1.0)};
+    if (rng.uniform_int(0, 1))
+        a.push_back(rng.uniform_double(-1.0, 1.0));
+    return Signature(std::move(a), feedback_from_poles(poles));
+}
+
+Signature
+random_unstable_filter(Rng& rng)
+{
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    std::vector<double> poles(k);
+    for (auto& pole : poles) {
+        const double magnitude = rng.uniform_double(1.001, 1.05);
+        pole = rng.uniform_int(0, 1) ? magnitude : -magnitude;
+    }
+    std::vector<double> a = {rng.uniform_double(0.1, 1.0)};
+    return Signature(std::move(a), feedback_from_poles(poles));
+}
+
+Signature
+near_denormal_decay_filter(Rng& rng)
+{
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    std::vector<double> poles(k);
+    for (auto& pole : poles) {
+        const double magnitude = rng.uniform_double(0.002, 0.02);
+        pole = rng.uniform_int(0, 1) ? magnitude : -magnitude;
+    }
+    std::vector<double> a = {rng.uniform_double(0.5, 1.0)};
+    return Signature(std::move(a), feedback_from_poles(poles));
+}
+
+Signature
+periodic_factor_signature(Rng& rng)
+{
+    const std::size_t s = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const bool negated = s == 1 ? true : rng.uniform_int(0, 1) != 0;
+    std::vector<double> b(s, 0.0);
+    b.back() = negated ? -1.0 : 1.0;
+    std::vector<double> a = {1.0};
+    if (rng.uniform_int(0, 1))
+        a.push_back(static_cast<double>(rng.uniform_int(-2, 2)));
+    return Signature(std::move(a), std::move(b));
+}
+
+Signature
+random_tropical_signature(Rng& rng)
+{
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    std::vector<double> b(k);
+    for (auto& decay : b)
+        decay = -rng.uniform_double(0.05, 2.0);
+    std::vector<double> a = {0.0};
+    if (rng.uniform_int(0, 1))
+        a.push_back(-rng.uniform_double(0.1, 1.0));
+    return Signature::max_plus(std::move(a), std::move(b));
+}
+
+std::vector<CorpusEntry>
+generated_corpus(std::uint64_t seed, std::size_t per_generator)
+{
+    struct Generator {
+        const char* kind;
+        Signature (*make)(Rng&);
+        Domain domain;
+        bool stable;
+    };
+    const Generator generators[] = {
+        {"int", random_int_signature, Domain::kInt, false},
+        {"stable", random_stable_filter, Domain::kFloat, true},
+        {"unstable", random_unstable_filter, Domain::kFloat, false},
+        {"denormal", near_denormal_decay_filter, Domain::kFloat, true},
+        {"periodic", periodic_factor_signature, Domain::kInt, false},
+        {"tropical", random_tropical_signature, Domain::kTropical, false},
+    };
+
+    std::vector<CorpusEntry> corpus;
+    std::uint64_t salt = 1;
+    for (const Generator& gen : generators) {
+        for (std::size_t i = 0; i < per_generator; ++i) {
+            const std::uint64_t child = mix_seed(seed, salt++);
+            Rng rng(child);
+            std::ostringstream name;
+            name << "gen/" << gen.kind << "/" << std::hex << child;
+            corpus.push_back(
+                {name.str(), gen.make(rng), gen.domain, gen.stable});
+        }
+    }
+    return corpus;
+}
+
+std::vector<CorpusEntry>
+full_corpus(std::uint64_t seed, std::size_t per_generator)
+{
+    std::vector<CorpusEntry> corpus = table1_corpus();
+    auto generated = generated_corpus(seed, per_generator);
+    corpus.insert(corpus.end(), std::make_move_iterator(generated.begin()),
+                  std::make_move_iterator(generated.end()));
+    return corpus;
+}
+
+std::vector<std::size_t>
+conformance_sizes(std::size_t chunk, std::size_t order)
+{
+    if (chunk == 0)
+        chunk = 64;
+    std::vector<std::size_t> sizes = {0, 1};
+    if (order > 1)
+        sizes.push_back(order - 1);  // n < k: outputs see only real history
+    sizes.push_back(order);
+    sizes.push_back(order + 1);
+    if (chunk > 1)
+        sizes.push_back(chunk - 1);
+    sizes.push_back(chunk);      // n exactly one chunk
+    sizes.push_back(chunk + 1);  // partial trailing chunk
+    sizes.push_back(2 * chunk + 17);
+    sizes.push_back(5 * chunk + 3);  // several chunks, non-multiple
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    return sizes;
+}
+
+std::vector<std::int32_t>
+conformance_input_int(std::size_t n, std::uint64_t seed)
+{
+    return dsp::random_ints(n, seed);
+}
+
+std::vector<float>
+conformance_input_float(Domain domain, std::size_t n, std::uint64_t seed)
+{
+    if (domain == Domain::kTropical)
+        return dsp::random_floats(n, seed, -5.0f, 5.0f);
+    return dsp::random_floats(n, seed);
+}
+
+}  // namespace plr::testing

@@ -1,0 +1,112 @@
+#ifndef PLR_TESTING_CORPUS_H_
+#define PLR_TESTING_CORPUS_H_
+
+/**
+ * @file
+ * The shared signature corpus for the differential conformance harness
+ * (docs/TESTING.md).
+ *
+ * One module owns every signature the test suite exercises: the eleven
+ * Table 1 recurrences regenerated from first principles, plus seeded
+ * generators for the signature families that historically lived as
+ * copy-pasted helpers in individual test files — random integer
+ * signatures, random stable filters — and the families that stress
+ * specific Section-3.1 optimizations: unstable (growing) filters,
+ * near-denormal decay (flush-to-zero + zero-tail suppression), periodic
+ * factor lists (periodic compression), and tropical (max-plus)
+ * signatures.
+ *
+ * All generators are deterministic in their seed; a corpus entry's
+ * signature is fully reproducible from (generator, seed).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "kernels/registry.h"
+#include "util/rng.h"
+
+namespace plr::testing {
+
+using kernels::Domain;
+
+/** One corpus member: a signature plus the domain it is evaluated in. */
+struct CorpusEntry {
+    /** Stable human-readable id, e.g. "table1/2-stage-lowpass". */
+    std::string name;
+    Signature sig;
+    Domain domain = Domain::kInt;
+    /**
+     * True when the impulse response decays (all poles strictly inside
+     * the unit circle); gates the impulse-decay metamorphic check and
+     * lifts the input-size cap applied to growing recurrences.
+     */
+    bool stable = false;
+};
+
+/** The eleven recurrences of Table 1 plus float-domain variants of the
+ * integral prefix-sum rows (so the prefix-family kernels' float paths are
+ * exercised too). */
+std::vector<CorpusEntry> table1_corpus();
+
+// ------------------------------------------------------------------
+// Raw signature generators (shared with the legacy fuzz tests).
+
+/** Random integer signature: p in 0..3, k in 1..4, coefficients in -3..3. */
+Signature random_int_signature(Rng& rng);
+
+/** Random *stable* float filter: k in 1..3 real poles inside (-0.95, 0.95). */
+Signature random_stable_filter(Rng& rng);
+
+/** Random *unstable* filter: poles of magnitude in (1.0, 1.05) — outputs
+ * grow, so the harness caps n for entries built from this. */
+Signature random_unstable_filter(Rng& rng);
+
+/** Stable filter with poles of magnitude in (0.002, 0.02): the impulse
+ * response reaches the denormal range within a few dozen steps,
+ * exercising denormal flushing and zero-tail suppression. */
+Signature near_denormal_decay_filter(Rng& rng);
+
+/** Integral signature with periodic correction-factor lists, (1: 0,..,0,±1)
+ * — exercises the periodic-compression optimization. */
+Signature periodic_factor_signature(Rng& rng);
+
+/** Max-plus signature: decaying running maximum of order 1..3. */
+Signature random_tropical_signature(Rng& rng);
+
+// ------------------------------------------------------------------
+// Corpus assembly.
+
+/** @p per_generator seeded entries from each of the six generators. */
+std::vector<CorpusEntry> generated_corpus(std::uint64_t seed,
+                                          std::size_t per_generator);
+
+/** Table 1 + generated entries; the harness's default corpus. */
+std::vector<CorpusEntry> full_corpus(std::uint64_t seed = 0x51C0,
+                                     std::size_t per_generator = 2);
+
+/**
+ * The input-size schedule for one kernel/signature pair: degenerate sizes
+ * (0, 1, around the order k), sizes around one chunk (chunk-1, chunk,
+ * chunk+1), and larger non-multiples of the chunk size. Sorted, deduped.
+ */
+std::vector<std::size_t> conformance_sizes(std::size_t chunk,
+                                           std::size_t order);
+
+// ------------------------------------------------------------------
+// Input synthesis (shared by the oracle and the reproducer replay, so a
+// (seed, n) pair always regenerates the same data).
+
+/** Deterministic int32 conformance input (uniform in [-100, 100]). */
+std::vector<std::int32_t> conformance_input_int(std::size_t n,
+                                                std::uint64_t seed);
+
+/** Deterministic float conformance input for @p domain. */
+std::vector<float> conformance_input_float(Domain domain, std::size_t n,
+                                           std::uint64_t seed);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_CORPUS_H_

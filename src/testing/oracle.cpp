@@ -1,0 +1,346 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "kernels/serial.h"
+#include "util/compare.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::testing {
+
+namespace {
+
+/** splitmix64 step for deriving secondary input seeds. */
+std::uint64_t
+derive_seed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + salt * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** The perturbed configuration the chunk-invariance check compares with. */
+kernels::RunOptions
+variant_options(const kernels::RunOptions& base)
+{
+    kernels::RunOptions variant = base;
+    variant.chunk = base.chunk ? base.chunk * 2 : 128;
+    variant.threads = base.threads ? base.threads + 3 : 3;
+    return variant;
+}
+
+std::string
+failure_detail(const char* what, const ValidationResult& v)
+{
+    std::ostringstream os;
+    os << what << ": " << v.describe();
+    return os.str();
+}
+
+/** Float gate: tight in ULPs, with the paper's tolerance as fallback. */
+ValidationResult
+validate_float(std::span<const float> expected, std::span<const float> actual,
+               const OracleOptions& opts)
+{
+    return validate_ulp(expected, actual, opts.max_ulps,
+                        opts.float_tolerance);
+}
+
+std::optional<std::string>
+check_int(const kernels::KernelInfo& kernel, const Signature& sig,
+          Check check, std::size_t n, const kernels::RunOptions& run,
+          std::uint64_t input_seed, const OracleOptions& /*opts*/)
+{
+    // Integer-ring checks are all exact; no options apply.
+    const auto x = conformance_input_int(n, input_seed);
+    switch (check) {
+      case Check::kDifferential: {
+        const auto got = kernel.run_int(sig, x, run);
+        const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+        const auto v = validate_exact(want, got);
+        if (!v.ok)
+            return failure_detail("differs from serial reference", v);
+        return std::nullopt;
+      }
+      case Check::kChunkInvariance: {
+        const auto base = kernel.run_int(sig, x, run);
+        const auto other = kernel.run_int(sig, x, variant_options(run));
+        const auto v = validate_exact(base, other);
+        if (!v.ok)
+            return failure_detail("result depends on the chunking", v);
+        return std::nullopt;
+      }
+      case Check::kHomogeneity: {
+        const std::int32_t c = 3;
+        std::vector<std::int32_t> scaled(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            scaled[i] = IntRing::mul(c, x[i]);
+        const auto lhs = kernel.run_int(sig, scaled, run);
+        auto rhs = kernel.run_int(sig, x, run);
+        for (auto& v : rhs)
+            v = IntRing::mul(c, v);
+        const auto v = validate_exact(rhs, lhs);
+        if (!v.ok)
+            return failure_detail("homogeneity K(3x) != 3K(x)", v);
+        return std::nullopt;
+      }
+      case Check::kSuperposition: {
+        const auto y =
+            conformance_input_int(n, derive_seed(input_seed, 0x5eed));
+        std::vector<std::int32_t> sum(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            sum[i] = IntRing::add(x[i], y[i]);
+        const auto lhs = kernel.run_int(sig, sum, run);
+        auto rhs = kernel.run_int(sig, x, run);
+        const auto ky = kernel.run_int(sig, y, run);
+        for (std::size_t i = 0; i < rhs.size(); ++i)
+            rhs[i] = IntRing::add(rhs[i], ky[i]);
+        const auto v = validate_exact(rhs, lhs);
+        if (!v.ok)
+            return failure_detail("superposition K(x+y) != K(x)+K(y)", v);
+        return std::nullopt;
+      }
+      case Check::kImpulseDecay:
+        return std::nullopt;  // a float-filter property
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+check_float(const kernels::KernelInfo& kernel, const Signature& sig,
+            Domain domain, Check check, std::size_t n,
+            const kernels::RunOptions& run, std::uint64_t input_seed,
+            const OracleOptions& opts)
+{
+    const bool tropical = domain == Domain::kTropical;
+    const auto x = conformance_input_float(domain, n, input_seed);
+    switch (check) {
+      case Check::kDifferential: {
+        const auto got = kernel.run_float(sig, x, run);
+        const auto want =
+            tropical ? kernels::serial_recurrence<TropicalRing>(sig, x)
+                     : kernels::serial_recurrence<FloatRing>(sig, x);
+        const auto v = validate_float(want, got, opts);
+        if (!v.ok)
+            return failure_detail("differs from serial reference", v);
+        return std::nullopt;
+      }
+      case Check::kChunkInvariance: {
+        const auto base = kernel.run_float(sig, x, run);
+        const auto other = kernel.run_float(sig, x, variant_options(run));
+        const auto v = validate_float(base, other, opts);
+        if (!v.ok)
+            return failure_detail("result depends on the chunking", v);
+        return std::nullopt;
+      }
+      case Check::kHomogeneity: {
+        // Ordinary ring: scaling by 2 is exact in IEEE floats, so the
+        // property survives rounding. Max-plus: scalars act additively.
+        std::vector<float> scaled(x.size());
+        std::vector<float> rhs;
+        if (tropical) {
+            const float shift = 8.0f;
+            for (std::size_t i = 0; i < x.size(); ++i)
+                scaled[i] = x[i] + shift;
+            rhs = kernel.run_float(sig, x, run);
+            for (auto& v : rhs)
+                v = TropicalRing::mul(shift, v);
+        } else {
+            const float c = 2.0f;
+            for (std::size_t i = 0; i < x.size(); ++i)
+                scaled[i] = c * x[i];
+            rhs = kernel.run_float(sig, x, run);
+            for (auto& v : rhs)
+                v *= c;
+        }
+        const auto lhs = kernel.run_float(sig, scaled, run);
+        const auto v = validate_float(rhs, lhs, opts);
+        if (!v.ok)
+            return failure_detail("homogeneity K(c*x) != c*K(x)", v);
+        return std::nullopt;
+      }
+      case Check::kSuperposition: {
+        const auto y = conformance_input_float(
+            domain, n, derive_seed(input_seed, 0x5eed));
+        std::vector<float> sum(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            sum[i] = tropical ? std::max(x[i], y[i]) : x[i] + y[i];
+        const auto lhs = kernel.run_float(sig, sum, run);
+        auto rhs = kernel.run_float(sig, x, run);
+        const auto ky = kernel.run_float(sig, y, run);
+        for (std::size_t i = 0; i < rhs.size(); ++i)
+            rhs[i] = tropical ? std::max(rhs[i], ky[i]) : rhs[i] + ky[i];
+        const auto v = validate_float(rhs, lhs, opts);
+        if (!v.ok)
+            return failure_detail("superposition violated", v);
+        return std::nullopt;
+      }
+      case Check::kImpulseDecay: {
+        if (tropical || n < 128)
+            return std::nullopt;
+        const auto impulse = dsp::impulse(n);
+        const auto out = kernel.run_float(sig, impulse, run);
+        double head = 0.0, tail = 0.0;
+        for (std::size_t i = 0; i < n / 2; ++i)
+            head = std::max(head, std::fabs(static_cast<double>(out[i])));
+        for (std::size_t i = (3 * n) / 4; i < n; ++i)
+            tail = std::max(tail, std::fabs(static_cast<double>(out[i])));
+        const double rho = dsp::spectral_radius(sig);
+        const double bound =
+            head * std::pow(std::min(rho, 0.999), static_cast<double>(n) / 4) *
+                1e3 +
+            1e-6;
+        if (!(tail <= bound)) {
+            std::ostringstream os;
+            os << "impulse response fails to decay: tail max " << tail
+               << " > bound " << bound << " (spectral radius " << rho << ")";
+            return os.str();
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+const char*
+to_string(Check c)
+{
+    switch (c) {
+      case Check::kDifferential: return "differential";
+      case Check::kChunkInvariance: return "chunk-invariance";
+      case Check::kHomogeneity: return "homogeneity";
+      case Check::kSuperposition: return "superposition";
+      case Check::kImpulseDecay: return "impulse-decay";
+    }
+    return "unknown";
+}
+
+Check
+parse_check(const std::string& name)
+{
+    for (Check c : {Check::kDifferential, Check::kChunkInvariance,
+                    Check::kHomogeneity, Check::kSuperposition,
+                    Check::kImpulseDecay})
+        if (name == to_string(c))
+            return c;
+    // Reached from user-supplied reproducer lines, so fatal, not panic.
+    PLR_FATAL("unknown conformance check '" << name << "'");
+}
+
+std::string
+ConformanceReport::summary() const
+{
+    std::ostringstream os;
+    os << cases_run << " cases over " << kernels_checked << " kernels ("
+       << cases_skipped << " unsupported combinations skipped): "
+       << (ok() ? "all passed" : std::to_string(failures.size()) + " FAILED");
+    for (const ConformanceFailure& f : failures)
+        os << "\n  " << f.reproducer() << "\n    " << f.detail;
+    return os.str();
+}
+
+std::optional<ConformanceFailure>
+run_case(const kernels::KernelInfo& kernel, const std::string& entry_name,
+         const Signature& sig, Domain domain, Check check, std::size_t n,
+         const kernels::RunOptions& run, std::uint64_t input_seed,
+         const OracleOptions& opts)
+{
+    std::optional<std::string> detail;
+    if (domain == Domain::kInt)
+        detail = check_int(kernel, sig, check, n, run, input_seed, opts);
+    else
+        detail =
+            check_float(kernel, sig, domain, check, n, run, input_seed, opts);
+    if (!detail)
+        return std::nullopt;
+    return ConformanceFailure{kernel.name, entry_name, domain,   sig,
+                              check,       n,          run,      input_seed,
+                              *detail};
+}
+
+ConformanceReport
+run_conformance(const std::vector<kernels::KernelInfo>& kernels,
+                const std::vector<CorpusEntry>& corpus,
+                const OracleOptions& opts)
+{
+    ConformanceReport report;
+    for (const kernels::KernelInfo& kernel : kernels) {
+        if (kernel.is_reference)
+            continue;
+        ++report.kernels_checked;
+        for (const CorpusEntry& entry : corpus) {
+            if (!kernel.supports || !kernel.supports(entry.sig, entry.domain)) {
+                ++report.cases_skipped;
+                continue;
+            }
+            auto sizes = opts.sizes.empty()
+                             ? conformance_sizes(opts.chunk,
+                                                 entry.sig.order())
+                             : opts.sizes;
+            // Growing float recurrences accumulate relative error (and
+            // eventually overflow); cap their sizes so the 1e-3 gate
+            // stays meaningful.
+            if (!entry.stable && entry.domain != Domain::kInt) {
+                std::erase_if(sizes, [&](std::size_t n) {
+                    return n > opts.unstable_max_n;
+                });
+            }
+            kernels::RunOptions run;
+            run.chunk = opts.chunk;
+            run.threads = opts.threads;
+            for (std::size_t n : sizes) {
+                const std::uint64_t input_seed = derive_seed(
+                    opts.input_seed, n * 2654435761u + entry.sig.order());
+                std::vector<Check> checks = {Check::kDifferential};
+                if (opts.metamorphic && n > 0) {
+                    if (kernel.chunk_sensitive)
+                        checks.push_back(Check::kChunkInvariance);
+                    // Homogeneity holds bit-exactly in every ring (the
+                    // float scalar is 2, an exponent shift). Float
+                    // superposition is only meaningful for bounded
+                    // outputs: growing recurrences amplify the x-vs-x+y
+                    // rounding difference past any fixed gate. Integer
+                    // and max-plus superposition are exact.
+                    checks.push_back(Check::kHomogeneity);
+                    if (entry.domain != Domain::kFloat || entry.stable)
+                        checks.push_back(Check::kSuperposition);
+                    if (entry.stable && entry.domain == Domain::kFloat &&
+                        n >= 128)
+                        checks.push_back(Check::kImpulseDecay);
+                }
+                for (Check check : checks) {
+                    ++report.cases_run;
+                    auto failure = run_case(kernel, entry.name, entry.sig,
+                                            entry.domain, check, n, run,
+                                            input_seed, opts);
+                    if (failure)
+                        report.failures.push_back(std::move(*failure));
+                }
+            }
+        }
+    }
+
+    std::string log_path = opts.repro_log;
+    if (log_path.empty()) {
+        if (const char* env = std::getenv("PLR_REPRO_LOG"))
+            log_path = env;
+    }
+    if (!log_path.empty() && !report.failures.empty()) {
+        std::ofstream log(log_path, std::ios::app);
+        for (const ConformanceFailure& f : report.failures)
+            log << f.reproducer() << "\n";
+    }
+    return report;
+}
+
+}  // namespace plr::testing

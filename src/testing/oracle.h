@@ -1,0 +1,140 @@
+#ifndef PLR_TESTING_ORACLE_H_
+#define PLR_TESTING_ORACLE_H_
+
+/**
+ * @file
+ * The differential conformance oracle (docs/TESTING.md).
+ *
+ * Runs any registered kernel against the serial reference over the
+ * signature corpus and an input-size schedule that includes every
+ * degenerate shape (n = 0, n = 1, n < k, n exactly one chunk, partial
+ * trailing chunks). Integer results must match bit-for-bit (wrap-around
+ * arithmetic is a ring homomorphism); float results are held to a
+ * ULP-aware gate with the paper's 1e-3 discrepancy bound as fallback.
+ *
+ * On top of the differential check, metamorphic properties of the linear
+ * operator are verified — properties that hold even where no reference
+ * value is obvious:
+ *
+ *  - homogeneity      K(c*x) == c*K(x)   (exact in the int ring; c = 2 is
+ *                     an exact scaling in floats; c acts additively in
+ *                     the max-plus semiring)
+ *  - superposition    K(x + y) == K(x) + K(y)   (+ is max in max-plus)
+ *  - chunk-boundary   the same kernel with a different chunk size /
+ *    invariance       thread count computes the same sequence
+ *  - impulse decay    a stable filter's impulse response keeps decaying
+ *                     (catches zero-tail/denormal-flush bugs)
+ *
+ * Every failure is reported as a one-line reproducer string that
+ * examples/conformance_tool.cpp can replay and shrink (see repro.h).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "kernels/registry.h"
+#include "testing/corpus.h"
+
+namespace plr::testing {
+
+/** The individual conformance checks. */
+enum class Check {
+    kDifferential,
+    kChunkInvariance,
+    kHomogeneity,
+    kSuperposition,
+    kImpulseDecay,
+};
+
+/** Stable lowercase name used in reproducer strings. */
+const char* to_string(Check c);
+
+/** Parse a check name; throws FatalError on unknown names. */
+Check parse_check(const std::string& name);
+
+/** Oracle tuning. */
+struct OracleOptions {
+    /** Paper tolerance: fallback discrepancy bound for float results. */
+    double float_tolerance = 1e-3;
+    /** Primary float gate, in units in the last place. */
+    std::uint64_t max_ulps = 512;
+    /** Run the metamorphic checks in addition to the differential one. */
+    bool metamorphic = true;
+    /** Base chunk size handed to chunk-sensitive kernels. */
+    std::size_t chunk = 64;
+    /** Base thread count for CPU backends (0 = hardware concurrency). */
+    std::size_t threads = 0;
+    /**
+     * Input-size cap for non-stable float recurrences. Their outputs
+     * grow, so relative float error accumulates with n (and truly
+     * unstable signatures eventually overflow); past a couple hundred
+     * elements the honest implementations drift apart by more than the
+     * paper's 1e-3, which says nothing about correctness.
+     */
+    std::size_t unstable_max_n = 256;
+    /** Seed the per-case input seeds are derived from. */
+    std::uint64_t input_seed = 0xD1FFC0DEull;
+    /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
+    std::vector<std::size_t> sizes;
+    /**
+     * Append each failure's reproducer line to this file; empty = use
+     * $PLR_REPRO_LOG when set (how CI collects the artifact).
+     */
+    std::string repro_log;
+};
+
+/** One failing conformance case, fully replayable. */
+struct ConformanceFailure {
+    std::string kernel;
+    std::string entry;
+    Domain domain = Domain::kInt;
+    Signature sig;
+    Check check = Check::kDifferential;
+    std::size_t n = 0;
+    kernels::RunOptions run;
+    std::uint64_t input_seed = 0;
+    std::string detail;
+
+    /** The one-line reproducer string (format in docs/TESTING.md). */
+    std::string reproducer() const;
+};
+
+/** Aggregate outcome of a conformance run. */
+struct ConformanceReport {
+    std::size_t kernels_checked = 0;
+    std::size_t cases_run = 0;
+    std::size_t cases_skipped = 0;
+    std::vector<ConformanceFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    /** Human-readable one-paragraph summary plus reproducer lines. */
+    std::string summary() const;
+};
+
+/**
+ * Evaluate one (kernel, signature, check, n) case. Returns the failure,
+ * or nullopt when the case passes. This is the primitive both the full
+ * sweep and the reproducer replay/shrink loop are built on.
+ */
+std::optional<ConformanceFailure> run_case(
+    const kernels::KernelInfo& kernel, const std::string& entry_name,
+    const Signature& sig, Domain domain, Check check, std::size_t n,
+    const kernels::RunOptions& run, std::uint64_t input_seed,
+    const OracleOptions& opts = {});
+
+/**
+ * Run the full differential + metamorphic sweep of @p kernels over
+ * @p corpus. Reference entries (KernelInfo::is_reference) are used as the
+ * oracle, not as subjects. Failures are also appended to the reproducer
+ * log when one is configured.
+ */
+ConformanceReport run_conformance(
+    const std::vector<kernels::KernelInfo>& kernels,
+    const std::vector<CorpusEntry>& corpus, const OracleOptions& opts = {});
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_ORACLE_H_

@@ -1,0 +1,199 @@
+#include "testing/repro.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr::testing {
+
+namespace {
+
+constexpr const char* kMagic = "plr-repro:v1";
+
+std::string
+format_coefficients(const std::vector<double>& values)
+{
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        // %.17g round-trips IEEE doubles exactly.
+        std::snprintf(buf, sizeof buf, "%.17g", values[i]);
+        if (i)
+            out += ',';
+        out += buf;
+    }
+    return out;
+}
+
+std::vector<double>
+parse_coefficients(const std::string& text)
+{
+    std::vector<double> values;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const char* start = text.c_str() + pos;
+        char* end = nullptr;
+        const double v = std::strtod(start, &end);
+        PLR_REQUIRE(end != start,
+                    "malformed coefficient list '" << text << "'");
+        values.push_back(v);
+        pos = static_cast<std::size_t>(end - text.c_str());
+        if (pos < text.size()) {
+            PLR_REQUIRE(text[pos] == ',',
+                        "malformed coefficient list '" << text << "'");
+            ++pos;
+        }
+    }
+    return values;
+}
+
+Domain
+parse_domain(const std::string& name)
+{
+    for (Domain d : {Domain::kInt, Domain::kFloat, Domain::kTropical})
+        if (name == kernels::to_string(d))
+            return d;
+    PLR_FATAL("unknown domain '" << name << "' in reproducer");
+}
+
+std::uint64_t
+parse_u64(const std::string& value, const char* key)
+{
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    PLR_REQUIRE(end && *end == '\0',
+                "malformed " << key << " value '" << value << "'");
+    return v;
+}
+
+}  // namespace
+
+Signature
+ReproCase::signature() const
+{
+    if (domain == Domain::kTropical)
+        return Signature::max_plus(a, b);
+    return Signature(a, b);
+}
+
+std::string
+encode_reproducer(const ConformanceFailure& failure)
+{
+    std::ostringstream os;
+    os << kMagic << " kernel=" << failure.kernel
+       << " domain=" << kernels::to_string(failure.domain)
+       << " check=" << to_string(failure.check)
+       << " a=" << format_coefficients(failure.sig.a())
+       << " b=" << format_coefficients(failure.sig.b()) << " n=" << failure.n
+       << " chunk=" << failure.run.chunk << " threads=" << failure.run.threads
+       << " seed=" << failure.input_seed;
+    return os.str();
+}
+
+std::string
+ConformanceFailure::reproducer() const
+{
+    return encode_reproducer(*this);
+}
+
+ReproCase
+parse_reproducer(const std::string& line)
+{
+    std::istringstream is(line);
+    std::string token;
+    PLR_REQUIRE(is >> token && token == kMagic,
+                "not a reproducer line (expected leading '" << kMagic
+                                                            << "')");
+    std::map<std::string, std::string> fields;
+    while (is >> token) {
+        const auto eq = token.find('=');
+        PLR_REQUIRE(eq != std::string::npos,
+                    "malformed reproducer token '" << token << "'");
+        fields[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+    for (const char* key : {"kernel", "domain", "check", "a", "b", "n",
+                            "seed"})
+        PLR_REQUIRE(fields.count(key),
+                    "reproducer is missing the '" << key << "' field");
+
+    ReproCase repro;
+    repro.kernel = fields["kernel"];
+    repro.domain = parse_domain(fields["domain"]);
+    repro.check = parse_check(fields["check"]);
+    repro.a = parse_coefficients(fields["a"]);
+    repro.b = parse_coefficients(fields["b"]);
+    repro.n = parse_u64(fields["n"], "n");
+    if (fields.count("chunk"))
+        repro.run.chunk = parse_u64(fields["chunk"], "chunk");
+    if (fields.count("threads"))
+        repro.run.threads = parse_u64(fields["threads"], "threads");
+    repro.input_seed = parse_u64(fields["seed"], "seed");
+    (void)repro.signature();  // validate the coefficient lists eagerly
+    return repro;
+}
+
+std::optional<ConformanceFailure>
+replay(const ReproCase& repro, const std::vector<kernels::KernelInfo>& kernels,
+       const OracleOptions& opts)
+{
+    const kernels::KernelInfo* kernel = nullptr;
+    for (const auto& info : kernels)
+        if (info.name == repro.kernel)
+            kernel = &info;
+    PLR_REQUIRE(kernel, "reproducer names unknown kernel '" << repro.kernel
+                                                            << "'");
+    const Signature sig = repro.signature();
+    PLR_REQUIRE(kernel->supports && kernel->supports(sig, repro.domain),
+                "kernel '" << repro.kernel << "' does not support "
+                           << sig.to_string() << " in the "
+                           << kernels::to_string(repro.domain) << " domain");
+    return run_case(*kernel, "replay", sig, repro.domain, repro.check,
+                    repro.n, repro.run, repro.input_seed, opts);
+}
+
+ReproCase
+shrink(const ReproCase& repro,
+       const std::vector<kernels::KernelInfo>& kernels,
+       const OracleOptions& opts, std::size_t* replays)
+{
+    std::size_t runs = 0;
+    auto fails_at = [&](std::size_t n) {
+        ReproCase candidate = repro;
+        candidate.n = n;
+        ++runs;
+        return replay(candidate, kernels, opts).has_value();
+    };
+    PLR_REQUIRE(fails_at(repro.n),
+                "cannot shrink: the case passes at n=" << repro.n);
+
+    // Bisect for the smallest failing n. Failures need not be monotone in
+    // n, so this finds a locally minimal failing size (its left probe
+    // passes), which in practice pins the first broken chunk boundary.
+    std::size_t lo = 0;  // passes (n=0 is the empty case)
+    std::size_t hi = repro.n;  // fails
+    if (repro.n > 0 && fails_at(0))
+        hi = 0;
+    while (hi - lo > 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (fails_at(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    // Greedy tail: walk down while the immediate predecessor still fails
+    // (handles plateaus the bisection jumped over).
+    while (hi > 0 && fails_at(hi - 1))
+        --hi;
+
+    if (replays)
+        *replays = runs;
+    ReproCase minimal = repro;
+    minimal.n = hi;
+    return minimal;
+}
+
+}  // namespace plr::testing

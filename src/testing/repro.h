@@ -1,0 +1,72 @@
+#ifndef PLR_TESTING_REPRO_H_
+#define PLR_TESTING_REPRO_H_
+
+/**
+ * @file
+ * One-line reproducer strings for conformance failures, with replay and
+ * input shrinking (docs/TESTING.md).
+ *
+ * Format (single line, space-separated key=value tokens):
+ *
+ *   plr-repro:v1 kernel=plr_sim domain=int check=differential
+ *     a=1,2 b=2,-1 n=1000 chunk=64 threads=0 seed=3735928559
+ *
+ * Coefficient lists are comma-separated and printed with enough digits
+ * to round-trip doubles exactly; `domain=tropical` marks max-plus
+ * signatures. The input is regenerated from (seed, n), so the tuple is
+ * the complete failing case.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/signature.h"
+#include "kernels/registry.h"
+#include "testing/oracle.h"
+
+namespace plr::testing {
+
+/** A parsed reproducer: everything needed to re-run one case. */
+struct ReproCase {
+    std::string kernel;
+    Domain domain = Domain::kInt;
+    Check check = Check::kDifferential;
+    std::vector<double> a;
+    std::vector<double> b;
+    std::size_t n = 0;
+    kernels::RunOptions run;
+    std::uint64_t input_seed = 0;
+
+    /** Rebuild the signature (max_plus for the tropical domain). */
+    Signature signature() const;
+};
+
+/** Encode a failure as its reproducer line. */
+std::string encode_reproducer(const ConformanceFailure& failure);
+
+/** Parse a reproducer line; throws FatalError on malformed input. */
+ReproCase parse_reproducer(const std::string& line);
+
+/**
+ * Re-run the case against @p kernels (must contain repro.kernel).
+ * Returns the failure, or nullopt when the case now passes.
+ */
+std::optional<ConformanceFailure> replay(
+    const ReproCase& repro, const std::vector<kernels::KernelInfo>& kernels,
+    const OracleOptions& opts = {});
+
+/**
+ * Bisect n down to a minimal failing input size: repeatedly replays the
+ * case at smaller n until the smallest n that still fails (with the
+ * next-smaller probe passing) is found. Requires the original case to
+ * fail. @p replays, when given, receives the number of replay runs.
+ */
+ReproCase shrink(const ReproCase& repro,
+                 const std::vector<kernels::KernelInfo>& kernels,
+                 const OracleOptions& opts = {},
+                 std::size_t* replays = nullptr);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_REPRO_H_

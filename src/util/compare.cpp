@@ -1,9 +1,29 @@
 #include "util/compare.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <sstream>
 
 namespace plr {
+
+namespace {
+
+/**
+ * Map a float's bit pattern to a monotonically ordered signed scale so
+ * that ULP distance is a plain integer difference (the classic
+ * lexicographic reinterpretation; negative floats mirror below zero).
+ */
+std::int64_t
+ordered_bits(float v)
+{
+    const auto bits = std::bit_cast<std::uint32_t>(v);
+    if (bits & 0x80000000u)
+        return -static_cast<std::int64_t>(bits & 0x7fffffffu);
+    return static_cast<std::int64_t>(bits);
+}
+
+}  // namespace
 
 std::string
 ValidationResult::describe() const
@@ -61,6 +81,48 @@ validate_close(std::span<const float> expected, std::span<const float> actual,
             if (!result.first_mismatch)
                 result.first_mismatch = i;
         }
+    }
+    return result;
+}
+
+std::uint64_t
+ulp_distance(float a, float b)
+{
+    if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b))
+        return 0;
+    if (!std::isfinite(a) || !std::isfinite(b))
+        return std::numeric_limits<std::uint64_t>::max();
+    const std::int64_t ia = ordered_bits(a);
+    const std::int64_t ib = ordered_bits(b);
+    return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+ValidationResult
+validate_ulp(std::span<const float> expected, std::span<const float> actual,
+             std::uint64_t max_ulps, double fallback_tolerance)
+{
+    ValidationResult result;
+    if (expected.size() != actual.size()) {
+        result.ok = false;
+        result.first_mismatch = std::min(expected.size(), actual.size());
+        return result;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const std::uint64_t ulps = ulp_distance(expected[i], actual[i]);
+        result.max_discrepancy =
+            std::max(result.max_discrepancy, static_cast<double>(ulps));
+        if (ulps <= max_ulps)
+            continue;
+        if (fallback_tolerance > 0.0) {
+            const double b = expected[i];
+            const double denom = std::max(1.0, std::fabs(b));
+            const double disc = std::fabs(actual[i] - b) / denom;
+            if (disc <= fallback_tolerance)
+                continue;
+        }
+        result.ok = false;
+        if (!result.first_mismatch)
+            result.first_mismatch = i;
     }
     return result;
 }

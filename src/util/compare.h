@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,6 +41,27 @@ ValidationResult validate_exact(std::span<const std::int32_t> expected,
 ValidationResult validate_close(std::span<const float> expected,
                                 std::span<const float> actual,
                                 double tolerance = 1e-3);
+
+/**
+ * Distance between two floats in units in the last place, i.e. the number
+ * of representable values strictly between them (0 for bit-equal values;
+ * +0 and -0 are adjacent). Non-finite values are infinitely far from
+ * everything except a bit-identical copy.
+ */
+std::uint64_t ulp_distance(float a, float b);
+
+/**
+ * ULP-aware comparison: each element pair must be within @p max_ulps units
+ * in the last place, or — when @p fallback_tolerance > 0 — within that
+ * discrepancy bound (the validate_close metric). The ULP gate keeps
+ * small-magnitude elements honest where a relative bound degenerates; the
+ * fallback admits the reassociation drift of long float accumulations.
+ * max_discrepancy reports the largest observed ULP distance.
+ */
+ValidationResult validate_ulp(std::span<const float> expected,
+                              std::span<const float> actual,
+                              std::uint64_t max_ulps,
+                              double fallback_tolerance = 0.0);
 
 }  // namespace plr
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The differential conformance suite (ctest label: conformance).
+ *
+ * Every kernel in the registry must agree with the serial reference over
+ * the shared signature corpus, across degenerate and chunk-straddling
+ * input sizes, and must satisfy the metamorphic properties of a linear
+ * operator. A deliberately broken kernel (one mutated correction factor)
+ * must be caught, and its reproducer string must replay and shrink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "testing/chunked_reference.h"
+#include "testing/corpus.h"
+#include "testing/oracle.h"
+#include "testing/repro.h"
+
+namespace plr::testing {
+namespace {
+
+TEST(Conformance, EveryRegisteredKernelPassesDifferential)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    const auto report =
+        run_conformance(conformance_kernels(), full_corpus(0x51C0, 2), opts);
+    EXPECT_GT(report.cases_run, 500u);
+    EXPECT_GE(report.kernels_checked, 6u);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Conformance, MetamorphicPropertiesHold)
+{
+    OracleOptions opts;
+    opts.sizes = {1, 63, 64, 145};
+    // Reduced corpus: every generator once, plus representative Table 1
+    // rows of each family (the full-corpus sweep above covers the rest).
+    auto corpus = generated_corpus(0xA11CE, 1);
+    for (const auto& entry : table1_corpus())
+        if (entry.name == "table1/prefix-sum" ||
+            entry.name == "table1/3rd-order-prefix-sum" ||
+            entry.name == "table1/2-stage-lowpass" ||
+            entry.name == "table1/2-stage-highpass")
+            corpus.push_back(entry);
+    const auto report = run_conformance(conformance_kernels(), corpus, opts);
+    EXPECT_GT(report.cases_run, 200u);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Conformance, ImpulseDecayCoversStableFilters)
+{
+    OracleOptions opts;
+    opts.sizes = {256};
+    std::vector<CorpusEntry> corpus;
+    for (const auto& entry : table1_corpus())
+        if (entry.stable)
+            corpus.push_back(entry);
+    ASSERT_EQ(corpus.size(), 6u);  // the six Table 1 filters
+    const auto report = run_conformance(conformance_kernels(), corpus, opts);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Conformance, BrokenKernelIsCaught)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    // The canary fails on purpose; keep its reproducers out of the
+    // $PLR_REPRO_LOG artifact CI collects for real failures.
+    opts.repro_log = "/dev/null";
+    const std::vector<kernels::KernelInfo> canary = {broken_factor_kernel()};
+    const auto report = run_conformance(canary, table1_corpus(), opts);
+    EXPECT_FALSE(report.ok())
+        << "a kernel with a mutated correction factor passed the suite";
+    // Sizes below one chunk never touch the mutated factor; the larger
+    // schedule entries must all fail.
+    for (const auto& failure : report.failures) {
+        EXPECT_EQ(failure.kernel, "broken_factor");
+        EXPECT_EQ(failure.check, Check::kDifferential);
+        EXPECT_GT(failure.n, 64u + 7u);
+    }
+}
+
+TEST(Conformance, BrokenKernelReproducerReplaysAndShrinks)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.repro_log = "/dev/null";
+    const std::vector<kernels::KernelInfo> canary = {broken_factor_kernel()};
+    std::vector<CorpusEntry> corpus;
+    for (const auto& entry : table1_corpus())
+        if (entry.name == "table1/2nd-order-prefix-sum")
+            corpus.push_back(entry);
+    const auto report = run_conformance(canary, corpus, opts);
+    ASSERT_FALSE(report.failures.empty());
+
+    // The one-line reproducer must round-trip through the parser and
+    // still fail on replay.
+    const auto& failure = report.failures.front();
+    const std::string line = failure.reproducer();
+    const ReproCase repro = parse_reproducer(line);
+    EXPECT_EQ(repro.kernel, failure.kernel);
+    EXPECT_EQ(repro.n, failure.n);
+    EXPECT_EQ(repro.check, failure.check);
+    EXPECT_EQ(repro.signature(), failure.sig);
+
+    const auto kernels = conformance_kernels(/*include_broken=*/true);
+    const auto replayed = replay(repro, kernels);
+    ASSERT_TRUE(replayed.has_value()) << "reproducer did not replay: " << line;
+
+    // Shrinking must bisect n down to the first element the mutated
+    // factor F_1[7] can corrupt: offset 7 of the second chunk.
+    std::size_t replays = 0;
+    const auto minimal = shrink(repro, kernels, opts, &replays);
+    EXPECT_EQ(minimal.n, 64u + 7u + 1u) << "from n=" << repro.n;
+    EXPECT_LT(replays, 40u);
+    EXPECT_TRUE(replay(minimal, kernels).has_value());
+    // One element earlier the case must pass (minimality).
+    ReproCase below = minimal;
+    below.n -= 1;
+    EXPECT_FALSE(replay(below, kernels).has_value());
+}
+
+TEST(Conformance, ReportSummaryMentionsFailures)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.sizes = {100};
+    opts.repro_log = "/dev/null";
+    const std::vector<kernels::KernelInfo> canary = {broken_factor_kernel()};
+    std::vector<CorpusEntry> corpus;
+    for (const auto& entry : table1_corpus())
+        if (entry.name == "table1/prefix-sum")
+            corpus.push_back(entry);
+    const auto report = run_conformance(canary, corpus, opts);
+    ASSERT_FALSE(report.ok());
+    const std::string summary = report.summary();
+    EXPECT_NE(summary.find("FAILED"), std::string::npos);
+    EXPECT_NE(summary.find("plr-repro:v1"), std::string::npos);
+}
+
+TEST(Conformance, ReproLogCollectsFailures)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.sizes = {100};
+    opts.repro_log =
+        ::testing::TempDir() + "/plr_conformance_repro_log.txt";
+    std::remove(opts.repro_log.c_str());
+    const std::vector<kernels::KernelInfo> canary = {broken_factor_kernel()};
+    std::vector<CorpusEntry> corpus;
+    for (const auto& entry : table1_corpus())
+        if (entry.name == "table1/prefix-sum")
+            corpus.push_back(entry);
+    const auto report = run_conformance(canary, corpus, opts);
+    ASSERT_FALSE(report.ok());
+
+    std::ifstream log(opts.repro_log);
+    ASSERT_TRUE(log.good()) << "no reproducer log at " << opts.repro_log;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(log, line)) {
+        ++lines;
+        EXPECT_NO_THROW(parse_reproducer(line)) << line;
+    }
+    EXPECT_EQ(lines, report.failures.size());
+    std::remove(opts.repro_log.c_str());
+}
+
+}  // namespace
+}  // namespace plr::testing

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Degenerate input shapes across every registered kernel (ctest label:
+ * conformance): n = 0, n = 1, n < k, n exactly one chunk, partial
+ * trailing chunk, and chunk_size = 1. Each case is checked differentially
+ * against the serial reference through the conformance oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "testing/chunked_reference.h"
+#include "testing/corpus.h"
+#include "testing/oracle.h"
+
+namespace plr::testing {
+namespace {
+
+/** Signatures of order 1..4 covering int, float and tropical domains. */
+std::vector<CorpusEntry>
+degenerate_corpus()
+{
+    return {
+        {"prefix-sum", dsp::prefix_sum(), Domain::kInt, false},
+        {"2nd-order", dsp::higher_order_prefix_sum(2), Domain::kInt, false},
+        {"4-tuple", dsp::tuple_prefix_sum(4), Domain::kInt, false},
+        {"general-int", Signature({2.0, 1.0}, {3.0, 0.0, -2.0}), Domain::kInt,
+         false},
+        {"lowpass", dsp::lowpass(0.8, 2), Domain::kFloat, true},
+        {"decaying-max", Signature::max_plus({0.0}, {-0.5}),
+         Domain::kTropical, false},
+    };
+}
+
+void
+expect_all_pass(const OracleOptions& opts, const char* what)
+{
+    const auto report =
+        run_conformance(conformance_kernels(), degenerate_corpus(), opts);
+    EXPECT_GT(report.cases_run, 0u);
+    EXPECT_TRUE(report.ok()) << what << ":\n" << report.summary();
+}
+
+TEST(DegenerateInputs, EmptyAndTinyInputs)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.sizes = {0, 1, 2, 3};  // includes n < k for every order >= 2
+    expect_all_pass(opts, "n in {0, 1, 2, 3}");
+}
+
+TEST(DegenerateInputs, EmptyInputYieldsEmptyOutputEverywhere)
+{
+    const auto sig = dsp::prefix_sum();
+    const std::vector<std::int32_t> empty_int;
+    const std::vector<float> empty_float;
+    for (const auto& kernel : conformance_kernels()) {
+        if (kernel.supports(sig, Domain::kInt)) {
+            EXPECT_TRUE(kernel.run_int(sig, empty_int, {}).empty())
+                << kernel.name;
+        }
+        if (kernel.supports(sig, Domain::kFloat)) {
+            EXPECT_TRUE(kernel.run_float(sig, empty_float, {}).empty())
+                << kernel.name;
+        }
+    }
+}
+
+TEST(DegenerateInputs, InputBelowOrderForEveryKernel)
+{
+    // n < k: every output element only ever sees real (in-range) history.
+    OracleOptions opts;
+    opts.metamorphic = false;
+    const auto sig = dsp::higher_order_prefix_sum(3);
+    const CorpusEntry entry{"3rd-order", sig, Domain::kInt, false};
+    opts.sizes = {1, 2};
+    const auto report = run_conformance(conformance_kernels(), {entry}, opts);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(DegenerateInputs, ExactlyOneChunkAndOneOver)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.chunk = 64;
+    opts.sizes = {63, 64, 65};
+    expect_all_pass(opts, "n around one chunk");
+}
+
+TEST(DegenerateInputs, ChunkSizeOne)
+{
+    // chunk = 1: every element is its own chunk; carry propagation does
+    // all the work.
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.chunk = 1;
+    opts.sizes = {1, 2, 7, 33};
+    expect_all_pass(opts, "chunk_size = 1");
+}
+
+TEST(DegenerateInputs, SingleThreadAndOversubscribedCpu)
+{
+    OracleOptions opts;
+    opts.metamorphic = false;
+    opts.sizes = {97};
+    for (std::size_t threads : {1u, 2u, 16u}) {
+        opts.threads = threads;
+        const auto report = run_conformance(conformance_kernels(),
+                                            degenerate_corpus(), opts);
+        EXPECT_TRUE(report.ok())
+            << "threads=" << threads << ":\n" << report.summary();
+    }
+}
+
+}  // namespace
+}  // namespace plr::testing

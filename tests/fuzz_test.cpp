@@ -5,6 +5,7 @@
 #include "kernels/plr_kernel.h"
 #include "kernels/scan_baseline.h"
 #include "kernels/serial.h"
+#include "testing/corpus.h"
 #include "util/compare.h"
 #include "util/rng.h"
 
@@ -14,52 +15,11 @@ namespace {
 using kernels::PlrKernel;
 using kernels::ScanBaseline;
 using kernels::serial_recurrence;
-
-/** Random integer signature with small coefficients. */
-Signature
-random_int_signature(Rng& rng)
-{
-    const std::size_t p = static_cast<std::size_t>(rng.uniform_int(0, 3));
-    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 4));
-    std::vector<double> a(p + 1), b(k);
-    do {
-        for (auto& c : a)
-            c = static_cast<double>(rng.uniform_int(-3, 3));
-        a.back() = static_cast<double>(rng.uniform_int(1, 3));
-    } while (a[0] == 0.0 && a.size() == 1);
-    for (auto& c : b)
-        c = static_cast<double>(rng.uniform_int(-3, 3));
-    b.back() = static_cast<double>(rng.uniform_int(1, 3));
-    return Signature(std::move(a), std::move(b));
-}
-
-/** Random *stable* float filter: poles drawn inside the unit disk. */
-Signature
-random_stable_filter(Rng& rng)
-{
-    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 3));
-    // Build the denominator from real poles in (-0.95, 0.95):
-    // B(u) = prod (1 - p_i u) -> feedback coefficients.
-    std::vector<double> denom = {1.0};
-    for (std::size_t i = 0; i < k; ++i) {
-        const double pole = rng.uniform_double(-0.95, 0.95);
-        std::vector<double> next(denom.size() + 1, 0.0);
-        for (std::size_t j = 0; j < denom.size(); ++j) {
-            next[j] += denom[j];
-            next[j + 1] -= pole * denom[j];
-        }
-        denom = std::move(next);
-    }
-    std::vector<double> b(denom.size() - 1);
-    for (std::size_t j = 1; j < denom.size(); ++j)
-        b[j - 1] = -denom[j];
-    if (b.back() == 0.0)
-        b.back() = 0.01;  // keep the order as drawn
-    std::vector<double> a = {rng.uniform_double(0.1, 1.0)};
-    if (rng.uniform_int(0, 1))
-        a.push_back(rng.uniform_double(-1.0, 1.0));
-    return Signature(std::move(a), std::move(b));
-}
+// The signature generators live in the shared corpus module
+// (src/testing/corpus.h) together with the rest of the conformance
+// corpus; these fuzz tests draw from the same families.
+using testing::random_int_signature;
+using testing::random_stable_filter;
 
 TEST(Fuzz, RandomIntegerSignaturesMatchSerialExactly)
 {
