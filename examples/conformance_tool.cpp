@@ -34,6 +34,7 @@ usage()
         << "usage: conformance_tool <command> [options]\n"
            "  run     [--kernels a,b] [--seed S] [--per-generator N]\n"
            "          [--chunk M] [--no-metamorphic] [--include-broken]\n"
+           "          [--fault-seed S] [--watchdog N] [--fault-corpus]\n"
            "          [--repro-log FILE]   run the conformance sweep\n"
            "  replay  '<reproducer line>'  re-run one failing case\n"
            "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
@@ -68,13 +69,22 @@ cmd_run(const plr::CliArgs& args)
         PLR_REQUIRE(kernels.size() > 1, "no known kernel in --kernels list");
     }
 
-    const auto corpus = full_corpus(
-        static_cast<std::uint64_t>(args.get_int("seed", 0x51C0)),
-        static_cast<std::size_t>(args.get_int("per-generator", 2)));
+    // --fault-corpus swaps in the compact look-back-heavy corpus the CI
+    // fault matrix sweeps (16 seeds x full corpus would take hours).
+    const auto corpus =
+        args.get_bool("fault-corpus", false)
+            ? fault_corpus(
+                  static_cast<std::uint64_t>(args.get_int("seed", 0xFA17)))
+            : full_corpus(
+                  static_cast<std::uint64_t>(args.get_int("seed", 0x51C0)),
+                  static_cast<std::size_t>(args.get_int("per-generator", 2)));
 
     OracleOptions opts;
     opts.chunk = static_cast<std::size_t>(args.get_int("chunk", 64));
     opts.metamorphic = !args.get_bool("no-metamorphic", false);
+    opts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+    opts.spin_watchdog =
+        static_cast<std::uint64_t>(args.get_int("watchdog", 0));
     opts.repro_log = args.get("repro-log", "");
 
     const auto report = run_conformance(kernels, corpus, opts);

@@ -1,5 +1,7 @@
 #include "core/signature.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -34,22 +36,86 @@ binomial(std::size_t n, std::size_t r)
     return std::nearbyint(result);
 }
 
+/** Throw a SignatureParseError pointing at @p pos (0-based) in @p text. */
+[[noreturn]] void
+parse_fail(const std::string& text, std::size_t pos, const std::string& why)
+{
+    std::ostringstream os;
+    os << "signature '" << text << "' is malformed at column " << pos + 1
+       << ": " << why;
+    throw SignatureParseError(os.str(), pos + 1);
+}
+
+/** The token starting at @p pos, for error messages (capped length). */
+std::string
+token_at(const std::string& text, std::size_t pos, std::size_t end)
+{
+    std::size_t stop = pos;
+    while (stop < end && text[stop] != ',' &&
+           !std::isspace(static_cast<unsigned char>(text[stop])))
+        ++stop;
+    constexpr std::size_t kMaxShown = 16;
+    std::string token = text.substr(pos, std::min(stop - pos, kMaxShown));
+    if (stop - pos > kMaxShown)
+        token += "...";
+    return token;
+}
+
+/**
+ * Parse the comma-separated coefficients in text[begin, end), reporting
+ * errors against the full original @p text. The grammar is strict:
+ * coefficients separated by single commas, no leading/trailing/doubled
+ * commas, every token a finite number.
+ */
 std::vector<double>
-parse_coefficient_list(const std::string& text)
+parse_coefficient_list(const std::string& text, std::size_t begin,
+                       std::size_t end, const char* side, bool allow_empty)
 {
     std::vector<double> values;
-    std::size_t pos = 0;
-    while (pos < text.size()) {
-        while (pos < text.size() && (std::isspace(static_cast<unsigned char>(text[pos])) || text[pos] == ','))
+    std::size_t pos = begin;
+    const auto skip_ws = [&] {
+        while (pos < end &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
             ++pos;
-        if (pos >= text.size())
-            break;
+    };
+
+    skip_ws();
+    if (pos >= end) {
+        if (!allow_empty)
+            parse_fail(text, pos,
+                       std::string("empty ") + side + " coefficient list");
+        return values;
+    }
+    for (;;) {
+        skip_ws();
+        if (pos >= end)
+            parse_fail(text, pos,
+                       std::string("dangling ',' at the end of the ") + side +
+                           " coefficient list");
+        if (text[pos] == ',')
+            parse_fail(text, pos, "expected a coefficient before ','");
+        const std::size_t token_pos = pos;
         const char* start = text.c_str() + pos;
-        char* end = nullptr;
-        const double v = std::strtod(start, &end);
-        PLR_REQUIRE(end != start, "malformed coefficient list: '" << text << "'");
+        char* parsed_end = nullptr;
+        const double v = std::strtod(start, &parsed_end);
+        if (parsed_end == start)
+            parse_fail(text, pos,
+                       "'" + token_at(text, pos, end) + "' is not a number");
+        pos = static_cast<std::size_t>(parsed_end - text.c_str());
+        if (!std::isfinite(v))
+            parse_fail(text, token_pos,
+                       "non-finite coefficient '" +
+                           token_at(text, token_pos, end) +
+                           "' (nan/inf are not valid)");
         values.push_back(v);
-        pos = static_cast<std::size_t>(end - text.c_str());
+        skip_ws();
+        if (pos >= end)
+            break;
+        if (text[pos] != ',')
+            parse_fail(text, pos,
+                       std::string("unexpected '") + text[pos] +
+                           "' (expected ',' or the end of the list)");
+        ++pos;  // consume the comma; the loop now demands a coefficient
     }
     return values;
 }
@@ -114,24 +180,35 @@ Signature::max_plus(std::vector<double> a, std::vector<double> b)
 Signature
 Signature::parse(const std::string& text, bool allow_fir)
 {
-    std::string body = text;
+    // Columns in parse errors are 1-based positions in @p text itself, so
+    // the body is located by index rather than substring-ed out.
+    const std::size_t first = text.find_first_not_of(" \t\n");
+    if (first == std::string::npos)
+        parse_fail(text, 0, "empty signature");
+    std::size_t begin = first;
+    std::size_t end = text.find_last_not_of(" \t\n") + 1;
     // Strip optional outer parentheses.
-    auto first = body.find_first_not_of(" \t\n");
-    auto last = body.find_last_not_of(" \t\n");
-    PLR_REQUIRE(first != std::string::npos, "empty signature");
-    body = body.substr(first, last - first + 1);
-    if (!body.empty() && body.front() == '(' && body.back() == ')')
-        body = body.substr(1, body.size() - 2);
+    if (text[begin] == '(' && text[end - 1] == ')') {
+        ++begin;
+        --end;
+    } else if (text[begin] == '(') {
+        parse_fail(text, begin, "'(' is never closed");
+    } else if (text[end - 1] == ')') {
+        parse_fail(text, end - 1, "')' was never opened");
+    }
 
-    const auto colon = body.find(':');
-    PLR_REQUIRE(colon != std::string::npos,
-                "signature '" << text << "' is missing the ':' separator");
-    PLR_REQUIRE(body.find(':', colon + 1) == std::string::npos,
-                "signature '" << text << "' has more than one ':'");
+    const std::size_t colon = text.find(':', begin);
+    if (colon == std::string::npos || colon >= end)
+        parse_fail(text, end, "missing the ':' separator");
+    const std::size_t second = text.find(':', colon + 1);
+    if (second != std::string::npos && second < end)
+        parse_fail(text, second, "more than one ':' separator");
 
-    return Signature(parse_coefficient_list(body.substr(0, colon)),
-                     parse_coefficient_list(body.substr(colon + 1)),
-                     allow_fir);
+    return Signature(
+        parse_coefficient_list(text, begin, colon, "feed-forward",
+                               /*allow_empty=*/false),
+        parse_coefficient_list(text, colon + 1, end, "feedback", allow_fir),
+        allow_fir);
 }
 
 bool

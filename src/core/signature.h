@@ -20,7 +20,29 @@
 #include <string>
 #include <vector>
 
+#include "util/diag.h"
+
 namespace plr {
+
+/**
+ * Parse failure for the textual signature DSL. Derives from FatalError
+ * (existing catch sites keep working) and additionally carries the
+ * 1-based column in the original text handed to Signature::parse where
+ * parsing stopped, so tools can point at the offending character.
+ */
+class SignatureParseError : public FatalError {
+  public:
+    SignatureParseError(const std::string& what, std::size_t column)
+        : FatalError(what), column_(column)
+    {
+    }
+
+    /** 1-based offending column in the original signature text. */
+    std::size_t column() const { return column_; }
+
+  private:
+    std::size_t column_;
+};
 
 /** Broad shape classes used by the planner and code generator. */
 enum class SignatureClass {

@@ -1,15 +1,32 @@
 #include "gpusim/device.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <exception>
-#include <mutex>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 
 namespace plr::gpusim {
 
 namespace {
 
-/** Spins before the deadlock watchdog declares the launch wedged. */
-constexpr std::uint64_t kSpinWatchdogLimit = 200'000'000;
+/** Spins per wait episode before the deadlock watchdog declares a wedge. */
+constexpr std::uint64_t kSpinWatchdogDefault = 200'000'000;
+
+/** Watchdog default: $PLR_SPIN_WATCHDOG when set and positive. */
+std::uint64_t
+default_watchdog_limit()
+{
+    if (const char* env = std::getenv("PLR_SPIN_WATCHDOG")) {
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && value > 0)
+            return static_cast<std::uint64_t>(value);
+    }
+    return kSpinWatchdogDefault;
+}
 
 }  // namespace
 
@@ -18,10 +35,23 @@ constexpr std::uint64_t kSpinWatchdogLimit = 200'000'000;
 BlockContext::BlockContext(Device& device, std::size_t block_index)
     : device_(device), block_index_(block_index)
 {
+    if (device_.fault_plan_)
+        fault_ = BlockFaultStream(device_.fault_plan_.get(), block_index);
 }
 
 BlockContext::~BlockContext()
 {
+    flush_pending_releases();
+    if (device_.failed_.load(std::memory_order_relaxed)) {
+        BlockForensics forensics;
+        forensics.block_index = block_index_;
+        forensics.chunk = progress_chunk_;
+        forensics.waiting_on = waiting_on_;
+        forensics.wait_site = wait_site_ ? wait_site_ : "";
+        forensics.spins = spin_count_;
+        std::lock_guard<std::mutex> lock(device_.forensic_mutex_);
+        device_.failed_block_states_.push_back(std::move(forensics));
+    }
     local_.blocks_executed = 1;
     device_.counters_.accumulate(local_);
 }
@@ -65,6 +95,7 @@ BlockContext::atomic_add(const Buffer<std::uint32_t>& buf, std::size_t i,
                          std::uint32_t value)
 {
     bounds_check(buf, i, 1);
+    fault_before_global_op();
     ++local_.atomic_ops;
     std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
     return ref.fetch_add(value, std::memory_order_acq_rel);
@@ -74,9 +105,16 @@ std::uint32_t
 BlockContext::ld_acquire(const Buffer<std::uint32_t>& buf, std::size_t i)
 {
     bounds_check(buf, i, 1);
+    fault_before_global_op();
     ++local_.atomic_ops;
     std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
-    return ref.load(std::memory_order_acquire);
+    const std::uint32_t value = ref.load(std::memory_order_acquire);
+    // Stale re-read fault: report a published flag as still clear. Safe
+    // because protocol flags are 0 -> nonzero monotonic, so the reader just
+    // polls again (bounded by FaultConfig::max_consecutive_stale).
+    if (value != 0 && fault_.active() && fault_.next_stale_flag_read())
+        return 0;
+    return value;
 }
 
 void
@@ -84,9 +122,55 @@ BlockContext::st_release(const Buffer<std::uint32_t>& buf, std::size_t i,
                          std::uint32_t value)
 {
     bounds_check(buf, i, 1);
+    fault_before_global_op();
     ++local_.atomic_ops;
-    std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
+    std::uint32_t* addr = &pool().data(buf)[i];
+    if (fault_.active()) {
+        std::uint32_t delay = 0;
+        switch (fault_.next_publish_fate(&delay)) {
+        case BlockFaultStream::PublishFate::kDropped:
+            return;  // lost publication (lethal configs only)
+        case BlockFaultStream::PublishFate::kDeferred:
+            pending_releases_.push_back(PendingRelease{addr, value, delay});
+            return;
+        case BlockFaultStream::PublishFate::kImmediate:
+            break;
+        }
+    }
+    std::atomic_ref<std::uint32_t> ref(*addr);
     ref.store(value, std::memory_order_release);
+}
+
+void
+BlockContext::tick_pending_releases()
+{
+    for (PendingRelease& pending : pending_releases_) {
+        if (pending.remaining > 0)
+            --pending.remaining;
+    }
+    // Flush expired publications from the front only: program order among a
+    // block's releases is preserved even under deferral.
+    std::size_t flushed = 0;
+    while (flushed < pending_releases_.size() &&
+           pending_releases_[flushed].remaining == 0) {
+        std::atomic_ref<std::uint32_t> ref(*pending_releases_[flushed].addr);
+        ref.store(pending_releases_[flushed].value,
+                  std::memory_order_release);
+        ++flushed;
+    }
+    if (flushed > 0)
+        pending_releases_.erase(pending_releases_.begin(),
+                                pending_releases_.begin() + flushed);
+}
+
+void
+BlockContext::flush_pending_releases()
+{
+    for (const PendingRelease& pending : pending_releases_) {
+        std::atomic_ref<std::uint32_t> ref(*pending.addr);
+        ref.store(pending.value, std::memory_order_release);
+    }
+    pending_releases_.clear();
 }
 
 void
@@ -111,11 +195,23 @@ void
 BlockContext::spin_wait()
 {
     ++local_.busy_wait_spins;
+    if (!pending_releases_.empty())
+        tick_pending_releases();
     if (device_.failed_.load(std::memory_order_relaxed))
-        throw PanicError("kernel aborted: another block failed");
-    if (++spin_count_ > kSpinWatchdogLimit)
-        PLR_PANIC("deadlock watchdog: block " << block_index_
-                  << " spun " << spin_count_ << " times without progress");
+        throw KernelAborted{};
+    if (++spin_count_ > device_.spin_watchdog_limit_) {
+        // First failure wins: only the CAS winner records the trip, so the
+        // error surfaced by launch() is deterministic even when several
+        // blocks wedge at once.
+        bool expected = false;
+        if (device_.failed_.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+            device_.watchdog_trip_ = Device::WatchdogTrip{
+                block_index_, spin_count_, progress_chunk_, waiting_on_,
+                wait_site_ ? wait_site_ : "spin_wait"};
+        }
+        throw KernelAborted{};
+    }
     std::this_thread::yield();
 }
 
@@ -125,8 +221,60 @@ Device::Device(DeviceSpec spec, bool model_l2)
     : spec_(std::move(spec)),
       pool_(spec_.dram_bytes),
       l2_(spec_.l2_bytes, spec_.l2_line_bytes, spec_.l2_ways),
-      l2_enabled_(model_l2)
+      l2_enabled_(model_l2),
+      spin_watchdog_limit_(default_watchdog_limit())
 {
+}
+
+void
+Device::set_fault_plan(std::shared_ptr<FaultPlan> plan)
+{
+    fault_plan_ = std::move(plan);
+}
+
+void
+Device::set_spin_watchdog_limit(std::uint64_t limit)
+{
+    spin_watchdog_limit_ = limit > 0 ? limit : default_watchdog_limit();
+}
+
+std::size_t
+Device::register_forensic_source(std::function<ProtocolForensics()> source)
+{
+    std::lock_guard<std::mutex> lock(forensic_mutex_);
+    const std::size_t id = next_forensic_id_++;
+    forensic_sources_.emplace_back(id, std::move(source));
+    return id;
+}
+
+void
+Device::unregister_forensic_source(std::size_t id)
+{
+    std::lock_guard<std::mutex> lock(forensic_mutex_);
+    std::erase_if(forensic_sources_,
+                  [id](const auto& entry) { return entry.first == id; });
+}
+
+ForensicDump
+Device::build_forensic_dump(const std::string& reason)
+{
+    ForensicDump dump;
+    dump.reason = reason;
+    dump.spin_limit = spin_watchdog_limit_;
+    if (fault_plan_) {
+        dump.faults_active = true;
+        dump.fault_seed = fault_plan_->seed();
+        dump.fault_stats = fault_plan_->stats();
+    }
+    std::lock_guard<std::mutex> lock(forensic_mutex_);
+    dump.blocks = failed_block_states_;
+    std::sort(dump.blocks.begin(), dump.blocks.end(),
+              [](const BlockForensics& a, const BlockForensics& b) {
+                  return a.block_index < b.block_index;
+              });
+    for (const auto& [id, source] : forensic_sources_)
+        dump.protocols.push_back(source());
+    return dump;
 }
 
 void
@@ -143,9 +291,18 @@ Device::launch(std::size_t num_blocks,
     resident = std::min(resident, num_blocks);
 
     failed_.store(false, std::memory_order_relaxed);
+    watchdog_trip_.reset();
+    {
+        std::lock_guard<std::mutex> lock(forensic_mutex_);
+        failed_block_states_.clear();
+    }
+
+    std::vector<std::size_t> order;
+    if (fault_plan_ && fault_plan_->config().shuffle_launch_order)
+        order = fault_plan_->launch_order(num_blocks);
+
     std::atomic<std::size_t> next_block{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    std::exception_ptr first_error;  // written only by the failed_ CAS winner
 
     auto worker = [&]() {
         for (;;) {
@@ -155,14 +312,20 @@ Device::launch(std::size_t num_blocks,
                 next_block.fetch_add(1, std::memory_order_relaxed);
             if (index >= num_blocks)
                 return;
+            const std::size_t block = order.empty() ? index : order[index];
             try {
-                BlockContext ctx(*this, index);
+                BlockContext ctx(*this, block);
                 body(ctx);
+            } catch (const KernelAborted&) {
+                // Teardown of a launch that already failed; the original
+                // error (or watchdog trip) is already recorded.
+                return;
             } catch (...) {
-                failed_.store(true, std::memory_order_relaxed);
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
+                bool expected = false;
+                if (failed_.compare_exchange_strong(
+                        expected, true, std::memory_order_acq_rel)) {
                     first_error = std::current_exception();
+                }
                 return;
             }
         }
@@ -177,6 +340,29 @@ Device::launch(std::size_t num_blocks,
             threads.emplace_back(worker);
         for (auto& thread : threads)
             thread.join();
+    }
+
+    if (watchdog_trip_) {
+        const WatchdogTrip& trip = *watchdog_trip_;
+        std::ostringstream reason;
+        reason << "deadlock watchdog: block " << trip.block_index
+               << " spun " << trip.spins << " times without progress";
+        if (trip.chunk != BlockForensics::kNone)
+            reason << "; chunk " << trip.chunk;
+        if (trip.waiting_on != BlockForensics::kNone)
+            reason << "; waiting on chunk " << trip.waiting_on << " at "
+                   << trip.wait_site;
+        ForensicDump dump = build_forensic_dump(reason.str());
+        std::string message = reason.str();
+        const std::size_t suspect = dump.suspect_chunk();
+        if (suspect != BlockForensics::kNone)
+            message += "; suspect chunk " + std::to_string(suspect);
+        if (const char* path = std::getenv("PLR_FORENSIC_LOG")) {
+            std::ofstream out(path, std::ios::app);
+            if (out)
+                out << dump.format() << "\n";
+        }
+        throw LaunchError(message, std::move(dump));
     }
 
     if (first_error)

@@ -13,15 +13,27 @@
  * exposes. Resident blocks execute on real OS threads, so the decoupled
  * look-back protocol (busy-waiting on carry flags) runs under genuine
  * concurrency.
+ *
+ * A Device may carry a FaultPlan (see fault.h): the accessors then inject
+ * deterministic stalls, deferred flag publications, stale flag re-reads and
+ * masked torn reads, and launch() shuffles the block order. The spin-wait
+ * watchdog is configurable (set_spin_watchdog_limit / $PLR_SPIN_WATCHDOG)
+ * and on trip raises a LaunchError carrying a ForensicDump of the protocol
+ * state.
  */
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "gpusim/device_spec.h"
+#include "gpusim/fault.h"
 #include "gpusim/l2_cache.h"
 #include "gpusim/memory.h"
 #include "gpusim/perf_counters.h"
@@ -29,6 +41,14 @@
 namespace plr::gpusim {
 
 class Device;
+
+/**
+ * Internal control-flow exception: the launch is being torn down (a peer
+ * failed or the watchdog tripped) and this block must unwind. Thrown only
+ * by BlockContext::spin_wait and swallowed by Device::launch — it never
+ * reaches kernel callers. Kernel bodies must not catch it.
+ */
+class KernelAborted {};
 
 /**
  * Per-block execution context handed to kernel bodies.
@@ -56,9 +76,16 @@ class BlockContext {
     ld(const Buffer<T>& buf, std::size_t i)
     {
         bounds_check(buf, i, 1);
+        fault_before_global_op();
         note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/true,
                            /*scalar=*/true);
-        return pool().data(buf)[i];
+        T value = pool().data(buf)[i];
+        if (fault_torn_read()) {
+            // The torn value is detected by the memory interface's verify
+            // re-read and discarded; the kernel sees the intact word.
+            value = pool().data(buf)[i];
+        }
+        return value;
     }
 
     /** Scalar global store (one 32-byte transaction). */
@@ -67,6 +94,7 @@ class BlockContext {
     st(const Buffer<T>& buf, std::size_t i, T value)
     {
         bounds_check(buf, i, 1);
+        fault_before_global_op();
         note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/false,
                            /*scalar=*/true);
         pool().data(buf)[i] = value;
@@ -83,6 +111,7 @@ class BlockContext {
     ld_coalesced(const Buffer<T>& buf, std::size_t i)
     {
         bounds_check(buf, i, 1);
+        fault_before_global_op();
         local_.global_load_bytes += sizeof(T);
         if (++coalesced_residual_ * sizeof(T) >= 32) {
             coalesced_residual_ = 0;
@@ -103,6 +132,7 @@ class BlockContext {
     st_coalesced(const Buffer<T>& buf, std::size_t i, T value)
     {
         bounds_check(buf, i, 1);
+        fault_before_global_op();
         local_.global_store_bytes += sizeof(T);
         if (++coalesced_residual_ * sizeof(T) >= 32) {
             coalesced_residual_ = 0;
@@ -124,6 +154,7 @@ class BlockContext {
         if (out.empty())
             return;
         bounds_check(buf, first, out.size());
+        fault_before_global_op();
         note_global_access(addr_of(buf, first), out.size() * sizeof(T),
                            /*is_read=*/true, /*scalar=*/false);
         const T* src = pool().data(buf) + first;
@@ -138,6 +169,7 @@ class BlockContext {
         if (in.empty())
             return;
         bounds_check(buf, first, in.size());
+        fault_before_global_op();
         note_global_access(addr_of(buf, first), in.size() * sizeof(T),
                            /*is_read=*/false, /*scalar=*/false);
         std::copy(in.begin(), in.end(), pool().data(buf) + first);
@@ -159,7 +191,9 @@ class BlockContext {
 
     /**
      * One busy-wait iteration: yields the CPU, counts the spin, aborts the
-     * kernel if another block failed or a deadlock watchdog trips.
+     * kernel if another block failed or the deadlock watchdog trips (the
+     * latter records a forensic trip that Device::launch turns into a
+     * LaunchError with a full ForensicDump).
      */
     void spin_wait();
 
@@ -185,6 +219,32 @@ class BlockContext {
 
     /** Raw counter access for kernel-specific bookkeeping. */
     CounterSnapshot& local_counters() { return local_; }
+
+    // ---- protocol progress notes (watchdog forensics) -------------------
+
+    /** Record the chunk this block is currently processing. */
+    void note_chunk(std::size_t chunk) { progress_chunk_ = chunk; }
+
+    /** Record that the block is waiting on @p chunk at @p site (static). */
+    void
+    note_wait(std::size_t chunk, const char* site)
+    {
+        waiting_on_ = chunk;
+        wait_site_ = site;
+    }
+
+    /**
+     * Record that the current wait resolved: clears the wait note and
+     * resets the watchdog's spin counter (the watchdog bounds spins per
+     * wait episode, not per block lifetime).
+     */
+    void
+    note_progress()
+    {
+        waiting_on_ = BlockForensics::kNone;
+        wait_site_ = nullptr;
+        spin_count_ = 0;
+    }
 
   private:
     template <typename T>
@@ -216,12 +276,37 @@ class BlockContext {
 
     L2Cache* device_l2();
 
+    /** Fault hook run before every global-memory op: ticks deferred flag
+        publications and possibly injects a stall. No-op without faults. */
+    void fault_before_global_op();
+
+    /** True when the current scalar load should be modeled as torn. */
+    bool fault_torn_read();
+
+    /** Advance deferred st_release publications; flush those that expired
+        (in program order). */
+    void tick_pending_releases();
+
+    /** Publish every still-deferred st_release immediately. */
+    void flush_pending_releases();
+
+    struct PendingRelease {
+        std::uint32_t* addr;
+        std::uint32_t value;
+        std::uint32_t remaining;
+    };
+
     Device& device_;
     std::size_t block_index_;
     CounterSnapshot local_;
     std::uint64_t spin_count_ = 0;
     std::uint64_t coalesced_residual_ = 0;
     std::size_t shared_bytes_used_ = 0;
+    BlockFaultStream fault_;
+    std::vector<PendingRelease> pending_releases_;
+    std::size_t progress_chunk_ = BlockForensics::kNone;
+    std::size_t waiting_on_ = BlockForensics::kNone;
+    const char* wait_site_ = nullptr;
 };
 
 /** The simulated GPU. */
@@ -239,6 +324,37 @@ class Device {
     const MemoryPool& memory() const { return pool_; }
     PerfCounters& counters() { return counters_; }
     L2Cache* l2() { return l2_enabled_ ? &l2_ : nullptr; }
+
+    /**
+     * Attach (or with nullptr, detach) a fault plan. Takes effect for
+     * subsequent launches; shared so callers can inspect stats afterwards.
+     */
+    void set_fault_plan(std::shared_ptr<FaultPlan> plan);
+
+    /** The active fault plan, or nullptr. */
+    const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+    /**
+     * Set the deadlock-watchdog spin limit (spins per wait episode before
+     * the launch is declared wedged). 0 restores the default, which is
+     * $PLR_SPIN_WATCHDOG when set and 200'000'000 otherwise.
+     */
+    void set_spin_watchdog_limit(std::uint64_t limit);
+
+    /** The active watchdog limit. */
+    std::uint64_t spin_watchdog_limit() const { return spin_watchdog_limit_; }
+
+    /**
+     * Register a forensic source: a callback snapshotting one look-back
+     * protocol instance, invoked by the watchdog after launch threads are
+     * joined. Returns an id for unregister_forensic_source. Prefer the
+     * ForensicSourceGuard RAII wrapper.
+     */
+    std::size_t
+    register_forensic_source(std::function<ProtocolForensics()> source);
+
+    /** Remove a previously registered forensic source (idempotent). */
+    void unregister_forensic_source(std::size_t id);
 
     /** Allocate a zero-initialized device buffer. */
     template <typename T>
@@ -270,7 +386,12 @@ class Device {
      * Launch @p num_blocks blocks running @p body. At most
      * min(spec().max_resident_blocks(), @p max_resident) blocks are
      * resident at once (0 = hardware limit), matching the wave scheduling
-     * of a real GPU: blocks are assigned to free slots in index order.
+     * of a real GPU: blocks are assigned to free slots in index order
+     * (or in the fault plan's shuffled order when one is attached).
+     *
+     * On a watchdog trip, throws LaunchError carrying a ForensicDump; a
+     * kernel exception from one block aborts the peers and is rethrown
+     * (first failure wins, deterministically).
      */
     void launch(std::size_t num_blocks,
                 const std::function<void(BlockContext&)>& body,
@@ -285,12 +406,33 @@ class Device {
   private:
     friend class BlockContext;
 
+    struct WatchdogTrip {
+        std::size_t block_index;
+        std::uint64_t spins;
+        std::size_t chunk;
+        std::size_t waiting_on;
+        const char* wait_site;
+    };
+
+    /** Build the forensic snapshot; callers must have joined all workers. */
+    ForensicDump build_forensic_dump(const std::string& reason);
+
     DeviceSpec spec_;
     MemoryPool pool_;
     PerfCounters counters_;
     L2Cache l2_;
     bool l2_enabled_;
     std::atomic<bool> failed_{false};
+    std::shared_ptr<FaultPlan> fault_plan_;
+    std::uint64_t spin_watchdog_limit_;
+
+    std::optional<WatchdogTrip> watchdog_trip_;  // written by the CAS winner
+
+    std::mutex forensic_mutex_;
+    std::vector<std::pair<std::size_t, std::function<ProtocolForensics()>>>
+        forensic_sources_;
+    std::size_t next_forensic_id_ = 0;
+    std::vector<BlockForensics> failed_block_states_;
 };
 
 template <typename T>
@@ -316,6 +458,25 @@ inline const MemoryPool&
 BlockContext::pool() const
 {
     return device_.pool_;
+}
+
+inline void
+BlockContext::fault_before_global_op()
+{
+    if (!fault_.active())
+        return;
+    if (!pending_releases_.empty())
+        tick_pending_releases();
+    if (const std::uint32_t yields = fault_.next_stall_yields()) {
+        for (std::uint32_t y = 0; y < yields; ++y)
+            std::this_thread::yield();
+    }
+}
+
+inline bool
+BlockContext::fault_torn_read()
+{
+    return fault_.active() && fault_.next_torn_read();
 }
 
 }  // namespace plr::gpusim

@@ -1,0 +1,291 @@
+#include "gpusim/fault.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "gpusim/device.h"
+
+namespace plr::gpusim {
+
+namespace {
+
+/** splitmix64 step — the same mixer rng.h uses for seeding. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Map a u64 to [0, 1). */
+double
+to_unit(std::uint64_t x)
+{
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- FaultPlan
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultConfig config)
+    : seed_(seed), config_(config)
+{
+}
+
+std::vector<std::size_t>
+FaultPlan::launch_order(std::size_t num_blocks) const
+{
+    std::vector<std::size_t> order(num_blocks);
+    for (std::size_t i = 0; i < num_blocks; ++i)
+        order[i] = i;
+    if (!config_.shuffle_launch_order)
+        return order;
+    Rng rng(mix64(seed_ ^ 0x6c61756e6368ull));  // "launch"
+    for (std::size_t i = num_blocks; i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(order[i - 1], order[j]);
+    }
+    return order;
+}
+
+bool
+FaultPlan::coin(std::uint64_t salt, std::uint64_t index,
+                double probability) const
+{
+    const std::uint64_t h = mix64(mix64(seed_ ^ salt) ^ index);
+    return to_unit(h) < probability;
+}
+
+FaultStats
+FaultPlan::stats() const
+{
+    FaultStats s;
+    s.stalls = stalls_.load(std::memory_order_relaxed);
+    s.stall_yields = stall_yields_.load(std::memory_order_relaxed);
+    s.stale_flag_reads = stale_flag_reads_.load(std::memory_order_relaxed);
+    s.torn_reads = torn_reads_.load(std::memory_order_relaxed);
+    s.deferred_publishes = deferred_publishes_.load(std::memory_order_relaxed);
+    s.dropped_publishes = dropped_publishes_.load(std::memory_order_relaxed);
+    return s;
+}
+
+// ------------------------------------------------------ BlockFaultStream
+
+BlockFaultStream::BlockFaultStream(FaultPlan* plan, std::size_t block_index)
+    : plan_(plan), rng_(mix64(plan->seed_ ^ (0xb10c000000000000ull + block_index)))
+{
+}
+
+std::uint32_t
+BlockFaultStream::next_stall_yields()
+{
+    const FaultConfig& cfg = plan_->config_;
+    if (cfg.stall_probability <= 0.0 || cfg.max_stall_yields == 0)
+        return 0;
+    if (rng_.uniform_double() >= cfg.stall_probability)
+        return 0;
+    const std::uint32_t yields = static_cast<std::uint32_t>(
+        rng_.uniform_int(1, cfg.max_stall_yields));
+    plan_->stalls_.fetch_add(1, std::memory_order_relaxed);
+    plan_->stall_yields_.fetch_add(yields, std::memory_order_relaxed);
+    return yields;
+}
+
+bool
+BlockFaultStream::next_stale_flag_read()
+{
+    const FaultConfig& cfg = plan_->config_;
+    if (cfg.stale_flag_probability <= 0.0)
+        return false;
+    if (consecutive_stale_ >= cfg.max_consecutive_stale ||
+        rng_.uniform_double() >= cfg.stale_flag_probability) {
+        consecutive_stale_ = 0;
+        return false;
+    }
+    ++consecutive_stale_;
+    plan_->stale_flag_reads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+BlockFaultStream::next_torn_read()
+{
+    const FaultConfig& cfg = plan_->config_;
+    if (cfg.torn_read_probability <= 0.0 ||
+        rng_.uniform_double() >= cfg.torn_read_probability)
+        return false;
+    plan_->torn_reads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+BlockFaultStream::PublishFate
+BlockFaultStream::next_publish_fate(std::uint32_t* delay)
+{
+    const FaultConfig& cfg = plan_->config_;
+    if (cfg.drop_publish_probability > 0.0 &&
+        rng_.uniform_double() < cfg.drop_publish_probability) {
+        plan_->dropped_publishes_.fetch_add(1, std::memory_order_relaxed);
+        return PublishFate::kDropped;
+    }
+    if (cfg.max_publish_delay == 0)
+        return PublishFate::kImmediate;
+    const std::uint32_t d = static_cast<std::uint32_t>(
+        rng_.uniform_int(0, cfg.max_publish_delay));
+    if (d == 0)
+        return PublishFate::kImmediate;
+    *delay = d;
+    plan_->deferred_publishes_.fetch_add(1, std::memory_order_relaxed);
+    return PublishFate::kDeferred;
+}
+
+// ----------------------------------------------------------- Forensics
+
+std::size_t
+ProtocolForensics::first_stalled_chunk() const
+{
+    for (std::size_t q = 0; q < num_chunks; ++q) {
+        if (global_flags[q] == 0)
+            return q;
+    }
+    return BlockForensics::kNone;
+}
+
+std::size_t
+ForensicDump::suspect_chunk() const
+{
+    // The culprit is the lowest chunk whose global (inclusive) state never
+    // appeared and that no live block is still working on: a live owner
+    // would make the chunk a victim (it is waiting on someone else), but a
+    // chunk with no owner and no publication died without publishing —
+    // exactly the protocol break that wedges every successor.
+    std::vector<std::size_t> live;
+    for (const BlockForensics& b : blocks) {
+        if (b.chunk != BlockForensics::kNone)
+            live.push_back(b.chunk);
+    }
+    std::size_t best = BlockForensics::kNone;
+    for (const ProtocolForensics& p : protocols) {
+        for (std::size_t q = 0; q < p.num_chunks; ++q) {
+            if (p.global_flags[q] != 0)
+                continue;
+            if (std::find(live.begin(), live.end(), q) != live.end())
+                continue;
+            if (best == BlockForensics::kNone || q < best)
+                best = q;
+            break;  // only the first unresolved chunk of each protocol
+        }
+    }
+    return best;
+}
+
+namespace {
+
+void
+format_flag_map(std::ostringstream& out, const char* name,
+                const std::vector<std::uint32_t>& flags)
+{
+    constexpr std::size_t kMaxShown = 128;
+    out << "    " << name << ": ";
+    const std::size_t shown = std::min(flags.size(), kMaxShown);
+    for (std::size_t q = 0; q < shown; ++q)
+        out << (flags[q] != 0 ? '1' : '0');
+    if (flags.size() > shown)
+        out << "... (" << flags.size() - shown << " more)";
+    out << "\n";
+}
+
+std::string
+chunk_name(std::size_t chunk)
+{
+    if (chunk == BlockForensics::kNone)
+        return "-";
+    return std::to_string(chunk);
+}
+
+}  // namespace
+
+std::string
+ForensicDump::format() const
+{
+    std::ostringstream out;
+    out << "=== plr forensic dump ===\n";
+    out << "reason: " << reason << "\n";
+    out << "spin watchdog limit: " << spin_limit << "\n";
+    if (faults_active) {
+        out << "fault seed: " << fault_seed
+            << " (stalls=" << fault_stats.stalls
+            << " stale_flag_reads=" << fault_stats.stale_flag_reads
+            << " torn_reads=" << fault_stats.torn_reads
+            << " deferred_publishes=" << fault_stats.deferred_publishes
+            << " dropped_publishes=" << fault_stats.dropped_publishes
+            << ")\n";
+    } else {
+        out << "fault injection: off\n";
+    }
+    out << "blocks in flight: " << blocks.size() << "\n";
+    for (const BlockForensics& b : blocks) {
+        out << "  block " << b.block_index << ": chunk "
+            << chunk_name(b.chunk) << ", waiting on chunk "
+            << chunk_name(b.waiting_on);
+        if (!b.wait_site.empty())
+            out << " at " << b.wait_site;
+        out << ", " << b.spins << " spins\n";
+    }
+    for (const ProtocolForensics& p : protocols) {
+        out << "  protocol '" << p.label << "': " << p.num_chunks
+            << " chunks, width " << p.width << "\n";
+        format_flag_map(out, "local  flags", p.local_flags);
+        format_flag_map(out, "global flags", p.global_flags);
+        const std::size_t stalled = p.first_stalled_chunk();
+        if (stalled != BlockForensics::kNone) {
+            out << "    first unresolved chunk: " << stalled;
+            if (stalled < p.local_flags.size() &&
+                p.local_flags[stalled] != 0) {
+                out << " (local published, global missing); local carry =";
+                out << std::setprecision(17);
+                for (std::size_t w = 0; w < p.width; ++w)
+                    out << " " << p.local_state[stalled * p.width + w];
+            } else {
+                out << " (neither local nor global carry ever published)";
+            }
+            out << "\n";
+        }
+    }
+    const std::size_t suspect = suspect_chunk();
+    if (suspect != BlockForensics::kNone) {
+        out << "suspect chunk: " << suspect
+            << " (its global carry never appeared and no live block owns "
+               "it)\n";
+    }
+    out << "=========================";
+    return out.str();
+}
+
+// ---------------------------------------------------------- LaunchError
+
+LaunchError::LaunchError(const std::string& what, ForensicDump dump)
+    : PanicError(what), dump_(std::move(dump))
+{
+}
+
+// -------------------------------------------------- ForensicSourceGuard
+
+ForensicSourceGuard::ForensicSourceGuard(
+    Device& device, std::function<ProtocolForensics()> source)
+    : device_(device),
+      id_(device.register_forensic_source(std::move(source)))
+{
+}
+
+ForensicSourceGuard::~ForensicSourceGuard()
+{
+    device_.unregister_forensic_source(id_);
+}
+
+}  // namespace plr::gpusim

@@ -1,0 +1,252 @@
+#ifndef PLR_GPUSIM_FAULT_H_
+#define PLR_GPUSIM_FAULT_H_
+
+/**
+ * @file
+ * Deterministic fault injection for the simulated GPU, plus the forensic
+ * structures the protocol watchdog dumps when a launch wedges.
+ *
+ * The decoupled look-back protocol (Section 2.2 of the paper) is a lock-free
+ * protocol whose bugs hide until a scheduler gets adversarial. A FaultPlan
+ * makes the simulator adversarial *on purpose* — and reproducibly: every
+ * decision derives from a 64-bit seed, so a failing schedule can be replayed
+ * from a one-line reproducer (see docs/FAULTS.md).
+ *
+ * The benign fault classes (stalls, deferred flag publication, stale flag
+ * re-reads, masked torn reads) are correctness-preserving by construction: a
+ * protocol that honors the fence/flag discipline must produce bit-identical
+ * results under them. The lethal class (dropped publication) wedges even a
+ * correct kernel and exists to exercise the watchdog and the runner's
+ * graceful-degradation path.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/diag.h"
+#include "util/rng.h"
+
+namespace plr::gpusim {
+
+class Device;
+
+/** Knobs for a FaultPlan. Defaults give an aggressive-but-benign mix. */
+struct FaultConfig {
+    /** Launch blocks in a seed-shuffled order instead of index order. */
+    bool shuffle_launch_order = true;
+
+    /** Probability of an injected stall at each global-memory or flag op. */
+    double stall_probability = 0.02;
+
+    /** Maximum scheduler yields per injected stall. */
+    std::uint32_t max_stall_yields = 32;
+
+    /**
+     * Maximum number of device operations a st_release publication may be
+     * deferred by (0 disables deferral). Deferred publications are flushed
+     * in program order while the block keeps operating or spin-waits, and
+     * unconditionally when the block retires, so liveness is preserved.
+     */
+    std::uint32_t max_publish_delay = 48;
+
+    /**
+     * Probability that an already-published flag is re-read as stale
+     * (i.e. ld_acquire returns 0 although the true value is set). Safe for
+     * the look-back protocol because flags are 0 -> nonzero monotonic: a
+     * stale read only sends the reader around its wait loop again.
+     */
+    double stale_flag_probability = 0.15;
+
+    /**
+     * Liveness bound: after this many consecutive stale re-reads by one
+     * block, the next ld_acquire returns the true value.
+     */
+    std::uint32_t max_consecutive_stale = 8;
+
+    /**
+     * Probability that a scalar global load observes a torn value which the
+     * memory interface detects and masks with a verifying re-read. Counted
+     * in FaultStats; never visible to the kernel.
+     */
+    double torn_read_probability = 0.05;
+
+    /**
+     * Probability that a st_release publication is dropped outright. This
+     * is NOT masked — a dropped flag wedges any correct look-back kernel.
+     * Off by default; enabled only by degradation tests.
+     */
+    double drop_publish_probability = 0.0;
+};
+
+/** Counters for injected fault events (aggregated across blocks). */
+struct FaultStats {
+    std::uint64_t stalls = 0;
+    std::uint64_t stall_yields = 0;
+    std::uint64_t stale_flag_reads = 0;
+    std::uint64_t torn_reads = 0;
+    std::uint64_t deferred_publishes = 0;
+    std::uint64_t dropped_publishes = 0;
+};
+
+/**
+ * A deterministic fault schedule: seed + config. Shared by every block of a
+ * launch; per-block decisions come from independent streams derived from
+ * (seed, block index), so they do not depend on thread interleaving.
+ */
+class FaultPlan {
+  public:
+    explicit FaultPlan(std::uint64_t seed, FaultConfig config = FaultConfig{});
+
+    std::uint64_t seed() const { return seed_; }
+    const FaultConfig& config() const { return config_; }
+
+    /** Seed-shuffled block launch order (identity when shuffling is off). */
+    std::vector<std::size_t> launch_order(std::size_t num_blocks) const;
+
+    /**
+     * Deterministic coin keyed on (seed, salt, index), independent of
+     * execution order. Canary kernels use this to decide *which* chunk
+     * misbehaves under a given seed, so tests can predict the victim.
+     */
+    bool coin(std::uint64_t salt, std::uint64_t index,
+              double probability) const;
+
+    /** Snapshot of the fault-event counters. */
+    FaultStats stats() const;
+
+  private:
+    friend class BlockFaultStream;
+
+    std::uint64_t seed_;
+    FaultConfig config_;
+
+    std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<std::uint64_t> stall_yields_{0};
+    std::atomic<std::uint64_t> stale_flag_reads_{0};
+    std::atomic<std::uint64_t> torn_reads_{0};
+    std::atomic<std::uint64_t> deferred_publishes_{0};
+    std::atomic<std::uint64_t> dropped_publishes_{0};
+};
+
+/** Per-block deterministic stream of fault decisions. */
+class BlockFaultStream {
+  public:
+    /** Inactive stream: every query answers "no fault". */
+    BlockFaultStream() = default;
+
+    BlockFaultStream(FaultPlan* plan, std::size_t block_index);
+
+    bool active() const { return plan_ != nullptr; }
+
+    /** Yields to stall for at this op (0 = no stall). */
+    std::uint32_t next_stall_yields();
+
+    /** True when the next set-flag read should be reported stale. */
+    bool next_stale_flag_read();
+
+    /** True when the next scalar load is torn (and masked by a re-read). */
+    bool next_torn_read();
+
+    enum class PublishFate { kImmediate, kDeferred, kDropped };
+
+    /** Fate of the next st_release; sets @p delay when deferred. */
+    PublishFate next_publish_fate(std::uint32_t* delay);
+
+  private:
+    FaultPlan* plan_ = nullptr;
+    Rng rng_;
+    std::uint32_t consecutive_stale_ = 0;
+};
+
+/** Final protocol progress of one block, captured when a launch fails. */
+struct BlockForensics {
+    std::size_t block_index = 0;
+    /** Chunk the block was processing (kNone when it never reported one). */
+    std::size_t chunk = kNone;
+    /** Chunk whose publication the block was waiting on (kNone if none). */
+    std::size_t waiting_on = kNone;
+    /** Static description of the wait site ("look-back", ...; "" if none). */
+    std::string wait_site;
+    /** Spins in the block's current wait episode. */
+    std::uint64_t spins = 0;
+
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+};
+
+/** Snapshot of one look-back protocol instance's device state. */
+struct ProtocolForensics {
+    std::string label;
+    std::size_t num_chunks = 0;
+    std::size_t width = 0;
+    std::vector<std::uint32_t> local_flags;   ///< per chunk
+    std::vector<std::uint32_t> global_flags;  ///< per chunk
+    std::vector<double> local_state;          ///< num_chunks * width
+    std::vector<double> global_state;         ///< num_chunks * width
+
+    /** Lowest chunk with its local carry published but its global missing. */
+    std::size_t first_stalled_chunk() const;
+};
+
+/** Structured snapshot attached to a LaunchError by the watchdog. */
+struct ForensicDump {
+    std::string reason;
+    std::uint64_t spin_limit = 0;
+    bool faults_active = false;
+    std::uint64_t fault_seed = 0;
+    FaultStats fault_stats;
+    /** Blocks still in flight when the launch was torn down. */
+    std::vector<BlockForensics> blocks;
+    /** One snapshot per registered look-back protocol instance. */
+    std::vector<ProtocolForensics> protocols;
+
+    /**
+     * The chunk most likely responsible for the wedge: per protocol, the
+     * lowest chunk whose global flag never appeared and which no live
+     * block is still working on (a live block with an unpublished chunk is
+     * a victim mid-work or mid-wait, not the culprit; a dead chunk's owner
+     * is gone and its flag can never arrive). BlockForensics::kNone if
+     * every unresolved chunk is still owned by a live block.
+     */
+    std::size_t suspect_chunk() const;
+
+    /** Multi-line human-readable rendering (flag maps are capped). */
+    std::string format() const;
+};
+
+/** Watchdog/wedge failure carrying the forensic snapshot. */
+class LaunchError : public PanicError {
+  public:
+    LaunchError(const std::string& what, ForensicDump dump);
+
+    const ForensicDump& dump() const { return dump_; }
+
+  private:
+    ForensicDump dump_;
+};
+
+/**
+ * RAII registration of a forensic source with a Device. A forensic source
+ * is a callback that snapshots one protocol instance's flag/carry state;
+ * the watchdog invokes all registered sources after the launch threads have
+ * been joined (so plain reads of device memory are race-free).
+ */
+class ForensicSourceGuard {
+  public:
+    ForensicSourceGuard(Device& device,
+                        std::function<ProtocolForensics()> source);
+    ~ForensicSourceGuard();
+
+    ForensicSourceGuard(const ForensicSourceGuard&) = delete;
+    ForensicSourceGuard& operator=(const ForensicSourceGuard&) = delete;
+
+  private:
+    Device& device_;
+    std::size_t id_;
+};
+
+}  // namespace plr::gpusim
+
+#endif  // PLR_GPUSIM_FAULT_H_

@@ -63,6 +63,14 @@ class MemoryPool {
         free_raw(buffer.alloc_id);
     }
 
+    /** Ledger record behind a buffer (label, size; forensic dumps). */
+    template <typename T>
+    const AllocationRecord&
+    record_for(const Buffer<T>& buffer) const
+    {
+        return record(buffer.alloc_id);
+    }
+
     /** Host pointer to the backing storage. */
     template <typename T>
     T*

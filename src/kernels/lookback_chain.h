@@ -41,7 +41,8 @@ class LookbackChain {
     LookbackChain(gpusim::Device& device, std::size_t num_chunks,
                   std::size_t width, std::size_t window,
                   const std::string& label)
-        : width_(width), window_(window), num_chunks_(num_chunks)
+        : width_(width), window_(window), num_chunks_(num_chunks),
+          label_(label), device_(&device)
     {
         local_state_ = device.alloc<V>(num_chunks * width, label + ".local");
         global_state_ =
@@ -50,13 +51,25 @@ class LookbackChain {
             device.alloc<std::uint32_t>(num_chunks, label + ".local_flags");
         global_flags_ =
             device.alloc<std::uint32_t>(num_chunks, label + ".global_flags");
+        forensic_id_ = device.register_forensic_source(
+            [this]() { return forensics(); });
     }
+
+    ~LookbackChain()
+    {
+        if (device_ != nullptr)
+            device_->unregister_forensic_source(forensic_id_);
+    }
+
+    LookbackChain(const LookbackChain&) = delete;
+    LookbackChain& operator=(const LookbackChain&) = delete;
 
     /** Publish the chunk-local aggregate behind a fence + flag. */
     void
     publish_local(gpusim::BlockContext& ctx, std::size_t chunk,
                   const std::vector<V>& state)
     {
+        ctx.note_chunk(chunk);
         for (std::size_t i = 0; i < width_; ++i)
             ctx.st(local_state_, chunk * width_ + i, state[i]);
         ctx.threadfence();
@@ -81,6 +94,8 @@ class LookbackChain {
         std::size_t g = chunk;  // sentinel
         for (;;) {
             g = chunk;
+            // The oldest window slot if no global appears; refined below.
+            std::size_t blocked_on = lo;
             for (std::size_t q = chunk; q-- > lo;) {
                 if (ctx.ld_acquire(global_flags_, q) != 0) {
                     g = q;
@@ -92,14 +107,17 @@ class LookbackChain {
                 for (std::size_t q = g + 1; q < chunk; ++q) {
                     if (ctx.ld_acquire(local_flags_, q) == 0) {
                         ready = false;
+                        blocked_on = q;
                         break;
                     }
                 }
                 if (ready)
                     break;
             }
+            ctx.note_wait(blocked_on, "look-back");
             ctx.spin_wait();
         }
+        ctx.note_progress();
         if (lookback_distance)
             *lookback_distance = chunk - g;
 
@@ -130,6 +148,8 @@ class LookbackChain {
     void
     free(gpusim::Device& device)
     {
+        device.unregister_forensic_source(forensic_id_);
+        device_ = nullptr;
         device.memory().free(local_state_);
         device.memory().free(global_state_);
         device.memory().free(local_flags_);
@@ -139,9 +159,35 @@ class LookbackChain {
     std::size_t width() const { return width_; }
 
   private:
+    /** Snapshot flags and carries for the watchdog (post-join, race-free). */
+    gpusim::ProtocolForensics
+    forensics() const
+    {
+        gpusim::ProtocolForensics f;
+        f.label = label_;
+        f.num_chunks = num_chunks_;
+        f.width = width_;
+        const std::uint32_t* lf = device_->memory().data(local_flags_);
+        const std::uint32_t* gf = device_->memory().data(global_flags_);
+        f.local_flags.assign(lf, lf + num_chunks_);
+        f.global_flags.assign(gf, gf + num_chunks_);
+        const V* ls = device_->memory().data(local_state_);
+        const V* gs = device_->memory().data(global_state_);
+        f.local_state.reserve(num_chunks_ * width_);
+        f.global_state.reserve(num_chunks_ * width_);
+        for (std::size_t i = 0; i < num_chunks_ * width_; ++i) {
+            f.local_state.push_back(static_cast<double>(ls[i]));
+            f.global_state.push_back(static_cast<double>(gs[i]));
+        }
+        return f;
+    }
+
     std::size_t width_;
     std::size_t window_;
     std::size_t num_chunks_;
+    std::string label_;
+    gpusim::Device* device_;
+    std::size_t forensic_id_ = 0;
     gpusim::Buffer<V> local_state_;
     gpusim::Buffer<V> global_state_;
     gpusim::Buffer<std::uint32_t> local_flags_;

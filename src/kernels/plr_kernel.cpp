@@ -249,9 +249,31 @@ PlrKernel<Ring>::run(gpusim::Device& device,
     const std::size_t warp_size = device.spec().warp_size;
     const auto counters_before = device.snapshot();
 
+    // Watchdog forensics: snapshot the carry/flag arrays if this launch
+    // wedges (invoked only after the launch threads are joined).
+    gpusim::ForensicSourceGuard forensic_guard(device, [&device, &dev,
+                                                        num_chunks, k]() {
+        gpusim::ProtocolForensics f;
+        f.label = "plr.lookback";
+        f.num_chunks = num_chunks;
+        f.width = k;
+        const std::uint32_t* lf = device.memory().data(dev.local_flags);
+        const std::uint32_t* gf = device.memory().data(dev.global_flags);
+        f.local_flags.assign(lf, lf + num_chunks);
+        f.global_flags.assign(gf, gf + num_chunks);
+        const V* lc = device.memory().data(dev.local_carries);
+        const V* gc = device.memory().data(dev.global_carries);
+        for (std::size_t i = 0; i < num_chunks * k; ++i) {
+            f.local_state.push_back(static_cast<double>(lc[i]));
+            f.global_state.push_back(static_cast<double>(gc[i]));
+        }
+        return f;
+    });
+
     auto body = [&](BlockContext& ctx) {
         // -- Section 2: grab a chunk id, load the chunk.
         const std::size_t chunk = ctx.atomic_add(dev.chunk_counter, 0, 1);
+        ctx.note_chunk(chunk);
         const std::size_t base = chunk * m;
         const std::size_t len = std::min(m, n - base);
         std::vector<V> w(len);
@@ -336,6 +358,7 @@ PlrKernel<Ring>::run(gpusim::Device& device,
             std::size_t g = chunk;  // sentinel: not found
             for (;;) {
                 g = chunk;
+                std::size_t blocked_on = lo;
                 for (std::size_t q = chunk; q-- > lo;) {
                     if (ctx.ld_acquire(dev.global_flags, q) != 0) {
                         g = q;
@@ -347,14 +370,17 @@ PlrKernel<Ring>::run(gpusim::Device& device,
                     for (std::size_t q = g + 1; q < chunk; ++q) {
                         if (ctx.ld_acquire(dev.local_flags, q) == 0) {
                             locals_ready = false;
+                            blocked_on = q;
                             break;
                         }
                     }
                     if (locals_ready)
                         break;
                 }
+                ctx.note_wait(blocked_on, "look-back");
                 ctx.spin_wait();
             }
+            ctx.note_progress();
 
             const std::size_t distance = chunk - g;
             total_lookback.fetch_add(distance, std::memory_order_relaxed);

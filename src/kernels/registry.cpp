@@ -1,6 +1,7 @@
 #include "kernels/registry.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/plan.h"
 #include "gpusim/device.h"
@@ -46,6 +47,17 @@ domain_matches_ring(const Signature& sig, Domain domain)
  * planner accepts: m >= order, block_threads the largest power of two
  * <= min(m, 64) that divides m.
  */
+/** Apply the RunOptions fault/watchdog knobs to a simulated device. */
+void
+configure_device(gpusim::Device& device, const RunOptions& opts)
+{
+    if (opts.fault_seed != 0)
+        device.set_fault_plan(
+            std::make_shared<gpusim::FaultPlan>(opts.fault_seed));
+    if (opts.spin_watchdog != 0)
+        device.set_spin_watchdog_limit(opts.spin_watchdog);
+}
+
 std::pair<std::size_t, std::size_t>
 plr_chunk_shape(const Signature& sig, std::size_t requested)
 {
@@ -68,6 +80,7 @@ run_plr_sim(const Signature& sig,
         return {};
     const auto [m, block] = plr_chunk_shape(sig, opts.chunk);
     gpusim::Device device;
+    configure_device(device, opts);
     PlrKernel<Ring> kernel(make_plan_with_chunk(sig, input.size(), m, block));
     return kernel.run(device, input);
 }
@@ -82,6 +95,7 @@ run_scan(const Signature& sig,
         return {};
     const std::size_t chunk = opts.chunk ? opts.chunk : 1024;
     gpusim::Device device;
+    configure_device(device, opts);
     ScanBaseline<Ring> kernel(sig, input.size(), chunk);
     return kernel.run(device, input);
 }
@@ -96,6 +110,7 @@ run_cublike(const Signature& sig,
         return {};
     const std::size_t chunk = opts.chunk ? opts.chunk : 4096;
     gpusim::Device device;
+    configure_device(device, opts);
     CubLikeKernel<Ring> kernel(sig, input.size(), chunk);
     return kernel.run(device, input);
 }
@@ -113,6 +128,7 @@ run_samlike(const Signature& sig,
     const std::size_t chunk =
         opts.chunk ? std::max(opts.chunk, sig.order()) : 0;
     gpusim::Device device;
+    configure_device(device, opts);
     SamLikeKernel<Ring> kernel(sig, input.size(), chunk);
     return kernel.run(device, input);
 }

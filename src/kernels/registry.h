@@ -46,6 +46,17 @@ struct RunOptions {
     std::size_t chunk = 0;
     /** Host thread count for CPU backends; 0 = hardware concurrency. */
     std::size_t threads = 0;
+    /**
+     * Fault-injection seed for the simulated-GPU backends (see
+     * docs/FAULTS.md); 0 disables fault injection. CPU kernels ignore it.
+     */
+    std::uint64_t fault_seed = 0;
+    /**
+     * Spin-watchdog limit for the simulated-GPU backends; 0 keeps the
+     * device default ($PLR_SPIN_WATCHDOG or 200M spins). Fault tests lower
+     * it so wedges are detected in milliseconds.
+     */
+    std::uint64_t spin_watchdog = 0;
 };
 
 /** One registered kernel with type-erased entry points per domain. */

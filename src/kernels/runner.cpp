@@ -1,6 +1,12 @@
 #include "kernels/runner.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "gpusim/device.h"
 #include "kernels/cpu_parallel.h"
@@ -26,18 +32,97 @@ auto_plan(const Signature& sig, std::size_t n)
     return make_plan_with_chunk(sig, n, m, std::min<std::size_t>(m, 64));
 }
 
+std::string
+format_coefficients(const std::vector<double>& values)
+{
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        std::snprintf(buf, sizeof buf, "%.17g", values[i]);
+        if (i)
+            out += ',';
+        out += buf;
+    }
+    return out;
+}
+
+/**
+ * PR-1-style reproducer line for a GPU-backend failure, extended with the
+ * fault seed. seed=0 marks the input as caller-provided (not corpus-
+ * generated); the kernel/fault configuration is still fully replayable.
+ */
+std::string
+degraded_repro_line(const Signature& sig, const char* domain, std::size_t n,
+                    const RunnerOptions& options)
+{
+    std::ostringstream os;
+    os << "plr-repro:v1 kernel=plr_sim domain=" << domain
+       << " check=differential a=" << format_coefficients(sig.a())
+       << " b=" << format_coefficients(sig.b()) << " n=" << n
+       << " chunk=0 threads=0 seed=0";
+    if (options.fault_seed != 0)
+        os << " fault=" << options.fault_seed;
+    if (options.spin_watchdog != 0)
+        os << " watchdog=" << options.spin_watchdog;
+    return os.str();
+}
+
+/** Log a degradation reproducer to $PLR_REPRO_LOG and the caller's sink. */
+void
+log_degradation(const std::string& line, const std::string& why,
+                const RunnerOptions& options)
+{
+    if (options.repro_out)
+        *options.repro_out = line;
+    if (const char* path = std::getenv("PLR_REPRO_LOG")) {
+        std::ofstream out(path, std::ios::app);
+        if (out)
+            out << line << "\n";
+    }
+    std::cerr << "plr: simulated-GPU backend failed (" << why << "); "
+              << (options.on_failure == FailurePolicy::kDegradeToCpu
+                      ? "degrading to the CPU backend"
+                      : "failing fast")
+              << "\n"
+              << "plr: " << line << "\n";
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_gpu(const Signature& sig,
+        std::span<const typename Ring::value_type> input,
+        const RunnerOptions& options)
+{
+    gpusim::Device device;
+    if (options.fault_seed != 0)
+        device.set_fault_plan(std::make_shared<gpusim::FaultPlan>(
+            options.fault_seed, options.fault_config));
+    if (options.spin_watchdog != 0)
+        device.set_spin_watchdog_limit(options.spin_watchdog);
+    PlrKernel<Ring> kernel(auto_plan(sig, input.size()));
+    return kernel.run(device, input);
+}
+
 template <typename Ring>
 std::vector<typename Ring::value_type>
 dispatch(const Signature& sig, std::span<const typename Ring::value_type> input,
-         Backend backend)
+         const char* domain, const RunnerOptions& options)
 {
     PLR_REQUIRE(!input.empty(), "input must not be empty");
-    switch (backend) {
-      case Backend::kSimulatedGpu: {
-        gpusim::Device device;
-        PlrKernel<Ring> kernel(auto_plan(sig, input.size()));
-        return kernel.run(device, input);
-      }
+    switch (options.backend) {
+      case Backend::kSimulatedGpu:
+        try {
+            return run_gpu<Ring>(sig, input, options);
+        } catch (const PanicError& error) {
+            // LaunchError (watchdog wedge) or an internal invariant
+            // violation — not a user error (FatalError propagates).
+            const std::string line =
+                degraded_repro_line(sig, domain, input.size(), options);
+            log_degradation(line, error.what(), options);
+            if (options.on_failure == FailurePolicy::kFailFast)
+                throw;
+            return cpu_parallel_recurrence<Ring>(sig, input);
+        }
       case Backend::kCpu:
         return cpu_parallel_recurrence<Ring>(sig, input);
     }
@@ -50,20 +135,38 @@ std::vector<std::int32_t>
 run_recurrence(const Signature& sig, std::span<const std::int32_t> input,
                Backend backend)
 {
-    PLR_REQUIRE(sig.is_integral(),
-                "integer data needs an integral signature; " << sig.to_string()
-                << " has fractional (or max-plus) coefficients — use float "
-                   "data instead");
-    return dispatch<IntRing>(sig, input, backend);
+    RunnerOptions options;
+    options.backend = backend;
+    return run_recurrence(sig, input, options);
 }
 
 std::vector<float>
 run_recurrence(const Signature& sig, std::span<const float> input,
                Backend backend)
 {
+    RunnerOptions options;
+    options.backend = backend;
+    return run_recurrence(sig, input, options);
+}
+
+std::vector<std::int32_t>
+run_recurrence(const Signature& sig, std::span<const std::int32_t> input,
+               const RunnerOptions& options)
+{
+    PLR_REQUIRE(sig.is_integral(),
+                "integer data needs an integral signature; " << sig.to_string()
+                << " has fractional (or max-plus) coefficients — use float "
+                   "data instead");
+    return dispatch<IntRing>(sig, input, "int", options);
+}
+
+std::vector<float>
+run_recurrence(const Signature& sig, std::span<const float> input,
+               const RunnerOptions& options)
+{
     if (sig.is_max_plus())
-        return dispatch<TropicalRing>(sig, input, backend);
-    return dispatch<FloatRing>(sig, input, backend);
+        return dispatch<TropicalRing>(sig, input, "tropical", options);
+    return dispatch<FloatRing>(sig, input, "float", options);
 }
 
 }  // namespace plr::kernels

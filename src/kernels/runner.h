@@ -12,13 +12,21 @@
  * Signature::max_plus. The backend is either the simulated GPU (the PLR
  * kernel with the production Section-3 plan, scaled down for small
  * inputs) or the native multithreaded CPU implementation.
+ *
+ * The GPU backend degrades gracefully: when the launch wedges (watchdog
+ * LaunchError) or trips an internal invariant, the runner emits a
+ * `plr-repro:v1` line extended with the fault seed and — under the default
+ * kDegradeToCpu policy — recomputes on the CPU backend. Tests use
+ * kFailFast to surface the failure instead (see docs/FAULTS.md).
  */
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/signature.h"
+#include "gpusim/fault.h"
 
 namespace plr::kernels {
 
@@ -28,6 +36,28 @@ enum class Backend {
     kSimulatedGpu,
     /** Native std::thread two-phase implementation. */
     kCpu,
+};
+
+/** What run_recurrence does when the simulated-GPU backend fails. */
+enum class FailurePolicy {
+    /** Rethrow the failure (tests want to see the LaunchError). */
+    kFailFast,
+    /** Log a reproducer line and recompute on the CPU backend. */
+    kDegradeToCpu,
+};
+
+/** Extended knobs for run_recurrence. */
+struct RunnerOptions {
+    Backend backend = Backend::kSimulatedGpu;
+    FailurePolicy on_failure = FailurePolicy::kDegradeToCpu;
+    /** Fault-injection seed for the GPU backend (0 = off). */
+    std::uint64_t fault_seed = 0;
+    /** Fault config used when fault_seed != 0. */
+    gpusim::FaultConfig fault_config;
+    /** Spin-watchdog limit (0 = device default / $PLR_SPIN_WATCHDOG). */
+    std::uint64_t spin_watchdog = 0;
+    /** Receives the reproducer line on degradation; may be null. */
+    std::string* repro_out = nullptr;
 };
 
 /**
@@ -47,6 +77,17 @@ std::vector<std::int32_t> run_recurrence(const Signature& sig,
 std::vector<float> run_recurrence(const Signature& sig,
                                   std::span<const float> input,
                                   Backend backend = Backend::kSimulatedGpu);
+
+/** run_recurrence with the full option set (policy, faults, watchdog). */
+std::vector<std::int32_t> run_recurrence(const Signature& sig,
+                                         std::span<const std::int32_t> input,
+                                         const RunnerOptions& options);
+
+/** @copydoc run_recurrence(const Signature&, std::span<const std::int32_t>,
+ *           const RunnerOptions&) */
+std::vector<float> run_recurrence(const Signature& sig,
+                                  std::span<const float> input,
+                                  const RunnerOptions& options);
 
 }  // namespace plr::kernels
 

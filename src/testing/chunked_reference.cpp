@@ -4,6 +4,7 @@
 
 #include "core/correction_factors.h"
 #include "core/signature.h"
+#include "testing/fault_canary.h"
 #include "util/ring.h"
 
 namespace plr::testing {
@@ -147,8 +148,10 @@ conformance_kernels(bool include_broken)
 {
     std::vector<KernelInfo> kernels = kernels::kernel_registry();
     kernels.push_back(chunked_reference_kernel());
-    if (include_broken)
+    if (include_broken) {
         kernels.push_back(broken_factor_kernel());
+        kernels.push_back(wedge_canary_kernel());
+    }
     return kernels;
 }
 

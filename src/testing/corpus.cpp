@@ -201,6 +201,49 @@ full_corpus(std::uint64_t seed, std::size_t per_generator)
     return corpus;
 }
 
+std::vector<CorpusEntry>
+fault_corpus(std::uint64_t seed)
+{
+    std::vector<CorpusEntry> corpus;
+    corpus.push_back(
+        {"fault/prefix-sum-int", Signature({1.0}, {1.0}), Domain::kInt,
+         false});
+    corpus.push_back(
+        {"fault/prefix-sum-float", Signature({1.0}, {1.0}), Domain::kFloat,
+         false});
+    corpus.push_back(
+        {"fault/tuple2-int", Signature({1.0}, {0.0, 1.0}), Domain::kInt,
+         false});
+    corpus.push_back(
+        {"fault/order3-int", Signature({1.0}, {1.0, -2.0, 1.0}),
+         Domain::kInt, false});
+    Rng rng(seed);
+    corpus.push_back({"fault/near-denormal", near_denormal_decay_filter(rng),
+                      Domain::kFloat, true});
+    corpus.push_back({"fault/stable-lowpass", random_stable_filter(rng),
+                      Domain::kFloat, true});
+    return corpus;
+}
+
+std::vector<std::uint64_t>
+default_fault_seeds(std::size_t count)
+{
+    // splitmix64 stream from a fixed base so the schedule is stable
+    // across platforms and sessions (seed 0 is "faults off", never used).
+    std::vector<std::uint64_t> seeds;
+    std::uint64_t state = 0xFA171A7EDull;
+    while (seeds.size() < count) {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        if (z != 0)
+            seeds.push_back(z);
+    }
+    return seeds;
+}
+
 std::vector<std::size_t>
 conformance_sizes(std::size_t chunk, std::size_t order)
 {

@@ -88,6 +88,18 @@ std::vector<CorpusEntry> full_corpus(std::uint64_t seed = 0x51C0,
                                      std::size_t per_generator = 2);
 
 /**
+ * Compact corpus for fault-injection sweeps: the look-back-heavy shapes
+ * (prefix-sum family all four look-back kernels run, a higher-order
+ * integral signature, and the Section-3.1 pathological payloads — a
+ * near-denormal decay filter whose carries reach the denormal range and
+ * whose factor tails decay to all-zero). Deterministic in @p seed.
+ */
+std::vector<CorpusEntry> fault_corpus(std::uint64_t seed = 0xFA17);
+
+/** Deterministic fault-seed schedule (the CI fault matrix uses 16). */
+std::vector<std::uint64_t> default_fault_seeds(std::size_t count);
+
+/**
  * The input-size schedule for one kernel/signature pair: degenerate sizes
  * (0, 1, around the order k), sizes around one chunk (chunk-1, chunk,
  * chunk+1), and larger non-multiples of the chunk size. Sorted, deduped.

@@ -1,0 +1,137 @@
+#include "testing/fault_canary.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "kernels/lookback_chain.h"
+#include "util/ring.h"
+
+namespace plr::testing {
+
+namespace {
+
+using kernels::Domain;
+using kernels::KernelInfo;
+using kernels::RunOptions;
+
+/**
+ * Single-pass prefix sum over a LookbackChain, except that chunks whose
+ * victim coin hits die before publishing anything: no local carry, no
+ * global carry, no output. With zero or one chunk, or with no fault plan
+ * at all, the kernel is a correct decoupled-look-back prefix sum.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_wedge_canary(const Signature&,
+                 std::span<const typename Ring::value_type> input,
+                 const RunOptions& opts)
+{
+    using V = typename Ring::value_type;
+    if (input.empty())
+        return {};
+
+    const std::size_t n = input.size();
+    const std::size_t chunk = opts.chunk ? opts.chunk : 64;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+    gpusim::Device device;
+    std::shared_ptr<gpusim::FaultPlan> plan;
+    if (opts.fault_seed != 0) {
+        plan = std::make_shared<gpusim::FaultPlan>(opts.fault_seed);
+        device.set_fault_plan(plan);
+    }
+    if (opts.spin_watchdog != 0)
+        device.set_spin_watchdog_limit(opts.spin_watchdog);
+
+    auto in = device.alloc<V>(n, "wedge_canary.in");
+    auto out = device.alloc<V>(n, "wedge_canary.out");
+    device.upload(in, input);
+
+    kernels::LookbackChain<V> chain(device, num_chunks, 1,
+                                    kWedgeCanaryWindow, "wedge_canary");
+
+    auto body = [&](gpusim::BlockContext& ctx) {
+        const std::size_t chunk_id = ctx.block_index();
+        ctx.note_chunk(chunk_id);
+
+        // The deliberate protocol break: a victim chunk dies here, before
+        // either of its publications — the one single-chunk fault that
+        // wedges every successor (a dropped *global* alone heals, because
+        // later chunks anchor on a later global within the window).
+        if (plan != nullptr &&
+            plan->coin(kWedgeCanarySalt, chunk_id, kWedgeCanaryProbability))
+            return;
+
+        const std::size_t begin = chunk_id * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+
+        std::vector<V> sums(end - begin);
+        V running = Ring::zero();
+        for (std::size_t i = begin; i < end; ++i) {
+            running = Ring::add(running, ctx.ld(in, i));
+            sums[i - begin] = running;
+        }
+
+        std::vector<V> carry(1, Ring::zero());
+        if (chunk_id > 0) {
+            chain.publish_local(ctx, chunk_id, {running});
+            carry = chain.wait_and_resolve(
+                ctx, chunk_id,
+                [](std::vector<V> acc, const std::vector<V>& local) {
+                    acc[0] = Ring::add(acc[0], local[0]);
+                    return acc;
+                });
+        }
+        chain.publish_global(ctx, chunk_id,
+                             {Ring::add(carry[0], running)});
+
+        for (std::size_t i = begin; i < end; ++i)
+            ctx.st(out, i, Ring::add(carry[0], sums[i - begin]));
+    };
+
+    device.launch(num_chunks, body);
+
+    std::vector<V> result = device.download(out);
+    chain.free(device);
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+}  // namespace
+
+KernelInfo
+wedge_canary_kernel()
+{
+    KernelInfo info;
+    info.name = "wedge_canary";
+    info.description =
+        "deliberately protocol-broken look-back prefix sum: chunks chosen "
+        "by the fault seed die without publishing (fault-harness canary)";
+    info.supports = [](const Signature& sig, Domain domain) {
+        if (domain == Domain::kTropical || sig.is_max_plus())
+            return false;
+        return sig.a() == std::vector<double>{1.0} &&
+               sig.b() == std::vector<double>{1.0};
+    };
+    info.run_int = run_wedge_canary<IntRing>;
+    info.run_float = run_wedge_canary<FloatRing>;
+    return info;
+}
+
+std::size_t
+wedge_canary_victim(std::uint64_t fault_seed, std::size_t num_chunks)
+{
+    if (fault_seed == 0)
+        return gpusim::BlockForensics::kNone;
+    const gpusim::FaultPlan plan(fault_seed);
+    for (std::size_t q = 0; q < num_chunks; ++q) {
+        if (plan.coin(kWedgeCanarySalt, q, kWedgeCanaryProbability))
+            return q;
+    }
+    return gpusim::BlockForensics::kNone;
+}
+
+}  // namespace plr::testing

@@ -1,0 +1,52 @@
+#ifndef PLR_TESTING_FAULT_CANARY_H_
+#define PLR_TESTING_FAULT_CANARY_H_
+
+/**
+ * @file
+ * The fault harness's own canary: a look-back kernel with a deliberate
+ * protocol bug.
+ *
+ * "wedge_canary" is a prefix-sum kernel built on LookbackChain that is
+ * correct under benign execution — but when the device carries a
+ * FaultPlan, every chunk flips a deterministic coin
+ * (FaultPlan::coin(kWedgeCanarySalt, chunk, kWedgeCanaryProbability)) and
+ * a hit makes the chunk die without publishing either its local or its
+ * global carry, exactly the protocol break a crashed block would cause.
+ * Every successor then wedges, the watchdog trips, and the forensic dump
+ * must name the dead chunk (ForensicDump::suspect_chunk). Because the
+ * coin is keyed on the fault seed and the chunk index alone, tests can
+ * predict the victim for any seed (see tests/fault_injection_test.cpp).
+ */
+
+#include <cstdint>
+
+#include "kernels/registry.h"
+
+namespace plr::testing {
+
+/** Salt for the victim-selection coin (tests replicate the draw). */
+inline constexpr std::uint64_t kWedgeCanarySalt = 0x57ed6eull;
+
+/** Per-chunk probability that the canary chunk dies unpublished. */
+inline constexpr double kWedgeCanaryProbability = 0.2;
+
+/** Look-back window the canary's chain uses. */
+inline constexpr std::size_t kWedgeCanaryWindow = 8;
+
+/**
+ * The sabotaged look-back kernel ("wedge_canary"): prefix-sum family,
+ * int and float domains. Correct with RunOptions::fault_seed == 0.
+ */
+kernels::KernelInfo wedge_canary_kernel();
+
+/**
+ * Lowest chunk that dies under @p fault_seed with @p num_chunks chunks
+ * (BlockForensics::kNone when every coin misses). A wedge needs the
+ * victim to have at least one successor chunk.
+ */
+std::size_t wedge_canary_victim(std::uint64_t fault_seed,
+                                std::size_t num_chunks);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_FAULT_CANARY_H_

@@ -256,11 +256,19 @@ run_case(const kernels::KernelInfo& kernel, const std::string& entry_name,
          const OracleOptions& opts)
 {
     std::optional<std::string> detail;
-    if (domain == Domain::kInt)
-        detail = check_int(kernel, sig, check, n, run, input_seed, opts);
-    else
-        detail =
-            check_float(kernel, sig, domain, check, n, run, input_seed, opts);
+    try {
+        if (domain == Domain::kInt)
+            detail = check_int(kernel, sig, check, n, run, input_seed, opts);
+        else
+            detail = check_float(kernel, sig, domain, check, n, run,
+                                 input_seed, opts);
+    } catch (const PanicError& error) {
+        // A kernel-protocol failure (including a watchdog LaunchError) is a
+        // reportable, replayable conformance failure — it must not abort
+        // the rest of the sweep. FatalError (a harness usage error) still
+        // propagates.
+        detail = std::string("kernel raised: ") + error.what();
+    }
     if (!detail)
         return std::nullopt;
     return ConformanceFailure{kernel.name, entry_name, domain,   sig,
@@ -298,6 +306,8 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
             kernels::RunOptions run;
             run.chunk = opts.chunk;
             run.threads = opts.threads;
+            run.fault_seed = opts.fault_seed;
+            run.spin_watchdog = opts.spin_watchdog;
             for (std::size_t n : sizes) {
                 const std::uint64_t input_seed = derive_seed(
                     opts.input_seed, n * 2654435761u + entry.sig.order());

@@ -77,6 +77,13 @@ struct OracleOptions {
     std::size_t unstable_max_n = 256;
     /** Seed the per-case input seeds are derived from. */
     std::uint64_t input_seed = 0xD1FFC0DEull;
+    /**
+     * Fault-injection seed passed through to the simulated-GPU kernels
+     * (0 = faults off); the fault-matrix job sweeps this over 16 seeds.
+     */
+    std::uint64_t fault_seed = 0;
+    /** Spin-watchdog limit for GPU kernels (0 = device default). */
+    std::uint64_t spin_watchdog = 0;
     /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
     std::vector<std::size_t> sizes;
     /**

@@ -91,6 +91,10 @@ encode_reproducer(const ConformanceFailure& failure)
        << " b=" << format_coefficients(failure.sig.b()) << " n=" << failure.n
        << " chunk=" << failure.run.chunk << " threads=" << failure.run.threads
        << " seed=" << failure.input_seed;
+    if (failure.run.fault_seed != 0)
+        os << " fault=" << failure.run.fault_seed;
+    if (failure.run.spin_watchdog != 0)
+        os << " watchdog=" << failure.run.spin_watchdog;
     return os.str();
 }
 
@@ -131,6 +135,10 @@ parse_reproducer(const std::string& line)
         repro.run.chunk = parse_u64(fields["chunk"], "chunk");
     if (fields.count("threads"))
         repro.run.threads = parse_u64(fields["threads"], "threads");
+    if (fields.count("fault"))
+        repro.run.fault_seed = parse_u64(fields["fault"], "fault");
+    if (fields.count("watchdog"))
+        repro.run.spin_watchdog = parse_u64(fields["watchdog"], "watchdog");
     repro.input_seed = parse_u64(fields["seed"], "seed");
     (void)repro.signature();  // validate the coefficient lists eagerly
     return repro;

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The fault-injection engine, the protocol watchdog with its forensic
+ * dump, and the runner's graceful degradation (docs/FAULTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "gpusim/device.h"
+#include "gpusim/fault.h"
+#include "kernels/lookback_chain.h"
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "kernels/serial.h"
+#include "testing/fault_canary.h"
+#include "util/ring.h"
+
+namespace plr {
+namespace {
+
+using gpusim::BlockContext;
+using gpusim::Device;
+using gpusim::FaultConfig;
+using gpusim::FaultPlan;
+using gpusim::LaunchError;
+
+// ------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlan, LaunchOrderIsASeedDeterministicPermutation)
+{
+    const FaultPlan plan(42);
+    const auto order = plan.launch_order(97);
+    EXPECT_EQ(order, plan.launch_order(97));
+    std::set<std::size_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 97u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 96u);
+    // A different seed yields a different shuffle (97! makes a collision
+    // effectively impossible).
+    EXPECT_NE(order, FaultPlan(43).launch_order(97));
+    // Shuffling off restores identity order.
+    FaultConfig no_shuffle;
+    no_shuffle.shuffle_launch_order = false;
+    const FaultPlan plain(42, no_shuffle);
+    const auto identity = plain.launch_order(5);
+    for (std::size_t i = 0; i < identity.size(); ++i)
+        EXPECT_EQ(identity[i], i);
+}
+
+TEST(FaultPlan, CoinIsOrderIndependentAndSeedSensitive)
+{
+    const FaultPlan plan(7);
+    // Same (salt, index) always lands the same way, regardless of call
+    // order — the canary predicts victims with exactly this property.
+    const bool first = plan.coin(1, 10, 0.5);
+    (void)plan.coin(1, 11, 0.5);
+    (void)plan.coin(2, 10, 0.5);
+    EXPECT_EQ(plan.coin(1, 10, 0.5), first);
+    EXPECT_FALSE(plan.coin(1, 10, 0.0));
+    EXPECT_TRUE(plan.coin(1, 10, 1.0));
+    // About half of 1000 indices should hit at p = 0.5.
+    std::size_t hits = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        hits += plan.coin(3, i, 0.5) ? 1 : 0;
+    EXPECT_GT(hits, 400u);
+    EXPECT_LT(hits, 600u);
+}
+
+// ------------------------------------------------ watchdog configuration
+
+TEST(Watchdog, LimitIsConfigurablePerDevice)
+{
+    Device device;
+    const std::uint64_t original = device.spin_watchdog_limit();
+    EXPECT_GT(original, 0u);
+    device.set_spin_watchdog_limit(1234);
+    EXPECT_EQ(device.spin_watchdog_limit(), 1234u);
+    device.set_spin_watchdog_limit(0);  // restore the default
+    EXPECT_EQ(device.spin_watchdog_limit(), original);
+}
+
+TEST(Watchdog, EnvironmentOverridesTheDefault)
+{
+    const char* prior = std::getenv("PLR_SPIN_WATCHDOG");
+    const std::string saved = prior ? prior : "";
+    ::setenv("PLR_SPIN_WATCHDOG", "5678", 1);
+    {
+        Device device;
+        EXPECT_EQ(device.spin_watchdog_limit(), 5678u);
+    }
+    ::setenv("PLR_SPIN_WATCHDOG", "not-a-number", 1);
+    {
+        Device device;
+        EXPECT_EQ(device.spin_watchdog_limit(), 200'000'000u);
+    }
+    ::unsetenv("PLR_SPIN_WATCHDOG");
+    {
+        Device device;
+        EXPECT_EQ(device.spin_watchdog_limit(), 200'000'000u);
+    }
+    if (prior)
+        ::setenv("PLR_SPIN_WATCHDOG", saved.c_str(), 1);
+}
+
+TEST(Watchdog, TripProducesAForensicDump)
+{
+    // One block spins on a flag nobody ever publishes: the watchdog must
+    // convert the wedge into a LaunchError whose dump records what the
+    // block was doing.
+    Device device;
+    device.set_spin_watchdog_limit(10'000);
+    auto flag = device.alloc<std::uint32_t>(4, "flag");
+    try {
+        device.launch(1, [&](BlockContext& ctx) {
+            ctx.note_chunk(2);
+            while (ctx.ld_acquire(flag, 1) == 0) {
+                ctx.note_wait(1, "test-wait");
+                ctx.spin_wait();
+            }
+        });
+        FAIL() << "expected LaunchError";
+    } catch (const LaunchError& error) {
+        const gpusim::ForensicDump& dump = error.dump();
+        EXPECT_EQ(dump.reason.find("deadlock watchdog"), 0u);
+        EXPECT_EQ(dump.spin_limit, 10'000u);
+        EXPECT_FALSE(dump.faults_active);
+        ASSERT_EQ(dump.blocks.size(), 1u);
+        EXPECT_EQ(dump.blocks[0].block_index, 0u);
+        EXPECT_EQ(dump.blocks[0].chunk, 2u);
+        EXPECT_EQ(dump.blocks[0].waiting_on, 1u);
+        EXPECT_EQ(dump.blocks[0].wait_site, "test-wait");
+        EXPECT_GT(dump.blocks[0].spins, 10'000u);
+        const std::string text = dump.format();
+        EXPECT_NE(text.find("block 0: chunk 2, waiting on chunk 1"),
+                  std::string::npos)
+            << text;
+    }
+}
+
+TEST(Watchdog, ProgressNotesResetTheEpisodeCounter)
+{
+    // Total spins exceed the limit, but each wait episode stays under it:
+    // note_progress must keep the watchdog quiet.
+    Device device;
+    device.set_spin_watchdog_limit(1'000);
+    auto flag = device.alloc<std::uint32_t>(1, "flag");
+    EXPECT_NO_THROW(device.launch(1, [&](BlockContext& ctx) {
+        (void)flag;
+        for (int episode = 0; episode < 10; ++episode) {
+            for (int s = 0; s < 900; ++s) {
+                ctx.note_wait(0, "episodic");
+                ctx.spin_wait();
+            }
+            ctx.note_progress();
+        }
+    }));
+}
+
+// -------------------------------------------------- failure propagation
+
+TEST(FailurePropagation, FirstErrorWinsDeterministically)
+{
+    // A crashing block must abort its spinning peer, and the reported
+    // error must ALWAYS be the primary failure — never the teardown of
+    // the victim. Repeat to give a racy implementation every chance to
+    // misreport.
+    for (int round = 0; round < 20; ++round) {
+        Device device;
+        auto flag = device.alloc<std::uint32_t>(1, "flag");
+        try {
+            device.launch(
+                2,
+                [&](BlockContext& ctx) {
+                    if (ctx.block_index() == 1)
+                        PLR_FATAL("primary failure");
+                    while (ctx.ld_acquire(flag, 0) == 0)
+                        ctx.spin_wait();
+                },
+                /*max_resident=*/2);
+            FAIL() << "expected the primary failure to propagate";
+        } catch (const FatalError& error) {
+            EXPECT_NE(std::string(error.what()).find("primary failure"),
+                      std::string::npos)
+                << "round " << round << " reported: " << error.what();
+        }
+    }
+}
+
+// ------------------------------------------- benign faults are harmless
+
+TEST(FaultInjection, BenignFaultsPreserveLookbackResults)
+{
+    // The full benign arsenal — shuffled launch, stalls, stale flag
+    // re-reads, torn reads, deferred publications — must never change
+    // what a correct look-back protocol computes.
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 0xDEADull}) {
+        Device device;
+        device.set_fault_plan(std::make_shared<FaultPlan>(seed));
+        device.set_spin_watchdog_limit(5'000'000);
+        const std::size_t chunks = 40;
+        kernels::LookbackChain<std::int32_t> chain(device, chunks, 1, 8,
+                                                   "benign");
+        auto results = device.alloc<std::uint32_t>(chunks, "results");
+        auto fold = [](std::vector<std::int32_t> carry,
+                       const std::vector<std::int32_t>& local) {
+            carry[0] += local[0];
+            return carry;
+        };
+        device.launch(chunks, [&](BlockContext& ctx) {
+            const std::size_t q = ctx.block_index();
+            chain.publish_local(ctx, q, {3});
+            std::vector<std::int32_t> carry = {0};
+            if (q > 0)
+                carry = chain.wait_and_resolve(ctx, q, fold);
+            chain.publish_global(ctx, q, {carry[0] + 3});
+            ctx.st(results, q, static_cast<std::uint32_t>(carry[0]));
+        });
+        const auto host = device.download(results);
+        for (std::size_t q = 0; q < chunks; ++q)
+            ASSERT_EQ(host[q], 3 * q) << "seed " << seed << " chunk " << q;
+        // The seeds above are chosen to actually exercise the machinery.
+        const gpusim::FaultStats stats = device.fault_plan()->stats();
+        EXPECT_GT(stats.stale_flag_reads + stats.torn_reads +
+                      stats.deferred_publishes + stats.stalls,
+                  0u)
+            << "seed " << seed << " injected nothing";
+        chain.free(device);
+    }
+}
+
+// --------------------------------------------------- the wedge canary
+
+TEST(WedgeCanary, IsCorrectWithoutFaults)
+{
+    const auto info = testing::wedge_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    std::vector<std::int32_t> input(333);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<std::int32_t>(i % 17) - 8;
+    const auto got = info.run_int(sig, input, {});
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(WedgeCanary, WatchdogNamesTheDeadChunk)
+{
+    // Find a fault seed whose first victim chunk has successors, run the
+    // deliberately broken kernel under it, and require the forensic dump
+    // to finger exactly that chunk.
+    const std::size_t chunk = 64;
+    const std::size_t n = 64 * 12;  // 12 chunks
+    const std::size_t num_chunks = n / chunk;
+    std::uint64_t seed = 0;
+    std::size_t victim = gpusim::BlockForensics::kNone;
+    for (std::uint64_t candidate = 1; candidate < 64; ++candidate) {
+        const std::size_t v =
+            testing::wedge_canary_victim(candidate, num_chunks);
+        if (v != gpusim::BlockForensics::kNone && v + 1 < num_chunks) {
+            seed = candidate;
+            victim = v;
+            break;
+        }
+    }
+    ASSERT_NE(seed, 0u) << "no usable canary seed below 64?!";
+
+    const auto info = testing::wedge_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    std::vector<std::int32_t> input(n, 1);
+    kernels::RunOptions run;
+    run.chunk = chunk;
+    run.fault_seed = seed;
+    run.spin_watchdog = 200'000;
+    try {
+        (void)info.run_int(sig, input, run);
+        FAIL() << "canary seed " << seed << " did not wedge";
+    } catch (const LaunchError& error) {
+        EXPECT_EQ(error.dump().suspect_chunk(), victim)
+            << error.dump().format();
+        // The suspect is named in both the message and the dump text.
+        const std::string what = error.what();
+        EXPECT_NE(what.find("suspect chunk " + std::to_string(victim)),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(error.dump().format().find(
+                      "suspect chunk: " + std::to_string(victim)),
+                  std::string::npos);
+        EXPECT_TRUE(error.dump().faults_active);
+        EXPECT_EQ(error.dump().fault_seed, seed);
+    }
+}
+
+// ------------------------------------------------- runner degradation
+
+TEST(RunnerDegradation, FallsBackToCpuBitIdentically)
+{
+    // Dropping EVERY flag publication wedges the look-back immediately;
+    // under kDegradeToCpu the runner must log a replayable line and
+    // return the CPU backend's (exact) result.
+    const Signature sig({1.0}, {1.0});
+    std::vector<std::int32_t> input(300);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<std::int32_t>(3 * i) - 50;
+
+    kernels::RunnerOptions options;
+    options.on_failure = kernels::FailurePolicy::kDegradeToCpu;
+    options.fault_seed = 99;
+    options.fault_config.drop_publish_probability = 1.0;
+    options.spin_watchdog = 100'000;
+    std::string repro;
+    options.repro_out = &repro;
+
+    const auto got = kernels::run_recurrence(
+        sig, std::span<const std::int32_t>(input), options);
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, input));
+    EXPECT_EQ(repro.find("plr-repro:v1"), 0u) << repro;
+    EXPECT_NE(repro.find("kernel=plr_sim"), std::string::npos) << repro;
+    EXPECT_NE(repro.find("fault=99"), std::string::npos) << repro;
+    EXPECT_NE(repro.find("watchdog=100000"), std::string::npos) << repro;
+}
+
+TEST(RunnerDegradation, FailFastSurfacesTheLaunchError)
+{
+    const Signature sig({1.0}, {1.0});
+    const std::vector<std::int32_t> input(300, 1);
+
+    kernels::RunnerOptions options;
+    options.on_failure = kernels::FailurePolicy::kFailFast;
+    options.fault_seed = 99;
+    options.fault_config.drop_publish_probability = 1.0;
+    options.spin_watchdog = 100'000;
+    std::string repro;
+    options.repro_out = &repro;
+
+    EXPECT_THROW((void)kernels::run_recurrence(
+                     sig, std::span<const std::int32_t>(input), options),
+                 PanicError);
+    // The reproducer is still logged before rethrowing.
+    EXPECT_EQ(repro.find("plr-repro:v1"), 0u) << repro;
+}
+
+TEST(RunnerDegradation, FaultFreeRunsDoNotDegrade)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const std::vector<std::int32_t> input(1000, 2);
+    kernels::RunnerOptions options;
+    std::string repro;
+    options.repro_out = &repro;
+    const auto got = kernels::run_recurrence(
+        sig, std::span<const std::int32_t>(input), options);
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, input));
+    EXPECT_TRUE(repro.empty()) << repro;
+}
+
+}  // namespace
+}  // namespace plr

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gpusim/device.h"
 
 namespace plr::kernels {
@@ -135,6 +137,68 @@ TEST(LookbackChain, WindowOneStillMakesProgress)
     const auto host = device.download(results);
     for (std::size_t q = 0; q < chunks; ++q)
         EXPECT_EQ(host[q], 2 * q);
+    chain.free(device);
+}
+
+TEST(LookbackChain, SaturatedWindowDrainsCorrectly)
+{
+    // Wedge the chain's head on purpose: chunk 0 refuses to publish its
+    // global state until EVERY other chunk has published its local one.
+    // Until then no global exists anywhere, so every chunk beyond the
+    // window is pinned at maximum look-back distance (the saturation the
+    // paper's window bound c <= 32 is about). Once chunk 0 releases, the
+    // resolution wave must drain the backlog to the exact sums.
+    Device device;
+    const std::size_t window = 4;
+    const std::size_t chunks =
+        std::min<std::size_t>(40, device.spec().max_resident_blocks());
+    ASSERT_GT(chunks, window + 2);
+    LookbackChain<std::int32_t> chain(device, chunks, 1, window, "t");
+    auto results = device.alloc<std::uint32_t>(chunks, "r");
+    auto distances = device.alloc<std::uint32_t>(chunks, "d");
+    auto published = device.alloc<std::uint32_t>(1, "gate");
+
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+    device.launch(
+        chunks,
+        [&](BlockContext& ctx) {
+            const std::size_t q = ctx.block_index();
+            chain.publish_local(ctx, q, {1});
+            if (q > 0)
+                ctx.atomic_add(published, 0, 1);
+            std::vector<std::int32_t> carry = {0};
+            std::size_t distance = 0;
+            if (q == 0) {
+                while (ctx.ld_acquire(published, 0) <
+                       static_cast<std::uint32_t>(chunks - 1)) {
+                    ctx.note_wait(chunks - 1, "gate");
+                    ctx.spin_wait();
+                }
+                ctx.note_progress();
+            } else {
+                carry = chain.wait_and_resolve(ctx, q, fold, &distance);
+            }
+            chain.publish_global(ctx, q, {carry[0] + 1});
+            ctx.st(results, q, static_cast<std::uint32_t>(carry[0]));
+            ctx.st(distances, q, static_cast<std::uint32_t>(distance));
+        },
+        /*max_resident=*/chunks);
+
+    const auto host = device.download(results);
+    const auto dist = device.download(distances);
+    for (std::size_t q = 0; q < chunks; ++q) {
+        EXPECT_EQ(host[q], q) << q;
+        // Even under full saturation no chunk may anchor beyond its
+        // window (which exact anchor each chunk gets once the wave starts
+        // is timing-dependent; the bound is the contract).
+        EXPECT_LE(dist[q], window) << q;
+    }
+    for (std::size_t q = 1; q < chunks; ++q)
+        EXPECT_GE(dist[q], 1u) << q;
     chain.free(device);
 }
 

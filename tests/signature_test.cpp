@@ -81,6 +81,76 @@ TEST(Signature, RejectsEmpty)
     EXPECT_THROW(Signature::parse("   "), FatalError);
 }
 
+// ----------------------------------------- parse diagnostics (columns)
+
+/** The 1-based column parse() rejects @p text at. */
+std::size_t
+rejected_column(const std::string& text, bool allow_fir = false)
+{
+    try {
+        (void)Signature::parse(text, allow_fir);
+    } catch (const SignatureParseError& error) {
+        EXPECT_NE(std::string(error.what()).find("column"),
+                  std::string::npos)
+            << error.what();
+        return error.column();
+    }
+    ADD_FAILURE() << "'" << text << "' parsed without error";
+    return 0;
+}
+
+TEST(SignatureParse, NonNumericTokenIsPinpointed)
+{
+    EXPECT_EQ(rejected_column("(1: one)"), 5u);
+    EXPECT_EQ(rejected_column("(x: 1)"), 2u);
+}
+
+TEST(SignatureParse, CommaGrammarIsStrict)
+{
+    EXPECT_EQ(rejected_column("(1: 1,)"), 7u);    // trailing comma
+    EXPECT_EQ(rejected_column("(1:, 1)"), 4u);    // leading comma
+    EXPECT_EQ(rejected_column("(1,,2: 1)"), 4u);  // doubled comma
+    EXPECT_EQ(rejected_column("(1 2: 1)"), 4u);   // missing comma
+}
+
+TEST(SignatureParse, EmptyListsAreRejectedWithPosition)
+{
+    EXPECT_EQ(rejected_column("(: 1)"), 2u);  // empty feed-forward
+    EXPECT_EQ(rejected_column("(1: )"), 5u);  // empty feedback
+    // An empty feedback list is a pure map op, legal only under allow_fir.
+    const auto fir = Signature::parse("(1, 2: )", /*allow_fir=*/true);
+    EXPECT_EQ(fir.order(), 0u);
+}
+
+TEST(SignatureParse, NonFiniteCoefficientsAreRejected)
+{
+    // strtod happily parses nan/inf/infinity; the DSL must not.
+    EXPECT_EQ(rejected_column("(nan: 1)"), 2u);
+    EXPECT_EQ(rejected_column("(1: inf)"), 5u);
+    EXPECT_EQ(rejected_column("(1: -infinity)"), 5u);
+}
+
+TEST(SignatureParse, StructuralErrorsCarryColumns)
+{
+    EXPECT_EQ(rejected_column("(1: 1: 1)"), 6u);  // second ':'
+    EXPECT_EQ(rejected_column("(1: 1"), 1u);      // '(' never closed
+    EXPECT_EQ(rejected_column("1: 1)"), 5u);      // ')' never opened
+}
+
+TEST(SignatureParse, ParseErrorIsAFatalError)
+{
+    // Existing catch sites (CLI tools, tests) handle FatalError; the
+    // typed diagnostic must stay inside that hierarchy.
+    EXPECT_THROW(Signature::parse("(1: oops)"), FatalError);
+    try {
+        (void)Signature::parse("(1: oops)");
+    } catch (const FatalError& error) {
+        EXPECT_NE(std::string(error.what()).find("at column 5"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(Signature, RoundTripsThroughToString)
 {
     const auto sig = Signature::parse("(1, -2.5: 0, 1)");
