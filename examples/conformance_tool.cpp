@@ -35,6 +35,7 @@ usage()
            "  run     [--kernels a,b] [--seed S] [--per-generator N]\n"
            "          [--chunk M] [--no-metamorphic] [--include-broken]\n"
            "          [--fault-seed S] [--watchdog N] [--fault-corpus]\n"
+           "          [--race-detect] [--invariants]\n"
            "          [--repro-log FILE]   run the conformance sweep\n"
            "  replay  '<reproducer line>'  re-run one failing case\n"
            "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
@@ -85,6 +86,11 @@ cmd_run(const plr::CliArgs& args)
     opts.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
     opts.spin_watchdog =
         static_cast<std::uint64_t>(args.get_int("watchdog", 0));
+    // Happens-before race detector / protocol invariant checker on the
+    // simulated-GPU kernels (docs/ANALYSIS.md). Failures carry a race=
+    // token so replay re-enables the same detectors.
+    opts.race_detect = args.get_bool("race-detect", false);
+    opts.invariants = args.get_bool("invariants", false);
     opts.repro_log = args.get("repro-log", "");
 
     const auto report = run_conformance(kernels, corpus, opts);

@@ -1,0 +1,262 @@
+#include "analysis/invariant_checker.h"
+
+#include <sstream>
+#include <utility>
+
+namespace plr::analysis {
+
+InvariantChecker::InvariantChecker(
+    std::vector<ProtocolSpec> protocols, std::size_t num_blocks,
+    const std::vector<gpusim::AllocationRecord>* ledger,
+    const ShadowMemory* shadow)
+    : acquired_(num_blocks), ledger_(ledger), shadow_(shadow)
+{
+    for (ProtocolSpec& spec : protocols) {
+        const std::size_t index = protocols_.size();
+        ProtoState state;
+        state.spec = std::move(spec);
+        state.local_flags.resize(state.spec.num_chunks);
+        state.global_flags.resize(state.spec.num_chunks);
+        bindings_[state.spec.local_flags] = {index, Role::kLocalFlags};
+        bindings_[state.spec.global_flags] = {index, Role::kGlobalFlags};
+        bindings_[state.spec.local_state] = {index, Role::kLocalState};
+        bindings_[state.spec.global_state] = {index, Role::kGlobalState};
+        protocols_.push_back(std::move(state));
+    }
+}
+
+bool
+InvariantChecker::is_flags(Role role)
+{
+    return role == Role::kLocalFlags || role == Role::kGlobalFlags;
+}
+
+bool
+InvariantChecker::tracks(std::size_t alloc_id) const
+{
+    return bindings_.count(alloc_id) != 0;
+}
+
+const InvariantChecker::Binding*
+InvariantChecker::binding_for(std::size_t alloc_id) const
+{
+    auto it = bindings_.find(alloc_id);
+    return it == bindings_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+InvariantChecker::chunk_bytes(const ProtoState& proto) const
+{
+    return proto.spec.width * proto.spec.value_bytes;
+}
+
+AccessRecord
+InvariantChecker::make_record(const AccessContext& ctx, std::size_t alloc_id,
+                              std::uint64_t offset, std::size_t bytes,
+                              AccessKind kind) const
+{
+    AccessRecord record;
+    record.block = ctx.block;
+    record.chunk = ctx.chunk;
+    if (ctx.site != nullptr)
+        record.site = ctx.site;
+    if (alloc_id < ledger_->size())
+        record.buffer = (*ledger_)[alloc_id].label;
+    record.alloc_id = alloc_id;
+    record.offset = offset;
+    record.bytes = bytes;
+    record.kind = kind;
+    return record;
+}
+
+void
+InvariantChecker::add(std::vector<InvariantViolation>* out,
+                      const ProtoState& proto, std::string rule,
+                      std::size_t chunk, AccessRecord at, std::string detail)
+{
+    if (out == nullptr)
+        return;
+    InvariantViolation violation;
+    violation.protocol = proto.spec.label;
+    violation.rule = std::move(rule);
+    violation.chunk = chunk;
+    violation.at = std::move(at);
+    violation.detail = std::move(detail);
+    out->push_back(std::move(violation));
+}
+
+std::uint64_t
+InvariantChecker::flag_key(std::size_t proto, Role role, std::uint64_t chunk)
+{
+    const std::uint64_t kind = role == Role::kGlobalFlags ? 1 : 0;
+    return (static_cast<std::uint64_t>(proto) << 33) | (kind << 32) | chunk;
+}
+
+void
+InvariantChecker::on_release(const AccessContext& ctx, std::size_t alloc_id,
+                             std::uint64_t word, std::uint32_t value,
+                             const VectorClock& fence_vc,
+                             std::vector<InvariantViolation>* out)
+{
+    const Binding* binding = binding_for(alloc_id);
+    if (binding == nullptr)
+        return;
+    ProtoState& proto = protocols_[binding->proto];
+    if (!is_flags(binding->role) || word >= proto.spec.num_chunks)
+        return;
+    const bool global = binding->role == Role::kGlobalFlags;
+    FlagState& flag =
+        global ? proto.global_flags[word] : proto.local_flags[word];
+    const AccessRecord at = make_record(ctx, alloc_id, word * 4, 4,
+                                        AccessKind::kRelease);
+
+    if (value == 0) {
+        add(out, proto, "flag-monotonic", word, at,
+            "flag released back to 0 (flags are 0 -> nonzero monotonic)");
+    } else if (value < flag.value) {
+        std::ostringstream os;
+        os << "flag value decreased from " << flag.value << " to " << value;
+        add(out, proto, "flag-monotonic", word, at, os.str());
+    }
+    if (flag.publishes != 0) {
+        std::ostringstream os;
+        os << (global ? "global" : "local") << " flag already published by "
+           << "block " << flag.publisher << " (exactly-once rule)";
+        add(out, proto, "publish-once", word, at, os.str());
+    }
+
+    // Fence coverage: every carry word of this chunk that has been written
+    // must have been written by the publishing block at or before its last
+    // __threadfence — otherwise the release publishes a clock that does not
+    // cover the carry, and an acquiring reader still races with it.
+    // Unwritten words are legal (a trailing chunk publishes a partial carry).
+    const std::size_t state_alloc =
+        global ? proto.spec.global_state : proto.spec.local_state;
+    const std::size_t cb = chunk_bytes(proto);
+    const auto [first, last] =
+        ShadowMemory::word_span(word * cb, cb);
+    for (std::uint64_t w = first; w <= last; ++w) {
+        const WordAccess* write = shadow_->write_info(state_alloc, w);
+        if (write == nullptr)
+            continue;
+        if (write->block != ctx.block) {
+            std::ostringstream os;
+            os << "carry word " << w << " was written by block "
+               << write->block << ", not the publisher";
+            add(out, proto, "foreign-carry", word, at, os.str());
+            break;
+        }
+        if (write->clock > fence_vc.get(ctx.block)) {
+            std::ostringstream os;
+            os << "carry word " << w << " written at epoch " << write->clock
+               << " but the publisher's last fence only covers epoch "
+               << fence_vc.get(ctx.block)
+               << " (missing __threadfence before release)";
+            add(out, proto, "unfenced-carry", word, at, os.str());
+            break;
+        }
+    }
+
+    flag.value = value;
+    flag.publishes++;
+    if (flag.publisher == kNone)
+        flag.publisher = ctx.block;
+}
+
+void
+InvariantChecker::on_acquire(const AccessContext& ctx, std::size_t alloc_id,
+                             std::uint64_t word, std::uint32_t observed)
+{
+    const Binding* binding = binding_for(alloc_id);
+    if (binding == nullptr || !is_flags(binding->role) || observed == 0 ||
+        ctx.block >= acquired_.size())
+        return;
+    acquired_[ctx.block].insert(flag_key(binding->proto, binding->role, word));
+}
+
+void
+InvariantChecker::on_write(const AccessContext& ctx, std::size_t alloc_id,
+                           std::uint64_t offset, std::size_t bytes,
+                           std::vector<InvariantViolation>* out)
+{
+    const Binding* binding = binding_for(alloc_id);
+    if (binding == nullptr || bytes == 0)
+        return;
+    ProtoState& proto = protocols_[binding->proto];
+
+    if (is_flags(binding->role)) {
+        add(out, proto, "plain-flag-store", offset / 4,
+            make_record(ctx, alloc_id, offset, bytes, AccessKind::kWrite),
+            "flag words must be published with st_release, not plain stores");
+        return;
+    }
+
+    // Carry stores are only legal before the owning flag is released.
+    const bool global = binding->role == Role::kGlobalState;
+    const std::size_t cb = chunk_bytes(proto);
+    for (std::size_t c = offset / cb; c <= (offset + bytes - 1) / cb; ++c) {
+        if (c >= proto.spec.num_chunks)
+            break;
+        const FlagState& flag =
+            global ? proto.global_flags[c] : proto.local_flags[c];
+        if (flag.publishes != 0) {
+            std::ostringstream os;
+            os << "carry for chunk " << c << " written after its "
+               << (global ? "global" : "local") << " flag was released";
+            add(out, proto, "carry-after-publish", c,
+                make_record(ctx, alloc_id, offset, bytes, AccessKind::kWrite),
+                os.str());
+            break;
+        }
+    }
+}
+
+void
+InvariantChecker::on_read(const AccessContext& ctx, std::size_t alloc_id,
+                          std::uint64_t offset, std::size_t bytes,
+                          std::vector<InvariantViolation>* out)
+{
+    const Binding* binding = binding_for(alloc_id);
+    if (binding == nullptr || is_flags(binding->role) || bytes == 0 ||
+        ctx.block >= acquired_.size())
+        return;
+    ProtoState& proto = protocols_[binding->proto];
+    const bool global = binding->role == Role::kGlobalState;
+    const Role flag_role = global ? Role::kGlobalFlags : Role::kLocalFlags;
+    const std::size_t cb = chunk_bytes(proto);
+
+    for (std::size_t c = offset / cb; c <= (offset + bytes - 1) / cb; ++c) {
+        if (c >= proto.spec.num_chunks)
+            break;
+        if (acquired_[ctx.block].count(
+                flag_key(binding->proto, flag_role, c)) != 0)
+            continue;
+        // Re-reading a carry this block wrote itself needs no flag. A slot
+        // nobody wrote yet is NOT exempt: reading it unacquired is exactly
+        // the early-read bug, merely scheduled before the writer.
+        const auto [first, last] = ShadowMemory::word_span(c * cb, cb);
+        bool own = false;
+        bool foreign = false;
+        for (std::uint64_t w = first; w <= last && !foreign; ++w) {
+            const WordAccess* write = shadow_->write_info(alloc_id, w);
+            if (write == nullptr)
+                continue;
+            if (write->block == ctx.block)
+                own = true;
+            else
+                foreign = true;
+        }
+        if (own && !foreign)
+            continue;
+        std::ostringstream os;
+        os << "block " << ctx.block << " read the "
+           << (global ? "global" : "local") << " carry of chunk " << c
+           << " without acquiring its flag";
+        add(out, proto, "unacquired-carry-read", c,
+            make_record(ctx, alloc_id, offset, bytes, AccessKind::kRead),
+            os.str());
+        break;
+    }
+}
+
+}  // namespace plr::analysis

@@ -1,0 +1,109 @@
+#ifndef PLR_ANALYSIS_INVARIANT_CHECKER_H_
+#define PLR_ANALYSIS_INVARIANT_CHECKER_H_
+
+/**
+ * @file
+ * Look-back protocol linter. Consumes the same instrumentation stream as
+ * the race detector, but checks the *protocol* rather than the memory
+ * model: flags transition monotonically (invalid → published) and are
+ * published exactly once per chunk, carries are fenced before their flag
+ * is released, and no block reads a carry whose flag it has not acquired.
+ * See docs/ANALYSIS.md for the full rule list.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/race_report.h"
+#include "analysis/shadow_memory.h"
+#include "analysis/vector_clock.h"
+
+namespace plr::analysis {
+
+class InvariantChecker {
+  public:
+    /**
+     * @param ledger the MemoryPool ledger (labels for reports)
+     * @param shadow the race detector's shadow (fence-coverage rule reads
+     *        each carry word's last writer from it); must outlive this
+     *        checker and receive every access before the checker does
+     */
+    InvariantChecker(std::vector<ProtocolSpec> protocols,
+                     std::size_t num_blocks,
+                     const std::vector<gpusim::AllocationRecord>* ledger,
+                     const ShadowMemory* shadow);
+
+    /** True when no registered protocol owns @p alloc_id (fast path). */
+    bool tracks(std::size_t alloc_id) const;
+
+    // Hooks; all called under the LaunchAnalysis lock, shadow-first.
+    void on_read(const AccessContext& ctx, std::size_t alloc_id,
+                 std::uint64_t offset, std::size_t bytes,
+                 std::vector<InvariantViolation>* out);
+    void on_write(const AccessContext& ctx, std::size_t alloc_id,
+                  std::uint64_t offset, std::size_t bytes,
+                  std::vector<InvariantViolation>* out);
+    void on_acquire(const AccessContext& ctx, std::size_t alloc_id,
+                    std::uint64_t word, std::uint32_t observed);
+    /**
+     * @param fence_vc the publishing block's clock as of its last
+     *        __threadfence (the clock the release actually publishes)
+     */
+    void on_release(const AccessContext& ctx, std::size_t alloc_id,
+                    std::uint64_t word, std::uint32_t value,
+                    const VectorClock& fence_vc,
+                    std::vector<InvariantViolation>* out);
+
+  private:
+    enum class Role : std::uint8_t {
+        kLocalFlags,
+        kGlobalFlags,
+        kLocalState,
+        kGlobalState,
+    };
+    static bool is_flags(Role role);
+
+    struct FlagState {
+        std::uint32_t value = 0;
+        std::size_t publishes = 0;
+        std::size_t publisher = kNone;  ///< block of the first publish
+    };
+
+    struct Binding {
+        std::size_t proto = 0;
+        Role role = Role::kLocalFlags;
+    };
+
+    struct ProtoState {
+        ProtocolSpec spec;
+        std::vector<FlagState> local_flags;   ///< per chunk
+        std::vector<FlagState> global_flags;  ///< per chunk
+    };
+
+    const Binding* binding_for(std::size_t alloc_id) const;
+    std::size_t chunk_bytes(const ProtoState& proto) const;
+    AccessRecord make_record(const AccessContext& ctx, std::size_t alloc_id,
+                             std::uint64_t offset, std::size_t bytes,
+                             AccessKind kind) const;
+    void add(std::vector<InvariantViolation>* out, const ProtoState& proto,
+             std::string rule, std::size_t chunk, AccessRecord at,
+             std::string detail);
+    /** Key identifying (protocol, flag kind, chunk) in acquired sets. */
+    static std::uint64_t flag_key(std::size_t proto, Role role,
+                                  std::uint64_t chunk);
+
+    std::vector<ProtoState> protocols_;
+    std::unordered_map<std::size_t, Binding> bindings_;
+    /** Per block: flag instances it has acquired (observed nonzero). */
+    std::vector<std::unordered_set<std::uint64_t>> acquired_;
+    const std::vector<gpusim::AllocationRecord>* ledger_;
+    const ShadowMemory* shadow_;
+};
+
+}  // namespace plr::analysis
+
+#endif  // PLR_ANALYSIS_INVARIANT_CHECKER_H_

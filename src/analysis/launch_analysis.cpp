@@ -1,0 +1,178 @@
+#include "analysis/launch_analysis.h"
+
+#include <functional>
+#include <utility>
+
+namespace plr::analysis {
+
+namespace {
+
+/** FNV-1a over a small tuple, for violation dedup keys. */
+std::uint64_t
+mix(std::initializer_list<std::uint64_t> values)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t v : values) {
+        h ^= v;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+hash_string(const std::string& s)
+{
+    return std::hash<std::string>{}(s);
+}
+
+}  // namespace
+
+LaunchAnalysis::LaunchAnalysis(
+    const AnalysisConfig& config,
+    const std::vector<gpusim::AllocationRecord>* ledger,
+    std::size_t num_blocks, std::vector<ProtocolSpec> protocols)
+    : config_(config),
+      blocks_(num_blocks),
+      shadow_(ledger),
+      checker_(std::move(protocols), num_blocks, ledger, &shadow_)
+{
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        blocks_[b].vc = VectorClock(num_blocks);
+        blocks_[b].vc.set(b, 1);
+        // The initial fence snapshot covers nothing the block has done:
+        // a release before any __threadfence publishes no writes.
+        blocks_[b].fence = VectorClock(num_blocks);
+    }
+}
+
+std::uint64_t
+LaunchAnalysis::sync_key(std::size_t alloc_id, std::uint64_t word)
+{
+    return (static_cast<std::uint64_t>(alloc_id) << 40) | word;
+}
+
+void
+LaunchAnalysis::add_races(std::vector<RaceViolation>&& found)
+{
+    for (RaceViolation& violation : found) {
+        const std::uint64_t key =
+            mix({hash_string(violation.what), violation.first.block,
+                 violation.second.block, violation.first.alloc_id});
+        if (!seen_races_.insert(key).second)
+            continue;
+        if (report_.races.size() >= config_.max_violations) {
+            report_.dropped++;
+            continue;
+        }
+        report_.races.push_back(std::move(violation));
+    }
+}
+
+void
+LaunchAnalysis::add_invariants(std::vector<InvariantViolation>&& found)
+{
+    for (InvariantViolation& violation : found) {
+        const std::uint64_t key =
+            mix({hash_string(violation.rule), hash_string(violation.protocol),
+                 violation.chunk, violation.at.block});
+        if (!seen_invariants_.insert(key).second)
+            continue;
+        if (report_.invariants.size() >= config_.max_violations) {
+            report_.dropped++;
+            continue;
+        }
+        report_.invariants.push_back(std::move(violation));
+    }
+}
+
+void
+LaunchAnalysis::on_read(const AccessContext& ctx, std::size_t alloc_id,
+                        std::uint64_t offset, std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RaceViolation> races;
+    shadow_.on_read(ctx, blocks_[ctx.block].vc, alloc_id, offset, bytes,
+                    config_.race_detect ? &races : nullptr);
+    add_races(std::move(races));
+    if (config_.invariants && checker_.tracks(alloc_id)) {
+        std::vector<InvariantViolation> found;
+        checker_.on_read(ctx, alloc_id, offset, bytes, &found);
+        add_invariants(std::move(found));
+    }
+}
+
+void
+LaunchAnalysis::on_write(const AccessContext& ctx, std::size_t alloc_id,
+                         std::uint64_t offset, std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RaceViolation> races;
+    shadow_.on_write(ctx, blocks_[ctx.block].vc, alloc_id, offset, bytes,
+                     config_.race_detect ? &races : nullptr);
+    add_races(std::move(races));
+    if (config_.invariants && checker_.tracks(alloc_id)) {
+        std::vector<InvariantViolation> found;
+        checker_.on_write(ctx, alloc_id, offset, bytes, &found);
+        add_invariants(std::move(found));
+    }
+}
+
+void
+LaunchAnalysis::on_atomic_rmw(const AccessContext& ctx, std::size_t alloc_id,
+                              std::uint64_t word)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // memory_order_acq_rel on the word: join the accumulated clock, then
+    // publish the joined result. No shadow traffic — atomics cannot race.
+    // The epoch advance afterwards keeps the block's *later* accesses out
+    // of the clock it just published: only accesses sequenced before the
+    // RMW happen-before a subsequent RMW by another block.
+    BlockState& block = blocks_[ctx.block];
+    VectorClock& sync = sync_clocks_[sync_key(alloc_id, word)];
+    block.vc.join(sync);
+    sync.join(block.vc);
+    block.vc.advance(ctx.block);
+}
+
+void
+LaunchAnalysis::on_acquire(const AccessContext& ctx, std::size_t alloc_id,
+                           std::uint64_t word, std::uint32_t observed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (observed != 0) {
+        auto it = sync_clocks_.find(sync_key(alloc_id, word));
+        if (it != sync_clocks_.end())
+            blocks_[ctx.block].vc.join(it->second);
+        if (config_.invariants)
+            checker_.on_acquire(ctx, alloc_id, word, observed);
+    }
+}
+
+void
+LaunchAnalysis::on_release(const AccessContext& ctx, std::size_t alloc_id,
+                           std::uint64_t word, std::uint32_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    BlockState& block = blocks_[ctx.block];
+    // A release publishes the clock as of the block's last __threadfence —
+    // NOT its current clock. Writes issued after that fence are left
+    // uncovered, which is exactly how a missing fence becomes a visible
+    // race on the reader side.
+    sync_clocks_[sync_key(alloc_id, word)].join(block.fence);
+    if (config_.invariants && checker_.tracks(alloc_id)) {
+        std::vector<InvariantViolation> found;
+        checker_.on_release(ctx, alloc_id, word, value, block.fence, &found);
+        add_invariants(std::move(found));
+    }
+}
+
+void
+LaunchAnalysis::on_fence(std::size_t block)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    BlockState& state = blocks_[block];
+    state.fence = state.vc;
+    state.vc.advance(block);
+}
+
+}  // namespace plr::analysis

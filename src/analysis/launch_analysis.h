@@ -1,0 +1,92 @@
+#ifndef PLR_ANALYSIS_LAUNCH_ANALYSIS_H_
+#define PLR_ANALYSIS_LAUNCH_ANALYSIS_H_
+
+/**
+ * @file
+ * Per-launch analysis coordinator: owns the block vector clocks, the
+ * shadow memory and the invariant checker, and exposes the hook surface
+ * the simulated Device calls from its memory accessors.
+ *
+ * Happens-before model (docs/ANALYSIS.md):
+ *  - launch/join are barriers: all state resets at launch, and the host
+ *    joins every block, so only intra-launch accesses can race;
+ *  - __threadfence snapshots the block's clock and advances its own
+ *    component — the snapshot is what a later st_release publishes, so a
+ *    store issued *after* the last fence is not covered by the release
+ *    (modelling the CUDA fence-then-flag idiom: a dropped fence is a bug
+ *    the detector must see);
+ *  - ld_acquire that observes a nonzero flag joins the clock the matching
+ *    st_release published; observing 0 creates no edge;
+ *  - atomic read-modify-writes are acquire+release on their word.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/invariant_checker.h"
+#include "analysis/race_report.h"
+#include "analysis/shadow_memory.h"
+#include "analysis/vector_clock.h"
+
+namespace plr::analysis {
+
+class LaunchAnalysis {
+  public:
+    /**
+     * @param ledger the owning MemoryPool's ledger (must outlive this and
+     *        not grow during the launch)
+     */
+    LaunchAnalysis(const AnalysisConfig& config,
+                   const std::vector<gpusim::AllocationRecord>* ledger,
+                   std::size_t num_blocks,
+                   std::vector<ProtocolSpec> protocols);
+
+    // Hook surface; thread-safe (one mutex — the simulator is a model,
+    // not a performance path).
+    void on_read(const AccessContext& ctx, std::size_t alloc_id,
+                 std::uint64_t offset, std::size_t bytes);
+    void on_write(const AccessContext& ctx, std::size_t alloc_id,
+                  std::uint64_t offset, std::size_t bytes);
+    void on_atomic_rmw(const AccessContext& ctx, std::size_t alloc_id,
+                       std::uint64_t word);
+    void on_acquire(const AccessContext& ctx, std::size_t alloc_id,
+                    std::uint64_t word, std::uint32_t observed);
+    void on_release(const AccessContext& ctx, std::size_t alloc_id,
+                    std::uint64_t word, std::uint32_t value);
+    void on_fence(std::size_t block);
+
+    /** Stable once the launch's blocks are joined. */
+    const RaceReport& report() const { return report_; }
+    bool clean() const { return report_.clean(); }
+    const AnalysisConfig& config() const { return config_; }
+
+  private:
+    struct BlockState {
+        VectorClock vc;     ///< current clock; own component starts at 1
+        VectorClock fence;  ///< clock as of the last fence (own starts at 0)
+    };
+
+    /** Sync-variable key for (alloc_id, word). */
+    static std::uint64_t sync_key(std::size_t alloc_id, std::uint64_t word);
+    void add_races(std::vector<RaceViolation>&& found);
+    void add_invariants(std::vector<InvariantViolation>&& found);
+
+    AnalysisConfig config_;
+    mutable std::mutex mutex_;
+    std::vector<BlockState> blocks_;
+    ShadowMemory shadow_;
+    InvariantChecker checker_;
+    /** Release clock last published through each sync word. */
+    std::unordered_map<std::uint64_t, VectorClock> sync_clocks_;
+    RaceReport report_;
+    std::unordered_set<std::uint64_t> seen_races_;
+    std::unordered_set<std::uint64_t> seen_invariants_;
+};
+
+}  // namespace plr::analysis
+
+#endif  // PLR_ANALYSIS_LAUNCH_ANALYSIS_H_

@@ -1,0 +1,85 @@
+#include "analysis/race_report.h"
+
+#include <sstream>
+
+namespace plr::analysis {
+
+const char*
+to_string(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::kRead:    return "read";
+      case AccessKind::kWrite:   return "write";
+      case AccessKind::kAcquire: return "acquire";
+      case AccessKind::kRelease: return "release";
+      case AccessKind::kAtomic:  return "atomic";
+      case AccessKind::kFree:    return "free";
+    }
+    return "?";
+}
+
+std::string
+AccessRecord::describe() const
+{
+    std::ostringstream os;
+    if (block == kNone)
+        os << "host";
+    else
+        os << "block " << block;
+    os << " (";
+    if (chunk == kNone)
+        os << "no chunk";
+    else
+        os << "chunk " << chunk;
+    if (!site.empty())
+        os << ", " << site;
+    os << ") " << to_string(kind) << " "
+       << (buffer.empty() ? "<unknown>" : buffer) << "[" << offset << ".."
+       << offset + bytes << ")";
+    return os.str();
+}
+
+std::string
+RaceViolation::describe() const
+{
+    std::ostringstream os;
+    os << what << ":\n    " << first.describe() << "\n    "
+       << second.describe();
+    return os.str();
+}
+
+std::string
+InvariantViolation::describe() const
+{
+    std::ostringstream os;
+    os << "[" << protocol << "] " << rule;
+    if (chunk != kNone)
+        os << " (chunk " << chunk << ")";
+    os << ": " << detail << "\n    at " << at.describe();
+    return os.str();
+}
+
+std::string
+RaceReport::format() const
+{
+    std::ostringstream os;
+    os << "=== race report ===\n"
+       << "races: " << races.size() << "  invariant violations: "
+       << invariants.size();
+    if (dropped != 0)
+        os << "  (+" << dropped << " dropped past cap)";
+    os << "\n";
+    for (std::size_t i = 0; i < races.size(); ++i)
+        os << "race #" << i << ": " << races[i].describe() << "\n";
+    for (std::size_t i = 0; i < invariants.size(); ++i)
+        os << "invariant #" << i << ": " << invariants[i].describe() << "\n";
+    os << "=== end race report ===";
+    return os.str();
+}
+
+RaceError::RaceError(const std::string& what, RaceReport report)
+    : PanicError(what), report_(std::move(report))
+{
+}
+
+}  // namespace plr::analysis

@@ -1,0 +1,134 @@
+#ifndef PLR_ANALYSIS_RACE_REPORT_H_
+#define PLR_ANALYSIS_RACE_REPORT_H_
+
+/**
+ * @file
+ * Typed findings of the happens-before race detector and the look-back
+ * protocol invariant checker, plus the configuration and protocol
+ * descriptions the analysis layer consumes. See docs/ANALYSIS.md.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/diag.h"
+
+namespace plr::analysis {
+
+/** Sentinel for "no chunk / no block reported". */
+inline constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/** What a recorded access did to the word(s) it touched. */
+enum class AccessKind : std::uint8_t {
+    kRead,     ///< plain device load (ld / ld_coalesced / ld_bulk)
+    kWrite,    ///< plain device store (st / st_coalesced / st_bulk)
+    kAcquire,  ///< ld_acquire of a flag word
+    kRelease,  ///< st_release of a flag word
+    kAtomic,   ///< atomic read-modify-write
+    kFree,     ///< host-side MemoryPool::free of the allocation
+};
+
+const char* to_string(AccessKind kind);
+
+/**
+ * One side of a violation: which block touched which bytes, and what it
+ * was doing at the time. Dual provenance in the ForensicDump spirit —
+ * block id, chunk id, site, byte range, access kind.
+ */
+struct AccessRecord {
+    std::size_t block = kNone;
+    std::size_t chunk = kNone;
+    std::string site;    ///< static site note ("look-back", ...; "" if none)
+    std::string buffer;  ///< allocation label from the MemoryPool ledger
+    std::size_t alloc_id = kNone;
+    std::uint64_t offset = 0;  ///< byte offset within the allocation
+    std::size_t bytes = 0;     ///< extent of the access (word-granular for
+                               ///< the remembered side of a race)
+    AccessKind kind = AccessKind::kRead;
+    std::uint32_t epoch = 0;  ///< owner-component clock value at the access
+
+    /** "block 3 (chunk 3, look-back) read plr.local_carries[8..12)". */
+    std::string describe() const;
+};
+
+/** Two accesses to the same word with no happens-before edge between. */
+struct RaceViolation {
+    AccessRecord first;   ///< the remembered (earlier-observed) access
+    AccessRecord second;  ///< the access that exposed the race
+    std::string what;     ///< "write-read race", "use-after-free", ...
+
+    std::string describe() const;
+};
+
+/** A look-back protocol rule broken at a specific chunk. */
+struct InvariantViolation {
+    std::string protocol;  ///< protocol label ("plr", "scan.chain", ...)
+    std::string rule;      ///< short rule id, e.g. "publish-once"
+    std::size_t chunk = kNone;  ///< protocol chunk the rule concerns
+    AccessRecord at;            ///< the access that broke the rule
+    std::string detail;         ///< human-readable specifics
+
+    std::string describe() const;
+};
+
+/** Everything one analyzed launch found. */
+struct RaceReport {
+    std::vector<RaceViolation> races;
+    std::vector<InvariantViolation> invariants;
+    /** Violations suppressed once the caps were hit. */
+    std::size_t dropped = 0;
+
+    bool
+    clean() const
+    {
+        return races.empty() && invariants.empty();
+    }
+
+    /** Multi-line human-readable rendering. */
+    std::string format() const;
+};
+
+/** Launch failure carrying the full RaceReport. */
+class RaceError : public PanicError {
+  public:
+    RaceError(const std::string& what, RaceReport report);
+
+    const RaceReport& report() const { return report_; }
+
+  private:
+    RaceReport report_;
+};
+
+/** Per-Device analysis configuration (Device::enable_analysis). */
+struct AnalysisConfig {
+    /** Run the vector-clock happens-before race detector. */
+    bool race_detect = true;
+    /** Run the look-back protocol invariant checker. */
+    bool invariants = true;
+    /** Throw RaceError from Device::launch when the report is not clean. */
+    bool fail_on_violation = true;
+    /** Cap on reported races and on reported invariant violations. */
+    std::size_t max_violations = 16;
+};
+
+/**
+ * Shape of one look-back protocol instance: which allocations hold its
+ * flags and carry state. Registered with the Device by protocol owners
+ * (LookbackChain, PlrKernel) so the invariant checker can lint them.
+ */
+struct ProtocolSpec {
+    std::string label;
+    std::size_t num_chunks = 0;
+    std::size_t width = 0;        ///< carry values per chunk
+    std::size_t value_bytes = 0;  ///< sizeof one carry value
+    std::size_t local_flags = kNone;   ///< alloc_id, one u32 per chunk
+    std::size_t global_flags = kNone;  ///< alloc_id, one u32 per chunk
+    std::size_t local_state = kNone;   ///< alloc_id, num_chunks*width values
+    std::size_t global_state = kNone;  ///< alloc_id, num_chunks*width values
+};
+
+}  // namespace plr::analysis
+
+#endif  // PLR_ANALYSIS_RACE_REPORT_H_

@@ -1,0 +1,197 @@
+#include "analysis/shadow_memory.h"
+
+namespace plr::analysis {
+
+std::pair<std::uint64_t, std::uint64_t>
+ShadowMemory::word_span(std::uint64_t offset, std::size_t bytes)
+{
+    if (bytes == 0)
+        return {1, 0};  // empty span: first > last
+    return {offset / kWordBytes, (offset + bytes - 1) / kWordBytes};
+}
+
+ShadowMemory::AllocShadow&
+ShadowMemory::shadow_for(std::size_t alloc_id)
+{
+    AllocShadow& shadow = allocs_[alloc_id];
+    if (shadow.words.empty() && alloc_id < ledger_->size()) {
+        const std::size_t bytes = (*ledger_)[alloc_id].bytes;
+        shadow.words.resize((bytes + kWordBytes - 1) / kWordBytes);
+    }
+    return shadow;
+}
+
+AccessRecord
+ShadowMemory::make_record(const AccessContext& ctx, std::size_t alloc_id,
+                          std::uint64_t offset, std::size_t bytes,
+                          AccessKind kind, std::uint32_t epoch) const
+{
+    AccessRecord record;
+    record.block = ctx.block;
+    record.chunk = ctx.chunk;
+    if (ctx.site != nullptr)
+        record.site = ctx.site;
+    if (alloc_id < ledger_->size())
+        record.buffer = (*ledger_)[alloc_id].label;
+    record.alloc_id = alloc_id;
+    record.offset = offset;
+    record.bytes = bytes;
+    record.kind = kind;
+    record.epoch = epoch;
+    return record;
+}
+
+AccessRecord
+ShadowMemory::record_from_word(const WordAccess& access, std::size_t alloc_id,
+                               std::uint64_t word, AccessKind kind) const
+{
+    AccessContext ctx;
+    ctx.block = access.block;
+    ctx.chunk = access.chunk;
+    ctx.site = access.site;
+    return make_record(ctx, alloc_id, word * kWordBytes, kWordBytes, kind,
+                       access.clock);
+}
+
+bool
+ShadowMemory::check_uaf(const AccessContext& ctx, std::size_t alloc_id,
+                        std::uint64_t offset, std::size_t bytes,
+                        AccessKind kind, std::vector<RaceViolation>* out)
+{
+    if (alloc_id >= ledger_->size() || !(*ledger_)[alloc_id].freed)
+        return false;
+    AllocShadow& shadow = shadow_for(alloc_id);
+    if (shadow.uaf_reported || out == nullptr)
+        return true;
+    shadow.uaf_reported = true;  // one finding per freed allocation
+
+    RaceViolation violation;
+    AccessContext host;  // the free happened on the host thread
+    violation.first =
+        make_record(host, alloc_id, 0, (*ledger_)[alloc_id].bytes,
+                    AccessKind::kFree, 0);
+    violation.second = make_record(ctx, alloc_id, offset, bytes, kind, 0);
+    violation.what = "use-after-free";
+    out->push_back(std::move(violation));
+    return true;
+}
+
+void
+ShadowMemory::on_read(const AccessContext& ctx, const VectorClock& vc,
+                      std::size_t alloc_id, std::uint64_t offset,
+                      std::size_t bytes, std::vector<RaceViolation>* out)
+{
+    check_uaf(ctx, alloc_id, offset, bytes, AccessKind::kRead, out);
+    AllocShadow& shadow = shadow_for(alloc_id);
+    const auto [first, last] = word_span(offset, bytes);
+    const auto b = static_cast<std::uint32_t>(ctx.block);
+    const std::uint32_t epoch = vc.get(ctx.block);
+    bool reported = false;
+
+    for (std::uint64_t w = first;
+         w <= last && w < shadow.words.size(); ++w) {
+        ShadowWord& word = shadow.words[w];
+
+        // Write-read race: the last writer is unordered with this read.
+        if (out != nullptr && !reported && word.write.valid() &&
+            word.write.block != b &&
+            !vc.covers(word.write.block, word.write.clock)) {
+            RaceViolation violation;
+            violation.first = record_from_word(word.write, alloc_id, w,
+                                               AccessKind::kWrite);
+            violation.second = make_record(ctx, alloc_id, offset, bytes,
+                                           AccessKind::kRead, epoch);
+            violation.what = "write-read race";
+            out->push_back(std::move(violation));
+            reported = true;
+        }
+
+        // Remember the read (FastTrack: single epoch until two unordered
+        // readers force promotion to a per-block read vector).
+        const WordAccess reader{b, epoch, ctx.chunk, ctx.site};
+        if (word.read_vec != nullptr) {
+            (*word.read_vec)[ctx.block] = reader;
+        } else if (!word.read.valid() || word.read.block == b ||
+                   vc.covers(word.read.block, word.read.clock)) {
+            word.read = reader;
+        } else {
+            word.read_vec =
+                std::make_unique<std::vector<WordAccess>>(vc.size());
+            if (word.read.block < word.read_vec->size())
+                (*word.read_vec)[word.read.block] = word.read;
+            if (ctx.block < word.read_vec->size())
+                (*word.read_vec)[ctx.block] = reader;
+            word.read = WordAccess{};
+        }
+    }
+}
+
+void
+ShadowMemory::on_write(const AccessContext& ctx, const VectorClock& vc,
+                       std::size_t alloc_id, std::uint64_t offset,
+                       std::size_t bytes, std::vector<RaceViolation>* out)
+{
+    check_uaf(ctx, alloc_id, offset, bytes, AccessKind::kWrite, out);
+    AllocShadow& shadow = shadow_for(alloc_id);
+    const auto [first, last] = word_span(offset, bytes);
+    const auto b = static_cast<std::uint32_t>(ctx.block);
+    const std::uint32_t epoch = vc.get(ctx.block);
+    bool reported = false;
+
+    for (std::uint64_t w = first;
+         w <= last && w < shadow.words.size(); ++w) {
+        ShadowWord& word = shadow.words[w];
+
+        if (out != nullptr && !reported) {
+            const WordAccess* racing = nullptr;
+            AccessKind racing_kind = AccessKind::kWrite;
+            // Write-write race against the last writer.
+            if (word.write.valid() && word.write.block != b &&
+                !vc.covers(word.write.block, word.write.clock)) {
+                racing = &word.write;
+            } else if (word.read_vec != nullptr) {
+                // Read-write race against any remembered reader.
+                for (const WordAccess& read : *word.read_vec) {
+                    if (read.valid() && read.block != b &&
+                        !vc.covers(read.block, read.clock)) {
+                        racing = &read;
+                        racing_kind = AccessKind::kRead;
+                        break;
+                    }
+                }
+            } else if (word.read.valid() && word.read.block != b &&
+                       !vc.covers(word.read.block, word.read.clock)) {
+                racing = &word.read;
+                racing_kind = AccessKind::kRead;
+            }
+            if (racing != nullptr) {
+                RaceViolation violation;
+                violation.first =
+                    record_from_word(*racing, alloc_id, w, racing_kind);
+                violation.second = make_record(ctx, alloc_id, offset, bytes,
+                                               AccessKind::kWrite, epoch);
+                violation.what = racing_kind == AccessKind::kWrite
+                                     ? "write-write race"
+                                     : "read-write race";
+                out->push_back(std::move(violation));
+                reported = true;
+            }
+        }
+
+        word.write = WordAccess{b, epoch, ctx.chunk, ctx.site};
+        word.read = WordAccess{};
+        word.read_vec.reset();
+    }
+}
+
+const WordAccess*
+ShadowMemory::write_info(std::size_t alloc_id, std::uint64_t word) const
+{
+    auto it = allocs_.find(alloc_id);
+    if (it == allocs_.end() || word >= it->second.words.size())
+        return nullptr;
+    const WordAccess& write = it->second.words[word].write;
+    return write.valid() ? &write : nullptr;
+}
+
+}  // namespace plr::analysis

@@ -1,0 +1,125 @@
+#ifndef PLR_ANALYSIS_SHADOW_MEMORY_H_
+#define PLR_ANALYSIS_SHADOW_MEMORY_H_
+
+/**
+ * @file
+ * Word-granular shadow state for every MemoryPool allocation, in the
+ * FastTrack style: each 4-byte word remembers its last write epoch and
+ * either the single last read epoch or (after concurrent readers) one
+ * read epoch per block. The detector compares those epochs against the
+ * accessing block's vector clock; an uncovered epoch is a race.
+ *
+ * The shadow also flags use-after-free: the MemoryPool keeps freed ranges
+ * addressable (like a real GPU heap, where a dangling pointer still
+ * dereferences), so the *analysis* layer — not the pool — reports accesses
+ * through freed allocations.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/race_report.h"
+#include "analysis/vector_clock.h"
+#include "gpusim/memory.h"
+
+namespace plr::analysis {
+
+/** Provenance of an in-flight access, supplied by the BlockContext. */
+struct AccessContext {
+    std::size_t block = kNone;
+    std::size_t chunk = kNone;
+    const char* site = nullptr;  ///< static string; may be null
+};
+
+/** Last recorded access to one shadow word by one block. */
+struct WordAccess {
+    std::uint32_t block = kNoBlock;
+    std::uint32_t clock = 0;
+    std::size_t chunk = kNone;
+    const char* site = nullptr;
+
+    static constexpr std::uint32_t kNoBlock = ~0u;
+
+    bool valid() const { return block != kNoBlock; }
+};
+
+class ShadowMemory {
+  public:
+    static constexpr std::size_t kWordBytes = 4;
+
+    /**
+     * @param ledger the owning MemoryPool's allocation ledger; must outlive
+     *        this object and not grow during a launch (kernels cannot
+     *        allocate through a BlockContext).
+     */
+    explicit ShadowMemory(const std::vector<gpusim::AllocationRecord>* ledger)
+        : ledger_(ledger)
+    {
+    }
+
+    /**
+     * Word-index range [first, last] covered by the byte range
+     * [offset, offset + bytes). bytes == 0 yields an empty span encoded as
+     * first > last.
+     */
+    static std::pair<std::uint64_t, std::uint64_t>
+    word_span(std::uint64_t offset, std::size_t bytes);
+
+    /**
+     * Record a read/write and append any race (or use-after-free) found to
+     * @p out. @p out == nullptr disables race reporting but still updates
+     * the shadow, so the invariant checker can run with the detector off.
+     * At most one violation is appended per call (an N-word access over a
+     * racy region reads as one finding, not N).
+     */
+    void on_read(const AccessContext& ctx, const VectorClock& vc,
+                 std::size_t alloc_id, std::uint64_t offset, std::size_t bytes,
+                 std::vector<RaceViolation>* out);
+    void on_write(const AccessContext& ctx, const VectorClock& vc,
+                  std::size_t alloc_id, std::uint64_t offset,
+                  std::size_t bytes, std::vector<RaceViolation>* out);
+
+    /**
+     * Last write to @p word of @p alloc_id this launch, or nullptr when the
+     * word is still untouched. Used by the invariant checker's fence-
+     * coverage rule.
+     */
+    const WordAccess* write_info(std::size_t alloc_id,
+                                 std::uint64_t word) const;
+
+  private:
+    struct ShadowWord {
+        WordAccess write;
+        /** Valid while read_vec is null; one remembered reader. */
+        WordAccess read;
+        /** Per-block read epochs, promoted on concurrent readers. */
+        std::unique_ptr<std::vector<WordAccess>> read_vec;
+    };
+
+    struct AllocShadow {
+        std::vector<ShadowWord> words;
+        bool uaf_reported = false;
+    };
+
+    AllocShadow& shadow_for(std::size_t alloc_id);
+    bool check_uaf(const AccessContext& ctx, std::size_t alloc_id,
+                   std::uint64_t offset, std::size_t bytes, AccessKind kind,
+                   std::vector<RaceViolation>* out);
+    AccessRecord make_record(const AccessContext& ctx, std::size_t alloc_id,
+                             std::uint64_t offset, std::size_t bytes,
+                             AccessKind kind, std::uint32_t epoch) const;
+    AccessRecord record_from_word(const WordAccess& access,
+                                  std::size_t alloc_id, std::uint64_t word,
+                                  AccessKind kind) const;
+
+    const std::vector<gpusim::AllocationRecord>* ledger_;
+    std::unordered_map<std::size_t, AllocShadow> allocs_;
+};
+
+}  // namespace plr::analysis
+
+#endif  // PLR_ANALYSIS_SHADOW_MEMORY_H_

@@ -1,0 +1,103 @@
+#ifndef PLR_ANALYSIS_VECTOR_CLOCK_H_
+#define PLR_ANALYSIS_VECTOR_CLOCK_H_
+
+/**
+ * @file
+ * Dense vector clocks over block indices, the ordering primitive of the
+ * happens-before race detector (docs/ANALYSIS.md).
+ *
+ * Component b holds the number of "epochs" of block b's execution that the
+ * clock's owner has (transitively) synchronized with. A block advances its
+ * own component at every release boundary; acquire edges join the published
+ * clock into the reader. An access at epoch (b, c) happens-before a later
+ * access by another block iff that block's clock covers (b, c).
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace plr::analysis {
+
+/** Dense vector clock; components default to 0. */
+class VectorClock {
+  public:
+    VectorClock() = default;
+    explicit VectorClock(std::size_t size) : clocks_(size, 0) {}
+
+    std::size_t size() const { return clocks_.size(); }
+
+    /** Component @p i (0 when beyond the allocated size). */
+    std::uint32_t
+    get(std::size_t i) const
+    {
+        return i < clocks_.size() ? clocks_[i] : 0;
+    }
+
+    /** Set component @p i, growing the clock as needed. */
+    void
+    set(std::size_t i, std::uint32_t value)
+    {
+        if (i >= clocks_.size())
+            clocks_.resize(i + 1, 0);
+        clocks_[i] = value;
+    }
+
+    /** Increment component @p i (a new epoch for block i). */
+    void advance(std::size_t i) { set(i, get(i) + 1); }
+
+    /** Component-wise maximum: this := this ⊔ other (an acquire edge). */
+    void
+    join(const VectorClock& other)
+    {
+        if (other.clocks_.size() > clocks_.size())
+            clocks_.resize(other.clocks_.size(), 0);
+        for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+            clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+
+    /** True when epoch (block @p i, @p epoch) happens-before this clock. */
+    bool
+    covers(std::size_t i, std::uint32_t epoch) const
+    {
+        return get(i) >= epoch;
+    }
+
+    /** True when every component of @p other is ≤ this (other ⊑ this). */
+    bool
+    covers(const VectorClock& other) const
+    {
+        for (std::size_t i = 0; i < other.clocks_.size(); ++i)
+            if (other.clocks_[i] > get(i))
+                return false;
+        return true;
+    }
+
+    bool
+    operator==(const VectorClock& other) const
+    {
+        return covers(other) && other.covers(*this);
+    }
+
+    /** "[3 0 1]" rendering for reports and test diagnostics. */
+    std::string
+    to_string() const
+    {
+        std::ostringstream os;
+        os << '[';
+        for (std::size_t i = 0; i < clocks_.size(); ++i)
+            os << (i ? " " : "") << clocks_[i];
+        os << ']';
+        return os.str();
+    }
+
+  private:
+    std::vector<std::uint32_t> clocks_;
+};
+
+}  // namespace plr::analysis
+
+#endif  // PLR_ANALYSIS_VECTOR_CLOCK_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 
 namespace plr::gpusim {
@@ -37,6 +38,31 @@ BlockContext::BlockContext(Device& device, std::size_t block_index)
 {
     if (device_.fault_plan_)
         fault_ = BlockFaultStream(device_.fault_plan_.get(), block_index);
+    analysis_ = device_.launch_analysis_.get();
+}
+
+analysis::AccessContext
+BlockContext::analysis_ctx() const
+{
+    analysis::AccessContext ctx;
+    ctx.block = block_index_;
+    ctx.chunk = progress_chunk_;
+    ctx.site = analysis_site_ != nullptr ? analysis_site_ : wait_site_;
+    return ctx;
+}
+
+void
+BlockContext::analysis_read(std::size_t alloc_id, std::uint64_t offset,
+                            std::size_t bytes)
+{
+    analysis_->on_read(analysis_ctx(), alloc_id, offset, bytes);
+}
+
+void
+BlockContext::analysis_write(std::size_t alloc_id, std::uint64_t offset,
+                             std::size_t bytes)
+{
+    analysis_->on_write(analysis_ctx(), alloc_id, offset, bytes);
 }
 
 BlockContext::~BlockContext()
@@ -97,6 +123,8 @@ BlockContext::atomic_add(const Buffer<std::uint32_t>& buf, std::size_t i,
     bounds_check(buf, i, 1);
     fault_before_global_op();
     ++local_.atomic_ops;
+    if (analysis_ != nullptr)
+        analysis_->on_atomic_rmw(analysis_ctx(), buf.alloc_id, i);
     std::atomic_ref<std::uint32_t> ref(pool().data(buf)[i]);
     return ref.fetch_add(value, std::memory_order_acq_rel);
 }
@@ -112,8 +140,15 @@ BlockContext::ld_acquire(const Buffer<std::uint32_t>& buf, std::size_t i)
     // Stale re-read fault: report a published flag as still clear. Safe
     // because protocol flags are 0 -> nonzero monotonic, so the reader just
     // polls again (bounded by FaultConfig::max_consecutive_stale).
-    if (value != 0 && fault_.active() && fault_.next_stale_flag_read())
+    if (value != 0 && fault_.active() && fault_.next_stale_flag_read()) {
+        if (analysis_ != nullptr)
+            analysis_->on_acquire(analysis_ctx(), buf.alloc_id, i, 0);
         return 0;
+    }
+    // The acquire edge follows what the kernel *observes*: a masked-stale
+    // read above creates none, so the reader must poll again to get one.
+    if (analysis_ != nullptr)
+        analysis_->on_acquire(analysis_ctx(), buf.alloc_id, i, value);
     return value;
 }
 
@@ -124,6 +159,11 @@ BlockContext::st_release(const Buffer<std::uint32_t>& buf, std::size_t i,
     bounds_check(buf, i, 1);
     fault_before_global_op();
     ++local_.atomic_ops;
+    // Record the release edge at program order, even when the fault layer
+    // defers the physical store: the recorded clock is what the flag value
+    // carries, and a reader can only join it after the store really lands.
+    if (analysis_ != nullptr)
+        analysis_->on_release(analysis_ctx(), buf.alloc_id, i, value);
     std::uint32_t* addr = &pool().data(buf)[i];
     if (fault_.active()) {
         std::uint32_t delay = 0;
@@ -188,6 +228,8 @@ void
 BlockContext::threadfence()
 {
     ++local_.fences;
+    if (analysis_ != nullptr)
+        analysis_->on_fence(block_index_);
     std::atomic_thread_fence(std::memory_order_seq_cst);
 }
 
@@ -224,6 +266,54 @@ Device::Device(DeviceSpec spec, bool model_l2)
       l2_enabled_(model_l2),
       spin_watchdog_limit_(default_watchdog_limit())
 {
+    if (const char* env = std::getenv("PLR_RACE_DETECT")) {
+        if (*env != '\0' && std::string_view(env) != "0")
+            analysis_config_ = analysis::AnalysisConfig{};
+    }
+}
+
+void
+Device::enable_analysis(analysis::AnalysisConfig config)
+{
+    analysis_config_ = config;
+}
+
+void
+Device::disable_analysis()
+{
+    analysis_config_.reset();
+    launch_analysis_.reset();
+}
+
+const analysis::RaceReport*
+Device::last_analysis_report() const
+{
+    return launch_analysis_ ? &launch_analysis_->report() : nullptr;
+}
+
+std::size_t
+Device::register_protocol(analysis::ProtocolSpec spec)
+{
+    const std::size_t id = next_protocol_id_++;
+    protocols_.emplace_back(id, std::move(spec));
+    return id;
+}
+
+void
+Device::unregister_protocol(std::size_t id)
+{
+    std::erase_if(protocols_,
+                  [id](const auto& entry) { return entry.first == id; });
+}
+
+ProtocolGuard::ProtocolGuard(Device& device, analysis::ProtocolSpec spec)
+    : device_(device), id_(device.register_protocol(std::move(spec)))
+{
+}
+
+ProtocolGuard::~ProtocolGuard()
+{
+    device_.unregister_protocol(id_);
 }
 
 void
@@ -297,6 +387,19 @@ Device::launch(std::size_t num_blocks,
         failed_block_states_.clear();
     }
 
+    // Fresh analysis state per launch: launch/join are barriers, so only
+    // intra-launch accesses can race, and the shadow must not carry over.
+    launch_analysis_.reset();
+    if (analysis_config_) {
+        std::vector<analysis::ProtocolSpec> specs;
+        specs.reserve(protocols_.size());
+        for (const auto& [id, spec] : protocols_)
+            specs.push_back(spec);
+        launch_analysis_ = std::make_unique<analysis::LaunchAnalysis>(
+            *analysis_config_, &pool_.ledger(), num_blocks,
+            std::move(specs));
+    }
+
     std::vector<std::size_t> order;
     if (fault_plan_ && fault_plan_->config().shuffle_launch_order)
         order = fault_plan_->launch_order(num_blocks);
@@ -342,6 +445,18 @@ Device::launch(std::size_t num_blocks,
             thread.join();
     }
 
+    // Render violations to $PLR_RACE_LOG before any throw below, so the
+    // report survives even when the launch also wedged or a kernel threw.
+    const analysis::RaceReport* race_report = nullptr;
+    if (launch_analysis_ && !launch_analysis_->clean()) {
+        race_report = &launch_analysis_->report();
+        if (const char* path = std::getenv("PLR_RACE_LOG")) {
+            std::ofstream out(path, std::ios::app);
+            if (out)
+                out << race_report->format() << "\n";
+        }
+    }
+
     if (watchdog_trip_) {
         const WatchdogTrip& trip = *watchdog_trip_;
         std::ostringstream reason;
@@ -367,6 +482,18 @@ Device::launch(std::size_t num_blocks,
 
     if (first_error)
         std::rethrow_exception(first_error);
+
+    if (race_report != nullptr && analysis_config_->fail_on_violation) {
+        std::ostringstream message;
+        message << "race detector: " << race_report->races.size()
+                << " race(s), " << race_report->invariants.size()
+                << " invariant violation(s)";
+        if (!race_report->races.empty())
+            message << "; first: " << race_report->races.front().what;
+        else if (!race_report->invariants.empty())
+            message << "; first: " << race_report->invariants.front().rule;
+        throw analysis::RaceError(message.str(), *race_report);
+    }
 }
 
 void

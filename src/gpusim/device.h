@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/launch_analysis.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/fault.h"
 #include "gpusim/l2_cache.h"
@@ -79,6 +80,8 @@ class BlockContext {
         fault_before_global_op();
         note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/true,
                            /*scalar=*/true);
+        if (analysis_ != nullptr)
+            analysis_read(buf.alloc_id, i * sizeof(T), sizeof(T));
         T value = pool().data(buf)[i];
         if (fault_torn_read()) {
             // The torn value is detected by the memory interface's verify
@@ -97,6 +100,8 @@ class BlockContext {
         fault_before_global_op();
         note_global_access(addr_of(buf, i), sizeof(T), /*is_read=*/false,
                            /*scalar=*/true);
+        if (analysis_ != nullptr)
+            analysis_write(buf.alloc_id, i * sizeof(T), sizeof(T));
         pool().data(buf)[i] = value;
     }
 
@@ -123,6 +128,8 @@ class BlockContext {
             local_.l2_read_hits += result.hits;
             local_.l2_read_misses += result.misses;
         }
+        if (analysis_ != nullptr)
+            analysis_read(buf.alloc_id, i * sizeof(T), sizeof(T));
         return pool().data(buf)[i];
     }
 
@@ -143,6 +150,8 @@ class BlockContext {
                 l2->access(addr_of(buf, i), sizeof(T), /*is_read=*/false);
             local_.l2_write_accesses += result.hits + result.misses;
         }
+        if (analysis_ != nullptr)
+            analysis_write(buf.alloc_id, i * sizeof(T), sizeof(T));
         pool().data(buf)[i] = value;
     }
 
@@ -157,6 +166,9 @@ class BlockContext {
         fault_before_global_op();
         note_global_access(addr_of(buf, first), out.size() * sizeof(T),
                            /*is_read=*/true, /*scalar=*/false);
+        if (analysis_ != nullptr)
+            analysis_read(buf.alloc_id, first * sizeof(T),
+                          out.size() * sizeof(T));
         const T* src = pool().data(buf) + first;
         std::copy(src, src + out.size(), out.begin());
     }
@@ -172,6 +184,9 @@ class BlockContext {
         fault_before_global_op();
         note_global_access(addr_of(buf, first), in.size() * sizeof(T),
                            /*is_read=*/false, /*scalar=*/false);
+        if (analysis_ != nullptr)
+            analysis_write(buf.alloc_id, first * sizeof(T),
+                           in.size() * sizeof(T));
         std::copy(in.begin(), in.end(), pool().data(buf) + first);
     }
 
@@ -246,6 +261,14 @@ class BlockContext {
         spin_count_ = 0;
     }
 
+    /**
+     * Record the protocol site of subsequent accesses ("publish-local",
+     * "look-back", ...) for race-report provenance. @p site must be a
+     * static string; nullptr clears the note (the analysis then falls back
+     * to the current wait site).
+     */
+    void note_site(const char* site) { analysis_site_ = site; }
+
   private:
     template <typename T>
     std::uint64_t
@@ -290,6 +313,14 @@ class BlockContext {
     /** Publish every still-deferred st_release immediately. */
     void flush_pending_releases();
 
+    // Race-detector hooks (no-ops unless the launch is analyzed; the
+    // templates guard on analysis_ so the common path stays branch-cheap).
+    analysis::AccessContext analysis_ctx() const;
+    void analysis_read(std::size_t alloc_id, std::uint64_t offset,
+                       std::size_t bytes);
+    void analysis_write(std::size_t alloc_id, std::uint64_t offset,
+                        std::size_t bytes);
+
     struct PendingRelease {
         std::uint32_t* addr;
         std::uint32_t value;
@@ -307,6 +338,8 @@ class BlockContext {
     std::size_t progress_chunk_ = BlockForensics::kNone;
     std::size_t waiting_on_ = BlockForensics::kNone;
     const char* wait_site_ = nullptr;
+    analysis::LaunchAnalysis* analysis_ = nullptr;
+    const char* analysis_site_ = nullptr;
 };
 
 /** The simulated GPU. */
@@ -355,6 +388,37 @@ class Device {
 
     /** Remove a previously registered forensic source (idempotent). */
     void unregister_forensic_source(std::size_t id);
+
+    // ---- happens-before analysis (docs/ANALYSIS.md) ---------------------
+
+    /**
+     * Enable the race detector / invariant checker for subsequent
+     * launches. Also enabled at construction when $PLR_RACE_DETECT is set
+     * to anything but "0".
+     */
+    void enable_analysis(analysis::AnalysisConfig config = {});
+
+    /** Disable the analysis and drop the last report. */
+    void disable_analysis();
+
+    bool analysis_enabled() const { return analysis_config_.has_value(); }
+
+    /**
+     * Report of the most recent analyzed launch (violations and all), or
+     * nullptr when no analyzed launch has run. Useful with
+     * AnalysisConfig::fail_on_violation = false.
+     */
+    const analysis::RaceReport* last_analysis_report() const;
+
+    /**
+     * Describe a look-back protocol instance to the invariant checker.
+     * Returns an id for unregister_protocol; prefer the ProtocolGuard
+     * RAII wrapper. Registration is only consulted at launch time.
+     */
+    std::size_t register_protocol(analysis::ProtocolSpec spec);
+
+    /** Remove a registered protocol description (idempotent). */
+    void unregister_protocol(std::size_t id);
 
     /** Allocate a zero-initialized device buffer. */
     template <typename T>
@@ -433,6 +497,29 @@ class Device {
         forensic_sources_;
     std::size_t next_forensic_id_ = 0;
     std::vector<BlockForensics> failed_block_states_;
+
+    std::optional<analysis::AnalysisConfig> analysis_config_;
+    std::unique_ptr<analysis::LaunchAnalysis> launch_analysis_;
+    std::vector<std::pair<std::size_t, analysis::ProtocolSpec>> protocols_;
+    std::size_t next_protocol_id_ = 0;
+};
+
+/**
+ * RAII registration of a look-back protocol description with a Device,
+ * mirroring ForensicSourceGuard: construct after allocating the protocol's
+ * flag/state buffers, destroy before freeing them.
+ */
+class ProtocolGuard {
+  public:
+    ProtocolGuard(Device& device, analysis::ProtocolSpec spec);
+    ~ProtocolGuard();
+
+    ProtocolGuard(const ProtocolGuard&) = delete;
+    ProtocolGuard& operator=(const ProtocolGuard&) = delete;
+
+  private:
+    Device& device_;
+    std::size_t id_;
 };
 
 template <typename T>

@@ -46,15 +46,18 @@ MemoryPool::free_raw(std::size_t alloc_id)
                                               << alloc_id);
     records_[alloc_id].freed = true;
     live_bytes_ -= records_[alloc_id].bytes;
-    storage_[alloc_id].reset();
+    // The backing storage is deliberately kept: on a real GPU a freed
+    // range stays addressable (a dangling pointer dereferences whatever
+    // the allocator left there) — a use-after-free is not a segfault but
+    // a silent data hazard. The analysis layer flags such accesses via
+    // the ledger's freed bit (shadow_memory.h); the pool itself must not
+    // turn them into host crashes or asserts.
 }
 
 std::byte*
 MemoryPool::raw_data(std::size_t alloc_id)
 {
     PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
-    PLR_ASSERT(!records_[alloc_id].freed,
-               "use after free of allocation " << alloc_id);
     return storage_[alloc_id].get();
 }
 
@@ -62,8 +65,6 @@ const std::byte*
 MemoryPool::raw_data(std::size_t alloc_id) const
 {
     PLR_ASSERT(alloc_id < records_.size(), "bad allocation id " << alloc_id);
-    PLR_ASSERT(!records_[alloc_id].freed,
-               "use after free of allocation " << alloc_id);
     return storage_[alloc_id].get();
 }
 

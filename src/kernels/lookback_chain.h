@@ -53,12 +53,25 @@ class LookbackChain {
             device.alloc<std::uint32_t>(num_chunks, label + ".global_flags");
         forensic_id_ = device.register_forensic_source(
             [this]() { return forensics(); });
+
+        analysis::ProtocolSpec spec;
+        spec.label = label;
+        spec.num_chunks = num_chunks;
+        spec.width = width;
+        spec.value_bytes = sizeof(V);
+        spec.local_flags = local_flags_.alloc_id;
+        spec.global_flags = global_flags_.alloc_id;
+        spec.local_state = local_state_.alloc_id;
+        spec.global_state = global_state_.alloc_id;
+        protocol_id_ = device.register_protocol(std::move(spec));
     }
 
     ~LookbackChain()
     {
-        if (device_ != nullptr)
+        if (device_ != nullptr) {
             device_->unregister_forensic_source(forensic_id_);
+            device_->unregister_protocol(protocol_id_);
+        }
     }
 
     LookbackChain(const LookbackChain&) = delete;
@@ -70,10 +83,12 @@ class LookbackChain {
                   const std::vector<V>& state)
     {
         ctx.note_chunk(chunk);
+        ctx.note_site("publish-local");
         for (std::size_t i = 0; i < width_; ++i)
             ctx.st(local_state_, chunk * width_ + i, state[i]);
         ctx.threadfence();
         ctx.st_release(local_flags_, chunk, 1);
+        ctx.note_site(nullptr);
     }
 
     /**
@@ -90,6 +105,7 @@ class LookbackChain {
                                            const std::vector<V>&)>& fold,
         std::size_t* lookback_distance = nullptr)
     {
+        ctx.note_site("look-back");
         const std::size_t lo = chunk > window_ ? chunk - window_ : 0;
         std::size_t g = chunk;  // sentinel
         for (;;) {
@@ -130,6 +146,7 @@ class LookbackChain {
                 local[i] = ctx.ld(local_state_, q * width_ + i);
             carry = fold(std::move(carry), local);
         }
+        ctx.note_site(nullptr);
         return carry;
     }
 
@@ -138,10 +155,12 @@ class LookbackChain {
     publish_global(gpusim::BlockContext& ctx, std::size_t chunk,
                    const std::vector<V>& state)
     {
+        ctx.note_site("publish-global");
         for (std::size_t i = 0; i < width_; ++i)
             ctx.st(global_state_, chunk * width_ + i, state[i]);
         ctx.threadfence();
         ctx.st_release(global_flags_, chunk, 1);
+        ctx.note_site(nullptr);
     }
 
     /** Release the chain's device allocations. */
@@ -149,6 +168,7 @@ class LookbackChain {
     free(gpusim::Device& device)
     {
         device.unregister_forensic_source(forensic_id_);
+        device.unregister_protocol(protocol_id_);
         device_ = nullptr;
         device.memory().free(local_state_);
         device.memory().free(global_state_);
@@ -188,6 +208,7 @@ class LookbackChain {
     std::string label_;
     gpusim::Device* device_;
     std::size_t forensic_id_ = 0;
+    std::size_t protocol_id_ = 0;
     gpusim::Buffer<V> local_state_;
     gpusim::Buffer<V> global_state_;
     gpusim::Buffer<std::uint32_t> local_flags_;

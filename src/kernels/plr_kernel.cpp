@@ -270,6 +270,20 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         return f;
     });
 
+    // Invariant-checker registration: the same protocol instance, described
+    // by its allocations (see docs/ANALYSIS.md). No-op unless the device
+    // has analysis enabled at launch.
+    analysis::ProtocolSpec protocol_spec;
+    protocol_spec.label = "plr.lookback";
+    protocol_spec.num_chunks = num_chunks;
+    protocol_spec.width = k;
+    protocol_spec.value_bytes = sizeof(V);
+    protocol_spec.local_flags = dev.local_flags.alloc_id;
+    protocol_spec.global_flags = dev.global_flags.alloc_id;
+    protocol_spec.local_state = dev.local_carries.alloc_id;
+    protocol_spec.global_state = dev.global_carries.alloc_id;
+    gpusim::ProtocolGuard protocol_guard(device, std::move(protocol_spec));
+
     auto body = [&](BlockContext& ctx) {
         // -- Section 2: grab a chunk id, load the chunk.
         const std::size_t chunk = ctx.atomic_add(dev.chunk_counter, 0, 1);
@@ -345,14 +359,17 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         phase1<Ring>(ctx, w, access, warp_size);
 
         // -- Section 5: publish the local carries (last k values).
+        ctx.note_site("publish-local");
         for (std::size_t j = 1; j <= k && j <= len; ++j)
             ctx.st(dev.local_carries, chunk * k + (j - 1), w[len - j]);
         ctx.threadfence();
         ctx.st_release(dev.local_flags, chunk, 1);
+        ctx.note_site(nullptr);
 
         // -- Section 6: variable look-back (Section 2.2).
         std::vector<V> carry(k, Ring::zero());
         if (chunk > 0) {
+            ctx.note_site("look-back");
             const std::size_t window = plan_.pipeline_depth;
             const std::size_t lo = chunk > window ? chunk - window : 0;
             std::size_t g = chunk;  // sentinel: not found
@@ -413,10 +430,12 @@ PlrKernel<Ring>::run(gpusim::Device& device,
                 }
                 carry = std::move(corrected);
             }
+            ctx.note_site(nullptr);
         }
 
         // Global carries of this chunk: its local carries corrected with
         // the incoming carry, published as early as possible.
+        ctx.note_site("publish-global");
         for (std::size_t j = 1; j <= k && j <= len; ++j) {
             V acc = w[len - j];
             const std::size_t o = len - j;
@@ -430,6 +449,7 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         }
         ctx.threadfence();
         ctx.st_release(dev.global_flags, chunk, 1);
+        ctx.note_site(nullptr);
 
         // -- Section 7: correct the whole chunk and store it.
         if (chunk > 0) {

@@ -47,7 +47,7 @@ domain_matches_ring(const Signature& sig, Domain domain)
  * planner accepts: m >= order, block_threads the largest power of two
  * <= min(m, 64) that divides m.
  */
-/** Apply the RunOptions fault/watchdog knobs to a simulated device. */
+/** Apply the RunOptions fault/watchdog/analysis knobs to a device. */
 void
 configure_device(gpusim::Device& device, const RunOptions& opts)
 {
@@ -56,6 +56,12 @@ configure_device(gpusim::Device& device, const RunOptions& opts)
             std::make_shared<gpusim::FaultPlan>(opts.fault_seed));
     if (opts.spin_watchdog != 0)
         device.set_spin_watchdog_limit(opts.spin_watchdog);
+    if (opts.race_detect || opts.invariants) {
+        analysis::AnalysisConfig config;
+        config.race_detect = opts.race_detect;
+        config.invariants = opts.invariants;
+        device.enable_analysis(config);
+    }
 }
 
 std::pair<std::size_t, std::size_t>

@@ -57,6 +57,14 @@ struct RunOptions {
      * it so wedges are detected in milliseconds.
      */
     std::uint64_t spin_watchdog = 0;
+    /**
+     * Enable the happens-before race detector on the simulated-GPU
+     * backends (docs/ANALYSIS.md); a violating launch throws RaceError.
+     * CPU kernels ignore it.
+     */
+    bool race_detect = false;
+    /** Enable the look-back protocol invariant checker (ditto). */
+    bool invariants = false;
 };
 
 /** One registered kernel with type-erased entry points per domain. */

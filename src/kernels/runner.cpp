@@ -64,6 +64,10 @@ degraded_repro_line(const Signature& sig, const char* domain, std::size_t n,
         os << " fault=" << options.fault_seed;
     if (options.spin_watchdog != 0)
         os << " watchdog=" << options.spin_watchdog;
+    const unsigned race_mask = (options.race_detect ? 1u : 0u) |
+                               (options.invariants ? 2u : 0u);
+    if (race_mask != 0)
+        os << " race=" << race_mask;
     return os.str();
 }
 
@@ -99,6 +103,12 @@ run_gpu(const Signature& sig,
             options.fault_seed, options.fault_config));
     if (options.spin_watchdog != 0)
         device.set_spin_watchdog_limit(options.spin_watchdog);
+    if (options.race_detect || options.invariants) {
+        analysis::AnalysisConfig config;
+        config.race_detect = options.race_detect;
+        config.invariants = options.invariants;
+        device.enable_analysis(config);
+    }
     PlrKernel<Ring> kernel(auto_plan(sig, input.size()));
     return kernel.run(device, input);
 }

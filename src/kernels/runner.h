@@ -56,6 +56,12 @@ struct RunnerOptions {
     gpusim::FaultConfig fault_config;
     /** Spin-watchdog limit (0 = device default / $PLR_SPIN_WATCHDOG). */
     std::uint64_t spin_watchdog = 0;
+    /** Run the happens-before race detector on the GPU backend. A
+        violating launch throws RaceError, subject to the failure policy;
+        reproducer lines carry a race= token for replay. */
+    bool race_detect = false;
+    /** Run the look-back protocol invariant checker (ditto). */
+    bool invariants = false;
     /** Receives the reproducer line on degradation; may be null. */
     std::string* repro_out = nullptr;
 };

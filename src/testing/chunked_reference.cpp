@@ -5,6 +5,7 @@
 #include "core/correction_factors.h"
 #include "core/signature.h"
 #include "testing/fault_canary.h"
+#include "testing/race_canary.h"
 #include "util/ring.h"
 
 namespace plr::testing {
@@ -151,6 +152,7 @@ conformance_kernels(bool include_broken)
     if (include_broken) {
         kernels.push_back(broken_factor_kernel());
         kernels.push_back(wedge_canary_kernel());
+        kernels.push_back(race_canary_kernel());
     }
     return kernels;
 }

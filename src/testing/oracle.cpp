@@ -308,6 +308,8 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
             run.threads = opts.threads;
             run.fault_seed = opts.fault_seed;
             run.spin_watchdog = opts.spin_watchdog;
+            run.race_detect = opts.race_detect;
+            run.invariants = opts.invariants;
             for (std::size_t n : sizes) {
                 const std::uint64_t input_seed = derive_seed(
                     opts.input_seed, n * 2654435761u + entry.sig.order());

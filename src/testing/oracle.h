@@ -84,6 +84,11 @@ struct OracleOptions {
     std::uint64_t fault_seed = 0;
     /** Spin-watchdog limit for GPU kernels (0 = device default). */
     std::uint64_t spin_watchdog = 0;
+    /** Run the happens-before race detector on GPU kernels; a violating
+        launch fails the case with a replayable reproducer (race= token). */
+    bool race_detect = false;
+    /** Run the look-back protocol invariant checker (ditto). */
+    bool invariants = false;
     /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
     std::vector<std::size_t> sizes;
     /**

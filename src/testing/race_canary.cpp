@@ -1,0 +1,193 @@
+#include "testing/race_canary.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/ring.h"
+
+namespace plr::testing {
+
+namespace {
+
+using kernels::Domain;
+using kernels::KernelInfo;
+using kernels::RunOptions;
+
+/**
+ * Single-window decoupled look-back prefix sum: chunk c publishes its
+ * local aggregate, waits on chunk c-1's inclusive (global) flag, and
+ * publishes its own inclusive state. The victim chunk (if any) drops its
+ * fences or skips the acquire, per race_canary_mode. One chunk per block,
+ * so chunk index == block index and the victim's epochs are untouched by
+ * unrelated fences.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+run_race_canary(const Signature&,
+                std::span<const typename Ring::value_type> input,
+                const RunOptions& opts)
+{
+    using V = typename Ring::value_type;
+    if (input.empty())
+        return {};
+
+    const std::size_t n = input.size();
+    const std::size_t chunk = opts.chunk ? opts.chunk : 64;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+    gpusim::Device device;
+    if (opts.fault_seed != 0)
+        device.set_fault_plan(
+            std::make_shared<gpusim::FaultPlan>(opts.fault_seed));
+    if (opts.spin_watchdog != 0)
+        device.set_spin_watchdog_limit(opts.spin_watchdog);
+    if (opts.race_detect || opts.invariants) {
+        analysis::AnalysisConfig config;
+        config.race_detect = opts.race_detect;
+        config.invariants = opts.invariants;
+        device.enable_analysis(config);
+    }
+
+    auto in = device.alloc<V>(n, "race_canary.in");
+    auto out = device.alloc<V>(n, "race_canary.out");
+    auto local_state = device.alloc<V>(num_chunks, "race_canary.local");
+    auto global_state = device.alloc<V>(num_chunks, "race_canary.global");
+    auto local_flags =
+        device.alloc<std::uint32_t>(num_chunks, "race_canary.local_flags");
+    auto global_flags =
+        device.alloc<std::uint32_t>(num_chunks, "race_canary.global_flags");
+    device.upload(in, input);
+
+    analysis::ProtocolSpec spec;
+    spec.label = "race_canary";
+    spec.num_chunks = num_chunks;
+    spec.width = 1;
+    spec.value_bytes = sizeof(V);
+    spec.local_flags = local_flags.alloc_id;
+    spec.global_flags = global_flags.alloc_id;
+    spec.local_state = local_state.alloc_id;
+    spec.global_state = global_state.alloc_id;
+    gpusim::ProtocolGuard protocol_guard(device, std::move(spec));
+
+    const std::size_t victim =
+        race_canary_victim(opts.fault_seed, num_chunks);
+    const RaceCanaryMode mode = race_canary_mode(opts.fault_seed, victim);
+
+    auto body = [&](gpusim::BlockContext& ctx) {
+        const std::size_t chunk_id = ctx.block_index();
+        ctx.note_chunk(chunk_id);
+        const bool drop_fence =
+            chunk_id == victim && mode == RaceCanaryMode::kDroppedFence;
+        const bool early_read =
+            chunk_id == victim && mode == RaceCanaryMode::kEarlyCarryRead;
+
+        const std::size_t begin = chunk_id * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+
+        std::vector<V> sums(end - begin);
+        V running = Ring::zero();
+        for (std::size_t i = begin; i < end; ++i) {
+            running = Ring::add(running, ctx.ld(in, i));
+            sums[i - begin] = running;
+        }
+
+        ctx.note_site("publish-local");
+        ctx.st(local_state, chunk_id, running);
+        if (!drop_fence)
+            ctx.threadfence();
+        ctx.st_release(local_flags, chunk_id, 1);
+        ctx.note_site(nullptr);
+
+        V carry = Ring::zero();
+        if (chunk_id > 0) {
+            if (early_read) {
+                // The seeded bug: no acquire of the predecessor's flag, so
+                // there is no happens-before edge covering this read — it
+                // may even observe the pre-publish zero.
+                ctx.note_site("early-carry-read");
+                carry = ctx.ld(global_state, chunk_id - 1);
+                ctx.note_site(nullptr);
+            } else {
+                ctx.note_site("look-back");
+                while (ctx.ld_acquire(global_flags, chunk_id - 1) == 0) {
+                    ctx.note_wait(chunk_id - 1, "look-back");
+                    ctx.spin_wait();
+                }
+                ctx.note_progress();
+                carry = ctx.ld(global_state, chunk_id - 1);
+                ctx.note_site(nullptr);
+            }
+        }
+
+        ctx.note_site("publish-global");
+        ctx.st(global_state, chunk_id, Ring::add(carry, running));
+        if (!drop_fence)
+            ctx.threadfence();
+        ctx.st_release(global_flags, chunk_id, 1);
+        ctx.note_site(nullptr);
+
+        for (std::size_t i = begin; i < end; ++i)
+            ctx.st(out, i, Ring::add(carry, sums[i - begin]));
+    };
+
+    device.launch(num_chunks, body);
+
+    std::vector<V> result = device.download(out);
+    device.memory().free(local_state);
+    device.memory().free(global_state);
+    device.memory().free(local_flags);
+    device.memory().free(global_flags);
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+}  // namespace
+
+KernelInfo
+race_canary_kernel()
+{
+    KernelInfo info;
+    info.name = "race_canary";
+    info.description =
+        "deliberately synchronization-broken look-back prefix sum: the "
+        "fault seed picks a chunk that drops its fences or reads a carry "
+        "unacquired (race-detector canary)";
+    info.supports = [](const Signature& sig, Domain domain) {
+        if (domain == Domain::kTropical || sig.is_max_plus())
+            return false;
+        return sig.a() == std::vector<double>{1.0} &&
+               sig.b() == std::vector<double>{1.0};
+    };
+    info.run_int = run_race_canary<IntRing>;
+    info.run_float = run_race_canary<FloatRing>;
+    return info;
+}
+
+std::size_t
+race_canary_victim(std::uint64_t fault_seed, std::size_t num_chunks)
+{
+    if (fault_seed == 0 || num_chunks < 3)
+        return gpusim::BlockForensics::kNone;
+    const gpusim::FaultPlan plan(fault_seed);
+    for (std::size_t q = 1; q + 1 < num_chunks; ++q) {
+        if (plan.coin(kRaceCanarySalt, q, kRaceCanaryProbability))
+            return q;
+    }
+    return gpusim::BlockForensics::kNone;
+}
+
+RaceCanaryMode
+race_canary_mode(std::uint64_t fault_seed, std::size_t victim)
+{
+    if (fault_seed == 0 || victim == gpusim::BlockForensics::kNone)
+        return RaceCanaryMode::kDroppedFence;
+    const gpusim::FaultPlan plan(fault_seed);
+    return plan.coin(kRaceCanaryModeSalt, victim, 0.5)
+               ? RaceCanaryMode::kEarlyCarryRead
+               : RaceCanaryMode::kDroppedFence;
+}
+
+}  // namespace plr::testing

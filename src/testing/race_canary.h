@@ -1,0 +1,84 @@
+#ifndef PLR_TESTING_RACE_CANARY_H_
+#define PLR_TESTING_RACE_CANARY_H_
+
+/**
+ * @file
+ * The race detector's own canary: a look-back kernel with a deliberate
+ * synchronization bug (docs/ANALYSIS.md).
+ *
+ * "race_canary" is a single-window decoupled look-back prefix sum written
+ * directly against the BlockContext primitives (not LookbackChain, whose
+ * publish/resolve helpers are correct by construction) so it can sabotage
+ * its own synchronization. It is correct under benign execution — but when
+ * the device carries a FaultPlan, the lowest chunk in [1, num_chunks - 2]
+ * whose deterministic coin (FaultPlan::coin(kRaceCanarySalt, chunk,
+ * kRaceCanaryProbability)) hits becomes the victim of one of two seeded
+ * bugs, chosen by a second coin on the same seed:
+ *
+ *  - kDroppedFence: the victim publishes its carries but skips the
+ *    __threadfence() before both flag releases. The release clock then
+ *    fails to cover the carry writes, so the successor's look-back read
+ *    races with the victim's publish ("publish-local"/"publish-global"
+ *    vs "look-back" provenance), and the invariant checker flags the
+ *    unfenced carry at the release itself.
+ *
+ *  - kEarlyCarryRead: the victim reads its predecessor's global carry
+ *    without acquiring the flag first (site "early-carry-read") — the
+ *    classic missing-poll bug. The invariant checker reports the
+ *    unacquired carry read deterministically; the race detector
+ *    additionally reports the read/write race whenever the predecessor's
+ *    publish has already executed.
+ *
+ * Outputs stay correct in the dropped-fence mode (the simulator's memory
+ * is sequentially consistent; only the *proof* of ordering is missing),
+ * which is exactly why the happens-before analysis is needed: no
+ * differential check can see this bug. Because the coins are keyed on the
+ * fault seed and chunk index alone, tests predict the victim and mode for
+ * any seed (see tests/race_matrix_test.cpp).
+ */
+
+#include <cstdint>
+
+#include "kernels/registry.h"
+
+namespace plr::testing {
+
+/** Salt for the victim-selection coin (tests replicate the draw). */
+inline constexpr std::uint64_t kRaceCanarySalt = 0x9aceull;
+
+/** Salt for the bug-mode coin, drawn once on the victim chunk. */
+inline constexpr std::uint64_t kRaceCanaryModeSalt = 0x9acefull;
+
+/** Per-chunk probability that a chunk becomes the victim. */
+inline constexpr double kRaceCanaryProbability = 0.25;
+
+/** The two seeded synchronization bugs. */
+enum class RaceCanaryMode {
+    kDroppedFence,    ///< publish without the fence before the releases
+    kEarlyCarryRead,  ///< read the predecessor's carry without acquiring
+};
+
+/**
+ * The sabotaged look-back kernel ("race_canary"): prefix-sum family, int
+ * and float domains. Correct with RunOptions::fault_seed == 0; honors
+ * RunOptions::race_detect / invariants on its own device.
+ */
+kernels::KernelInfo race_canary_kernel();
+
+/**
+ * Lowest chunk in [1, num_chunks - 2] selected as victim under
+ * @p fault_seed (BlockForensics::kNone when every coin misses, the seed
+ * is 0, or there are fewer than 3 chunks). The range guarantees the
+ * victim has both a predecessor to read early and a successor to race
+ * with.
+ */
+std::size_t race_canary_victim(std::uint64_t fault_seed,
+                               std::size_t num_chunks);
+
+/** The bug mode @p victim suffers under @p fault_seed. */
+RaceCanaryMode race_canary_mode(std::uint64_t fault_seed,
+                                std::size_t victim);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_RACE_CANARY_H_

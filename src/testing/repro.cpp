@@ -95,6 +95,12 @@ encode_reproducer(const ConformanceFailure& failure)
         os << " fault=" << failure.run.fault_seed;
     if (failure.run.spin_watchdog != 0)
         os << " watchdog=" << failure.run.spin_watchdog;
+    // race= is a bitmask: 1 = race detector, 2 = invariant checker. A
+    // failing analyzed schedule replays with the same detectors on.
+    const unsigned race_mask = (failure.run.race_detect ? 1u : 0u) |
+                               (failure.run.invariants ? 2u : 0u);
+    if (race_mask != 0)
+        os << " race=" << race_mask;
     return os.str();
 }
 
@@ -139,6 +145,13 @@ parse_reproducer(const std::string& line)
         repro.run.fault_seed = parse_u64(fields["fault"], "fault");
     if (fields.count("watchdog"))
         repro.run.spin_watchdog = parse_u64(fields["watchdog"], "watchdog");
+    if (fields.count("race")) {
+        const std::uint64_t mask = parse_u64(fields["race"], "race");
+        PLR_REQUIRE(mask >= 1 && mask <= 3,
+                    "race mask must be 1, 2 or 3, got " << mask);
+        repro.run.race_detect = (mask & 1u) != 0;
+        repro.run.invariants = (mask & 2u) != 0;
+    }
     repro.input_seed = parse_u64(fields["seed"], "seed");
     (void)repro.signature();  // validate the coefficient lists eagerly
     return repro;

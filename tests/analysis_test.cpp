@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The happens-before race detector and the look-back protocol invariant
+ * checker (docs/ANALYSIS.md): vector-clock algebra, shadow-word
+ * granularity, the use-after-free regression, detector wiring through the
+ * Device, and single-seed canary detection with full dual provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/launch_analysis.h"
+#include "analysis/race_report.h"
+#include "analysis/shadow_memory.h"
+#include "analysis/vector_clock.h"
+#include "gpusim/device.h"
+#include "kernels/lookback_chain.h"
+#include "kernels/serial.h"
+#include "testing/race_canary.h"
+#include "util/ring.h"
+
+namespace plr {
+namespace {
+
+using analysis::AccessKind;
+using analysis::AnalysisConfig;
+using analysis::RaceError;
+using analysis::RaceReport;
+using analysis::ShadowMemory;
+using analysis::VectorClock;
+using gpusim::BlockContext;
+using gpusim::Device;
+using gpusim::FaultPlan;
+
+// -------------------------------------------------- vector-clock algebra
+
+TEST(VectorClock, DefaultsToZeroAndGrowsOnSet)
+{
+    VectorClock vc;
+    EXPECT_EQ(vc.size(), 0u);
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(100), 0u);
+    vc.set(3, 7);
+    EXPECT_EQ(vc.size(), 4u);
+    EXPECT_EQ(vc.get(3), 7u);
+    EXPECT_EQ(vc.get(2), 0u);
+    vc.advance(3);
+    EXPECT_EQ(vc.get(3), 8u);
+    vc.advance(9);  // advancing an unset component creates it at 1
+    EXPECT_EQ(vc.get(9), 1u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax)
+{
+    VectorClock a;
+    a.set(0, 5);
+    a.set(2, 1);
+    VectorClock b;
+    b.set(0, 3);
+    b.set(1, 4);
+    b.set(3, 2);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 4u);
+    EXPECT_EQ(a.get(2), 1u);
+    EXPECT_EQ(a.get(3), 2u);
+    // Join is idempotent and monotone.
+    VectorClock before = a;
+    a.join(b);
+    EXPECT_TRUE(a == before);
+    EXPECT_TRUE(a.covers(b));
+    EXPECT_FALSE(b.covers(a));
+}
+
+TEST(VectorClock, CoversComparesEpochsNotSizes)
+{
+    VectorClock vc;
+    vc.set(1, 3);
+    EXPECT_TRUE(vc.covers(1, 3));
+    EXPECT_TRUE(vc.covers(1, 2));
+    EXPECT_FALSE(vc.covers(1, 4));
+    EXPECT_TRUE(vc.covers(7, 0));   // epoch 0 is always covered
+    EXPECT_FALSE(vc.covers(7, 1));  // beyond the allocated size
+    // Equality holds across different allocated sizes when the epochs
+    // agree (trailing zeros are implicit).
+    VectorClock padded;
+    padded.set(1, 3);
+    padded.set(5, 0);
+    EXPECT_TRUE(vc == padded);
+    EXPECT_EQ(vc.to_string(), "[0 3]");
+}
+
+TEST(VectorClock, ConcurrentClocksCoverNeither)
+{
+    VectorClock a;
+    a.set(0, 2);
+    VectorClock b;
+    b.set(1, 2);
+    EXPECT_FALSE(a.covers(b));
+    EXPECT_FALSE(b.covers(a));
+    EXPECT_FALSE(a == b);
+}
+
+// --------------------------------------------- shadow-word granularity
+
+TEST(ShadowMemory, WordSpanHandlesUnalignedAndOverlappingRanges)
+{
+    using Span = std::pair<std::uint64_t, std::uint64_t>;
+    // Aligned single word.
+    EXPECT_EQ(ShadowMemory::word_span(0, 4), Span(0, 0));
+    // Sub-word accesses land on the containing word.
+    EXPECT_EQ(ShadowMemory::word_span(0, 1), Span(0, 0));
+    EXPECT_EQ(ShadowMemory::word_span(3, 1), Span(0, 0));
+    // Unaligned two-byte access straddling a word boundary covers both.
+    EXPECT_EQ(ShadowMemory::word_span(3, 2), Span(0, 1));
+    // An 8-byte value (double) spans two words; unaligned spans three.
+    EXPECT_EQ(ShadowMemory::word_span(8, 8), Span(2, 3));
+    EXPECT_EQ(ShadowMemory::word_span(6, 8), Span(1, 3));
+    // Bulk range.
+    EXPECT_EQ(ShadowMemory::word_span(4, 40), Span(1, 10));
+    // Empty access yields the canonical empty span (first > last).
+    const auto empty = ShadowMemory::word_span(12, 0);
+    EXPECT_GT(empty.first, empty.second);
+}
+
+TEST(ShadowMemory, OverlappingUnalignedAccessesConflictOnTheSharedWord)
+{
+    // Two blocks touch byte ranges that only overlap in one shadow word;
+    // the detector must still see the conflict (word granularity is the
+    // detection floor, not element granularity).
+    std::vector<gpusim::AllocationRecord> ledger(1);
+    ledger[0].label = "buf";
+    ledger[0].bytes = 64;
+    ShadowMemory shadow(&ledger);
+
+    VectorClock vc0;
+    vc0.set(0, 1);
+    VectorClock vc1;
+    vc1.set(1, 1);
+    std::vector<analysis::RaceViolation> out;
+
+    // Block 0 writes bytes [0, 6): words 0 and 1.
+    shadow.on_write({0, 0, "a"}, vc0, 0, 0, 6, &out);
+    EXPECT_TRUE(out.empty());
+    // Block 1 reads bytes [5, 12): words 1 and 2 — overlaps only word 1.
+    shadow.on_read({1, 1, "b"}, vc1, 0, 5, 7, &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].what, "write-read race");
+    EXPECT_EQ(out[0].first.block, 0u);
+    EXPECT_EQ(out[0].second.block, 1u);
+    // The remembered side is word-granular: word 1 = bytes [4, 8).
+    EXPECT_EQ(out[0].first.offset, 4u);
+    EXPECT_EQ(out[0].first.bytes, ShadowMemory::kWordBytes);
+
+    // A many-word racy read still produces ONE finding, not one per word.
+    out.clear();
+    shadow.on_write({0, 0, "a"}, vc0, 0, 16, 32, &out);
+    shadow.on_read({1, 1, "b"}, vc1, 0, 16, 32, &out);
+    ASSERT_EQ(out.size(), 1u);
+}
+
+// ------------------------------------------------ use-after-free shadow
+
+TEST(UseAfterFree, FreedRangesStayAddressableAndAreReportedOnce)
+{
+    // Regression: MemoryPool::free used to release the host storage, so a
+    // stale Buffer dereferenced freed memory and the shadow flags crashed
+    // with the pool instead of reporting. Freed ranges must now stay
+    // addressable (like a real GPU heap) with the *analysis* reporting
+    // the dangling access.
+    Device device;
+    AnalysisConfig config;
+    config.fail_on_violation = false;  // inspect the report instead
+    device.enable_analysis(config);
+
+    auto buf = device.alloc<std::uint32_t>(8, "dangling");
+    device.launch(1, [&](BlockContext& ctx) { ctx.st(buf, 0, 42u); });
+    device.memory().free(buf);
+
+    std::uint32_t seen = 0;
+    device.launch(1, [&](BlockContext& ctx) {
+        seen = ctx.ld(buf, 0);  // dangling, but must not crash
+        (void)ctx.ld(buf, 1);   // second access: same allocation, no
+        ctx.st(buf, 2, 7u);     // duplicate findings
+    });
+    EXPECT_EQ(seen, 42u);  // the freed range still holds its bytes
+
+    const RaceReport* report = device.last_analysis_report();
+    ASSERT_NE(report, nullptr);
+    ASSERT_EQ(report->races.size(), 1u);
+    EXPECT_EQ(report->races[0].what, "use-after-free");
+    EXPECT_EQ(report->races[0].first.kind, AccessKind::kFree);
+    EXPECT_EQ(report->races[0].first.buffer, "dangling");
+    EXPECT_EQ(report->races[0].second.block, 0u);
+    EXPECT_EQ(report->races[0].second.kind, AccessKind::kRead);
+    EXPECT_TRUE(report->invariants.empty());
+}
+
+TEST(UseAfterFree, FailOnViolationThrowsRaceError)
+{
+    Device device;
+    device.enable_analysis();
+    auto buf = device.alloc<std::uint32_t>(4, "dangling");
+    device.memory().free(buf);
+    try {
+        device.launch(1, [&](BlockContext& ctx) { (void)ctx.ld(buf, 0); });
+        FAIL() << "expected RaceError";
+    } catch (const RaceError& error) {
+        ASSERT_EQ(error.report().races.size(), 1u);
+        EXPECT_EQ(error.report().races[0].what, "use-after-free");
+        EXPECT_NE(std::string(error.what()).find("use-after-free"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+// ------------------------------------------------------- device wiring
+
+TEST(DeviceAnalysis, EnvironmentVariableEnablesTheDetector)
+{
+    const char* prior = std::getenv("PLR_RACE_DETECT");
+    const std::string saved = prior ? prior : "";
+    ::setenv("PLR_RACE_DETECT", "1", 1);
+    {
+        Device device;
+        EXPECT_TRUE(device.analysis_enabled());
+    }
+    ::setenv("PLR_RACE_DETECT", "0", 1);
+    {
+        Device device;
+        EXPECT_FALSE(device.analysis_enabled());
+    }
+    ::unsetenv("PLR_RACE_DETECT");
+    {
+        Device device;
+        EXPECT_FALSE(device.analysis_enabled());
+    }
+    if (prior)
+        ::setenv("PLR_RACE_DETECT", saved.c_str(), 1);
+}
+
+TEST(DeviceAnalysis, CleanLookbackLaunchCertifiesClean)
+{
+    // A correct LookbackChain protocol run under the full analysis must
+    // produce an empty report — the fence/release/acquire edges cover
+    // every carry handoff.
+    Device device;
+    device.enable_analysis();
+    const std::size_t chunks = 12;
+    kernels::LookbackChain<std::int32_t> chain(device, chunks, 1, 8,
+                                               "clean");
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+    EXPECT_NO_THROW(device.launch(chunks, [&](BlockContext& ctx) {
+        const std::size_t q = ctx.block_index();
+        chain.publish_local(ctx, q, {1});
+        std::vector<std::int32_t> carry = {0};
+        if (q > 0)
+            carry = chain.wait_and_resolve(ctx, q, fold);
+        chain.publish_global(ctx, q, {carry[0] + 1});
+    }));
+    const RaceReport* report = device.last_analysis_report();
+    ASSERT_NE(report, nullptr);
+    EXPECT_TRUE(report->clean()) << report->format();
+    chain.free(device);
+}
+
+TEST(DeviceAnalysis, UnsynchronizedWritersAreCaught)
+{
+    // The simplest possible race: two blocks store to the same word with
+    // no synchronization whatsoever.
+    Device device;
+    device.enable_analysis();
+    auto buf = device.alloc<std::uint32_t>(1, "contested");
+    try {
+        device.launch(
+            2,
+            [&](BlockContext& ctx) {
+                ctx.st(buf, 0, static_cast<std::uint32_t>(
+                                   ctx.block_index()));
+            },
+            /*max_resident=*/2);
+        FAIL() << "expected RaceError";
+    } catch (const RaceError& error) {
+        ASSERT_FALSE(error.report().races.empty());
+        EXPECT_EQ(error.report().races[0].what, "write-write race");
+    }
+}
+
+// ----------------------------------------- the race canary, single seed
+
+/** First seed in [1, 64) whose victim exists and suffers @p mode. */
+std::uint64_t
+find_canary_seed(std::size_t num_chunks, testing::RaceCanaryMode mode)
+{
+    for (std::uint64_t seed = 1; seed < 64; ++seed) {
+        const std::size_t v = testing::race_canary_victim(seed, num_chunks);
+        if (v != gpusim::BlockForensics::kNone &&
+            testing::race_canary_mode(seed, v) == mode)
+            return seed;
+    }
+    return 0;
+}
+
+TEST(RaceCanary, IsCorrectWithoutFaults)
+{
+    const auto info = testing::race_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    std::vector<std::int32_t> input(333);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<std::int32_t>(i % 23) - 11;
+    kernels::RunOptions run;
+    run.race_detect = true;
+    run.invariants = true;
+    const auto got = info.run_int(sig, input, run);
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(RaceCanary, DroppedFenceIsFlaggedWithDualProvenance)
+{
+    const std::size_t chunk = 64;
+    const std::size_t num_chunks = 8;
+    const std::uint64_t seed =
+        find_canary_seed(num_chunks, testing::RaceCanaryMode::kDroppedFence);
+    ASSERT_NE(seed, 0u) << "no dropped-fence seed below 64?!";
+    const std::size_t victim = testing::race_canary_victim(seed, num_chunks);
+
+    const auto info = testing::race_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    const std::vector<std::int32_t> input(chunk * num_chunks, 1);
+    kernels::RunOptions run;
+    run.chunk = chunk;
+    run.fault_seed = seed;
+    run.spin_watchdog = 5'000'000;
+    run.race_detect = true;
+    run.invariants = true;
+    try {
+        (void)info.run_int(sig, input, run);
+        FAIL() << "seed " << seed << " (victim " << victim
+               << ") was not flagged";
+    } catch (const RaceError& error) {
+        const RaceReport& report = error.report();
+        // The race names BOTH sides: the victim's unfenced publish and
+        // the successor's look-back read of that carry.
+        ASSERT_FALSE(report.races.empty()) << report.format();
+        const auto& race = report.races[0];
+        EXPECT_EQ(race.what, "write-read race") << report.format();
+        EXPECT_EQ(race.first.block, victim);
+        EXPECT_EQ(race.first.chunk, victim);
+        EXPECT_EQ(race.first.site, "publish-global");
+        EXPECT_EQ(race.second.block, victim + 1);
+        EXPECT_EQ(race.second.chunk, victim + 1);
+        EXPECT_EQ(race.second.site, "look-back");
+        // Both sides name the carry allocation and the victim's slot.
+        EXPECT_EQ(race.first.buffer, "race_canary.global");
+        EXPECT_EQ(race.second.buffer, "race_canary.global");
+        EXPECT_EQ(race.first.offset / sizeof(std::int32_t), victim);
+        // The invariant checker independently pins the unfenced publish
+        // at the release site (both the local and the global flag).
+        ASSERT_FALSE(report.invariants.empty()) << report.format();
+        bool saw_unfenced = false;
+        for (const auto& violation : report.invariants) {
+            if (violation.rule != "unfenced-carry")
+                continue;
+            saw_unfenced = true;
+            EXPECT_EQ(violation.protocol, "race_canary");
+            EXPECT_EQ(violation.chunk, victim);
+            EXPECT_EQ(violation.at.block, victim);
+        }
+        EXPECT_TRUE(saw_unfenced) << report.format();
+        // The rendering carries the provenance a human needs.
+        const std::string text = report.format();
+        EXPECT_NE(text.find("publish-global"), std::string::npos) << text;
+        EXPECT_NE(text.find("look-back"), std::string::npos) << text;
+    }
+}
+
+TEST(RaceCanary, EarlyCarryReadBreaksTheAcquireInvariant)
+{
+    const std::size_t chunk = 64;
+    const std::size_t num_chunks = 8;
+    const std::uint64_t seed = find_canary_seed(
+        num_chunks, testing::RaceCanaryMode::kEarlyCarryRead);
+    ASSERT_NE(seed, 0u) << "no early-read seed below 64?!";
+    const std::size_t victim = testing::race_canary_victim(seed, num_chunks);
+
+    const auto info = testing::race_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    const std::vector<std::int32_t> input(chunk * num_chunks, 1);
+    kernels::RunOptions run;
+    run.chunk = chunk;
+    run.fault_seed = seed;
+    run.spin_watchdog = 5'000'000;
+    run.invariants = true;  // the invariant alone must catch this
+    try {
+        (void)info.run_int(sig, input, run);
+        FAIL() << "seed " << seed << " (victim " << victim
+               << ") was not flagged";
+    } catch (const RaceError& error) {
+        const RaceReport& report = error.report();
+        ASSERT_FALSE(report.invariants.empty()) << report.format();
+        bool saw_unacquired = false;
+        for (const auto& violation : report.invariants) {
+            if (violation.rule != "unacquired-carry-read")
+                continue;
+            saw_unacquired = true;
+            EXPECT_EQ(violation.protocol, "race_canary");
+            EXPECT_EQ(violation.chunk, victim - 1);  // the carry it stole
+            EXPECT_EQ(violation.at.block, victim);
+            EXPECT_EQ(violation.at.site, "early-carry-read");
+        }
+        EXPECT_TRUE(saw_unacquired) << report.format();
+    }
+}
+
+TEST(RaceCanary, DetectorsGateIndependently)
+{
+    // With only the race detector on, no invariant findings may appear
+    // (and vice versa) — the two analyses are independently switchable.
+    const std::size_t chunk = 64;
+    const std::size_t num_chunks = 8;
+    const std::uint64_t seed =
+        find_canary_seed(num_chunks, testing::RaceCanaryMode::kDroppedFence);
+    ASSERT_NE(seed, 0u);
+    const auto info = testing::race_canary_kernel();
+    const Signature sig({1.0}, {1.0});
+    const std::vector<std::int32_t> input(chunk * num_chunks, 1);
+
+    kernels::RunOptions race_only;
+    race_only.chunk = chunk;
+    race_only.fault_seed = seed;
+    race_only.spin_watchdog = 5'000'000;
+    race_only.race_detect = true;
+    try {
+        (void)info.run_int(sig, input, race_only);
+        FAIL() << "race detector alone must still flag the dropped fence";
+    } catch (const RaceError& error) {
+        EXPECT_FALSE(error.report().races.empty());
+        EXPECT_TRUE(error.report().invariants.empty())
+            << error.report().format();
+    }
+
+    kernels::RunOptions invariants_only = race_only;
+    invariants_only.race_detect = false;
+    invariants_only.invariants = true;
+    try {
+        (void)info.run_int(sig, input, invariants_only);
+        FAIL() << "invariant checker alone must still flag the dropped "
+                  "fence";
+    } catch (const RaceError& error) {
+        EXPECT_TRUE(error.report().races.empty())
+            << error.report().format();
+        EXPECT_FALSE(error.report().invariants.empty());
+    }
+}
+
+}  // namespace
+}  // namespace plr
