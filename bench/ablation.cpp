@@ -10,10 +10,15 @@
  *     spins as the window shrinks;
  *  3. suppressing the shifted factor list (k > 1) — storage saved;
  *  4. each individual Section-3.1 optimization toggled off alone.
+ *
+ * Ablations 1, 3, and 4 are deterministic (modeled throughput and the
+ * allocation ledger) and land in the JSON report; ablation 2's look-back
+ * distances depend on thread scheduling and stay print-only.
  */
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
 #include "gpusim/device.h"
@@ -28,7 +33,7 @@ using plr::perfmodel::Algo;
 const plr::perfmodel::HardwareModel kHw;
 
 void
-cache_size_sweep()
+cache_size_sweep(plr::bench::Reporter& reporter)
 {
     std::cout << "== Ablation 1: shared-memory factor-cache size ==\n"
               << "modeled PLR throughput at n = 2^30, billion words/s\n";
@@ -45,12 +50,12 @@ cache_size_sweep()
             plr::Optimizations opts;
             opts.shared_factor_cache = cache > 0;
             opts.shared_cache_elems = cache;
-            row.push_back(plr::format_fixed(
-                plr::perfmodel::algo_throughput(Algo::kPlr, sig,
-                                                std::size_t{1} << 30, kHw,
-                                                opts) /
-                    1e9,
-                2));
+            const double tp = plr::perfmodel::algo_throughput(
+                Algo::kPlr, sig, std::size_t{1} << 30, kHw, opts);
+            reporter.add_metric(std::string("cache.") + name + "." +
+                                    std::to_string(cache),
+                                tp);
+            row.push_back(plr::format_fixed(tp / 1e9, 2));
         }
         table.add_row(std::move(row));
     }
@@ -88,7 +93,7 @@ lookback_window_sweep()
 }
 
 void
-shifted_list_ablation()
+shifted_list_ablation(plr::bench::Reporter& reporter)
 {
     std::cout << "== Ablation 3: shifted-list suppression (k > 1) ==\n";
     const std::size_t n = 1 << 16;
@@ -109,12 +114,15 @@ shifted_list_ablation()
         std::cout << "  suppress=" << (suppress ? "on " : "off")
                   << ": factor-array storage " << factor_bytes
                   << " bytes\n";
+        reporter.add_metric(suppress ? "shifted_list.suppressed_bytes"
+                                     : "shifted_list.full_bytes",
+                            static_cast<double>(factor_bytes));
     }
     std::cout << "\n";
 }
 
 void
-individual_optimizations()
+individual_optimizations(plr::bench::Reporter& reporter)
 {
     std::cout << "== Ablation 4: each optimization off alone ==\n"
               << "modeled PLR throughput at n = 2^30, billion words/s\n";
@@ -143,18 +151,19 @@ individual_optimizations()
     for (const Toggle& toggle : toggles) {
         plr::Optimizations opts;
         toggle.apply(opts);
-        auto cell = [&](const plr::Signature& sig) {
-            return plr::format_fixed(
-                plr::perfmodel::algo_throughput(Algo::kPlr, sig,
-                                                std::size_t{1} << 30, kHw,
-                                                opts) /
-                    1e9,
-                2);
+        auto cell = [&](const char* key, const plr::Signature& sig) {
+            const double tp = plr::perfmodel::algo_throughput(
+                Algo::kPlr, sig, std::size_t{1} << 30, kHw, opts);
+            reporter.add_metric(std::string("toggle.") + toggle.name + "." +
+                                    key,
+                                tp);
+            return plr::format_fixed(tp / 1e9, 2);
         };
-        table.add_row({toggle.name, cell(plr::dsp::prefix_sum()),
-                       cell(plr::dsp::tuple_prefix_sum(3)),
-                       cell(plr::dsp::higher_order_prefix_sum(2)),
-                       cell(plr::dsp::lowpass(0.8, 2))});
+        table.add_row({toggle.name,
+                       cell("prefix_sum", plr::dsp::prefix_sum()),
+                       cell("tuple3", plr::dsp::tuple_prefix_sum(3)),
+                       cell("order2", plr::dsp::higher_order_prefix_sum(2)),
+                       cell("lowpass2", plr::dsp::lowpass(0.8, 2))});
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -163,11 +172,14 @@ individual_optimizations()
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    cache_size_sweep();
+    plr::bench::Reporter reporter("ablation",
+                                  "Ablation studies of PLR design choices");
+    cache_size_sweep(reporter);
     lookback_window_sweep();
-    shifted_list_ablation();
-    individual_optimizations();
+    shifted_list_ablation(reporter);
+    individual_optimizations(reporter);
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include "kernels/samlike.h"
 #include "kernels/scan_baseline.h"
 #include "kernels/serial.h"
+#include "util/cli.h"
 #include "util/compare.h"
 #include "util/table.h"
 
@@ -35,10 +36,22 @@ throughput_cell(Algo algo, const Signature& sig, std::size_t n)
                         2);
 }
 
-/** Run one simulator code and validate it against the serial result. */
+/** Outcome of one simulator cross-check. */
+struct CheckResult {
+    bool ok = false;
+    /** True when a simulated device ran (counters are meaningful). */
+    bool has_counters = false;
+    gpusim::CounterSnapshot counters;
+};
+
+/**
+ * Run one simulator code and validate it against the serial result. With
+ * @p serialize the device runs blocks one at a time in index order, so
+ * the captured counters are exactly reproducible.
+ */
 template <typename Ring>
-bool
-validate_one(Algo algo, const Signature& sig, std::size_t n)
+CheckResult
+validate_one(Algo algo, const Signature& sig, std::size_t n, bool serialize)
 {
     using V = typename Ring::value_type;
     std::vector<V> input;
@@ -48,11 +61,14 @@ validate_one(Algo algo, const Signature& sig, std::size_t n)
         input = dsp::random_floats(n, 99);
     const auto expected = kernels::serial_recurrence<Ring>(sig, input);
 
-    gpusim::Device device;
+    gpusim::Device device(serialize ? gpusim::serialized()
+                                    : gpusim::titan_x());
+    CheckResult result;
     std::vector<V> actual;
     switch (algo) {
       case Algo::kMemcpy:
-        return true;  // nothing to validate
+        result.ok = true;  // nothing to validate
+        return result;
       case Algo::kPlr: {
         kernels::PlrKernel<Ring> kernel(
             make_plan_with_chunk(sig, n, 1024, 256));
@@ -84,33 +100,78 @@ validate_one(Algo algo, const Signature& sig, std::size_t n)
             const std::size_t image_n = side * side;
             std::vector<float> image(input.begin(),
                                      input.begin() + image_n);
-            std::vector<float> result;
+            std::vector<float> filtered;
             if (algo == Algo::kAlg3) {
                 kernels::Alg3LikeKernel kernel(sig, side, side);
-                result = kernel.run(device, image);
+                filtered = kernel.run(device, image);
             } else {
                 kernels::RecLikeKernel kernel(sig, side, side);
-                result = kernel.run(device, image);
+                filtered = kernel.run(device, image);
             }
+            result.has_counters = true;
+            result.counters = device.counters().snapshot();
+            result.ok = true;
             for (std::size_t r = 0; r < side; ++r) {
                 const auto row_ref = kernels::serial_recurrence<FloatRing>(
                     sig,
                     std::span<const float>(image.data() + r * side, side));
                 const auto row = std::span<const float>(
-                    result.data() + r * side, side);
-                if (!validate_close(row_ref, row, 1e-3).ok)
-                    return false;
+                    filtered.data() + r * side, side);
+                if (!validate_close(row_ref, row, 1e-3).ok) {
+                    result.ok = false;
+                    break;
+                }
             }
-            return true;
+            return result;
         }
-        return false;
+        return result;  // 2D filters are float-only
       }
     }
 
+    result.has_counters = true;
+    result.counters = device.counters().snapshot();
     if constexpr (Ring::is_exact)
-        return validate_exact(expected, actual).ok;
+        result.ok = validate_exact(expected, actual).ok;
     else
-        return validate_close(expected, actual, 1e-3).ok;
+        result.ok = validate_close(expected, actual, 1e-3).ok;
+    return result;
+}
+
+CheckResult
+validate_dispatch(const FigureSpec& spec, Algo algo, std::size_t n,
+                  bool serialize)
+{
+    return spec.is_float
+               ? validate_one<FloatRing>(algo, spec.signature, n, serialize)
+               : validate_one<IntRing>(algo, spec.signature, n, serialize);
+}
+
+bool
+validate_figure_impl(const FigureSpec& spec, std::size_t n, bool serialize,
+                     Reporter* reporter, const std::string& label_prefix)
+{
+    std::cout << "\nfunctional cross-check on the execution simulator (n="
+              << n << (serialize ? ", serialized launches" : "") << "):\n";
+    bool all_ok = true;
+    for (Algo algo : spec.algos) {
+        if (algo == Algo::kMemcpy)
+            continue;
+        if (!perfmodel::algo_supports(algo, spec.signature))
+            continue;
+        const CheckResult result = validate_dispatch(spec, algo, n, serialize);
+        all_ok = all_ok && result.ok;
+        const std::string label = label_prefix + perfmodel::to_string(algo);
+        if (reporter != nullptr) {
+            reporter->add_validation(label, result.ok);
+            if (result.has_counters)
+                reporter->add_counters(label, n, result.counters);
+        }
+        std::cout << "  " << perfmodel::to_string(algo) << ": "
+                  << (result.ok ? "ok (matches serial reference)"
+                                : "MISMATCH")
+                  << "\n";
+    }
+    return all_ok;
 }
 
 }  // namespace
@@ -138,35 +199,62 @@ print_figure(const FigureSpec& spec)
     table.print(std::cout);
 }
 
+void
+report_figure(const FigureSpec& spec, Reporter& reporter)
+{
+    for (int e = spec.min_exp; e <= spec.max_exp; ++e) {
+        const std::size_t n = std::size_t{1} << e;
+        for (Algo algo : spec.algos) {
+            if (!perfmodel::algo_supports(algo, spec.signature))
+                continue;
+            if (n > perfmodel::algo_max_elements(algo, spec.signature, kHw))
+                continue;
+            reporter.add_series_point(
+                perfmodel::to_string(algo), n,
+                perfmodel::algo_throughput(algo, spec.signature, n, kHw));
+        }
+    }
+}
+
 bool
 validate_figure(const FigureSpec& spec, std::size_t n)
 {
-    std::cout << "\nfunctional cross-check on the execution simulator (n="
-              << n << "):\n";
-    bool all_ok = true;
-    for (Algo algo : spec.algos) {
-        if (algo == Algo::kMemcpy)
-            continue;
-        if (!perfmodel::algo_supports(algo, spec.signature))
-            continue;
-        const bool ok =
-            spec.is_float
-                ? validate_one<FloatRing>(algo, spec.signature, n)
-                : validate_one<IntRing>(algo, spec.signature, n);
-        all_ok = all_ok && ok;
-        std::cout << "  " << perfmodel::to_string(algo) << ": "
-                  << (ok ? "ok (matches serial reference)" : "MISMATCH")
-                  << "\n";
-    }
-    return all_ok;
+    return validate_figure_impl(spec, n, /*serialize=*/false,
+                                /*reporter=*/nullptr, "");
+}
+
+bool
+validate_figure_detailed(const FigureSpec& spec, Reporter& reporter,
+                         const std::string& label_prefix, std::size_t n)
+{
+    return validate_figure_impl(spec, n, /*serialize=*/true, &reporter,
+                                label_prefix);
+}
+
+void
+write_json_if_requested(const Reporter& reporter, int argc,
+                        const char* const* argv)
+{
+    const CliArgs args(argc, argv);
+    const std::string path = args.get("json", "");
+    if (!path.empty())
+        reporter.write(path);
 }
 
 int
-figure_main(const FigureSpec& spec)
+bench_main(const std::string& name, const FigureSpec& spec, int argc,
+           const char* const* argv,
+           const std::function<void(Reporter&)>& extra)
 {
+    Reporter reporter(name, spec.title);
+    reporter.set_signature(spec.signature);
     print_figure(spec);
-    const bool ok = validate_figure(spec);
+    report_figure(spec, reporter);
+    if (extra)
+        extra(reporter);
+    const bool ok = validate_figure_detailed(spec, reporter);
     std::cout << std::endl;
+    write_json_if_requested(reporter, argc, argv);
     return ok ? 0 : 1;
 }
 

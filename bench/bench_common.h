@@ -11,14 +11,21 @@
  * functional kernels on the execution simulator at a small size (the
  * paper validates every run against the serial code; we do the same at
  * simulator scale).
+ *
+ * bench_main() is the standard entry point: it prints the figure, runs
+ * the cross-checks on a serialized device (capturing exact, scheduling-
+ * independent perf counters), and — with `--json <path>` — writes a
+ * plr-bench:v1 report (docs/BENCH.md).
  */
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/signature.h"
 #include "perfmodel/algo_profiles.h"
+#include "report.h"
 
 namespace plr::bench {
 
@@ -38,6 +45,9 @@ struct FigureSpec {
 /** Print one figure's series (modeled throughput vs. size). */
 void print_figure(const FigureSpec& spec);
 
+/** Record the figure's modeled-throughput series in @p reporter. */
+void report_figure(const FigureSpec& spec, Reporter& reporter);
+
 /**
  * Functional cross-check: run every code of the figure on the gpusim
  * substrate at a small size and validate against the serial reference,
@@ -45,8 +55,34 @@ void print_figure(const FigureSpec& spec);
  */
 bool validate_figure(const FigureSpec& spec, std::size_t n = 1 << 14);
 
-/** Standard main body used by the per-figure executables. */
-int figure_main(const FigureSpec& spec);
+/**
+ * validate_figure on a serialized device (gpusim::serialized — blocks
+ * run one at a time in index order), recording per-code validation
+ * outcomes and exact counter totals in @p reporter under labels
+ * `label_prefix` + code name. Counters captured this way are fully
+ * reproducible and gate the baseline comparison (docs/BENCH.md).
+ */
+bool validate_figure_detailed(const FigureSpec& spec, Reporter& reporter,
+                              const std::string& label_prefix = "",
+                              std::size_t n = 1 << 14);
+
+/** Write the report when `--json <path>` was passed on the command line. */
+void write_json_if_requested(const Reporter& reporter, int argc,
+                             const char* const* argv);
+
+/**
+ * Standard main body used by the per-figure executables: print the
+ * figure, let @p extra record bench-specific prose and metrics, run the
+ * serialized cross-checks, honor `--json`. Returns 0 when every
+ * cross-check passed.
+ */
+int bench_main(const std::string& name, const FigureSpec& spec, int argc,
+               const char* const* argv,
+               const std::function<void(Reporter&)>& extra = nullptr);
+
+/** bench_main over a figure_registry() entry (see figures.h). */
+int registry_bench_main(const std::string& name, int argc,
+                        const char* const* argv);
 
 }  // namespace plr::bench
 

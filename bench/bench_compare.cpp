@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Baseline comparison tool: diff a fresh plr-bench:v1 report against a
+ * committed baseline (bench/baselines/) with per-metric tolerance
+ * classes (docs/BENCH.md).
+ *
+ *   bench_compare <fresh.json> <baseline.json>
+ *       [--wall-tolerance 0.5] [--model-tolerance 1e-6] [--strict-wall]
+ *
+ * Exit codes: 0 = within tolerance, 1 = regression (hard finding),
+ * 2 = usage, I/O, or schema error. Wall-clock findings are soft
+ * (reported, exit 0) unless --strict-wall.
+ */
+
+#include <exception>
+#include <iostream>
+
+#include "report.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+int
+main(int argc, char** argv)
+{
+    try {
+        const plr::CliArgs args(argc, argv);
+        if (args.positional().size() != 2) {
+            std::cerr << "usage: bench_compare <fresh.json> <baseline.json>"
+                         " [--wall-tolerance X] [--model-tolerance X]"
+                         " [--strict-wall]\n";
+            return 2;
+        }
+        plr::bench::CompareOptions options;
+        options.wall_tolerance =
+            args.get_double("wall-tolerance", options.wall_tolerance);
+        options.model_tolerance =
+            args.get_double("model-tolerance", options.model_tolerance);
+        options.strict_wall = args.get_bool("strict-wall", false);
+
+        const auto fresh = plr::json::parse_file(args.positional()[0]);
+        const auto baseline = plr::json::parse_file(args.positional()[1]);
+        for (const auto* doc : {&fresh, &baseline}) {
+            const auto problems = plr::bench::validate_report(*doc);
+            if (!problems.empty()) {
+                const char* which = doc == &fresh ? "fresh" : "baseline";
+                std::cerr << which << " report is not a valid "
+                          << plr::bench::kBenchSchema << " document:\n";
+                for (const auto& problem : problems)
+                    std::cerr << "  " << problem << "\n";
+                return 2;
+            }
+        }
+
+        const auto findings =
+            plr::bench::compare_reports(fresh, baseline, options);
+        std::size_t hard = 0;
+        for (const auto& finding : findings) {
+            std::cout << (finding.hard ? "FAIL " : "warn ") << finding.what
+                      << "\n";
+            if (finding.hard)
+                ++hard;
+        }
+        const std::string name = fresh.has("bench")
+                                     ? fresh.at("bench").as_string()
+                                     : std::string("?");
+        if (plr::bench::comparison_passes(findings)) {
+            std::cout << name << ": ok ("
+                      << findings.size() - hard << " soft finding(s))\n";
+            return 0;
+        }
+        std::cout << name << ": REGRESSION (" << hard
+                  << " hard finding(s))\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "bench_compare: " << e.what() << "\n";
+        return 2;
+    }
+}

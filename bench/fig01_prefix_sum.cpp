@@ -4,17 +4,10 @@
  * for memcpy, CUB, SAM, Scan, and PLR over sizes 2^14..2^30.
  */
 
-#include "bench_common.h"
-#include "dsp/filter_design.h"
+#include "figures.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 1: prefix-sum throughput",
-        plr::dsp::prefix_sum(),
-        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
-        /*is_float=*/false};
-    return plr::bench::figure_main(spec);
+    return plr::bench::registry_bench_main("fig01_prefix_sum", argc, argv);
 }

@@ -7,32 +7,29 @@
 
 #include <iostream>
 
-#include "bench_common.h"
 #include "dsp/filter_design.h"
+#include "figures.h"
 #include "perfmodel/algo_profiles.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 3: three-tuple prefix-sum throughput",
-        plr::dsp::tuple_prefix_sum(3),
-        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
-        /*is_float=*/false};
-    const int rc = plr::bench::figure_main(spec);
-
-    // Section 6.1.2 aside: power-of-two tuples optimize better.
-    const plr::perfmodel::HardwareModel hw;
-    const std::size_t n = std::size_t{1} << 30;
-    std::cout << "PLR 4-tuple vs 3-tuple at n=2^30 (Section 6.1.2): "
-              << plr::perfmodel::algo_throughput(
-                     Algo::kPlr, plr::dsp::tuple_prefix_sum(4), n, hw) /
-                     1e9
-              << " vs "
-              << plr::perfmodel::algo_throughput(
-                     Algo::kPlr, plr::dsp::tuple_prefix_sum(3), n, hw) /
-                     1e9
-              << " billion ints/s\n";
-    return rc;
+    const plr::bench::FigureSpec* spec =
+        plr::bench::find_figure("fig03_tuple3");
+    return plr::bench::bench_main(
+        "fig03_tuple3", *spec, argc, argv, [](plr::bench::Reporter& rep) {
+            // Section 6.1.2 aside: power-of-two tuples optimize better.
+            const plr::perfmodel::HardwareModel hw;
+            const std::size_t n = std::size_t{1} << 30;
+            const double tuple4 = plr::perfmodel::algo_throughput(
+                Algo::kPlr, plr::dsp::tuple_prefix_sum(4), n, hw);
+            const double tuple3 = plr::perfmodel::algo_throughput(
+                Algo::kPlr, plr::dsp::tuple_prefix_sum(3), n, hw);
+            std::cout << "PLR 4-tuple vs 3-tuple at n=2^30 (Section 6.1.2): "
+                      << tuple4 / 1e9 << " vs " << tuple3 / 1e9
+                      << " billion ints/s\n";
+            rep.add_metric("plr_tuple4_words_per_sec", tuple4);
+            rep.add_metric("plr_tuple3_words_per_sec", tuple3);
+        });
 }

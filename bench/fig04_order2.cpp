@@ -4,17 +4,10 @@
  * integers.
  */
 
-#include "bench_common.h"
-#include "dsp/filter_design.h"
+#include "figures.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 4: second-order prefix-sum throughput",
-        plr::dsp::higher_order_prefix_sum(2),
-        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
-        /*is_float=*/false};
-    return plr::bench::figure_main(spec);
+    return plr::bench::registry_bench_main("fig04_order2", argc, argv);
 }

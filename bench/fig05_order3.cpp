@@ -7,34 +7,34 @@
 
 #include <iostream>
 
-#include "bench_common.h"
 #include "dsp/filter_design.h"
+#include "figures.h"
 #include "perfmodel/algo_profiles.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 5: third-order prefix-sum throughput",
-        plr::dsp::higher_order_prefix_sum(3),
-        {Algo::kMemcpy, Algo::kCub, Algo::kSam, Algo::kScan, Algo::kPlr},
-        /*is_float=*/false};
-    const int rc = plr::bench::figure_main(spec);
-
-    const plr::perfmodel::HardwareModel hw;
-    const std::size_t n = std::size_t{1} << 30;
-    std::cout << "SAM advantage over PLR by order (Section 6.1.3):\n";
-    for (std::size_t k = 2; k <= 4; ++k) {
-        const auto sig = plr::dsp::higher_order_prefix_sum(k);
-        const double sam =
-            plr::perfmodel::algo_throughput(Algo::kSam, sig, n, hw);
-        const double p =
-            plr::perfmodel::algo_throughput(Algo::kPlr, sig, n, hw);
-        const double cub =
-            plr::perfmodel::algo_throughput(Algo::kCub, sig, n, hw);
-        std::cout << "  order " << k << ": SAM/PLR = " << sam / p
-                  << ", PLR/CUB = " << p / cub << "\n";
-    }
-    return rc;
+    const plr::bench::FigureSpec* spec =
+        plr::bench::find_figure("fig05_order3");
+    return plr::bench::bench_main(
+        "fig05_order3", *spec, argc, argv, [](plr::bench::Reporter& rep) {
+            const plr::perfmodel::HardwareModel hw;
+            const std::size_t n = std::size_t{1} << 30;
+            std::cout << "SAM advantage over PLR by order (Section 6.1.3):\n";
+            for (std::size_t k = 2; k <= 4; ++k) {
+                const auto sig = plr::dsp::higher_order_prefix_sum(k);
+                const double sam =
+                    plr::perfmodel::algo_throughput(Algo::kSam, sig, n, hw);
+                const double p =
+                    plr::perfmodel::algo_throughput(Algo::kPlr, sig, n, hw);
+                const double cub =
+                    plr::perfmodel::algo_throughput(Algo::kCub, sig, n, hw);
+                std::cout << "  order " << k << ": SAM/PLR = " << sam / p
+                          << ", PLR/CUB = " << p / cub << "\n";
+                const std::string order = std::to_string(k);
+                rep.add_metric("order" + order + ".sam_over_plr", sam / p);
+                rep.add_metric("order" + order + ".plr_over_cub", p / cub);
+            }
+        });
 }

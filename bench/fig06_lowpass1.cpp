@@ -4,17 +4,10 @@
  * floats, for memcpy, Alg3, Rec, Scan, and PLR.
  */
 
-#include "bench_common.h"
-#include "dsp/filter_design.h"
+#include "figures.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 6: 1-stage low-pass filter throughput",
-        plr::dsp::lowpass(0.8, 1),
-        {Algo::kMemcpy, Algo::kAlg3, Algo::kRec, Algo::kScan, Algo::kPlr},
-        /*is_float=*/true};
-    return plr::bench::figure_main(spec);
+    return plr::bench::registry_bench_main("fig06_lowpass1", argc, argv);
 }

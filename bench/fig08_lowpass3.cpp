@@ -7,31 +7,32 @@
 
 #include <iostream>
 
-#include "bench_common.h"
 #include "dsp/filter_design.h"
+#include "figures.h"
 #include "perfmodel/algo_profiles.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
-    plr::bench::FigureSpec spec{
-        "Figure 8: 3-stage low-pass filter throughput",
-        plr::dsp::lowpass(0.8, 3),
-        {Algo::kMemcpy, Algo::kAlg3, Algo::kRec, Algo::kScan, Algo::kPlr},
-        /*is_float=*/true};
-    const int rc = plr::bench::figure_main(spec);
-
-    const plr::perfmodel::HardwareModel hw;
-    const std::size_t n = std::size_t{1} << 28;  // 1 GB of floats
-    std::cout << "PLR speedup over Rec at 1 GB inputs (Section 6.2.1):\n";
-    for (std::size_t stages = 1; stages <= 3; ++stages) {
-        const auto sig = plr::dsp::lowpass(0.8, stages);
-        const double p =
-            plr::perfmodel::algo_throughput(Algo::kPlr, sig, n, hw);
-        const double rec =
-            plr::perfmodel::algo_throughput(Algo::kRec, sig, n, hw);
-        std::cout << "  " << stages << "-stage: " << p / rec << "x\n";
-    }
-    return rc;
+    const plr::bench::FigureSpec* spec =
+        plr::bench::find_figure("fig08_lowpass3");
+    return plr::bench::bench_main(
+        "fig08_lowpass3", *spec, argc, argv, [](plr::bench::Reporter& rep) {
+            const plr::perfmodel::HardwareModel hw;
+            const std::size_t n = std::size_t{1} << 28;  // 1 GB of floats
+            std::cout
+                << "PLR speedup over Rec at 1 GB inputs (Section 6.2.1):\n";
+            for (std::size_t stages = 1; stages <= 3; ++stages) {
+                const auto sig = plr::dsp::lowpass(0.8, stages);
+                const double p =
+                    plr::perfmodel::algo_throughput(Algo::kPlr, sig, n, hw);
+                const double rec =
+                    plr::perfmodel::algo_throughput(Algo::kRec, sig, n, hw);
+                std::cout << "  " << stages << "-stage: " << p / rec << "x\n";
+                rep.add_metric("stage" + std::to_string(stages) +
+                                   ".plr_over_rec",
+                               p / rec);
+            }
+        });
 }

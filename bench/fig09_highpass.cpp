@@ -15,7 +15,7 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
     using plr::perfmodel::algo_max_elements;
@@ -26,6 +26,10 @@ main()
     const auto hp2 = plr::dsp::highpass(0.8, 2);
     const auto hp3 = plr::dsp::highpass(0.8, 3);
 
+    plr::bench::Reporter reporter("fig09_highpass",
+                                  "Figure 9: high-pass filter throughput");
+    reporter.set_signature(hp1);
+
     std::cout << "== Figure 9: high-pass filter throughput ==\n";
     std::cout << "signatures " << hp1.to_string(2) << ", " << hp2.to_string(2)
               << ", " << hp3.to_string(2)
@@ -34,15 +38,19 @@ main()
     plr::TextTable table({"n", "memcpy", "Scan1", "PLR1", "PLR2", "PLR3"});
     for (int e = 14; e <= 30; ++e) {
         const std::size_t n = std::size_t{1} << e;
-        auto cell = [&](Algo algo, const plr::Signature& sig) {
+        auto cell = [&](const char* series, Algo algo,
+                        const plr::Signature& sig) {
             if (n > algo_max_elements(algo, sig, hw))
                 return std::string("-");
-            return plr::format_fixed(algo_throughput(algo, sig, n, hw) / 1e9,
-                                     2);
+            const double tp = algo_throughput(algo, sig, n, hw);
+            reporter.add_series_point(series, n, tp);
+            return plr::format_fixed(tp / 1e9, 2);
         };
-        table.add_row({plr::format_pow2(n), cell(Algo::kMemcpy, hp1),
-                       cell(Algo::kScan, hp1), cell(Algo::kPlr, hp1),
-                       cell(Algo::kPlr, hp2), cell(Algo::kPlr, hp3)});
+        table.add_row({plr::format_pow2(n), cell("memcpy", Algo::kMemcpy, hp1),
+                       cell("Scan1", Algo::kScan, hp1),
+                       cell("PLR1", Algo::kPlr, hp1),
+                       cell("PLR2", Algo::kPlr, hp2),
+                       cell("PLR3", Algo::kPlr, hp3)});
     }
     table.print(std::cout);
 
@@ -52,17 +60,26 @@ main()
             Algo::kPlr, plr::dsp::highpass(0.8, stages), 1 << 28, hw);
         const double lp = algo_throughput(
             Algo::kPlr, plr::dsp::lowpass(0.8, stages), 1 << 28, hw);
-        std::cout << "  " << stages << "-stage: " << (1.0 - hp / lp) * 100
+        const double penalty = (1.0 - hp / lp) * 100;
+        std::cout << "  " << stages << "-stage: " << penalty
                   << "% below low-pass\n";
+        reporter.add_metric("stage" + std::to_string(stages) +
+                                ".highpass_penalty_pct",
+                            penalty);
     }
 
     // Functional cross-checks of PLR and Scan on the high-pass filters.
     bool ok = true;
+    std::size_t stages = 1;
     for (const auto& sig : {hp1, hp2, hp3}) {
         plr::bench::FigureSpec spec{"", sig, {Algo::kScan, Algo::kPlr},
                                     /*is_float=*/true};
-        ok = plr::bench::validate_figure(spec) && ok;
+        ok = plr::bench::validate_figure_detailed(
+                 spec, reporter, "hp" + std::to_string(stages) + ".") &&
+             ok;
+        ++stages;
     }
     std::cout << std::endl;
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return ok ? 0 : 1;
 }

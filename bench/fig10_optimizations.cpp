@@ -15,28 +15,35 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
     const plr::perfmodel::HardwareModel hw;
 
     struct Row {
         const char* name;
+        const char* key;
         plr::Signature sig;
     };
     const std::vector<Row> rows = {
-        {"prefix sum", plr::dsp::prefix_sum()},
-        {"2-tuple prefix sum", plr::dsp::tuple_prefix_sum(2)},
-        {"3-tuple prefix sum", plr::dsp::tuple_prefix_sum(3)},
-        {"2nd-order prefix sum", plr::dsp::higher_order_prefix_sum(2)},
-        {"3rd-order prefix sum", plr::dsp::higher_order_prefix_sum(3)},
-        {"1-stage low-pass", plr::dsp::lowpass(0.8, 1)},
-        {"2-stage low-pass", plr::dsp::lowpass(0.8, 2)},
-        {"3-stage low-pass", plr::dsp::lowpass(0.8, 3)},
-        {"1-stage high-pass", plr::dsp::highpass(0.8, 1)},
-        {"2-stage high-pass", plr::dsp::highpass(0.8, 2)},
-        {"3-stage high-pass", plr::dsp::highpass(0.8, 3)},
+        {"prefix sum", "prefix_sum", plr::dsp::prefix_sum()},
+        {"2-tuple prefix sum", "tuple2", plr::dsp::tuple_prefix_sum(2)},
+        {"3-tuple prefix sum", "tuple3", plr::dsp::tuple_prefix_sum(3)},
+        {"2nd-order prefix sum", "order2",
+         plr::dsp::higher_order_prefix_sum(2)},
+        {"3rd-order prefix sum", "order3",
+         plr::dsp::higher_order_prefix_sum(3)},
+        {"1-stage low-pass", "lowpass1", plr::dsp::lowpass(0.8, 1)},
+        {"2-stage low-pass", "lowpass2", plr::dsp::lowpass(0.8, 2)},
+        {"3-stage low-pass", "lowpass3", plr::dsp::lowpass(0.8, 3)},
+        {"1-stage high-pass", "highpass1", plr::dsp::highpass(0.8, 1)},
+        {"2-stage high-pass", "highpass2", plr::dsp::highpass(0.8, 2)},
+        {"3-stage high-pass", "highpass3", plr::dsp::highpass(0.8, 3)},
     };
+
+    plr::bench::Reporter reporter(
+        "fig10_optimizations",
+        "Figure 10: PLR throughput with and without optimizations");
 
     std::cout << "== Figure 10: PLR throughput with and without "
                  "optimizations ==\n";
@@ -53,6 +60,8 @@ main()
         table.add_row({row.name, plr::format_fixed(on / 1e9, 2),
                        plr::format_fixed(without / 1e9, 2),
                        plr::format_fixed(on / without, 2) + "x"});
+        reporter.add_metric(std::string(row.key) + ".opts_on", on);
+        reporter.add_metric(std::string(row.key) + ".opts_off", without);
     }
     table.print(std::cout);
 
@@ -62,7 +71,10 @@ main()
     for (const Row& row : rows) {
         plr::bench::FigureSpec spec{"", row.sig, {Algo::kPlr},
                                     !row.sig.is_integral()};
-        ok = plr::bench::validate_figure(spec, 1 << 13) && ok;
+        ok = plr::bench::validate_figure_detailed(
+                 spec, reporter, std::string(row.key) + ".", 1 << 13) &&
+             ok;
     }
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return ok ? 0 : 1;
 }

@@ -1,0 +1,94 @@
+#include "figures.h"
+
+#include <iostream>
+
+#include "dsp/filter_design.h"
+
+namespace plr::bench {
+
+namespace {
+
+using perfmodel::Algo;
+
+std::vector<NamedFigure>
+make_registry()
+{
+    const std::vector<Algo> sum_algos = {Algo::kMemcpy, Algo::kCub,
+                                         Algo::kSam, Algo::kScan, Algo::kPlr};
+    const std::vector<Algo> filter_algos = {Algo::kMemcpy, Algo::kAlg3,
+                                            Algo::kRec, Algo::kScan,
+                                            Algo::kPlr};
+    std::vector<NamedFigure> figures;
+    figures.push_back({"fig01_prefix_sum",
+                       {"Figure 1: prefix-sum throughput",
+                        dsp::prefix_sum(), sum_algos, /*is_float=*/false}});
+    figures.push_back({"fig02_tuple2",
+                       {"Figure 2: two-tuple prefix-sum throughput",
+                        dsp::tuple_prefix_sum(2), sum_algos,
+                        /*is_float=*/false}});
+    figures.push_back({"fig03_tuple3",
+                       {"Figure 3: three-tuple prefix-sum throughput",
+                        dsp::tuple_prefix_sum(3), sum_algos,
+                        /*is_float=*/false}});
+    figures.push_back({"fig04_order2",
+                       {"Figure 4: second-order prefix-sum throughput",
+                        dsp::higher_order_prefix_sum(2), sum_algos,
+                        /*is_float=*/false}});
+    figures.push_back({"fig05_order3",
+                       {"Figure 5: third-order prefix-sum throughput",
+                        dsp::higher_order_prefix_sum(3), sum_algos,
+                        /*is_float=*/false}});
+    figures.push_back({"fig06_lowpass1",
+                       {"Figure 6: 1-stage low-pass filter throughput",
+                        dsp::lowpass(0.8, 1), filter_algos,
+                        /*is_float=*/true}});
+    figures.push_back({"fig07_lowpass2",
+                       {"Figure 7: 2-stage low-pass filter throughput",
+                        dsp::lowpass(0.8, 2), filter_algos,
+                        /*is_float=*/true}});
+    figures.push_back({"fig08_lowpass3",
+                       {"Figure 8: 3-stage low-pass filter throughput",
+                        dsp::lowpass(0.8, 3), filter_algos,
+                        /*is_float=*/true}});
+    // Figure 9's driver prints a custom multi-signature table; the
+    // registry carries the 1-stage high-pass cross-check (Alg3/Rec cannot
+    // evaluate high-pass signatures, Section 6.2.2).
+    figures.push_back({"fig09_highpass",
+                       {"Figure 9: 1-stage high-pass filter throughput",
+                        dsp::highpass(0.8, 1),
+                        {Algo::kMemcpy, Algo::kScan, Algo::kPlr},
+                        /*is_float=*/true}});
+    return figures;
+}
+
+}  // namespace
+
+const std::vector<NamedFigure>&
+figure_registry()
+{
+    static const std::vector<NamedFigure> registry = make_registry();
+    return registry;
+}
+
+const FigureSpec*
+find_figure(std::string_view name)
+{
+    for (const NamedFigure& figure : figure_registry())
+        if (figure.name == name)
+            return &figure.spec;
+    return nullptr;
+}
+
+int
+registry_bench_main(const std::string& name, int argc,
+                    const char* const* argv)
+{
+    const FigureSpec* spec = find_figure(name);
+    if (spec == nullptr) {
+        std::cerr << "unknown figure bench \"" << name << "\"\n";
+        return 2;
+    }
+    return bench_main(name, *spec, argc, argv);
+}
+
+}  // namespace plr::bench

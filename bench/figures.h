@@ -1,0 +1,35 @@
+#ifndef PLR_BENCH_FIGURES_H_
+#define PLR_BENCH_FIGURES_H_
+
+/**
+ * @file
+ * Registry of the paper's figure benchmarks. Each entry pairs a stable
+ * bench id (the executable stem, e.g. "fig01_prefix_sum") with its
+ * FigureSpec, so the bench smoke test and the baseline capture can
+ * iterate every figure without linking the per-figure mains.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace plr::bench {
+
+/** One registered figure benchmark. */
+struct NamedFigure {
+    /** Stable id; matches the bench executable stem. */
+    std::string name;
+    FigureSpec spec;
+};
+
+/** All figure benchmarks (fig01..fig09), paper order. */
+const std::vector<NamedFigure>& figure_registry();
+
+/** Registered spec by id, or nullptr. */
+const FigureSpec* find_figure(std::string_view name);
+
+}  // namespace plr::bench
+
+#endif  // PLR_BENCH_FIGURES_H_

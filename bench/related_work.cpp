@@ -5,11 +5,14 @@
  * simulator: recursive doubling (Stone / Kogge-Stone) moves O(n log n)
  * words, the Blelloch tree scan makes multiple O(n) traversals, while
  * PLR (like CUB and SAM) achieves single-pass 2n movement — the property
- * the paper's Table 3 and Figure 1 hinge on.
+ * the paper's Table 3 and Figure 1 hinge on. The devices run serialized
+ * so the byte counts (look-back traffic included) are reproducible and
+ * can gate the baseline comparison.
  */
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
 #include "gpusim/device.h"
@@ -18,8 +21,10 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    plr::bench::Reporter reporter("related_work",
+                                  "Related-work data movement");
     std::cout << "== Related-work data movement (simulator-measured) ==\n"
               << "prefix sum; global-memory bytes moved per input byte\n";
     plr::TextTable table({"n", "Kogge-Stone", "Blelloch tree", "PLR",
@@ -30,31 +35,35 @@ main()
         const auto input = plr::dsp::random_ints(n, 1);
         const double data_bytes = static_cast<double>(n) * 4;
 
-        plr::gpusim::Device ks_device;
+        plr::gpusim::Device ks_device(plr::gpusim::serialized());
         plr::kernels::RelatedWorkStats ks;
         plr::kernels::kogge_stone_recurrence<plr::IntRing>(
             ks_device, plr::dsp::prefix_sum(), input, &ks);
 
-        plr::gpusim::Device bl_device;
+        plr::gpusim::Device bl_device(plr::gpusim::serialized());
         plr::kernels::RelatedWorkStats bl;
         plr::kernels::blelloch_tree_prefix_sum<plr::IntRing>(bl_device, input,
                                                              &bl);
 
-        plr::gpusim::Device plr_device;
+        plr::gpusim::Device plr_device(plr::gpusim::serialized());
         plr::kernels::PlrRunStats ps;
         plr::kernels::PlrKernel<plr::IntRing> kernel(
             plr::make_plan_with_chunk(plr::dsp::prefix_sum(), n, 1024, 256));
         kernel.run(plr_device, input, &ps);
 
-        auto ratio = [&](const plr::gpusim::CounterSnapshot& c) {
+        auto ratio = [&](const char* label,
+                         const plr::gpusim::CounterSnapshot& c) {
+            reporter.add_counters(label, n, c);
             return plr::format_fixed(
                 static_cast<double>(c.total_global_bytes()) / data_bytes, 1);
         };
-        table.add_row({plr::format_pow2(n), ratio(ks.counters),
-                       ratio(bl.counters), ratio(ps.counters), "2.0"});
+        table.add_row({plr::format_pow2(n), ratio("kogge_stone", ks.counters),
+                       ratio("blelloch", bl.counters),
+                       ratio("plr", ps.counters), "2.0"});
     }
     table.print(std::cout);
     std::cout << "\n(Kogge-Stone grows with log n; PLR stays at ~2 plus "
                  "carry overhead.)\n";
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return 0;
 }

@@ -11,11 +11,12 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "dsp/filter_design.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::dsp::higher_order_prefix_sum;
     using plr::dsp::highpass;
@@ -23,11 +24,18 @@ main()
     using plr::dsp::prefix_sum;
     using plr::dsp::tuple_prefix_sum;
 
+    plr::bench::Reporter reporter(
+        "table1_signatures",
+        "Table 1: signatures of a few linear recurrences");
+
     std::cout << "== Table 1: signatures of a few linear recurrences ==\n";
     plr::TextTable table({"signature (as in the paper)", "full precision",
                           "computation"});
     auto add = [&](const plr::Signature& sig, const char* name) {
         table.add_row({sig.to_string(2), sig.to_string(), name});
+        // Full-precision signature strings are regenerated from first
+        // principles; any drift is a hard regression.
+        reporter.add_info(name, sig.to_string());
     };
     add(prefix_sum(), "prefix sum");
     add(tuple_prefix_sum(2), "2-tuple prefix sum");
@@ -41,5 +49,6 @@ main()
     add(highpass(0.8, 2), "a 2-stage high-pass filter");
     add(highpass(0.8, 3), "a 3-stage high-pass filter");
     table.print(std::cout);
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return 0;
 }

@@ -9,17 +9,21 @@
 
 #include <iostream>
 
+#include "bench_common.h"
 #include "dsp/filter_design.h"
 #include "perfmodel/memory_usage.h"
 #include "util/table.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using plr::perfmodel::Algo;
     using plr::perfmodel::memory_usage;
     const plr::perfmodel::HardwareModel hw;
     const std::size_t n = 67108864;
+
+    plr::bench::Reporter reporter(
+        "table2_memory", "Table 2: total GPU memory usage in megabytes");
 
     std::cout << "== Table 2: total GPU memory usage in megabytes "
                  "(n = 67,108,864) ==\n";
@@ -30,8 +34,11 @@ main()
                                     : plr::dsp::higher_order_prefix_sum(k);
         const auto filter_sig = plr::dsp::lowpass(0.8, k);
         auto mb = [&](Algo algo, const plr::Signature& sig) {
-            return plr::format_fixed(
-                memory_usage(algo, sig, n, hw).total_mb(), 1);
+            const double total = memory_usage(algo, sig, n, hw).total_mb();
+            reporter.add_metric("order" + std::to_string(k) + "." +
+                                    plr::perfmodel::to_string(algo) + "_mb",
+                                total);
+            return plr::format_fixed(total, 1);
         };
         table.add_row({"order " + std::to_string(k),
                        mb(Algo::kPlr, sum_sig), mb(Algo::kCub, sum_sig),
@@ -44,5 +51,6 @@ main()
               << "order 1  623.5  623.5  622.5  1135.5  895.8  638.5  621.5\n"
               << "order 2  623.5  623.5  622.5  3188.8  911.8  654.5  621.5\n"
               << "order 3  624.5  623.5  622.5  6278.9  927.8  670.5  621.5\n";
+    plr::bench::write_json_if_requested(reporter, argc, argv);
     return 0;
 }

@@ -26,4 +26,13 @@ titan_x()
     return spec;
 }
 
+DeviceSpec
+serialized(DeviceSpec base)
+{
+    base.name += " [serialized]";
+    // max_resident_blocks() = max_threads / max_block_threads == 1.
+    base.max_threads = base.max_block_threads;
+    return base;
+}
+
 }  // namespace plr::gpusim

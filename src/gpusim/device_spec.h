@@ -57,6 +57,15 @@ struct DeviceSpec {
 /** The paper's GeForce GTX Titan X (Maxwell) configuration. */
 DeviceSpec titan_x();
 
+/**
+ * @p base with thread contexts for a single resident block: launches run
+ * blocks one at a time in index order, so every perf counter — including
+ * look-back traffic and busy-wait spins — is exactly reproducible. Used
+ * by the counter-budget regression tests and the bench baseline capture
+ * (docs/BENCH.md); functional behavior is unchanged.
+ */
+DeviceSpec serialized(DeviceSpec base = titan_x());
+
 }  // namespace plr::gpusim
 
 #endif  // PLR_GPUSIM_DEVICE_SPEC_H_

@@ -2,6 +2,39 @@
 
 namespace plr::gpusim {
 
+std::span<const CounterField>
+counter_fields()
+{
+    static const CounterField kFields[] = {
+        {"global_load_bytes", &CounterSnapshot::global_load_bytes, true},
+        {"global_store_bytes", &CounterSnapshot::global_store_bytes, true},
+        {"global_load_transactions",
+         &CounterSnapshot::global_load_transactions, true},
+        {"global_store_transactions",
+         &CounterSnapshot::global_store_transactions, true},
+        {"atomic_ops", &CounterSnapshot::atomic_ops, true},
+        {"fences", &CounterSnapshot::fences, true},
+        {"shared_accesses", &CounterSnapshot::shared_accesses, true},
+        {"shuffles", &CounterSnapshot::shuffles, true},
+        {"flops", &CounterSnapshot::flops, true},
+        {"busy_wait_spins", &CounterSnapshot::busy_wait_spins, false},
+        {"l2_read_hits", &CounterSnapshot::l2_read_hits, true},
+        {"l2_read_misses", &CounterSnapshot::l2_read_misses, true},
+        {"l2_write_accesses", &CounterSnapshot::l2_write_accesses, true},
+        {"blocks_executed", &CounterSnapshot::blocks_executed, true},
+    };
+    return kFields;
+}
+
+bool
+operator==(const CounterSnapshot& a, const CounterSnapshot& b)
+{
+    for (const CounterField& field : counter_fields())
+        if (a.*(field.member) != b.*(field.member))
+            return false;
+    return true;
+}
+
 CounterSnapshot
 operator-(const CounterSnapshot& after, const CounterSnapshot& before)
 {

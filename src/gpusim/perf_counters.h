@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 
 namespace plr::gpusim {
 
@@ -48,6 +49,29 @@ struct CounterSnapshot {
 /** Elementwise difference of two snapshots (after - before). */
 CounterSnapshot operator-(const CounterSnapshot& after,
                           const CounterSnapshot& before);
+
+/** One named counter field of a snapshot. */
+struct CounterField {
+    const char* name;
+    std::uint64_t CounterSnapshot::* member;
+    /**
+     * True when the value is a pure sum of per-block contributions and
+     * therefore independent of block interleaving. busy_wait_spins is the
+     * only scheduling-dependent field; on a serialized launch (one
+     * resident block, see gpusim::serialized) every field is exact.
+     */
+    bool interleaving_independent;
+};
+
+/**
+ * The snapshot fields in declaration order — the single source of truth
+ * for JSON emission, baseline comparison, and the counter-budget tests,
+ * so a new counter cannot silently escape the regression gates.
+ */
+std::span<const CounterField> counter_fields();
+
+/** Elementwise equality over counter_fields(). */
+bool operator==(const CounterSnapshot& a, const CounterSnapshot& b);
 
 /** Thread-safe accumulation of CounterSnapshot deltas. */
 class PerfCounters {

@@ -1,39 +1,99 @@
 #include "kernels/cpu_parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "core/correction_factors.h"
 #include "core/factor_analysis.h"
 #include "kernels/serial.h"
+#include "util/thread_pool.h"
 
 namespace plr::kernels {
+
+const char*
+to_string(CpuExecMode mode)
+{
+    switch (mode) {
+      case CpuExecMode::kPool: return "pool";
+      case CpuExecMode::kSpawn: return "spawn";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsed_ns(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             since)
+            .count());
+}
+
+/**
+ * Run task(0) .. task(count - 1) either on the shared pool or by
+ * spawning one thread per task (the seed behavior, kept for A/B
+ * benchmarking).
+ */
+template <typename Task>
+void
+run_region(CpuExecMode mode, std::size_t count, const Task& task)
+{
+    if (count == 0)
+        return;
+    if (mode == CpuExecMode::kPool) {
+        ThreadPool& pool = ThreadPool::shared();
+        pool.ensure_workers(count > 0 ? count - 1 : 0);
+        pool.parallel_for(count, task);
+        return;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(count);
+    for (std::size_t c = 0; c < count; ++c)
+        workers.emplace_back([&task, c]() { task(c); });
+    for (auto& worker : workers)
+        worker.join();
+}
+
+}  // namespace
 
 template <typename Ring>
 std::vector<typename Ring::value_type>
 cpu_parallel_recurrence(const Signature& sig,
                         std::span<const typename Ring::value_type> input,
-                        std::size_t threads, CpuRunStats* stats)
+                        const CpuParallelOptions& options, CpuRunStats* stats)
 {
     using V = typename Ring::value_type;
+    const auto call_start = Clock::now();
     const std::size_t n = input.size();
     const std::size_t k = sig.order();
     PLR_REQUIRE(k >= 1, "parallel recurrence needs order >= 1");
 
+    std::size_t threads = options.threads;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
         if (threads == 0)
             threads = 1;
     }
+    threads = std::min(threads, ThreadPool::kMaxWorkers);
     // Each chunk must have at least k elements; small inputs run serially.
     const std::size_t min_chunk = std::max<std::size_t>(4 * k, 256);
     threads = std::min(threads, n / min_chunk);
     if (threads <= 1) {
+        auto result = serial_recurrence<Ring>(sig, input);
         if (stats) {
+            *stats = CpuRunStats{};
             stats->threads_used = 1;
             stats->chunk_size = n;
+            stats->mode = options.mode;
+            stats->serial_fallback = true;
+            stats->total_ns = elapsed_ns(call_start);
         }
-        return serial_recurrence<Ring>(sig, input);
+        return result;
     }
 
     const std::size_t chunk = (n + threads - 1) / threads;
@@ -48,117 +108,122 @@ cpu_parallel_recurrence(const Signature& sig,
     for (const auto& list : props.lists)
         eff = std::max(eff, list.effective_length);
 
+    CpuRunStats local_stats;
+    local_stats.threads_used = num_chunks;
+    local_stats.chunk_size = chunk;
+    local_stats.mode = options.mode;
+
     // ---- Map operation (eq. 2): embarrassingly parallel over the full
     // input, so chunk-boundary FIR taps see the true neighbors.
     const bool has_map = !sig.is_pure_recursive();
     const Signature recursive = sig.recursive_part();
     std::vector<V> t;
     if (has_map) {
+        const auto phase_start = Clock::now();
         std::vector<V> a(sig.a().size());
         for (std::size_t j = 0; j < a.size(); ++j)
             a[j] = Ring::from_coefficient(sig.a()[j]);
         t.resize(n);
-        std::vector<std::thread> workers;
-        workers.reserve(num_chunks);
-        for (std::size_t c = 0; c < num_chunks; ++c) {
-            workers.emplace_back([&, c]() {
-                const std::size_t base = c * chunk;
-                const std::size_t len = std::min(chunk, n - base);
-                for (std::size_t i = base; i < base + len; ++i) {
-                    V acc = Ring::zero();
-                    for (std::size_t j = 0; j < a.size() && j <= i; ++j)
-                        acc = Ring::mul_add(acc, a[j], input[i - j]);
-                    t[i] = acc;
-                }
-            });
-        }
-        for (auto& worker : workers)
-            worker.join();
+        run_region(options.mode, num_chunks, [&](std::size_t c) {
+            const std::size_t base = c * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            for (std::size_t i = base; i < base + len; ++i) {
+                V acc = Ring::zero();
+                for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+                    acc = Ring::mul_add(acc, a[j], input[i - j]);
+                t[i] = acc;
+            }
+        });
+        local_stats.map_ns = elapsed_ns(phase_start);
     }
     const std::span<const V> stage_input =
         has_map ? std::span<const V>(t) : input;
 
-    // ---- Phase A: per-thread serial recurrence on each chunk.
+    // ---- Phase A: per-thread serial recurrence on each chunk, written
+    // directly into the result array (no per-chunk scratch allocation).
     std::vector<V> y(n);
     {
-        std::vector<std::thread> workers;
-        workers.reserve(num_chunks);
-        for (std::size_t c = 0; c < num_chunks; ++c) {
-            workers.emplace_back([&, c]() {
-                const std::size_t base = c * chunk;
-                const std::size_t len = std::min(chunk, n - base);
-                auto local = serial_recurrence<Ring>(
-                    recursive, stage_input.subspan(base, len));
-                std::copy(local.begin(), local.end(), y.begin() + base);
-            });
-        }
-        for (auto& worker : workers)
-            worker.join();
+        const auto phase_start = Clock::now();
+        run_region(options.mode, num_chunks, [&](std::size_t c) {
+            const std::size_t base = c * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            serial_recurrence_into<Ring>(
+                recursive, stage_input.subspan(base, len),
+                std::span<V>(y.data() + base, len));
+        });
+        local_stats.phase1_ns = elapsed_ns(phase_start);
     }
 
     // ---- Carry fix-up: advance the k boundary carries sequentially
     // across chunks (O(num_chunks * k^2), trivial for CPU thread counts).
-    std::vector<std::vector<V>> carries(num_chunks);  // carries INTO chunk c
-    std::vector<V> carry(k, Ring::zero());
-    for (std::size_t c = 1; c < num_chunks; ++c) {
-        const std::size_t prev_base = (c - 1) * chunk;
-        const std::size_t prev_len = std::min(chunk, n - prev_base);
+    // `carries` is one flat allocation: k values flowing INTO chunk c at
+    // carries[c * k ..].
+    std::vector<V> carries(num_chunks * k, Ring::zero());
+    {
+        const auto phase_start = Clock::now();
+        std::vector<V> carry(k, Ring::zero());
         std::vector<V> next(k, Ring::zero());
-        for (std::size_t j = 1; j <= k && j <= prev_len; ++j) {
-            V acc = y[prev_base + prev_len - j];
-            const std::size_t o = prev_len - j;
-            for (std::size_t i = 1; i <= k; ++i)
-                acc = Ring::mul_add(acc, factors.factor(i, o),
-                                    carry[i - 1]);
-            next[j - 1] = acc;
+        for (std::size_t c = 1; c < num_chunks; ++c) {
+            const std::size_t prev_base = (c - 1) * chunk;
+            const std::size_t prev_len = std::min(chunk, n - prev_base);
+            std::fill(next.begin(), next.end(), Ring::zero());
+            for (std::size_t j = 1; j <= k && j <= prev_len; ++j) {
+                V acc = y[prev_base + prev_len - j];
+                const std::size_t o = prev_len - j;
+                for (std::size_t i = 1; i <= k; ++i)
+                    acc = Ring::mul_add(acc, factors.factor(i, o),
+                                        carry[i - 1]);
+                next[j - 1] = acc;
+            }
+            carry.swap(next);
+            std::copy(carry.begin(), carry.end(),
+                      carries.begin() +
+                          static_cast<std::ptrdiff_t>(c * k));
         }
-        carry = std::move(next);
-        carries[c] = carry;
+        local_stats.carry_ns = elapsed_ns(phase_start);
     }
 
     // ---- Phase B: parallel correction of every chunk with its carry.
     {
-        std::vector<std::thread> workers;
-        workers.reserve(num_chunks);
-        for (std::size_t c = 1; c < num_chunks; ++c) {
-            workers.emplace_back([&, c]() {
-                const std::size_t base = c * chunk;
-                const std::size_t len = std::min(chunk, n - base);
-                const std::vector<V>& in_carry = carries[c];
-                const std::size_t limit = std::min(len, std::max(eff, k));
-                for (std::size_t o = 0; o < limit; ++o) {
-                    V acc = y[base + o];
-                    for (std::size_t i = 1; i <= k; ++i) {
-                        if (o >= props.lists[i - 1].effective_length)
-                            continue;
-                        acc = Ring::mul_add(acc, factors.factor(i, o),
-                                            in_carry[i - 1]);
-                    }
-                    y[base + o] = acc;
+        const auto phase_start = Clock::now();
+        run_region(options.mode, num_chunks - 1, [&](std::size_t task) {
+            const std::size_t c = task + 1;  // chunk 0 needs no correction
+            const std::size_t base = c * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            const V* in_carry = carries.data() + c * k;
+            const std::size_t limit = std::min(len, std::max(eff, k));
+            for (std::size_t o = 0; o < limit; ++o) {
+                V acc = y[base + o];
+                for (std::size_t i = 1; i <= k; ++i) {
+                    if (o >= props.lists[i - 1].effective_length)
+                        continue;
+                    acc = Ring::mul_add(acc, factors.factor(i, o),
+                                        in_carry[i - 1]);
                 }
-            });
-        }
-        for (auto& worker : workers)
-            worker.join();
+                y[base + o] = acc;
+            }
+        });
+        local_stats.phase2_ns = elapsed_ns(phase_start);
     }
 
     if (stats) {
-        stats->threads_used = num_chunks;
-        stats->chunk_size = chunk;
+        local_stats.total_ns = elapsed_ns(call_start);
+        *stats = local_stats;
     }
     return y;
 }
 
 template std::vector<std::int32_t>
 cpu_parallel_recurrence<IntRing>(const Signature&,
-                                 std::span<const std::int32_t>, std::size_t,
-                                 CpuRunStats*);
+                                 std::span<const std::int32_t>,
+                                 const CpuParallelOptions&, CpuRunStats*);
 template std::vector<float>
 cpu_parallel_recurrence<FloatRing>(const Signature&, std::span<const float>,
-                                   std::size_t, CpuRunStats*);
+                                   const CpuParallelOptions&, CpuRunStats*);
 template std::vector<float>
 cpu_parallel_recurrence<TropicalRing>(const Signature&,
-                                      std::span<const float>, std::size_t,
+                                      std::span<const float>,
+                                      const CpuParallelOptions&,
                                       CpuRunStats*);
 
 }  // namespace plr::kernels

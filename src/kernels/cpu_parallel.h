@@ -19,9 +19,17 @@
  *
  * This is exactly Phase 2 of the paper with the pipeline replaced by a
  * barrier, which is the right trade-off at CPU core counts.
+ *
+ * Parallel regions run on the persistent shared ThreadPool by default
+ * (util/thread_pool.h): the seed implementation spawned fresh
+ * `std::thread`s for all three regions of every call, which dominated
+ * small-input runs. The spawn-per-call execution mode is kept selectable
+ * so `bench/cpu_native` can measure the pool's win against it; results
+ * are bit-identical either way.
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -30,34 +38,81 @@
 
 namespace plr::kernels {
 
+/** How the backend executes its parallel regions. */
+enum class CpuExecMode {
+    /** Persistent shared thread pool (default). */
+    kPool,
+    /** Fresh std::thread spawn per region, as the seed implementation. */
+    kSpawn,
+};
+
+/** Short lowercase name ("pool", "spawn"). */
+const char* to_string(CpuExecMode mode);
+
+/** Tuning knobs of one CPU-parallel run. */
+struct CpuParallelOptions {
+    /** Host threads / chunks to split into (0 = hardware concurrency). */
+    std::size_t threads = 0;
+    /** Parallel-region execution mode. */
+    CpuExecMode mode = CpuExecMode::kPool;
+};
+
 /** Statistics of one CPU-parallel run. */
 struct CpuRunStats {
     std::size_t threads_used = 0;
     std::size_t chunk_size = 0;
+    /** Execution mode the run actually used. */
+    CpuExecMode mode = CpuExecMode::kPool;
+    /** True when the input was too small to split (serial fallback). */
+    bool serial_fallback = false;
+    // Per-phase wall-clock in nanoseconds (steady_clock). map_ns is 0 for
+    // pure-recursive signatures; carry_ns covers the sequential
+    // chunk-boundary fix-up between the two parallel phases.
+    std::uint64_t map_ns = 0;
+    std::uint64_t phase1_ns = 0;
+    std::uint64_t carry_ns = 0;
+    std::uint64_t phase2_ns = 0;
+    /** End-to-end wall-clock of the call, including planning. */
+    std::uint64_t total_ns = 0;
 };
 
 /**
- * Compute @p sig over @p input using @p threads host threads
- * (0 = hardware concurrency). Falls back to the serial code for inputs
- * too small to split.
+ * Compute @p sig over @p input with the tuning in @p options. Falls back
+ * to the serial code for inputs too small to split.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence(const Signature& sig,
+                        std::span<const typename Ring::value_type> input,
+                        const CpuParallelOptions& options,
+                        CpuRunStats* stats = nullptr);
+
+/**
+ * Convenience overload: @p threads host threads (0 = hardware
+ * concurrency), pooled execution.
  */
 template <typename Ring>
 std::vector<typename Ring::value_type>
 cpu_parallel_recurrence(const Signature& sig,
                         std::span<const typename Ring::value_type> input,
                         std::size_t threads = 0,
-                        CpuRunStats* stats = nullptr);
+                        CpuRunStats* stats = nullptr)
+{
+    return cpu_parallel_recurrence<Ring>(
+        sig, input, CpuParallelOptions{threads, CpuExecMode::kPool}, stats);
+}
 
 extern template std::vector<std::int32_t>
 cpu_parallel_recurrence<IntRing>(const Signature&,
-                                 std::span<const std::int32_t>, std::size_t,
-                                 CpuRunStats*);
+                                 std::span<const std::int32_t>,
+                                 const CpuParallelOptions&, CpuRunStats*);
 extern template std::vector<float>
 cpu_parallel_recurrence<FloatRing>(const Signature&, std::span<const float>,
-                                   std::size_t, CpuRunStats*);
+                                   const CpuParallelOptions&, CpuRunStats*);
 extern template std::vector<float>
 cpu_parallel_recurrence<TropicalRing>(const Signature&,
-                                      std::span<const float>, std::size_t,
+                                      std::span<const float>,
+                                      const CpuParallelOptions&,
                                       CpuRunStats*);
 
 }  // namespace plr::kernels

@@ -47,6 +47,13 @@ domain_matches_ring(const Signature& sig, Domain domain)
  * planner accepts: m >= order, block_threads the largest power of two
  * <= min(m, 64) that divides m.
  */
+/** Device spec for a run: serialized when counter budgets demand it. */
+gpusim::DeviceSpec
+make_spec(const RunOptions& opts)
+{
+    return opts.serialize_blocks ? gpusim::serialized() : gpusim::titan_x();
+}
+
 /** Apply the RunOptions fault/watchdog/analysis knobs to a device. */
 void
 configure_device(gpusim::Device& device, const RunOptions& opts)
@@ -85,10 +92,13 @@ run_plr_sim(const Signature& sig,
     if (input.empty())
         return {};
     const auto [m, block] = plr_chunk_shape(sig, opts.chunk);
-    gpusim::Device device;
+    gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     PlrKernel<Ring> kernel(make_plan_with_chunk(sig, input.size(), m, block));
-    return kernel.run(device, input);
+    auto result = kernel.run(device, input);
+    if (opts.counters != nullptr)
+        *opts.counters = device.counters().snapshot();
+    return result;
 }
 
 template <typename Ring>
@@ -100,10 +110,13 @@ run_scan(const Signature& sig,
     if (input.empty())
         return {};
     const std::size_t chunk = opts.chunk ? opts.chunk : 1024;
-    gpusim::Device device;
+    gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     ScanBaseline<Ring> kernel(sig, input.size(), chunk);
-    return kernel.run(device, input);
+    auto result = kernel.run(device, input);
+    if (opts.counters != nullptr)
+        *opts.counters = device.counters().snapshot();
+    return result;
 }
 
 template <typename Ring>
@@ -115,10 +128,13 @@ run_cublike(const Signature& sig,
     if (input.empty())
         return {};
     const std::size_t chunk = opts.chunk ? opts.chunk : 4096;
-    gpusim::Device device;
+    gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     CubLikeKernel<Ring> kernel(sig, input.size(), chunk);
-    return kernel.run(device, input);
+    auto result = kernel.run(device, input);
+    if (opts.counters != nullptr)
+        *opts.counters = device.counters().snapshot();
+    return result;
 }
 
 template <typename Ring>
@@ -133,10 +149,13 @@ run_samlike(const Signature& sig,
     // chunk >= order.
     const std::size_t chunk =
         opts.chunk ? std::max(opts.chunk, sig.order()) : 0;
-    gpusim::Device device;
+    gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     SamLikeKernel<Ring> kernel(sig, input.size(), chunk);
-    return kernel.run(device, input);
+    auto result = kernel.run(device, input);
+    if (opts.counters != nullptr)
+        *opts.counters = device.counters().snapshot();
+    return result;
 }
 
 std::vector<KernelInfo>

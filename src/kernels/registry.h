@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/signature.h"
+#include "gpusim/perf_counters.h"
 
 namespace plr::kernels {
 
@@ -65,6 +66,19 @@ struct RunOptions {
     bool race_detect = false;
     /** Enable the look-back protocol invariant checker (ditto). */
     bool invariants = false;
+    /**
+     * Serialize the simulated launch to one resident block
+     * (gpusim::serialized): blocks run in index order, making every perf
+     * counter interleaving-independent. Used by the counter-budget
+     * regression gates (docs/BENCH.md). CPU kernels ignore it.
+     */
+    bool serialize_blocks = false;
+    /**
+     * When non-null, receives the simulated device's counter totals for
+     * the run. Left untouched by kernels without a simulated device
+     * (serial, cpu_parallel).
+     */
+    gpusim::CounterSnapshot* counters = nullptr;
 };
 
 /** One registered kernel with type-erased entry points per domain. */

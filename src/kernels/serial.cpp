@@ -1,13 +1,19 @@
 #include "kernels/serial.h"
 
+#include "util/diag.h"
+
 namespace plr::kernels {
 
 template <typename Ring>
-std::vector<typename Ring::value_type>
-serial_recurrence(const Signature& sig,
-                  std::span<const typename Ring::value_type> input)
+void
+serial_recurrence_into(const Signature& sig,
+                       std::span<const typename Ring::value_type> input,
+                       std::span<typename Ring::value_type> output)
 {
     using V = typename Ring::value_type;
+    PLR_REQUIRE(output.size() == input.size(),
+                "serial_recurrence_into: output size " << output.size()
+                    << " != input size " << input.size());
 
     std::vector<V> a(sig.a().size());
     for (std::size_t j = 0; j < a.size(); ++j)
@@ -17,7 +23,7 @@ serial_recurrence(const Signature& sig,
         b[j] = Ring::from_coefficient(sig.b()[j]);
 
     const std::size_t n = input.size();
-    std::vector<V> y(n);
+    V* const y = output.data();
     for (std::size_t i = 0; i < n; ++i) {
         V acc = Ring::zero();
         for (std::size_t j = 0; j < a.size() && j <= i; ++j)
@@ -26,6 +32,15 @@ serial_recurrence(const Signature& sig,
             acc = Ring::mul_add(acc, b[j - 1], y[i - j]);
         y[i] = acc;
     }
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+serial_recurrence(const Signature& sig,
+                  std::span<const typename Ring::value_type> input)
+{
+    std::vector<typename Ring::value_type> y(input.size());
+    serial_recurrence_into<Ring>(sig, input, y);
     return y;
 }
 
@@ -35,5 +50,17 @@ template std::vector<float>
 serial_recurrence<FloatRing>(const Signature&, std::span<const float>);
 template std::vector<float>
 serial_recurrence<TropicalRing>(const Signature&, std::span<const float>);
+
+template void
+serial_recurrence_into<IntRing>(const Signature&,
+                                std::span<const std::int32_t>,
+                                std::span<std::int32_t>);
+template void
+serial_recurrence_into<FloatRing>(const Signature&, std::span<const float>,
+                                  std::span<float>);
+template void
+serial_recurrence_into<TropicalRing>(const Signature&,
+                                     std::span<const float>,
+                                     std::span<float>);
 
 }  // namespace plr::kernels

@@ -29,12 +29,36 @@ std::vector<typename Ring::value_type>
 serial_recurrence(const Signature& sig,
                   std::span<const typename Ring::value_type> input);
 
+/**
+ * Same evaluation, writing into caller-owned storage: @p output must have
+ * input.size() elements and may not alias @p input. Lets the chunked CPU
+ * backend evaluate each chunk directly into the result array without a
+ * per-chunk allocation and copy.
+ */
+template <typename Ring>
+void
+serial_recurrence_into(const Signature& sig,
+                       std::span<const typename Ring::value_type> input,
+                       std::span<typename Ring::value_type> output);
+
 extern template std::vector<std::int32_t>
 serial_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>);
 extern template std::vector<float>
 serial_recurrence<FloatRing>(const Signature&, std::span<const float>);
 extern template std::vector<float>
 serial_recurrence<TropicalRing>(const Signature&, std::span<const float>);
+
+extern template void
+serial_recurrence_into<IntRing>(const Signature&,
+                                std::span<const std::int32_t>,
+                                std::span<std::int32_t>);
+extern template void
+serial_recurrence_into<FloatRing>(const Signature&, std::span<const float>,
+                                  std::span<float>);
+extern template void
+serial_recurrence_into<TropicalRing>(const Signature&,
+                                     std::span<const float>,
+                                     std::span<float>);
 
 }  // namespace plr::kernels
 

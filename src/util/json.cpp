@@ -1,0 +1,554 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr::json {
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+}
+
+bool
+Value::as_bool() const
+{
+    PLR_REQUIRE(is_bool(), "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::as_double() const
+{
+    PLR_REQUIRE(is_number(), "JSON value is not a number");
+    return number_;
+}
+
+std::uint64_t
+Value::as_uint64() const
+{
+    PLR_REQUIRE(is_number(), "JSON value is not a number");
+    if (has_uint_)
+        return uint_;
+    PLR_REQUIRE(number_ >= 0 && std::floor(number_) == number_,
+                "JSON number " << number_ << " is not a whole uint64");
+    return static_cast<std::uint64_t>(number_);
+}
+
+const std::string&
+Value::as_string() const
+{
+    PLR_REQUIRE(is_string(), "JSON value is not a string");
+    return string_;
+}
+
+void
+Value::push_back(Value v)
+{
+    PLR_REQUIRE(is_array(), "push_back on a non-array JSON value");
+    array_.push_back(std::move(v));
+}
+
+const std::vector<Value>&
+Value::items() const
+{
+    PLR_REQUIRE(is_array(), "items() on a non-array JSON value");
+    return array_;
+}
+
+std::size_t
+Value::size() const
+{
+    PLR_REQUIRE(is_array() || is_object(),
+                "size() on a non-container JSON value");
+    return is_array() ? array_.size() : keys_.size();
+}
+
+const Value&
+Value::at(std::size_t i) const
+{
+    PLR_REQUIRE(is_array(), "index access on a non-array JSON value");
+    PLR_REQUIRE(i < array_.size(),
+                "JSON array index " << i << " out of range (size "
+                                    << array_.size() << ")");
+    return array_[i];
+}
+
+void
+Value::set(const std::string& key, Value v)
+{
+    PLR_REQUIRE(is_object(), "set() on a non-object JSON value");
+    auto [it, inserted] = members_.insert_or_assign(key, std::move(v));
+    (void)it;
+    if (inserted)
+        keys_.push_back(key);
+}
+
+bool
+Value::has(const std::string& key) const
+{
+    return is_object() && members_.count(key) != 0;
+}
+
+const Value&
+Value::at(const std::string& key) const
+{
+    const Value* v = find(key);
+    PLR_REQUIRE(v != nullptr, "JSON object has no member \"" << key << "\"");
+    return *v;
+}
+
+const Value*
+Value::find(const std::string& key) const
+{
+    if (!is_object())
+        return nullptr;
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>&
+Value::keys() const
+{
+    PLR_REQUIRE(is_object(), "keys() on a non-object JSON value");
+    return keys_;
+}
+
+bool
+operator==(const Value& a, const Value& b)
+{
+    if (a.kind_ != b.kind_)
+        return false;
+    switch (a.kind_) {
+      case Kind::kNull: return true;
+      case Kind::kBool: return a.bool_ == b.bool_;
+      case Kind::kNumber:
+        if (a.has_uint_ && b.has_uint_)
+            return a.uint_ == b.uint_;
+        return a.number_ == b.number_;
+      case Kind::kString: return a.string_ == b.string_;
+      case Kind::kArray: return a.array_ == b.array_;
+      case Kind::kObject:
+        return a.keys_ == b.keys_ && a.members_ == b.members_;
+    }
+    return false;
+}
+
+namespace {
+
+void
+append_escaped(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+append_number(std::string& out, double d)
+{
+    PLR_REQUIRE(std::isfinite(d), "JSON cannot represent " << d);
+    if (std::floor(d) == d && std::fabs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+}  // namespace
+
+void
+Value::dump_to(std::string& out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) + 1),
+                                 ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0
+            ? std::string(
+                  static_cast<std::size_t>(indent) *
+                      static_cast<std::size_t>(depth),
+                  ' ')
+            : std::string();
+    const char* nl = indent > 0 ? "\n" : "";
+    const char* colon = indent > 0 ? ": " : ":";
+
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::kNumber:
+        if (has_uint_) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(uint_));
+            out += buf;
+        } else {
+            append_number(out, number_);
+        }
+        break;
+      case Kind::kString:
+        append_escaped(out, string_);
+        break;
+      case Kind::kArray: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dump_to(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Kind::kObject: {
+        if (keys_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            out += pad;
+            append_escaped(out, keys_[i]);
+            out += colon;
+            members_.at(keys_[i]).dump_to(out, indent, depth + 1);
+            if (i + 1 < keys_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Strict recursive-descent parser over the whole input buffer. */
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Value
+    parse_document()
+    {
+        skip_ws();
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string& what) const
+    {
+        std::size_t line = 1;
+        std::size_t col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        PLR_FATAL("JSON parse error at " << line << ":" << col << ": "
+                                         << what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume_literal(const char* lit)
+    {
+        const std::size_t len = std::string(lit).size();
+        if (text_.compare(pos_, len, lit) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parse_value()
+    {
+        switch (peek()) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return Value(parse_string());
+          case 't':
+            if (consume_literal("true"))
+                return Value(true);
+            fail("invalid literal");
+          case 'f':
+            if (consume_literal("false"))
+                return Value(false);
+            fail("invalid literal");
+          case 'n':
+            if (consume_literal("null"))
+                return Value(nullptr);
+            fail("invalid literal");
+          default: return parse_number();
+        }
+    }
+
+    std::string
+    parse_string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // The reporter only emits ASCII control escapes; encode the
+                // code point as UTF-8 (no surrogate-pair handling needed).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: fail("invalid escape character");
+            }
+        }
+    }
+
+    Value
+    parse_number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start || (text_[start] == '-' && pos_ == start + 1))
+            fail("invalid number");
+        const std::string token = text_.substr(start, pos_ - start);
+        try {
+            if (integral && token[0] != '-')
+                return Value(
+                    static_cast<std::uint64_t>(std::stoull(token)));
+            if (integral)
+                return Value(static_cast<std::int64_t>(std::stoll(token)));
+            return Value(std::stod(token));
+        } catch (const std::exception&) {
+            fail("number out of range: " + token);
+        }
+    }
+
+    Value
+    parse_array()
+    {
+        expect('[');
+        Value v = Value::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            v.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value
+    parse_object()
+    {
+        expect('{');
+        Value v = Value::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            v.set(key, parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value
+parse(const std::string& text)
+{
+    return Parser(text).parse_document();
+}
+
+Value
+parse_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    PLR_REQUIRE(in.good(), "cannot open JSON file " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+void
+write_file(const std::string& path, const Value& value)
+{
+    std::ofstream out(path, std::ios::binary);
+    PLR_REQUIRE(out.good(), "cannot write JSON file " << path);
+    out << value.dump(2) << "\n";
+    PLR_REQUIRE(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace plr::json

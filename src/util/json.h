@@ -1,0 +1,139 @@
+#ifndef PLR_UTIL_JSON_H_
+#define PLR_UTIL_JSON_H_
+
+/**
+ * @file
+ * Minimal JSON document model used by the benchmark reporting layer
+ * (docs/BENCH.md): an ordered value tree, a serializer, and a strict
+ * recursive-descent parser. Self-contained on purpose — the repository
+ * takes no third-party JSON dependency, and the bench baselines only need
+ * objects/arrays/strings/numbers/bools/null.
+ *
+ * Objects preserve insertion order so emitted documents are stable and
+ * diffs against committed baselines stay readable. Numbers are stored as
+ * double plus an exact-uint64 side channel: counter sums (which exceed
+ * 2^53 in principle) round-trip bit-exactly through `as_uint64`.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace plr::json {
+
+/** Kind of one JSON value. */
+enum class Kind {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+};
+
+/** One node of a JSON document. */
+class Value {
+  public:
+    Value() : kind_(Kind::kNull) {}
+    Value(std::nullptr_t) : kind_(Kind::kNull) {}
+    Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+    Value(double d) : kind_(Kind::kNumber), number_(d) {}
+    Value(int i) : Value(static_cast<std::int64_t>(i)) {}
+    Value(std::int64_t i)
+        : kind_(Kind::kNumber), number_(static_cast<double>(i))
+    {
+        if (i >= 0) {
+            uint_ = static_cast<std::uint64_t>(i);
+            has_uint_ = true;
+        }
+    }
+    Value(std::uint64_t u)
+        : kind_(Kind::kNumber), number_(static_cast<double>(u)), uint_(u),
+          has_uint_(true)
+    {
+    }
+    Value(const char* s) : kind_(Kind::kString), string_(s) {}
+    Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+    /** Empty array / object factories. */
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+
+    /** Typed accessors; throw FatalError on kind mismatch. */
+    bool as_bool() const;
+    double as_double() const;
+    /** Exact unsigned value; throws unless the number is a whole uint64. */
+    std::uint64_t as_uint64() const;
+    const std::string& as_string() const;
+
+    // ---- arrays ---------------------------------------------------------
+    /** Append to an array (value must be an array). */
+    void push_back(Value v);
+    /** Array elements; throws unless is_array(). */
+    const std::vector<Value>& items() const;
+    std::size_t size() const;
+    const Value& at(std::size_t i) const;
+
+    // ---- objects --------------------------------------------------------
+    /** Insert or overwrite a member (value must be an object). */
+    void set(const std::string& key, Value v);
+    /** True when the object has @p key. */
+    bool has(const std::string& key) const;
+    /** Member lookup; throws when missing or not an object. */
+    const Value& at(const std::string& key) const;
+    /** Member lookup returning nullptr when absent. */
+    const Value* find(const std::string& key) const;
+    /** Member keys in insertion order; throws unless is_object(). */
+    const std::vector<std::string>& keys() const;
+
+    /** Deep structural equality (numbers compared exactly). */
+    friend bool operator==(const Value& a, const Value& b);
+    friend bool operator!=(const Value& a, const Value& b)
+    {
+        return !(a == b);
+    }
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::uint64_t uint_ = 0;
+    bool has_uint_ = false;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::string> keys_;
+    std::map<std::string, Value> members_;
+};
+
+/**
+ * Parse a complete JSON document; throws FatalError with a line:column
+ * location on malformed input or trailing garbage.
+ */
+Value parse(const std::string& text);
+
+/** Read and parse a JSON file; throws FatalError on IO or parse errors. */
+Value parse_file(const std::string& path);
+
+/** Write @p value to @p path pretty-printed; throws FatalError on IO. */
+void write_file(const std::string& path, const Value& value);
+
+}  // namespace plr::json
+
+#endif  // PLR_UTIL_JSON_H_

@@ -1,0 +1,134 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace plr {
+
+namespace {
+
+std::size_t
+default_worker_count()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        workers = default_worker_count();
+    workers = std::min(workers, kMaxWorkers);
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this]() { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::worker_count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+}
+
+void
+ThreadPool::ensure_workers(std::size_t target)
+{
+    target = std::min(target, kMaxWorkers);
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < target)
+        workers_.emplace_back([this]() { worker_loop(); });
+}
+
+void
+ThreadPool::drain(std::unique_lock<std::mutex>& lock)
+{
+    while (task_ != nullptr && next_ < count_) {
+        const std::size_t index = next_++;
+        ++active_;
+        const auto* task = task_;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            (*task)(index);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        if (err && !error_)
+            error_ = err;
+        --active_;
+        if (next_ >= count_ && active_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::worker_loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        work_cv_.wait(lock, [this]() {
+            return stop_ || (task_ != nullptr && next_ < count_);
+        });
+        if (stop_)
+            return;
+        drain(lock);
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& task)
+{
+    if (count == 0)
+        return;
+    bool inline_run;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        inline_run = workers_.empty();
+    }
+    if (inline_run || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    task_ = &task;
+    count_ = count;
+    next_ = 0;
+    error_ = nullptr;
+    work_cv_.notify_all();
+    drain(lock);
+    done_cv_.wait(lock,
+                  [this]() { return next_ >= count_ && active_ == 0; });
+    task_ = nullptr;
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+ThreadPool&
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace plr

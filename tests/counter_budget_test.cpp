@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Counter-budget regression gates (ctest label: bench): every
+ * simulated-GPU kernel in the registry runs a Table-1 prefix sum under a
+ * serialized launch (one resident block, blocks in index order), where
+ * all traffic counters are interleaving-independent, and its memory /
+ * atomic / fence budgets must match the golden values EXACTLY. Any
+ * change to a kernel's global-memory traffic — intended or not — shows
+ * up here before it shows up as a throughput mystery.
+ *
+ * To regenerate after an intentional change:
+ *   PLR_PRINT_BUDGETS=1 ./build/tests/test_counter_budget
+ * and paste the printed rows over kGoldenBudgets below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "dsp/filter_design.h"
+#include "dsp/signal.h"
+#include "gpusim/perf_counters.h"
+#include "kernels/registry.h"
+
+namespace plr::kernels {
+namespace {
+
+constexpr std::size_t kBudgetN = 16384;
+constexpr std::uint64_t kSentinel = 0xfeedbeef;
+
+struct Budget {
+    const char* kernel;
+    std::uint64_t total_global_bytes;
+    std::uint64_t atomic_ops;
+    std::uint64_t fences;
+};
+
+// Golden budgets for dsp::prefix_sum() at n = 16384, serialized launch.
+// Regenerate with PLR_PRINT_BUDGETS=1 (see file comment).
+constexpr Budget kGoldenBudgets[] = {
+    {"plr_sim", 155616, 1023, 512},
+    {"scan", 265152, 47, 32},
+    {"cublike", 131424, 11, 8},
+    {"samlike", 137184, 191, 128},
+};
+
+const Budget*
+find_budget(const std::string& name)
+{
+    for (const Budget& budget : kGoldenBudgets)
+        if (name == budget.kernel)
+            return &budget;
+    return nullptr;
+}
+
+TEST(CounterBudget, SerializedPrefixSumBudgetsAreExact)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(kBudgetN, 99);
+    const bool print = std::getenv("PLR_PRINT_BUDGETS") != nullptr;
+
+    std::size_t gated = 0;
+    for (const KernelInfo& info : kernel_registry()) {
+        if (!info.supports(sig, Domain::kInt))
+            continue;
+
+        RunOptions opts;
+        opts.serialize_blocks = true;
+        gpusim::CounterSnapshot counters{};
+        counters.atomic_ops = kSentinel;  // detect untouched output
+        opts.counters = &counters;
+        const auto result = info.run_int(sig, input, opts);
+        ASSERT_EQ(result.size(), kBudgetN) << info.name;
+
+        const Budget* golden = find_budget(info.name);
+        if (golden == nullptr) {
+            // CPU kernels have no simulated device: they must leave the
+            // snapshot untouched rather than report garbage.
+            EXPECT_EQ(counters.atomic_ops, kSentinel)
+                << info.name << ": kernel without a golden budget wrote "
+                << "counters; add a row to kGoldenBudgets";
+            continue;
+        }
+        ++gated;
+
+        if (print)
+            std::cout << "    {\"" << info.name << "\", "
+                      << counters.total_global_bytes() << ", "
+                      << counters.atomic_ops << ", " << counters.fences
+                      << "},\n";
+
+        const char* regen =
+            "; if this change is intentional, regenerate with "
+            "PLR_PRINT_BUDGETS=1 ./build/tests/test_counter_budget";
+        EXPECT_EQ(counters.total_global_bytes(), golden->total_global_bytes)
+            << info.name << ": global traffic budget drifted" << regen;
+        EXPECT_EQ(counters.atomic_ops, golden->atomic_ops)
+            << info.name << ": atomic budget drifted" << regen;
+        EXPECT_EQ(counters.fences, golden->fences)
+            << info.name << ": fence budget drifted" << regen;
+    }
+    EXPECT_EQ(gated, std::size(kGoldenBudgets))
+        << "a kernel named in kGoldenBudgets is missing from the registry "
+        << "(or no longer supports the int prefix sum)";
+}
+
+TEST(CounterBudget, SerializedLaunchIsDeterministic)
+{
+    // The gate above is only sound if two serialized runs agree on every
+    // interleaving-independent counter.
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(kBudgetN, 99);
+    for (const KernelInfo& info : kernel_registry()) {
+        if (find_budget(info.name) == nullptr ||
+            !info.supports(sig, Domain::kInt))
+            continue;
+        RunOptions opts;
+        opts.serialize_blocks = true;
+        gpusim::CounterSnapshot first{}, second{};
+        opts.counters = &first;
+        info.run_int(sig, input, opts);
+        opts.counters = &second;
+        info.run_int(sig, input, opts);
+        for (const auto& field : gpusim::counter_fields()) {
+            if (!field.interleaving_independent)
+                continue;
+            EXPECT_EQ(first.*field.member, second.*field.member)
+                << info.name << "." << field.name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace plr::kernels

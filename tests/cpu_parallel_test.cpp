@@ -6,6 +6,7 @@
 #include "dsp/signal.h"
 #include "kernels/serial.h"
 #include "util/compare.h"
+#include "util/thread_pool.h"
 
 namespace plr::kernels {
 namespace {
@@ -103,6 +104,134 @@ TEST(CpuParallel, ManyThreadsOnModestInput)
         cpu_parallel_recurrence<IntRing>(sig, input, 64, &stats);
     EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
     EXPECT_LE(stats.threads_used, 12u);
+}
+
+// ---- Degenerate sizes: 0 and 1 elements must work under every ring and
+// both execution modes (they take the serial-fallback path).
+
+template <typename Ring>
+void
+check_degenerate(const Signature& sig)
+{
+    using V = typename Ring::value_type;
+    for (const CpuExecMode mode : {CpuExecMode::kPool, CpuExecMode::kSpawn}) {
+        const CpuParallelOptions options{4, mode};
+
+        CpuRunStats stats;
+        const auto empty = cpu_parallel_recurrence<Ring>(
+            sig, std::span<const V>{}, options, &stats);
+        EXPECT_TRUE(empty.empty()) << to_string(mode);
+        EXPECT_TRUE(stats.serial_fallback) << to_string(mode);
+
+        const std::vector<V> one{V(7)};
+        const auto result = cpu_parallel_recurrence<Ring>(
+            sig, std::span<const V>(one), options, &stats);
+        const auto expected =
+            serial_recurrence<Ring>(sig, std::span<const V>(one));
+        ASSERT_EQ(result.size(), 1u) << to_string(mode);
+        EXPECT_EQ(result[0], expected[0]) << to_string(mode);
+        EXPECT_TRUE(stats.serial_fallback) << to_string(mode);
+        EXPECT_EQ(stats.threads_used, 1u) << to_string(mode);
+        EXPECT_EQ(stats.chunk_size, 1u) << to_string(mode);
+    }
+}
+
+TEST(CpuParallelEdge, ZeroAndOneElementInputsEveryRing)
+{
+    check_degenerate<IntRing>(dsp::prefix_sum());
+    check_degenerate<FloatRing>(dsp::lowpass(0.8, 2));
+    check_degenerate<TropicalRing>(Signature::max_plus({0.0}, {-0.125}));
+    // y[0] of a prefix sum is the first input, with no correction applied.
+    const std::vector<std::int32_t> one{42};
+    const auto result = cpu_parallel_recurrence<IntRing>(
+        dsp::prefix_sum(), std::span<const std::int32_t>(one), 4);
+    EXPECT_EQ(result, one);
+}
+
+TEST(CpuParallelEdge, OneThreadIsTheSerialPath)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(100000, 21);
+    CpuRunStats stats;
+    const auto result =
+        cpu_parallel_recurrence<IntRing>(sig, input, 1, &stats);
+    EXPECT_TRUE(stats.serial_fallback);
+    EXPECT_EQ(stats.threads_used, 1u);
+    EXPECT_EQ(stats.chunk_size, input.size());
+    EXPECT_EQ(stats.phase1_ns, 0u);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(CpuParallelEdge, ThreadRequestBeyondPoolCapIsClamped)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(1 << 20, 22);
+    CpuRunStats stats;
+    const auto result = cpu_parallel_recurrence<IntRing>(
+        sig, input, ThreadPool::kMaxWorkers * 4, &stats);
+    EXPECT_LE(stats.threads_used, ThreadPool::kMaxWorkers);
+    EXPECT_EQ(result, serial_recurrence<IntRing>(sig, input));
+}
+
+TEST(CpuParallelModes, PoolAndSpawnAreBitIdentical)
+{
+    // The execution mode changes scheduling only — results must match the
+    // serial reference (and hence each other) to the last bit, including
+    // in floating point.
+    const auto int_sig = dsp::higher_order_prefix_sum(2);
+    const auto ints = dsp::random_ints(200000, 23);
+    CpuRunStats pool_stats, spawn_stats;
+    const auto pooled = cpu_parallel_recurrence<IntRing>(
+        int_sig, ints, CpuParallelOptions{6, CpuExecMode::kPool},
+        &pool_stats);
+    const auto spawned = cpu_parallel_recurrence<IntRing>(
+        int_sig, ints, CpuParallelOptions{6, CpuExecMode::kSpawn},
+        &spawn_stats);
+    EXPECT_EQ(pooled, spawned);
+    EXPECT_EQ(pool_stats.mode, CpuExecMode::kPool);
+    EXPECT_EQ(spawn_stats.mode, CpuExecMode::kSpawn);
+    EXPECT_FALSE(pool_stats.serial_fallback);
+    EXPECT_EQ(pool_stats.threads_used, spawn_stats.threads_used);
+    EXPECT_EQ(pool_stats.chunk_size, spawn_stats.chunk_size);
+
+    const auto float_sig = dsp::lowpass(0.9, 2);
+    const auto floats = dsp::random_floats(150000, 24);
+    const auto pooled_f = cpu_parallel_recurrence<FloatRing>(
+        float_sig, floats, CpuParallelOptions{5, CpuExecMode::kPool});
+    const auto spawned_f = cpu_parallel_recurrence<FloatRing>(
+        float_sig, floats, CpuParallelOptions{5, CpuExecMode::kSpawn});
+    ASSERT_EQ(pooled_f.size(), spawned_f.size());
+    for (std::size_t i = 0; i < pooled_f.size(); ++i)
+        ASSERT_EQ(pooled_f[i], spawned_f[i]) << i;
+}
+
+TEST(CpuParallelStats, PhaseTimingsCoverTheRun)
+{
+    const auto sig = dsp::prefix_sum();
+    const auto input = dsp::random_ints(1 << 21, 25);
+    CpuRunStats stats;
+    cpu_parallel_recurrence<IntRing>(sig, input, 4, &stats);
+    ASSERT_FALSE(stats.serial_fallback);
+    // A pure-recursive signature has no map phase; the others must have
+    // run and fit inside the end-to-end time.
+    EXPECT_EQ(stats.map_ns, 0u);
+    EXPECT_GT(stats.phase1_ns, 0u);
+    EXPECT_GT(stats.phase2_ns, 0u);
+    EXPECT_GE(stats.total_ns,
+              stats.map_ns + stats.phase1_ns + stats.phase2_ns);
+    EXPECT_GE(stats.total_ns, stats.carry_ns);
+}
+
+TEST(CpuParallelStats, MapPhaseIsTimedForFirSignatures)
+{
+    // high-pass filters have FIR taps (eq. 2's map operation).
+    const auto sig = dsp::highpass(0.8, 2);
+    ASSERT_FALSE(sig.is_pure_recursive());
+    const auto input = dsp::random_floats(1 << 20, 26);
+    CpuRunStats stats;
+    cpu_parallel_recurrence<FloatRing>(sig, input, 4, &stats);
+    ASSERT_FALSE(stats.serial_fallback);
+    EXPECT_GT(stats.map_ns, 0u);
 }
 
 }  // namespace

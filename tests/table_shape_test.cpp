@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Golden-shape tests for the paper's Table 2 / Table 3 and the text's
+ * winner-ordering claims (ctest label: bench). These pin the *shape* of
+ * the modeled results — which code wins, how costs scale with recurrence
+ * order, where crossovers fall — rather than exact figures, so model
+ * refinements that preserve the paper's conclusions keep passing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/filter_design.h"
+#include "perfmodel/algo_profiles.h"
+#include "perfmodel/l2_misses.h"
+#include "perfmodel/memory_usage.h"
+
+namespace plr::perfmodel {
+namespace {
+
+const HardwareModel kHw;
+constexpr std::size_t kTableN = 67108864;  // Tables 2 and 3 input size
+constexpr double kMb = 1024.0 * 1024.0;
+
+Signature
+sum_sig(std::size_t k)
+{
+    return k == 1 ? dsp::prefix_sum() : dsp::higher_order_prefix_sum(k);
+}
+
+double
+mem_mb(Algo algo, const Signature& sig)
+{
+    return memory_usage(algo, sig, kTableN, kHw).total_mb();
+}
+
+double
+miss_mb(Algo algo, const Signature& sig)
+{
+    return l2_read_miss_bytes(algo, sig, kTableN, kHw) / kMb;
+}
+
+TEST(Table2Shape, MemoryWinnerOrderingPerOrder)
+{
+    // Table 2, every order: memcpy < SAM < PLR < CUB < Rec < Alg3 < Scan.
+    for (std::size_t k = 1; k <= 3; ++k) {
+        const auto sum = sum_sig(k);
+        const auto filter = dsp::lowpass(0.8, k);
+        EXPECT_LT(mem_mb(Algo::kMemcpy, sum), mem_mb(Algo::kSam, sum)) << k;
+        EXPECT_LT(mem_mb(Algo::kSam, sum), mem_mb(Algo::kPlr, sum)) << k;
+        EXPECT_LT(mem_mb(Algo::kPlr, sum), mem_mb(Algo::kCub, sum)) << k;
+        EXPECT_LT(mem_mb(Algo::kCub, sum), mem_mb(Algo::kRec, filter)) << k;
+        EXPECT_LT(mem_mb(Algo::kRec, filter), mem_mb(Algo::kAlg3, filter))
+            << k;
+        EXPECT_LT(mem_mb(Algo::kAlg3, filter), mem_mb(Algo::kScan, sum))
+            << k;
+    }
+}
+
+TEST(Table2Shape, ScanMemoryGrowsWithOrderOthersStayFlat)
+{
+    // Scan's tuple expansion makes its footprint explode with the order
+    // (1135 -> 3188 -> 6278 MB in the paper); the single-pass codes stay
+    // within one megabyte of their order-1 usage (Section 6.4).
+    for (std::size_t k = 2; k <= 3; ++k) {
+        EXPECT_GT(mem_mb(Algo::kScan, sum_sig(k)),
+                  1.5 * mem_mb(Algo::kScan, sum_sig(k - 1)))
+            << k;
+        for (Algo algo : {Algo::kPlr, Algo::kCub, Algo::kSam, Algo::kMemcpy})
+            EXPECT_NEAR(mem_mb(algo, sum_sig(k)), mem_mb(algo, sum_sig(1)),
+                        1.0)
+                << to_string(algo) << " order " << k;
+    }
+}
+
+TEST(Table3Shape, SinglePassCodesTouchEachInputByteOnce)
+{
+    // PLR and SAM read-miss close to exactly the input size (256 MB of
+    // int32 words) at every order — the single-pass property Table 3
+    // demonstrates.
+    const double input_mb = static_cast<double>(kTableN) * 4 / kMb;
+    for (std::size_t k = 1; k <= 3; ++k) {
+        EXPECT_NEAR(miss_mb(Algo::kPlr, sum_sig(k)), input_mb,
+                    0.02 * input_mb)
+            << k;
+        EXPECT_NEAR(miss_mb(Algo::kSam, sum_sig(k)), input_mb,
+                    0.02 * input_mb)
+            << k;
+    }
+}
+
+TEST(Table3Shape, ScanMissesGrowTriangularlyWithOrder)
+{
+    // Scan's k-tuple passes miss ~(k(k+1)/2) * 2n bytes: the order-2 and
+    // order-3 rows are 3x and 6x the order-1 row (512 -> 1537 -> 3074 MB).
+    const double base = miss_mb(Algo::kScan, sum_sig(1));
+    EXPECT_NEAR(miss_mb(Algo::kScan, sum_sig(2)), 3.0 * base, 0.05 * base);
+    EXPECT_NEAR(miss_mb(Algo::kScan, sum_sig(3)), 6.0 * base, 0.10 * base);
+}
+
+TEST(Table3Shape, TwoDFiltersMissMoreThanSinglePass)
+{
+    for (std::size_t k = 1; k <= 3; ++k) {
+        const auto filter = dsp::lowpass(0.8, k);
+        EXPECT_GT(miss_mb(Algo::kRec, filter),
+                  miss_mb(Algo::kPlr, sum_sig(k)))
+            << k;
+        EXPECT_GT(miss_mb(Algo::kAlg3, filter), miss_mb(Algo::kRec, filter))
+            << k;
+    }
+}
+
+TEST(WinnerOrdering, LargePrefixSumIsBandwidthBound)
+{
+    // Figure 1 at n = 2^30: memcpy > CUB > SAM > PLR, all within 10% of
+    // the memory-copy bound; Scan cannot even represent the size.
+    const auto sig = dsp::prefix_sum();
+    const std::size_t n = std::size_t{1} << 30;
+    const double memcpy_tp = algo_throughput(Algo::kMemcpy, sig, n, kHw);
+    const double cub = algo_throughput(Algo::kCub, sig, n, kHw);
+    const double sam = algo_throughput(Algo::kSam, sig, n, kHw);
+    const double p = algo_throughput(Algo::kPlr, sig, n, kHw);
+    EXPECT_GT(memcpy_tp, cub);
+    EXPECT_GT(cub, sam);
+    EXPECT_GT(sam, p);
+    EXPECT_GT(p, 0.9 * memcpy_tp);
+    EXPECT_LT(algo_max_elements(Algo::kScan, sig, kHw), n);
+}
+
+TEST(WinnerOrdering, PlrAdvantageOverCubGrowsWithOrder)
+{
+    // Section 6.1.3: PLR/CUB grows with the order while SAM/PLR shrinks.
+    const std::size_t n = std::size_t{1} << 30;
+    double prev_plr_cub = 0.0;
+    double prev_sam_plr = 1e9;
+    for (std::size_t k = 2; k <= 4; ++k) {
+        const auto sig = dsp::higher_order_prefix_sum(k);
+        const double p = algo_throughput(Algo::kPlr, sig, n, kHw);
+        const double cub = algo_throughput(Algo::kCub, sig, n, kHw);
+        const double sam = algo_throughput(Algo::kSam, sig, n, kHw);
+        EXPECT_GT(p / cub, prev_plr_cub) << k;
+        EXPECT_LT(sam / p, prev_sam_plr) << k;
+        prev_plr_cub = p / cub;
+        prev_sam_plr = sam / p;
+    }
+    // By order 3 PLR decisively beats CUB (1.49x in the model).
+    const auto sig3 = dsp::higher_order_prefix_sum(3);
+    EXPECT_GT(algo_throughput(Algo::kPlr, sig3, n, kHw),
+              1.3 * algo_throughput(Algo::kCub, sig3, n, kHw));
+}
+
+TEST(Crossovers, PlrOvertakesScanEarlyOnPrefixSum)
+{
+    const std::size_t n =
+        crossover_size(Algo::kPlr, Algo::kScan, dsp::prefix_sum(), kHw);
+    EXPECT_GT(n, std::size_t{1} << 14);
+    EXPECT_LE(n, std::size_t{1} << 20);
+}
+
+TEST(Crossovers, PlrOvertakesRecOnDeepFilters)
+{
+    // Figure 8: PLR ends 1.58x above Rec on the 3-stage low-pass filter,
+    // so a crossover must exist below 1 GB inputs.
+    const std::size_t n =
+        crossover_size(Algo::kPlr, Algo::kRec, dsp::lowpass(0.8, 3), kHw);
+    EXPECT_GT(n, 0u);
+    EXPECT_LE(n, std::size_t{1} << 28);
+}
+
+TEST(Crossovers, NothingOvertakesMemcpy)
+{
+    for (Algo algo : {Algo::kPlr, Algo::kCub, Algo::kSam, Algo::kScan})
+        EXPECT_EQ(
+            crossover_size(algo, Algo::kMemcpy, dsp::prefix_sum(), kHw), 0u)
+            << to_string(algo);
+}
+
+}  // namespace
+}  // namespace plr::perfmodel
