@@ -7,9 +7,12 @@
  *   bench_compare <fresh.json> <baseline.json>
  *       [--wall-tolerance 0.5] [--model-tolerance 1e-6] [--strict-wall]
  *
- * Exit codes: 0 = within tolerance, 1 = regression (hard finding),
- * 2 = usage, I/O, or schema error. Wall-clock findings are soft
- * (reported, exit 0) unless --strict-wall.
+ * Exit codes (also under --help): 0 = within tolerance, 1 = regression
+ * (hard finding), 2 = usage error, 3 = a report file is missing,
+ * unparseable, or not a valid plr-bench:v1 document. CI distinguishes 1
+ * ("the code got slower/different") from 3 ("the comparison itself is
+ * broken"); a gate script must not lump them together. Wall-clock
+ * findings are soft (reported, exit 0) unless --strict-wall.
  */
 
 #include <exception>
@@ -19,38 +22,87 @@
 #include "util/cli.h"
 #include "util/json.h"
 
+namespace {
+
+void
+print_help(std::ostream& os)
+{
+    os << "usage: bench_compare <fresh.json> <baseline.json>"
+          " [--wall-tolerance X] [--model-tolerance X] [--strict-wall]\n"
+          "\n"
+          "Diffs a fresh plr-bench:v1 report against a committed baseline"
+          " (docs/BENCH.md).\n"
+          "Counters and info entries must match exactly; series points and"
+          " metrics within\n"
+          "--model-tolerance (default 1e-6); wall-clock within"
+          " --wall-tolerance (default\n"
+          "0.5), soft unless --strict-wall.\n"
+          "\n"
+          "exit codes:\n"
+          "  0  reports agree within tolerance (soft findings may be"
+          " printed)\n"
+          "  1  regression: at least one hard finding\n"
+          "  2  usage error (bad arguments)\n"
+          "  3  malformed or missing report: a file could not be read,"
+          " parsed,\n"
+          "     or fails plr-bench:v1 schema validation\n";
+}
+
+}  // namespace
+
 int
 main(int argc, char** argv)
 {
+    plr::bench::CompareOptions options;
+    std::string fresh_path;
+    std::string baseline_path;
     try {
         const plr::CliArgs args(argc, argv);
+        if (args.get_bool("help", false)) {
+            print_help(std::cout);
+            return 0;
+        }
         if (args.positional().size() != 2) {
-            std::cerr << "usage: bench_compare <fresh.json> <baseline.json>"
-                         " [--wall-tolerance X] [--model-tolerance X]"
-                         " [--strict-wall]\n";
+            print_help(std::cerr);
             return 2;
         }
-        plr::bench::CompareOptions options;
         options.wall_tolerance =
             args.get_double("wall-tolerance", options.wall_tolerance);
         options.model_tolerance =
             args.get_double("model-tolerance", options.model_tolerance);
         options.strict_wall = args.get_bool("strict-wall", false);
+        fresh_path = args.positional()[0];
+        baseline_path = args.positional()[1];
+    } catch (const std::exception& e) {
+        std::cerr << "bench_compare: " << e.what() << "\n";
+        return 2;
+    }
 
-        const auto fresh = plr::json::parse_file(args.positional()[0]);
-        const auto baseline = plr::json::parse_file(args.positional()[1]);
-        for (const auto* doc : {&fresh, &baseline}) {
-            const auto problems = plr::bench::validate_report(*doc);
-            if (!problems.empty()) {
-                const char* which = doc == &fresh ? "fresh" : "baseline";
-                std::cerr << which << " report is not a valid "
-                          << plr::bench::kBenchSchema << " document:\n";
-                for (const auto& problem : problems)
-                    std::cerr << "  " << problem << "\n";
-                return 2;
-            }
+    // Anything wrong with the report files themselves — missing, not
+    // JSON, wrong schema — is exit 3, so CI can tell "the benchmark
+    // regressed" (1) from "the comparison is broken" (3).
+    plr::json::Value fresh, baseline;
+    try {
+        fresh = plr::json::parse_file(fresh_path);
+        baseline = plr::json::parse_file(baseline_path);
+    } catch (const std::exception& e) {
+        std::cerr << "bench_compare: cannot load report: " << e.what()
+                  << "\n";
+        return 3;
+    }
+    for (const auto* doc : {&fresh, &baseline}) {
+        const auto problems = plr::bench::validate_report(*doc);
+        if (!problems.empty()) {
+            const char* which = doc == &fresh ? "fresh" : "baseline";
+            std::cerr << which << " report is not a valid "
+                      << plr::bench::kBenchSchema << " document:\n";
+            for (const auto& problem : problems)
+                std::cerr << "  " << problem << "\n";
+            return 3;
         }
+    }
 
+    try {
         const auto findings =
             plr::bench::compare_reports(fresh, baseline, options);
         std::size_t hard = 0;

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * ABFT verification overhead (docs/FAULTS.md): the 2^20-element int32
+ * prefix sum through the PLR kernel, with and without the integrity
+ * machinery (per-chunk Fletcher checksums in the kernel + the host-side
+ * verify-and-repair sweep). Gates the relative wall-clock overhead at
+ * --max-overhead-pct (default 10%): self-verification is meant to be
+ * cheap enough to leave on.
+ *
+ * Two kinds of regression signal:
+ *
+ *  - Wall clock, gated here. Runs are interleaved in pairs with
+ *    alternating order; the gate statistic is the MINIMUM of the
+ *    per-pair overhead ratios. Interference on a time-shared machine is
+ *    strictly additive, so the least-contaminated pair is the closest
+ *    estimate of the true ratio and a single clean pair certifies the
+ *    true cost; the median is printed for context. Wall numbers are
+ *    machine-dependent and excluded from the committed baseline.
+ *
+ *  - The integrity machinery's counted store footprint (extra store
+ *    transactions and bytes vs the plain run: the per-chunk carry
+ *    checksum publications), which is exact and interleaving-
+ *    independent. These go into the committed baseline
+ *    (bench/baselines/) so any change that silently grows the
+ *    verification footprint fails bench_compare deterministically.
+ *    Look-back validation *loads* depend on the scheduling-dependent
+ *    look-back depth, so they are printed but never baseline-compared.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/plan.h"
+#include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/serial.h"
+#include "kernels/verify.h"
+#include "util/cli.h"
+
+namespace {
+
+std::uint64_t
+elapsed_ns(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using plr::IntRing;
+    const plr::CliArgs args(argc, argv);
+    const int reps = static_cast<int>(args.get_int("reps", 15));
+    const int exp = static_cast<int>(args.get_int("n-exp", 20));
+    const double max_overhead_pct =
+        args.get_double("max-overhead-pct", 10.0);
+    const std::size_t n = std::size_t{1} << exp;
+
+    const plr::Signature sig({1.0}, {1.0});
+    const auto input = plr::dsp::random_ints(n, 42);
+    const auto want = plr::kernels::serial_recurrence<IntRing>(sig, input);
+    const plr::KernelPlan plan = plr::make_plan(sig, n);
+    const plr::kernels::PlrKernel<IntRing> kernel(plan);
+
+    plr::bench::Reporter reporter("verify_overhead",
+                                  "ABFT verification overhead (PLR, 2^" +
+                                      std::to_string(exp) +
+                                      " int prefix sum)");
+    reporter.set_signature(sig);
+    reporter.add_info("config", "n=2^" + std::to_string(exp) + " chunk=" +
+                                    std::to_string(plan.m) + " over " +
+                                    std::to_string(reps) + " paired reps");
+
+    std::uint64_t best_base = 0;
+    std::uint64_t best_verify = 0;
+    plr::gpusim::CounterSnapshot base_counters, verify_counters;
+    std::vector<double> pair_overheads;
+    bool base_ok = true;
+    bool verify_ok = true;
+    bool verify_clean = true;
+    const auto run_plain = [&]() {
+        plr::gpusim::Device device;
+        const auto start = std::chrono::steady_clock::now();
+        const auto got = kernel.run(device, input);
+        const std::uint64_t wall = elapsed_ns(start);
+        if (best_base == 0 || wall < best_base)
+            best_base = wall;
+        base_ok = base_ok && got == want;
+        base_counters = device.snapshot();
+        return wall;
+    };
+    const auto run_verified = [&]() {
+        plr::gpusim::Device device;
+        device.set_integrity(true);
+        const auto start = std::chrono::steady_clock::now();
+        plr::kernels::PlrRunStats stats;
+        auto got = kernel.run(device, input, &stats);
+        const auto report = plr::kernels::verify_and_repair<IntRing>(
+            sig, input, std::span<std::int32_t>(got), plan.m,
+            &stats.checksums);
+        const std::uint64_t wall = elapsed_ns(start);
+        if (best_verify == 0 || wall < best_verify)
+            best_verify = wall;
+        verify_ok = verify_ok && got == want;
+        verify_clean = verify_clean && report.clean();
+        verify_counters = device.snapshot();
+        return wall;
+    };
+    for (int r = 0; r < reps; ++r) {
+        // Alternate which leg runs first so ramping machine load does not
+        // systematically land on one configuration.
+        std::uint64_t base_wall, verify_wall;
+        if (r % 2 == 0) {
+            base_wall = run_plain();
+            verify_wall = run_verified();
+        } else {
+            verify_wall = run_verified();
+            base_wall = run_plain();
+        }
+        pair_overheads.push_back((static_cast<double>(verify_wall) -
+                                  static_cast<double>(base_wall)) *
+                                 100.0 / static_cast<double>(base_wall));
+    }
+
+    std::sort(pair_overheads.begin(), pair_overheads.end());
+    const double min_overhead_pct =
+        pair_overheads.empty() ? 0.0 : pair_overheads.front();
+    const double median_overhead_pct =
+        pair_overheads.empty()
+            ? 0.0
+            : pair_overheads[pair_overheads.size() / 2];
+
+    // Counted footprint of the integrity machinery. Stores (checksum
+    // publications) are deterministic; loads vary with the achieved
+    // look-back depth and stay out of the baseline-compared metrics.
+    const auto delta = verify_counters - base_counters;
+    const double extra_store_tx =
+        static_cast<double>(delta.global_store_transactions);
+    const double extra_store_bytes =
+        static_cast<double>(delta.global_store_bytes);
+    const double extra_load_tx =
+        static_cast<double>(delta.global_load_transactions);
+
+    reporter.add_validation("base_matches_serial", base_ok);
+    reporter.add_validation("verified_matches_serial", verify_ok);
+    reporter.add_validation("verify_pass_clean", verify_clean);
+    reporter.add_metric("integrity_extra_store_transactions",
+                        extra_store_tx);
+    reporter.add_metric("integrity_extra_store_bytes", extra_store_bytes);
+    reporter.add_metric("verify_overhead_pct", min_overhead_pct);
+
+    std::cout << "== ABFT verification overhead ==\n"
+              << "n = 2^" << exp << " int32 prefix sum, chunk " << plan.m
+              << ", " << reps << " paired reps\n"
+              << "  plain     : " << best_base / 1'000'000.0
+              << " ms (best)\n"
+              << "  verified  : " << best_verify / 1'000'000.0
+              << " ms (best)\n"
+              << "  overhead  : " << min_overhead_pct
+              << " % (min of paired reps, gate " << max_overhead_pct
+              << " %; median " << median_overhead_pct << " %)\n"
+              << "  footprint : +" << extra_store_tx << " store tx (+"
+              << extra_store_bytes << " bytes), +" << extra_load_tx
+              << " validation load tx (schedule-dependent)\n";
+
+    plr::bench::write_json_if_requested(reporter, argc, argv);
+
+    if (!reporter.all_validations_ok()) {
+        std::cout << "verify_overhead: VALIDATION FAILED\n";
+        return 1;
+    }
+    if (min_overhead_pct > max_overhead_pct) {
+        std::cout << "verify_overhead: OVERHEAD GATE EXCEEDED\n";
+        return 1;
+    }
+    std::cout << "verify_overhead: ok\n";
+    return 0;
+}

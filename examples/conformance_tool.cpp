@@ -36,6 +36,7 @@ usage()
            "          [--chunk M] [--no-metamorphic] [--include-broken]\n"
            "          [--fault-seed S] [--watchdog N] [--fault-corpus]\n"
            "          [--race-detect] [--invariants]\n"
+           "          [--sdc-seed S] [--verify]\n"
            "          [--repro-log FILE]   run the conformance sweep\n"
            "  replay  '<reproducer line>'  re-run one failing case\n"
            "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
@@ -91,6 +92,16 @@ cmd_run(const plr::CliArgs& args)
     // token so replay re-enables the same detectors.
     opts.race_detect = args.get_bool("race-detect", false);
     opts.invariants = args.get_bool("invariants", false);
+    // --sdc-seed arms silent-data-corruption bit flips on top of the fault
+    // plan (docs/FAULTS.md); --verify runs the ABFT verify-and-repair pass
+    // so every injected flip is repaired or fails the case with a typed
+    // report. Failures carry an sdc= token for replay.
+    if (args.has("sdc-seed")) {
+        opts.fault_seed =
+            static_cast<std::uint64_t>(args.get_int("sdc-seed", 0));
+        opts.sdc = true;
+    }
+    opts.verify = args.get_bool("verify", false);
     opts.repro_log = args.get("repro-log", "");
 
     const auto report = run_conformance(kernels, corpus, opts);

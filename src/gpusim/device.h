@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -102,6 +103,7 @@ class BlockContext {
                            /*scalar=*/true);
         if (analysis_ != nullptr)
             analysis_write(buf.alloc_id, i * sizeof(T), sizeof(T));
+        fault_sdc_store(addr_of(buf, i), &value);
         pool().data(buf)[i] = value;
     }
 
@@ -152,6 +154,7 @@ class BlockContext {
         }
         if (analysis_ != nullptr)
             analysis_write(buf.alloc_id, i * sizeof(T), sizeof(T));
+        fault_sdc_store(addr_of(buf, i), &value);
         pool().data(buf)[i] = value;
     }
 
@@ -187,7 +190,12 @@ class BlockContext {
         if (analysis_ != nullptr)
             analysis_write(buf.alloc_id, first * sizeof(T),
                            in.size() * sizeof(T));
-        std::copy(in.begin(), in.end(), pool().data(buf) + first);
+        T* dst = pool().data(buf) + first;
+        std::copy(in.begin(), in.end(), dst);
+        if (fault_.active()) {
+            for (std::size_t j = 0; j < in.size(); ++j)
+                fault_sdc_store(addr_of(buf, first + j), dst + j);
+        }
     }
 
     /** Atomic fetch-add on a device word (returns the old value). */
@@ -267,7 +275,12 @@ class BlockContext {
      * static string; nullptr clears the note (the analysis then falls back
      * to the current wait site).
      */
-    void note_site(const char* site) { analysis_site_ = site; }
+    void
+    note_site(const char* site)
+    {
+        analysis_site_ = site;
+        sdc_site_ = classify_sdc_site(site);
+    }
 
   private:
     template <typename T>
@@ -275,6 +288,43 @@ class BlockContext {
     addr_of(const Buffer<T>& buf, std::size_t i) const
     {
         return pool_base(buf) + i * sizeof(T);
+    }
+
+    /** SDC-targeting class of the current note_site provenance. */
+    static SdcSite
+    classify_sdc_site(const char* site)
+    {
+        if (site == nullptr)
+            return SdcSite::kInterior;
+        if (std::strcmp(site, "publish-local") == 0)
+            return SdcSite::kLocalCarry;
+        if (std::strcmp(site, "publish-global") == 0)
+            return SdcSite::kGlobalCarry;
+        return SdcSite::kInterior;
+    }
+
+    /**
+     * SDC hook for payload stores: flips seed-selected bits of the word
+     * being written at @p addr (docs/FAULTS.md). Flag publications
+     * (st_release), the chunk counter (atomic_add) and host uploads never
+     * route through here, so the protocol's control words stay intact by
+     * construction — only data can be corrupted.
+     */
+    template <typename T>
+    void
+    fault_sdc_store(std::uint64_t addr, T* word)
+    {
+        static_assert(sizeof(T) <= sizeof(std::uint64_t));
+        if (!fault_.active())
+            return;
+        const std::uint64_t mask =
+            fault_.next_store_flip(addr, sizeof(T) * 8, sdc_site_);
+        if (mask == 0)
+            return;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, word, sizeof(T));
+        bits ^= mask;
+        std::memcpy(word, &bits, sizeof(T));
     }
 
     template <typename T>
@@ -340,6 +390,7 @@ class BlockContext {
     const char* wait_site_ = nullptr;
     analysis::LaunchAnalysis* analysis_ = nullptr;
     const char* analysis_site_ = nullptr;
+    SdcSite sdc_site_ = SdcSite::kInterior;
 };
 
 /** The simulated GPU. */
@@ -376,6 +427,19 @@ class Device {
 
     /** The active watchdog limit. */
     std::uint64_t spin_watchdog_limit() const { return spin_watchdog_limit_; }
+
+    /**
+     * Arm the kernels' ABFT integrity instrumentation for subsequent
+     * launches: carry checksums are published alongside look-back state
+     * and validated before merging, and per-chunk output checksums are
+     * recorded for the host verify pass (src/kernels/verify.h,
+     * docs/FAULTS.md). Off by default so counter budgets and bench
+     * baselines see the unchanged memory traffic.
+     */
+    void set_integrity(bool armed) { integrity_ = armed; }
+
+    /** Whether the ABFT integrity instrumentation is armed. */
+    bool integrity() const { return integrity_; }
 
     /**
      * Register a forensic source: a callback snapshotting one look-back
@@ -489,6 +553,7 @@ class Device {
     std::atomic<bool> failed_{false};
     std::shared_ptr<FaultPlan> fault_plan_;
     std::uint64_t spin_watchdog_limit_;
+    bool integrity_ = false;
 
     std::optional<WatchdogTrip> watchdog_trip_;  // written by the CAS winner
 

@@ -1,6 +1,7 @@
 #include "gpusim/fault.h"
 
 #include <algorithm>
+#include <bit>
 #include <iomanip>
 #include <sstream>
 
@@ -29,6 +30,15 @@ to_unit(std::uint64_t x)
 }
 
 }  // namespace
+
+FaultConfig
+with_default_sdc(FaultConfig base)
+{
+    base.sdc_carry_flip_probability = 0.02;
+    base.sdc_interior_flip_probability = 0.0005;
+    base.sdc_max_flip_bits = 2;
+    return base;
+}
 
 // ------------------------------------------------------------- FaultPlan
 
@@ -72,7 +82,56 @@ FaultPlan::stats() const
     s.torn_reads = torn_reads_.load(std::memory_order_relaxed);
     s.deferred_publishes = deferred_publishes_.load(std::memory_order_relaxed);
     s.dropped_publishes = dropped_publishes_.load(std::memory_order_relaxed);
+    s.sdc_local_carry_flips =
+        sdc_local_carry_flips_.load(std::memory_order_relaxed);
+    s.sdc_global_carry_flips =
+        sdc_global_carry_flips_.load(std::memory_order_relaxed);
+    s.sdc_interior_flips = sdc_interior_flips_.load(std::memory_order_relaxed);
+    s.sdc_bits_flipped = sdc_bits_flipped_.load(std::memory_order_relaxed);
     return s;
+}
+
+std::uint64_t
+FaultPlan::sdc_store_mask(std::uint64_t word_addr, std::size_t word_bits,
+                          SdcSite site)
+{
+    const double p = site == SdcSite::kInterior
+                         ? config_.sdc_interior_flip_probability
+                         : config_.sdc_carry_flip_probability;
+    if (p <= 0.0 || word_bits == 0)
+        return 0;
+    // Keyed on (seed, round, address): the same word flips under the same
+    // seed no matter which block stores it or when, so a one-line
+    // reproducer replays the exact corruption; a bumped sdc_round re-rolls
+    // every decision for relaunch-retry semantics.
+    const std::uint64_t h = mix64(
+        mix64(seed_ ^ (0x5dc0000000000000ull + config_.sdc_round)) ^
+        word_addr);
+    if (to_unit(h) >= p)
+        return 0;
+    std::uint64_t g = h;
+    const std::uint32_t max_bits = std::max(config_.sdc_max_flip_bits, 1u);
+    const std::uint32_t flips =
+        1 + static_cast<std::uint32_t>(mix64(g) % max_bits);
+    std::uint64_t mask = 0;
+    for (std::uint32_t f = 0; f < flips; ++f) {
+        g = mix64(g + f);
+        mask |= 1ull << (g % word_bits);
+    }
+    switch (site) {
+        case SdcSite::kLocalCarry:
+            sdc_local_carry_flips_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case SdcSite::kGlobalCarry:
+            sdc_global_carry_flips_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case SdcSite::kInterior:
+            sdc_interior_flips_.fetch_add(1, std::memory_order_relaxed);
+            break;
+    }
+    sdc_bits_flipped_.fetch_add(std::popcount(mask),
+                                std::memory_order_relaxed);
+    return mask;
 }
 
 // ------------------------------------------------------ BlockFaultStream
@@ -122,6 +181,15 @@ BlockFaultStream::next_torn_read()
         return false;
     plan_->torn_reads_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+std::uint64_t
+BlockFaultStream::next_store_flip(std::uint64_t word_addr,
+                                  std::size_t word_bits, SdcSite site)
+{
+    if (!plan_->config_.sdc_enabled())
+        return 0;
+    return plan_->sdc_store_mask(word_addr, word_bits, site);
 }
 
 BlockFaultStream::PublishFate
@@ -224,6 +292,8 @@ ForensicDump::format() const
             << " torn_reads=" << fault_stats.torn_reads
             << " deferred_publishes=" << fault_stats.deferred_publishes
             << " dropped_publishes=" << fault_stats.dropped_publishes
+            << " sdc_flips=" << fault_stats.sdc_flips()
+            << " sdc_bits_flipped=" << fault_stats.sdc_bits_flipped
             << ")\n";
     } else {
         out << "fault injection: off\n";

@@ -33,6 +33,14 @@ namespace plr::gpusim {
 
 class Device;
 
+/**
+ * Protocol-site class of a payload store, used to target SDC bit flips:
+ * carry publications are the high-value words (one flip poisons every
+ * downstream chunk), interiors are everything else (output and scratch
+ * arrays). Flag words never pass through the SDC hook at all.
+ */
+enum class SdcSite { kLocalCarry, kGlobalCarry, kInterior };
+
 /** Knobs for a FaultPlan. Defaults give an aggressive-but-benign mix. */
 struct FaultConfig {
     /** Launch blocks in a seed-shuffled order instead of index order. */
@@ -79,7 +87,47 @@ struct FaultConfig {
      * Off by default; enabled only by degradation tests.
      */
     double drop_publish_probability = 0.0;
+
+    /**
+     * Silent-data-corruption injection: probability that a payload word
+     * stored at a carry-publication site ("publish-local" /
+     * "publish-global") has bits flipped in flight. Flag words, the chunk
+     * counter and host uploads never pass through the SDC hook, so the
+     * protocol's control plane stays intact — only data is corrupted.
+     * Flips are NOT correctness-preserving; pair them with the ABFT
+     * verify layer (src/kernels/verify.h). Off by default so the benign
+     * mix above keeps its bit-identical guarantee.
+     */
+    double sdc_carry_flip_probability = 0.0;
+
+    /** Ditto for every other payload store (chunk interiors, scratch). */
+    double sdc_interior_flip_probability = 0.0;
+
+    /** Maximum bits flipped per corrupted word (1 = single-bit upsets). */
+    std::uint32_t sdc_max_flip_bits = 1;
+
+    /**
+     * Relaunch salt: SDC decisions are keyed on (seed, round, address),
+     * so a retry with a bumped round models an independent transient
+     * upset instead of deterministically re-corrupting the same words.
+     */
+    std::uint32_t sdc_round = 0;
+
+    /** True when either SDC flip probability is positive. */
+    bool
+    sdc_enabled() const
+    {
+        return sdc_carry_flip_probability > 0.0 ||
+               sdc_interior_flip_probability > 0.0;
+    }
 };
+
+/**
+ * @p base with the default SDC mix used by the sdc test matrix and the
+ * conformance tool's --sdc-seed: rare carry flips (high blast radius),
+ * rarer interior flips, up to two bits per corrupted word.
+ */
+FaultConfig with_default_sdc(FaultConfig base = FaultConfig{});
 
 /** Counters for injected fault events (aggregated across blocks). */
 struct FaultStats {
@@ -89,6 +137,18 @@ struct FaultStats {
     std::uint64_t torn_reads = 0;
     std::uint64_t deferred_publishes = 0;
     std::uint64_t dropped_publishes = 0;
+    std::uint64_t sdc_local_carry_flips = 0;
+    std::uint64_t sdc_global_carry_flips = 0;
+    std::uint64_t sdc_interior_flips = 0;
+    std::uint64_t sdc_bits_flipped = 0;
+
+    /** Total corrupted stores across all SDC sites. */
+    std::uint64_t
+    sdc_flips() const
+    {
+        return sdc_local_carry_flips + sdc_global_carry_flips +
+               sdc_interior_flips;
+    }
 };
 
 /**
@@ -117,6 +177,16 @@ class FaultPlan {
     /** Snapshot of the fault-event counters. */
     FaultStats stats() const;
 
+    /**
+     * XOR mask for the payload word stored at @p word_addr (0 = store
+     * intact). The decision is keyed on (seed, sdc_round, word_addr)
+     * only — independent of scheduling and of which block performs the
+     * store — so a flip pattern replays exactly from the seed. Bumps the
+     * per-site counters on a flip.
+     */
+    std::uint64_t sdc_store_mask(std::uint64_t word_addr,
+                                 std::size_t word_bits, SdcSite site);
+
   private:
     friend class BlockFaultStream;
 
@@ -129,6 +199,10 @@ class FaultPlan {
     std::atomic<std::uint64_t> torn_reads_{0};
     std::atomic<std::uint64_t> deferred_publishes_{0};
     std::atomic<std::uint64_t> dropped_publishes_{0};
+    std::atomic<std::uint64_t> sdc_local_carry_flips_{0};
+    std::atomic<std::uint64_t> sdc_global_carry_flips_{0};
+    std::atomic<std::uint64_t> sdc_interior_flips_{0};
+    std::atomic<std::uint64_t> sdc_bits_flipped_{0};
 };
 
 /** Per-block deterministic stream of fault decisions. */
@@ -154,6 +228,15 @@ class BlockFaultStream {
 
     /** Fate of the next st_release; sets @p delay when deferred. */
     PublishFate next_publish_fate(std::uint32_t* delay);
+
+    /**
+     * XOR mask for a payload word this block is storing at @p word_addr
+     * (0 = intact). Address-keyed via the shared plan, NOT the per-block
+     * stream, so the flip pattern is independent of which block ends up
+     * owning the store.
+     */
+    std::uint64_t next_store_flip(std::uint64_t word_addr,
+                                  std::size_t word_bits, SdcSite site);
 
   private:
     FaultPlan* plan_ = nullptr;

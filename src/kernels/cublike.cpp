@@ -48,11 +48,19 @@ CubLikeKernel<Ring>::run(gpusim::Device& device,
 
     const std::size_t s = tuple_;
     const std::size_t num_chunks = (n_ + chunk_ - 1) / chunk_;
+    const bool integrity = device.integrity();
     const auto before = device.snapshot();
 
     auto in = device.alloc<V>(n_, "cub.input");
     auto out = device.alloc<V>(n_, "cub.output");
     device.upload<V>(in, input);
+
+    // Inter-pass ABFT handoff: each pass records in-register checksums of
+    // its output chunks; the next pass validates what it loads against
+    // them, so a flip on the in-place rescan traffic is caught at the pass
+    // boundary. The final pass's sums double as the verify-pass checksums.
+    std::vector<std::uint32_t> prev_sums;
+    std::vector<std::uint32_t> cur_sums(integrity ? num_chunks : 0);
 
     for (std::size_t pass = 0; pass < passes_; ++pass) {
         // Pass 0 reads the input array; later passes rescan the output
@@ -75,6 +83,15 @@ CubLikeKernel<Ring>::run(gpusim::Device& device,
 
             std::vector<V> w(len);
             ctx.ld_bulk<V>(src, base, w);
+            if (integrity && pass > 0 &&
+                checksum_values<V>(std::span<const V>(w)) !=
+                    prev_sums[chunk_id]) {
+                throw IntegrityError(
+                    "cub.pass" + std::to_string(pass) +
+                        ": corrupt rescan input at chunk " +
+                        std::to_string(chunk_id) + " (checksum mismatch)",
+                    chunk_id, "pass-input");
+            }
 
             // Local per-lane inclusive scan (lane = global index mod s;
             // base is a multiple of s by construction).
@@ -106,10 +123,16 @@ CubLikeKernel<Ring>::run(gpusim::Device& device,
                     ctx.count_flop(1);
                 }
             }
+            if (integrity) {
+                cur_sums[chunk_id] =
+                    checksum_values<V>(std::span<const V>(w));
+            }
             ctx.st_bulk<V>(out, base, std::span<const V>(w));
         });
 
         chain.free(device);
+        if (integrity)
+            prev_sums = cur_sums;
     }
 
     auto result = device.download<V>(out);
@@ -117,6 +140,10 @@ CubLikeKernel<Ring>::run(gpusim::Device& device,
         stats->passes = passes_;
         stats->chunks_per_pass = num_chunks;
         stats->counters = device.snapshot() - before;
+        if (integrity) {
+            stats->checksums.chunk_size = chunk_;
+            stats->checksums.sums = std::move(prev_sums);
+        }
     }
     device.memory().free(in);
     device.memory().free(out);

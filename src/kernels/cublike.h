@@ -25,6 +25,7 @@
 
 #include "core/signature.h"
 #include "gpusim/device.h"
+#include "kernels/verify.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -35,6 +36,8 @@ struct CubRunStats {
     std::size_t passes = 0;
     std::size_t chunks_per_pass = 0;
     gpusim::CounterSnapshot counters;
+    /** Per-chunk checksums of the final pass's output (integrity only). */
+    ChunkChecksums checksums;
 };
 
 /** CUB-like scan kernel for the prefix-sum family. */

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "kernels/verify.h"
 
 namespace plr::kernels {
 
@@ -51,6 +53,13 @@ class LookbackChain {
             device.alloc<std::uint32_t>(num_chunks, label + ".local_flags");
         global_flags_ =
             device.alloc<std::uint32_t>(num_chunks, label + ".global_flags");
+        integrity_ = device.integrity();
+        if (integrity_) {
+            local_sums_ = device.alloc<std::uint32_t>(
+                num_chunks, label + ".local_sums");
+            global_sums_ = device.alloc<std::uint32_t>(
+                num_chunks, label + ".global_sums");
+        }
         forensic_id_ = device.register_forensic_source(
             [this]() { return forensics(); });
 
@@ -86,6 +95,14 @@ class LookbackChain {
         ctx.note_site("publish-local");
         for (std::size_t i = 0; i < width_; ++i)
             ctx.st(local_state_, chunk * width_ + i, state[i]);
+        if (integrity_) {
+            // Checksum of the in-register state, stored before the same
+            // fence + flag as the carry words: consumers validate the
+            // published words against it before merging. A flip of the
+            // checksum word itself is a safe false positive.
+            ctx.st(local_sums_, chunk,
+                   checksum_values<V>(std::span<const V>(state)));
+        }
         ctx.threadfence();
         ctx.st_release(local_flags_, chunk, 1);
         ctx.note_site(nullptr);
@@ -140,10 +157,14 @@ class LookbackChain {
         std::vector<V> carry(width_);
         for (std::size_t i = 0; i < width_; ++i)
             carry[i] = ctx.ld(global_state_, g * width_ + i);
+        if (integrity_)
+            validate(ctx, global_sums_, g, carry, "global");
         for (std::size_t q = g + 1; q < chunk; ++q) {
             std::vector<V> local(width_);
             for (std::size_t i = 0; i < width_; ++i)
                 local[i] = ctx.ld(local_state_, q * width_ + i);
+            if (integrity_)
+                validate(ctx, local_sums_, q, local, "local");
             carry = fold(std::move(carry), local);
         }
         ctx.note_site(nullptr);
@@ -158,6 +179,10 @@ class LookbackChain {
         ctx.note_site("publish-global");
         for (std::size_t i = 0; i < width_; ++i)
             ctx.st(global_state_, chunk * width_ + i, state[i]);
+        if (integrity_) {
+            ctx.st(global_sums_, chunk,
+                   checksum_values<V>(std::span<const V>(state)));
+        }
         ctx.threadfence();
         ctx.st_release(global_flags_, chunk, 1);
         ctx.note_site(nullptr);
@@ -174,11 +199,41 @@ class LookbackChain {
         device.memory().free(global_state_);
         device.memory().free(local_flags_);
         device.memory().free(global_flags_);
+        if (integrity_) {
+            device.memory().free(local_sums_);
+            device.memory().free(global_sums_);
+        }
     }
 
     std::size_t width() const { return width_; }
 
+    /** Device buffers, exposed so integrity tests can corrupt carries. */
+    const gpusim::Buffer<V>& local_state_buffer() const
+    {
+        return local_state_;
+    }
+    const gpusim::Buffer<V>& global_state_buffer() const
+    {
+        return global_state_;
+    }
+
   private:
+    /** Compare published carry words against their published checksum. */
+    void
+    validate(gpusim::BlockContext& ctx,
+             const gpusim::Buffer<std::uint32_t>& sums, std::size_t chunk,
+             const std::vector<V>& state, const char* kind) const
+    {
+        const std::uint32_t want = ctx.ld(sums, chunk);
+        if (checksum_values<V>(std::span<const V>(state)) == want)
+            return;
+        throw IntegrityError(label_ + ": corrupt " + kind +
+                                 " carry consumed at chunk " +
+                                 std::to_string(chunk) +
+                                 " (checksum mismatch before merge)",
+                             chunk, "look-back");
+    }
+
     /** Snapshot flags and carries for the watchdog (post-join, race-free). */
     gpusim::ProtocolForensics
     forensics() const
@@ -209,10 +264,13 @@ class LookbackChain {
     gpusim::Device* device_;
     std::size_t forensic_id_ = 0;
     std::size_t protocol_id_ = 0;
+    bool integrity_ = false;
     gpusim::Buffer<V> local_state_;
     gpusim::Buffer<V> global_state_;
     gpusim::Buffer<std::uint32_t> local_flags_;
     gpusim::Buffer<std::uint32_t> global_flags_;
+    gpusim::Buffer<std::uint32_t> local_sums_;
+    gpusim::Buffer<std::uint32_t> global_sums_;
 };
 
 }  // namespace plr::kernels

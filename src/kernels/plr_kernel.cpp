@@ -75,6 +75,8 @@ struct DeviceState {
     Buffer<std::uint32_t> local_flags;
     Buffer<std::uint32_t> global_flags;
     Buffer<std::uint32_t> chunk_counter;  // one word
+    Buffer<std::uint32_t> local_sums;   // ABFT carry checksums (integrity)
+    Buffer<std::uint32_t> global_sums;  // ditto for global carries
 };
 
 /**
@@ -221,6 +223,13 @@ PlrKernel<Ring>::run(gpusim::Device& device,
     dev.global_flags =
         device.alloc<std::uint32_t>(num_chunks, "plr.global_flags");
     dev.chunk_counter = device.alloc<std::uint32_t>(1, "plr.chunk_counter");
+    const bool integrity = device.integrity();
+    if (integrity) {
+        dev.local_sums =
+            device.alloc<std::uint32_t>(num_chunks, "plr.local_sums");
+        dev.global_sums =
+            device.alloc<std::uint32_t>(num_chunks, "plr.global_sums");
+    }
     device.upload<V>(dev.input, input);
 
     for (std::size_t j = 1; j <= k; ++j) {
@@ -241,6 +250,10 @@ PlrKernel<Ring>::run(gpusim::Device& device,
 
     std::atomic<std::size_t> max_lookback{0};
     std::atomic<std::size_t> total_lookback{0};
+    // Host-side per-chunk output checksums, computed from in-register
+    // values right before the output store (each block writes only its own
+    // slot, so plain vector access is race-free).
+    std::vector<std::uint32_t> output_sums(integrity ? num_chunks : 0);
 
     const std::size_t p = map_coeffs_.size() > 0 ? map_coeffs_.size() - 1 : 0;
     const bool has_map = map_coeffs_.size() != 1 ||
@@ -362,6 +375,17 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         ctx.note_site("publish-local");
         for (std::size_t j = 1; j <= k && j <= len; ++j)
             ctx.st(dev.local_carries, chunk * k + (j - 1), w[len - j]);
+        if (integrity) {
+            // Checksum of the in-register carry values, behind the same
+            // fence + flag: consumers validate before merging, so a flip
+            // of either a carry word or the checksum word aborts typed
+            // instead of propagating downstream.
+            std::vector<V> published(std::min(k, len));
+            for (std::size_t j = 1; j <= published.size(); ++j)
+                published[j - 1] = w[len - j];
+            ctx.st(dev.local_sums, chunk,
+                   checksum_values<V>(std::span<const V>(published)));
+        }
         ctx.threadfence();
         ctx.st_release(dev.local_flags, chunk, 1);
         ctx.note_site(nullptr);
@@ -407,15 +431,36 @@ PlrKernel<Ring>::run(gpusim::Device& device,
                        seen, distance, std::memory_order_relaxed)) {
             }
 
+            // Consumed carries are validated against their published
+            // checksum before they contaminate this chunk (ABFT layer;
+            // no-op unless Device integrity is armed).
+            const auto validate_carry = [&](const Buffer<std::uint32_t>& sums,
+                                            std::size_t q,
+                                            const std::vector<V>& values,
+                                            const char* kind) {
+                if (!integrity)
+                    return;
+                const std::uint32_t want = ctx.ld(sums, q);
+                if (checksum_values<V>(std::span<const V>(values)) == want)
+                    return;
+                throw IntegrityError(
+                    std::string("plr.lookback: corrupt ") + kind +
+                        " carry consumed at chunk " + std::to_string(q) +
+                        " (checksum mismatch before merge)",
+                    q, "look-back");
+            };
+
             // Global carries of chunk g...
             for (std::size_t j = 1; j <= k; ++j)
                 carry[j - 1] = ctx.ld(dev.global_carries, g * k + (j - 1));
+            validate_carry(dev.global_sums, g, carry, "global");
             // ...advanced across the intervening chunks' local carries
             // with the last k correction factors: O(c*k^2) work.
             for (std::size_t q = g + 1; q < chunk; ++q) {
                 std::vector<V> lc(k);
                 for (std::size_t j = 1; j <= k; ++j)
                     lc[j - 1] = ctx.ld(dev.local_carries, q * k + (j - 1));
+                validate_carry(dev.local_sums, q, lc, "local");
                 std::vector<V> corrected(k);
                 for (std::size_t j = 1; j <= k; ++j) {
                     V acc = lc[j - 1];
@@ -436,6 +481,7 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         // Global carries of this chunk: its local carries corrected with
         // the incoming carry, published as early as possible.
         ctx.note_site("publish-global");
+        std::vector<V> published_global(std::min(k, len));
         for (std::size_t j = 1; j <= k && j <= len; ++j) {
             V acc = w[len - j];
             const std::size_t o = len - j;
@@ -445,7 +491,13 @@ PlrKernel<Ring>::run(gpusim::Device& device,
                 acc = apply_correction<Ring>(ctx, access[i - 1], o, acc,
                                              carry[i - 1]);
             }
+            published_global[j - 1] = acc;
             ctx.st(dev.global_carries, chunk * k + (j - 1), acc);
+        }
+        if (integrity) {
+            ctx.st(dev.global_sums, chunk,
+                   checksum_values<V>(
+                       std::span<const V>(published_global)));
         }
         ctx.threadfence();
         ctx.st_release(dev.global_flags, chunk, 1);
@@ -467,6 +519,8 @@ PlrKernel<Ring>::run(gpusim::Device& device,
                     w[o] = acc;
             }
         }
+        if (integrity)
+            output_sums[chunk] = checksum_values<V>(std::span<const V>(w));
         ctx.st_bulk<V>(dev.output, base, std::span<const V>(w));
     };
 
@@ -479,6 +533,10 @@ PlrKernel<Ring>::run(gpusim::Device& device,
         stats->max_lookback = max_lookback.load();
         stats->total_lookback = total_lookback.load();
         stats->counters = device.snapshot() - counters_before;
+        if (integrity) {
+            stats->checksums.chunk_size = m;
+            stats->checksums.sums = std::move(output_sums);
+        }
     }
 
     // Free the run's buffers; the ledger keeps the records for accounting.
@@ -489,6 +547,10 @@ PlrKernel<Ring>::run(gpusim::Device& device,
     device.memory().free(dev.local_flags);
     device.memory().free(dev.global_flags);
     device.memory().free(dev.chunk_counter);
+    if (integrity) {
+        device.memory().free(dev.local_sums);
+        device.memory().free(dev.global_sums);
+    }
     for (std::size_t j = 1; j <= k; ++j) {
         if (access[j - 1].device_values.valid() &&
             !access[j - 1].shifted_alias)

@@ -30,6 +30,7 @@
 #include "core/factor_analysis.h"
 #include "core/plan.h"
 #include "gpusim/device.h"
+#include "kernels/verify.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -44,6 +45,8 @@ struct PlrRunStats {
     std::size_t total_lookback = 0;
     /** Device counters for this run only. */
     gpusim::CounterSnapshot counters;
+    /** Per-chunk output checksums (armed only under Device integrity). */
+    ChunkChecksums checksums;
 };
 
 /** The PLR kernel for one recurrence plan. */

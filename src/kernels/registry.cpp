@@ -11,6 +11,7 @@
 #include "kernels/samlike.h"
 #include "kernels/scan_baseline.h"
 #include "kernels/serial.h"
+#include "kernels/verify.h"
 #include "util/diag.h"
 
 namespace plr::kernels {
@@ -58,9 +59,13 @@ make_spec(const RunOptions& opts)
 void
 configure_device(gpusim::Device& device, const RunOptions& opts)
 {
-    if (opts.fault_seed != 0)
+    if (opts.fault_seed != 0) {
+        gpusim::FaultConfig config;
+        if (opts.sdc)
+            config = gpusim::with_default_sdc();
         device.set_fault_plan(
-            std::make_shared<gpusim::FaultPlan>(opts.fault_seed));
+            std::make_shared<gpusim::FaultPlan>(opts.fault_seed, config));
+    }
     if (opts.spin_watchdog != 0)
         device.set_spin_watchdog_limit(opts.spin_watchdog);
     if (opts.race_detect || opts.invariants) {
@@ -69,6 +74,31 @@ configure_device(gpusim::Device& device, const RunOptions& opts)
         config.invariants = opts.invariants;
         device.enable_analysis(config);
     }
+    if (opts.verify)
+        device.set_integrity(true);
+}
+
+/**
+ * Post-run ABFT sweep for a registry kernel: repair what can be repaired
+ * in place, throw a typed IntegrityError for anything that cannot — a
+ * registry run never returns a detected-corrupt result.
+ */
+template <typename Ring>
+void
+verify_registry_result(const char* kernel, const Signature& sig,
+                       std::span<const typename Ring::value_type> input,
+                       std::span<typename Ring::value_type> output,
+                       std::size_t fallback_chunk, ChunkChecksums* checksums)
+{
+    const std::size_t chunk = (checksums != nullptr && checksums->armed())
+                                  ? checksums->chunk_size
+                                  : fallback_chunk;
+    const VerifyReport report = verify_and_repair<Ring>(
+        sig, input, output, chunk,
+        (checksums != nullptr && checksums->armed()) ? checksums : nullptr);
+    if (!report.trustworthy())
+        throw IntegrityError(std::string(kernel) + ": " + report.describe(),
+                             IntegrityError::kNoChunk, "verify");
 }
 
 std::pair<std::size_t, std::size_t>
@@ -95,7 +125,12 @@ run_plr_sim(const Signature& sig,
     gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     PlrKernel<Ring> kernel(make_plan_with_chunk(sig, input.size(), m, block));
-    auto result = kernel.run(device, input);
+    PlrRunStats stats;
+    auto result = kernel.run(device, input, &stats);
+    if (opts.verify)
+        verify_registry_result<Ring>("plr_sim", sig, input,
+                                     std::span(result), m,
+                                     &stats.checksums);
     if (opts.counters != nullptr)
         *opts.counters = device.counters().snapshot();
     return result;
@@ -113,7 +148,11 @@ run_scan(const Signature& sig,
     gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     ScanBaseline<Ring> kernel(sig, input.size(), chunk);
-    auto result = kernel.run(device, input);
+    ScanRunStats stats;
+    auto result = kernel.run(device, input, &stats);
+    if (opts.verify)
+        verify_registry_result<Ring>("scan", sig, input, std::span(result),
+                                     chunk, &stats.checksums);
     if (opts.counters != nullptr)
         *opts.counters = device.counters().snapshot();
     return result;
@@ -131,7 +170,12 @@ run_cublike(const Signature& sig,
     gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     CubLikeKernel<Ring> kernel(sig, input.size(), chunk);
-    auto result = kernel.run(device, input);
+    CubRunStats stats;
+    auto result = kernel.run(device, input, &stats);
+    if (opts.verify)
+        verify_registry_result<Ring>("cublike", sig, input,
+                                     std::span(result), chunk,
+                                     &stats.checksums);
     if (opts.counters != nullptr)
         *opts.counters = device.counters().snapshot();
     return result;
@@ -152,7 +196,12 @@ run_samlike(const Signature& sig,
     gpusim::Device device(make_spec(opts));
     configure_device(device, opts);
     SamLikeKernel<Ring> kernel(sig, input.size(), chunk);
-    auto result = kernel.run(device, input);
+    SamRunStats stats;
+    auto result = kernel.run(device, input, &stats);
+    if (opts.verify)
+        verify_registry_result<Ring>("samlike", sig, input,
+                                     std::span(result), kernel.chunk_size(),
+                                     &stats.checksums);
     if (opts.counters != nullptr)
         *opts.counters = device.counters().snapshot();
     return result;

@@ -67,6 +67,21 @@ struct RunOptions {
     /** Enable the look-back protocol invariant checker (ditto). */
     bool invariants = false;
     /**
+     * Arm silent-data-corruption injection on the simulated-GPU backends:
+     * the fault plan built from fault_seed gets the default SDC bit-flip
+     * mix (gpusim::with_default_sdc, docs/FAULTS.md). No effect unless
+     * fault_seed != 0. CPU kernels ignore it.
+     */
+    bool sdc = false;
+    /**
+     * Run the ABFT verify-and-repair pass (src/kernels/verify.h) over the
+     * simulated-GPU result: per-chunk checksums recorded by the kernel
+     * plus seam/interior residual checks. Detected corruption is repaired
+     * in place when possible; otherwise the run throws IntegrityError —
+     * never a silent wrong answer. CPU kernels ignore it.
+     */
+    bool verify = false;
+    /**
      * Serialize the simulated launch to one resident block
      * (gpusim::serialized): blocks run in index order, making every perf
      * counter interleaving-independent. Used by the counter-budget

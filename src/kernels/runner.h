@@ -46,6 +46,45 @@ enum class FailurePolicy {
     kDegradeToCpu,
 };
 
+/**
+ * Highest rung of the recovery ladder a run needed (docs/FAULTS.md):
+ * kClean < kRepaired < kRelaunched < kCpuFallback, with kFailed for a
+ * kFailFast run that exhausted the ladder and rethrew.
+ */
+enum class RecoveryStage {
+    /** First launch verified clean (or verification was off). */
+    kClean,
+    /** Corrupt chunk(s) recomputed in place from saved carries. */
+    kRepaired,
+    /** At least one bounded full relaunch was needed. */
+    kRelaunched,
+    /** GPU attempts exhausted; result recomputed on the CPU backend. */
+    kCpuFallback,
+    /** Ladder exhausted under kFailFast; the failure was rethrown. */
+    kFailed,
+};
+
+/** Stable name of a recovery stage ("clean", "repaired", ...). */
+const char* to_string(RecoveryStage stage);
+
+/** Typed account of what the recovery ladder did for one run. */
+struct RecoveryReport {
+    RecoveryStage stage = RecoveryStage::kClean;
+    /** Verification sweeps that ran (one per GPU attempt with verify on). */
+    std::size_t verify_passes = 0;
+    /** Chunks selectively recomputed across all attempts. */
+    std::size_t chunks_repaired = 0;
+    /** Full GPU relaunches after the first attempt. */
+    std::size_t relaunches = 0;
+    /** Injected-event counters of the final GPU attempt's fault plan. */
+    gpusim::FaultStats faults;
+    /** One line per ladder event, oldest first. */
+    std::string detail;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
 /** Extended knobs for run_recurrence. */
 struct RunnerOptions {
     Backend backend = Backend::kSimulatedGpu;
@@ -62,8 +101,26 @@ struct RunnerOptions {
     bool race_detect = false;
     /** Run the look-back protocol invariant checker (ditto). */
     bool invariants = false;
+    /** Arm SDC bit-flip injection on the GPU backend: the plan built from
+        fault_seed gets the default SDC mix (gpusim::with_default_sdc).
+        Requires fault_seed != 0 to have any effect. */
+    bool sdc = false;
+    /** Run the ABFT verify-and-repair pass over each GPU attempt
+        (src/kernels/verify.h); failed verification climbs the recovery
+        ladder instead of returning a wrong answer. */
+    bool verify = false;
+    /** Chunks the verify pass may recompute per attempt before the run
+        escalates to a relaunch (0 = unlimited). */
+    std::size_t max_chunk_repairs = 4;
+    /** Full GPU relaunches after a failed first attempt (with a fresh
+        SDC round each time) before falling back per on_failure. */
+    std::size_t max_relaunches = 2;
+    /** Base backoff before relaunch attempt i (doubled each rung). */
+    std::uint64_t relaunch_backoff_ms = 1;
     /** Receives the reproducer line on degradation; may be null. */
     std::string* repro_out = nullptr;
+    /** Receives the RecoveryReport of the run; may be null. */
+    RecoveryReport* recovery_out = nullptr;
 };
 
 /**

@@ -78,7 +78,9 @@ SamLikeKernel<Ring>::run(gpusim::Device& device,
     const bool is_tuple = tuple_ > 0;
     const std::size_t iterations = is_tuple ? 1 : k_;
     const std::size_t stride = is_tuple ? tuple_ : 1;
+    const bool integrity = device.integrity();
     const auto before = device.snapshot();
+    std::vector<std::uint32_t> output_sums(integrity ? num_chunks : 0);
 
     auto in = device.alloc<V>(n_, "sam.input");
     auto out = device.alloc<V>(n_, "sam.output");
@@ -166,6 +168,10 @@ SamLikeKernel<Ring>::run(gpusim::Device& device,
             chain.publish_global(ctx, chunk_id, local);
         }
 
+        if (integrity) {
+            output_sums[chunk_id] =
+                checksum_values<V>(std::span<const V>(w));
+        }
         ctx.st_bulk<V>(out, base, std::span<const V>(w));
     });
 
@@ -174,6 +180,10 @@ SamLikeKernel<Ring>::run(gpusim::Device& device,
         stats->chunks = num_chunks;
         stats->x = x_;
         stats->counters = device.snapshot() - before;
+        if (integrity) {
+            stats->checksums.chunk_size = chunk_;
+            stats->checksums.sums = std::move(output_sums);
+        }
     }
     chain.free(device);
     device.memory().free(in);

@@ -29,6 +29,7 @@
 #include "core/correction_factors.h"
 #include "core/signature.h"
 #include "gpusim/device.h"
+#include "kernels/verify.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -39,6 +40,8 @@ struct SamRunStats {
     /** Auto-tuned per-thread element count. */
     std::size_t x = 0;
     gpusim::CounterSnapshot counters;
+    /** Per-chunk output checksums (armed only under Device integrity). */
+    ChunkChecksums checksums;
 };
 
 /** SAM-like single-pass kernel for the prefix-sum family. */

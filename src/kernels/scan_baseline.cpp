@@ -95,6 +95,7 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
     const PairAlgebra<Ring> algebra{k_};
     const std::size_t pw = algebra.words();
     const std::size_t num_chunks = (n_ + chunk_ - 1) / chunk_;
+    const bool integrity = device.integrity();
     const auto before = device.snapshot();
 
     // ---- Map operation (PLR's map code) when the signature has FIR taps.
@@ -107,6 +108,10 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
         map_out = device.alloc<V>(n_, "scan.map_out");
         device.upload<V>(map_in, input);
         const auto& coeffs = map_coeffs_;
+        // In-register checksums per chunk, validated right after the
+        // download below: a flip on the map_out store traffic is caught
+        // before the pair expansion consumes it.
+        std::vector<std::uint32_t> map_sums(integrity ? num_chunks : 0);
         device.launch(num_chunks, [&](gpusim::BlockContext& ctx) {
             const std::size_t base = ctx.block_index() * chunk_;
             const std::size_t len = std::min(chunk_, n_ - base);
@@ -125,9 +130,27 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
                 }
                 out[i] = acc;
             }
+            if (integrity) {
+                map_sums[ctx.block_index()] =
+                    checksum_values<V>(std::span<const V>(out));
+            }
             ctx.st_bulk<V>(map_out, base, std::span<const V>(out));
         });
         t = device.download<V>(map_out);
+        if (integrity) {
+            for (std::size_t c = 0; c < num_chunks; ++c) {
+                const std::size_t base = c * chunk_;
+                const std::size_t len = std::min(chunk_, n_ - base);
+                const auto chunk_span =
+                    std::span<const V>(t).subspan(base, len);
+                if (checksum_values<V>(chunk_span) != map_sums[c]) {
+                    throw IntegrityError(
+                        "scan.map: corrupt map output at chunk " +
+                            std::to_string(c) + " (checksum mismatch)",
+                        c, "map");
+                }
+            }
+        }
     }
 
     // ---- Pair expansion: input preparation, done host-side (untimed),
@@ -151,6 +174,11 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
                            const std::vector<V>& local) {
         return algebra.combine(local, carry, nullptr);
     };
+
+    // Per-chunk checksums of the y values (the v[0] pair component, the
+    // only word the extraction below reads), computed from in-register
+    // states; flips on the matrix words of pairs_out never reach y.
+    std::vector<std::uint32_t> y_sums(integrity ? num_chunks : 0);
 
     device.launch(num_chunks, [&](gpusim::BlockContext& ctx) {
         const std::size_t chunk_id = ctx.block_index();
@@ -182,12 +210,19 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
         // Final sweep: apply the carry and write the result pairs.
         std::vector<V> running = std::move(carry);
         std::vector<V> out(len * pw);
+        std::vector<V> y_vals(integrity ? len : 0);
         for (std::size_t i = 0; i < len; ++i) {
             const std::vector<V> p(local.begin() + i * pw,
                                    local.begin() + (i + 1) * pw);
             running = algebra.combine(p, running, &ctx);
             std::copy(running.begin(), running.end(),
                       out.begin() + i * pw);
+            if (integrity)
+                y_vals[i] = running[k_ * k_];
+        }
+        if (integrity) {
+            y_sums[chunk_id] =
+                checksum_values<V>(std::span<const V>(y_vals));
         }
         ctx.st_bulk<V>(pairs_out, base * pw, std::span<const V>(out));
     });
@@ -201,6 +236,10 @@ ScanBaseline<Ring>::run(gpusim::Device& device,
     if (stats) {
         stats->chunks = num_chunks;
         stats->counters = device.snapshot() - before;
+        if (integrity) {
+            stats->checksums.chunk_size = chunk_;
+            stats->checksums.sums = std::move(y_sums);
+        }
     }
 
     chain.free(device);

@@ -27,6 +27,7 @@
 
 #include "core/signature.h"
 #include "gpusim/device.h"
+#include "kernels/verify.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -35,6 +36,8 @@ namespace plr::kernels {
 struct ScanRunStats {
     std::size_t chunks = 0;
     gpusim::CounterSnapshot counters;
+    /** Per-chunk checksums of the extracted y values (integrity only). */
+    ChunkChecksums checksums;
 };
 
 /** Blelloch scan baseline for one recurrence. */

@@ -1,0 +1,240 @@
+#include "kernels/verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/compare.h"
+
+namespace plr::kernels {
+
+IntegrityError::IntegrityError(const std::string& what, std::size_t chunk,
+                               const char* site)
+    : PanicError(what), chunk_(chunk), site_(site)
+{
+}
+
+std::uint32_t
+fletcher32(const std::uint32_t* words, std::size_t count)
+{
+    // Block form of the Fletcher recurrence. The textbook loop
+    // (s1 += h; s2 += s1 per half-word) is a serial dependency chain;
+    // over a block of L half-words h_0..h_{L-1} the same sums are
+    //   s1' = s1 + sum(h_t)
+    //   s2' = s2 + L*s1 + sum((L-t) * h_t)
+    // which the compiler can pipeline. Addition commutes mod 65535, so
+    // this is bit-identical to the interleaved form — the kernel-side
+    // and host-side checksums must agree, so keep both on this one
+    // function. Block of 1024 words (L = 2048): the weighted sum is
+    // bounded by 2048 * 65535 * 2048 < 2^38, far from u64 overflow.
+    std::uint64_t s1 = 0xffff;
+    std::uint64_t s2 = 0xffff;
+    std::size_t i = 0;
+    while (i < count) {
+        const std::size_t blk = std::min<std::size_t>(count - i, 1024);
+        const std::uint64_t len = 2 * blk;
+        std::uint64_t sum = 0;
+        std::uint64_t wsum = 0;
+        for (std::size_t j = 0; j < blk; ++j) {
+            const std::uint32_t w = words[i + j];
+            const std::uint64_t lo = w & 0xffffu;
+            const std::uint64_t hi = w >> 16;
+            sum += lo + hi;
+            wsum += (len - 2 * j) * lo + (len - 2 * j - 1) * hi;
+        }
+        s2 = (s2 + len * s1 + wsum) % 65535u;
+        s1 = (s1 + sum) % 65535u;
+        i += blk;
+    }
+    const std::uint32_t sum32 =
+        (static_cast<std::uint32_t>(s2) << 16) | static_cast<std::uint32_t>(s1);
+    return sum32 == 0 ? 0xffffffffu : sum32;
+}
+
+namespace {
+
+/** Direct evaluation of the signature recurrence at one position. */
+template <typename Ring>
+class ResidualEval {
+  public:
+    using V = typename Ring::value_type;
+
+    explicit ResidualEval(const Signature& sig)
+    {
+        a_.resize(sig.a().size());
+        for (std::size_t j = 0; j < a_.size(); ++j)
+            a_[j] = Ring::from_coefficient(sig.a()[j]);
+        b_.resize(sig.order());
+        for (std::size_t j = 0; j < b_.size(); ++j)
+            b_[j] = Ring::from_coefficient(sig.b()[j]);
+    }
+
+    /** y[i] predicted from the history in @p y (the serial loop's step). */
+    V
+    predict(std::span<const V> x, std::span<const V> y, std::size_t i) const
+    {
+        V acc = Ring::zero();
+        for (std::size_t j = 0; j < a_.size() && j <= i; ++j)
+            acc = Ring::mul_add(acc, a_[j], x[i - j]);
+        for (std::size_t j = 1; j <= b_.size() && j <= i; ++j)
+            acc = Ring::mul_add(acc, b_[j - 1], y[i - j]);
+        return acc;
+    }
+
+  private:
+    std::vector<V> a_;
+    std::vector<V> b_;
+};
+
+/**
+ * Residual gate: exact rings compare bit-for-bit; inexact rings accept the
+ * parallel evaluation's rounding (same ULP/relative gates the oracle uses)
+ * so only genuine corruption, not reassociation noise, trips it.
+ */
+template <typename Ring>
+bool
+residual_ok(typename Ring::value_type got, typename Ring::value_type want,
+            const VerifyOptions& opts)
+{
+    if constexpr (Ring::is_exact) {
+        return got == want;
+    } else {
+        // Bit equality first: covers the tropical ring's -inf identity and
+        // any NaN that corruption may have minted (NaN == NaN is false).
+        if (std::memcmp(&got, &want, sizeof(got)) == 0)
+            return true;
+        if (ulp_distance(got, want) <= opts.max_ulps)
+            return true;
+        const double diff =
+            std::fabs(static_cast<double>(got) - static_cast<double>(want));
+        return diff <= opts.float_tolerance *
+                           std::max(1.0, std::fabs(static_cast<double>(want)));
+    }
+}
+
+}  // namespace
+
+std::string
+VerifyReport::describe() const
+{
+    std::ostringstream os;
+    os << chunks << " chunk(s), " << checksum_checks << " checksum + "
+       << residual_checks << " residual checks: ";
+    if (clean()) {
+        os << "clean";
+        return os.str();
+    }
+    os << corrupt_chunks.size() << " corrupt (chunk";
+    constexpr std::size_t kMaxListed = 8;
+    const std::size_t listed = std::min(corrupt_chunks.size(), kMaxListed);
+    for (std::size_t i = 0; i < listed; ++i)
+        os << " " << corrupt_chunks[i];
+    if (corrupt_chunks.size() > listed)
+        os << " ...";
+    os << "), " << repaired << " repaired";
+    if (escalated)
+        os << ", escalated";
+    return os.str();
+}
+
+template <typename Ring>
+VerifyReport
+verify_and_repair(const Signature& sig,
+                  std::span<const typename Ring::value_type> input,
+                  std::span<typename Ring::value_type> output,
+                  std::size_t chunk_size, ChunkChecksums* checksums,
+                  const VerifyOptions& opts)
+{
+    using V = typename Ring::value_type;
+    VerifyReport report;
+    const std::size_t n = output.size();
+    PLR_REQUIRE(input.size() == n,
+                "verify_and_repair: input size " << input.size()
+                    << " != output size " << n);
+    if (n == 0 || chunk_size == 0)
+        return report;
+
+    const ResidualEval<Ring> eval(sig);
+    const std::size_t seam_width = std::max<std::size_t>(sig.order(), 1);
+    const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+    report.chunks = num_chunks;
+
+    const bool use_checksums = checksums != nullptr && checksums->armed() &&
+                               checksums->chunk_size == chunk_size;
+
+    const auto audit = [&](std::size_t c, std::size_t base, std::size_t end) {
+        const bool has_sum = use_checksums && c < checksums->sums.size();
+        if (has_sum) {
+            ++report.checksum_checks;
+            const auto chunk =
+                std::span<const V>(output).subspan(base, end - base);
+            if (checksum_values<V>(chunk) != checksums->sums[c])
+                return true;
+        }
+        const std::size_t seam_end = std::min(base + seam_width, end);
+        for (std::size_t i = base; i < seam_end; ++i) {
+            ++report.residual_checks;
+            if (!residual_ok<Ring>(output[i], eval.predict(input, output, i),
+                                   opts))
+                return true;
+        }
+        // The checksum pins the chunk interior bit-exactly to what the
+        // kernel held in registers, which subsumes sampled residuals;
+        // interior sampling only adds coverage when no checksum exists.
+        if (opts.sample_stride != 0 && !has_sum) {
+            for (std::size_t i = seam_end + opts.sample_stride - 1; i < end;
+                 i += opts.sample_stride) {
+                ++report.residual_checks;
+                if (!residual_ok<Ring>(output[i],
+                                       eval.predict(input, output, i), opts))
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t base = c * chunk_size;
+        const std::size_t end = std::min(base + chunk_size, n);
+        if (!audit(c, base, end))
+            continue;
+        report.corrupt_chunks.push_back(c);
+        if (!opts.repair || (opts.max_repairs != 0 &&
+                             report.repaired >= opts.max_repairs)) {
+            // Without a trustworthy chunk c there is no verified history to
+            // audit successors against; stop and escalate.
+            report.escalated = true;
+            return report;
+        }
+        // Selective repair: recompute the chunk from the verified history
+        // to its left (the serial step restarted at the chunk base).
+        for (std::size_t i = base; i < end; ++i)
+            output[i] = eval.predict(input, output, i);
+        ++report.repaired;
+        if (use_checksums && c < checksums->sums.size()) {
+            checksums->sums[c] = checksum_values<V>(
+                std::span<const V>(output).subspan(base, end - base));
+        }
+        if (audit(c, base, end)) {
+            report.escalated = true;
+            return report;
+        }
+    }
+    return report;
+}
+
+template VerifyReport
+verify_and_repair<IntRing>(const Signature&, std::span<const std::int32_t>,
+                           std::span<std::int32_t>, std::size_t,
+                           ChunkChecksums*, const VerifyOptions&);
+template VerifyReport
+verify_and_repair<FloatRing>(const Signature&, std::span<const float>,
+                             std::span<float>, std::size_t, ChunkChecksums*,
+                             const VerifyOptions&);
+template VerifyReport
+verify_and_repair<TropicalRing>(const Signature&, std::span<const float>,
+                                std::span<float>, std::size_t,
+                                ChunkChecksums*, const VerifyOptions&);
+
+}  // namespace plr::kernels

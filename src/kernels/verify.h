@@ -1,0 +1,163 @@
+#ifndef PLR_KERNELS_VERIFY_H_
+#define PLR_KERNELS_VERIFY_H_
+
+/**
+ * @file
+ * ABFT self-verification for chunked recurrence results (docs/FAULTS.md).
+ *
+ * The recurrence itself is the error-detecting code: every output element
+ * must satisfy y[i] = sum_j a[j]*x[i-j] + sum_j b[j]*y[i-j], so a chunk can
+ * be audited in O(k) at its seam (the first k elements, which consume the
+ * predecessor chunk's carries) plus O(len/stride) sampled interior
+ * residuals. A Fletcher-32 checksum per chunk — recorded by the kernels
+ * from in-register values before the store traffic that SDC injection can
+ * corrupt — makes detection bit-exact even where a low-order float flip
+ * would hide inside the residual tolerance.
+ *
+ * Corrupt chunks are repaired selectively: the chunk is recomputed from the
+ * already-verified history to its left (the serial recurrence restarted at
+ * the chunk base), so one flipped word costs one chunk of serial work, not
+ * a full relaunch. Corruption that survives repair (or exceeds the repair
+ * budget) escalates to the RecoveryCoordinator's relaunch/CPU rungs via
+ * IntegrityError.
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/**
+ * A data-integrity violation: a checksum or residual check failed and the
+ * result cannot be trusted (or repaired within budget). PanicError, so the
+ * runner's degradation machinery treats it like any other internal launch
+ * failure: report, relaunch, or fall back to CPU — never a silent wrong
+ * answer.
+ */
+class IntegrityError : public PanicError {
+  public:
+    static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+    explicit IntegrityError(const std::string& what,
+                            std::size_t chunk = kNoChunk,
+                            const char* site = "");
+
+    /** Chunk the violation was pinned to (kNoChunk when unknown). */
+    std::size_t chunk() const { return chunk_; }
+
+    /** Check site ("look-back", "verify", ...; may be empty). */
+    const std::string& site() const { return site_; }
+
+  private:
+    std::size_t chunk_;
+    std::string site_;
+};
+
+/** Fletcher-32 over a word sequence (never 0, so 0 can mean "unset"). */
+std::uint32_t fletcher32(const std::uint32_t* words, std::size_t count);
+
+/** Fletcher-32 over typed 32-bit values (bit pattern, not numeric value). */
+template <typename V>
+std::uint32_t
+checksum_values(std::span<const V> values)
+{
+    static_assert(sizeof(V) == sizeof(std::uint32_t));
+    static_assert(std::is_trivially_copyable_v<V>);
+    return fletcher32(reinterpret_cast<const std::uint32_t*>(values.data()),
+                      values.size());
+}
+
+/**
+ * Per-chunk output checksums recorded by a kernel run. The kernels compute
+ * each sum from in-register values immediately before storing the chunk, so
+ * a flip anywhere between the store and the host-side verify pass is
+ * caught bit-exactly.
+ */
+struct ChunkChecksums {
+    /** Chunk size the sums were recorded at (0 = not recorded). */
+    std::size_t chunk_size = 0;
+    /** One Fletcher-32 sum per chunk, in chunk order. */
+    std::vector<std::uint32_t> sums;
+
+    bool armed() const { return chunk_size != 0 && !sums.empty(); }
+};
+
+/** Knobs for verify_and_repair. */
+struct VerifyOptions {
+    /** Interior sampling stride (0 = seam and checksum checks only). */
+    std::size_t sample_stride = 16;
+    /** ULP gate for inexact-ring residuals (matches OracleOptions). */
+    std::uint64_t max_ulps = 512;
+    /** Relative-error fallback for inexact-ring residuals. */
+    double float_tolerance = 1e-3;
+    /** Recompute corrupt chunks in place (false = detect only). */
+    bool repair = true;
+    /** Maximum chunks repaired before escalating (0 = unlimited). */
+    std::size_t max_repairs = 8;
+};
+
+/** Outcome of one verify_and_repair sweep. */
+struct VerifyReport {
+    std::size_t chunks = 0;
+    std::size_t checksum_checks = 0;
+    std::size_t residual_checks = 0;
+    /** Chunks that failed a checksum or residual check, in sweep order. */
+    std::vector<std::size_t> corrupt_chunks;
+    /** Chunks recomputed (and re-verified) in place. */
+    std::size_t repaired = 0;
+    /**
+     * Corruption was detected but NOT cleaned up — repair was disabled,
+     * the repair budget ran out, or a repaired chunk still failed. The
+     * output must not be consumed; escalate to relaunch or CPU.
+     */
+    bool escalated = false;
+
+    /** No corruption was detected at all. */
+    bool clean() const { return corrupt_chunks.empty(); }
+    /** The output is trustworthy (clean, or every corruption repaired). */
+    bool trustworthy() const { return !escalated; }
+
+    /** One-line summary for reports and error messages. */
+    std::string describe() const;
+};
+
+/**
+ * Audit @p output (a chunked kernel result for @p sig over @p input)
+ * left-to-right: per chunk, the recorded checksum (when @p checksums is
+ * armed), the k seam residuals against the predecessor chunk's tail, and
+ * interior residuals every sample_stride elements. A corrupt chunk is
+ * recomputed from its (already verified) left context and re-audited;
+ * @p checksums is updated to match so later sweeps stay consistent.
+ * Exact rings compare residuals bit-for-bit; inexact rings use the
+ * ULP/relative gates from @p opts.
+ */
+template <typename Ring>
+VerifyReport
+verify_and_repair(const Signature& sig,
+                  std::span<const typename Ring::value_type> input,
+                  std::span<typename Ring::value_type> output,
+                  std::size_t chunk_size, ChunkChecksums* checksums,
+                  const VerifyOptions& opts = VerifyOptions{});
+
+extern template VerifyReport
+verify_and_repair<IntRing>(const Signature&, std::span<const std::int32_t>,
+                           std::span<std::int32_t>, std::size_t,
+                           ChunkChecksums*, const VerifyOptions&);
+extern template VerifyReport
+verify_and_repair<FloatRing>(const Signature&, std::span<const float>,
+                             std::span<float>, std::size_t, ChunkChecksums*,
+                             const VerifyOptions&);
+extern template VerifyReport
+verify_and_repair<TropicalRing>(const Signature&, std::span<const float>,
+                                std::span<float>, std::size_t,
+                                ChunkChecksums*, const VerifyOptions&);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_VERIFY_H_

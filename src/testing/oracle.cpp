@@ -310,6 +310,8 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
             run.spin_watchdog = opts.spin_watchdog;
             run.race_detect = opts.race_detect;
             run.invariants = opts.invariants;
+            run.sdc = opts.sdc;
+            run.verify = opts.verify;
             for (std::size_t n : sizes) {
                 const std::uint64_t input_seed = derive_seed(
                     opts.input_seed, n * 2654435761u + entry.sig.order());

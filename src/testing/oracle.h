@@ -89,6 +89,13 @@ struct OracleOptions {
     bool race_detect = false;
     /** Run the look-back protocol invariant checker (ditto). */
     bool invariants = false;
+    /** Arm SDC bit-flip injection on GPU kernels (with fault_seed;
+        docs/FAULTS.md). Reproducer lines carry an sdc= token. */
+    bool sdc = false;
+    /** Run the ABFT verify-and-repair pass on each GPU result; detected
+        corruption is repaired or fails the case with a typed report —
+        never a silent differential mismatch. */
+    bool verify = false;
     /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
     std::vector<std::size_t> sizes;
     /**

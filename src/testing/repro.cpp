@@ -101,6 +101,12 @@ encode_reproducer(const ConformanceFailure& failure)
                                (failure.run.invariants ? 2u : 0u);
     if (race_mask != 0)
         os << " race=" << race_mask;
+    // sdc= is a bitmask: 1 = SDC bit-flip injection, 2 = ABFT verify
+    // pass. A failing corrupted run replays with the same arming.
+    const unsigned sdc_mask = (failure.run.sdc ? 1u : 0u) |
+                              (failure.run.verify ? 2u : 0u);
+    if (sdc_mask != 0)
+        os << " sdc=" << sdc_mask;
     return os.str();
 }
 
@@ -151,6 +157,13 @@ parse_reproducer(const std::string& line)
                     "race mask must be 1, 2 or 3, got " << mask);
         repro.run.race_detect = (mask & 1u) != 0;
         repro.run.invariants = (mask & 2u) != 0;
+    }
+    if (fields.count("sdc")) {
+        const std::uint64_t mask = parse_u64(fields["sdc"], "sdc");
+        PLR_REQUIRE(mask >= 1 && mask <= 3,
+                    "sdc mask must be 1, 2 or 3, got " << mask);
+        repro.run.sdc = (mask & 1u) != 0;
+        repro.run.verify = (mask & 2u) != 0;
     }
     repro.input_seed = parse_u64(fields["seed"], "seed");
     (void)repro.signature();  // validate the coefficient lists eagerly

@@ -342,6 +342,41 @@ TEST(RunnerDegradation, FailFastSurfacesTheLaunchError)
     EXPECT_EQ(repro.find("plr-repro:v1"), 0u) << repro;
 }
 
+TEST(RunnerDegradation, DegradesWithFaultsAndRaceDetectionTogether)
+{
+    // kDegradeToCpu with fault injection AND the analysis stack armed at
+    // once: the detectors must coexist with the fault engine, and when
+    // the wedge trips, degradation must still produce the exact answer
+    // and a reproducer carrying every armed knob.
+    const Signature sig({1.0}, {1.0});
+    std::vector<std::int32_t> input(300);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<std::int32_t>(7 * i) - 99;
+
+    kernels::RunnerOptions options;
+    options.on_failure = kernels::FailurePolicy::kDegradeToCpu;
+    options.fault_seed = 99;
+    options.fault_config.drop_publish_probability = 1.0;
+    options.spin_watchdog = 100'000;
+    options.race_detect = true;
+    options.invariants = true;
+    options.max_relaunches = 1;  // keep the wedge ladder short
+    std::string repro;
+    options.repro_out = &repro;
+    kernels::RecoveryReport report;
+    options.recovery_out = &report;
+
+    const auto got = kernels::run_recurrence(
+        sig, std::span<const std::int32_t>(input), options);
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, input));
+    EXPECT_EQ(report.stage, kernels::RecoveryStage::kCpuFallback);
+    EXPECT_EQ(report.relaunches, 1u);
+    EXPECT_EQ(repro.find("plr-repro:v1"), 0u) << repro;
+    EXPECT_NE(repro.find("fault=99"), std::string::npos) << repro;
+    EXPECT_NE(repro.find("watchdog=100000"), std::string::npos) << repro;
+    EXPECT_NE(repro.find("race=3"), std::string::npos) << repro;
+}
+
 TEST(RunnerDegradation, FaultFreeRunsDoNotDegrade)
 {
     const Signature sig({1.0}, {2.0, -1.0});

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The SDC matrix (docs/FAULTS.md): every look-back kernel under
+ * silent-data-corruption bit-flip injection with ABFT verification armed,
+ * swept over the deterministic 16-seed schedule.
+ *
+ * The contract is *zero silent wrong answers*: with verification on, an
+ * injected flip must either be repaired (the case then passes the
+ * differential check against the serial reference bit-for-bit in the int
+ * ring) or surface as a typed kernel failure ("kernel raised: ..."). A
+ * differential mismatch means corruption sailed past every checksum and
+ * residual — the one outcome this suite exists to forbid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/chunked_reference.h"
+#include "testing/corpus.h"
+#include "testing/oracle.h"
+
+namespace plr::testing {
+namespace {
+
+/** The simulated-GPU kernels that speak the look-back protocol. */
+const char* const kLookbackKernels[] = {"plr_sim", "scan", "cublike",
+                                        "samlike"};
+
+std::vector<kernels::KernelInfo>
+lookback_kernels()
+{
+    std::vector<kernels::KernelInfo> all = conformance_kernels(false);
+    std::erase_if(all, [](const kernels::KernelInfo& info) {
+        return !info.is_reference &&
+               std::find_if(std::begin(kLookbackKernels),
+                            std::end(kLookbackKernels),
+                            [&](const char* name) {
+                                return info.name == name;
+                            }) == std::end(kLookbackKernels);
+    });
+    return all;
+}
+
+class SdcMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SdcMatrix, InjectedCorruptionIsNeverSilent)
+{
+    const auto seeds = default_fault_seeds(16);
+    const std::uint64_t fault_seed = seeds[GetParam()];
+
+    OracleOptions opts;
+    opts.metamorphic = false;  // the differential check is the contract
+    opts.chunk = 64;
+    opts.fault_seed = fault_seed;
+    opts.sdc = true;
+    opts.verify = true;
+    opts.spin_watchdog = 5'000'000;
+    // One sub-chunk size, one multi-chunk non-multiple size: enough to
+    // exercise carries and interiors without multiplying 16 seeds into
+    // hours.
+    opts.sizes = {130, 1218};
+
+    const auto report =
+        run_conformance(lookback_kernels(), fault_corpus(), opts);
+    EXPECT_GT(report.cases_run, 0u);
+    // Typed failures (IntegrityError and friends, reported as "kernel
+    // raised: ...") are acceptable: corruption was detected and refused.
+    // Anything else — above all a differential mismatch — is a silent
+    // wrong answer and fails the matrix.
+    for (const auto& failure : report.failures) {
+        EXPECT_EQ(failure.detail.rfind("kernel raised:", 0), 0u)
+            << "SILENT WRONG ANSWER under SDC seed " << fault_seed << ":\n"
+            << failure.reproducer() << "\n  " << failure.detail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdcMatrix,
+                         ::testing::Range<std::size_t>(0, 16));
+
+TEST(SdcMatrix, VerificationActuallyGates)
+{
+    // Control experiment for the matrix: the same sweep with verification
+    // off must show corruption (mismatches or wedges) for at least one
+    // seed — otherwise the 16-seed matrix is vacuously green.
+    const auto seeds = default_fault_seeds(16);
+    std::size_t impacted = 0;
+    for (std::size_t i = 0; i < seeds.size() && impacted == 0; ++i) {
+        OracleOptions opts;
+        opts.metamorphic = false;
+        opts.chunk = 64;
+        opts.fault_seed = seeds[i];
+        opts.sdc = true;
+        opts.verify = false;
+        opts.spin_watchdog = 5'000'000;
+        opts.sizes = {1218};
+        const auto report =
+            run_conformance(lookback_kernels(), fault_corpus(), opts);
+        impacted += report.failures.size();
+    }
+    EXPECT_GT(impacted, 0u)
+        << "SDC injection corrupted nothing across the whole schedule";
+}
+
+}  // namespace
+}  // namespace plr::testing

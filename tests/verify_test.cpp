@@ -1,0 +1,595 @@
+/**
+ * @file
+ * ABFT self-verification and the selective recovery ladder
+ * (docs/FAULTS.md): Fletcher checksums, the verify-and-repair pass, SDC
+ * bit-flip injection, carry validation in the look-back chain, and the
+ * runner's repair -> relaunch -> CPU-fallback ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "gpusim/device.h"
+#include "gpusim/fault.h"
+#include "kernels/lookback_chain.h"
+#include "kernels/plr_kernel.h"
+#include "kernels/registry.h"
+#include "kernels/runner.h"
+#include "kernels/serial.h"
+#include "kernels/verify.h"
+#include "testing/corpus.h"
+#include "testing/repro.h"
+#include "util/ring.h"
+
+namespace plr {
+namespace {
+
+using gpusim::BlockContext;
+using gpusim::Device;
+using gpusim::FaultConfig;
+using gpusim::FaultPlan;
+using gpusim::SdcSite;
+using kernels::ChunkChecksums;
+using kernels::IntegrityError;
+using kernels::VerifyOptions;
+using kernels::checksum_values;
+using kernels::fletcher32;
+using kernels::verify_and_repair;
+
+// ------------------------------------------------------------ Fletcher-32
+
+TEST(Fletcher32, IsDeterministicOrderSensitiveAndNeverZero)
+{
+    const std::uint32_t words[] = {1, 2, 3, 4};
+    const std::uint32_t sum = fletcher32(words, 4);
+    EXPECT_EQ(sum, fletcher32(words, 4));
+    EXPECT_NE(sum, 0u);
+    // Position sensitivity — a plain additive checksum would miss swaps.
+    const std::uint32_t swapped[] = {2, 1, 3, 4};
+    EXPECT_NE(sum, fletcher32(swapped, 4));
+    // Every single-bit flip of a word changes the sum.
+    for (int bit = 0; bit < 32; ++bit) {
+        std::uint32_t flipped[] = {1, 2, 3, 4};
+        flipped[2] ^= 1u << bit;
+        EXPECT_NE(sum, fletcher32(flipped, 4)) << "bit " << bit;
+    }
+    // The empty sequence and all-zero sequences still produce nonzero
+    // sums (0 is reserved for "unset").
+    EXPECT_NE(fletcher32(nullptr, 0), 0u);
+    const std::uint32_t zeros[64] = {};
+    EXPECT_NE(fletcher32(zeros, 64), 0u);
+}
+
+TEST(Fletcher32, SurvivesLongRunsWithoutOverflow)
+{
+    // 100k large words: the interleaved modular reduction must keep the
+    // running sums in range, and the result must stay length-sensitive
+    // across lengths that straddle reduction boundaries. (All-0xffffffff
+    // runs are excluded on purpose: every half-word is == 0 mod 65535,
+    // the classic Fletcher degenerate case, so that pattern is
+    // legitimately length-insensitive.)
+    std::vector<std::uint32_t> words(100'000);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] = 0xfffffff0u + static_cast<std::uint32_t>(i % 13);
+    const std::uint32_t a = fletcher32(words.data(), words.size());
+    EXPECT_EQ(a, fletcher32(words.data(), words.size()));
+    EXPECT_NE(a, fletcher32(words.data(), words.size() - 1));
+    // Determinism still holds on the degenerate all-ones run.
+    const std::vector<std::uint32_t> ones(100'000, 0xffffffffu);
+    EXPECT_EQ(fletcher32(ones.data(), ones.size()),
+              fletcher32(ones.data(), ones.size()));
+}
+
+TEST(Fletcher32, ChecksumValuesHashesBitPatterns)
+{
+    // -0.0f and 0.0f compare equal as floats but have distinct bit
+    // patterns; the checksum must see the bits (that is the point).
+    const float pos[] = {0.0f, 1.0f};
+    const float neg[] = {-0.0f, 1.0f};
+    EXPECT_NE(checksum_values<float>(pos), checksum_values<float>(neg));
+    const std::int32_t ints[] = {0, 1065353216};
+    EXPECT_EQ(checksum_values<float>(pos),
+              checksum_values<std::int32_t>(ints));
+}
+
+// ------------------------------------------------------- SDC fault plans
+
+TEST(SdcInjection, DefaultConfigArmsFlipStreams)
+{
+    EXPECT_FALSE(FaultConfig{}.sdc_enabled());
+    const FaultConfig config = gpusim::with_default_sdc();
+    EXPECT_TRUE(config.sdc_enabled());
+    EXPECT_GT(config.sdc_carry_flip_probability, 0.0);
+    EXPECT_GT(config.sdc_interior_flip_probability, 0.0);
+    EXPECT_GE(config.sdc_max_flip_bits, 1u);
+}
+
+TEST(SdcInjection, MasksAreAddressKeyedAndDeterministic)
+{
+    FaultConfig config = gpusim::with_default_sdc();
+    config.sdc_carry_flip_probability = 0.25;
+    FaultPlan plan(11, config);
+    FaultPlan replay(11, config);
+    std::size_t flips = 0;
+    for (std::uint64_t addr = 0; addr < 4096; addr += 4) {
+        const auto mask =
+            plan.sdc_store_mask(addr, 32, SdcSite::kLocalCarry);
+        // Scheduling independence: the decision is a pure function of
+        // (seed, round, address), so a replay agrees bit for bit.
+        EXPECT_EQ(mask,
+                  replay.sdc_store_mask(addr, 32, SdcSite::kLocalCarry));
+        if (mask != 0) {
+            ++flips;
+            EXPECT_EQ(mask >> 32, 0u) << "mask exceeds the 32-bit word";
+        }
+    }
+    // p = 0.25 over 1024 addresses: the stream must actually flip.
+    EXPECT_GT(flips, 128u);
+    EXPECT_LT(flips, 512u);
+    EXPECT_EQ(plan.stats().sdc_local_carry_flips, flips);
+    EXPECT_GT(plan.stats().sdc_bits_flipped, 0u);
+    EXPECT_EQ(plan.stats().sdc_flips(), flips);
+}
+
+TEST(SdcInjection, RoundSaltGivesRelaunchesFreshUpsets)
+{
+    FaultConfig config = gpusim::with_default_sdc();
+    config.sdc_carry_flip_probability = 0.25;
+    FaultConfig next_round = config;
+    next_round.sdc_round = 1;
+    FaultPlan round0(11, config);
+    FaultPlan round1(11, next_round);
+    std::size_t differing = 0;
+    for (std::uint64_t addr = 0; addr < 4096; addr += 4)
+        if (round0.sdc_store_mask(addr, 32, SdcSite::kGlobalCarry) !=
+            round1.sdc_store_mask(addr, 32, SdcSite::kGlobalCarry))
+            ++differing;
+    // A relaunch must not replay the identical corruption pattern, or the
+    // retry rung of the ladder could never converge.
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(SdcInjection, ZeroProbabilitySitesNeverFlip)
+{
+    FaultConfig config;
+    config.sdc_carry_flip_probability = 1.0;
+    config.sdc_interior_flip_probability = 0.0;
+    config.sdc_max_flip_bits = 1;
+    FaultPlan plan(5, config);
+    for (std::uint64_t addr = 0; addr < 256; addr += 4) {
+        EXPECT_EQ(plan.sdc_store_mask(addr, 32, SdcSite::kInterior), 0u);
+        const auto mask =
+            plan.sdc_store_mask(addr, 32, SdcSite::kLocalCarry);
+        ASSERT_NE(mask, 0u);
+        EXPECT_EQ(__builtin_popcountll(mask), 1);
+    }
+    EXPECT_EQ(plan.stats().sdc_interior_flips, 0u);
+}
+
+// ------------------------------------------------------ verify_and_repair
+
+Signature
+prefix_sum()
+{
+    return Signature({1.0}, {1.0});
+}
+
+std::vector<std::int32_t>
+ramp_input(std::size_t n)
+{
+    std::vector<std::int32_t> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = static_cast<std::int32_t>(i % 23) - 11;
+    return x;
+}
+
+ChunkChecksums
+checksums_of(std::span<const std::int32_t> y, std::size_t chunk)
+{
+    ChunkChecksums sums;
+    sums.chunk_size = chunk;
+    for (std::size_t base = 0; base < y.size(); base += chunk)
+        sums.sums.push_back(checksum_values<std::int32_t>(
+            y.subspan(base, std::min(chunk, y.size() - base))));
+    return sums;
+}
+
+TEST(VerifyAndRepair, CleanResultsVerifyClean)
+{
+    const auto sig = prefix_sum();
+    const auto x = ramp_input(300);
+    auto y = kernels::serial_recurrence<IntRing>(sig, x);
+    auto sums = checksums_of(y, 64);
+    const auto report = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(y), 64, &sums);
+    EXPECT_TRUE(report.clean());
+    EXPECT_TRUE(report.trustworthy());
+    EXPECT_EQ(report.chunks, 5u);
+    EXPECT_EQ(report.repaired, 0u);
+    EXPECT_GT(report.checksum_checks, 0u);
+    EXPECT_GT(report.residual_checks, 0u);
+    EXPECT_EQ(y, kernels::serial_recurrence<IntRing>(sig, x));
+}
+
+TEST(VerifyAndRepair, RepairsASeamCorruptionWithoutChecksums)
+{
+    // A flip at a chunk base breaks that chunk's seam residual, so the
+    // residual pass alone (no checksums) detects and repairs it.
+    const auto sig = prefix_sum();
+    const auto x = ramp_input(300);
+    const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+    auto y = want;
+    y[128] ^= 0x40;
+    const auto report = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(y), 64, nullptr);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.trustworthy());
+    EXPECT_EQ(report.repaired, 1u);
+    ASSERT_EQ(report.corrupt_chunks.size(), 1u);
+    EXPECT_EQ(report.corrupt_chunks[0], 2u);
+    EXPECT_EQ(y, want) << "repair must restore the exact serial values";
+}
+
+TEST(VerifyAndRepair, ChecksumsCatchWhatSampledResidualsMiss)
+{
+    // Position 150 sits between interior sample points (stride 16 from
+    // the chunk-2 seam), so the residual pass alone admits the flip —
+    // the per-chunk checksum is what closes that gap.
+    const auto sig = prefix_sum();
+    const auto x = ramp_input(300);
+    const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+    auto y = want;
+    y[150] ^= 0x4;
+
+    const auto blind = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(y), 64, nullptr);
+    EXPECT_TRUE(blind.clean()) << "sampled residuals alone see nothing";
+    EXPECT_NE(y, want);
+
+    auto sums = checksums_of(want, 64);
+    const auto report = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(y), 64, &sums);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.trustworthy());
+    EXPECT_EQ(report.repaired, 1u);
+    EXPECT_EQ(y, want);
+}
+
+TEST(VerifyAndRepair, ChecksumsCatchLowOrderFloatFlips)
+{
+    // A low-mantissa float flip is within every ULP gate; only the
+    // bit-pattern checksum can see it. Repair restores the exact bits.
+    const Signature sig({1.0}, {0.5});
+    const auto xi = ramp_input(300);
+    std::vector<float> x(xi.begin(), xi.end());
+    const auto want = kernels::serial_recurrence<FloatRing>(sig, x);
+    auto y = want;
+    std::uint32_t bits;
+    std::memcpy(&bits, &y[150], sizeof bits);
+    bits ^= 1u;
+    std::memcpy(&y[150], &bits, sizeof bits);
+
+    ChunkChecksums sums;
+    sums.chunk_size = 64;
+    for (std::size_t base = 0; base < want.size(); base += 64)
+        sums.sums.push_back(checksum_values<float>(
+            std::span<const float>(want).subspan(
+                base, std::min<std::size_t>(64, want.size() - base))));
+    const auto report = verify_and_repair<FloatRing>(
+        sig, x, std::span<float>(y), 64, &sums);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.trustworthy());
+    EXPECT_EQ(std::memcmp(y.data(), want.data(), y.size() * sizeof(float)),
+              0);
+}
+
+TEST(VerifyAndRepair, EscalatesWhenRepairIsDisabledOrOverBudget)
+{
+    const auto sig = prefix_sum();
+    const auto x = ramp_input(300);
+    const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+
+    auto y = want;
+    y[128] ^= 0x40;
+    VerifyOptions no_repair;
+    no_repair.repair = false;
+    const auto detect_only = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(y), 64, nullptr, no_repair);
+    EXPECT_FALSE(detect_only.clean());
+    EXPECT_FALSE(detect_only.trustworthy());
+    EXPECT_EQ(detect_only.repaired, 0u);
+
+    auto z = want;
+    auto sums = checksums_of(want, 64);
+    z[10] ^= 2;
+    z[80] ^= 2;
+    z[200] ^= 2;
+    VerifyOptions one_repair;
+    one_repair.max_repairs = 1;
+    const auto over_budget = verify_and_repair<IntRing>(
+        sig, x, std::span<std::int32_t>(z), 64, &sums, one_repair);
+    EXPECT_FALSE(over_budget.trustworthy());
+    EXPECT_LE(over_budget.repaired, 1u);
+    const std::string text = over_budget.describe();
+    EXPECT_NE(text.find("corrupt"), std::string::npos) << text;
+}
+
+// ---------------------------------------- look-back carry validation
+
+TEST(LookbackIntegrity, CorruptGlobalCarryThrowsBeforeMerge)
+{
+    Device device;
+    device.set_integrity(true);
+    const std::size_t chunks = 8;
+    kernels::LookbackChain<std::int32_t> chain(device, chunks, 1, 8,
+                                               "integrity");
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+    device.launch(chunks, [&](BlockContext& ctx) {
+        const std::size_t q = ctx.block_index();
+        chain.publish_local(ctx, q, {5});
+        std::vector<std::int32_t> carry = {0};
+        if (q > 0)
+            carry = chain.wait_and_resolve(ctx, q, fold);
+        chain.publish_global(ctx, q, {carry[0] + 5});
+    });
+
+    // Corrupt chunk 4's published global carry behind the chain's back,
+    // then consume it: the checksum must veto the merge.
+    device.memory().data(chain.global_state_buffer())[4] ^= 0x10;
+    try {
+        device.launch(1, [&](BlockContext& ctx) {
+            (void)chain.wait_and_resolve(ctx, 5, fold);
+        });
+        FAIL() << "expected IntegrityError";
+    } catch (const IntegrityError& error) {
+        EXPECT_EQ(error.chunk(), 4u);
+        EXPECT_EQ(error.site(), "look-back");
+        EXPECT_NE(std::string(error.what()).find("global"),
+                  std::string::npos)
+            << error.what();
+    }
+    chain.free(device);
+}
+
+TEST(LookbackIntegrity, CorruptLocalCarryThrowsBeforeMerge)
+{
+    Device device;
+    device.set_integrity(true);
+    const std::size_t chunks = 8;
+    kernels::LookbackChain<std::int32_t> chain(device, chunks, 1, 8,
+                                               "integrity");
+    auto fold = [](std::vector<std::int32_t> carry,
+                   const std::vector<std::int32_t>& local) {
+        carry[0] += local[0];
+        return carry;
+    };
+    // Publish all locals but only chunk 0's global, so a late resolver
+    // must fold the intervening local carries.
+    device.launch(chunks, [&](BlockContext& ctx) {
+        const std::size_t q = ctx.block_index();
+        chain.publish_local(ctx, q, {static_cast<std::int32_t>(q)});
+        if (q == 0)
+            chain.publish_global(ctx, q, {0});
+    });
+    device.memory().data(chain.local_state_buffer())[3] ^= 1;
+    try {
+        device.launch(1, [&](BlockContext& ctx) {
+            (void)chain.wait_and_resolve(ctx, chunks - 1, fold);
+        });
+        FAIL() << "expected IntegrityError";
+    } catch (const IntegrityError& error) {
+        EXPECT_EQ(error.chunk(), 3u);
+        EXPECT_NE(std::string(error.what()).find("local"),
+                  std::string::npos)
+            << error.what();
+    }
+    chain.free(device);
+}
+
+// ------------------------------------------- end-to-end SDC detection
+
+TEST(SdcEndToEnd, InjectionCorruptsUnverifiedRunsAndVerifyRecoversThem)
+{
+    // Part 1: prove the injection has teeth — across the seed schedule,
+    // unverified runs must produce at least one wrong answer or typed
+    // failure. Part 2: the same seeds with verification on must produce
+    // only serial-exact results or typed IntegrityErrors, never a silent
+    // wrong answer.
+    const auto sig = prefix_sum();
+    const auto x = ramp_input(1218);
+    const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+    const auto* plr = kernels::find_kernel("plr_sim");
+    ASSERT_NE(plr, nullptr);
+
+    std::size_t corrupted = 0;
+    std::size_t recovered = 0;
+    std::size_t typed = 0;
+    for (std::uint64_t seed : testing::default_fault_seeds(16)) {
+        kernels::RunOptions run;
+        run.chunk = 64;
+        run.fault_seed = seed;
+        run.sdc = true;
+        run.spin_watchdog = 5'000'000;
+        try {
+            if (plr->run_int(sig, x, run) != want)
+                ++corrupted;
+        } catch (const PanicError&) {
+            ++corrupted;  // a benign-schedule wedge also counts as impact
+        }
+
+        run.verify = true;
+        try {
+            const auto got = plr->run_int(sig, x, run);
+            EXPECT_EQ(got, want)
+                << "seed " << seed
+                << ": verified run returned a SILENT WRONG ANSWER";
+            ++recovered;
+        } catch (const PanicError&) {
+            ++typed;  // detected, reported, refused — acceptable
+        }
+    }
+    EXPECT_GT(corrupted, 0u)
+        << "no seed corrupted an unverified run; the matrix tests nothing";
+    EXPECT_GT(recovered, 0u) << "verification never recovered a run";
+    EXPECT_EQ(recovered + typed, 16u);
+}
+
+// ------------------------------------------------ the recovery ladder
+
+TEST(RecoveryLadder, RepairsRelaunchesOrFallsBackButNeverLies)
+{
+    const Signature sig({1.0}, {1.0});
+    const auto x = ramp_input(1218);
+    const auto want = kernels::serial_recurrence<IntRing>(sig, x);
+
+    std::size_t total_repairs = 0;
+    std::size_t total_relaunches = 0;
+    std::size_t fallbacks = 0;
+    for (std::uint64_t seed : testing::default_fault_seeds(16)) {
+        kernels::RunnerOptions options;
+        options.fault_seed = seed;
+        options.sdc = true;
+        options.verify = true;
+        options.spin_watchdog = 5'000'000;
+        kernels::RecoveryReport report;
+        options.recovery_out = &report;
+        std::string repro;
+        options.repro_out = &repro;
+
+        const auto got = kernels::run_recurrence(
+            sig, std::span<const std::int32_t>(x), options);
+        ASSERT_EQ(got, want) << "seed " << seed << ": " << report.summary();
+        // A GPU result is only ever returned after a host verify pass.
+        // On CPU fallback the in-kernel look-back integrity check may
+        // have aborted every attempt *before* host verification ran, so
+        // verify_passes can legitimately be 0 there.
+        if (report.stage != kernels::RecoveryStage::kCpuFallback)
+            EXPECT_GE(report.verify_passes, 1u) << report.summary();
+        EXPECT_NE(report.stage, kernels::RecoveryStage::kFailed);
+        total_repairs += report.chunks_repaired;
+        total_relaunches += report.relaunches;
+        if (report.stage == kernels::RecoveryStage::kCpuFallback) {
+            ++fallbacks;
+            // Degradation publishes a replayable line with the sdc mask.
+            EXPECT_NE(repro.find(" sdc=3"), std::string::npos) << repro;
+        }
+        EXPECT_NE(std::string(report.summary()).find("stage="),
+                  std::string::npos);
+    }
+    EXPECT_GT(total_repairs + total_relaunches + fallbacks, 0u)
+        << "the seed schedule never engaged the ladder";
+}
+
+TEST(RecoveryLadder, StageNamesAreStable)
+{
+    using kernels::RecoveryStage;
+    EXPECT_STREQ(to_string(RecoveryStage::kClean), "clean");
+    EXPECT_STREQ(to_string(RecoveryStage::kRepaired), "repaired");
+    EXPECT_STREQ(to_string(RecoveryStage::kRelaunched), "relaunched");
+    EXPECT_STREQ(to_string(RecoveryStage::kCpuFallback), "cpu-fallback");
+    EXPECT_STREQ(to_string(RecoveryStage::kFailed), "failed");
+}
+
+TEST(RecoveryLadder, CleanRunsReportClean)
+{
+    const Signature sig({1.0}, {1.0});
+    const auto x = ramp_input(500);
+    kernels::RunnerOptions options;
+    options.verify = true;
+    kernels::RecoveryReport report;
+    options.recovery_out = &report;
+    const auto got = kernels::run_recurrence(
+        sig, std::span<const std::int32_t>(x), options);
+    EXPECT_EQ(got, kernels::serial_recurrence<IntRing>(sig, x));
+    EXPECT_EQ(report.stage, kernels::RecoveryStage::kClean);
+    EXPECT_EQ(report.chunks_repaired, 0u);
+    EXPECT_EQ(report.relaunches, 0u);
+    EXPECT_GE(report.verify_passes, 1u);
+}
+
+// ------------------------------- CPU backend rejects GPU-only knobs
+
+TEST(CpuBackendValidation, GpuOnlyKnobsAreAnErrorNotANoOp)
+{
+    const Signature sig({1.0}, {1.0});
+    const std::vector<std::int32_t> x(64, 1);
+    const auto run_cpu = [&](auto mutate) {
+        kernels::RunnerOptions options;
+        options.backend = kernels::Backend::kCpu;
+        mutate(options);
+        return kernels::run_recurrence(sig,
+                                       std::span<const std::int32_t>(x),
+                                       options);
+    };
+    // Baseline: the plain CPU backend works.
+    EXPECT_EQ(run_cpu([](kernels::RunnerOptions&) {}),
+              kernels::serial_recurrence<IntRing>(sig, x));
+    EXPECT_THROW(run_cpu([](kernels::RunnerOptions& o) { o.fault_seed = 7; }),
+                 FatalError);
+    EXPECT_THROW(
+        run_cpu([](kernels::RunnerOptions& o) { o.spin_watchdog = 100; }),
+        FatalError);
+    EXPECT_THROW(run_cpu([](kernels::RunnerOptions& o) { o.race_detect = true; }),
+                 FatalError);
+    EXPECT_THROW(run_cpu([](kernels::RunnerOptions& o) { o.invariants = true; }),
+                 FatalError);
+    EXPECT_THROW(run_cpu([](kernels::RunnerOptions& o) { o.sdc = true; }),
+                 FatalError);
+    EXPECT_THROW(run_cpu([](kernels::RunnerOptions& o) { o.verify = true; }),
+                 FatalError);
+    // The message names every offending knob so the fix is obvious.
+    try {
+        run_cpu([](kernels::RunnerOptions& o) {
+            o.sdc = true;
+            o.verify = true;
+        });
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("sdc"), std::string::npos) << what;
+        EXPECT_NE(what.find("verify"), std::string::npos) << what;
+    }
+}
+
+// --------------------------------------------- reproducer round-trip
+
+TEST(SdcReproducer, TokensRoundTripThroughParse)
+{
+    kernels::RunOptions run;
+    run.chunk = 64;
+    testing::ConformanceFailure failure{
+        "plr_sim", "plr_sim",  kernels::Domain::kInt,
+        Signature({1.0}, {1.0}), testing::Check::kDifferential,
+        130,       run,        99,
+        "detail"};
+    failure.run.fault_seed = 21;
+    failure.run.sdc = true;
+    failure.run.verify = true;
+
+    const std::string line = failure.reproducer();
+    EXPECT_NE(line.find(" sdc=3"), std::string::npos) << line;
+    const auto repro = testing::parse_reproducer(line);
+    EXPECT_TRUE(repro.run.sdc);
+    EXPECT_TRUE(repro.run.verify);
+    EXPECT_EQ(repro.run.fault_seed, 21u);
+
+    // Masks 1 and 2 decode to the individual knobs; 0 and 4 are invalid.
+    failure.run.verify = false;
+    EXPECT_NE(failure.reproducer().find(" sdc=1"), std::string::npos);
+    EXPECT_FALSE(testing::parse_reproducer(failure.reproducer()).run.verify);
+    EXPECT_THROW(testing::parse_reproducer(
+                     "plr-repro:v1 kernel=plr_sim domain=int "
+                     "check=differential a=1 b=1 n=8 seed=1 sdc=4"),
+                 FatalError);
+}
+
+}  // namespace
+}  // namespace plr
