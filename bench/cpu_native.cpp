@@ -19,8 +19,10 @@
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
 #include "kernels/cpu_parallel.h"
+#include "kernels/cpu_simd.h"
 #include "kernels/serial.h"
 #include "util/cli.h"
+#include "util/compare.h"
 #include "util/table.h"
 
 namespace {
@@ -28,6 +30,9 @@ namespace {
 using plr::kernels::CpuExecMode;
 using plr::kernels::CpuParallelOptions;
 using plr::kernels::CpuRunStats;
+using plr::kernels::CpuSimdOptions;
+using plr::kernels::CpuSimdStats;
+using plr::kernels::FirstOrderPath;
 
 std::uint64_t
 elapsed_ns(std::chrono::steady_clock::time_point start)
@@ -38,16 +43,20 @@ elapsed_ns(std::chrono::steady_clock::time_point start)
             .count());
 }
 
-struct Timed {
+template <typename T>
+struct TimedT {
     std::uint64_t wall_ns = 0;
     CpuRunStats stats;
-    std::vector<std::int32_t> result;
+    std::vector<T> result;
 };
 
+using Timed = TimedT<std::int32_t>;
+using TimedF = TimedT<float>;
+
 /** One timed run folded into the best-so-far record. */
-template <typename Run>
+template <typename T, typename Run>
 void
-take_best(Timed& best, const Run& run)
+take_best(TimedT<T>& best, const Run& run)
 {
     CpuRunStats stats;
     const auto start = std::chrono::steady_clock::now();
@@ -75,24 +84,25 @@ main(int argc, char** argv)
     plr::bench::Reporter reporter("cpu_native",
                                   "Native CPU backend wall-clock");
     reporter.set_signature(sig);
-    reporter.add_info("sweep", "prefix sum, 2^16..2^" +
+    reporter.add_info("sweep", "prefix sum + order-1 decay, 2^16..2^" +
                                    std::to_string(max_exp) + ", best of " +
                                    std::to_string(reps));
 
-    std::cout << "== Native CPU backend: pool vs spawn vs serial ==\n"
+    std::cout << "== Native CPU backend: pool vs spawn vs simd vs serial ==\n"
               << "prefix sum, int32, threads=" << threads << ", best of "
               << reps << " reps; wall-clock milliseconds\n";
-    plr::TextTable table({"n", "serial", "spawn", "pool", "pool speedup",
-                          "pool phase1/carry/phase2"});
+    plr::TextTable table({"n", "serial", "spawn", "pool", "simd",
+                          "simd speedup", "pool phase1/carry/phase2"});
 
     bool all_ok = true;
     for (int e = 16; e <= max_exp; e += 2) {
         const std::size_t n = std::size_t{1} << e;
         const auto input = plr::dsp::random_ints(n, 42);
 
-        // Reps are interleaved serial/spawn/pool so slow drift in machine
-        // load biases no single configuration.
-        Timed serial, spawn, pool;
+        // Reps are interleaved serial/spawn/pool/simd so slow drift in
+        // machine load biases no single configuration.
+        Timed serial, spawn, pool, simd;
+        CpuSimdStats simd_stats;
         for (int r = 0; r < reps; ++r) {
             take_best(serial, [&](CpuRunStats* stats) {
                 *stats = CpuRunStats{};
@@ -109,13 +119,38 @@ main(int argc, char** argv)
                     sig, input,
                     CpuParallelOptions{threads, CpuExecMode::kPool}, stats);
             });
+            take_best(simd, [&](CpuRunStats* stats) {
+                CpuSimdOptions options;
+                options.threads = threads;
+                auto result = plr::kernels::cpu_simd_recurrence<plr::IntRing>(
+                    sig, input, options, &simd_stats);
+                stats->threads_used = simd_stats.threads_used;
+                stats->chunk_size = simd_stats.chunk_size;
+                stats->map_ns = simd_stats.map_ns;
+                stats->phase1_ns = simd_stats.phase1_ns;
+                stats->carry_ns = simd_stats.carry_ns;
+                stats->phase2_ns = simd_stats.phase2_ns;
+                stats->total_ns = simd_stats.total_ns;
+                return result;
+            });
         }
 
-        // Results must be bit-identical across all three paths.
+        // Results must be bit-identical across all four paths (exact
+        // int ring: vector reassociation preserves every bit).
         const bool ok =
             serial.result == spawn.result && serial.result == pool.result;
         all_ok = all_ok && ok;
         reporter.add_validation("exact_match.n" + std::to_string(e), ok);
+        const bool simd_ok = serial.result == simd.result;
+        all_ok = all_ok && simd_ok;
+        reporter.add_validation("simd.exact_match.n" + std::to_string(e),
+                                simd_ok);
+        if (e >= 20) {
+            // Acceptance gate: the SIMD backend must beat plain serial on
+            // large inputs (docs/BENCH.md; hard once in the baseline).
+            reporter.add_validation("simd.beats_serial.n" + std::to_string(e),
+                                    simd.wall_ns < serial.wall_ns);
+        }
 
         auto record = [&](const char* impl, const char* mode,
                           const Timed& timed, std::size_t used_threads) {
@@ -136,23 +171,106 @@ main(int argc, char** argv)
         record("serial", "serial", serial, 0);
         record("cpu_parallel", "spawn", spawn, threads);
         record("cpu_parallel", "pool", pool, threads);
+        record("cpu_simd", simd_stats.path, simd, simd_stats.threads_used);
 
         auto ms = [](std::uint64_t ns) {
             return plr::format_fixed(static_cast<double>(ns) / 1e6, 2);
         };
         table.add_row(
             {plr::format_pow2(n), ms(serial.wall_ns), ms(spawn.wall_ns),
-             ms(pool.wall_ns),
-             plr::format_fixed(static_cast<double>(spawn.wall_ns) /
-                                   static_cast<double>(pool.wall_ns),
+             ms(pool.wall_ns), ms(simd.wall_ns),
+             plr::format_fixed(static_cast<double>(serial.wall_ns) /
+                                   static_cast<double>(simd.wall_ns),
                                2) +
-                 "x vs spawn",
+                 "x vs serial",
              ms(pool.stats.phase1_ns) + " / " + ms(pool.stats.carry_ns) +
                  " / " + ms(pool.stats.phase2_ns)});
     }
     table.print(std::cout);
-    std::cout << "(speedup > 1 means the persistent pool beats per-call "
-                 "std::thread spawning)\n";
+    std::cout << "(simd speedup > 1 means the vectorized backend beats the "
+                 "serial reference)\n";
+
+    // Order-1 decay filter, float: the SIMD backend's two first-order
+    // evaluations (direct weighted scan vs Heinsen log-space) against the
+    // serial reference. Accuracy is held to the paper's 1e-3 bound.
+    {
+        const auto decay_sig = plr::dsp::lowpass(0.8);
+        std::cout << "\n== Order-1 decay (" << decay_sig.to_string()
+                  << "), float32 ==\n";
+        plr::TextTable dtable(
+            {"n", "serial", "simd direct", "simd log", "best speedup"});
+        for (int e = 16; e <= max_exp; e += 2) {
+            const std::size_t n = std::size_t{1} << e;
+            const auto input = plr::dsp::random_floats(n, 42);
+            TimedF serial, direct, logspace;
+            for (int r = 0; r < reps; ++r) {
+                take_best(serial, [&](CpuRunStats* stats) {
+                    *stats = CpuRunStats{};
+                    return plr::kernels::serial_recurrence<plr::FloatRing>(
+                        decay_sig, input);
+                });
+                auto simd_run = [&](FirstOrderPath path) {
+                    CpuSimdOptions options;
+                    options.threads = threads;
+                    options.first_order = path;
+                    return plr::kernels::cpu_simd_recurrence<plr::FloatRing>(
+                        decay_sig, input, options);
+                };
+                take_best(direct, [&](CpuRunStats*) {
+                    return simd_run(FirstOrderPath::kDirect);
+                });
+                take_best(logspace, [&](CpuRunStats*) {
+                    return simd_run(FirstOrderPath::kLogSpace);
+                });
+            }
+
+            const bool close =
+                plr::validate_close(serial.result, direct.result, 1e-3).ok &&
+                plr::validate_close(serial.result, logspace.result, 1e-3).ok;
+            all_ok = all_ok && close;
+            reporter.add_validation("decay.close.n" + std::to_string(e),
+                                    close);
+            const std::uint64_t best_simd =
+                std::min(direct.wall_ns, logspace.wall_ns);
+            if (e >= 20) {
+                reporter.add_validation(
+                    "decay.simd_beats_serial.n" + std::to_string(e),
+                    best_simd < serial.wall_ns);
+            }
+
+            auto record = [&](const char* impl, const char* mode,
+                              const TimedF& timed) {
+                plr::bench::CpuTimingRecord rec;
+                rec.impl = impl;
+                rec.mode = mode;
+                rec.signature = decay_sig.to_string();
+                rec.n = n;
+                rec.threads = threads;
+                rec.wall_ns = timed.wall_ns;
+                rec.words_per_sec =
+                    timed.wall_ns == 0
+                        ? 0.0
+                        : static_cast<double>(n) * 1e9 /
+                              static_cast<double>(timed.wall_ns);
+                reporter.add_cpu_timing(rec);
+            };
+            record("serial", "serial", serial);
+            record("cpu_simd", "first_order", direct);
+            record("cpu_simd", "first_order_log", logspace);
+
+            auto ms = [](std::uint64_t ns) {
+                return plr::format_fixed(static_cast<double>(ns) / 1e6, 2);
+            };
+            dtable.add_row(
+                {plr::format_pow2(n), ms(serial.wall_ns),
+                 ms(direct.wall_ns), ms(logspace.wall_ns),
+                 plr::format_fixed(static_cast<double>(serial.wall_ns) /
+                                       static_cast<double>(best_simd),
+                                   2) +
+                     "x vs serial"});
+        }
+        dtable.print(std::cout);
+    }
 
     // PLR compiler C++ backend: generation wall clock per signature.
     std::cout << "\nC++ codegen wall clock (paper: ~10 ms per signature):\n";

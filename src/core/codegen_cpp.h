@@ -45,6 +45,15 @@ struct GeneratedCppCode {
     std::size_t constant_lists = 0;
     /** Factor lists emitted as conditional adds (0/1 factors). */
     std::size_t conditional_lists = 0;
+    /** Factor lists emitted as a compressed literal period, indexed
+     * mod the period length (integer signatures only). */
+    std::size_t periodic_lists = 0;
+    /** Constant lists whose factor is zero: the correction term is
+     * elided entirely. */
+    std::size_t elided_lists = 0;
+    /** Constant lists whose factor is one: the multiply is elided and
+     * the carry added directly. */
+    std::size_t elided_multiplies = 0;
 };
 
 /** Translate @p sig into a standalone C++ program. */

@@ -6,6 +6,7 @@
 
 #include "core/correction_factors.h"
 #include "core/factor_analysis.h"
+#include "kernels/chunk_carry.h"
 #include "kernels/serial.h"
 #include "util/thread_pool.h"
 
@@ -74,6 +75,11 @@ cpu_parallel_recurrence(const Signature& sig,
     PLR_REQUIRE(k >= 1, "parallel recurrence needs order >= 1");
 
     std::size_t threads = options.threads;
+    // Below the measured crossover the chunking + carry overhead loses
+    // to a plain serial pass; only auto-threaded runs take the shortcut
+    // so callers forcing a thread count still get the parallel path.
+    const bool below_crossover =
+        options.threads == 0 && n < options.serial_crossover;
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
         if (threads == 0)
@@ -83,7 +89,7 @@ cpu_parallel_recurrence(const Signature& sig,
     // Each chunk must have at least k elements; small inputs run serially.
     const std::size_t min_chunk = std::max<std::size_t>(4 * k, 256);
     threads = std::min(threads, n / min_chunk);
-    if (threads <= 1) {
+    if (threads <= 1 || below_crossover) {
         auto result = serial_recurrence<Ring>(sig, input);
         if (stats) {
             *stats = CpuRunStats{};
@@ -91,6 +97,7 @@ cpu_parallel_recurrence(const Signature& sig,
             stats->chunk_size = n;
             stats->mode = options.mode;
             stats->serial_fallback = true;
+            stats->crossover_fallback = below_crossover;
             stats->total_ns = elapsed_ns(call_start);
         }
         return result;
@@ -158,28 +165,11 @@ cpu_parallel_recurrence(const Signature& sig,
     // across chunks (O(num_chunks * k^2), trivial for CPU thread counts).
     // `carries` is one flat allocation: k values flowing INTO chunk c at
     // carries[c * k ..].
-    std::vector<V> carries(num_chunks * k, Ring::zero());
+    std::vector<V> carries;
     {
         const auto phase_start = Clock::now();
-        std::vector<V> carry(k, Ring::zero());
-        std::vector<V> next(k, Ring::zero());
-        for (std::size_t c = 1; c < num_chunks; ++c) {
-            const std::size_t prev_base = (c - 1) * chunk;
-            const std::size_t prev_len = std::min(chunk, n - prev_base);
-            std::fill(next.begin(), next.end(), Ring::zero());
-            for (std::size_t j = 1; j <= k && j <= prev_len; ++j) {
-                V acc = y[prev_base + prev_len - j];
-                const std::size_t o = prev_len - j;
-                for (std::size_t i = 1; i <= k; ++i)
-                    acc = Ring::mul_add(acc, factors.factor(i, o),
-                                        carry[i - 1]);
-                next[j - 1] = acc;
-            }
-            carry.swap(next);
-            std::copy(carry.begin(), carry.end(),
-                      carries.begin() +
-                          static_cast<std::ptrdiff_t>(c * k));
-        }
+        carries = advance_chunk_carries<Ring>(std::span<const V>(y), chunk,
+                                              num_chunks, k, factors);
         local_stats.carry_ns = elapsed_ns(phase_start);
     }
 

@@ -49,12 +49,27 @@ enum class CpuExecMode {
 /** Short lowercase name ("pool", "spawn"). */
 const char* to_string(CpuExecMode mode);
 
+/**
+ * Input size below which auto-threaded runs go straight to the serial
+ * code: bench/cpu_native shows the parallel backend losing to serial at
+ * n = 2^16 (chunking + carry overhead dominates) and pulling ahead in
+ * the 2^17..2^18 decade, so the default sits at the bottom of that band.
+ */
+inline constexpr std::size_t kCpuSerialCrossover = std::size_t{1} << 17;
+
 /** Tuning knobs of one CPU-parallel run. */
 struct CpuParallelOptions {
     /** Host threads / chunks to split into (0 = hardware concurrency). */
     std::size_t threads = 0;
     /** Parallel-region execution mode. */
     CpuExecMode mode = CpuExecMode::kPool;
+    /**
+     * With threads == 0 (auto), inputs shorter than this run serially
+     * and set CpuRunStats::crossover_fallback. An explicit thread count
+     * bypasses the crossover: callers (oracles, tests) asking for a
+     * parallel run get one.
+     */
+    std::size_t serial_crossover = kCpuSerialCrossover;
 };
 
 /** Statistics of one CPU-parallel run. */
@@ -65,6 +80,9 @@ struct CpuRunStats {
     CpuExecMode mode = CpuExecMode::kPool;
     /** True when the input was too small to split (serial fallback). */
     bool serial_fallback = false;
+    /** True when an auto-threaded run fell back to serial because the
+     * input was below CpuParallelOptions::serial_crossover. */
+    bool crossover_fallback = false;
     // Per-phase wall-clock in nanoseconds (steady_clock). map_ns is 0 for
     // pure-recursive signatures; carry_ns covers the sequential
     // chunk-boundary fix-up between the two parallel phases.

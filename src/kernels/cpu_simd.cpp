@@ -1,0 +1,399 @@
+#include "kernels/cpu_simd.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+#include <type_traits>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "kernels/chunk_carry.h"
+#include "kernels/serial.h"
+#include "util/thread_pool.h"
+
+namespace plr::kernels {
+
+const char*
+to_string(FirstOrderPath path)
+{
+    switch (path) {
+      case FirstOrderPath::kAuto: return "auto";
+      case FirstOrderPath::kDirect: return "direct";
+      case FirstOrderPath::kLogSpace: return "log";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsed_ns(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             since)
+            .count());
+}
+
+/**
+ * Largest chunk that keeps a chunk's input + output resident in L2
+ * across Phase A and Phase B (2 x 256 KiB of 32-bit words).
+ */
+constexpr std::size_t kL2BlockElems = std::size_t{1} << 16;
+
+enum class VecPath {
+    kScalarPath,
+    kPrefix,
+    kFirstOrder,
+    kFirstOrderLog,
+    kTuple,
+};
+
+const char*
+path_name(VecPath path)
+{
+    switch (path) {
+      case VecPath::kScalarPath: return "scalar";
+      case VecPath::kPrefix: return "prefix";
+      case VecPath::kFirstOrder: return "first_order";
+      case VecPath::kFirstOrderLog: return "first_order_log";
+      case VecPath::kTuple: return "tuple";
+    }
+    return "unknown";
+}
+
+FirstOrderPath
+env_first_order_path()
+{
+    static const FirstOrderPath path = [] {
+        const char* env = std::getenv("PLR_SIMD_FIRST_ORDER");
+        const std::string_view name = env != nullptr ? env : "";
+        if (name == "direct")
+            return FirstOrderPath::kDirect;
+        if (name == "log")
+            return FirstOrderPath::kLogSpace;
+        return FirstOrderPath::kAuto;
+    }();
+    return path;
+}
+
+/** The Phase-A evaluation strategy resolved for one (ring, signature). */
+template <typename Ring>
+struct PathPlan {
+    using V = typename Ring::value_type;
+    VecPath path = VecPath::kScalarPath;
+    /** Map coefficient folded into the scan (ring one unless fuse_map). */
+    V a0 = Ring::one();
+    /** First-order feedback coefficient. */
+    V b1 = Ring::zero();
+    /** Tuple size for kTuple. */
+    std::size_t tuple = 0;
+    /** Single-tap map fused into the scan call (no separate map pass). */
+    bool fuse_map = false;
+};
+
+template <typename Ring>
+PathPlan<Ring>
+classify_path(const Signature& sig, FirstOrderPath requested)
+{
+    PathPlan<Ring> plan;
+    const std::size_t k = sig.order();
+    const bool single_tap = sig.a().size() == 1;
+    if (k == 1) {
+        plan.b1 = Ring::from_coefficient(sig.b()[0]);
+        if (single_tap) {
+            plan.a0 = Ring::from_coefficient(sig.a()[0]);
+            plan.fuse_map = true;
+        }
+        if (Ring::is_one(plan.b1) && Ring::is_one(plan.a0)) {
+            plan.path = VecPath::kPrefix;
+        } else if constexpr (std::is_same_v<Ring, FloatRing>) {
+            const FirstOrderPath mode = requested == FirstOrderPath::kAuto
+                                            ? env_first_order_path()
+                                            : requested;
+            const bool decay = plan.b1 > 0.0f && plan.b1 < 1.0f;
+            plan.path = decay && mode != FirstOrderPath::kDirect
+                            ? VecPath::kFirstOrderLog
+                            : VecPath::kFirstOrder;
+        } else {
+            plan.path = VecPath::kFirstOrder;
+        }
+        return plan;
+    }
+    // Tuple prefix sum (1: 0,..,0,1): interleaved independent prefix
+    // sums over s = k lanes.
+    bool tuple = Ring::is_one(Ring::from_coefficient(sig.b()[k - 1]));
+    for (std::size_t j = 0; j + 1 < k && tuple; ++j)
+        tuple = Ring::is_zero(Ring::from_coefficient(sig.b()[j]));
+    if (tuple) {
+        plan.path = VecPath::kTuple;
+        plan.tuple = k;
+    }
+    return plan;
+}
+
+/**
+ * Evaluate one chunk's recursive part with zero initial state through
+ * the vector table. stage points at the chunk's (post-map) input.
+ */
+template <typename Ring>
+void
+scan_chunk(const simd::SimdScan& table, const PathPlan<Ring>& plan,
+           const Signature& recursive,
+           std::span<const typename Ring::value_type> stage,
+           std::span<typename Ring::value_type> out)
+{
+    using V = typename Ring::value_type;
+    const std::size_t len = stage.size();
+    if constexpr (std::is_same_v<Ring, IntRing>) {
+        switch (plan.path) {
+          case VecPath::kPrefix:
+            table.prefix_sum_i32(stage.data(), out.data(), len, 0, nullptr);
+            return;
+          case VecPath::kFirstOrder:
+          case VecPath::kFirstOrderLog:
+            table.first_order_i32(stage.data(), out.data(), len, plan.a0,
+                                  plan.b1, 0, nullptr);
+            return;
+          case VecPath::kTuple: {
+            std::vector<V> zeros(plan.tuple, 0);
+            table.tuple_prefix_i32(stage.data(), out.data(), len,
+                                   plan.tuple, zeros.data(), nullptr);
+            return;
+          }
+          case VecPath::kScalarPath:
+            break;
+        }
+    } else {
+        switch (plan.path) {
+          case VecPath::kPrefix:
+            table.prefix_sum_f32(stage.data(), out.data(), len, 0.0f,
+                                 nullptr);
+            return;
+          case VecPath::kFirstOrder:
+            table.first_order_f32(stage.data(), out.data(), len, plan.a0,
+                                  plan.b1, 0.0f, nullptr);
+            return;
+          case VecPath::kFirstOrderLog:
+            table.first_order_log_f32(stage.data(), out.data(), len,
+                                      plan.a0, plan.b1, 0.0f, nullptr);
+            return;
+          case VecPath::kTuple: {
+            std::vector<V> zeros(plan.tuple, 0.0f);
+            table.tuple_prefix_f32(stage.data(), out.data(), len,
+                                   plan.tuple, zeros.data(), nullptr);
+            return;
+          }
+          case VecPath::kScalarPath:
+            break;
+        }
+    }
+    serial_recurrence_into<Ring>(recursive, stage, out);
+}
+
+}  // namespace
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_simd_recurrence(const Signature& sig,
+                    std::span<const typename Ring::value_type> input,
+                    const CpuSimdOptions& options, CpuSimdStats* stats)
+{
+    using V = typename Ring::value_type;
+    const auto call_start = Clock::now();
+    const std::size_t n = input.size();
+    const std::size_t k = sig.order();
+    PLR_REQUIRE(k >= 1, "simd recurrence needs order >= 1");
+    PLR_REQUIRE(!sig.is_max_plus(),
+                "cpu_simd does not support the max-plus semiring");
+
+    const simd::SimdScan& table =
+        simd::scan_table(options.isa.value_or(simd::selected_isa()));
+    const PathPlan<Ring> plan =
+        classify_path<Ring>(sig, options.first_order);
+
+    CpuSimdStats local;
+    local.isa = table.isa;
+    local.lanes = table.lanes;
+    local.path = path_name(plan.path);
+
+    std::size_t threads = options.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    threads = std::min(threads, ThreadPool::kMaxWorkers);
+
+    // Chunks small enough that a chunk's Phase A + Phase B run out of
+    // L2, large enough that the carry fix-up stays negligible.
+    const std::size_t min_chunk = std::max<std::size_t>(4 * k, 256);
+    std::size_t chunk = options.chunk;
+    if (chunk == 0)
+        chunk = std::min((n + threads - 1) / threads, kL2BlockElems);
+    chunk = std::max(chunk, min_chunk);
+    chunk = (chunk + table.lanes - 1) / table.lanes * table.lanes;
+    const std::size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+
+    std::vector<V> y(n);
+    if (n == 0) {
+        if (stats) {
+            local.total_ns = elapsed_ns(call_start);
+            *stats = local;
+        }
+        return y;
+    }
+
+    const bool fused = threads <= 1 || num_chunks <= 1;
+    local.fused = fused;
+    local.threads_used = fused ? 1 : threads;
+    local.num_chunks = fused ? 1 : num_chunks;
+    local.chunk_size = fused ? n : chunk;
+
+    if (fused && plan.path == VecPath::kScalarPath) {
+        auto result = serial_recurrence<Ring>(sig, input);
+        if (stats) {
+            local.total_ns = elapsed_ns(call_start);
+            *stats = local;
+        }
+        return result;
+    }
+
+    auto run_tasks = [&](std::size_t count, auto&& task) {
+        if (count == 0)
+            return;
+        if (count == 1 || threads <= 1) {
+            for (std::size_t c = 0; c < count; ++c)
+                task(c);
+            return;
+        }
+        ThreadPool& pool = ThreadPool::shared();
+        pool.ensure_workers(threads - 1);
+        pool.parallel_for(count, task);
+    };
+
+    // ---- Map operation (eq. 2) when it cannot fuse into the scan.
+    const Signature recursive = sig.recursive_part();
+    const bool map_needed = !sig.is_pure_recursive() && !plan.fuse_map;
+    std::vector<V> t;
+    std::span<const V> stage = input;
+    if (map_needed) {
+        const auto phase_start = Clock::now();
+        t.resize(n);
+        if (sig.a().size() == 1) {
+            const V a0 = Ring::from_coefficient(sig.a()[0]);
+            run_tasks(num_chunks, [&](std::size_t c) {
+                const std::size_t base = c * chunk;
+                const std::size_t len = std::min(chunk, n - base);
+                if constexpr (std::is_same_v<Ring, IntRing>)
+                    table.scale_i32(input.data() + base, t.data() + base,
+                                    len, a0);
+                else
+                    table.scale_f32(input.data() + base, t.data() + base,
+                                    len, a0);
+            });
+        } else {
+            std::vector<V> a(sig.a().size());
+            for (std::size_t j = 0; j < a.size(); ++j)
+                a[j] = Ring::from_coefficient(sig.a()[j]);
+            run_tasks(num_chunks, [&](std::size_t c) {
+                const std::size_t base = c * chunk;
+                const std::size_t len = std::min(chunk, n - base);
+                for (std::size_t i = base; i < base + len; ++i) {
+                    V acc = Ring::zero();
+                    for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+                        acc = Ring::mul_add(acc, a[j], input[i - j]);
+                    t[i] = acc;
+                }
+            });
+        }
+        stage = t;
+        local.map_ns = elapsed_ns(phase_start);
+    }
+
+    if (fused) {
+        // One streaming pass over the whole input; Phase B vanishes.
+        const auto phase_start = Clock::now();
+        scan_chunk<Ring>(table, plan, recursive, stage, std::span<V>(y));
+        local.phase1_ns = elapsed_ns(phase_start);
+        if (stats) {
+            local.total_ns = elapsed_ns(call_start);
+            *stats = local;
+        }
+        return y;
+    }
+
+    const auto factors = CorrectionFactors<Ring>::generate(
+        recursive, chunk, /*flush_denormals=*/!Ring::is_exact);
+    const auto props = analyze_factors(factors);
+
+    // ---- Phase A: vectorized per-chunk recurrence, zero initial state.
+    {
+        const auto phase_start = Clock::now();
+        run_tasks(num_chunks, [&](std::size_t c) {
+            const std::size_t base = c * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            scan_chunk<Ring>(table, plan, recursive,
+                             stage.subspan(base, len),
+                             std::span<V>(y.data() + base, len));
+        });
+        local.phase1_ns = elapsed_ns(phase_start);
+    }
+
+    // ---- Sequential chunk-boundary carry fix-up (shared with
+    // cpu_parallel).
+    std::vector<V> carries;
+    {
+        const auto phase_start = Clock::now();
+        carries = advance_chunk_carries<Ring>(std::span<const V>(y), chunk,
+                                              num_chunks, k, factors);
+        local.carry_ns = elapsed_ns(phase_start);
+    }
+
+    // ---- Phase B: vectorized correction with the factor lists.
+    {
+        const auto phase_start = Clock::now();
+        run_tasks(num_chunks - 1, [&](std::size_t task) {
+            const std::size_t c = task + 1;  // chunk 0 needs no correction
+            const std::size_t base = c * chunk;
+            const std::size_t len = std::min(chunk, n - base);
+            if constexpr (std::is_same_v<Ring, IntRing>) {
+                std::vector<simd::CorrectionTermI32> terms(k);
+                for (std::size_t i = 1; i <= k; ++i)
+                    terms[i - 1] = {factors.list(i).data(),
+                                    props.lists[i - 1].effective_length,
+                                    carries[c * k + i - 1],
+                                    props.lists[i - 1].all_equal};
+                table.correct_i32(y.data() + base, len, terms.data(), k);
+            } else {
+                std::vector<simd::CorrectionTermF32> terms(k);
+                for (std::size_t i = 1; i <= k; ++i)
+                    terms[i - 1] = {factors.list(i).data(),
+                                    props.lists[i - 1].effective_length,
+                                    carries[c * k + i - 1],
+                                    props.lists[i - 1].all_equal};
+                table.correct_f32(y.data() + base, len, terms.data(), k);
+            }
+        });
+        local.phase2_ns = elapsed_ns(phase_start);
+    }
+
+    if (stats) {
+        local.total_ns = elapsed_ns(call_start);
+        *stats = local;
+    }
+    return y;
+}
+
+template std::vector<std::int32_t>
+cpu_simd_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>,
+                             const CpuSimdOptions&, CpuSimdStats*);
+template std::vector<float>
+cpu_simd_recurrence<FloatRing>(const Signature&, std::span<const float>,
+                               const CpuSimdOptions&, CpuSimdStats*);
+
+}  // namespace plr::kernels

@@ -1,0 +1,115 @@
+#ifndef PLR_KERNELS_CPU_SIMD_H_
+#define PLR_KERNELS_CPU_SIMD_H_
+
+/**
+ * @file
+ * The SIMD-vectorized native CPU backend.
+ *
+ * Same two-phase structure as cpu_parallel (chunked Phase A, sequential
+ * carry fix-up, parallel Phase B), with both phases running on the
+ * vector units through the runtime-dispatched SimdScan table
+ * (kernels/simd/simd_scan.h):
+ *
+ *  - Phase A evaluates each chunk's recurrence with an intra-register
+ *    Kogge-Stone scan when the signature is a prefix sum, a tuple
+ *    prefix sum, or first-order; other signatures fall back to the
+ *    scalar serial code per chunk.
+ *  - First-order float decay signatures (0 < b < 1) default to
+ *    Heinsen's log-space two-prefix-sum evaluation; $PLR_SIMD_FIRST_ORDER
+ *    ("direct", "log", "auto") overrides the choice.
+ *  - Phase B applies the correction-factor lists with streamed
+ *    multiply-adds for EVERY signature, folding all-equal lists (e.g.
+ *    the all-ones prefix-sum list) into one broadcast add.
+ *
+ * Chunks are L2-blocked: even with few threads the input is cut into
+ * cache-sized pieces so Phase A + Phase B of a chunk touch warm lines.
+ * On a single thread (or a single chunk) the backend runs one fused
+ * streaming pass with carry chaining and skips Phase B entirely.
+ *
+ * Supported rings: IntRing (bit-exact vs serial, wrap-around
+ * reassociation is a ring homomorphism) and FloatRing (ULP-level
+ * drift, gated by the conformance tolerances). The tropical semiring
+ * is not supported — max-plus with -inf identities does not map onto
+ * the multiply-add table.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "kernels/simd/simd_scan.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/** How first-order float recurrences evaluate in Phase A. */
+enum class FirstOrderPath {
+    /** Log-space for decay coefficients (0 < b < 1), direct otherwise. */
+    kAuto,
+    /** Always the direct weighted Kogge-Stone scan. */
+    kDirect,
+    /** Heinsen log-space whenever the coefficient allows it. */
+    kLogSpace,
+};
+
+/** Short lowercase name ("auto", "direct", "log"). */
+const char* to_string(FirstOrderPath path);
+
+/** Tuning knobs of one cpu_simd run. */
+struct CpuSimdOptions {
+    /** Host threads (0 = hardware concurrency). */
+    std::size_t threads = 0;
+    /** Chunk size in elements (0 = auto: L2-blocked, lane-rounded). */
+    std::size_t chunk = 0;
+    /** Force an ISA table (nullopt = simd::selected_isa()). */
+    std::optional<simd::Isa> isa;
+    /** First-order evaluation path; kAuto also honors
+     * $PLR_SIMD_FIRST_ORDER ("direct" / "log"). */
+    FirstOrderPath first_order = FirstOrderPath::kAuto;
+};
+
+/** Statistics of one cpu_simd run. */
+struct CpuSimdStats {
+    /** ISA table the run dispatched to. */
+    simd::Isa isa = simd::Isa::kScalar;
+    /** 32-bit lanes per vector step of that table. */
+    std::size_t lanes = 1;
+    /** Phase-A path: "prefix", "first_order", "first_order_log",
+     * "tuple", or "scalar". */
+    const char* path = "scalar";
+    /** Single streaming pass (no Phase B) was used. */
+    bool fused = false;
+    std::size_t threads_used = 0;
+    std::size_t num_chunks = 0;
+    std::size_t chunk_size = 0;
+    std::uint64_t map_ns = 0;
+    std::uint64_t phase1_ns = 0;
+    std::uint64_t carry_ns = 0;
+    std::uint64_t phase2_ns = 0;
+    std::uint64_t total_ns = 0;
+};
+
+/**
+ * Compute @p sig over @p input with the tuning in @p options.
+ * Ring must be IntRing or FloatRing.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_simd_recurrence(const Signature& sig,
+                    std::span<const typename Ring::value_type> input,
+                    const CpuSimdOptions& options = {},
+                    CpuSimdStats* stats = nullptr);
+
+extern template std::vector<std::int32_t>
+cpu_simd_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>,
+                             const CpuSimdOptions&, CpuSimdStats*);
+extern template std::vector<float>
+cpu_simd_recurrence<FloatRing>(const Signature&, std::span<const float>,
+                               const CpuSimdOptions&, CpuSimdStats*);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_CPU_SIMD_H_

@@ -6,6 +6,7 @@
 #include "core/plan.h"
 #include "gpusim/device.h"
 #include "kernels/cpu_parallel.h"
+#include "kernels/cpu_simd.h"
 #include "kernels/cublike.h"
 #include "kernels/plr_kernel.h"
 #include "kernels/samlike.h"
@@ -275,6 +276,39 @@ build_registry()
                                                                opts.threads)
                        : cpu_parallel_recurrence<FloatRing>(sig, input,
                                                             opts.threads);
+        };
+        registry.push_back(std::move(info));
+    }
+
+    {
+        KernelInfo info;
+        info.name = "cpu_simd";
+        info.description =
+            "SIMD-vectorized native backend (runtime-dispatched scans)";
+        // Chunking is observable for floats (reassociation), so the
+        // oracle's chunk-invariance variant must exercise it.
+        info.supports = [](const Signature& sig, Domain domain) {
+            return sig.order() >= 1 && domain != Domain::kTropical &&
+                   domain_matches_ring(sig, domain);
+        };
+        info.run_int = [](const Signature& sig,
+                          std::span<const std::int32_t> input,
+                          const RunOptions& opts) {
+            if (input.empty())
+                return std::vector<std::int32_t>{};
+            CpuSimdOptions options;
+            options.threads = opts.threads;
+            options.chunk = opts.chunk;
+            return cpu_simd_recurrence<IntRing>(sig, input, options);
+        };
+        info.run_float = [](const Signature& sig, std::span<const float> input,
+                            const RunOptions& opts) {
+            if (input.empty())
+                return std::vector<float>{};
+            CpuSimdOptions options;
+            options.threads = opts.threads;
+            options.chunk = opts.chunk;
+            return cpu_simd_recurrence<FloatRing>(sig, input, options);
         };
         registry.push_back(std::move(info));
     }

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * AVX2 + FMA variants of the SimdScan table (8 x 32-bit lanes). This
+ * translation unit is the only one compiled with -mavx2 -mfma; nothing
+ * here runs unless isa_available(kAvx2) said the CPU supports it.
+ *
+ * Intra-register scans are Kogge-Stone: lane shifts by 1 and 2 via
+ * alignr against a permute2x128-shifted copy, by 4 via permute2x128
+ * alone (alignr cannot cross the 128-bit lane boundary on its own).
+ * Integer variants use wrap-around mullo/add, so every reassociation
+ * is bit-identical to the scalar table.
+ */
+
+#include "kernels/simd/simd_scan.h"
+
+#if defined(PLR_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+
+namespace plr::kernels::simd {
+namespace {
+
+// ---- Lane shifts toward higher indices, zero-filling lane 0. -------
+
+inline __m256i
+shl_lanes1(__m256i v)
+{
+    const __m256i low = _mm256_permute2x128_si256(v, v, 0x08);
+    return _mm256_alignr_epi8(v, low, 12);
+}
+
+inline __m256i
+shl_lanes2(__m256i v)
+{
+    const __m256i low = _mm256_permute2x128_si256(v, v, 0x08);
+    return _mm256_alignr_epi8(v, low, 8);
+}
+
+inline __m256i
+shl_lanes4(__m256i v)
+{
+    return _mm256_permute2x128_si256(v, v, 0x08);
+}
+
+inline __m256
+shl_lanes1(__m256 v)
+{
+    return _mm256_castsi256_ps(shl_lanes1(_mm256_castps_si256(v)));
+}
+
+inline __m256
+shl_lanes2(__m256 v)
+{
+    return _mm256_castsi256_ps(shl_lanes2(_mm256_castps_si256(v)));
+}
+
+inline __m256
+shl_lanes4(__m256 v)
+{
+    return _mm256_castsi256_ps(shl_lanes4(_mm256_castps_si256(v)));
+}
+
+inline std::int32_t
+lane7(__m256i v)
+{
+    return _mm256_extract_epi32(v, 7);
+}
+
+inline float
+lane7(__m256 v)
+{
+    return _mm256_cvtss_f32(
+        _mm256_permutevar8x32_ps(v, _mm256_set1_epi32(7)));
+}
+
+/** Load mask with the low @p remaining lanes active (remaining in
+ * [0, 8]). Masked loads/stores never touch inactive lanes, which is
+ * what keeps the tail paths clean under ASan. */
+inline __m256i
+tail_mask(std::size_t remaining)
+{
+    alignas(32) static constexpr std::int32_t kMask[16] = {
+        -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kMask + 8 - remaining));
+}
+
+inline std::int32_t
+uadd(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                     static_cast<std::uint32_t>(b));
+}
+
+inline std::int32_t
+umul(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b));
+}
+
+// ---- Prefix sums. --------------------------------------------------
+
+inline __m256i
+inclusive_scan(__m256i v)
+{
+    v = _mm256_add_epi32(v, shl_lanes1(v));
+    v = _mm256_add_epi32(v, shl_lanes2(v));
+    v = _mm256_add_epi32(v, shl_lanes4(v));
+    return v;
+}
+
+inline __m256
+inclusive_scan(__m256 v)
+{
+    v = _mm256_add_ps(v, shl_lanes1(v));
+    v = _mm256_add_ps(v, shl_lanes2(v));
+    v = _mm256_add_ps(v, shl_lanes4(v));
+    return v;
+}
+
+void
+prefix_sum_i32_avx2(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                    std::int32_t carry_in, std::int32_t* carry_out)
+{
+    std::int32_t acc = carry_in;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(x + i));
+        v = inclusive_scan(v);
+        v = _mm256_add_epi32(v, _mm256_set1_epi32(acc));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), v);
+        acc = lane7(v);
+    }
+    for (; i < n; ++i) {
+        acc = uadd(acc, x[i]);
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+prefix_sum_f32_avx2(const float* x, float* y, std::size_t n, float carry_in,
+                    float* carry_out)
+{
+    float acc = carry_in;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_loadu_ps(x + i);
+        v = inclusive_scan(v);
+        v = _mm256_add_ps(v, _mm256_set1_ps(acc));
+        _mm256_storeu_ps(y + i, v);
+        acc = lane7(v);
+    }
+    for (; i < n; ++i) {
+        acc = acc + x[i];
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+// ---- First-order recurrences (weighted Kogge-Stone). ---------------
+
+void
+first_order_i32_avx2(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                     std::int32_t a0, std::int32_t b, std::int32_t carry_in,
+                     std::int32_t* carry_out)
+{
+    const std::int32_t b2 = umul(b, b);
+    const std::int32_t b4 = umul(b2, b2);
+    const __m256i vb = _mm256_set1_epi32(b);
+    const __m256i vb2 = _mm256_set1_epi32(b2);
+    const __m256i vb4 = _mm256_set1_epi32(b4);
+    const __m256i va0 = _mm256_set1_epi32(a0);
+    // Per-lane carry weights b^1 .. b^8.
+    const __m256i vpow = _mm256_setr_epi32(
+        b, b2, umul(b2, b), b4, umul(b4, b), umul(b4, b2),
+        umul(b4, umul(b2, b)), umul(b4, b4));
+
+    std::int32_t acc = carry_in;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i v = _mm256_mullo_epi32(
+            va0,
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i)));
+        v = _mm256_add_epi32(v, _mm256_mullo_epi32(vb, shl_lanes1(v)));
+        v = _mm256_add_epi32(v, _mm256_mullo_epi32(vb2, shl_lanes2(v)));
+        v = _mm256_add_epi32(v, _mm256_mullo_epi32(vb4, shl_lanes4(v)));
+        v = _mm256_add_epi32(
+            v, _mm256_mullo_epi32(vpow, _mm256_set1_epi32(acc)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), v);
+        acc = lane7(v);
+    }
+    for (; i < n; ++i) {
+        acc = uadd(umul(a0, x[i]), umul(b, acc));
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+first_order_f32_avx2(const float* x, float* y, std::size_t n, float a0,
+                     float b, float carry_in, float* carry_out)
+{
+    const float b2 = b * b;
+    const float b4 = b2 * b2;
+    const __m256 vb = _mm256_set1_ps(b);
+    const __m256 vb2 = _mm256_set1_ps(b2);
+    const __m256 vb4 = _mm256_set1_ps(b4);
+    const __m256 va0 = _mm256_set1_ps(a0);
+    const __m256 vpow = _mm256_setr_ps(b, b2, b2 * b, b4, b4 * b, b4 * b2,
+                                       b4 * b2 * b, b4 * b4);
+
+    float acc = carry_in;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256 v = _mm256_mul_ps(va0, _mm256_loadu_ps(x + i));
+        v = _mm256_fmadd_ps(vb, shl_lanes1(v), v);
+        v = _mm256_fmadd_ps(vb2, shl_lanes2(v), v);
+        v = _mm256_fmadd_ps(vb4, shl_lanes4(v), v);
+        v = _mm256_fmadd_ps(vpow, _mm256_set1_ps(acc), v);
+        _mm256_storeu_ps(y + i, v);
+        acc = lane7(v);
+    }
+    for (; i < n; ++i) {
+        acc = a0 * x[i] + b * acc;
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+first_order_log_f32_avx2(const float* x, float* y, std::size_t n, float a0,
+                         float b, float carry_in, float* carry_out)
+{
+    if (!(b > 0.0f && b < 1.0f)) {
+        first_order_f32_avx2(x, y, n, a0, b, carry_in, carry_out);
+        return;
+    }
+    const std::size_t block = heinsen_block_length(b);
+    const float rb = 1.0f / b;
+    // Geometric ramps 1 .. b^-7 and 1 .. b^7, stepped by b^-8 / b^8.
+    alignas(32) float ramp_r[8];
+    alignas(32) float ramp_p[8];
+    ramp_r[0] = 1.0f;
+    ramp_p[0] = 1.0f;
+    for (int l = 1; l < 8; ++l) {
+        ramp_r[l] = ramp_r[l - 1] * rb;
+        ramp_p[l] = ramp_p[l - 1] * b;
+    }
+    const __m256 base_r = _mm256_load_ps(ramp_r);
+    const __m256 base_p = _mm256_load_ps(ramp_p);
+    const __m256 rstep = _mm256_set1_ps(ramp_r[7] * rb);
+    const __m256 pstep = _mm256_set1_ps(ramp_p[7] * b);
+    const __m256 va0 = _mm256_set1_ps(a0);
+
+    float carry = carry_in;
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t len = std::min(block, n - i);
+        const float base = b * carry;
+        const __m256 vbase = _mm256_set1_ps(base);
+        __m256 rcur = base_r;
+        __m256 pcur = base_p;
+        float sum = 0.0f;
+        std::size_t t = 0;
+        for (; t + 8 <= len; t += 8) {
+            __m256 v = _mm256_mul_ps(
+                _mm256_mul_ps(va0, _mm256_loadu_ps(x + i + t)), rcur);
+            v = inclusive_scan(v);
+            v = _mm256_add_ps(v, _mm256_set1_ps(sum));
+            _mm256_storeu_ps(y + i + t,
+                             _mm256_mul_ps(pcur, _mm256_add_ps(vbase, v)));
+            sum = lane7(v);
+            rcur = _mm256_mul_ps(rcur, rstep);
+            pcur = _mm256_mul_ps(pcur, pstep);
+        }
+        // The block length is a multiple of 8, so only the final block
+        // has a scalar tail. Lane 0 of the ramps is b^-t / b^t here.
+        float r0 = _mm256_cvtss_f32(rcur);
+        float p0 = _mm256_cvtss_f32(pcur);
+        for (; t < len; ++t) {
+            sum = sum + a0 * x[i + t] * r0;
+            y[i + t] = p0 * (base + sum);
+            r0 *= rb;
+            p0 *= b;
+        }
+        carry = y[i + len - 1];
+        i += len;
+    }
+    if (carry_out != nullptr)
+        *carry_out = carry;
+}
+
+// ---- Tuple prefix sums. --------------------------------------------
+
+template <typename T, typename Fn>
+inline void
+tuple_scalar_finish(const T* x, T* y, std::size_t n, std::size_t s,
+                    const T* carry_in, T* carry_out, std::size_t from,
+                    Fn add)
+{
+    for (std::size_t i = from; i < n; ++i)
+        y[i] = add(x[i], i >= s ? y[i - s] : carry_in[i]);
+    if (carry_out != nullptr)
+        for (std::size_t j = 0; j < s; ++j)
+            carry_out[j] = n + j >= s ? y[n + j - s] : carry_in[n + j];
+}
+
+void
+tuple_prefix_i32_avx2(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                      std::size_t s, const std::int32_t* carry_in,
+                      std::int32_t* carry_out)
+{
+    const auto add = [](std::int32_t a, std::int32_t b) {
+        return uadd(a, b);
+    };
+    std::size_t i = 0;
+    if (s >= 8) {
+        // Vertical: y[i] = x[i] + y[i-s] with the operand s >= lanes
+        // behind, so a whole vector of it is already in memory.
+        const std::size_t head = std::min(s, n);
+        for (; i < head; ++i)
+            y[i] = uadd(x[i], carry_in[i]);
+        for (; i + 8 <= n; i += 8) {
+            const __m256i v = _mm256_add_epi32(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(x + i)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(y + i - s)));
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), v);
+        }
+    } else if (s == 1 || s == 2 || s == 4) {
+        // Lane-aligned: strided Kogge-Stone plus a repeating carry
+        // vector {c0..c_{s-1}} tiled across the register.
+        __m256i cvec;
+        if (s == 1) {
+            cvec = _mm256_set1_epi32(carry_in[0]);
+        } else if (s == 2) {
+            cvec = _mm256_setr_epi32(carry_in[0], carry_in[1], carry_in[0],
+                                     carry_in[1], carry_in[0], carry_in[1],
+                                     carry_in[0], carry_in[1]);
+        } else {
+            cvec = _mm256_setr_epi32(carry_in[0], carry_in[1], carry_in[2],
+                                     carry_in[3], carry_in[0], carry_in[1],
+                                     carry_in[2], carry_in[3]);
+        }
+        const __m256i tile2 = _mm256_setr_epi32(6, 7, 6, 7, 6, 7, 6, 7);
+        for (; i + 8 <= n; i += 8) {
+            __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(x + i));
+            if (s == 1)
+                v = _mm256_add_epi32(v, shl_lanes1(v));
+            if (s <= 2)
+                v = _mm256_add_epi32(v, shl_lanes2(v));
+            v = _mm256_add_epi32(v, shl_lanes4(v));
+            v = _mm256_add_epi32(v, cvec);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), v);
+            if (s == 1)
+                cvec = _mm256_set1_epi32(lane7(v));
+            else if (s == 2)
+                cvec = _mm256_permutevar8x32_epi32(v, tile2);
+            else
+                cvec = _mm256_permute2x128_si256(v, v, 0x11);
+        }
+    }
+    // Any other tuple size, plus every tail, runs scalar.
+    tuple_scalar_finish(x, y, n, s, carry_in, carry_out, i, add);
+}
+
+void
+tuple_prefix_f32_avx2(const float* x, float* y, std::size_t n,
+                      std::size_t s, const float* carry_in,
+                      float* carry_out)
+{
+    const auto add = [](float a, float b) { return a + b; };
+    std::size_t i = 0;
+    if (s >= 8) {
+        const std::size_t head = std::min(s, n);
+        for (; i < head; ++i)
+            y[i] = x[i] + carry_in[i];
+        for (; i + 8 <= n; i += 8)
+            _mm256_storeu_ps(y + i,
+                             _mm256_add_ps(_mm256_loadu_ps(x + i),
+                                           _mm256_loadu_ps(y + i - s)));
+    } else if (s == 1 || s == 2 || s == 4) {
+        __m256 cvec;
+        if (s == 1) {
+            cvec = _mm256_set1_ps(carry_in[0]);
+        } else if (s == 2) {
+            cvec = _mm256_setr_ps(carry_in[0], carry_in[1], carry_in[0],
+                                  carry_in[1], carry_in[0], carry_in[1],
+                                  carry_in[0], carry_in[1]);
+        } else {
+            cvec = _mm256_setr_ps(carry_in[0], carry_in[1], carry_in[2],
+                                  carry_in[3], carry_in[0], carry_in[1],
+                                  carry_in[2], carry_in[3]);
+        }
+        const __m256i tile2 = _mm256_setr_epi32(6, 7, 6, 7, 6, 7, 6, 7);
+        for (; i + 8 <= n; i += 8) {
+            __m256 v = _mm256_loadu_ps(x + i);
+            if (s == 1)
+                v = _mm256_add_ps(v, shl_lanes1(v));
+            if (s <= 2)
+                v = _mm256_add_ps(v, shl_lanes2(v));
+            v = _mm256_add_ps(v, shl_lanes4(v));
+            v = _mm256_add_ps(v, cvec);
+            _mm256_storeu_ps(y + i, v);
+            if (s == 1)
+                cvec = _mm256_set1_ps(lane7(v));
+            else if (s == 2)
+                cvec = _mm256_permutevar8x32_ps(v, tile2);
+            else {
+                const __m256i iv = _mm256_castps_si256(v);
+                cvec = _mm256_castsi256_ps(
+                    _mm256_permute2x128_si256(iv, iv, 0x11));
+            }
+        }
+    }
+    tuple_scalar_finish(x, y, n, s, carry_in, carry_out, i, add);
+}
+
+// ---- Map stage. ----------------------------------------------------
+
+void
+scale_i32_avx2(const std::int32_t* x, std::int32_t* y, std::size_t n,
+               std::int32_t a0)
+{
+    const __m256i va0 = _mm256_set1_epi32(a0);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(y + i),
+            _mm256_mullo_epi32(va0, _mm256_loadu_si256(
+                                        reinterpret_cast<const __m256i*>(
+                                            x + i))));
+    for (; i < n; ++i)
+        y[i] = umul(a0, x[i]);
+}
+
+void
+scale_f32_avx2(const float* x, float* y, std::size_t n, float a0)
+{
+    const __m256 va0 = _mm256_set1_ps(a0);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(y + i,
+                         _mm256_mul_ps(va0, _mm256_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        y[i] = a0 * x[i];
+}
+
+// ---- Phase-2 correction. -------------------------------------------
+
+void
+correct_i32_avx2(std::int32_t* y, std::size_t len,
+                 const CorrectionTermI32* terms, std::size_t k)
+{
+    for (std::size_t j = 0; j < k; ++j) {
+        const CorrectionTermI32& t = terms[j];
+        const std::size_t lim = std::min(len, t.effective_length);
+        if (lim == 0)
+            continue;  // don't touch factors[0] of an empty list
+        std::size_t o = 0;
+        if (t.all_equal) {
+            const __m256i addv =
+                _mm256_set1_epi32(umul(t.factors[0], t.carry));
+            for (; o + 8 <= lim; o += 8)
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(y + o),
+                    _mm256_add_epi32(
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(y + o)),
+                        addv));
+            if (o < lim) {
+                const __m256i mask = tail_mask(lim - o);
+                const __m256i v = _mm256_add_epi32(
+                    _mm256_maskload_epi32(y + o, mask), addv);
+                _mm256_maskstore_epi32(y + o, mask, v);
+            }
+        } else {
+            const __m256i cv = _mm256_set1_epi32(t.carry);
+            for (; o + 8 <= lim; o += 8) {
+                const __m256i f = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(t.factors + o));
+                const __m256i v = _mm256_add_epi32(
+                    _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(y + o)),
+                    _mm256_mullo_epi32(f, cv));
+                _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + o), v);
+            }
+            if (o < lim) {
+                const __m256i mask = tail_mask(lim - o);
+                const __m256i f =
+                    _mm256_maskload_epi32(t.factors + o, mask);
+                const __m256i v = _mm256_add_epi32(
+                    _mm256_maskload_epi32(y + o, mask),
+                    _mm256_mullo_epi32(f, cv));
+                _mm256_maskstore_epi32(y + o, mask, v);
+            }
+        }
+    }
+}
+
+void
+correct_f32_avx2(float* y, std::size_t len, const CorrectionTermF32* terms,
+                 std::size_t k)
+{
+    for (std::size_t j = 0; j < k; ++j) {
+        const CorrectionTermF32& t = terms[j];
+        const std::size_t lim = std::min(len, t.effective_length);
+        if (lim == 0)
+            continue;  // don't touch factors[0] of an empty list
+        std::size_t o = 0;
+        if (t.all_equal) {
+            const __m256 addv = _mm256_set1_ps(t.factors[0] * t.carry);
+            for (; o + 8 <= lim; o += 8)
+                _mm256_storeu_ps(
+                    y + o, _mm256_add_ps(_mm256_loadu_ps(y + o), addv));
+            if (o < lim) {
+                const __m256i mask = tail_mask(lim - o);
+                const __m256 v =
+                    _mm256_add_ps(_mm256_maskload_ps(y + o, mask), addv);
+                _mm256_maskstore_ps(y + o, mask, v);
+            }
+        } else {
+            const __m256 cv = _mm256_set1_ps(t.carry);
+            for (; o + 8 <= lim; o += 8) {
+                const __m256 v = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(t.factors + o), cv,
+                    _mm256_loadu_ps(y + o));
+                _mm256_storeu_ps(y + o, v);
+            }
+            if (o < lim) {
+                const __m256i mask = tail_mask(lim - o);
+                const __m256 v = _mm256_fmadd_ps(
+                    _mm256_maskload_ps(t.factors + o, mask), cv,
+                    _mm256_maskload_ps(y + o, mask));
+                _mm256_maskstore_ps(y + o, mask, v);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+const SimdScan&
+avx2_table()
+{
+    static const SimdScan table = [] {
+        SimdScan t;
+        t.isa = Isa::kAvx2;
+        t.lanes = 8;
+        t.prefix_sum_i32 = prefix_sum_i32_avx2;
+        t.prefix_sum_f32 = prefix_sum_f32_avx2;
+        t.first_order_i32 = first_order_i32_avx2;
+        t.first_order_f32 = first_order_f32_avx2;
+        t.first_order_log_f32 = first_order_log_f32_avx2;
+        t.tuple_prefix_i32 = tuple_prefix_i32_avx2;
+        t.tuple_prefix_f32 = tuple_prefix_f32_avx2;
+        t.scale_i32 = scale_i32_avx2;
+        t.scale_f32 = scale_f32_avx2;
+        t.correct_i32 = correct_i32_avx2;
+        t.correct_f32 = correct_f32_avx2;
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace detail
+}  // namespace plr::kernels::simd
+
+#endif  // PLR_HAVE_AVX2

@@ -1,0 +1,318 @@
+#include "kernels/simd/simd_scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace plr::kernels::simd {
+
+const char*
+to_string(Isa isa)
+{
+    switch (isa) {
+      case Isa::kScalar: return "scalar";
+      case Isa::kAvx2: return "avx2";
+    }
+    return "unknown";
+}
+
+bool
+isa_available(Isa isa)
+{
+    switch (isa) {
+      case Isa::kScalar:
+        return true;
+      case Isa::kAvx2:
+#if defined(PLR_HAVE_AVX2)
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Isa
+best_supported_isa()
+{
+    return isa_available(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
+}
+
+std::optional<Isa>
+parse_isa(std::string_view name)
+{
+    if (name == "scalar")
+        return Isa::kScalar;
+    if (name == "avx2")
+        return Isa::kAvx2;
+    return std::nullopt;  // "auto", "", unknown: use the best available
+}
+
+Isa
+selected_isa()
+{
+    static const Isa selected = [] {
+        const char* env = std::getenv("PLR_SIMD");
+        const auto forced = parse_isa(env != nullptr ? env : "");
+        if (forced.has_value())
+            return isa_available(*forced) ? *forced : Isa::kScalar;
+        return best_supported_isa();
+    }();
+    return selected;
+}
+
+std::size_t
+heinsen_block_length(float b)
+{
+    if (!(b > 0.0f && b < 1.0f))
+        return 8;
+    // Largest L with b^-L <= 2^kMaxExponentBits, so the b^-i-scaled
+    // partial sums of the two-prefix-sum formulation stay ~18 binades
+    // below the float overflow threshold.
+    constexpr double kMaxExponentBits = 20.0;
+    const double bits_per_step = -std::log2(static_cast<double>(b));
+    const double raw = kMaxExponentBits / bits_per_step;
+    std::size_t len =
+        raw < 8.0 ? 8 : (raw > 4096.0 ? 4096 : static_cast<std::size_t>(raw));
+    return len & ~std::size_t{7};  // multiple of the widest lane count
+}
+
+namespace {
+
+// ---- Portable scalar variants. ------------------------------------
+// These are the reference semantics of the SimdScan contract: the AVX2
+// table must match them bit-for-bit in the wrap-around int ring and
+// within the conformance ULP gates in floats.
+
+inline std::int32_t
+uadd(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                     static_cast<std::uint32_t>(b));
+}
+
+inline std::int32_t
+umul(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b));
+}
+
+void
+prefix_sum_i32_scalar(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                      std::int32_t carry_in, std::int32_t* carry_out)
+{
+    std::int32_t acc = carry_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc = uadd(acc, x[i]);
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+prefix_sum_f32_scalar(const float* x, float* y, std::size_t n,
+                      float carry_in, float* carry_out)
+{
+    float acc = carry_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc = acc + x[i];
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+first_order_i32_scalar(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                       std::int32_t a0, std::int32_t b, std::int32_t carry_in,
+                       std::int32_t* carry_out)
+{
+    std::int32_t acc = carry_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc = uadd(umul(a0, x[i]), umul(b, acc));
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+first_order_f32_scalar(const float* x, float* y, std::size_t n, float a0,
+                       float b, float carry_in, float* carry_out)
+{
+    float acc = carry_in;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc = a0 * x[i] + b * acc;
+        y[i] = acc;
+    }
+    if (carry_out != nullptr)
+        *carry_out = acc;
+}
+
+void
+first_order_log_f32_scalar(const float* x, float* y, std::size_t n, float a0,
+                           float b, float carry_in, float* carry_out)
+{
+    if (!(b > 0.0f && b < 1.0f)) {  // contract: decay coefficients only
+        first_order_f32_scalar(x, y, n, a0, b, carry_in, carry_out);
+        return;
+    }
+    // Heinsen's two-prefix-sum formulation, per block:
+    //   y[t] = b^t * (b*carry + S[t]),  S[t] = cumsum(a0 * x[u] * b^-u).
+    // The first "prefix sum" — cumsum(log b) — is the geometric ladder
+    // b^t / b^-u (our coefficients are constant); the block length keeps
+    // its excursion inside the float exponent budget.
+    const std::size_t block = heinsen_block_length(b);
+    const float rb = 1.0f / b;
+    float carry = carry_in;
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t len = std::min(block, n - i);
+        const float base = b * carry;
+        float sum = 0.0f;
+        float r = 1.0f;  // b^-t
+        float p = 1.0f;  // b^t
+        for (std::size_t t = 0; t < len; ++t) {
+            sum = sum + a0 * x[i + t] * r;
+            y[i + t] = p * (base + sum);
+            r *= rb;
+            p *= b;
+        }
+        carry = y[i + len - 1];
+        i += len;
+    }
+    if (carry_out != nullptr)
+        *carry_out = carry;
+}
+
+void
+tuple_prefix_i32_scalar(const std::int32_t* x, std::int32_t* y,
+                        std::size_t n, std::size_t s,
+                        const std::int32_t* carry_in,
+                        std::int32_t* carry_out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = uadd(x[i], i >= s ? y[i - s] : carry_in[i]);
+    if (carry_out != nullptr)
+        for (std::size_t j = 0; j < s; ++j)
+            carry_out[j] = n + j >= s ? y[n + j - s] : carry_in[n + j];
+}
+
+void
+tuple_prefix_f32_scalar(const float* x, float* y, std::size_t n,
+                        std::size_t s, const float* carry_in,
+                        float* carry_out)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = x[i] + (i >= s ? y[i - s] : carry_in[i]);
+    if (carry_out != nullptr)
+        for (std::size_t j = 0; j < s; ++j)
+            carry_out[j] = n + j >= s ? y[n + j - s] : carry_in[n + j];
+}
+
+void
+scale_i32_scalar(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                 std::int32_t a0)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = umul(a0, x[i]);
+}
+
+void
+scale_f32_scalar(const float* x, float* y, std::size_t n, float a0)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        y[i] = a0 * x[i];
+}
+
+void
+correct_i32_scalar(std::int32_t* y, std::size_t len,
+                   const CorrectionTermI32* terms, std::size_t k)
+{
+    for (std::size_t j = 0; j < k; ++j) {
+        const CorrectionTermI32& t = terms[j];
+        const std::size_t lim = std::min(len, t.effective_length);
+        if (lim == 0)
+            continue;  // don't touch factors[0] of an empty list
+        if (t.all_equal) {
+            const std::int32_t add = umul(t.factors[0], t.carry);
+            for (std::size_t o = 0; o < lim; ++o)
+                y[o] = uadd(y[o], add);
+        } else {
+            for (std::size_t o = 0; o < lim; ++o)
+                y[o] = uadd(y[o], umul(t.factors[o], t.carry));
+        }
+    }
+}
+
+void
+correct_f32_scalar(float* y, std::size_t len, const CorrectionTermF32* terms,
+                   std::size_t k)
+{
+    for (std::size_t j = 0; j < k; ++j) {
+        const CorrectionTermF32& t = terms[j];
+        const std::size_t lim = std::min(len, t.effective_length);
+        if (lim == 0)
+            continue;  // don't touch factors[0] of an empty list
+        if (t.all_equal) {
+            const float add = t.factors[0] * t.carry;
+            for (std::size_t o = 0; o < lim; ++o)
+                y[o] = y[o] + add;
+        } else {
+            for (std::size_t o = 0; o < lim; ++o)
+                y[o] = y[o] + t.factors[o] * t.carry;
+        }
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+const SimdScan&
+scalar_table()
+{
+    static const SimdScan table = [] {
+        SimdScan t;
+        t.isa = Isa::kScalar;
+        t.lanes = 1;
+        t.prefix_sum_i32 = prefix_sum_i32_scalar;
+        t.prefix_sum_f32 = prefix_sum_f32_scalar;
+        t.first_order_i32 = first_order_i32_scalar;
+        t.first_order_f32 = first_order_f32_scalar;
+        t.first_order_log_f32 = first_order_log_f32_scalar;
+        t.tuple_prefix_i32 = tuple_prefix_i32_scalar;
+        t.tuple_prefix_f32 = tuple_prefix_f32_scalar;
+        t.scale_i32 = scale_i32_scalar;
+        t.scale_f32 = scale_f32_scalar;
+        t.correct_i32 = correct_i32_scalar;
+        t.correct_f32 = correct_f32_scalar;
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace detail
+
+const SimdScan&
+scan_table(Isa isa)
+{
+#if defined(PLR_HAVE_AVX2)
+    if (isa == Isa::kAvx2 && isa_available(Isa::kAvx2))
+        return detail::avx2_table();
+#else
+    (void)isa;
+#endif
+    return detail::scalar_table();
+}
+
+const SimdScan&
+active_scan()
+{
+    return scan_table(selected_isa());
+}
+
+}  // namespace plr::kernels::simd

@@ -1,0 +1,196 @@
+#ifndef PLR_KERNELS_SIMD_SIMD_SCAN_H_
+#define PLR_KERNELS_SIMD_SIMD_SCAN_H_
+
+/**
+ * @file
+ * The SIMD scan layer: vectorized Phase-1/Phase-2 primitives for the
+ * native CPU backends, behind a runtime-dispatched table.
+ *
+ * The paper's Phase 1 computes an independent serial recurrence per
+ * chunk and Phase 2 corrects each chunk with precomputed factor lists
+ * (Section 2). Both phases vectorize on the signature shapes that
+ * dominate real workloads:
+ *
+ *  - prefix sum (1: 1): Blelloch/Kogge-Stone intra-register scan —
+ *    log2(lanes) shifted adds per vector plus a running carry;
+ *  - first-order (1: b): the same scan with the shifted adds weighted
+ *    by b^1, b^2, b^4 (exact in the wrap-around int ring, ULP-level
+ *    reassociation drift in floats);
+ *  - first-order decay, log-space (Heinsen, "Efficient Parallelization
+ *    of a Ubiquitous Sequential Computation"): y is rewritten as the
+ *    composition of two prefix sums, cumsum(log b) — a geometric ladder
+ *    for our constant coefficients — and a cumsum of inputs scaled by
+ *    b^-i. Evaluated blockwise so the scale excursion stays inside the
+ *    float exponent budget (see heinsen_block_length);
+ *  - tuple prefix sums (1: 0,..,0,1): lane-aligned shifted adds for
+ *    tuple sizes dividing the lane count, vertical adds for tuple
+ *    sizes >= the lane count;
+ *  - Phase-2 correction y[o] += sum_j F_j[o] * carry_j for ANY
+ *    signature: an elementwise multiply-add streamed over the chunk,
+ *    with all-equal factor lists folded to one broadcast term.
+ *
+ * Every entry point exists in a portable-scalar variant and (when the
+ * toolchain can target it) an AVX2 variant. Dispatch is runtime: the
+ * selected table is the best instruction set the running CPU supports,
+ * overridable with $PLR_SIMD ("scalar", "avx2", "auto"). Integer
+ * variants agree bit-for-bit across tables (wrap-around arithmetic is
+ * associative); float variants agree within the conformance ULP gates.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace plr::kernels::simd {
+
+/** Instruction sets the scan layer can dispatch to. */
+enum class Isa {
+    /** Portable scalar C++ (always available). */
+    kScalar,
+    /** AVX2 + FMA, 8 x 32-bit lanes. */
+    kAvx2,
+};
+
+/** Short lowercase name ("scalar", "avx2"). */
+const char* to_string(Isa isa);
+
+/** True when this binary contains code for @p isa AND the running CPU
+ * supports it. kScalar is always available. */
+bool isa_available(Isa isa);
+
+/** Best available ISA (currently: kAvx2 when available, else kScalar). */
+Isa best_supported_isa();
+
+/** Parse a $PLR_SIMD value: "scalar" or "avx2"; "auto", "", and unknown
+ * names yield nullopt (= use best_supported_isa()). */
+std::optional<Isa> parse_isa(std::string_view name);
+
+/**
+ * The ISA the process uses: best_supported_isa() unless $PLR_SIMD
+ * forces one. A forced ISA the CPU cannot run falls back to kScalar.
+ * Cached on first call.
+ */
+Isa selected_isa();
+
+/**
+ * Heinsen log-space block length for coefficient @p b in (0, 1): the
+ * largest power-of-two-friendly length L with b^-L <= 2^kMaxExponent,
+ * so the scaled partial sums stay well inside the float range. Clamped
+ * to [8, 4096].
+ */
+std::size_t heinsen_block_length(float b);
+
+/** One Phase-2 correction term (carry j of the paper's Section 2.1). */
+struct CorrectionTermI32 {
+    /** Factor list F_j, at least effective_length elements. */
+    const std::int32_t* factors = nullptr;
+    /** Offsets >= this need no correction (decayed tail, Section 3.1). */
+    std::size_t effective_length = 0;
+    /** The boundary carry value flowing into the chunk. */
+    std::int32_t carry = 0;
+    /** All factors equal factors[0]: fold to one broadcast term. */
+    bool all_equal = false;
+};
+
+/** Float flavor of CorrectionTermI32. */
+struct CorrectionTermF32 {
+    const float* factors = nullptr;
+    std::size_t effective_length = 0;
+    float carry = 0.0f;
+    bool all_equal = false;
+};
+
+/**
+ * The runtime-dispatched vector-scan table. All scans stream x into y
+ * (x == y is allowed: elements are consumed before they are written)
+ * and chain a carry so callers can split work into chunks:
+ *
+ *   carry_in  = y[-1] (zero / ring-zero for the first chunk)
+ *   carry_out = y[n-1] after the call (carry_in when n == 0)
+ *
+ * Tuple scans chain s carries: carry[j] = y[j - s] on entry and
+ * y[n - s + j] on exit (shifted through when n < s).
+ */
+struct SimdScan {
+    Isa isa = Isa::kScalar;
+    /** 32-bit lanes processed per vector step (1 for scalar). */
+    std::size_t lanes = 1;
+
+    // ---- Phase-1 scans (recursive part). ---------------------------
+    /** y[i] = x[i] + y[i-1] in the wrap-around int ring. */
+    void (*prefix_sum_i32)(const std::int32_t* x, std::int32_t* y,
+                           std::size_t n, std::int32_t carry_in,
+                           std::int32_t* carry_out);
+    /** y[i] = x[i] + y[i-1] in floats. */
+    void (*prefix_sum_f32)(const float* x, float* y, std::size_t n,
+                           float carry_in, float* carry_out);
+    /** y[i] = a0*x[i] + b*y[i-1], wrap-around int ring. */
+    void (*first_order_i32)(const std::int32_t* x, std::int32_t* y,
+                            std::size_t n, std::int32_t a0, std::int32_t b,
+                            std::int32_t carry_in, std::int32_t* carry_out);
+    /** y[i] = a0*x[i] + b*y[i-1], direct weighted-scan evaluation. */
+    void (*first_order_f32)(const float* x, float* y, std::size_t n,
+                            float a0, float b, float carry_in,
+                            float* carry_out);
+    /**
+     * y[i] = a0*x[i] + b*y[i-1] via Heinsen's log-space two-prefix-sum
+     * formulation, blocked by heinsen_block_length(b). Requires
+     * 0 < b < 1 (a decay signature); callers route other coefficients
+     * to first_order_f32.
+     */
+    void (*first_order_log_f32)(const float* x, float* y, std::size_t n,
+                                float a0, float b, float carry_in,
+                                float* carry_out);
+    /**
+     * y[i] = x[i] + y[i-s] (signature (1: 0,..,0,1), tuple size s).
+     * Vectorized when s divides the lane count or s >= lanes; any s is
+     * accepted (scalar fallback inside the table otherwise).
+     */
+    void (*tuple_prefix_i32)(const std::int32_t* x, std::int32_t* y,
+                             std::size_t n, std::size_t s,
+                             const std::int32_t* carry_in,
+                             std::int32_t* carry_out);
+    /** Float flavor of tuple_prefix_i32. */
+    void (*tuple_prefix_f32)(const float* x, float* y, std::size_t n,
+                             std::size_t s, const float* carry_in,
+                             float* carry_out);
+
+    // ---- Map stage (single-tap feed-forward). ----------------------
+    /** y[i] = a0 * x[i] (wrap-around). */
+    void (*scale_i32)(const std::int32_t* x, std::int32_t* y, std::size_t n,
+                      std::int32_t a0);
+    /** y[i] = a0 * x[i]. */
+    void (*scale_f32)(const float* x, float* y, std::size_t n, float a0);
+
+    // ---- Phase-2 correction (any signature). -----------------------
+    /** y[o] += sum_j terms[j].factors[o] * terms[j].carry for o below
+     * each term's effective length (wrap-around int ring). */
+    void (*correct_i32)(std::int32_t* y, std::size_t len,
+                        const CorrectionTermI32* terms, std::size_t k);
+    /** Float flavor; uses masked tail stores in the AVX2 variant. */
+    void (*correct_f32)(float* y, std::size_t len,
+                        const CorrectionTermF32* terms, std::size_t k);
+};
+
+/**
+ * The table for @p isa; requesting an unavailable ISA returns the
+ * scalar table (so forced-AVX2 binaries degrade instead of crashing).
+ */
+const SimdScan& scan_table(Isa isa);
+
+/** scan_table(selected_isa()). */
+const SimdScan& active_scan();
+
+namespace detail {
+/** The portable table (always present). */
+const SimdScan& scalar_table();
+#if defined(PLR_HAVE_AVX2)
+/** The AVX2 table (present when compiled in; see simd_avx2.cpp). */
+const SimdScan& avx2_table();
+#endif
+}  // namespace detail
+
+}  // namespace plr::kernels::simd
+
+#endif  // PLR_KERNELS_SIMD_SIMD_SCAN_H_

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Golden-source snapshots for the C++ code generator.
+ *
+ * The factor-specialization decisions (constant folding, zero/one
+ * elision, 0/1 conditional adds, periodic compression, decayed-tail
+ * suppression) are generation-time choices that a refactor can silently
+ * regress while every behavioral test still passes — the general path is
+ * correct too, just slower. These tests pin the emitted source for one
+ * signature per specialization against committed snapshots under
+ * tests/golden/.
+ *
+ * Regenerate after an intentional emitter change with
+ *
+ *   PLR_PRINT_CODEGEN=1 ./build/tests/test_codegen_golden
+ *
+ * which rewrites the .golden files in the source tree (the build passes
+ * the directory in as PLR_GOLDEN_DIR), then re-run to confirm and commit
+ * the diff alongside the emitter change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/codegen_cpp.h"
+#include "core/signature.h"
+
+#ifndef PLR_GOLDEN_DIR
+#error "build must define PLR_GOLDEN_DIR (tests/CMakeLists.txt)"
+#endif
+
+namespace plr {
+namespace {
+
+std::string
+golden_path(const std::string& name)
+{
+    return std::string(PLR_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Compare @p code against the committed snapshot (or regenerate it). */
+void
+check_golden(const std::string& name, const GeneratedCppCode& code)
+{
+    const std::string path = golden_path(name);
+    if (std::getenv("PLR_PRINT_CODEGEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << code.source;
+        SUCCEED() << "regenerated " << path;
+        return;
+    }
+    const std::string want = read_file(path);
+    ASSERT_FALSE(want.empty())
+        << path << " missing; regenerate with PLR_PRINT_CODEGEN=1";
+    if (want != code.source) {
+        // Point at the first differing line rather than dumping both
+        // multi-kilobyte sources.
+        std::istringstream a(want), b(code.source);
+        std::string la, lb;
+        std::size_t line = 0;
+        while (true) {
+            ++line;
+            const bool ga = static_cast<bool>(std::getline(a, la));
+            const bool gb = static_cast<bool>(std::getline(b, lb));
+            if (!ga && !gb)
+                break;
+            if (la != lb || ga != gb) {
+                FAIL() << name << ": emitted source diverges from " << path
+                       << " at line " << line << "\n  golden:  "
+                       << (ga ? la : "<eof>") << "\n  emitted: "
+                       << (gb ? lb : "<eof>")
+                       << "\nIf the change is intentional, regenerate with "
+                          "PLR_PRINT_CODEGEN=1 and commit the diff.";
+            }
+        }
+    }
+    SUCCEED();
+}
+
+CppCodegenOptions
+deterministic_options()
+{
+    CppCodegenOptions options;
+    options.threads = 4;  // pin: hardware concurrency must not leak in
+    return options;
+}
+
+TEST(CodegenGolden, PrefixSumFoldsConstantAndElidesMultiply)
+{
+    // (1: 1): every factor list folds to the constant 1 — the broadcast
+    // add with the multiply elided.
+    const auto code = generate_cpp(Signature({1.0}, {1.0}),
+                                   deterministic_options());
+    EXPECT_TRUE(code.is_integer);
+    EXPECT_EQ(code.constant_lists, 1u);
+    EXPECT_EQ(code.elided_multiplies, 1u);
+    EXPECT_EQ(code.elided_lists, 0u);
+    EXPECT_EQ(code.periodic_lists, 0u);
+    check_golden("prefix_sum", code);
+}
+
+TEST(CodegenGolden, TuplePrefixEmitsConditionalAdds)
+{
+    // (1: 0, 1): 0/1 factor lists become conditional adds.
+    const auto code = generate_cpp(Signature({1.0}, {0.0, 1.0}),
+                                   deterministic_options());
+    EXPECT_TRUE(code.is_integer);
+    EXPECT_EQ(code.conditional_lists, 2u);
+    EXPECT_EQ(code.periodic_lists, 0u);
+    check_golden("tuple_prefix", code);
+}
+
+TEST(CodegenGolden, PeriodicFactorsCompressToLiteralPeriod)
+{
+    // (1: 0, 0, -1): factor lists repeat with period 6 and contain -1,
+    // so neither the constant nor the 0/1 specialization applies — this
+    // is the periodic-compression path (literal array indexed mod 6).
+    const auto code = generate_cpp(Signature({1.0}, {0.0, 0.0, -1.0}),
+                                   deterministic_options());
+    EXPECT_TRUE(code.is_integer);
+    EXPECT_EQ(code.periodic_lists, 3u);
+    EXPECT_EQ(code.constant_lists, 0u);
+    EXPECT_EQ(code.conditional_lists, 0u);
+    EXPECT_NE(code.source.find("% 6"), std::string::npos);
+    check_golden("periodic_nacci", code);
+}
+
+TEST(CodegenGolden, DecayFilterSuppressesDecayedTails)
+{
+    // Two-tap lowpass (0.2, 0.2 : 0.8): float path with startup
+    // decayed-tail suppression and the chunked correction loop.
+    const auto code = generate_cpp(Signature({0.2, 0.2}, {0.8}),
+                                   deterministic_options());
+    EXPECT_FALSE(code.is_integer);
+    EXPECT_EQ(code.periodic_lists, 0u);  // periodic compression is int-only
+    EXPECT_NE(code.source.find("plr_eff"), std::string::npos);
+    check_golden("lowpass_decay", code);
+}
+
+TEST(CodegenGolden, EmittedCorrectionIsChunkGranular)
+{
+    // The Phase-B correction must go through the contiguous per-chunk
+    // entry point (auto-vectorizable loops), not per-element calls.
+    for (const char* text : {"(1: 1)", "(1: 0, 1)", "(1: 0, 0, -1)"}) {
+        const auto code =
+            generate_cpp(Signature::parse(text), deterministic_options());
+        EXPECT_NE(code.source.find("plr_correct_chunk("), std::string::npos)
+            << text;
+    }
+}
+
+}  // namespace
+}  // namespace plr

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Serial-crossover policy of the cpu_parallel backend (ctest label:
+ * bench). bench/cpu_native shows the chunked backend losing to plain
+ * serial below ~2^17 elements, so auto-threaded runs below
+ * CpuParallelOptions::serial_crossover must take the serial path — and
+ * explicit thread counts must bypass the crossover so oracles and
+ * chunk-invariance tests still get a genuinely parallel run. The policy
+ * is observable through CpuRunStats::crossover_fallback, which is set
+ * from the requested options alone (hardware-independent, so the
+ * assertions hold on a 1-core CI box too).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "kernels/cpu_parallel.h"
+#include "util/compare.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+namespace {
+
+std::vector<std::int32_t>
+ramp(std::size_t n)
+{
+    std::vector<std::int32_t> x(n);
+    std::iota(x.begin(), x.end(), 1);
+    return x;
+}
+
+TEST(CpuCrossover, AutoThreadedSmallInputFallsBackToSerial)
+{
+    const Signature prefix({1.0}, {1.0});
+    for (std::size_t n : {std::size_t{1}, std::size_t{1000},
+                          kCpuSerialCrossover - 1}) {
+        const auto x = ramp(n);
+        CpuParallelOptions options;  // threads = 0 (auto)
+        CpuRunStats stats;
+        const auto y =
+            cpu_parallel_recurrence<IntRing>(prefix, x, options, &stats);
+        EXPECT_TRUE(stats.crossover_fallback) << "n=" << n;
+        EXPECT_EQ(stats.threads_used, 1u) << "n=" << n;
+        std::int32_t acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += x[i];
+            ASSERT_EQ(y[i], acc) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(CpuCrossover, AutoThreadedLargeInputIsNotACrossoverFallback)
+{
+    const Signature prefix({1.0}, {1.0});
+    const auto x = ramp(kCpuSerialCrossover);
+    CpuParallelOptions options;
+    CpuRunStats stats;
+    (void)cpu_parallel_recurrence<IntRing>(prefix, x, options, &stats);
+    // At exactly the crossover the parallel path is taken (it may still
+    // serial_fallback on a 1-core machine, but not via the crossover).
+    EXPECT_FALSE(stats.crossover_fallback);
+}
+
+TEST(CpuCrossover, ExplicitThreadCountBypassesCrossover)
+{
+    const Signature prefix({1.0}, {1.0});
+    const auto x = ramp(1000);  // far below the crossover
+    CpuParallelOptions options;
+    options.threads = 3;
+    CpuRunStats stats;
+    const auto y =
+        cpu_parallel_recurrence<IntRing>(prefix, x, options, &stats);
+    EXPECT_FALSE(stats.crossover_fallback);
+    EXPECT_FALSE(stats.serial_fallback);
+    EXPECT_EQ(stats.threads_used, 3u);
+    std::int32_t acc = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        acc += x[i];
+        ASSERT_EQ(y[i], acc) << i;
+    }
+}
+
+TEST(CpuCrossover, CrossoverIsTunablePerRun)
+{
+    const Signature prefix({1.0}, {1.0});
+    const auto x = ramp(1000);
+    CpuParallelOptions options;
+    options.serial_crossover = 10;  // everything above 10 goes parallel
+    CpuRunStats stats;
+    (void)cpu_parallel_recurrence<IntRing>(prefix, x, options, &stats);
+    EXPECT_FALSE(stats.crossover_fallback);
+
+    options.serial_crossover = 0;  // crossover disabled entirely
+    (void)cpu_parallel_recurrence<IntRing>(prefix, x, options, &stats);
+    EXPECT_FALSE(stats.crossover_fallback);
+}
+
+TEST(CpuCrossover, FallbackResultsMatchParallelBitForBit)
+{
+    // The crossover is a pure performance policy: crossing it must not
+    // change a single bit of the result.
+    const Signature fib({1.0}, {1.0, 1.0});
+    const auto x = ramp(4096);
+    CpuParallelOptions auto_opts;  // below crossover -> serial path
+    CpuParallelOptions forced;
+    forced.threads = 4;  // bypasses crossover -> chunked path
+    const auto serial_path =
+        cpu_parallel_recurrence<IntRing>(fib, x, auto_opts, nullptr);
+    const auto parallel_path =
+        cpu_parallel_recurrence<IntRing>(fib, x, forced, nullptr);
+    EXPECT_TRUE(validate_exact(serial_path, parallel_path).ok);
+}
+
+}  // namespace
+}  // namespace plr::kernels

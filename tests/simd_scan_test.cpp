@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Lane-boundary conformance for the SimdScan tables (ctest labels:
+ * conformance, simd). Every entry point of every compiled-in ISA table
+ * is checked against an independent naive reference on an input-size
+ * schedule that brackets the vector width — n = 0, 1, lanes-1, lanes,
+ * lanes+1, 2*lanes±1, and odd tails — plus carry-chaining splits.
+ * Integer variants must match bit-for-bit (wrap-around arithmetic is a
+ * ring homomorphism, so any vector reassociation is exact); float
+ * variants are held to the conformance ULP gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "kernels/simd/simd_scan.h"
+#include "util/compare.h"
+
+namespace plr::kernels::simd {
+namespace {
+
+constexpr std::uint64_t kMaxUlps = 512;
+constexpr double kFallbackTol = 1e-3;
+
+/** The lane-boundary size schedule (widest table has 8 lanes). */
+std::vector<std::size_t>
+boundary_sizes()
+{
+    return {0, 1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 63, 100, 128, 129, 1003};
+}
+
+/** ISA tables compiled in AND runnable on this CPU. */
+std::vector<const SimdScan*>
+available_tables()
+{
+    std::vector<const SimdScan*> tables;
+    for (Isa isa : {Isa::kScalar, Isa::kAvx2}) {
+        const SimdScan& t = scan_table(isa);
+        if (t.isa == isa)  // unavailable ISAs fall back to scalar
+            tables.push_back(&t);
+    }
+    return tables;
+}
+
+std::vector<std::int32_t>
+make_input_i32(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::int32_t> x(n);
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x[i] = static_cast<std::int32_t>(state >> 33) % 201 - 100;
+    }
+    return x;
+}
+
+std::vector<float>
+make_input_f32(std::size_t n, std::uint64_t seed)
+{
+    std::vector<float> x(n);
+    const auto ints = make_input_i32(n, seed);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = static_cast<float>(ints[i]) / 100.0f;
+    return x;
+}
+
+// ---- Independent naive references (not the scalar table). ----------
+
+std::int32_t
+wadd(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                     static_cast<std::uint32_t>(b));
+}
+
+std::int32_t
+wmul(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b));
+}
+
+std::vector<std::int32_t>
+ref_first_order_i32(const std::vector<std::int32_t>& x, std::int32_t a0,
+                    std::int32_t b, std::int32_t carry)
+{
+    std::vector<std::int32_t> y(x.size());
+    std::int32_t acc = carry;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        acc = wadd(wmul(a0, x[i]), wmul(b, acc));
+        y[i] = acc;
+    }
+    return y;
+}
+
+std::vector<float>
+ref_first_order_f32(const std::vector<float>& x, float a0, float b,
+                    float carry)
+{
+    std::vector<float> y(x.size());
+    float acc = carry;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        acc = a0 * x[i] + b * acc;
+        y[i] = acc;
+    }
+    return y;
+}
+
+std::vector<std::int32_t>
+ref_tuple_i32(const std::vector<std::int32_t>& x, std::size_t s,
+              const std::vector<std::int32_t>& carry)
+{
+    std::vector<std::int32_t> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = wadd(x[i], i >= s ? y[i - s] : carry[i]);
+    return y;
+}
+
+TEST(SimdScan, ScalarTableAlwaysAvailable)
+{
+    EXPECT_TRUE(isa_available(Isa::kScalar));
+    EXPECT_EQ(scan_table(Isa::kScalar).isa, Isa::kScalar);
+    EXPECT_EQ(scan_table(Isa::kScalar).lanes, 1u);
+}
+
+TEST(SimdScan, UnavailableIsaFallsBackToScalar)
+{
+    if (!isa_available(Isa::kAvx2))
+        EXPECT_EQ(scan_table(Isa::kAvx2).isa, Isa::kScalar);
+    else
+        EXPECT_EQ(scan_table(Isa::kAvx2).lanes, 8u);
+}
+
+TEST(SimdScan, ParseIsaNames)
+{
+    EXPECT_EQ(parse_isa("scalar"), Isa::kScalar);
+    EXPECT_EQ(parse_isa("avx2"), Isa::kAvx2);
+    EXPECT_EQ(parse_isa("auto"), std::nullopt);
+    EXPECT_EQ(parse_isa(""), std::nullopt);
+    EXPECT_EQ(parse_isa("sse9"), std::nullopt);
+    EXPECT_STREQ(to_string(Isa::kScalar), "scalar");
+    EXPECT_STREQ(to_string(Isa::kAvx2), "avx2");
+}
+
+TEST(SimdScan, PrefixSumI32MatchesNaiveAtEveryBoundary)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            for (std::int32_t carry : {0, 5, -3}) {
+                const auto x = make_input_i32(n, n + 1);
+                auto expected = x;
+                std::int32_t acc = carry;
+                for (std::size_t i = 0; i < n; ++i) {
+                    acc = wadd(acc, x[i]);
+                    expected[i] = acc;
+                }
+                std::vector<std::int32_t> y(n);
+                std::int32_t out = 123;
+                t->prefix_sum_i32(x.data(), y.data(), n, carry, &out);
+                EXPECT_TRUE(validate_exact(expected, y).ok)
+                    << to_string(t->isa) << " n=" << n;
+                EXPECT_EQ(out, n == 0 ? carry : expected[n - 1])
+                    << to_string(t->isa) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdScan, PrefixSumF32WithinUlpGate)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            const auto x = make_input_f32(n, n + 2);
+            std::vector<float> expected(n);
+            float acc = 0.25f;
+            for (std::size_t i = 0; i < n; ++i) {
+                acc = acc + x[i];
+                expected[i] = acc;
+            }
+            std::vector<float> y(n);
+            float out = 0.0f;
+            t->prefix_sum_f32(x.data(), y.data(), n, 0.25f, &out);
+            EXPECT_TRUE(validate_ulp(expected, y, kMaxUlps, kFallbackTol).ok)
+                << to_string(t->isa) << " n=" << n;
+            if (n > 0) {
+                EXPECT_EQ(out, y[n - 1]);
+            }
+        }
+    }
+}
+
+TEST(SimdScan, FirstOrderI32MatchesNaiveAtEveryBoundary)
+{
+    const std::pair<std::int32_t, std::int32_t> coeffs[] = {
+        {1, 1}, {3, -2}, {7, 123456789}, {1, 0}};
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            for (auto [a0, b] : coeffs) {
+                const auto x = make_input_i32(n, n + 3);
+                const auto expected = ref_first_order_i32(x, a0, b, 17);
+                std::vector<std::int32_t> y(n);
+                std::int32_t out = 0;
+                t->first_order_i32(x.data(), y.data(), n, a0, b, 17, &out);
+                EXPECT_TRUE(validate_exact(expected, y).ok)
+                    << to_string(t->isa) << " n=" << n << " a0=" << a0
+                    << " b=" << b;
+                EXPECT_EQ(out, n == 0 ? 17 : expected[n - 1]);
+            }
+        }
+    }
+}
+
+TEST(SimdScan, FirstOrderF32WithinUlpGate)
+{
+    const std::pair<float, float> coeffs[] = {
+        {1.0f, -0.5f}, {0.2f, 0.8f}, {1.0f, 1.0f}, {2.0f, 0.25f}};
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            for (auto [a0, b] : coeffs) {
+                const auto x = make_input_f32(n, n + 4);
+                const auto expected = ref_first_order_f32(x, a0, b, 0.5f);
+                std::vector<float> y(n);
+                t->first_order_f32(x.data(), y.data(), n, a0, b, 0.5f,
+                                   nullptr);
+                EXPECT_TRUE(
+                    validate_ulp(expected, y, kMaxUlps, kFallbackTol).ok)
+                    << to_string(t->isa) << " n=" << n << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(SimdScan, FirstOrderLogF32TracksDirectEvaluation)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            for (float b : {0.01f, 0.5f, 0.8f, 0.99f}) {
+                const auto x = make_input_f32(n, n + 5);
+                const auto expected = ref_first_order_f32(x, 0.2f, b, 0.5f);
+                std::vector<float> y(n);
+                float out = -1.0f;
+                t->first_order_log_f32(x.data(), y.data(), n, 0.2f, b, 0.5f,
+                                       &out);
+                // Log-space reassociation drifts more than a direct
+                // chain: hold it to the paper's 1e-3 discrepancy.
+                EXPECT_TRUE(validate_close(expected, y, kFallbackTol).ok)
+                    << to_string(t->isa) << " n=" << n << " b=" << b;
+                if (n > 0) {
+                    EXPECT_EQ(out, y[n - 1]);
+                } else {
+                    EXPECT_EQ(out, 0.5f);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdScan, FirstOrderLogF32RoutesNonDecayToDirect)
+{
+    for (const SimdScan* t : available_tables()) {
+        const std::size_t n = 100;
+        for (float b : {1.0f, -0.5f, 1.25f, 0.0f}) {
+            const auto x = make_input_f32(n, 7);
+            std::vector<float> direct(n), log_path(n);
+            t->first_order_f32(x.data(), direct.data(), n, 1.0f, b, 0.0f,
+                               nullptr);
+            t->first_order_log_f32(x.data(), log_path.data(), n, 1.0f, b,
+                                   0.0f, nullptr);
+            EXPECT_TRUE(validate_ulp(direct, log_path, 0).ok)
+                << to_string(t->isa) << " b=" << b;
+        }
+    }
+}
+
+TEST(SimdScan, HeinsenBlockLengthRespectsExponentBudget)
+{
+    for (float b : {0.01f, 0.1f, 0.5f, 0.8f, 0.99f, 0.999f}) {
+        const std::size_t len = heinsen_block_length(b);
+        EXPECT_GE(len, 8u) << b;
+        EXPECT_LE(len, 4096u) << b;
+        EXPECT_EQ(len % 8, 0u) << b;
+        if (len > 8) {
+            // b^-(len) stays within ~2^20 (the clamp floor may exceed it
+            // for extreme decay, which the blockwise evaluation absorbs).
+            EXPECT_LE(-std::log2(static_cast<double>(b)) *
+                          static_cast<double>(len),
+                      20.0 + 8.0 * -std::log2(static_cast<double>(b)))
+                << b;
+        }
+    }
+    EXPECT_EQ(heinsen_block_length(1.0f), 8u);
+    EXPECT_EQ(heinsen_block_length(-0.5f), 8u);
+}
+
+TEST(SimdScan, TuplePrefixI32MatchesNaiveForAllTupleSizes)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{4}, std::size_t{5}, std::size_t{8},
+                              std::size_t{12}}) {
+            for (std::size_t n : boundary_sizes()) {
+                const auto x = make_input_i32(n, n + s);
+                std::vector<std::int32_t> carry_in(s);
+                for (std::size_t j = 0; j < s; ++j)
+                    carry_in[j] = static_cast<std::int32_t>(j) - 2;
+                const auto expected = ref_tuple_i32(x, s, carry_in);
+                std::vector<std::int32_t> y(n);
+                std::vector<std::int32_t> carry_out(s, 999);
+                t->tuple_prefix_i32(x.data(), y.data(), n, s,
+                                    carry_in.data(), carry_out.data());
+                EXPECT_TRUE(validate_exact(expected, y).ok)
+                    << to_string(t->isa) << " s=" << s << " n=" << n;
+                for (std::size_t j = 0; j < s; ++j) {
+                    const std::int32_t want =
+                        n + j >= s ? expected[n + j - s] : carry_in[n + j];
+                    EXPECT_EQ(carry_out[j], want)
+                        << to_string(t->isa) << " s=" << s << " n=" << n
+                        << " j=" << j;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdScan, TuplePrefixF32WithinUlpGate)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t s : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+            for (std::size_t n : boundary_sizes()) {
+                const auto x = make_input_f32(n, n + s + 1);
+                std::vector<float> carry_in(s, 0.125f);
+                std::vector<float> expected(n);
+                for (std::size_t i = 0; i < n; ++i)
+                    expected[i] =
+                        x[i] + (i >= s ? expected[i - s] : carry_in[i]);
+                std::vector<float> y(n);
+                t->tuple_prefix_f32(x.data(), y.data(), n, s,
+                                    carry_in.data(), nullptr);
+                EXPECT_TRUE(
+                    validate_ulp(expected, y, kMaxUlps, kFallbackTol).ok)
+                    << to_string(t->isa) << " s=" << s << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdScan, ScaleMatchesBitForBit)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t n : boundary_sizes()) {
+            const auto xi = make_input_i32(n, n + 9);
+            std::vector<std::int32_t> yi(n), ei(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ei[i] = wmul(-7, xi[i]);
+            t->scale_i32(xi.data(), yi.data(), n, -7);
+            EXPECT_TRUE(validate_exact(ei, yi).ok)
+                << to_string(t->isa) << " n=" << n;
+
+            const auto xf = make_input_f32(n, n + 10);
+            std::vector<float> yf(n), ef(n);
+            for (std::size_t i = 0; i < n; ++i)
+                ef[i] = 0.3f * xf[i];
+            t->scale_f32(xf.data(), yf.data(), n, 0.3f);
+            // Elementwise multiply has no reassociation: bit-identical.
+            EXPECT_TRUE(validate_ulp(ef, yf, 0).ok)
+                << to_string(t->isa) << " n=" << n;
+        }
+    }
+}
+
+TEST(SimdScan, CorrectI32MatchesNaiveWithEffectiveLengthAndBroadcast)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t len : boundary_sizes()) {
+            const auto base = make_input_i32(len, len + 11);
+            const auto f1 = make_input_i32(len, len + 12);
+            std::vector<std::int32_t> ones(len, 1);
+            // Term 0: general list truncated to an effective length;
+            // term 1: all-equal broadcast list (the prefix-sum shape).
+            const std::size_t eff = len / 2;
+            CorrectionTermI32 terms[2] = {
+                {f1.data(), eff, 3, false},
+                {ones.data(), len, -5, true},
+            };
+            auto expected = base;
+            for (std::size_t o = 0; o < eff; ++o)
+                expected[o] = wadd(expected[o], wmul(f1[o], 3));
+            for (std::size_t o = 0; o < len; ++o)
+                expected[o] = wadd(expected[o], wmul(1, -5));
+            auto y = base;
+            t->correct_i32(y.data(), len, terms, 2);
+            EXPECT_TRUE(validate_exact(expected, y).ok)
+                << to_string(t->isa) << " len=" << len;
+
+            // Zero effective length: a no-op that must not touch y.
+            CorrectionTermI32 dead[1] = {{f1.data(), 0, 42, false}};
+            auto untouched = base;
+            t->correct_i32(untouched.data(), len, dead, 1);
+            EXPECT_TRUE(validate_exact(base, untouched).ok)
+                << to_string(t->isa) << " len=" << len;
+        }
+    }
+}
+
+TEST(SimdScan, CorrectF32MatchesNaiveWithinUlps)
+{
+    for (const SimdScan* t : available_tables()) {
+        for (std::size_t len : boundary_sizes()) {
+            const auto base = make_input_f32(len, len + 13);
+            const auto f1 = make_input_f32(len, len + 14);
+            const std::size_t eff = len - len / 3;
+            CorrectionTermF32 terms[1] = {{f1.data(), eff, 0.75f, false}};
+            auto expected = base;
+            for (std::size_t o = 0; o < eff; ++o)
+                expected[o] = expected[o] + f1[o] * 0.75f;
+            auto y = base;
+            t->correct_f32(y.data(), len, terms, 1);
+            // One fused multiply-add per element vs mul+add: <= 1 ULP.
+            EXPECT_TRUE(validate_ulp(expected, y, 4, kFallbackTol).ok)
+                << to_string(t->isa) << " len=" << len;
+        }
+    }
+}
+
+TEST(SimdScan, CarryChainingSplitsMatchOneShot)
+{
+    // Splitting a scan at arbitrary points and chaining the carry must
+    // reproduce the one-shot result exactly in the int ring.
+    const std::size_t n = 1003;
+    const auto x = make_input_i32(n, 99);
+    for (const SimdScan* t : available_tables()) {
+        std::vector<std::int32_t> whole(n), split(n);
+        t->first_order_i32(x.data(), whole.data(), n, 3, -2, 11, nullptr);
+        std::int32_t carry = 11;
+        std::size_t at = 0;
+        for (std::size_t piece : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{131},
+                                  n /* clamped below */}) {
+            const std::size_t len = std::min(piece, n - at);
+            t->first_order_i32(x.data() + at, split.data() + at, len, 3, -2,
+                               carry, &carry);
+            at += len;
+        }
+        ASSERT_EQ(at, n);
+        EXPECT_TRUE(validate_exact(whole, split).ok) << to_string(t->isa);
+    }
+}
+
+TEST(SimdScan, TupleCarryChainingMatchesOneShot)
+{
+    const std::size_t n = 517, s = 4;
+    const auto x = make_input_i32(n, 41);
+    for (const SimdScan* t : available_tables()) {
+        std::vector<std::int32_t> zeros(s, 0), whole(n), split(n);
+        t->tuple_prefix_i32(x.data(), whole.data(), n, s, zeros.data(),
+                            nullptr);
+        std::vector<std::int32_t> carry = zeros;
+        std::size_t at = 0;
+        while (at < n) {
+            const std::size_t len = std::min<std::size_t>(129, n - at);
+            t->tuple_prefix_i32(x.data() + at, split.data() + at, len, s,
+                                carry.data(), carry.data());
+            at += len;
+        }
+        EXPECT_TRUE(validate_exact(whole, split).ok) << to_string(t->isa);
+    }
+}
+
+TEST(SimdScan, InPlaceAliasingIsSupported)
+{
+    const std::size_t n = 129;
+    for (const SimdScan* t : available_tables()) {
+        const auto x = make_input_i32(n, 55);
+        std::vector<std::int32_t> expected(n);
+        t->prefix_sum_i32(x.data(), expected.data(), n, 0, nullptr);
+        auto inplace = x;
+        t->prefix_sum_i32(inplace.data(), inplace.data(), n, 0, nullptr);
+        EXPECT_TRUE(validate_exact(expected, inplace).ok)
+            << to_string(t->isa);
+    }
+}
+
+}  // namespace
+}  // namespace plr::kernels::simd
