@@ -12,17 +12,38 @@
  *   ./conformance_tool replay 'plr-repro:v1 kernel=... n=145 ...'
  *   ./conformance_tool shrink 'plr-repro:v1 kernel=... n=145 ...'
  *   ./conformance_tool list                         # kernels and corpus
+ *
+ * Streaming durability (docs/STREAMING.md):
+ *
+ *   ./conformance_tool run --checkpoint-every 2 --crash-seed 7
+ *       adds the checkpoint-resume check to the sweep: every case is
+ *       also run segment-at-a-time, killed at a seed-chosen point (the
+ *       in-flight checkpoint possibly torn), recovered, and compared
+ *       against the one-shot reference
+ *   ./conformance_tool checkpoint --to ck.plrc --kernel cpu_parallel \
+ *       --signature '(1: 2,-1)' --n 4096 --segment 256 --segments 8
+ *       streams the deterministic conformance input and saves the carry
+ *       state after 8 segments
+ *   ./conformance_tool resume --resume-from ck.plrc --kernel cpu_parallel \
+ *       --signature '(1: 2,-1)' --n 4096
+ *       loads + verifies the checkpoint (typed rejection on damage),
+ *       resumes the stream, and validates the tail against the serial
+ *       reference
  */
 
 #include <algorithm>
 #include <iostream>
 #include <sstream>
 
+#include "kernels/checkpoint.h"
+#include "kernels/serial.h"
+#include "kernels/stream.h"
 #include "testing/chunked_reference.h"
 #include "testing/corpus.h"
 #include "testing/oracle.h"
 #include "testing/repro.h"
 #include "util/cli.h"
+#include "util/compare.h"
 #include "util/diag.h"
 
 namespace {
@@ -37,9 +58,16 @@ usage()
            "          [--fault-seed S] [--watchdog N] [--fault-corpus]\n"
            "          [--race-detect] [--invariants]\n"
            "          [--sdc-seed S] [--verify]\n"
+           "          [--checkpoint-every K] [--crash-seed S]\n"
            "          [--repro-log FILE]   run the conformance sweep\n"
            "  replay  '<reproducer line>'  re-run one failing case\n"
            "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
+           "  checkpoint --to FILE --signature SIG --kernel K --n N\n"
+           "          [--segment L] [--segments S] [--seed S]\n"
+           "          [--domain int|float|tropical]\n"
+           "                               stream and save the carry state\n"
+           "  resume  --resume-from FILE --signature SIG --kernel K --n N\n"
+           "          [--seed S]           load, verify, resume, validate\n"
            "  list                         print kernels and corpus entries\n";
     return 2;
 }
@@ -102,6 +130,12 @@ cmd_run(const plr::CliArgs& args)
         opts.sdc = true;
     }
     opts.verify = args.get_bool("verify", false);
+    // --checkpoint-every arms the streaming crash-resume check
+    // (docs/STREAMING.md); failures carry ckpt=/crash= tokens.
+    opts.checkpoint_every =
+        static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+    opts.crash_seed =
+        static_cast<std::uint64_t>(args.get_int("crash-seed", 0));
     opts.repro_log = args.get("repro-log", "");
 
     const auto report = run_conformance(kernels, corpus, opts);
@@ -141,6 +175,178 @@ cmd_shrink(const std::string& line)
     return 1;
 }
 
+plr::kernels::Domain
+parse_domain_name(const std::string& name)
+{
+    using plr::kernels::Domain;
+    for (Domain d : {Domain::kInt, Domain::kFloat, Domain::kTropical})
+        if (name == plr::kernels::to_string(d))
+            return d;
+    PLR_FATAL("unknown domain '" << name << "'");
+}
+
+/** Parse --signature, rebuilt over max-plus for the tropical domain. */
+plr::Signature
+signature_for(const std::string& text, plr::kernels::Domain domain)
+{
+    const plr::Signature parsed = plr::Signature::parse(text);
+    if (domain == plr::kernels::Domain::kTropical)
+        return plr::Signature::max_plus(parsed.a(), parsed.b());
+    return parsed;
+}
+
+/** The deterministic conformance input the streaming commands share. */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+tool_input(plr::kernels::Domain domain, std::size_t n, std::uint64_t seed)
+{
+    if constexpr (std::is_same_v<Ring, plr::IntRing>) {
+        (void)domain;
+        return plr::testing::conformance_input_int(n, seed);
+    } else {
+        return plr::testing::conformance_input_float(domain, n, seed);
+    }
+}
+
+template <typename Ring>
+int
+stream_checkpoint(const plr::Signature& sig,
+                  const plr::kernels::KernelInfo* kernel,
+                  plr::kernels::Domain domain, std::size_t n,
+                  std::uint64_t seed, std::size_t segment_len,
+                  std::size_t segments, const std::string& path)
+{
+    using namespace plr::kernels;
+    PLR_REQUIRE(segment_len >= 1, "--segment must be positive");
+    PLR_REQUIRE(segments * segment_len <= n,
+                "--segments x --segment exceeds --n");
+    const auto input = tool_input<Ring>(domain, n, seed);
+    StreamSession<Ring> session(sig, kernel, RunOptions{});
+    const std::span<const typename Ring::value_type> view(input);
+    for (std::size_t s = 0; s < segments; ++s)
+        session.feed(view.subspan(s * segment_len, segment_len));
+    save_checkpoint(session.checkpoint(), path);
+    std::cout << "checkpoint at element " << session.state().elements
+              << " (" << segments << " segments of " << segment_len
+              << ") written to " << path << "\n";
+    return 0;
+}
+
+template <typename Ring>
+int
+stream_resume(const plr::kernels::Checkpoint& ckpt, const plr::Signature& sig,
+              const plr::kernels::KernelInfo* kernel,
+              plr::kernels::Domain domain, std::size_t n, std::uint64_t seed)
+{
+    using namespace plr::kernels;
+    PLR_REQUIRE(ckpt.elements <= n,
+                "checkpoint is at element " << ckpt.elements
+                                            << ", beyond --n " << n);
+    const auto input = tool_input<Ring>(domain, n, seed);
+    const std::span<const typename Ring::value_type> view(input);
+    auto session =
+        StreamSession<Ring>::resume_from(ckpt, sig, kernel, RunOptions{});
+    const auto got =
+        session.feed(view.subspan(static_cast<std::size_t>(ckpt.elements)));
+    const auto want = serial_recurrence<Ring>(sig, input);
+    const std::span<const typename Ring::value_type> want_tail =
+        std::span<const typename Ring::value_type>(want).subspan(
+            static_cast<std::size_t>(ckpt.elements));
+    plr::ValidationResult v;
+    if constexpr (std::is_same_v<Ring, plr::IntRing>)
+        v = plr::validate_exact(want_tail, got);
+    else
+        v = plr::validate_ulp(want_tail, got, 512, 1e-3);
+    if (!v.ok) {
+        std::cout << "resumed tail DIVERGES from the serial reference: "
+                  << v.describe() << "\n";
+        return 1;
+    }
+    std::cout << "resumed at element " << ckpt.elements << ", "
+              << got.size() << " elements validated against the serial "
+              << "reference\n";
+    return 0;
+}
+
+const plr::kernels::KernelInfo*
+required_kernel(const plr::CliArgs& args)
+{
+    const std::string name = args.get("kernel", "serial");
+    const auto* kernel = plr::kernels::find_kernel(name);
+    PLR_REQUIRE(kernel != nullptr, "unknown kernel '" << name << "'");
+    return kernel;
+}
+
+int
+cmd_checkpoint(const plr::CliArgs& args)
+{
+    using plr::kernels::Domain;
+    const Domain domain = parse_domain_name(args.get("domain", "int"));
+    const plr::Signature sig =
+        signature_for(args.get("signature", "(1: 1)"), domain);
+    const auto* kernel = required_kernel(args);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 4096));
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", 0xD1FFC0DE));
+    const auto segment_len =
+        static_cast<std::size_t>(args.get_int("segment", 256));
+    const auto segments =
+        static_cast<std::size_t>(args.get_int("segments", 4));
+    const std::string path = args.get("to", "");
+    PLR_REQUIRE(!path.empty(), "checkpoint needs --to FILE");
+    switch (domain) {
+      case Domain::kInt:
+        return stream_checkpoint<plr::IntRing>(sig, kernel, domain, n, seed,
+                                               segment_len, segments, path);
+      case Domain::kFloat:
+        return stream_checkpoint<plr::FloatRing>(sig, kernel, domain, n, seed,
+                                                 segment_len, segments, path);
+      case Domain::kTropical:
+        return stream_checkpoint<plr::TropicalRing>(
+            sig, kernel, domain, n, seed, segment_len, segments, path);
+    }
+    return 2;
+}
+
+int
+cmd_resume(const plr::CliArgs& args)
+{
+    using plr::kernels::Domain;
+    const std::string path = args.get("resume-from", "");
+    PLR_REQUIRE(!path.empty(), "resume needs --resume-from FILE");
+
+    plr::kernels::Checkpoint ckpt;
+    try {
+        ckpt = plr::kernels::load_checkpoint(path);
+    } catch (const plr::kernels::CheckpointError& e) {
+        // The whole point of the sealed format: damage is a typed,
+        // actionable rejection, never a silently wrong resume.
+        std::cout << "checkpoint REJECTED ("
+                  << plr::kernels::to_string(e.kind()) << "): " << e.what()
+                  << "\n";
+        return 1;
+    }
+    const Domain domain = ckpt.domain;
+    const plr::Signature sig =
+        signature_for(args.get("signature", "(1: 1)"), domain);
+    const auto* kernel = required_kernel(args);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 4096));
+    const auto seed = static_cast<std::uint64_t>(
+        args.get_int("seed", 0xD1FFC0DE));
+    switch (domain) {
+      case Domain::kInt:
+        return stream_resume<plr::IntRing>(ckpt, sig, kernel, domain, n,
+                                           seed);
+      case Domain::kFloat:
+        return stream_resume<plr::FloatRing>(ckpt, sig, kernel, domain, n,
+                                             seed);
+      case Domain::kTropical:
+        return stream_resume<plr::TropicalRing>(ckpt, sig, kernel, domain, n,
+                                                seed);
+    }
+    return 2;
+}
+
 int
 cmd_list()
 {
@@ -172,6 +378,10 @@ main(int argc, char** argv)
     try {
         if (command == "run")
             return cmd_run(args);
+        if (command == "checkpoint")
+            return cmd_checkpoint(args);
+        if (command == "resume")
+            return cmd_resume(args);
         if (command == "list")
             return cmd_list();
         if (command == "replay" || command == "shrink") {

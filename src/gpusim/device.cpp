@@ -1,13 +1,14 @@
 #include "gpusim/device.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
+
+#include "util/env.h"
 
 namespace plr::gpusim {
 
@@ -16,17 +17,11 @@ namespace {
 /** Spins per wait episode before the deadlock watchdog declares a wedge. */
 constexpr std::uint64_t kSpinWatchdogDefault = 200'000'000;
 
-/** Watchdog default: $PLR_SPIN_WATCHDOG when set and positive. */
+/** Watchdog default: $PLR_SPIN_WATCHDOG when set (validated count). */
 std::uint64_t
 default_watchdog_limit()
 {
-    if (const char* env = std::getenv("PLR_SPIN_WATCHDOG")) {
-        char* end = nullptr;
-        const unsigned long long value = std::strtoull(env, &end, 10);
-        if (end != env && *end == '\0' && value > 0)
-            return static_cast<std::uint64_t>(value);
-    }
-    return kSpinWatchdogDefault;
+    return env::count_or("PLR_SPIN_WATCHDOG", kSpinWatchdogDefault);
 }
 
 }  // namespace
@@ -266,10 +261,8 @@ Device::Device(DeviceSpec spec, bool model_l2)
       l2_enabled_(model_l2),
       spin_watchdog_limit_(default_watchdog_limit())
 {
-    if (const char* env = std::getenv("PLR_RACE_DETECT")) {
-        if (*env != '\0' && std::string_view(env) != "0")
-            analysis_config_ = analysis::AnalysisConfig{};
-    }
+    if (env::flag_or("PLR_RACE_DETECT", false))
+        analysis_config_ = analysis::AnalysisConfig{};
 }
 
 void
@@ -450,8 +443,9 @@ Device::launch(std::size_t num_blocks,
     const analysis::RaceReport* race_report = nullptr;
     if (launch_analysis_ && !launch_analysis_->clean()) {
         race_report = &launch_analysis_->report();
-        if (const char* path = std::getenv("PLR_RACE_LOG")) {
-            std::ofstream out(path, std::ios::app);
+        const std::string race_log = env::string_or("PLR_RACE_LOG");
+        if (!race_log.empty()) {
+            std::ofstream out(race_log, std::ios::app);
             if (out)
                 out << race_report->format() << "\n";
         }
@@ -472,8 +466,9 @@ Device::launch(std::size_t num_blocks,
         const std::size_t suspect = dump.suspect_chunk();
         if (suspect != BlockForensics::kNone)
             message += "; suspect chunk " + std::to_string(suspect);
-        if (const char* path = std::getenv("PLR_FORENSIC_LOG")) {
-            std::ofstream out(path, std::ios::app);
+        const std::string forensic_log = env::string_or("PLR_FORENSIC_LOG");
+        if (!forensic_log.empty()) {
+            std::ofstream out(forensic_log, std::ios::app);
             if (out)
                 out << dump.format() << "\n";
         }

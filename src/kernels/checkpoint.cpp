@@ -1,0 +1,274 @@
+#include "kernels/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "kernels/verify.h"
+
+namespace plr::kernels {
+
+namespace {
+
+/** Fixed header bytes before the variable payload. */
+constexpr std::size_t kHeaderBytes = 44;
+/** Trailing Fletcher-32 seal. */
+constexpr std::size_t kSealBytes = 4;
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffull));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+get_u32(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint32_t>(bytes[offset]) |
+           (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+std::uint64_t
+get_u64(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint64_t>(get_u32(bytes, offset)) |
+           (static_cast<std::uint64_t>(get_u32(bytes, offset + 4)) << 32);
+}
+
+/**
+ * Fletcher-32 over the byte range decoded as little-endian 32-bit
+ * words — byte-order independent because the decode is explicit.
+ * @p bytes.size() must be a multiple of 4.
+ */
+std::uint32_t
+seal_over(std::span<const std::uint8_t> bytes)
+{
+    std::vector<std::uint32_t> words(bytes.size() / 4);
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] = get_u32(bytes, w * 4);
+    return fletcher32(words.data(), words.size());
+}
+
+[[noreturn]] void
+reject(CheckpointErrorKind kind, const std::string& detail)
+{
+    throw CheckpointError(kind, std::string("checkpoint ") +
+                                    to_string(kind) + ": " + detail);
+}
+
+}  // namespace
+
+const char*
+to_string(CheckpointErrorKind kind)
+{
+    switch (kind) {
+      case CheckpointErrorKind::kIo: return "io";
+      case CheckpointErrorKind::kBadMagic: return "bad-magic";
+      case CheckpointErrorKind::kVersionSkew: return "version-skew";
+      case CheckpointErrorKind::kTruncated: return "truncated";
+      case CheckpointErrorKind::kMalformed: return "malformed";
+      case CheckpointErrorKind::kCorrupt: return "corrupt";
+      case CheckpointErrorKind::kSignatureMismatch:
+        return "signature-mismatch";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+signature_hash(const Signature& sig, Domain domain)
+{
+    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    std::uint64_t hash = kOffset;
+    auto mix_byte = [&hash](std::uint8_t byte) {
+        hash ^= byte;
+        hash *= kPrime;
+    };
+    auto mix_u64 = [&mix_byte](std::uint64_t v) {
+        for (int shift = 0; shift < 64; shift += 8)
+            mix_byte(static_cast<std::uint8_t>((v >> shift) & 0xff));
+    };
+    auto mix_double = [&mix_u64](double d) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        mix_u64(bits);
+    };
+    mix_byte(static_cast<std::uint8_t>(domain));
+    mix_byte(sig.is_max_plus() ? 1 : 0);
+    mix_u64(sig.a().size());
+    for (double c : sig.a())
+        mix_double(c);
+    mix_u64(sig.b().size());
+    for (double c : sig.b())
+        mix_double(c);
+    return hash;
+}
+
+std::vector<std::uint8_t>
+serialize_checkpoint(const Checkpoint& ckpt)
+{
+    PLR_REQUIRE(ckpt.y_words.size() == ckpt.order,
+                "checkpoint y-tail must hold exactly k words");
+    PLR_REQUIRE(ckpt.x_words.size() == ckpt.fir_taps,
+                "checkpoint x-tail must hold exactly p words");
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes +
+                4 * (ckpt.y_words.size() + ckpt.x_words.size()) + kSealBytes);
+    for (char c : kCheckpointMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    put_u32(out, ckpt.version);
+    put_u32(out, static_cast<std::uint32_t>(ckpt.domain));
+    put_u32(out, ckpt.order);
+    put_u32(out, ckpt.fir_taps);
+    put_u64(out, ckpt.sig_hash);
+    put_u64(out, ckpt.segments);
+    put_u64(out, ckpt.elements);
+    for (std::uint32_t word : ckpt.y_words)
+        put_u32(out, word);
+    for (std::uint32_t word : ckpt.x_words)
+        put_u32(out, word);
+    const std::uint32_t seal = seal_over(out);
+    put_u32(out, seal);
+    return out;
+}
+
+Checkpoint
+parse_checkpoint(std::span<const std::uint8_t> bytes)
+{
+    if (bytes.size() < sizeof(kCheckpointMagic))
+        reject(CheckpointErrorKind::kTruncated,
+               "only " + std::to_string(bytes.size()) +
+                   " bytes, shorter than the magic");
+    if (std::memcmp(bytes.data(), kCheckpointMagic,
+                    sizeof(kCheckpointMagic)) != 0)
+        reject(CheckpointErrorKind::kBadMagic,
+               "file does not start with \"PLRC\"");
+    if (bytes.size() < 8)
+        reject(CheckpointErrorKind::kTruncated,
+               "header ends before the format version");
+    const std::uint32_t version = get_u32(bytes, 4);
+    if (version != kCheckpointFormatVersion)
+        reject(CheckpointErrorKind::kVersionSkew,
+               "format version " + std::to_string(version) +
+                   ", this build reads version " +
+                   std::to_string(kCheckpointFormatVersion));
+    if (bytes.size() < kHeaderBytes)
+        reject(CheckpointErrorKind::kTruncated,
+               "header is " + std::to_string(bytes.size()) + " of " +
+                   std::to_string(kHeaderBytes) + " bytes");
+
+    Checkpoint ckpt;
+    ckpt.version = version;
+    const std::uint32_t domain = get_u32(bytes, 8);
+    if (domain > static_cast<std::uint32_t>(Domain::kTropical))
+        reject(CheckpointErrorKind::kMalformed,
+               "unknown domain id " + std::to_string(domain));
+    ckpt.domain = static_cast<Domain>(domain);
+    ckpt.order = get_u32(bytes, 12);
+    ckpt.fir_taps = get_u32(bytes, 16);
+    if (ckpt.order == 0 || ckpt.order > kCheckpointMaxOrder)
+        reject(CheckpointErrorKind::kMalformed,
+               "order " + std::to_string(ckpt.order) +
+                   " outside [1, " + std::to_string(kCheckpointMaxOrder) +
+                   "]");
+    if (ckpt.fir_taps > kCheckpointMaxTaps)
+        reject(CheckpointErrorKind::kMalformed,
+               "fir taps " + std::to_string(ckpt.fir_taps) + " above " +
+                   std::to_string(kCheckpointMaxTaps));
+    const std::size_t expected =
+        kHeaderBytes + 4 * (std::size_t{ckpt.order} + ckpt.fir_taps) +
+        kSealBytes;
+    if (bytes.size() < expected)
+        reject(CheckpointErrorKind::kTruncated,
+               std::to_string(bytes.size()) + " of " +
+                   std::to_string(expected) + " bytes (torn write?)");
+    if (bytes.size() > expected)
+        reject(CheckpointErrorKind::kMalformed,
+               std::to_string(bytes.size() - expected) +
+                   " trailing bytes after the seal");
+
+    const std::uint32_t stored_seal = get_u32(bytes, expected - kSealBytes);
+    const std::uint32_t computed_seal =
+        seal_over(bytes.subspan(0, expected - kSealBytes));
+    if (stored_seal != computed_seal) {
+        std::ostringstream what;
+        what << "Fletcher-32 seal mismatch (stored 0x" << std::hex
+             << stored_seal << ", computed 0x" << computed_seal << ")";
+        reject(CheckpointErrorKind::kCorrupt, what.str());
+    }
+
+    ckpt.sig_hash = get_u64(bytes, 20);
+    ckpt.segments = get_u64(bytes, 28);
+    ckpt.elements = get_u64(bytes, 36);
+    ckpt.y_words.resize(ckpt.order);
+    for (std::size_t d = 0; d < ckpt.order; ++d)
+        ckpt.y_words[d] = get_u32(bytes, kHeaderBytes + 4 * d);
+    ckpt.x_words.resize(ckpt.fir_taps);
+    for (std::size_t j = 0; j < ckpt.fir_taps; ++j)
+        ckpt.x_words[j] =
+            get_u32(bytes, kHeaderBytes + 4 * (ckpt.order + j));
+    return ckpt;
+}
+
+void
+validate_checkpoint_for(const Checkpoint& ckpt, const Signature& sig,
+                        Domain domain)
+{
+    if (ckpt.domain != domain)
+        reject(CheckpointErrorKind::kSignatureMismatch,
+               std::string("checkpoint domain is ") +
+                   to_string(ckpt.domain) + ", run wants " +
+                   to_string(domain));
+    if (ckpt.sig_hash != signature_hash(sig, domain))
+        reject(CheckpointErrorKind::kSignatureMismatch,
+               "signature hash does not match " + sig.to_string());
+    if (ckpt.order != sig.order() || ckpt.fir_taps != sig.fir_taps())
+        reject(CheckpointErrorKind::kSignatureMismatch,
+               "carry shape (k=" + std::to_string(ckpt.order) +
+                   ", p=" + std::to_string(ckpt.fir_taps) +
+                   ") does not fit " + sig.to_string());
+}
+
+void
+save_checkpoint(const Checkpoint& ckpt, const std::string& path)
+{
+    const std::vector<std::uint8_t> bytes = serialize_checkpoint(ckpt);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        reject(CheckpointErrorKind::kIo, "cannot open " + path +
+                                             " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+        reject(CheckpointErrorKind::kIo, "short write to " + path);
+}
+
+Checkpoint
+load_checkpoint(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        reject(CheckpointErrorKind::kIo, "cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        reject(CheckpointErrorKind::kIo, "read error on " + path);
+    return parse_checkpoint(bytes);
+}
+
+}  // namespace plr::kernels

@@ -1,0 +1,151 @@
+#ifndef PLR_KERNELS_CHECKPOINT_H_
+#define PLR_KERNELS_CHECKPOINT_H_
+
+/**
+ * @file
+ * Durable, self-verifying carry-state checkpoints (docs/STREAMING.md).
+ *
+ * A checkpoint captures everything a linear recurrence needs to resume
+ * mid-stream: the signature it was computed under (as a collision-
+ * resistant hash), the arithmetic domain, the stream position, the last
+ * k outputs (the look-back carry state of src/kernels/lookback_chain.h)
+ * and the last p inputs feeding the FIR taps. The serialized form is
+ * versioned, endian-stable, and sealed with the same Fletcher-32 used
+ * by the ABFT layer (src/kernels/verify.h) over header and payload, so
+ * a torn write, a flipped bit, or a file from a different build is
+ * rejected with a typed CheckpointError — never loaded as a silently
+ * wrong carry.
+ *
+ * Binary layout (all fields little-endian, total 48 + 4*(k + p) bytes):
+ *
+ *   offset  size  field
+ *        0     4  magic "PLRC"
+ *        4     4  u32 format version (kCheckpointFormatVersion)
+ *        8     4  u32 domain (0 int, 1 float, 2 tropical)
+ *       12     4  u32 k — recurrence order (y-tail words)
+ *       16     4  u32 p — FIR taps beyond a0 (x-tail words)
+ *       20     8  u64 signature hash (signature_hash())
+ *       28     8  u64 segments consumed so far
+ *       36     8  u64 elements consumed so far (the resume position)
+ *       44   4*k  y-tail bit patterns, newest first: word d is y[P-1-d]
+ *     44+4k  4*p  x-tail bit patterns, newest first: word j is x[P-1-j]
+ *      end-4    4  u32 Fletcher-32 over every preceding 32-bit word
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "kernels/registry.h"
+#include "util/diag.h"
+
+namespace plr::kernels {
+
+/** Serialized format version this build writes and understands. */
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/** Magic prefix of every checkpoint file. */
+inline constexpr char kCheckpointMagic[4] = {'P', 'L', 'R', 'C'};
+
+/** Format-level sanity bounds (far above any real signature). */
+inline constexpr std::uint32_t kCheckpointMaxOrder = 64;
+inline constexpr std::uint32_t kCheckpointMaxTaps = 256;
+
+/** Why a checkpoint load was rejected. */
+enum class CheckpointErrorKind {
+    /** File could not be opened/read/written. */
+    kIo,
+    /** First four bytes are not "PLRC". */
+    kBadMagic,
+    /** Format version is not kCheckpointFormatVersion. */
+    kVersionSkew,
+    /** Fewer bytes than the header + payload declare (torn write). */
+    kTruncated,
+    /** Sizes/fields are internally inconsistent (trailing bytes, order
+        or tap counts outside the format bounds, unknown domain). */
+    kMalformed,
+    /** Fletcher-32 seal does not match (bit flip / torn rewrite). */
+    kCorrupt,
+    /** Valid checkpoint, but for a different signature or domain. */
+    kSignatureMismatch,
+};
+
+/** Stable lowercase name ("truncated", "corrupt", ...). */
+const char* to_string(CheckpointErrorKind kind);
+
+/**
+ * Typed rejection of a checkpoint load or save. Derives FatalError: a
+ * bad checkpoint is caller-visible state, not a library bug, and must
+ * never surface as a silent wrong answer.
+ */
+class CheckpointError : public FatalError {
+  public:
+    CheckpointError(CheckpointErrorKind kind, const std::string& what)
+        : FatalError(what), kind_(kind)
+    {
+    }
+
+    CheckpointErrorKind kind() const { return kind_; }
+
+  private:
+    CheckpointErrorKind kind_;
+};
+
+/** In-memory form of a serialized checkpoint. */
+struct Checkpoint {
+    std::uint32_t version = kCheckpointFormatVersion;
+    Domain domain = Domain::kInt;
+    /** Recurrence order k: number of y-tail words. */
+    std::uint32_t order = 0;
+    /** FIR taps beyond a0: number of x-tail words. */
+    std::uint32_t fir_taps = 0;
+    /** signature_hash() of the signature the state was computed under. */
+    std::uint64_t sig_hash = 0;
+    /** Segments fed so far. */
+    std::uint64_t segments = 0;
+    /** Elements consumed so far — the position the stream resumes at. */
+    std::uint64_t elements = 0;
+    /** y-tail bit patterns, newest first: y_words[d] = bits of y[P-1-d]. */
+    std::vector<std::uint32_t> y_words;
+    /** x-tail bit patterns, newest first: x_words[j] = bits of x[P-1-j]. */
+    std::vector<std::uint32_t> x_words;
+};
+
+/**
+ * Collision-resistant (FNV-1a/64) hash over the signature coefficients
+ * (exact double bit patterns), the max-plus flag, and the domain. Two
+ * runs agree on the hash iff they evaluate the same recurrence in the
+ * same ring.
+ */
+std::uint64_t signature_hash(const Signature& sig, Domain domain);
+
+/** Serialize to the endian-stable byte layout above (with seal). */
+std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& ckpt);
+
+/**
+ * Parse and verify a serialized checkpoint. Throws CheckpointError
+ * (kBadMagic, kVersionSkew, kTruncated, kMalformed, kCorrupt) — every
+ * byte of the input is validated before any field is trusted.
+ */
+Checkpoint parse_checkpoint(std::span<const std::uint8_t> bytes);
+
+/**
+ * Check that @p ckpt belongs to (@p sig, @p domain); throws
+ * CheckpointError(kSignatureMismatch) otherwise. parse_checkpoint
+ * cannot do this — it has no expected signature — so resume paths call
+ * both.
+ */
+void validate_checkpoint_for(const Checkpoint& ckpt, const Signature& sig,
+                             Domain domain);
+
+/** Write the serialized form to @p path (throws CheckpointError(kIo)). */
+void save_checkpoint(const Checkpoint& ckpt, const std::string& path);
+
+/** Read, parse, and verify a checkpoint file (kIo + parse errors). */
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_CHECKPOINT_H_

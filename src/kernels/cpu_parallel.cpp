@@ -60,19 +60,29 @@ run_region(CpuExecMode mode, std::size_t count, const Task& task)
         worker.join();
 }
 
-}  // namespace
-
+/**
+ * Shared implementation: @p resume, when non-null, seeds the carry
+ * chain and FIR taps from a streaming checkpoint (docs/STREAMING.md).
+ */
 template <typename Ring>
 std::vector<typename Ring::value_type>
-cpu_parallel_recurrence(const Signature& sig,
-                        std::span<const typename Ring::value_type> input,
-                        const CpuParallelOptions& options, CpuRunStats* stats)
+run_impl(const Signature& sig,
+         std::span<const typename Ring::value_type> input,
+         const CpuParallelOptions& options,
+         const StreamState<Ring>* resume, CpuRunStats* stats)
 {
     using V = typename Ring::value_type;
     const auto call_start = Clock::now();
     const std::size_t n = input.size();
     const std::size_t k = sig.order();
     PLR_REQUIRE(k >= 1, "parallel recurrence needs order >= 1");
+
+    const std::span<const V> seed_y =
+        resume != nullptr ? std::span<const V>(resume->y_tail)
+                          : std::span<const V>();
+    const std::span<const V> seed_x =
+        resume != nullptr ? std::span<const V>(resume->x_tail)
+                          : std::span<const V>();
 
     std::size_t threads = options.threads;
     // Below the measured crossover the chunking + carry overhead loses
@@ -90,7 +100,9 @@ cpu_parallel_recurrence(const Signature& sig,
     const std::size_t min_chunk = std::max<std::size_t>(4 * k, 256);
     threads = std::min(threads, n / min_chunk);
     if (threads <= 1 || below_crossover) {
-        auto result = serial_recurrence<Ring>(sig, input);
+        std::vector<V> result(n);
+        serial_recurrence_seeded_into<Ring>(sig, seed_y, seed_x, input,
+                                            result);
         if (stats) {
             *stats = CpuRunStats{};
             stats->threads_used = 1;
@@ -134,9 +146,22 @@ cpu_parallel_recurrence(const Signature& sig,
         run_region(options.mode, num_chunks, [&](std::size_t c) {
             const std::size_t base = c * chunk;
             const std::size_t len = std::min(chunk, n - base);
-            for (std::size_t i = base; i < base + len; ++i) {
+            std::size_t i = base;
+            // The first p positions of a resumed stream reach back into
+            // the checkpointed x-tail for their FIR taps.
+            for (; i < base + len && i + 1 < a.size(); ++i) {
                 V acc = Ring::zero();
-                for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+                for (std::size_t j = 0; j < a.size(); ++j) {
+                    if (j <= i)
+                        acc = Ring::mul_add(acc, a[j], input[i - j]);
+                    else if (j - i - 1 < seed_x.size())
+                        acc = Ring::mul_add(acc, a[j], seed_x[j - i - 1]);
+                }
+                t[i] = acc;
+            }
+            for (; i < base + len; ++i) {
+                V acc = Ring::zero();
+                for (std::size_t j = 0; j < a.size(); ++j)
                     acc = Ring::mul_add(acc, a[j], input[i - j]);
                 t[i] = acc;
             }
@@ -169,15 +194,19 @@ cpu_parallel_recurrence(const Signature& sig,
     {
         const auto phase_start = Clock::now();
         carries = advance_chunk_carries<Ring>(std::span<const V>(y), chunk,
-                                              num_chunks, k, factors);
+                                              num_chunks, k, factors,
+                                              seed_y);
         local_stats.carry_ns = elapsed_ns(phase_start);
     }
 
     // ---- Phase B: parallel correction of every chunk with its carry.
+    // A resumed run corrects chunk 0 too: its carry is the checkpointed
+    // y-tail rather than ring zeros.
+    const std::size_t skip = resume != nullptr ? 0 : 1;
     {
         const auto phase_start = Clock::now();
-        run_region(options.mode, num_chunks - 1, [&](std::size_t task) {
-            const std::size_t c = task + 1;  // chunk 0 needs no correction
+        run_region(options.mode, num_chunks - skip, [&](std::size_t task) {
+            const std::size_t c = task + skip;
             const std::size_t base = c * chunk;
             const std::size_t len = std::min(chunk, n - base);
             const V* in_carry = carries.data() + c * k;
@@ -203,6 +232,30 @@ cpu_parallel_recurrence(const Signature& sig,
     return y;
 }
 
+}  // namespace
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence(const Signature& sig,
+                        std::span<const typename Ring::value_type> input,
+                        const CpuParallelOptions& options, CpuRunStats* stats)
+{
+    return run_impl<Ring>(sig, input, options, nullptr, stats);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence_resumed(
+    const Signature& sig, std::span<const typename Ring::value_type> input,
+    const StreamState<Ring>& state, const CpuParallelOptions& options,
+    CpuRunStats* stats)
+{
+    PLR_REQUIRE(state.y_tail.size() == sig.order() &&
+                    state.x_tail.size() == sig.fir_taps(),
+                "stream state does not fit " << sig.to_string());
+    return run_impl<Ring>(sig, input, options, &state, stats);
+}
+
 template std::vector<std::int32_t>
 cpu_parallel_recurrence<IntRing>(const Signature&,
                                  std::span<const std::int32_t>,
@@ -215,5 +268,24 @@ cpu_parallel_recurrence<TropicalRing>(const Signature&,
                                       std::span<const float>,
                                       const CpuParallelOptions&,
                                       CpuRunStats*);
+
+template std::vector<std::int32_t>
+cpu_parallel_recurrence_resumed<IntRing>(const Signature&,
+                                         std::span<const std::int32_t>,
+                                         const StreamState<IntRing>&,
+                                         const CpuParallelOptions&,
+                                         CpuRunStats*);
+template std::vector<float>
+cpu_parallel_recurrence_resumed<FloatRing>(const Signature&,
+                                           std::span<const float>,
+                                           const StreamState<FloatRing>&,
+                                           const CpuParallelOptions&,
+                                           CpuRunStats*);
+template std::vector<float>
+cpu_parallel_recurrence_resumed<TropicalRing>(const Signature&,
+                                              std::span<const float>,
+                                              const StreamState<TropicalRing>&,
+                                              const CpuParallelOptions&,
+                                              CpuRunStats*);
 
 }  // namespace plr::kernels

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/signature.h"
+#include "kernels/stream_state.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -120,6 +121,25 @@ cpu_parallel_recurrence(const Signature& sig,
         sig, input, CpuParallelOptions{threads, CpuExecMode::kPool}, stats);
 }
 
+/**
+ * Streaming resume entry point (docs/STREAMING.md): evaluate @p input
+ * as the continuation of the stream captured in @p state — the carry
+ * chain is seeded from state.y_tail (via the shared chunk_carry.h
+ * fix-up, which then also Phase-B-corrects chunk 0) and the FIR taps of
+ * the first elements read state.x_tail. Bit-identical to evaluating the
+ * concatenated stream in one call for IntRing; ULP-level drift for
+ * floats. @p state is not advanced (callers slide it with
+ * StreamState::advance once they accept the outputs).
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_parallel_recurrence_resumed(const Signature& sig,
+                                std::span<const typename Ring::value_type>
+                                    input,
+                                const StreamState<Ring>& state,
+                                const CpuParallelOptions& options,
+                                CpuRunStats* stats = nullptr);
+
 extern template std::vector<std::int32_t>
 cpu_parallel_recurrence<IntRing>(const Signature&,
                                  std::span<const std::int32_t>,
@@ -132,6 +152,25 @@ cpu_parallel_recurrence<TropicalRing>(const Signature&,
                                       std::span<const float>,
                                       const CpuParallelOptions&,
                                       CpuRunStats*);
+
+extern template std::vector<std::int32_t>
+cpu_parallel_recurrence_resumed<IntRing>(const Signature&,
+                                         std::span<const std::int32_t>,
+                                         const StreamState<IntRing>&,
+                                         const CpuParallelOptions&,
+                                         CpuRunStats*);
+extern template std::vector<float>
+cpu_parallel_recurrence_resumed<FloatRing>(const Signature&,
+                                           std::span<const float>,
+                                           const StreamState<FloatRing>&,
+                                           const CpuParallelOptions&,
+                                           CpuRunStats*);
+extern template std::vector<float>
+cpu_parallel_recurrence_resumed<TropicalRing>(const Signature&,
+                                              std::span<const float>,
+                                              const StreamState<TropicalRing>&,
+                                              const CpuParallelOptions&,
+                                              CpuRunStats*);
 
 }  // namespace plr::kernels
 

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <string_view>
 #include <thread>
 #include <type_traits>
 
@@ -11,6 +9,7 @@
 #include "core/factor_analysis.h"
 #include "kernels/chunk_carry.h"
 #include "kernels/serial.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace plr::kernels {
@@ -70,8 +69,8 @@ FirstOrderPath
 env_first_order_path()
 {
     static const FirstOrderPath path = [] {
-        const char* env = std::getenv("PLR_SIMD_FIRST_ORDER");
-        const std::string_view name = env != nullptr ? env : "";
+        const std::string name = env::choice_or(
+            "PLR_SIMD_FIRST_ORDER", {"auto", "direct", "log"}, "auto");
         if (name == "direct")
             return FirstOrderPath::kDirect;
         if (name == "log")
@@ -137,32 +136,46 @@ classify_path(const Signature& sig, FirstOrderPath requested)
 }
 
 /**
- * Evaluate one chunk's recursive part with zero initial state through
- * the vector table. stage points at the chunk's (post-map) input.
+ * Evaluate one chunk's recursive part through the vector table.
+ * stage points at the chunk's (post-map) input. @p seed_y, when
+ * non-empty, holds the k outputs preceding the chunk (newest first) and
+ * threads straight into the table's carry chain — the streaming-resume
+ * fast path (docs/STREAMING.md); empty means zero initial state.
  */
 template <typename Ring>
 void
 scan_chunk(const simd::SimdScan& table, const PathPlan<Ring>& plan,
            const Signature& recursive,
            std::span<const typename Ring::value_type> stage,
-           std::span<typename Ring::value_type> out)
+           std::span<typename Ring::value_type> out,
+           std::span<const typename Ring::value_type> seed_y = {})
 {
     using V = typename Ring::value_type;
     const std::size_t len = stage.size();
+    const V carry0 = seed_y.empty() ? Ring::zero() : seed_y[0];
+    // Tuple scans chain s carries: carry[j] = y[j - s] on entry, i.e.
+    // the value s - j positions back = seed_y[s - j - 1].
+    auto tuple_carries = [&]() {
+        std::vector<V> carries(plan.tuple, Ring::zero());
+        for (std::size_t j = 0; j < plan.tuple && j < seed_y.size(); ++j)
+            carries[plan.tuple - 1 - j] = seed_y[j];
+        return carries;
+    };
     if constexpr (std::is_same_v<Ring, IntRing>) {
         switch (plan.path) {
           case VecPath::kPrefix:
-            table.prefix_sum_i32(stage.data(), out.data(), len, 0, nullptr);
+            table.prefix_sum_i32(stage.data(), out.data(), len, carry0,
+                                 nullptr);
             return;
           case VecPath::kFirstOrder:
           case VecPath::kFirstOrderLog:
             table.first_order_i32(stage.data(), out.data(), len, plan.a0,
-                                  plan.b1, 0, nullptr);
+                                  plan.b1, carry0, nullptr);
             return;
           case VecPath::kTuple: {
-            std::vector<V> zeros(plan.tuple, 0);
+            const std::vector<V> carries = tuple_carries();
             table.tuple_prefix_i32(stage.data(), out.data(), len,
-                                   plan.tuple, zeros.data(), nullptr);
+                                   plan.tuple, carries.data(), nullptr);
             return;
           }
           case VecPath::kScalarPath:
@@ -171,37 +184,40 @@ scan_chunk(const simd::SimdScan& table, const PathPlan<Ring>& plan,
     } else {
         switch (plan.path) {
           case VecPath::kPrefix:
-            table.prefix_sum_f32(stage.data(), out.data(), len, 0.0f,
+            table.prefix_sum_f32(stage.data(), out.data(), len, carry0,
                                  nullptr);
             return;
           case VecPath::kFirstOrder:
             table.first_order_f32(stage.data(), out.data(), len, plan.a0,
-                                  plan.b1, 0.0f, nullptr);
+                                  plan.b1, carry0, nullptr);
             return;
           case VecPath::kFirstOrderLog:
             table.first_order_log_f32(stage.data(), out.data(), len,
-                                      plan.a0, plan.b1, 0.0f, nullptr);
+                                      plan.a0, plan.b1, carry0, nullptr);
             return;
           case VecPath::kTuple: {
-            std::vector<V> zeros(plan.tuple, 0.0f);
+            const std::vector<V> carries = tuple_carries();
             table.tuple_prefix_f32(stage.data(), out.data(), len,
-                                   plan.tuple, zeros.data(), nullptr);
+                                   plan.tuple, carries.data(), nullptr);
             return;
           }
           case VecPath::kScalarPath:
             break;
         }
     }
-    serial_recurrence_into<Ring>(recursive, stage, out);
+    serial_recurrence_seeded_into<Ring>(recursive, seed_y, {}, stage, out);
 }
 
-}  // namespace
-
+/**
+ * Shared implementation: @p resume, when non-null, continues the stream
+ * captured in it (docs/STREAMING.md).
+ */
 template <typename Ring>
 std::vector<typename Ring::value_type>
-cpu_simd_recurrence(const Signature& sig,
-                    std::span<const typename Ring::value_type> input,
-                    const CpuSimdOptions& options, CpuSimdStats* stats)
+run_impl(const Signature& sig,
+         std::span<const typename Ring::value_type> input,
+         const CpuSimdOptions& options, const StreamState<Ring>* resume,
+         CpuSimdStats* stats)
 {
     using V = typename Ring::value_type;
     const auto call_start = Clock::now();
@@ -215,6 +231,12 @@ cpu_simd_recurrence(const Signature& sig,
         simd::scan_table(options.isa.value_or(simd::selected_isa()));
     const PathPlan<Ring> plan =
         classify_path<Ring>(sig, options.first_order);
+    const std::span<const V> seed_y =
+        resume != nullptr ? std::span<const V>(resume->y_tail)
+                          : std::span<const V>();
+    const std::span<const V> seed_x =
+        resume != nullptr ? std::span<const V>(resume->x_tail)
+                          : std::span<const V>();
 
     CpuSimdStats local;
     local.isa = table.isa;
@@ -255,7 +277,9 @@ cpu_simd_recurrence(const Signature& sig,
     local.chunk_size = fused ? n : chunk;
 
     if (fused && plan.path == VecPath::kScalarPath) {
-        auto result = serial_recurrence<Ring>(sig, input);
+        std::vector<V> result(n);
+        serial_recurrence_seeded_into<Ring>(sig, seed_y, seed_x, input,
+                                            result);
         if (stats) {
             local.total_ns = elapsed_ns(call_start);
             *stats = local;
@@ -303,9 +327,23 @@ cpu_simd_recurrence(const Signature& sig,
             run_tasks(num_chunks, [&](std::size_t c) {
                 const std::size_t base = c * chunk;
                 const std::size_t len = std::min(chunk, n - base);
-                for (std::size_t i = base; i < base + len; ++i) {
+                std::size_t i = base;
+                // A resumed stream's first p positions read their FIR
+                // taps from the checkpointed x-tail.
+                for (; i < base + len && i + 1 < a.size(); ++i) {
                     V acc = Ring::zero();
-                    for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+                    for (std::size_t j = 0; j < a.size(); ++j) {
+                        if (j <= i)
+                            acc = Ring::mul_add(acc, a[j], input[i - j]);
+                        else if (j - i - 1 < seed_x.size())
+                            acc = Ring::mul_add(acc, a[j],
+                                                seed_x[j - i - 1]);
+                    }
+                    t[i] = acc;
+                }
+                for (; i < base + len; ++i) {
+                    V acc = Ring::zero();
+                    for (std::size_t j = 0; j < a.size(); ++j)
                         acc = Ring::mul_add(acc, a[j], input[i - j]);
                     t[i] = acc;
                 }
@@ -316,9 +354,11 @@ cpu_simd_recurrence(const Signature& sig,
     }
 
     if (fused) {
-        // One streaming pass over the whole input; Phase B vanishes.
+        // One streaming pass over the whole input; Phase B vanishes. A
+        // resumed run threads the y-tail into the carry chain directly.
         const auto phase_start = Clock::now();
-        scan_chunk<Ring>(table, plan, recursive, stage, std::span<V>(y));
+        scan_chunk<Ring>(table, plan, recursive, stage, std::span<V>(y),
+                         seed_y);
         local.phase1_ns = elapsed_ns(phase_start);
         if (stats) {
             local.total_ns = elapsed_ns(call_start);
@@ -350,15 +390,19 @@ cpu_simd_recurrence(const Signature& sig,
     {
         const auto phase_start = Clock::now();
         carries = advance_chunk_carries<Ring>(std::span<const V>(y), chunk,
-                                              num_chunks, k, factors);
+                                              num_chunks, k, factors,
+                                              seed_y);
         local.carry_ns = elapsed_ns(phase_start);
     }
 
-    // ---- Phase B: vectorized correction with the factor lists.
+    // ---- Phase B: vectorized correction with the factor lists. A
+    // resumed run corrects chunk 0 too: its carry is the checkpointed
+    // y-tail rather than ring zeros.
+    const std::size_t skip = resume != nullptr ? 0 : 1;
     {
         const auto phase_start = Clock::now();
-        run_tasks(num_chunks - 1, [&](std::size_t task) {
-            const std::size_t c = task + 1;  // chunk 0 needs no correction
+        run_tasks(num_chunks - skip, [&](std::size_t task) {
+            const std::size_t c = task + skip;
             const std::size_t base = c * chunk;
             const std::size_t len = std::min(chunk, n - base);
             if constexpr (std::is_same_v<Ring, IntRing>) {
@@ -389,11 +433,47 @@ cpu_simd_recurrence(const Signature& sig,
     return y;
 }
 
+}  // namespace
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_simd_recurrence(const Signature& sig,
+                    std::span<const typename Ring::value_type> input,
+                    const CpuSimdOptions& options, CpuSimdStats* stats)
+{
+    return run_impl<Ring>(sig, input, options, nullptr, stats);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_simd_recurrence_resumed(const Signature& sig,
+                            std::span<const typename Ring::value_type> input,
+                            const StreamState<Ring>& state,
+                            const CpuSimdOptions& options,
+                            CpuSimdStats* stats)
+{
+    PLR_REQUIRE(state.y_tail.size() == sig.order() &&
+                    state.x_tail.size() == sig.fir_taps(),
+                "stream state does not fit " << sig.to_string());
+    return run_impl<Ring>(sig, input, options, &state, stats);
+}
+
 template std::vector<std::int32_t>
 cpu_simd_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>,
                              const CpuSimdOptions&, CpuSimdStats*);
 template std::vector<float>
 cpu_simd_recurrence<FloatRing>(const Signature&, std::span<const float>,
                                const CpuSimdOptions&, CpuSimdStats*);
+
+template std::vector<std::int32_t>
+cpu_simd_recurrence_resumed<IntRing>(const Signature&,
+                                     std::span<const std::int32_t>,
+                                     const StreamState<IntRing>&,
+                                     const CpuSimdOptions&, CpuSimdStats*);
+template std::vector<float>
+cpu_simd_recurrence_resumed<FloatRing>(const Signature&,
+                                       std::span<const float>,
+                                       const StreamState<FloatRing>&,
+                                       const CpuSimdOptions&, CpuSimdStats*);
 
 }  // namespace plr::kernels

@@ -41,6 +41,7 @@
 
 #include "core/signature.h"
 #include "kernels/simd/simd_scan.h"
+#include "kernels/stream_state.h"
 #include "util/ring.h"
 
 namespace plr::kernels {
@@ -103,12 +104,40 @@ cpu_simd_recurrence(const Signature& sig,
                     const CpuSimdOptions& options = {},
                     CpuSimdStats* stats = nullptr);
 
+/**
+ * Streaming resume entry point (docs/STREAMING.md): evaluate @p input
+ * as the continuation of the stream captured in @p state. The fused
+ * single-pass path threads state.y_tail straight into the SimdScan
+ * carry chain; the chunked path seeds the shared chunk_carry.h fix-up
+ * and Phase-B-corrects chunk 0. Bit-identical to the concatenated
+ * one-shot run for IntRing; ULP-level drift for floats. @p state is
+ * not advanced.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+cpu_simd_recurrence_resumed(const Signature& sig,
+                            std::span<const typename Ring::value_type> input,
+                            const StreamState<Ring>& state,
+                            const CpuSimdOptions& options = {},
+                            CpuSimdStats* stats = nullptr);
+
 extern template std::vector<std::int32_t>
 cpu_simd_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>,
                              const CpuSimdOptions&, CpuSimdStats*);
 extern template std::vector<float>
 cpu_simd_recurrence<FloatRing>(const Signature&, std::span<const float>,
                                const CpuSimdOptions&, CpuSimdStats*);
+
+extern template std::vector<std::int32_t>
+cpu_simd_recurrence_resumed<IntRing>(const Signature&,
+                                     std::span<const std::int32_t>,
+                                     const StreamState<IntRing>&,
+                                     const CpuSimdOptions&, CpuSimdStats*);
+extern template std::vector<float>
+cpu_simd_recurrence_resumed<FloatRing>(const Signature&,
+                                       std::span<const float>,
+                                       const StreamState<FloatRing>&,
+                                       const CpuSimdOptions&, CpuSimdStats*);
 
 }  // namespace plr::kernels
 

@@ -94,6 +94,19 @@ struct RunOptions {
      * (serial, cpu_parallel).
      */
     gpusim::CounterSnapshot* counters = nullptr;
+    /**
+     * Streaming checkpoint period in segments for the checkpoint-resume
+     * conformance check (docs/STREAMING.md); 0 disables the check.
+     * Kernels themselves ignore it — the harness drives the streaming
+     * session around them.
+     */
+    std::size_t checkpoint_every = 0;
+    /**
+     * Seed of the crash plan the checkpoint-resume check injects (kill
+     * point, mid-write tearing; testing/crash.h). Reproducer lines carry
+     * it as the crash= token. Kernels ignore it.
+     */
+    std::uint64_t crash_seed = 0;
 };
 
 /** One registered kernel with type-erased entry points per domain. */

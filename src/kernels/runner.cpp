@@ -14,6 +14,7 @@
 #include "kernels/cpu_parallel.h"
 #include "kernels/plr_kernel.h"
 #include "kernels/verify.h"
+#include "util/env.h"
 
 namespace plr::kernels {
 
@@ -86,8 +87,9 @@ log_degradation(const std::string& line, const std::string& why,
 {
     if (options.repro_out)
         *options.repro_out = line;
-    if (const char* path = std::getenv("PLR_REPRO_LOG")) {
-        std::ofstream out(path, std::ios::app);
+    const std::string log_path = env::string_or("PLR_REPRO_LOG");
+    if (!log_path.empty()) {
+        std::ofstream out(log_path, std::ios::app);
         if (out)
             out << line << "\n";
     }

@@ -35,6 +35,58 @@ serial_recurrence_into(const Signature& sig,
 }
 
 template <typename Ring>
+void
+serial_recurrence_seeded_into(
+    const Signature& sig,
+    std::span<const typename Ring::value_type> y_tail,
+    std::span<const typename Ring::value_type> x_tail,
+    std::span<const typename Ring::value_type> input,
+    std::span<typename Ring::value_type> output)
+{
+    using V = typename Ring::value_type;
+    PLR_REQUIRE(output.size() == input.size(),
+                "serial_recurrence_seeded_into: output size "
+                    << output.size() << " != input size " << input.size());
+    PLR_REQUIRE(y_tail.empty() || y_tail.size() == sig.order(),
+                "y tail must hold exactly k = " << sig.order() << " values");
+    PLR_REQUIRE(x_tail.empty() || x_tail.size() == sig.fir_taps(),
+                "x tail must hold exactly p = " << sig.fir_taps()
+                                                << " values");
+
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    std::vector<V> b(sig.order());
+    for (std::size_t j = 0; j < b.size(); ++j)
+        b[j] = Ring::from_coefficient(sig.b()[j]);
+
+    // Positions before the segment base read the tails (the value d
+    // positions back is tail[d - 1]); terms reaching past a tail are
+    // skipped exactly like the unseeded loop skips pre-start terms, so
+    // empty tails reproduce serial_recurrence_into bit-for-bit.
+    const std::size_t n = input.size();
+    V* const y = output.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        V acc = Ring::zero();
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            if (j <= i) {
+                acc = Ring::mul_add(acc, a[j], input[i - j]);
+            } else if (j - i - 1 < x_tail.size()) {
+                acc = Ring::mul_add(acc, a[j], x_tail[j - i - 1]);
+            }
+        }
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            if (j <= i) {
+                acc = Ring::mul_add(acc, b[j - 1], y[i - j]);
+            } else if (j - i - 1 < y_tail.size()) {
+                acc = Ring::mul_add(acc, b[j - 1], y_tail[j - i - 1]);
+            }
+        }
+        y[i] = acc;
+    }
+}
+
+template <typename Ring>
 std::vector<typename Ring::value_type>
 serial_recurrence(const Signature& sig,
                   std::span<const typename Ring::value_type> input)
@@ -62,5 +114,24 @@ template void
 serial_recurrence_into<TropicalRing>(const Signature&,
                                      std::span<const float>,
                                      std::span<float>);
+
+template void
+serial_recurrence_seeded_into<IntRing>(const Signature&,
+                                       std::span<const std::int32_t>,
+                                       std::span<const std::int32_t>,
+                                       std::span<const std::int32_t>,
+                                       std::span<std::int32_t>);
+template void
+serial_recurrence_seeded_into<FloatRing>(const Signature&,
+                                         std::span<const float>,
+                                         std::span<const float>,
+                                         std::span<const float>,
+                                         std::span<float>);
+template void
+serial_recurrence_seeded_into<TropicalRing>(const Signature&,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<float>);
 
 }  // namespace plr::kernels

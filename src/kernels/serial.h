@@ -41,6 +41,25 @@ serial_recurrence_into(const Signature& sig,
                        std::span<const typename Ring::value_type> input,
                        std::span<typename Ring::value_type> output);
 
+/**
+ * Seeded evaluation for streaming resume (docs/STREAMING.md): the
+ * recurrence continues mid-stream with @p y_tail holding the k outputs
+ * preceding @p input and @p x_tail the sig.fir_taps() preceding inputs,
+ * both newest first (tail[d] is the value d+1 positions before the
+ * segment base). Empty tails mean "stream start" (ring zeros, i.e. the
+ * unseeded semantics); non-empty tails must be exactly k and
+ * sig.fir_taps() long. Bit-identical to evaluating the concatenated
+ * stream in one serial pass for every ring (the tails ARE that pass's
+ * loop state).
+ */
+template <typename Ring>
+void
+serial_recurrence_seeded_into(const Signature& sig,
+                              std::span<const typename Ring::value_type> y_tail,
+                              std::span<const typename Ring::value_type> x_tail,
+                              std::span<const typename Ring::value_type> input,
+                              std::span<typename Ring::value_type> output);
+
 extern template std::vector<std::int32_t>
 serial_recurrence<IntRing>(const Signature&, std::span<const std::int32_t>);
 extern template std::vector<float>
@@ -59,6 +78,25 @@ extern template void
 serial_recurrence_into<TropicalRing>(const Signature&,
                                      std::span<const float>,
                                      std::span<float>);
+
+extern template void
+serial_recurrence_seeded_into<IntRing>(const Signature&,
+                                       std::span<const std::int32_t>,
+                                       std::span<const std::int32_t>,
+                                       std::span<const std::int32_t>,
+                                       std::span<std::int32_t>);
+extern template void
+serial_recurrence_seeded_into<FloatRing>(const Signature&,
+                                         std::span<const float>,
+                                         std::span<const float>,
+                                         std::span<const float>,
+                                         std::span<float>);
+extern template void
+serial_recurrence_seeded_into<TropicalRing>(const Signature&,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<float>);
 
 }  // namespace plr::kernels
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <string>
+
+#include "util/env.h"
 
 namespace plr::kernels::simd {
 
@@ -53,8 +54,11 @@ Isa
 selected_isa()
 {
     static const Isa selected = [] {
-        const char* env = std::getenv("PLR_SIMD");
-        const auto forced = parse_isa(env != nullptr ? env : "");
+        // env::choice_or rejects misspelled table names with a clear
+        // diagnostic; "auto" (or unset) picks the best available.
+        const std::string name =
+            env::choice_or("PLR_SIMD", {"auto", "scalar", "avx2"}, "auto");
+        const auto forced = parse_isa(name);
         if (forced.has_value())
             return isa_available(*forced) ? *forced : Isa::kScalar;
         return best_supported_isa();

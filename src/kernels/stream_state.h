@@ -1,0 +1,110 @@
+#ifndef PLR_KERNELS_STREAM_STATE_H_
+#define PLR_KERNELS_STREAM_STATE_H_
+
+/**
+ * @file
+ * The in-memory carry state a streaming recurrence threads between
+ * segments (docs/STREAMING.md): the last k outputs and last p inputs,
+ * newest first. This is exactly the state the decoupled look-back
+ * protocol (src/kernels/lookback_chain.h) publishes per chunk, lifted
+ * out of a single launch so it can outlive it — seeded into the next
+ * segment's carry chain, or sealed into a durable Checkpoint
+ * (src/kernels/checkpoint.h).
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::kernels {
+
+/**
+ * Carry state of a stream positioned after @p elements outputs.
+ * y_tail[d] is the output d+1 positions back, x_tail[j] the input j+1
+ * positions back (both newest first). Tails always hold exactly k and
+ * sig.fir_taps() values; a fresh stream holds ring zeros (values before
+ * the sequence start are zero).
+ */
+template <typename Ring>
+struct StreamState {
+    using V = typename Ring::value_type;
+
+    std::vector<V> y_tail;
+    std::vector<V> x_tail;
+    /** Elements consumed so far (the global position of the next one). */
+    std::uint64_t elements = 0;
+    /** Segments fed so far. */
+    std::uint64_t segments = 0;
+
+    static StreamState
+    fresh(const Signature& sig)
+    {
+        StreamState state;
+        state.y_tail.assign(sig.order(), Ring::zero());
+        state.x_tail.assign(sig.fir_taps(), Ring::zero());
+        return state;
+    }
+
+    /** Slide the tails over one consumed segment and its outputs. */
+    void
+    advance(std::span<const V> segment, std::span<const V> outputs)
+    {
+        PLR_ASSERT(segment.size() == outputs.size(),
+                   "stream segment and outputs must align");
+        shift_in(y_tail, outputs);
+        shift_in(x_tail, segment);
+        elements += segment.size();
+        segments += 1;
+    }
+
+  private:
+    /** tail'[d] = value d+1 back after appending @p values. */
+    static void
+    shift_in(std::vector<V>& tail, std::span<const V> values)
+    {
+        const std::size_t k = tail.size();
+        if (k == 0)
+            return;
+        if (values.size() >= k) {
+            for (std::size_t d = 0; d < k; ++d)
+                tail[d] = values[values.size() - 1 - d];
+            return;
+        }
+        // Short segment: newest values come from it, the rest slide.
+        for (std::size_t d = k; d-- > values.size();)
+            tail[d] = tail[d - values.size()];
+        for (std::size_t d = 0; d < values.size(); ++d)
+            tail[d] = values[values.size() - 1 - d];
+    }
+};
+
+/** Bit pattern of a 32-bit ring value (for checkpoint payload words). */
+template <typename V>
+std::uint32_t
+value_bits(V v)
+{
+    static_assert(sizeof(V) == sizeof(std::uint32_t));
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Inverse of value_bits. */
+template <typename V>
+V
+bits_value(std::uint32_t bits)
+{
+    static_assert(sizeof(V) == sizeof(std::uint32_t));
+    V v{};
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+}  // namespace plr::kernels
+
+#endif  // PLR_KERNELS_STREAM_STATE_H_

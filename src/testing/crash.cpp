@@ -1,0 +1,202 @@
+#include "testing/crash.h"
+
+#include <algorithm>
+#include <sstream>
+#include <type_traits>
+
+#include "kernels/serial.h"
+#include "kernels/stream.h"
+#include "util/compare.h"
+#include "util/diag.h"
+#include "util/rng.h"
+
+namespace plr::testing {
+
+const char*
+to_string(CheckpointTamper tamper)
+{
+    switch (tamper) {
+      case CheckpointTamper::kTruncate: return "truncate";
+      case CheckpointTamper::kBitFlip: return "bitflip";
+    }
+    return "unknown";
+}
+
+CrashPlan
+make_crash_plan(std::uint64_t seed, std::uint64_t num_segments)
+{
+    PLR_REQUIRE(num_segments >= 1, "a crash plan needs at least one segment");
+    CrashPlan plan;
+    plan.seed = seed;
+    // The kill point walks the boundaries directly with the seed so that
+    // consecutive seeds cover every segment boundary; the rest of the
+    // plan draws from the mixed generator.
+    plan.kill_after_segments = 1 + seed % num_segments;
+    Rng rng(seed ^ 0xc8a5'7ed1'0b5c'9f3dull);
+    plan.mid_write = (rng.next_u64() & 1) != 0;
+    plan.tamper = (rng.next_u64() & 1) != 0 ? CheckpointTamper::kBitFlip
+                                            : CheckpointTamper::kTruncate;
+    return plan;
+}
+
+std::vector<std::uint8_t>
+tamper_checkpoint(std::span<const std::uint8_t> bytes, CheckpointTamper tamper,
+                  std::uint64_t seed)
+{
+    PLR_REQUIRE(!bytes.empty(), "cannot tamper an empty checkpoint");
+    Rng rng(seed ^ 0x5d31'a9c4'77e2'6b08ull);
+    std::vector<std::uint8_t> damaged(bytes.begin(), bytes.end());
+    switch (tamper) {
+      case CheckpointTamper::kTruncate: {
+        // Strict prefix: a torn write persisted only the first part.
+        const auto keep = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+        damaged.resize(keep);
+        break;
+      }
+      case CheckpointTamper::kBitFlip: {
+        const auto bit = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(bytes.size()) * 8 - 1));
+        damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        break;
+      }
+    }
+    return damaged;
+}
+
+template <typename Ring>
+CrashReport
+crash_and_resume(const Signature& sig, const kernels::KernelInfo* kernel,
+                 std::span<const typename Ring::value_type> input,
+                 std::uint64_t crash_seed, const CrashTrialOptions& options)
+{
+    using V = typename Ring::value_type;
+    PLR_REQUIRE(options.segment_len >= 1, "segment length must be positive");
+    PLR_REQUIRE(options.checkpoint_every >= 1,
+                "checkpoint period must be positive");
+    const std::size_t n = input.size();
+    const std::uint64_t num_segments =
+        (n + options.segment_len - 1) / options.segment_len;
+    PLR_REQUIRE(num_segments >= 1, "a crash trial needs a non-empty input");
+
+    CrashReport report;
+    report.plan = make_crash_plan(crash_seed, num_segments);
+
+    // First life: feed segments, retaining every completed checkpoint
+    // write (a real deployment would rotate files; bytes stand in for
+    // fsync'd files).
+    kernels::StreamSession<Ring> session(sig, kernel, options.run);
+    std::vector<V> produced;
+    produced.reserve(n);
+    std::vector<std::vector<std::uint8_t>> durable;
+    for (std::uint64_t s = 0; s < report.plan.kill_after_segments; ++s) {
+        const std::size_t base = static_cast<std::size_t>(s) *
+                                 options.segment_len;
+        const std::size_t len = std::min(options.segment_len, n - base);
+        const auto out = session.feed(input.subspan(base, len));
+        produced.insert(produced.end(), out.begin(), out.end());
+        const bool due = (s + 1) % options.checkpoint_every == 0;
+        if (due && s + 1 < report.plan.kill_after_segments)
+            durable.push_back(
+                kernels::serialize_checkpoint(session.checkpoint()));
+    }
+    // The kill point: a mid-write crash leaves a damaged newest file; a
+    // clean kill at a period boundary leaves an intact one.
+    const bool due_at_kill =
+        report.plan.kill_after_segments % options.checkpoint_every == 0;
+    if (report.plan.mid_write) {
+        const auto bytes =
+            kernels::serialize_checkpoint(session.checkpoint());
+        durable.push_back(
+            tamper_checkpoint(bytes, report.plan.tamper, crash_seed));
+    } else if (due_at_kill) {
+        durable.push_back(kernels::serialize_checkpoint(session.checkpoint()));
+    }
+    report.checkpoints_written =
+        durable.size() - (report.plan.mid_write ? 1 : 0);
+
+    // Recovery: newest checkpoint first. The damaged file MUST be
+    // rejected with a typed error; every intact file MUST load.
+    std::optional<kernels::Checkpoint> good;
+    std::size_t idx = durable.size();
+    while (idx-- > 0) {
+        const bool is_tampered =
+            report.plan.mid_write && idx + 1 == durable.size();
+        try {
+            auto ckpt = kernels::parse_checkpoint(durable[idx]);
+            kernels::validate_checkpoint_for(ckpt, sig,
+                                             kernels::domain_of<Ring>());
+            if (is_tampered) {
+                std::ostringstream msg;
+                msg << "tampered checkpoint (" << to_string(report.plan.tamper)
+                    << ", seed " << crash_seed
+                    << ") was accepted by the loader";
+                report.failure = msg.str();
+                return report;
+            }
+            good = std::move(ckpt);
+            break;
+        } catch (const kernels::CheckpointError& e) {
+            if (!is_tampered) {
+                report.failure =
+                    std::string("intact checkpoint rejected: ") + e.what();
+                return report;
+            }
+            report.rejected_kind = e.kind();
+        }
+    }
+
+    // Second life: resume from the newest good state (or the stream
+    // start) and replay the rest of the input.
+    const std::uint64_t pos = good.has_value() ? good->elements : 0;
+    PLR_ASSERT(pos <= produced.size(),
+               "checkpoint position " << pos << " beyond produced prefix");
+    report.resumed_elements = pos;
+    kernels::StreamSession<Ring> resumed =
+        good.has_value()
+            ? kernels::StreamSession<Ring>::resume_from(*good, sig, kernel,
+                                                        options.run)
+            : kernels::StreamSession<Ring>(sig, kernel, options.run);
+    std::vector<V> stitched(produced.begin(),
+                            produced.begin() +
+                                static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t base = static_cast<std::size_t>(pos); base < n;
+         base += options.segment_len) {
+        const std::size_t len = std::min(options.segment_len, n - base);
+        const auto out = resumed.feed(input.subspan(base, len));
+        stitched.insert(stitched.end(), out.begin(), out.end());
+    }
+
+    // The stitched stream must match the one-shot serial reference:
+    // exactly in the int ring, within the conformance gates for floats.
+    const auto expected = kernels::serial_recurrence<Ring>(sig, input);
+    ValidationResult v;
+    if constexpr (std::is_same_v<Ring, IntRing>)
+        v = validate_exact(expected, stitched);
+    else
+        v = validate_ulp(expected, stitched, options.max_ulps,
+                         options.float_tolerance);
+    if (!v.ok) {
+        std::ostringstream msg;
+        msg << "stitched stream diverged from the serial reference after "
+               "resuming at element "
+            << pos << ": " << v.describe();
+        report.failure = msg.str();
+    }
+    return report;
+}
+
+template CrashReport
+crash_and_resume<IntRing>(const Signature&, const kernels::KernelInfo*,
+                          std::span<const std::int32_t>, std::uint64_t,
+                          const CrashTrialOptions&);
+template CrashReport
+crash_and_resume<FloatRing>(const Signature&, const kernels::KernelInfo*,
+                            std::span<const float>, std::uint64_t,
+                            const CrashTrialOptions&);
+template CrashReport
+crash_and_resume<TropicalRing>(const Signature&, const kernels::KernelInfo*,
+                               std::span<const float>, std::uint64_t,
+                               const CrashTrialOptions&);
+
+}  // namespace plr::testing

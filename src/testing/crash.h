@@ -1,0 +1,135 @@
+#ifndef PLR_TESTING_CRASH_H_
+#define PLR_TESTING_CRASH_H_
+
+/**
+ * @file
+ * Crash-and-resume driver for the streaming checkpoint subsystem
+ * (docs/STREAMING.md).
+ *
+ * One crash trial simulates the full durability story of a streaming
+ * run: feed segments and write periodic checkpoints; kill the run at a
+ * seed-chosen segment boundary — possibly mid-checkpoint-write, leaving
+ * a torn or bit-flipped latest file; recover by walking the retained
+ * checkpoints newest-first (every damaged one MUST be rejected with a
+ * typed CheckpointError); resume from the newest good state and feed
+ * the rest of the input. The stitched pre-crash + resumed output is
+ * validated against the one-shot serial reference — exactly for the
+ * int ring, ULP-gated for floats. Any tampered checkpoint that loads,
+ * or any stitched mismatch, is a silent-divergence failure.
+ *
+ * The trial is fully determined by (crash seed, input length, segment
+ * length, checkpoint period), so a failing trial replays from the
+ * `crash=` token of its plr-repro:v1 line.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "kernels/checkpoint.h"
+#include "kernels/registry.h"
+#include "util/ring.h"
+
+namespace plr::testing {
+
+/** How a mid-write crash damages the checkpoint being written. */
+enum class CheckpointTamper {
+    /** Keep only a seed-chosen prefix of the bytes (torn write). */
+    kTruncate,
+    /** Flip one seed-chosen bit (media / DMA corruption). */
+    kBitFlip,
+};
+
+/** Short lowercase name ("truncate", "bitflip"). */
+const char* to_string(CheckpointTamper tamper);
+
+/** Seed-deterministic description of one crash trial. */
+struct CrashPlan {
+    std::uint64_t seed = 0;
+    /** Crash fires after this many segments were fed (1-based, <= S). */
+    std::uint64_t kill_after_segments = 1;
+    /** Crash strikes while the next checkpoint is being written. */
+    bool mid_write = false;
+    /** Damage applied to the mid-write checkpoint. */
+    CheckpointTamper tamper = CheckpointTamper::kTruncate;
+};
+
+/**
+ * Derive the deterministic plan for @p seed over a stream of
+ * @p num_segments segments. Kill points cover every segment boundary
+ * as seeds vary; roughly half the plans tear the in-flight checkpoint.
+ */
+CrashPlan make_crash_plan(std::uint64_t seed, std::uint64_t num_segments);
+
+/**
+ * Apply @p tamper to serialized checkpoint bytes (seed-deterministic).
+ * Truncation keeps a strict prefix; a bit flip touches one bit anywhere
+ * in the file. The result must never parse.
+ */
+std::vector<std::uint8_t> tamper_checkpoint(std::span<const std::uint8_t> bytes,
+                                            CheckpointTamper tamper,
+                                            std::uint64_t seed);
+
+/** Tuning of one crash-resume trial. */
+struct CrashTrialOptions {
+    /** Elements per stream segment. */
+    std::size_t segment_len = 256;
+    /** Checkpoint period in segments (>= 1). */
+    std::size_t checkpoint_every = 1;
+    /** Kernel run options forwarded to the streaming session. */
+    kernels::RunOptions run;
+    /** Float gates (ignored by the int ring). */
+    std::uint64_t max_ulps = 512;
+    double float_tolerance = 1e-3;
+};
+
+/** Outcome of one crash-resume trial. */
+struct CrashReport {
+    CrashPlan plan;
+    /** Checkpoints durably written before the crash (intact ones). */
+    std::size_t checkpoints_written = 0;
+    /** Element position the run resumed from (0 = stream start). */
+    std::uint64_t resumed_elements = 0;
+    /** Error kind the damaged checkpoint was rejected with, if any. */
+    std::optional<kernels::CheckpointErrorKind> rejected_kind;
+    /**
+     * Failure description: a tampered checkpoint that loaded, or a
+     * stitched-output divergence from the serial reference. Empty on
+     * success — anything here is a durability bug, never a flake.
+     */
+    std::optional<std::string> failure;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * Run one full crash-and-resume trial of @p kernel over @p input.
+ * @p kernel may be null (serial reference sessions). Ring must match
+ * the value type of @p input; see StreamSession for domain rules.
+ */
+template <typename Ring>
+CrashReport crash_and_resume(const Signature& sig,
+                             const kernels::KernelInfo* kernel,
+                             std::span<const typename Ring::value_type> input,
+                             std::uint64_t crash_seed,
+                             const CrashTrialOptions& options);
+
+extern template CrashReport
+crash_and_resume<IntRing>(const Signature&, const kernels::KernelInfo*,
+                          std::span<const std::int32_t>, std::uint64_t,
+                          const CrashTrialOptions&);
+extern template CrashReport
+crash_and_resume<FloatRing>(const Signature&, const kernels::KernelInfo*,
+                            std::span<const float>, std::uint64_t,
+                            const CrashTrialOptions&);
+extern template CrashReport
+crash_and_resume<TropicalRing>(const Signature&, const kernels::KernelInfo*,
+                               std::span<const float>, std::uint64_t,
+                               const CrashTrialOptions&);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_CRASH_H_

@@ -9,8 +9,10 @@
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
 #include "kernels/serial.h"
+#include "testing/crash.h"
 #include "util/compare.h"
 #include "util/diag.h"
+#include "util/env.h"
 #include "util/ring.h"
 
 namespace plr::testing {
@@ -54,12 +56,36 @@ validate_float(std::span<const float> expected, std::span<const float> actual,
                         opts.float_tolerance);
 }
 
+/** The checkpoint-resume trial shared by the int and float checks. */
+template <typename Ring>
+std::optional<std::string>
+check_crash_resume(const kernels::KernelInfo& kernel, const Signature& sig,
+                   std::span<const typename Ring::value_type> x,
+                   const kernels::RunOptions& run, const OracleOptions& opts)
+{
+    if (x.empty())
+        return std::nullopt;
+    CrashTrialOptions trial;
+    // Two chunks per segment: segments must span a chunk boundary so the
+    // kernel's own inter-chunk carry correction runs inside the stream
+    // (a segment of exactly one chunk would never exercise it).
+    trial.segment_len = 2 * (run.chunk != 0 ? run.chunk : 64);
+    trial.checkpoint_every =
+        run.checkpoint_every != 0 ? run.checkpoint_every : 1;
+    trial.run = run;
+    trial.max_ulps = opts.max_ulps;
+    trial.float_tolerance = opts.float_tolerance;
+    const CrashReport report =
+        crash_and_resume<Ring>(sig, &kernel, x, run.crash_seed, trial);
+    return report.failure;
+}
+
 std::optional<std::string>
 check_int(const kernels::KernelInfo& kernel, const Signature& sig,
           Check check, std::size_t n, const kernels::RunOptions& run,
-          std::uint64_t input_seed, const OracleOptions& /*opts*/)
+          std::uint64_t input_seed, const OracleOptions& opts)
 {
-    // Integer-ring checks are all exact; no options apply.
+    // Integer-ring checks are all exact.
     const auto x = conformance_input_int(n, input_seed);
     switch (check) {
       case Check::kDifferential: {
@@ -110,6 +136,8 @@ check_int(const kernels::KernelInfo& kernel, const Signature& sig,
       }
       case Check::kImpulseDecay:
         return std::nullopt;  // a float-filter property
+      case Check::kCheckpointResume:
+        return check_crash_resume<IntRing>(kernel, sig, x, run, opts);
     }
     return std::nullopt;
 }
@@ -206,6 +234,11 @@ check_float(const kernels::KernelInfo& kernel, const Signature& sig,
         }
         return std::nullopt;
       }
+      case Check::kCheckpointResume:
+        return tropical
+                   ? check_crash_resume<TropicalRing>(kernel, sig, x, run,
+                                                      opts)
+                   : check_crash_resume<FloatRing>(kernel, sig, x, run, opts);
     }
     return std::nullopt;
 }
@@ -221,6 +254,7 @@ to_string(Check c)
       case Check::kHomogeneity: return "homogeneity";
       case Check::kSuperposition: return "superposition";
       case Check::kImpulseDecay: return "impulse-decay";
+      case Check::kCheckpointResume: return "checkpoint-resume";
     }
     return "unknown";
 }
@@ -230,7 +264,7 @@ parse_check(const std::string& name)
 {
     for (Check c : {Check::kDifferential, Check::kChunkInvariance,
                     Check::kHomogeneity, Check::kSuperposition,
-                    Check::kImpulseDecay})
+                    Check::kImpulseDecay, Check::kCheckpointResume})
         if (name == to_string(c))
             return c;
     // Reached from user-supplied reproducer lines, so fatal, not panic.
@@ -312,6 +346,8 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
             run.invariants = opts.invariants;
             run.sdc = opts.sdc;
             run.verify = opts.verify;
+            run.checkpoint_every = opts.checkpoint_every;
+            run.crash_seed = opts.crash_seed;
             for (std::size_t n : sizes) {
                 const std::uint64_t input_seed = derive_seed(
                     opts.input_seed, n * 2654435761u + entry.sig.order());
@@ -332,6 +368,10 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
                         n >= 128)
                         checks.push_back(Check::kImpulseDecay);
                 }
+                // Streaming durability is opt-in (it multiplies runtime
+                // by the segment count) and needs a non-empty stream.
+                if (opts.checkpoint_every > 0 && n > 0)
+                    checks.push_back(Check::kCheckpointResume);
                 for (Check check : checks) {
                     ++report.cases_run;
                     auto failure = run_case(kernel, entry.name, entry.sig,
@@ -345,10 +385,8 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
     }
 
     std::string log_path = opts.repro_log;
-    if (log_path.empty()) {
-        if (const char* env = std::getenv("PLR_REPRO_LOG"))
-            log_path = env;
-    }
+    if (log_path.empty())
+        log_path = env::string_or("PLR_REPRO_LOG");
     if (!log_path.empty() && !report.failures.empty()) {
         std::ofstream log(log_path, std::ios::app);
         for (const ConformanceFailure& f : report.failures)

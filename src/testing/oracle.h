@@ -47,6 +47,15 @@ enum class Check {
     kHomogeneity,
     kSuperposition,
     kImpulseDecay,
+    /**
+     * Streaming durability: run the kernel segment-at-a-time with
+     * periodic checkpoints, kill it at a seed-chosen point (possibly
+     * tearing the in-flight checkpoint write), recover from the newest
+     * checkpoint that verifies, and require the stitched output to
+     * match the one-shot serial reference (testing/crash.h,
+     * docs/STREAMING.md). Enabled by OracleOptions::checkpoint_every.
+     */
+    kCheckpointResume,
 };
 
 /** Stable lowercase name used in reproducer strings. */
@@ -96,6 +105,16 @@ struct OracleOptions {
         corruption is repaired or fails the case with a typed report —
         never a silent differential mismatch. */
     bool verify = false;
+    /**
+     * Enable the checkpoint-resume check with this checkpoint period in
+     * segments (0 = off). Segments are OracleOptions::chunk elements
+     * long. Reproducer lines carry it as the ckpt= token.
+     */
+    std::size_t checkpoint_every = 0;
+    /** Crash-plan seed for the checkpoint-resume check (crash= token);
+        the checkpoint matrix sweeps it so kill points cover every
+        segment boundary. */
+    std::uint64_t crash_seed = 0;
     /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
     std::vector<std::size_t> sizes;
     /**

@@ -107,6 +107,12 @@ encode_reproducer(const ConformanceFailure& failure)
                               (failure.run.verify ? 2u : 0u);
     if (sdc_mask != 0)
         os << " sdc=" << sdc_mask;
+    // ckpt= / crash= replay a streaming crash-resume trial: checkpoint
+    // period in segments and the deterministic crash-plan seed.
+    if (failure.run.checkpoint_every != 0)
+        os << " ckpt=" << failure.run.checkpoint_every;
+    if (failure.run.crash_seed != 0)
+        os << " crash=" << failure.run.crash_seed;
     return os.str();
 }
 
@@ -165,6 +171,11 @@ parse_reproducer(const std::string& line)
         repro.run.sdc = (mask & 1u) != 0;
         repro.run.verify = (mask & 2u) != 0;
     }
+    if (fields.count("ckpt"))
+        repro.run.checkpoint_every =
+            static_cast<std::size_t>(parse_u64(fields["ckpt"], "ckpt"));
+    if (fields.count("crash"))
+        repro.run.crash_seed = parse_u64(fields["crash"], "crash");
     repro.input_seed = parse_u64(fields["seed"], "seed");
     (void)repro.signature();  // validate the coefficient lists eagerly
     return repro;

@@ -1,0 +1,107 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/diag.h"
+
+namespace plr::env {
+
+namespace {
+
+/** "name=value" prefix shared by every rejection diagnostic. */
+std::string
+describe(const char* name, const std::string& value)
+{
+    return std::string("$") + name + "=\"" + value + "\"";
+}
+
+}  // namespace
+
+std::optional<std::string>
+raw(const char* name)
+{
+    const char* value = std::getenv(name);
+    if (value == nullptr)
+        return std::nullopt;
+    return std::string(value);
+}
+
+std::string
+string_or(const char* name, std::string_view fallback)
+{
+    const auto value = raw(name);
+    if (!value.has_value() || value->empty())
+        return std::string(fallback);
+    return *value;
+}
+
+bool
+flag_or(const char* name, bool fallback)
+{
+    const auto value = raw(name);
+    if (!value.has_value() || value->empty())
+        return fallback;
+    const std::string& v = *value;
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return false;
+    PLR_FATAL(describe(name, v)
+              << " is not a boolean; use 1/0, true/false, on/off, or yes/no");
+}
+
+std::uint64_t
+count_or(const char* name, std::uint64_t fallback)
+{
+    const auto value = raw(name);
+    if (!value.has_value() || value->empty())
+        return fallback;
+    const std::string& v = *value;
+    std::uint64_t parsed = 0;
+    bool overflow = false;
+    bool digits = !v.empty();
+    for (char c : v) {
+        if (c < '0' || c > '9') {
+            digits = false;
+            break;
+        }
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (parsed > (UINT64_MAX - digit) / 10) {
+            overflow = true;
+            break;
+        }
+        parsed = parsed * 10 + digit;
+    }
+    if (!digits)
+        PLR_FATAL(describe(name, v)
+                  << " is not a plain decimal count (digits only)");
+    if (overflow)
+        PLR_FATAL(describe(name, v) << " overflows a 64-bit count");
+    if (parsed == 0)
+        PLR_FATAL(describe(name, v) << " must be a positive count");
+    return parsed;
+}
+
+std::string
+choice_or(const char* name,
+          std::initializer_list<std::string_view> allowed,
+          std::string_view fallback)
+{
+    const auto value = raw(name);
+    if (!value.has_value() || value->empty())
+        return std::string(fallback);
+    for (std::string_view candidate : allowed)
+        if (*value == candidate)
+            return *value;
+    std::ostringstream accepted;
+    const char* sep = "";
+    for (std::string_view candidate : allowed) {
+        accepted << sep << candidate;
+        sep = ", ";
+    }
+    PLR_FATAL(describe(name, *value)
+              << " is not an accepted value; use one of: " << accepted.str());
+}
+
+}  // namespace plr::env

@@ -1,0 +1,68 @@
+#ifndef PLR_UTIL_ENV_H_
+#define PLR_UTIL_ENV_H_
+
+/**
+ * @file
+ * Centralized, validated environment-variable parsing.
+ *
+ * Every $PLR_* knob the library honors is read through these helpers so
+ * a malformed value produces one clear FatalError naming the variable,
+ * the offending value, and the accepted forms — instead of each call
+ * site silently falling back to a default and masking the typo. Unset
+ * (or empty) variables always mean "use the default"; only present,
+ * malformed values are rejected.
+ *
+ * Knobs currently routed through this header:
+ *
+ *   PLR_SIMD             choice: scalar | avx2 | auto
+ *   PLR_SIMD_FIRST_ORDER choice: direct | log | auto
+ *   PLR_SPIN_WATCHDOG    positive count (spins per wait episode)
+ *   PLR_RACE_DETECT      flag: 1/0, true/false, on/off, yes/no
+ *   PLR_RACE_LOG         path (free-form)
+ *   PLR_FORENSIC_LOG     path (free-form)
+ *   PLR_REPRO_LOG        path (free-form)
+ *   PLR_CHECKPOINT_ARTIFACT_DIR  path (free-form; docs/STREAMING.md)
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace plr::env {
+
+/** Raw value of @p name; nullopt when unset. Never validates. */
+std::optional<std::string> raw(const char* name);
+
+/**
+ * Free-form string (paths, log files): the value when set and
+ * non-empty, @p fallback otherwise. Paths carry no syntax to validate.
+ */
+std::string string_or(const char* name, std::string_view fallback = "");
+
+/**
+ * Boolean knob. Accepts 1/0, true/false, on/off, yes/no (lowercase).
+ * Unset or empty yields @p fallback; anything else throws FatalError.
+ */
+bool flag_or(const char* name, bool fallback);
+
+/**
+ * Positive decimal count. Unset or empty yields @p fallback; a value
+ * that is not a plain positive base-10 integer (or that overflows
+ * uint64) throws FatalError.
+ */
+std::uint64_t count_or(const char* name, std::uint64_t fallback);
+
+/**
+ * Enumerated knob: the value must be one of @p allowed (include "auto"
+ * there when the knob supports it). Unset or empty yields @p fallback.
+ * Unknown names throw FatalError listing the accepted spellings.
+ */
+std::string choice_or(const char* name,
+                      std::initializer_list<std::string_view> allowed,
+                      std::string_view fallback);
+
+}  // namespace plr::env
+
+#endif  // PLR_UTIL_ENV_H_

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Direct unit tests for the shared chunk-boundary carry fix-up
+ * (src/kernels/chunk_carry.h): degenerate shapes (n = 0, a single
+ * chunk, chunks shorter than the order, uneven tails) and the seeded
+ * walk a streaming resume performs (docs/STREAMING.md). Ground truth
+ * comes from the serial reference: the carries flowing into chunk c
+ * must be exactly the last-k outputs of a (seeded) serial pass up to
+ * that boundary.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/correction_factors.h"
+#include "core/signature.h"
+#include "kernels/chunk_carry.h"
+#include "kernels/serial.h"
+#include "util/ring.h"
+
+namespace {
+
+using plr::CorrectionFactors;
+using plr::IntRing;
+using plr::Signature;
+
+/**
+ * Run Phase A (zero-state per chunk) + the fix-up, and return the
+ * carries; also computes the expected carries from a seeded serial
+ * pass over the whole input.
+ */
+struct FixupRun {
+    std::vector<std::int32_t> carries;   // fix-up output, num_chunks * k
+    std::vector<std::int32_t> expected;  // ground truth, same layout
+};
+
+FixupRun
+run_fixup(const Signature& sig, const std::vector<std::int32_t>& input,
+          std::size_t chunk, std::span<const std::int32_t> seed)
+{
+    const std::size_t n = input.size();
+    const std::size_t k = sig.order();
+    const std::size_t num_chunks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+    const Signature recursive = sig.recursive_part();
+
+    // Phase A: each chunk's recurrence with zero initial state.
+    std::vector<std::int32_t> local(n);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t base = c * chunk;
+        const std::size_t len = std::min(chunk, n - base);
+        plr::kernels::serial_recurrence_into<IntRing>(
+            recursive, std::span<const std::int32_t>(input).subspan(base, len),
+            std::span<std::int32_t>(local).subspan(base, len));
+    }
+
+    const auto factors = CorrectionFactors<IntRing>::generate(recursive, chunk);
+    FixupRun run;
+    run.carries = plr::kernels::advance_chunk_carries<IntRing>(
+        local, chunk, num_chunks, k, factors, seed);
+
+    // Ground truth: the true (seeded) serial outputs; the carries into
+    // chunk c are y[c*chunk - 1 - d], with the seed extending the
+    // sequence below index 0.
+    std::vector<std::int32_t> truth(n);
+    plr::kernels::serial_recurrence_seeded_into<IntRing>(recursive, seed, {},
+                                                         input, truth);
+    run.expected.assign(num_chunks * k, 0);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+        for (std::size_t d = 0; d < k; ++d) {
+            const std::ptrdiff_t idx =
+                static_cast<std::ptrdiff_t>(c * chunk) - 1 -
+                static_cast<std::ptrdiff_t>(d);
+            if (idx >= 0)
+                run.expected[c * k + d] = truth[static_cast<std::size_t>(idx)];
+            else if (static_cast<std::size_t>(-idx) <= seed.size())
+                run.expected[c * k + d] =
+                    seed[static_cast<std::size_t>(-idx) - 1];
+            // else: before the stream start, stays zero
+        }
+    }
+    return run;
+}
+
+std::vector<std::int32_t>
+ramp(std::size_t n)
+{
+    std::vector<std::int32_t> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = static_cast<std::int32_t>(i % 13) - 5;
+    return x;
+}
+
+TEST(ChunkCarry, EmptyInputYieldsNoCarries)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const auto run = run_fixup(sig, {}, 8, {});
+    EXPECT_TRUE(run.carries.empty());
+}
+
+TEST(ChunkCarry, SingleChunkUnseededIsAllZero)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const auto run = run_fixup(sig, ramp(7), 8, {});
+    EXPECT_EQ(run.carries, run.expected);
+    for (std::int32_t c : run.carries)
+        EXPECT_EQ(c, 0);
+}
+
+TEST(ChunkCarry, SingleChunkSeededReturnsTheSeed)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const std::vector<std::int32_t> seed = {42, -7};
+    const auto run = run_fixup(sig, ramp(5), 8, seed);
+    ASSERT_EQ(run.carries.size(), 2u);
+    EXPECT_EQ(run.carries[0], 42);
+    EXPECT_EQ(run.carries[1], -7);
+}
+
+TEST(ChunkCarry, MatchesSerialAcrossEvenChunks)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const auto run = run_fixup(sig, ramp(64), 8, {});
+    EXPECT_EQ(run.carries, run.expected);
+}
+
+TEST(ChunkCarry, MatchesSerialWithUnevenTail)
+{
+    // 61 = 7 full chunks of 8 plus a 5-element tail.
+    const Signature sig({1.0}, {1.0, 1.0, 1.0});
+    const auto run = run_fixup(sig, ramp(61), 8, {});
+    EXPECT_EQ(run.carries, run.expected);
+}
+
+TEST(ChunkCarry, ChunksShorterThanOrder)
+{
+    // k = 3 but chunk = 2: every boundary needs carries reaching past
+    // the previous (too short) chunk into the one before it.
+    const Signature sig({1.0}, {1.0, 1.0, 1.0});
+    const auto run = run_fixup(sig, ramp(10), 2, {});
+    EXPECT_EQ(run.carries, run.expected);
+}
+
+TEST(ChunkCarry, SeededMatchesConcatenatedSerial)
+{
+    const Signature sig({1.0}, {2.0, -1.0});
+    const std::size_t k = sig.order();
+    const auto all = ramp(96);
+    const std::vector<std::int32_t> head(all.begin(), all.begin() + 32);
+    const std::vector<std::int32_t> rest(all.begin() + 32, all.end());
+
+    // The seed is the tail of a serial pass over the head (newest first).
+    const auto head_out =
+        plr::kernels::serial_recurrence<IntRing>(sig.recursive_part(), head);
+    std::vector<std::int32_t> seed(k);
+    for (std::size_t d = 0; d < k; ++d)
+        seed[d] = head_out[head_out.size() - 1 - d];
+
+    const auto run = run_fixup(sig, rest, 8, seed);
+    EXPECT_EQ(run.carries, run.expected);
+}
+
+TEST(ChunkCarry, SeededShortChunksMatchConcatenatedSerial)
+{
+    const Signature sig({1.0}, {1.0, 1.0, 1.0});
+    const std::vector<std::int32_t> seed = {3, -1, 4};
+    const auto run = run_fixup(sig, ramp(9), 2, seed);
+    EXPECT_EQ(run.carries, run.expected);
+}
+
+}  // namespace

@@ -18,6 +18,7 @@
 #include "kernels/runner.h"
 #include "kernels/serial.h"
 #include "testing/fault_canary.h"
+#include "util/diag.h"
 #include "util/ring.h"
 
 namespace plr {
@@ -93,11 +94,10 @@ TEST(Watchdog, EnvironmentOverridesTheDefault)
         Device device;
         EXPECT_EQ(device.spin_watchdog_limit(), 5678u);
     }
+    // Malformed values are rejected with a diagnostic naming the
+    // variable (util/env.h), not silently replaced by the default.
     ::setenv("PLR_SPIN_WATCHDOG", "not-a-number", 1);
-    {
-        Device device;
-        EXPECT_EQ(device.spin_watchdog_limit(), 200'000'000u);
-    }
+    EXPECT_THROW(Device{}, FatalError);
     ::unsetenv("PLR_SPIN_WATCHDOG");
     {
         Device device;

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <sstream>
+#include <string>
 
 #include "util/cli.h"
 #include "util/code_writer.h"
 #include "util/compare.h"
 #include "util/diag.h"
+#include "util/env.h"
 #include "util/ring.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -307,6 +311,110 @@ TEST(Diag, RequireAndAssert)
     EXPECT_NO_THROW(PLR_REQUIRE(true, "fine"));
     EXPECT_THROW(PLR_REQUIRE(false, "nope"), FatalError);
     EXPECT_THROW(PLR_ASSERT(1 == 2, "broken"), PanicError);
+}
+
+// ----------------------------------------------------------------- Env
+
+/** Scoped setter restoring the previous state on destruction. */
+class ScopedEnv {
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        const char* old = std::getenv(name);
+        if (old != nullptr)
+            old_ = old;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (old_.has_value())
+            ::setenv(name_, old_->c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char* name_;
+    std::optional<std::string> old_;
+};
+
+constexpr const char* kVar = "PLR_UTIL_TEST_KNOB";
+
+TEST(Env, UnsetYieldsTheFallback)
+{
+    ScopedEnv guard(kVar, nullptr);
+    EXPECT_FALSE(env::raw(kVar).has_value());
+    EXPECT_EQ(env::string_or(kVar, "dflt"), "dflt");
+    EXPECT_TRUE(env::flag_or(kVar, true));
+    EXPECT_FALSE(env::flag_or(kVar, false));
+    EXPECT_EQ(env::count_or(kVar, 17u), 17u);
+    EXPECT_EQ(env::choice_or(kVar, {"a", "b"}, "b"), "b");
+}
+
+TEST(Env, EmptyMeansUnset)
+{
+    ScopedEnv guard(kVar, "");
+    EXPECT_EQ(env::string_or(kVar, "dflt"), "dflt");
+    EXPECT_EQ(env::count_or(kVar, 3u), 3u);
+    EXPECT_EQ(env::choice_or(kVar, {"a", "b"}, "a"), "a");
+}
+
+TEST(Env, FlagAcceptsTheDocumentedSpellings)
+{
+    for (const char* yes : {"1", "true", "on", "yes"}) {
+        ScopedEnv guard(kVar, yes);
+        EXPECT_TRUE(env::flag_or(kVar, false)) << yes;
+    }
+    for (const char* no : {"0", "false", "off", "no"}) {
+        ScopedEnv guard(kVar, no);
+        EXPECT_FALSE(env::flag_or(kVar, true)) << no;
+    }
+}
+
+TEST(Env, MalformedFlagIsFatalNotDefaulted)
+{
+    for (const char* bad : {"2", "TRUE", "maybe", " 1"}) {
+        ScopedEnv guard(kVar, bad);
+        EXPECT_THROW(env::flag_or(kVar, false), FatalError) << bad;
+    }
+}
+
+TEST(Env, CountParsesPositiveDecimals)
+{
+    ScopedEnv guard(kVar, "4096");
+    EXPECT_EQ(env::count_or(kVar, 1u), 4096u);
+}
+
+TEST(Env, MalformedCountIsFatal)
+{
+    for (const char* bad : {"0", "-3", "1e6", "0x10", "12 ", "huge",
+                            "99999999999999999999999"}) {
+        ScopedEnv guard(kVar, bad);
+        EXPECT_THROW(env::count_or(kVar, 1u), FatalError) << bad;
+    }
+}
+
+TEST(Env, ChoiceAcceptsOnlyTheListedNames)
+{
+    {
+        ScopedEnv guard(kVar, "avx2");
+        EXPECT_EQ(env::choice_or(kVar, {"scalar", "avx2", "auto"}, "auto"),
+                  "avx2");
+    }
+    {
+        ScopedEnv guard(kVar, "sse9");
+        EXPECT_THROW(env::choice_or(kVar, {"scalar", "avx2", "auto"}, "auto"),
+                     FatalError);
+    }
+}
+
+TEST(Env, StringPassesFreeFormValuesThrough)
+{
+    ScopedEnv guard(kVar, "/tmp/some log.txt");
+    EXPECT_EQ(env::string_or(kVar, ""), "/tmp/some log.txt");
 }
 
 }  // namespace
