@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Micro-benchmark of the plan-time static analyzer
+ * (docs/STATIC_ANALYSIS.md). The analyzer runs inside kernel selection
+ * (cpu_simd's classify_path) and code generation, so its cost must stay
+ * in the microsecond class — far under the ~10 ms code generation it
+ * gates, and negligible next to any launch it steers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/static/analyzer.h"
+#include "analysis/static/bounds.h"
+#include "core/signature.h"
+#include "dsp/filter_design.h"
+
+namespace {
+
+namespace sa = plr::static_analysis;
+
+void
+BM_AnalyzeFullReport(benchmark::State& state)
+{
+    // The whole five-path report for an order-k prefix sum: range scan,
+    // error model, per-path legality, truncation bounds.
+    const auto sig = plr::dsp::higher_order_prefix_sum(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const sa::StaticReport report =
+            sa::analyze(sig, sa::ValueDomain::kInt32, {});
+        benchmark::DoNotOptimize(report.paths.data());
+    }
+}
+BENCHMARK(BM_AnalyzeFullReport)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_AnalyzeStableFilter(benchmark::State& state)
+{
+    // Contractive float filter: the envelope scan should close via the
+    // geometric tail long before walking all n steps.
+    const auto sig = plr::dsp::lowpass(
+        0.8, static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const sa::StaticReport report =
+            sa::analyze(sig, sa::ValueDomain::kFloat32, {});
+        benchmark::DoNotOptimize(report.paths.data());
+    }
+}
+BENCHMARK(BM_AnalyzeStableFilter)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_EnvelopeScanHugeN(benchmark::State& state)
+{
+    // n = 2^40 on a contractive signature with a 4096-step budget: the
+    // geometric tail argument must close the remaining 2^40 - 2^12
+    // steps analytically, so the scan costs the budget, not n.
+    const auto sig = plr::Signature::parse("(0.2: 0.8)");
+    for (auto _ : state) {
+        const sa::EnvelopeScan scan = sa::scan_envelope(
+            sig.a(), sig.b(), /*input_bound=*/1.0,
+            /*n=*/std::size_t{1} << 40, sa::kFloat32RangeLimit,
+            /*budget=*/std::size_t{1} << 12);
+        benchmark::DoNotOptimize(scan.final_bound);
+    }
+}
+BENCHMARK(BM_EnvelopeScanHugeN)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ChooseSimdPath(benchmark::State& state)
+{
+    // The exact call classify_path makes per cpu_simd run — this is the
+    // per-launch overhead the backend pays for proven path selection.
+    const auto sig = plr::Signature::parse("(0.2: 0.8)");
+    for (auto _ : state) {
+        const sa::SimdPathDecision dec = sa::choose_simd_path(
+            sig, sa::ValueDomain::kFloat32, sa::FirstOrderMode::kAuto);
+        benchmark::DoNotOptimize(dec.shape);
+    }
+}
+BENCHMARK(BM_ChooseSimdPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -29,12 +29,27 @@
  *       loads + verifies the checkpoint (typed rejection on damage),
  *       resumes the stream, and validates the tail against the serial
  *       reference
+ *
+ * Plan-time static analysis (docs/STATIC_ANALYSIS.md):
+ *
+ *   ./conformance_tool analyze                      # corpus-wide verdicts
+ *   ./conformance_tool analyze --signature '(1: 2)' --domain int
+ *   ./conformance_tool analyze --json reports.json  # export plr-static:v1
+ *   ./conformance_tool analyze --compare tests/baselines/static_corpus.json
+ *       gates verdict regressions: a signature whose baseline range
+ *       verdict was proven-safe may not regress to may-/proven-overflow,
+ *       and a proven path legality may not regress to rejected
+ *   ./conformance_tool analyze --check-witnesses
+ *       re-evaluates every proven-overflow witness in wide arithmetic
+ *       and fails on any vacuous (non-exceeding) witness
  */
 
 #include <algorithm>
 #include <iostream>
+#include <map>
 #include <sstream>
 
+#include "analysis/static/analyzer.h"
 #include "kernels/checkpoint.h"
 #include "kernels/serial.h"
 #include "kernels/stream.h"
@@ -68,6 +83,10 @@ usage()
            "                               stream and save the carry state\n"
            "  resume  --resume-from FILE --signature SIG --kernel K --n N\n"
            "          [--seed S]           load, verify, resume, validate\n"
+           "  analyze [--signature SIG [--domain D]] [--n N] [--chunk M]\n"
+           "          [--seed S] [--per-generator N] [--json FILE]\n"
+           "          [--compare BASELINE] [--check-witnesses]\n"
+           "                               plan-time static verdicts\n"
            "  list                         print kernels and corpus entries\n";
     return 2;
 }
@@ -347,6 +366,188 @@ cmd_resume(const plr::CliArgs& args)
     return 2;
 }
 
+plr::static_analysis::ValueDomain
+analysis_domain(plr::kernels::Domain d)
+{
+    using plr::kernels::Domain;
+    using plr::static_analysis::ValueDomain;
+    switch (d) {
+      case Domain::kInt: return ValueDomain::kInt32;
+      case Domain::kFloat: return ValueDomain::kFloat32;
+      case Domain::kTropical: return ValueDomain::kMaxPlus;
+    }
+    return ValueDomain::kInt32;
+}
+
+/** One row of the analyze command: a named (signature, domain). */
+struct AnalyzeTarget {
+    std::string name;
+    plr::Signature sig;
+    plr::kernels::Domain domain;
+};
+
+/** Stable key a report is matched to its baseline entry with. */
+std::string
+report_key(const plr::static_analysis::StaticReport& report)
+{
+    return report.signature + "|" + plr::static_analysis::to_string(
+                                        report.domain);
+}
+
+int
+cmd_analyze(const plr::CliArgs& args)
+{
+    namespace sa = plr::static_analysis;
+    using plr::kernels::Domain;
+
+    sa::AnalysisOptions opts;
+    opts.n = static_cast<std::size_t>(args.get_int("n", 4096));
+    opts.chunk = static_cast<std::size_t>(args.get_int("chunk", 64));
+
+    std::vector<AnalyzeTarget> targets;
+    if (args.has("signature")) {
+        const Domain domain = parse_domain_name(args.get("domain", "int"));
+        const plr::Signature sig =
+            signature_for(args.get("signature", "(1: 1)"), domain);
+        targets.push_back({sig.to_string(), sig, domain});
+    } else {
+        for (const auto& entry : plr::testing::full_corpus(
+                 static_cast<std::uint64_t>(args.get_int("seed", 0x51C0)),
+                 static_cast<std::size_t>(args.get_int("per-generator", 2))))
+            targets.push_back({entry.name, entry.sig, entry.domain});
+    }
+
+    std::vector<sa::StaticReport> reports;
+    reports.reserve(targets.size());
+    for (const AnalyzeTarget& t : targets)
+        reports.push_back(sa::analyze(t.sig, analysis_domain(t.domain), opts));
+
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const sa::StaticReport& r = reports[i];
+        std::cout << targets[i].name << " [" << sa::to_string(r.domain)
+                  << "] " << r.signature << "\n";
+        const sa::PathReport* serial = r.find(sa::PathKind::kSerial);
+        if (serial != nullptr) {
+            std::cout << "  range: " << sa::to_string(serial->range.verdict);
+            if (serial->range.witness_index != sa::kNoIndex)
+                std::cout << " (witness index " << serial->range.witness_index
+                          << ")";
+            else
+                std::cout << " (envelope <= " << serial->range.final_bound
+                          << ")";
+            std::cout << "\n";
+            if (serial->error.available)
+                std::cout << "  error: abs <= " << serial->error.abs_bound
+                          << " (" << serial->error.ulp_bound << " ULP)\n";
+        }
+        std::cout << "  paths:";
+        for (const sa::PathReport& p : r.paths)
+            std::cout << " " << sa::to_string(p.path) << "="
+                      << sa::to_string(p.legality);
+        std::cout << "\n";
+    }
+
+    int rc = 0;
+    // --check-witnesses: every proven-overflow verdict must be backed by
+    // a witness input whose wide evaluation genuinely exceeds the limit.
+    // The witness is re-synthesized from the signature, not trusted from
+    // the report — the check is non-vacuous by construction.
+    if (args.get_bool("check-witnesses", false)) {
+        std::size_t checked = 0;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            const sa::StaticReport& r = reports[i];
+            const sa::PathReport* serial = r.find(sa::PathKind::kSerial);
+            if (serial == nullptr ||
+                serial->range.verdict != sa::OverflowVerdict::kProvenOverflow)
+                continue;
+            ++checked;
+            const double limit = r.domain == sa::ValueDomain::kInt32
+                                     ? sa::kInt32RangeLimit
+                                     : sa::kFloat32RangeLimit;
+            const sa::EnvelopeScan scan =
+                sa::scan_envelope(targets[i].sig.a(), targets[i].sig.b(),
+                                  r.input_bound, r.n, limit);
+            const std::size_t witness = scan.first_must_exceed != sa::kNoIndex
+                                            ? scan.first_must_exceed
+                                            : scan.first_may_exceed;
+            const sa::WitnessEval eval = sa::evaluate_witness(
+                targets[i].sig.a(), targets[i].sig.b(), r.input_bound,
+                scan.signs, witness, limit);
+            if (!eval.evaluated || !eval.exceeds) {
+                std::cout << "VACUOUS witness: " << targets[i].name
+                          << " claims proven-overflow but the re-evaluated "
+                          << "witness (" << eval.value
+                          << ") does not exceed the limit\n";
+                rc = 1;
+            }
+        }
+        std::cout << checked << " proven-overflow witnesses re-evaluated\n";
+    }
+
+    if (args.has("json")) {
+        plr::json::Value doc = plr::json::Value::object();
+        doc.set("schema", sa::kReportSchema);
+        plr::json::Value arr = plr::json::Value::array();
+        for (const sa::StaticReport& r : reports)
+            arr.push_back(r.to_json());
+        doc.set("reports", std::move(arr));
+        plr::json::write_file(args.get("json", ""), doc);
+        std::cout << reports.size() << " reports written to "
+                  << args.get("json", "") << "\n";
+    }
+
+    // --compare: verdict regression gate against a committed baseline
+    // (bench_compare-style). Only verdict/legality strings are compared —
+    // numeric bounds may legitimately differ across compilers.
+    if (args.has("compare")) {
+        const plr::json::Value base =
+            plr::json::parse_file(args.get("compare", ""));
+        std::map<std::string, sa::StaticReport> baseline;
+        for (const plr::json::Value& item : base.at("reports").items()) {
+            sa::StaticReport r = sa::StaticReport::from_json(item);
+            baseline.emplace(report_key(r), std::move(r));
+        }
+        std::size_t regressions = 0, unmatched = 0;
+        for (const sa::StaticReport& r : reports) {
+            const auto it = baseline.find(report_key(r));
+            if (it == baseline.end()) {
+                ++unmatched;
+                continue;
+            }
+            const sa::PathReport* old_serial =
+                it->second.find(sa::PathKind::kSerial);
+            const sa::PathReport* new_serial = r.find(sa::PathKind::kSerial);
+            if (old_serial != nullptr && new_serial != nullptr &&
+                old_serial->range.verdict == sa::OverflowVerdict::kProvenSafe &&
+                new_serial->range.verdict != sa::OverflowVerdict::kProvenSafe) {
+                std::cout << "REGRESSION: " << r.signature << " ["
+                          << sa::to_string(r.domain) << "] range verdict "
+                          << "proven-safe -> "
+                          << sa::to_string(new_serial->range.verdict) << "\n";
+                ++regressions;
+            }
+            for (const sa::PathReport& p : r.paths) {
+                const sa::PathReport* old_path = it->second.find(p.path);
+                if (old_path != nullptr &&
+                    old_path->legality == sa::Legality::kProven &&
+                    p.legality == sa::Legality::kRejected) {
+                    std::cout << "REGRESSION: " << r.signature << " ["
+                              << sa::to_string(r.domain) << "] "
+                              << sa::to_string(p.path)
+                              << " legality proven -> rejected\n";
+                    ++regressions;
+                }
+            }
+        }
+        std::cout << reports.size() << " reports compared against baseline ("
+                  << unmatched << " new, " << regressions
+                  << " regressions)\n";
+        if (regressions > 0)
+            rc = 1;
+    }
+    return rc;
+}
+
 int
 cmd_list()
 {
@@ -382,6 +583,8 @@ main(int argc, char** argv)
             return cmd_checkpoint(args);
         if (command == "resume")
             return cmd_resume(args);
+        if (command == "analyze")
+            return cmd_analyze(args);
         if (command == "list")
             return cmd_list();
         if (command == "replay" || command == "shrink") {

@@ -1,0 +1,423 @@
+#include "analysis/static/analyzer.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "core/correction_factors.h"
+#include "core/factor_analysis.h"
+#include "util/diag.h"
+#include "util/ring.h"
+
+namespace plr::static_analysis {
+
+namespace {
+
+/** IntRing::from_coefficient semantics (llround, wrap to 32 bits). */
+std::int32_t
+int_coeff(double c)
+{
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(static_cast<std::int64_t>(std::llround(c))));
+}
+
+bool
+has_nonfinite_coefficient(const Signature& sig)
+{
+    for (double c : sig.a())
+        if (!std::isfinite(c))
+            return true;
+    for (double c : sig.b())
+        if (!std::isfinite(c))
+            return true;
+    return false;
+}
+
+/**
+ * Interval range analysis against @p limit. Shared by every legal path:
+ * the exact mathematical values do not depend on evaluation order, so
+ * one envelope decides all of them.
+ */
+RangeReport
+range_analysis(const Signature& sig, double input_bound, std::size_t n,
+               double limit, std::size_t budget)
+{
+    RangeReport r;
+    if (n == 0) {
+        r.verdict = OverflowVerdict::kProvenSafe;
+        r.note = "empty output";
+        return r;
+    }
+    const EnvelopeScan scan =
+        scan_envelope(sig.a(), sig.b(), input_bound, n, limit, budget);
+    r.final_bound = scan.final_bound;
+    if (scan.first_may_exceed == kNoIndex) {
+        if (scan.complete) {
+            r.verdict = OverflowVerdict::kProvenSafe;
+        } else {
+            r.verdict = OverflowVerdict::kUnknown;
+            r.note = "analysis budget exhausted before the envelope was "
+                     "decided";
+        }
+        return r;
+    }
+    // The envelope crosses the limit. Synthesize the sign-matched witness
+    // input at the earliest crossing and evaluate it in double: linearity
+    // makes that input the exact maximizer, so a real crossing reproduces
+    // constructively.
+    const std::size_t candidate = scan.first_must_exceed != kNoIndex
+                                      ? scan.first_must_exceed
+                                      : scan.first_may_exceed;
+    r.witness_index = candidate;
+    r.bound_at_witness = scan.bound_at_crossing != 0.0
+                             ? scan.bound_at_crossing
+                             : scan.final_bound;
+    const WitnessEval eval = evaluate_witness(
+        sig.a(), sig.b(), input_bound, scan.signs, candidate, limit);
+    if (eval.evaluated)
+        r.witness_value = eval.value;
+    if (eval.evaluated && eval.exceeds) {
+        r.verdict = OverflowVerdict::kProvenOverflow;
+    } else {
+        r.verdict = OverflowVerdict::kMayOverflow;
+        r.note = eval.evaluated
+                     ? "witness evaluation did not confirm the crossing "
+                       "(interval slop)"
+                     : "no witness constructible within the analysis budget";
+    }
+    return r;
+}
+
+/** Float forward-error model; available exactly when the magnitude
+ * envelope is proven in range (range verdict kProvenSafe). */
+ErrorReport
+error_analysis(ValueDomain domain, const Signature& sig, std::size_t n,
+               const RangeReport& range)
+{
+    ErrorReport e;
+    if (domain == ValueDomain::kInt32) {
+        e.note = "int ring is exact (wrap-around is a ring homomorphism)";
+        return e;
+    }
+    if (domain == ValueDomain::kMaxPlus) {
+        e.note = "max-plus error propagation unanalyzed; callers fall back "
+                 "to the dynamic gates";
+        return e;
+    }
+    if (range.verdict != OverflowVerdict::kProvenSafe) {
+        e.note = "magnitude envelope not proven in range; no finite error "
+                 "bound";
+        return e;
+    }
+    const double magnitude = range.final_bound;
+    const double bound =
+        float_divergence_bound(sig.order(), sig.fir_taps(), n, magnitude);
+    if (!std::isfinite(bound)) {
+        e.note = "gamma model saturated (rounding chain too long)";
+        return e;
+    }
+    e.available = true;
+    e.abs_bound = bound;
+    e.magnitude_bound = magnitude;
+    e.rel_bound = magnitude > 0.0 ? bound / magnitude : 0.0;
+    const double ulp =
+        magnitude > 0.0
+            ? std::ldexp(1.0, std::ilogb(std::fmax(magnitude, 1e-38)) - 23)
+            : std::ldexp(1.0, -149);
+    e.ulp_bound = ulp > 0.0 ? bound / ulp : 0.0;
+    return e;
+}
+
+/** Per-element truncation bound of decayed-tail suppression: the carry
+ * magnitude times the unflushed tail mass the kernel drops. */
+void
+truncation_analysis(const Signature& sig, ValueDomain domain,
+                    std::size_t chunk, const RangeReport& range,
+                    PathReport* path)
+{
+    const std::size_t k = sig.order();
+    if (k == 0 || chunk == 0)
+        return;
+    if (domain != ValueDomain::kFloat32) {
+        // Beyond the effective length the factors are exactly the
+        // semiring zero (no flushing is involved), so suppression drops
+        // literal zero terms.
+        path->truncation_bound = 0.0;
+        path->truncation_exact = true;
+        return;
+    }
+    const auto factors = CorrectionFactors<FloatRing>::generate(
+        sig.recursive_part(), chunk, /*flush_denormals=*/true);
+    const auto props = analyze_factors(factors);
+    double tail_mass = 0.0;
+    for (std::size_t j = 1; j <= k; ++j)
+        tail_mass += factor_tail_abs_sum(
+            sig.b(), j, props.lists[j - 1].effective_length, chunk);
+    if (tail_mass == 0.0) {
+        path->truncation_bound = 0.0;
+        path->truncation_exact = true;
+        return;
+    }
+    if (range.verdict != OverflowVerdict::kProvenSafe) {
+        path->truncation_bound = std::numeric_limits<double>::infinity();
+        path->truncation_exact = false;
+        return;
+    }
+    path->truncation_bound = range.final_bound * tail_mass;
+    path->truncation_exact = false;
+}
+
+}  // namespace
+
+double
+default_input_bound(ValueDomain domain)
+{
+    switch (domain) {
+      case ValueDomain::kInt32: return kConformanceIntInputBound;
+      case ValueDomain::kFloat32: return kConformanceFloatInputBound;
+      case ValueDomain::kMaxPlus: return 5.0;
+    }
+    return 1.0;
+}
+
+const char*
+to_string(SimdShape s)
+{
+    switch (s) {
+      case SimdShape::kScalar: return "scalar";
+      case SimdShape::kPrefix: return "prefix";
+      case SimdShape::kFirstOrder: return "first_order";
+      case SimdShape::kFirstOrderLog: return "first_order_log";
+      case SimdShape::kTuple: return "tuple";
+    }
+    return "unknown";
+}
+
+SimdPathDecision
+choose_simd_path(const Signature& sig, ValueDomain domain,
+                 FirstOrderMode mode)
+{
+    SimdPathDecision dec;
+    if (sig.is_max_plus() || domain == ValueDomain::kMaxPlus) {
+        dec.log_legality = Legality::kRejected;
+        return dec;
+    }
+    const std::size_t k = sig.order();
+    if (k == 0 || has_nonfinite_coefficient(sig)) {
+        // Conservative fallback: shapes the analysis cannot model run
+        // through the scalar path.
+        dec.log_legality = Legality::kRejected;
+        return dec;
+    }
+    const bool is_int = domain == ValueDomain::kInt32;
+    const bool single_tap = sig.a().size() == 1;
+    if (k == 1) {
+        dec.fuse_map = single_tap;
+        bool b1_one, a0_one;
+        if (is_int) {
+            b1_one = int_coeff(sig.b()[0]) == 1;
+            a0_one = !single_tap || int_coeff(sig.a()[0]) == 1;
+        } else {
+            b1_one = static_cast<float>(sig.b()[0]) == 1.0f;
+            a0_one = !single_tap || static_cast<float>(sig.a()[0]) == 1.0f;
+        }
+        if (b1_one && a0_one) {
+            dec.shape = SimdShape::kPrefix;
+            dec.log_legality = Legality::kFallback;
+            return dec;
+        }
+        if (is_int) {
+            dec.shape = SimdShape::kFirstOrder;
+            dec.log_legality = Legality::kRejected;  // exact ring: direct only
+            return dec;
+        }
+        const float bf = static_cast<float>(sig.b()[0]);
+        const bool decay = bf > 0.0f && bf < 1.0f;
+        if (!decay) {
+            dec.shape = SimdShape::kFirstOrder;
+            dec.log_legality = Legality::kRejected;  // needs b in (0, 1)
+            return dec;
+        }
+        // Ladder feasibility with the unit input model: the heuristic
+        // block must stay under the proven maximum, else the b^-u scale
+        // itself leaves the float range and the log path is unsound for
+        // any input. The input-magnitude-aware verdict is in analyze().
+        const std::size_t heuristic =
+            heinsen_heuristic_block_length(sig.b()[0]);
+        const std::size_t proven =
+            log_space_proven_max_block(sig.b()[0], 1.0, 1.0);
+        dec.log_legality =
+            heuristic <= proven ? Legality::kProven : Legality::kRejected;
+        dec.shape = (mode != FirstOrderMode::kDirect &&
+                     dec.log_legality == Legality::kProven)
+                        ? SimdShape::kFirstOrderLog
+                        : SimdShape::kFirstOrder;
+        return dec;
+    }
+    // Tuple prefix sum (1: 0,..,0,1): s = k interleaved prefix sums.
+    bool tuple;
+    if (is_int) {
+        tuple = int_coeff(sig.b()[k - 1]) == 1;
+        for (std::size_t j = 0; j + 1 < k && tuple; ++j)
+            tuple = int_coeff(sig.b()[j]) == 0;
+    } else {
+        tuple = static_cast<float>(sig.b()[k - 1]) == 1.0f;
+        for (std::size_t j = 0; j + 1 < k && tuple; ++j)
+            tuple = static_cast<float>(sig.b()[j]) == 0.0f;
+    }
+    if (tuple) {
+        dec.shape = SimdShape::kTuple;
+        dec.tuple = k;
+    }
+    dec.log_legality = Legality::kRejected;  // order-k > 1
+    return dec;
+}
+
+StaticReport
+analyze(const Signature& sig, ValueDomain domain, const AnalysisOptions& opts)
+{
+    StaticReport report;
+    report.signature = sig.to_string();
+    report.domain = domain;
+    report.order = sig.order();
+    report.fir_taps = sig.fir_taps();
+    report.n = opts.n;
+    report.chunk = opts.chunk;
+    report.input_bound =
+        opts.input_bound > 0.0 ? opts.input_bound : default_input_bound(domain);
+
+    const std::size_t k = sig.order();
+    const double limit = domain == ValueDomain::kInt32 ? kInt32RangeLimit
+                                                       : kFloat32RangeLimit;
+
+    RangeReport range;
+    if (domain == ValueDomain::kMaxPlus) {
+        range.verdict = OverflowVerdict::kUnknown;
+        range.note = "max-plus growth envelope unanalyzed; callers fall "
+                     "back to the dynamic gates";
+    } else if (has_nonfinite_coefficient(sig)) {
+        range.verdict = OverflowVerdict::kUnknown;
+        range.note = "non-finite coefficient";
+    } else {
+        range = range_analysis(sig, report.input_bound, opts.n, limit,
+                               opts.budget);
+    }
+    const ErrorReport error = error_analysis(domain, sig, opts.n, range);
+
+    // ---- serial ----------------------------------------------------
+    {
+        PathReport p;
+        p.path = PathKind::kSerial;
+        p.legality = Legality::kProven;
+        p.legality_reason = "definitional reference order";
+        p.range = range;
+        p.error = error;
+        report.paths.push_back(std::move(p));
+    }
+    if (k == 0)
+        return report;  // pure FIR map: only the serial path applies
+
+    // ---- chunked two-phase -----------------------------------------
+    {
+        PathReport p;
+        p.path = PathKind::kChunkedTwoPhase;
+        p.legality = Legality::kProven;
+        p.legality_reason =
+            "correction machinery uses only semiring axioms "
+            "(associativity, distributivity, superposition); max-plus "
+            "idempotency makes re-applied corrections harmless";
+        p.range = range;
+        p.error = error;
+        report.paths.push_back(std::move(p));
+    }
+
+    // ---- SIMD direct ------------------------------------------------
+    {
+        PathReport p;
+        p.path = PathKind::kSimdDirect;
+        const SimdPathDecision dec =
+            choose_simd_path(sig, domain, FirstOrderMode::kDirect);
+        if (domain == ValueDomain::kMaxPlus) {
+            p.legality = Legality::kRejected;
+            p.legality_reason = "no max-plus vector table";
+        } else if (dec.shape == SimdShape::kScalar) {
+            p.legality = Legality::kFallback;
+            p.legality_reason =
+                "no vector lowering for this shape; scalar path";
+        } else {
+            p.legality = Legality::kProven;
+            p.legality_reason =
+                std::string("vectorizable shape: ") + to_string(dec.shape);
+        }
+        p.range = range;
+        p.error = error;
+        report.paths.push_back(std::move(p));
+    }
+
+    // ---- SIMD log-space ---------------------------------------------
+    {
+        PathReport p;
+        p.path = PathKind::kSimdLogSpace;
+        p.range = range;
+        p.error = error;
+        if (domain != ValueDomain::kFloat32) {
+            p.legality = Legality::kRejected;
+            p.legality_reason =
+                domain == ValueDomain::kInt32
+                    ? "exact int ring; log-space reassociation is float-only"
+                    : "log-space needs the float ring";
+        } else if (k != 1) {
+            p.legality = Legality::kRejected;
+            p.legality_reason = "first-order recurrences only";
+        } else {
+            const double b1 = sig.b()[0];
+            const float bf = static_cast<float>(b1);
+            if (!(bf > 0.0f && bf < 1.0f)) {
+                p.legality = Legality::kRejected;
+                p.legality_reason =
+                    "requires a positive decay coefficient in (0, 1)";
+            } else {
+                double coeff_mass = 0.0;
+                for (double c : sig.a())
+                    coeff_mass += std::fabs(c);
+                p.log_block_heuristic = heinsen_heuristic_block_length(b1);
+                p.log_block_proven_max = log_space_proven_max_block(
+                    b1, coeff_mass, report.input_bound);
+                if (p.log_block_heuristic <= p.log_block_proven_max) {
+                    p.legality = Legality::kProven;
+                    std::ostringstream os;
+                    os << "heuristic block " << p.log_block_heuristic
+                       << " <= proven maximum " << p.log_block_proven_max;
+                    p.legality_reason = os.str();
+                } else {
+                    p.legality = Legality::kRejected;
+                    std::ostringstream os;
+                    os << "heuristic block " << p.log_block_heuristic
+                       << " exceeds proven maximum "
+                       << p.log_block_proven_max
+                       << ": the b^-u scale leaves the float range";
+                    p.legality_reason = os.str();
+                }
+            }
+        }
+        report.paths.push_back(std::move(p));
+    }
+
+    // ---- superposition resume ---------------------------------------
+    {
+        PathReport p;
+        p.path = PathKind::kSuperpositionResume;
+        p.legality = Legality::kProven;
+        p.legality_reason =
+            "correction is mul_add-only (tropical-safe); decayed-tail "
+            "suppression bounded below";
+        p.range = range;
+        p.error = error;
+        truncation_analysis(sig, domain, opts.chunk, range, &p);
+        report.paths.push_back(std::move(p));
+    }
+    return report;
+}
+
+}  // namespace plr::static_analysis

@@ -1,0 +1,102 @@
+#ifndef PLR_ANALYSIS_STATIC_ANALYZER_H_
+#define PLR_ANALYSIS_STATIC_ANALYZER_H_
+
+/**
+ * @file
+ * The plan-time static analyzer (docs/STATIC_ANALYSIS.md): an abstract
+ * interpretation over Signature + plan parameters that derives, per
+ * execution path, a value-range/overflow verdict (interval analysis of
+ * the growth envelope, with a constructive witness for proven
+ * overflows), an a priori float forward-error bound, and a legality
+ * proof — all before any kernel runs.
+ *
+ * Two entry points:
+ *
+ *  - analyze(): the full report, O(n) double arithmetic. Consumed by
+ *    the differential oracle (Check::kBoundDominance), `conformance_tool
+ *    analyze`, and the CI verdict baseline.
+ *  - choose_simd_path(): the O(k) path-selection slice consumed by
+ *    cpu_simd's PathPlan on every run. Pure (no environment reads) and
+ *    conservative: anything outside the analyzed shapes degrades to the
+ *    scalar path.
+ */
+
+#include <cstddef>
+
+#include "analysis/static/report.h"
+#include "core/signature.h"
+
+namespace plr::static_analysis {
+
+/** Tuning for one analyze() call. */
+struct AnalysisOptions {
+    /** Output length the verdicts cover (indices [0, n)). */
+    std::size_t n = 4096;
+    /** Chunk size assumed for the chunked two-phase path. */
+    std::size_t chunk = 64;
+    /**
+     * Max |x[u]| of the input model; 0 = the conformance default for
+     * the domain (100 for int, 1 for float/tropical inputs).
+     */
+    double input_bound = 0.0;
+    /** Impulse-response budget for the envelope scan. */
+    std::size_t budget = kDefaultAnalysisBudget;
+};
+
+/** The conformance input-model bound for @p domain (corpus.h). */
+double default_input_bound(ValueDomain domain);
+
+/**
+ * Analyze @p sig in @p domain: one PathReport per execution path
+ * (serial, chunked two-phase, SIMD direct, SIMD log-space,
+ * superposition resume). Order 0 (pure FIR map) signatures are
+ * analyzed for the serial path only.
+ */
+StaticReport analyze(const Signature& sig, ValueDomain domain,
+                     const AnalysisOptions& opts = {});
+
+/** The vectorizable Phase-1 shapes (kernels/simd/simd_scan.h). */
+enum class SimdShape {
+    kScalar,
+    kPrefix,
+    kFirstOrder,
+    kFirstOrderLog,
+    kTuple,
+};
+
+const char* to_string(SimdShape s);
+
+/** Requested first-order strategy (kernels::FirstOrderPath mirror,
+ * with the environment default already resolved by the caller). */
+enum class FirstOrderMode {
+    kAuto,
+    kDirect,
+    kLog,
+};
+
+/** The analyzer's path decision for one (signature, domain). */
+struct SimdPathDecision {
+    SimdShape shape = SimdShape::kScalar;
+    /** Single-tap map fused into the scan call. */
+    bool fuse_map = false;
+    /** Tuple size for kTuple (the signature order). */
+    std::size_t tuple = 0;
+    /** Legality of the log-space path for this signature (kProven when
+     * shape == kFirstOrderLog; explains the rejection otherwise). */
+    Legality log_legality = Legality::kUnknown;
+};
+
+/**
+ * Decide the SIMD Phase-1 path for @p sig. This is the legality slice
+ * of the full analysis: the log-space path is only chosen when its
+ * preconditions (float domain, order 1, decay coefficient in (0, 1))
+ * are proven, and unsupported shapes — including max-plus signatures
+ * and non-finite coefficients — fall back to kScalar conservatively.
+ * Bit-compatible with the vector table's historical classification.
+ */
+SimdPathDecision choose_simd_path(const Signature& sig, ValueDomain domain,
+                                  FirstOrderMode mode);
+
+}  // namespace plr::static_analysis
+
+#endif  // PLR_ANALYSIS_STATIC_ANALYZER_H_

@@ -1,0 +1,374 @@
+#ifndef PLR_ANALYSIS_STATIC_BOUNDS_H_
+#define PLR_ANALYSIS_STATIC_BOUNDS_H_
+
+/**
+ * @file
+ * The numeric core of the plan-time static analyzer (docs/STATIC_ANALYSIS.md):
+ * interval growth envelopes, float forward-error bounds, log-space block
+ * budgets, and decayed-tail truncation bounds, all derived from a signature's
+ * coefficients alone — no kernel runs.
+ *
+ * Everything here is header-only on purpose: `codegen_cpp` (in plr_core)
+ * consults these bounds while emitting specializations, and the full analyzer
+ * (plr_static_analysis) links plr_core — a .cpp here would make the two
+ * libraries circular.
+ *
+ * The central object is the *growth envelope*. A linear recurrence is a
+ * convolution y[t] = sum_d h[d] * x[t-d] with h the impulse response of the
+ * full signature, so over the input model |x[u]| <= X the exact worst case is
+ *
+ *     max |y[t]|  =  X * C[t],      C[t] = sum_{d<=t} |h[d]|,
+ *
+ * attained by the sign-matched input x[u] = X * sgn(h[t-u]). The envelope is
+ * therefore *tight*, not just sound: when it crosses a range limit the
+ * crossing input is constructible and `evaluate_witness` checks it in double
+ * precision, turning an interval verdict into a constructive existence proof.
+ * h is computed in double with outward rounding slop (an interval, not a
+ * point), so "proven" verdicts survive the analyzer's own rounding.
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace plr::static_analysis {
+
+/** "No index": witness / crossing positions that do not exist. */
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/** Impulse-response terms the envelope scan will compute before giving
+ * up undecided (a few milliseconds of double arithmetic). */
+inline constexpr std::size_t kDefaultAnalysisBudget = std::size_t{1} << 22;
+
+/** Unit roundoff of IEEE binary32 (the rings evaluate in float). */
+inline constexpr double kFloat32UnitRoundoff = 0x1.0p-24;
+
+/** Conformance input magnitudes (testing/corpus.h input synthesis). */
+inline constexpr double kConformanceIntInputBound = 100.0;
+inline constexpr double kConformanceFloatInputBound = 1.0;
+
+/** Range limit for the exact int32 ring: |y| above this wraps. */
+inline constexpr double kInt32RangeLimit = 2147483647.0;
+
+/** Range limit used for float verdicts: FLT_MAX with two binades of
+ * headroom so envelope-safe values cannot round across the real limit. */
+inline constexpr double kFloat32RangeLimit =
+    static_cast<double>(std::numeric_limits<float>::max()) / 4.0;
+
+/**
+ * Relative slop applied outward to the envelope after @p steps terms of
+ * order-@p k impulse response accumulated in double: each term is a chain
+ * of at most (k+2)*steps roundings, and the constant 16 absorbs the
+ * accumulation itself. Deliberately generous — the slop only widens the
+ * may-overflow band, never a "proven" claim.
+ */
+inline double
+envelope_slop(std::size_t steps, std::size_t k)
+{
+    return static_cast<double>(steps + 16) * static_cast<double>(k + 2) *
+           std::numeric_limits<double>::epsilon();
+}
+
+/** Result of one growth-envelope scan against a range limit. */
+struct EnvelopeScan {
+    /** Interval around sum_{d<analyzed} |h[d]| (outward-rounded). */
+    double abs_sum_lo = 0.0;
+    double abs_sum_hi = 0.0;
+    /** Impulse-response terms accumulated before stopping. */
+    std::size_t analyzed = 0;
+    /**
+     * True when the envelope covers every index < n: either the scan ran
+     * to n, or the tail beyond `analyzed` was bounded rigorously via the
+     * coefficient 1-norm (possible only when sum|b_j| < 1).
+     */
+    bool complete = false;
+    /** First t where input_bound * C_hi[t] > limit (kNoIndex: never). */
+    std::size_t first_may_exceed = kNoIndex;
+    /** First t where input_bound * C_lo[t] > limit — the witness
+     * candidate index (kNoIndex: never). */
+    std::size_t first_must_exceed = kNoIndex;
+    /** input_bound * C_hi at first_may_exceed (0 when no crossing). */
+    double bound_at_crossing = 0.0;
+    /** input_bound * C_hi at the last analyzed index (may be +inf). */
+    double final_bound = 0.0;
+    /** sgn(h[d]) for d <= the crossing index; drives witness synthesis.
+     * Kept only while a crossing is still being searched for. */
+    std::vector<std::int8_t> signs;
+};
+
+/**
+ * Scan the growth envelope of the signature (a : b) against @p limit for
+ * inputs bounded by @p input_bound, over output indices [0, n).
+ *
+ * Stops early once a must-exceed crossing is found (the verdict is
+ * decided), once the envelope saturates double range, or after @p budget
+ * terms. When n exceeds the budget and the recurrence is a contraction
+ * (sum|b_j| < 1) the tail is folded in analytically and the scan still
+ * reports complete coverage.
+ */
+inline EnvelopeScan
+scan_envelope(const std::vector<double>& a, const std::vector<double>& b,
+              double input_bound, std::size_t n, double limit,
+              std::size_t budget = kDefaultAnalysisBudget)
+{
+    EnvelopeScan scan;
+    const std::size_t k = b.size();
+    const std::size_t steps = n < budget ? n : budget;
+    std::vector<double> hist(k, 0.0);  // hist[j-1] = h[t-j]
+    double abs_sum = 0.0;
+    double window_max = 0.0;  // max |h| over the trailing k-window
+    std::size_t t = 0;
+    for (; t < steps; ++t) {
+        double h = t < a.size() ? a[t] : 0.0;
+        for (std::size_t j = 1; j <= k && j <= t; ++j)
+            h += b[j - 1] * hist[j - 1];
+        abs_sum += std::fabs(h);
+        if (!std::isfinite(abs_sum)) {
+            // Envelope saturated double range: everything past here
+            // certainly exceeds any finite limit, but the witness math
+            // is gone; report the saturation index as a may-crossing.
+            scan.abs_sum_hi = std::numeric_limits<double>::infinity();
+            scan.abs_sum_lo = 0.0;  // lower edge unknown past saturation
+            if (scan.first_may_exceed == kNoIndex) {
+                scan.first_may_exceed = t;
+                scan.bound_at_crossing =
+                    std::numeric_limits<double>::infinity();
+            }
+            scan.final_bound = std::numeric_limits<double>::infinity();
+            scan.analyzed = t + 1;
+            return scan;
+        }
+        const double slop = envelope_slop(t, k);
+        const double hi = input_bound * abs_sum * (1.0 + slop);
+        const double lo = input_bound * abs_sum * (1.0 - slop);
+        if (scan.first_must_exceed == kNoIndex)
+            scan.signs.push_back(h > 0.0 ? 1 : (h < 0.0 ? -1 : 0));
+        if (scan.first_may_exceed == kNoIndex && hi > limit) {
+            scan.first_may_exceed = t;
+            scan.bound_at_crossing = hi;
+        }
+        if (scan.first_must_exceed == kNoIndex && lo > limit) {
+            scan.first_must_exceed = t;
+            // Verdict decided; the envelope past the crossing is moot.
+            scan.abs_sum_lo = abs_sum * (1.0 - slop);
+            scan.abs_sum_hi = abs_sum * (1.0 + slop);
+            scan.final_bound = hi;
+            scan.analyzed = t + 1;
+            return scan;
+        }
+        for (std::size_t j = k; j-- > 1;)
+            hist[j] = hist[j - 1];
+        if (k > 0)
+            hist[0] = h;
+        window_max = 0.0;
+        for (double w : hist)
+            window_max = std::fmax(window_max, std::fabs(w));
+    }
+    scan.analyzed = t;
+    const double slop = envelope_slop(t, k);
+    scan.abs_sum_lo = abs_sum * (1.0 - slop);
+    scan.abs_sum_hi = abs_sum * (1.0 + slop);
+    scan.complete = t >= n;
+    if (!scan.complete) {
+        // Rigorous tail for contractions: grouping the remaining impulse
+        // response in k-blocks, block i is bounded by window_max * rho^i,
+        // so the tail mass is at most k * window_max * rho / (1 - rho).
+        double rho = 0.0;
+        for (double c : b)
+            rho += std::fabs(c);
+        if (rho < 1.0) {
+            const double tail = static_cast<double>(k > 0 ? k : 1) *
+                                window_max * rho / (1.0 - rho);
+            scan.abs_sum_hi = (abs_sum + tail) * (1.0 + slop);
+            scan.complete = true;
+        }
+    }
+    scan.final_bound = input_bound * scan.abs_sum_hi;
+    if (scan.first_may_exceed == kNoIndex && scan.final_bound > limit) {
+        scan.first_may_exceed = scan.analyzed > 0 ? scan.analyzed - 1 : 0;
+        scan.bound_at_crossing = scan.final_bound;
+    }
+    return scan;
+}
+
+/** Outcome of evaluating a synthesized witness input in double. */
+struct WitnessEval {
+    bool evaluated = false;
+    /** Wide (double) serial value of y at the witness index. */
+    double value = 0.0;
+    /** True when the value exceeds the limit beyond evaluation slop,
+     * i.e. the overflow is constructively proven. */
+    bool exceeds = false;
+};
+
+/**
+ * Build the sign-matched witness input x[u] = input_bound * sgn(h[t-u])
+ * for the crossing index @p witness (using the signs collected by
+ * scan_envelope) and evaluate y[witness] with the full signature (a : b)
+ * serially in double. Linearity makes this input the exact maximizer of
+ * y[witness] over the model, so a crossing envelope should reproduce
+ * here; `exceeds` demands strict exceedance beyond the evaluation's own
+ * rounding slop, making a kProvenOverflow verdict self-checking.
+ */
+inline WitnessEval
+evaluate_witness(const std::vector<double>& a, const std::vector<double>& b,
+                 double input_bound, const std::vector<std::int8_t>& signs,
+                 std::size_t witness, double limit)
+{
+    WitnessEval eval;
+    if (witness == kNoIndex || witness >= signs.size())
+        return eval;
+    const std::size_t n = witness + 1;
+    const std::size_t k = b.size();
+    std::vector<double> x(n), y(n);
+    for (std::size_t u = 0; u < n; ++u)
+        x[u] = input_bound * static_cast<double>(signs[witness - u]);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.size() && j <= i; ++j)
+            acc += a[j] * x[i - j];
+        for (std::size_t j = 1; j <= k && j <= i; ++j)
+            acc += b[j - 1] * y[i - j];
+        y[i] = acc;
+    }
+    eval.evaluated = true;
+    eval.value = y[witness];
+    const double slop =
+        envelope_slop(n, k + (a.empty() ? 0 : a.size() - 1));
+    eval.exceeds = std::isfinite(eval.value)
+                       ? std::fabs(eval.value) * (1.0 - slop) > limit
+                       : true;
+    return eval;
+}
+
+/**
+ * The standard forward-error constant gamma_m = m*u / (1 - m*u) for a
+ * chain of m roundings at unit roundoff u; +inf once m*u reaches 1/2
+ * (the first-order model stops being meaningful there).
+ */
+inline double
+gamma_bound(double ops, double unit_roundoff)
+{
+    const double mu = ops * unit_roundoff;
+    if (!(mu >= 0.0) || mu >= 0.5)
+        return std::numeric_limits<double>::infinity();
+    return mu / (1.0 - mu);
+}
+
+/**
+ * Extra rounding-chain multiplier granted to parallel evaluation orders:
+ * chunked two-phase, SIMD reassociation, and the log-space ladder each
+ * re-order the same multiply-adds, so their chains are a small constant
+ * times the serial chain, not asymptotically longer.
+ */
+inline constexpr double kPathOpsSlack = 4.0;
+
+/**
+ * A priori bound on max_t |kernel(y)[t] - serial_float(y)[t]| for any of
+ * the analyzed float evaluation orders: both sides are backward-stable
+ * with rounding chains of at most kPathOpsSlack*(k+p+3)*n float ops, and
+ * every perturbation is amplified by at most the magnitude envelope
+ * @p magnitude_bound = X * C[n]. The absolute floor term absorbs
+ * denormal flushing differences (at most a denormal per op). Returns
+ * +inf when the gamma model saturates — callers report kUnknown.
+ */
+inline double
+float_divergence_bound(std::size_t k, std::size_t p, std::size_t n,
+                       double magnitude_bound)
+{
+    if (n == 0)
+        return 0.0;
+    const double chain = kPathOpsSlack * static_cast<double>(k + p + 3) *
+                         static_cast<double>(n);
+    const double g = gamma_bound(chain, kFloat32UnitRoundoff);
+    if (!std::isfinite(g) || !std::isfinite(magnitude_bound))
+        return std::numeric_limits<double>::infinity();
+    return 2.0 * g * magnitude_bound +
+           1e-25 * static_cast<double>(n + 1);
+}
+
+/**
+ * The SIMD backend's heuristic Heinsen block length, replicated exactly
+ * (kernels/simd/simd_scan.cpp): largest L with b^-L <= 2^20, clamped to
+ * [8, 4096] and rounded down to a multiple of 8.
+ */
+inline std::size_t
+heinsen_heuristic_block_length(double b)
+{
+    const float bf = static_cast<float>(b);
+    if (!(bf > 0.0f && bf < 1.0f))
+        return 8;
+    constexpr double kMaxExponentBits = 20.0;
+    const double bits_per_step = -std::log2(static_cast<double>(bf));
+    const double raw = kMaxExponentBits / bits_per_step;
+    std::size_t len =
+        raw < 8.0 ? 8 : (raw > 4096.0 ? 4096 : static_cast<std::size_t>(raw));
+    return len & ~std::size_t{7};
+}
+
+/**
+ * Proven maximum log-space block length for decay coefficient @p b in
+ * (0, 1): the scaled partial sums sum_{u<L} a0*x[u]*b^-u are bounded by
+ * X*|a0|*b^-(L-1)/(1-b), so the largest L keeping them under the float
+ * range limit is
+ *
+ *     L_max = 1 + floor( log(limit*(1-b) / (X*max(|a0|,1))) / log(1/b) ).
+ *
+ * This is the analyzer's replacement for the heuristic exponent budget:
+ * the heuristic's 2^20 excursion is legal iff its block length is <= this
+ * proven maximum (in practice smaller by ~17 binades of margin). Returns
+ * 0 when no positive length is safe or b is not a decay coefficient.
+ */
+inline std::size_t
+log_space_proven_max_block(double b, double a0_abs, double input_bound)
+{
+    const float bf = static_cast<float>(b);
+    if (!(bf > 0.0f && bf < 1.0f))
+        return 0;
+    const double scale = input_bound * std::fmax(a0_abs, 1.0);
+    const double headroom = kFloat32RangeLimit * (1.0 - b) / scale;
+    if (!(headroom > 1.0))
+        return 0;
+    const double raw = 1.0 + std::log(headroom) / std::log(1.0 / b);
+    if (raw >= 1e18)
+        return static_cast<std::size_t>(-2);  // effectively unbounded
+    return static_cast<std::size_t>(raw);
+}
+
+/**
+ * Unflushed tail mass of correction-factor list @p carry_j beyond offset
+ * @p effective_length: sum_{o in [eff, m)} |F_j[o]| computed in double
+ * with no denormal flushing. Suppressing the tail (Section 3.1) changes
+ * each corrected element by at most carry_bound times this mass; the
+ * suppression is *exactly* sound when the mass is zero (always true in
+ * the int ring, where decayed tails are literally zero).
+ */
+inline double
+factor_tail_abs_sum(const std::vector<double>& b, std::size_t carry_j,
+                    std::size_t effective_length, std::size_t m)
+{
+    const std::size_t k = b.size();
+    if (carry_j < 1 || carry_j > k || effective_length >= m)
+        return 0.0;
+    std::vector<double> hist(k, 0.0);
+    hist[carry_j - 1] = 1.0;
+    double tail = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+        double f = 0.0;
+        for (std::size_t i = 1; i <= k; ++i)
+            f += b[i - 1] * hist[i - 1];
+        if (t >= effective_length)
+            tail += std::fabs(f);
+        for (std::size_t i = k; i-- > 1;)
+            hist[i] = hist[i - 1];
+        hist[0] = f;
+    }
+    const double slop = envelope_slop(m, k);
+    return tail * (1.0 + slop);
+}
+
+}  // namespace plr::static_analysis
+
+#endif  // PLR_ANALYSIS_STATIC_BOUNDS_H_

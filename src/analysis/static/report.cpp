@@ -1,0 +1,264 @@
+#include "analysis/static/report.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/diag.h"
+
+namespace plr::static_analysis {
+
+namespace {
+
+/** JSON-safe wrapper: +/-inf serialize as the string "inf"/"-inf". */
+json::Value
+number_or_inf(double v)
+{
+    if (std::isfinite(v))
+        return json::Value(v);
+    return json::Value(v > 0 ? "inf" : "-inf");
+}
+
+double
+parse_number_or_inf(const json::Value& v)
+{
+    if (v.is_number())
+        return v.as_double();
+    const std::string& s = v.as_string();
+    if (s == "inf")
+        return std::numeric_limits<double>::infinity();
+    if (s == "-inf")
+        return -std::numeric_limits<double>::infinity();
+    PLR_FATAL("static report: '" << s << "' is not a number");
+}
+
+/** kNoIndex serializes as null (JSON has no 2^64-1). */
+json::Value
+index_or_null(std::size_t i)
+{
+    if (i == kNoIndex)
+        return json::Value(nullptr);
+    return json::Value(static_cast<std::uint64_t>(i));
+}
+
+std::size_t
+parse_index_or_null(const json::Value& v)
+{
+    if (v.is_null())
+        return kNoIndex;
+    return static_cast<std::size_t>(v.as_uint64());
+}
+
+}  // namespace
+
+const char*
+to_string(ValueDomain d)
+{
+    switch (d) {
+      case ValueDomain::kInt32: return "int";
+      case ValueDomain::kFloat32: return "float";
+      case ValueDomain::kMaxPlus: return "tropical";
+    }
+    return "unknown";
+}
+
+ValueDomain
+parse_value_domain(const std::string& name)
+{
+    for (ValueDomain d : {ValueDomain::kInt32, ValueDomain::kFloat32,
+                          ValueDomain::kMaxPlus})
+        if (name == to_string(d))
+            return d;
+    PLR_FATAL("unknown analysis domain '" << name << "'");
+}
+
+const char*
+to_string(OverflowVerdict v)
+{
+    switch (v) {
+      case OverflowVerdict::kProvenSafe: return "proven-safe";
+      case OverflowVerdict::kMayOverflow: return "may-overflow";
+      case OverflowVerdict::kProvenOverflow: return "proven-overflow";
+      case OverflowVerdict::kUnknown: return "unknown";
+    }
+    return "unknown";
+}
+
+OverflowVerdict
+parse_overflow_verdict(const std::string& name)
+{
+    for (OverflowVerdict v :
+         {OverflowVerdict::kProvenSafe, OverflowVerdict::kMayOverflow,
+          OverflowVerdict::kProvenOverflow, OverflowVerdict::kUnknown})
+        if (name == to_string(v))
+            return v;
+    PLR_FATAL("unknown overflow verdict '" << name << "'");
+}
+
+const char*
+to_string(Legality l)
+{
+    switch (l) {
+      case Legality::kProven: return "proven";
+      case Legality::kFallback: return "fallback";
+      case Legality::kRejected: return "rejected";
+      case Legality::kUnknown: return "unknown";
+    }
+    return "unknown";
+}
+
+Legality
+parse_legality(const std::string& name)
+{
+    for (Legality l : {Legality::kProven, Legality::kFallback,
+                       Legality::kRejected, Legality::kUnknown})
+        if (name == to_string(l))
+            return l;
+    PLR_FATAL("unknown legality verdict '" << name << "'");
+}
+
+const char*
+to_string(PathKind p)
+{
+    switch (p) {
+      case PathKind::kSerial: return "serial";
+      case PathKind::kChunkedTwoPhase: return "chunked";
+      case PathKind::kSimdDirect: return "simd-direct";
+      case PathKind::kSimdLogSpace: return "simd-log";
+      case PathKind::kSuperpositionResume: return "superposition-resume";
+    }
+    return "unknown";
+}
+
+PathKind
+parse_path_kind(const std::string& name)
+{
+    for (PathKind p :
+         {PathKind::kSerial, PathKind::kChunkedTwoPhase, PathKind::kSimdDirect,
+          PathKind::kSimdLogSpace, PathKind::kSuperpositionResume})
+        if (name == to_string(p))
+            return p;
+    PLR_FATAL("unknown execution path '" << name << "'");
+}
+
+const PathReport*
+StaticReport::find(PathKind path) const
+{
+    for (const PathReport& p : paths)
+        if (p.path == path)
+            return &p;
+    return nullptr;
+}
+
+json::Value
+StaticReport::to_json() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", kReportSchema);
+    doc.set("signature", signature);
+    doc.set("domain", to_string(domain));
+    doc.set("order", static_cast<std::uint64_t>(order));
+    doc.set("fir_taps", static_cast<std::uint64_t>(fir_taps));
+    doc.set("n", static_cast<std::uint64_t>(n));
+    doc.set("chunk", static_cast<std::uint64_t>(chunk));
+    doc.set("input_bound", input_bound);
+    json::Value path_array = json::Value::array();
+    for (const PathReport& p : paths) {
+        json::Value node = json::Value::object();
+        node.set("path", to_string(p.path));
+        node.set("legality", to_string(p.legality));
+        if (!p.legality_reason.empty())
+            node.set("legality_reason", p.legality_reason);
+
+        json::Value range = json::Value::object();
+        range.set("verdict", to_string(p.range.verdict));
+        range.set("witness_index", index_or_null(p.range.witness_index));
+        range.set("bound_at_witness", number_or_inf(p.range.bound_at_witness));
+        range.set("final_bound", number_or_inf(p.range.final_bound));
+        range.set("witness_value", number_or_inf(p.range.witness_value));
+        if (!p.range.note.empty())
+            range.set("note", p.range.note);
+        node.set("range", range);
+
+        json::Value error = json::Value::object();
+        error.set("available", p.error.available);
+        error.set("abs_bound", number_or_inf(p.error.abs_bound));
+        error.set("rel_bound", number_or_inf(p.error.rel_bound));
+        error.set("ulp_bound", number_or_inf(p.error.ulp_bound));
+        error.set("magnitude_bound", number_or_inf(p.error.magnitude_bound));
+        if (!p.error.note.empty())
+            error.set("note", p.error.note);
+        node.set("error", error);
+
+        if (p.path == PathKind::kSimdLogSpace) {
+            node.set("log_block_heuristic",
+                     static_cast<std::uint64_t>(p.log_block_heuristic));
+            node.set("log_block_proven_max",
+                     static_cast<std::uint64_t>(p.log_block_proven_max));
+        }
+        if (p.path == PathKind::kSuperpositionResume) {
+            node.set("truncation_bound", number_or_inf(p.truncation_bound));
+            node.set("truncation_exact", p.truncation_exact);
+        }
+        path_array.push_back(node);
+    }
+    doc.set("paths", path_array);
+    return doc;
+}
+
+StaticReport
+StaticReport::from_json(const json::Value& value)
+{
+    PLR_REQUIRE(value.is_object(), "static report: not a JSON object");
+    PLR_REQUIRE(value.at("schema").as_string() == kReportSchema,
+                "static report: unknown schema '"
+                    << value.at("schema").as_string() << "'");
+    StaticReport report;
+    report.signature = value.at("signature").as_string();
+    report.domain = parse_value_domain(value.at("domain").as_string());
+    report.order = static_cast<std::size_t>(value.at("order").as_uint64());
+    report.fir_taps =
+        static_cast<std::size_t>(value.at("fir_taps").as_uint64());
+    report.n = static_cast<std::size_t>(value.at("n").as_uint64());
+    report.chunk = static_cast<std::size_t>(value.at("chunk").as_uint64());
+    report.input_bound = value.at("input_bound").as_double();
+    for (const json::Value& node : value.at("paths").items()) {
+        PathReport p;
+        p.path = parse_path_kind(node.at("path").as_string());
+        p.legality = parse_legality(node.at("legality").as_string());
+        if (const json::Value* reason = node.find("legality_reason"))
+            p.legality_reason = reason->as_string();
+        const json::Value& range = node.at("range");
+        p.range.verdict =
+            parse_overflow_verdict(range.at("verdict").as_string());
+        p.range.witness_index =
+            parse_index_or_null(range.at("witness_index"));
+        p.range.bound_at_witness =
+            parse_number_or_inf(range.at("bound_at_witness"));
+        p.range.final_bound = parse_number_or_inf(range.at("final_bound"));
+        p.range.witness_value =
+            parse_number_or_inf(range.at("witness_value"));
+        if (const json::Value* note = range.find("note"))
+            p.range.note = note->as_string();
+        const json::Value& error = node.at("error");
+        p.error.available = error.at("available").as_bool();
+        p.error.abs_bound = parse_number_or_inf(error.at("abs_bound"));
+        p.error.rel_bound = parse_number_or_inf(error.at("rel_bound"));
+        p.error.ulp_bound = parse_number_or_inf(error.at("ulp_bound"));
+        p.error.magnitude_bound =
+            parse_number_or_inf(error.at("magnitude_bound"));
+        if (const json::Value* note = error.find("note"))
+            p.error.note = note->as_string();
+        if (const json::Value* v = node.find("log_block_heuristic"))
+            p.log_block_heuristic = static_cast<std::size_t>(v->as_uint64());
+        if (const json::Value* v = node.find("log_block_proven_max"))
+            p.log_block_proven_max = static_cast<std::size_t>(v->as_uint64());
+        if (const json::Value* v = node.find("truncation_bound"))
+            p.truncation_bound = parse_number_or_inf(*v);
+        if (const json::Value* v = node.find("truncation_exact"))
+            p.truncation_exact = v->as_bool();
+        report.paths.push_back(std::move(p));
+    }
+    return report;
+}
+
+}  // namespace plr::static_analysis

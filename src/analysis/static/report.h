@@ -1,0 +1,158 @@
+#ifndef PLR_ANALYSIS_STATIC_REPORT_H_
+#define PLR_ANALYSIS_STATIC_REPORT_H_
+
+/**
+ * @file
+ * Typed verdicts of the plan-time static analyzer
+ * (docs/STATIC_ANALYSIS.md): per execution path, an overflow/range
+ * verdict from interval analysis of the growth envelope, an a priori
+ * float forward-error bound, and a legality proof. The whole report is
+ * JSON-serializable (schema `plr-static:v1`) so `conformance_tool
+ * analyze` can export it and CI can diff verdicts against a committed
+ * baseline.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/static/bounds.h"
+#include "util/json.h"
+
+namespace plr::static_analysis {
+
+/** Schema tag stamped into exported reports. */
+inline constexpr const char* kReportSchema = "plr-static:v1";
+
+/** The domain a signature is analyzed in (kernels::Domain mirror; the
+ * analyzer cannot depend on the kernel registry). */
+enum class ValueDomain {
+    kInt32,
+    kFloat32,
+    kMaxPlus,
+};
+
+const char* to_string(ValueDomain d);
+ValueDomain parse_value_domain(const std::string& name);
+
+/** Value-range verdict of the interval analysis. */
+enum class OverflowVerdict {
+    /** The envelope stays below the range limit at every index < n. */
+    kProvenSafe,
+    /** The envelope crosses the limit but no witness input was
+     * confirmed (interval slop, or the envelope saturated double). */
+    kMayOverflow,
+    /** A concrete in-model input provably exceeds the limit (witness
+     * evaluated in double and re-checkable). */
+    kProvenOverflow,
+    /** The analysis could not decide (budget exhausted on a
+     * non-contracting recurrence, or the domain is unanalyzed). */
+    kUnknown,
+};
+
+const char* to_string(OverflowVerdict v);
+OverflowVerdict parse_overflow_verdict(const std::string& name);
+
+/** Legality verdict for one execution path. */
+enum class Legality {
+    /** The path applies and its preconditions are proven. */
+    kProven,
+    /** The path does not apply to this shape; the implementation falls
+     * back to a correct slower path (not an error). */
+    kFallback,
+    /** Applying the path would be unsound (e.g. log-space with a
+     * non-decay coefficient). */
+    kRejected,
+    /** Not analyzed; callers must treat the path conservatively. */
+    kUnknown,
+};
+
+const char* to_string(Legality l);
+Legality parse_legality(const std::string& name);
+
+/** The execution paths the analyzer reasons about. */
+enum class PathKind {
+    kSerial,
+    kChunkedTwoPhase,
+    kSimdDirect,
+    kSimdLogSpace,
+    kSuperpositionResume,
+};
+
+const char* to_string(PathKind p);
+PathKind parse_path_kind(const std::string& name);
+
+/** Range analysis of one path (int32 wrap / float32 overflow). */
+struct RangeReport {
+    OverflowVerdict verdict = OverflowVerdict::kUnknown;
+    /** First output index whose envelope crosses the limit. */
+    std::size_t witness_index = kNoIndex;
+    /** Envelope value at the crossing (0 when there is none). */
+    double bound_at_witness = 0.0;
+    /** Envelope at index n-1: the proven max |y[t]| over the model. */
+    double final_bound = 0.0;
+    /** Wide evaluation of the synthesized witness input (kProvenOverflow
+     * only): |value| exceeds the limit, re-checkable by anyone. */
+    double witness_value = 0.0;
+    std::string note;
+};
+
+/** A priori float forward-error bound for one path. */
+struct ErrorReport {
+    /** False when the domain has no error model (int is exact, tropical
+     * is unanalyzed) or the gamma model saturated. */
+    bool available = false;
+    /** Predicted max_t |path(y)[t] - serial_float(y)[t]|, absolute. */
+    double abs_bound = 0.0;
+    /** abs_bound relative to the magnitude envelope. */
+    double rel_bound = 0.0;
+    /** abs_bound in units of one ULP at the magnitude envelope. */
+    double ulp_bound = 0.0;
+    /** The magnitude envelope X * C[n] the bound scales with. */
+    double magnitude_bound = 0.0;
+    std::string note;
+};
+
+/** Everything the analyzer proved about one execution path. */
+struct PathReport {
+    PathKind path = PathKind::kSerial;
+    Legality legality = Legality::kUnknown;
+    std::string legality_reason;
+    RangeReport range;
+    ErrorReport error;
+    /** kSimdLogSpace only: the kernel's heuristic block length and the
+     * proven maximum it must stay under. */
+    std::size_t log_block_heuristic = 0;
+    std::size_t log_block_proven_max = 0;
+    /** kSuperpositionResume / decay suppression: per-element truncation
+     * error bound of suppressing decayed factor tails, and whether the
+     * suppression is exact (zero tail mass). */
+    double truncation_bound = 0.0;
+    bool truncation_exact = false;
+};
+
+/** The full static report for one (signature, domain, n, chunk). */
+struct StaticReport {
+    std::string signature;
+    ValueDomain domain = ValueDomain::kInt32;
+    std::size_t order = 0;
+    std::size_t fir_taps = 0;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    double input_bound = 0.0;
+    std::vector<PathReport> paths;
+
+    /** The report for @p path; nullptr when not analyzed. */
+    const PathReport* find(PathKind path) const;
+
+    /** Serialize as a `plr-static:v1` JSON object. */
+    json::Value to_json() const;
+
+    /** Parse a report previously emitted by to_json; throws FatalError
+     * on malformed documents (used by the CI baseline gate). */
+    static StaticReport from_json(const json::Value& value);
+};
+
+}  // namespace plr::static_analysis
+
+#endif  // PLR_ANALYSIS_STATIC_REPORT_H_

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "analysis/static/bounds.h"
 #include "core/correction_factors.h"
 #include "core/factor_analysis.h"
 #include "util/code_writer.h"
@@ -25,6 +26,15 @@ literal(double v, bool is_integer)
     if (s.find('.') == std::string::npos && s.find('e') == std::string::npos)
         s += ".0";
     return s;
+}
+
+/** Short scientific rendering for verdict comments. */
+std::string
+bound_text(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(3) << v;
+    return os.str();
 }
 
 }  // namespace
@@ -59,6 +69,7 @@ generate_cpp(const Signature& sig, const CppCodegenOptions& options)
     std::vector<bool> const_zero(k, false), const_one(k, false);
     std::vector<bool> periodic(k, false);
     std::vector<std::size_t> period_len(k, 0);
+    std::vector<std::size_t> eff_len(k, kPrototype);
     std::vector<std::string> const_value(k);
     std::vector<std::string> period_values(k);
     GeneratedCppCode out;
@@ -84,6 +95,7 @@ generate_cpp(const Signature& sig, const CppCodegenOptions& options)
                               !constant[j - 1] && !conditional[j - 1] &&
                               props.lists[j - 1].period >= 1 &&
                               props.lists[j - 1].period <= kMaxPeriodLiteral;
+            eff_len[j - 1] = props.lists[j - 1].effective_length;
             if (periodic[j - 1]) {
                 period_len[j - 1] = props.lists[j - 1].period;
                 std::ostringstream vals;
@@ -112,12 +124,75 @@ generate_cpp(const Signature& sig, const CppCodegenOptions& options)
     else
         analyze(FloatRing{});
 
+    // Plan-time static analysis (docs/STATIC_ANALYSIS.md): the overflow
+    // verdict under the conformance input model and the truncation bound
+    // of decayed-tail suppression, both from the analyzer's numeric core.
+    // Suppression with a truncation bound that cannot be proven below the
+    // float unit roundoff is disabled rather than emitted unsoundly.
+    namespace sa = static_analysis;
+    const double input_bound =
+        is_int ? sa::kConformanceIntInputBound : sa::kConformanceFloatInputBound;
+    const double range_limit =
+        is_int ? sa::kInt32RangeLimit : sa::kFloat32RangeLimit;
+    const sa::EnvelopeScan scan = sa::scan_envelope(
+        sig.a(), sig.b(), input_bound, kPrototype, range_limit);
+    if (scan.first_may_exceed == sa::kNoIndex) {
+        out.range_verdict = scan.complete ? "proven-safe" : "unknown";
+    } else {
+        const std::size_t witness = scan.first_must_exceed != sa::kNoIndex
+                                        ? scan.first_must_exceed
+                                        : scan.first_may_exceed;
+        out.overflow_witness = witness;
+        const sa::WitnessEval eval = sa::evaluate_witness(
+            sig.a(), sig.b(), input_bound, scan.signs, witness, range_limit);
+        out.range_verdict =
+            eval.evaluated && eval.exceeds ? "proven-overflow" : "may-overflow";
+    }
+    if (!is_int && opts.zero_tail_suppress) {
+        double tail_mass = 0.0;
+        for (std::size_t j = 1; j <= k; ++j)
+            tail_mass +=
+                sa::factor_tail_abs_sum(sig.b(), j, eff_len[j - 1], kPrototype);
+        out.truncation_rel_bound = tail_mass;
+        if (tail_mass > sa::kFloat32UnitRoundoff) {
+            opts.zero_tail_suppress = false;
+            out.suppression_disabled = true;
+        }
+    }
+
     CodeWriter w;
     const char* val_t = is_int ? "int" : "float";
 
     w.line("// Generated by PLR (Parallelized Linear Recurrences), C++");
     w.line("// backend. Signature: " + sig.to_string());
     w.line("// Build: g++ -std=c++17 -O2 -pthread <this file>");
+    w.line("//");
+    w.line("// Static analysis (docs/STATIC_ANALYSIS.md), input model |x| <= " +
+           literal(input_bound, true) + ", n = " + std::to_string(kPrototype) +
+           ":");
+    {
+        std::string range_line = "//   range: " + out.range_verdict;
+        if (out.overflow_witness != sa::kNoIndex)
+            range_line += " (witness index " +
+                          std::to_string(out.overflow_witness) + ", envelope " +
+                          bound_text(scan.bound_at_crossing) + ")";
+        else
+            range_line += " (envelope <= " + bound_text(scan.final_bound) + ")";
+        w.line(range_line);
+    }
+    if (is_int) {
+        w.line("//   corrections: exact int ring; suppression drops literal "
+               "zeros only");
+    } else if (out.suppression_disabled) {
+        w.line("//   decayed-tail suppression: DISABLED (relative truncation "
+               "bound " + bound_text(out.truncation_rel_bound) +
+               " above unit roundoff)");
+    } else if (opts.zero_tail_suppress) {
+        w.line("//   decayed-tail suppression: relative truncation bound <= " +
+               (out.truncation_rel_bound == 0.0
+                    ? std::string("0 (exact)")
+                    : bound_text(out.truncation_rel_bound)));
+    }
     w.line();
     w.line("#include <cmath>");
     w.line("#include <cstdint>");

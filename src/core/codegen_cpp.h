@@ -54,6 +54,19 @@ struct GeneratedCppCode {
     /** Constant lists whose factor is one: the multiply is elided and
      * the carry added directly. */
     std::size_t elided_multiplies = 0;
+    /** Plan-time overflow verdict under the conformance input model
+     * ("proven-safe" / "may-overflow" / "proven-overflow" / "unknown",
+     * docs/STATIC_ANALYSIS.md), recorded in the generated header. */
+    std::string range_verdict = "unknown";
+    /** Earliest output index whose growth envelope crosses the range
+     * limit (SIZE_MAX when the envelope never crosses). */
+    std::size_t overflow_witness = static_cast<std::size_t>(-1);
+    /** Proven relative bound of decayed-tail suppression (0 when the
+     * dropped factors are exactly the semiring zero). */
+    double truncation_rel_bound = 0.0;
+    /** Suppression was requested but its truncation bound could not be
+     * proven below the float unit roundoff, so it was disabled. */
+    bool suppression_disabled = false;
 };
 
 /** Translate @p sig into a standalone C++ program. */

@@ -5,6 +5,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "analysis/static/analyzer.h"
 #include "core/correction_factors.h"
 #include "core/factor_analysis.h"
 #include "kernels/chunk_carry.h"
@@ -95,42 +96,49 @@ struct PathPlan {
     bool fuse_map = false;
 };
 
+/**
+ * Resolve the Phase-A strategy by consulting the static analyzer's
+ * path-legality slice (analysis/static/analyzer.h). The analyzer owns
+ * the shape decision — including the proof obligations of the log-space
+ * path — while the ring-typed plan coefficients stay here.
+ */
 template <typename Ring>
 PathPlan<Ring>
-classify_path(const Signature& sig, FirstOrderPath requested)
+classify_path(const Signature& sig, FirstOrderPath requested,
+              const char** log_legality = nullptr)
 {
+    namespace sa = plr::static_analysis;
+    const FirstOrderPath resolved = requested == FirstOrderPath::kAuto
+                                        ? env_first_order_path()
+                                        : requested;
+    const sa::FirstOrderMode mode =
+        resolved == FirstOrderPath::kDirect     ? sa::FirstOrderMode::kDirect
+        : resolved == FirstOrderPath::kLogSpace ? sa::FirstOrderMode::kLog
+                                                : sa::FirstOrderMode::kAuto;
+    const sa::ValueDomain domain = std::is_same_v<Ring, IntRing>
+                                       ? sa::ValueDomain::kInt32
+                                       : sa::ValueDomain::kFloat32;
+    const sa::SimdPathDecision dec = sa::choose_simd_path(sig, domain, mode);
+    if (log_legality != nullptr)
+        *log_legality = sa::to_string(dec.log_legality);
+
     PathPlan<Ring> plan;
-    const std::size_t k = sig.order();
-    const bool single_tap = sig.a().size() == 1;
-    if (k == 1) {
+    switch (dec.shape) {
+      case sa::SimdShape::kScalar: plan.path = VecPath::kScalarPath; break;
+      case sa::SimdShape::kPrefix: plan.path = VecPath::kPrefix; break;
+      case sa::SimdShape::kFirstOrder: plan.path = VecPath::kFirstOrder; break;
+      case sa::SimdShape::kFirstOrderLog:
+        plan.path = VecPath::kFirstOrderLog;
+        break;
+      case sa::SimdShape::kTuple: plan.path = VecPath::kTuple; break;
+    }
+    plan.tuple = dec.tuple;
+    if (sig.order() == 1) {
         plan.b1 = Ring::from_coefficient(sig.b()[0]);
-        if (single_tap) {
+        if (dec.fuse_map) {
             plan.a0 = Ring::from_coefficient(sig.a()[0]);
             plan.fuse_map = true;
         }
-        if (Ring::is_one(plan.b1) && Ring::is_one(plan.a0)) {
-            plan.path = VecPath::kPrefix;
-        } else if constexpr (std::is_same_v<Ring, FloatRing>) {
-            const FirstOrderPath mode = requested == FirstOrderPath::kAuto
-                                            ? env_first_order_path()
-                                            : requested;
-            const bool decay = plan.b1 > 0.0f && plan.b1 < 1.0f;
-            plan.path = decay && mode != FirstOrderPath::kDirect
-                            ? VecPath::kFirstOrderLog
-                            : VecPath::kFirstOrder;
-        } else {
-            plan.path = VecPath::kFirstOrder;
-        }
-        return plan;
-    }
-    // Tuple prefix sum (1: 0,..,0,1): interleaved independent prefix
-    // sums over s = k lanes.
-    bool tuple = Ring::is_one(Ring::from_coefficient(sig.b()[k - 1]));
-    for (std::size_t j = 0; j + 1 < k && tuple; ++j)
-        tuple = Ring::is_zero(Ring::from_coefficient(sig.b()[j]));
-    if (tuple) {
-        plan.path = VecPath::kTuple;
-        plan.tuple = k;
     }
     return plan;
 }
@@ -229,8 +237,9 @@ run_impl(const Signature& sig,
 
     const simd::SimdScan& table =
         simd::scan_table(options.isa.value_or(simd::selected_isa()));
+    const char* log_legality = "unknown";
     const PathPlan<Ring> plan =
-        classify_path<Ring>(sig, options.first_order);
+        classify_path<Ring>(sig, options.first_order, &log_legality);
     const std::span<const V> seed_y =
         resume != nullptr ? std::span<const V>(resume->y_tail)
                           : std::span<const V>();
@@ -242,6 +251,7 @@ run_impl(const Signature& sig,
     local.isa = table.isa;
     local.lanes = table.lanes;
     local.path = path_name(plan.path);
+    local.log_legality = log_legality;
 
     std::size_t threads = options.threads;
     if (threads == 0) {

@@ -81,6 +81,10 @@ struct CpuSimdStats {
     /** Phase-A path: "prefix", "first_order", "first_order_log",
      * "tuple", or "scalar". */
     const char* path = "scalar";
+    /** Static-analyzer legality verdict for the log-space path on this
+     * signature ("proven" / "fallback" / "rejected" / "unknown"); the
+     * log path is only taken when proven (docs/STATIC_ANALYSIS.md). */
+    const char* log_legality = "unknown";
     /** Single streaming pass (no Phase B) was used. */
     bool fused = false;
     std::size_t threads_used = 0;

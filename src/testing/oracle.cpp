@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/static/analyzer.h"
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
 #include "kernels/serial.h"
@@ -54,6 +55,39 @@ validate_float(std::span<const float> expected, std::span<const float> actual,
 {
     return validate_ulp(expected, actual, opts.max_ulps,
                         opts.float_tolerance);
+}
+
+/** The static report the bound-dominance check compares against. */
+static_analysis::StaticReport
+dominance_report(const Signature& sig, static_analysis::ValueDomain domain,
+                 std::size_t n, const kernels::RunOptions& run)
+{
+    static_analysis::AnalysisOptions opts;
+    opts.n = n;
+    opts.chunk = run.chunk != 0 ? run.chunk : 64;
+    return static_analysis::analyze(sig, domain, opts);
+}
+
+/** Wide (double) serial evaluation of the full signature — the exact
+ * mathematical values every dominance claim is about. */
+std::vector<double>
+wide_serial(const Signature& sig, std::span<const float> xf,
+            std::span<const std::int32_t> xi)
+{
+    const std::size_t n = xf.empty() ? xi.size() : xf.size();
+    const std::size_t k = sig.order();
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < sig.a().size() && j <= i; ++j)
+            acc += sig.a()[j] * (xf.empty()
+                                     ? static_cast<double>(xi[i - j])
+                                     : static_cast<double>(xf[i - j]));
+        for (std::size_t j = 1; j <= k && j <= i; ++j)
+            acc += sig.b()[j - 1] * y[i - j];
+        y[i] = acc;
+    }
+    return y;
 }
 
 /** The checkpoint-resume trial shared by the int and float checks. */
@@ -138,6 +172,51 @@ check_int(const kernels::KernelInfo& kernel, const Signature& sig,
         return std::nullopt;  // a float-filter property
       case Check::kCheckpointResume:
         return check_crash_resume<IntRing>(kernel, sig, x, run, opts);
+      case Check::kBoundDominance: {
+        namespace sa = static_analysis;
+        const sa::StaticReport report =
+            dominance_report(sig, sa::ValueDomain::kInt32, n, run);
+        const sa::PathReport* serial = report.find(sa::PathKind::kSerial);
+        if (serial == nullptr)
+            return std::nullopt;
+        const sa::RangeReport& range = serial->range;
+        if (range.verdict == sa::OverflowVerdict::kProvenOverflow) {
+            // A proven verdict must be constructive: the recorded witness
+            // evaluation has to genuinely exceed the range limit.
+            if (range.witness_index == sa::kNoIndex ||
+                !(std::fabs(range.witness_value) > sa::kInt32RangeLimit)) {
+                std::ostringstream os;
+                os << "vacuous proven-overflow verdict: witness value "
+                   << range.witness_value << " does not exceed the int32 "
+                   << "range limit";
+                return os.str();
+            }
+            return std::nullopt;
+        }
+        if (range.verdict != sa::OverflowVerdict::kProvenSafe)
+            return std::nullopt;  // no whole-envelope claim to validate
+        const std::vector<double> wide = wide_serial(sig, {}, x);
+        const double envelope = range.final_bound * (1.0 + 1e-9);
+        for (std::size_t t = 0; t < wide.size(); ++t) {
+            if (!(std::fabs(wide[t]) <= envelope)) {
+                std::ostringstream os;
+                os << "observed wide value " << wide[t] << " at index " << t
+                   << " exceeds the proven envelope " << range.final_bound;
+                return os.str();
+            }
+        }
+        const auto got = kernel.run_int(sig, x, run);
+        for (std::size_t t = 0; t < got.size(); ++t) {
+            const auto want = static_cast<std::int32_t>(std::llround(wide[t]));
+            if (got[t] != want) {
+                std::ostringstream os;
+                os << "proven-safe int result wraps: got " << got[t]
+                   << " at index " << t << ", unwrapped value " << want;
+                return os.str();
+            }
+        }
+        return std::nullopt;
+      }
     }
     return std::nullopt;
 }
@@ -239,6 +318,64 @@ check_float(const kernels::KernelInfo& kernel, const Signature& sig,
                    ? check_crash_resume<TropicalRing>(kernel, sig, x, run,
                                                       opts)
                    : check_crash_resume<FloatRing>(kernel, sig, x, run, opts);
+      case Check::kBoundDominance: {
+        namespace sa = static_analysis;
+        if (tropical)
+            return std::nullopt;  // max-plus envelopes are unanalyzed
+        const sa::StaticReport report =
+            dominance_report(sig, sa::ValueDomain::kFloat32, n, run);
+        const sa::PathReport* serial = report.find(sa::PathKind::kSerial);
+        if (serial == nullptr)
+            return std::nullopt;
+        const sa::RangeReport& range = serial->range;
+        if (range.verdict == sa::OverflowVerdict::kProvenOverflow) {
+            if (range.witness_index == sa::kNoIndex ||
+                !(std::fabs(range.witness_value) > sa::kFloat32RangeLimit)) {
+                std::ostringstream os;
+                os << "vacuous proven-overflow verdict: witness value "
+                   << range.witness_value << " does not exceed the float "
+                   << "range limit";
+                return os.str();
+            }
+            return std::nullopt;
+        }
+        if (range.verdict != sa::OverflowVerdict::kProvenSafe)
+            return std::nullopt;
+        const std::vector<double> wide = wide_serial(sig, x, {});
+        const double envelope = range.final_bound * (1.0 + 1e-9);
+        for (std::size_t t = 0; t < wide.size(); ++t) {
+            if (!(std::fabs(wide[t]) <= envelope)) {
+                std::ostringstream os;
+                os << "observed wide value " << wide[t] << " at index " << t
+                   << " exceeds the proven envelope " << range.final_bound;
+                return os.str();
+            }
+        }
+        if (!serial->error.available)
+            return std::nullopt;  // no a-priori error bound to enforce
+        const auto got = kernel.run_float(sig, x, run);
+        const auto want = kernels::serial_recurrence<FloatRing>(sig, x);
+        double max_diff = 0.0;
+        for (std::size_t t = 0; t < got.size(); ++t) {
+            if (!std::isfinite(got[t])) {
+                std::ostringstream os;
+                os << "proven-safe signature produced non-finite value at "
+                   << "index " << t;
+                return os.str();
+            }
+            max_diff = std::max(
+                max_diff, std::fabs(static_cast<double>(got[t]) -
+                                    static_cast<double>(want[t])));
+        }
+        if (!(max_diff <= serial->error.abs_bound)) {
+            std::ostringstream os;
+            os << "observed divergence " << max_diff
+               << " exceeds the a-priori forward-error bound "
+               << serial->error.abs_bound;
+            return os.str();
+        }
+        return std::nullopt;
+      }
     }
     return std::nullopt;
 }
@@ -255,6 +392,7 @@ to_string(Check c)
       case Check::kSuperposition: return "superposition";
       case Check::kImpulseDecay: return "impulse-decay";
       case Check::kCheckpointResume: return "checkpoint-resume";
+      case Check::kBoundDominance: return "bound-dominance";
     }
     return "unknown";
 }
@@ -264,7 +402,8 @@ parse_check(const std::string& name)
 {
     for (Check c : {Check::kDifferential, Check::kChunkInvariance,
                     Check::kHomogeneity, Check::kSuperposition,
-                    Check::kImpulseDecay, Check::kCheckpointResume})
+                    Check::kImpulseDecay, Check::kCheckpointResume,
+                    Check::kBoundDominance})
         if (name == to_string(c))
             return c;
     // Reached from user-supplied reproducer lines, so fatal, not panic.
@@ -367,6 +506,13 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
                     if (entry.stable && entry.domain == Domain::kFloat &&
                         n >= 128)
                         checks.push_back(Check::kImpulseDecay);
+                    // Bound dominance validates the plan-time static
+                    // analyzer against this very run: proven envelopes
+                    // must contain the observed wide values, and a-priori
+                    // float error bounds must dominate the observed
+                    // divergence (docs/STATIC_ANALYSIS.md).
+                    if (entry.domain != Domain::kTropical)
+                        checks.push_back(Check::kBoundDominance);
                 }
                 // Streaming durability is opt-in (it multiplies runtime
                 // by the segment count) and needs a non-empty stream.

@@ -56,6 +56,16 @@ enum class Check {
      * docs/STREAMING.md). Enabled by OracleOptions::checkpoint_every.
      */
     kCheckpointResume,
+    /**
+     * Bound dominance against the plan-time static analyzer
+     * (docs/STATIC_ANALYSIS.md): the observed wide-precision output must
+     * stay inside the proven growth envelope; an int result under a
+     * proven-safe verdict must equal the unwrapped wide value exactly; a
+     * float result must diverge from the serial reference by no more
+     * than the a-priori forward-error bound whenever one is available;
+     * and a proven-overflow verdict must carry a non-vacuous witness.
+     */
+    kBoundDominance,
 };
 
 /** Stable lowercase name used in reproducer strings. */

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "core/factor_analysis.h"
 #include "core/signature.h"
 #include "dsp/filter_design.h"
@@ -217,6 +221,123 @@ TEST(FactorAnalysis, HigherOrderFactorsNotOptimizable)
         EXPECT_EQ(list.period, 64u);
         EXPECT_EQ(list.effective_length, 64u);
     }
+}
+
+TEST(FactorAnalysis, PeriodDetectionAtTheCompressionBoundary)
+{
+    // codegen_cpp stores periods up to kMaxPeriodLiteral = 64 as literal
+    // arrays; make sure period detection is exact on both sides of that
+    // boundary, including when the analysis window is not a multiple of
+    // the period (4096 = 64 * 64 but 4096 % 65 != 0).
+    for (std::size_t period : {std::size_t{64}, std::size_t{65}}) {
+        std::vector<std::int32_t> f(4096, 0);
+        for (std::size_t o = 0; o < f.size(); o += period)
+            f[o] = 1;
+        const auto props = detail::analyze_factor_list<IntRing>(
+            std::span<const std::int32_t>(f));
+        EXPECT_EQ(props.period, period);
+        EXPECT_TRUE(props.all_zero_one);
+        EXPECT_FALSE(props.all_equal);
+    }
+    // An aperiodic list reports its own length as the period.
+    std::vector<std::int32_t> ramp(100);
+    for (std::size_t o = 0; o < ramp.size(); ++o)
+        ramp[o] = static_cast<std::int32_t>(o);
+    EXPECT_EQ(detail::analyze_factor_list<IntRing>(
+                  std::span<const std::int32_t>(ramp))
+                  .period,
+              100u);
+}
+
+TEST(FactorAnalysis, TuplePeriodBoundaryThroughGeneratedFactors)
+{
+    // The same boundary through real factor generation: a k-tuple prefix
+    // sum's lists are 0/1 with period exactly k.
+    for (std::size_t k : {std::size_t{64}, std::size_t{65}}) {
+        std::vector<double> b(k, 0.0);
+        b[k - 1] = 1.0;
+        const Signature sig({1.0}, b);
+        const auto props =
+            analyze_factors(IntFactors::generate(sig, 4 * k + 3));
+        for (std::size_t j = 1; j <= k; ++j) {
+            EXPECT_EQ(props.lists[j - 1].period, k) << "k=" << k << " j=" << j;
+            EXPECT_TRUE(props.lists[j - 1].all_zero_one);
+        }
+    }
+}
+
+TEST(FactorAnalysis, AllZeroListHasEffectiveLengthZero)
+{
+    // Decayed-tail suppression's degenerate extreme: a list that is zero
+    // everywhere is entirely suppressible (effective length 0) and still
+    // constant, 0/1, and period-1.
+    const std::vector<std::int32_t> zeros(128, 0);
+    const auto props = detail::analyze_factor_list<IntRing>(
+        std::span<const std::int32_t>(zeros));
+    EXPECT_EQ(props.effective_length, 0u);
+    EXPECT_TRUE(props.all_equal);
+    EXPECT_TRUE(props.all_zero_one);
+    EXPECT_EQ(props.period, 1u);
+}
+
+TEST(FactorAnalysis, ZeroOneListWithDecayedTail)
+{
+    // A 0/1 list whose tail is zero: conditional-add and suppression
+    // compose — the effective length stops at the last 1.
+    std::vector<std::int32_t> f(96, 0);
+    f[0] = f[7] = f[31] = 1;
+    const auto props = detail::analyze_factor_list<IntRing>(
+        std::span<const std::int32_t>(f));
+    EXPECT_TRUE(props.all_zero_one);
+    EXPECT_FALSE(props.all_equal);
+    EXPECT_EQ(props.effective_length, 32u);
+}
+
+TEST(FactorAnalysis, EmptyAndSingletonLists)
+{
+    const std::vector<std::int32_t> empty;
+    const auto none = detail::analyze_factor_list<IntRing>(
+        std::span<const std::int32_t>(empty));
+    EXPECT_EQ(none.period, 0u);
+    EXPECT_EQ(none.effective_length, 0u);
+    EXPECT_FALSE(none.all_equal);
+
+    const std::vector<std::int32_t> one{7};
+    const auto single = detail::analyze_factor_list<IntRing>(
+        std::span<const std::int32_t>(one));
+    EXPECT_TRUE(single.all_equal);
+    EXPECT_EQ(single.period, 1u);
+    EXPECT_EQ(single.effective_length, 1u);
+}
+
+TEST(FactorAnalysis, SecondOrderGrowthMatchesClosedForm)
+{
+    // (1: 2, -1) over a longer window than the worked example: the
+    // closed forms F_1[o] = o + 2 and F_2[o] = -(o + 1) keep holding, so
+    // the lists grow without bound — aperiodic, never suppressible.
+    constexpr std::size_t m = 256;
+    const auto factors =
+        IntFactors::generate(Signature::parse("(1: 2, -1)"), m);
+    for (std::size_t o = 0; o < m; ++o) {
+        EXPECT_EQ(factors.factor(1, o), static_cast<std::int32_t>(o + 2));
+        EXPECT_EQ(factors.factor(2, o), -static_cast<std::int32_t>(o + 1));
+    }
+    const auto props = analyze_factors(factors);
+    EXPECT_EQ(props.lists[0].effective_length, m);
+    EXPECT_EQ(props.lists[1].effective_length, m);
+    EXPECT_EQ(props.max_effective_length, m);
+}
+
+TEST(FactorAnalysis, FlushedFloatDecayBoundsTheEffectiveLength)
+{
+    // 0.8^t crosses the flush threshold (1.17549435e-38) near t = 391:
+    // with flushing the effective length lands there, strictly inside a
+    // 512-element window.
+    const auto factors = FloatFactors::generate(
+        Signature::parse("(1: 0.8)"), 512, /*flush_denormals=*/true);
+    const auto props = analyze_factors(factors);
+    EXPECT_LT(props.lists[0].effective_length, 512u);
+    EXPECT_GT(props.lists[0].effective_length, 256u);
 }
 
 TEST(FactorAnalysis, ShiftDetection)

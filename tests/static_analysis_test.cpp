@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Unit tests of the plan-time static analyzer (docs/STATIC_ANALYSIS.md):
+ * interval overflow verdicts with constructive witnesses, a-priori float
+ * error bounds, path-legality proofs, the JSON round-trip the CI baseline
+ * gate depends on, and equivalence of the analyzer's SIMD path decision
+ * with the historical kernel classification.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "analysis/static/analyzer.h"
+#include "core/signature.h"
+#include "util/diag.h"
+#include "util/json.h"
+
+namespace sa = plr::static_analysis;
+using plr::Signature;
+
+namespace {
+
+const sa::PathReport&
+serial_path(const sa::StaticReport& report)
+{
+    const sa::PathReport* p = report.find(sa::PathKind::kSerial);
+    EXPECT_NE(p, nullptr);
+    return *p;
+}
+
+// ---- overflow verdicts -------------------------------------------------
+
+TEST(RangeVerdict, DoublingRecurrenceProvenOverflowWithWitness)
+{
+    // y[t] = x[t] + 2 y[t-1] with |x| <= 100 doubles every step: the
+    // envelope is 100 * (2^(t+1) - 1), crossing 2^31 - 1 at t = 24.
+    const auto report = sa::analyze(Signature::parse("(1: 2)"),
+                                    sa::ValueDomain::kInt32);
+    const sa::RangeReport& range = serial_path(report).range;
+    EXPECT_EQ(range.verdict, sa::OverflowVerdict::kProvenOverflow);
+    EXPECT_EQ(range.witness_index, 24u);
+    EXPECT_GT(std::fabs(range.witness_value), sa::kInt32RangeLimit);
+}
+
+TEST(RangeVerdict, PrefixSumProvenSafeAtModestLength)
+{
+    sa::AnalysisOptions opts;
+    opts.n = 1000;
+    const auto report =
+        sa::analyze(Signature::parse("(1: 1)"), sa::ValueDomain::kInt32, opts);
+    const sa::RangeReport& range = serial_path(report).range;
+    EXPECT_EQ(range.verdict, sa::OverflowVerdict::kProvenSafe);
+    // C[999] = 1000, so the envelope is 100'000 (plus outward slop).
+    EXPECT_GE(range.final_bound, 100'000.0);
+    EXPECT_LT(range.final_bound, 100'001.0);
+}
+
+TEST(RangeVerdict, StableFilterProvenSafeViaContractionTail)
+{
+    // sum|b| = 0.8 < 1: even n far beyond the scan budget completes via
+    // the analytic contraction tail.
+    sa::AnalysisOptions opts;
+    opts.n = std::size_t{1} << 40;
+    opts.budget = 1 << 12;
+    const auto report = sa::analyze(Signature::parse("(0.2: 0.8)"),
+                                    sa::ValueDomain::kFloat32, opts);
+    const sa::RangeReport& range = serial_path(report).range;
+    EXPECT_EQ(range.verdict, sa::OverflowVerdict::kProvenSafe);
+    EXPECT_LE(range.final_bound, 1.1);
+}
+
+TEST(RangeVerdict, BudgetExhaustionOnGrowthIsUnknownNotSafe)
+{
+    // Marginally unstable (sum|b| = 1): no contraction tail, and the
+    // envelope grows too slowly to cross the limit within the budget.
+    sa::AnalysisOptions opts;
+    opts.n = std::size_t{1} << 40;
+    opts.budget = 1 << 10;
+    const auto report = sa::analyze(Signature::parse("(1: 1)"),
+                                    sa::ValueDomain::kInt32, opts);
+    EXPECT_EQ(serial_path(report).range.verdict,
+              sa::OverflowVerdict::kUnknown);
+}
+
+TEST(RangeVerdict, EmptyOutputIsTriviallySafe)
+{
+    sa::AnalysisOptions opts;
+    opts.n = 0;
+    const auto report =
+        sa::analyze(Signature::parse("(1: 2)"), sa::ValueDomain::kInt32, opts);
+    EXPECT_EQ(serial_path(report).range.verdict,
+              sa::OverflowVerdict::kProvenSafe);
+}
+
+TEST(RangeVerdict, WitnessIsReEvaluatableFromTheSignature)
+{
+    // The proven-overflow verdict is constructive: anyone can rebuild the
+    // sign-matched witness from the envelope scan and watch it exceed.
+    const Signature sig = Signature::parse("(1: 2)");
+    const sa::EnvelopeScan scan = sa::scan_envelope(
+        sig.a(), sig.b(), 100.0, 4096, sa::kInt32RangeLimit);
+    ASSERT_NE(scan.first_must_exceed, sa::kNoIndex);
+    const sa::WitnessEval eval =
+        sa::evaluate_witness(sig.a(), sig.b(), 100.0, scan.signs,
+                             scan.first_must_exceed, sa::kInt32RangeLimit);
+    EXPECT_TRUE(eval.evaluated);
+    EXPECT_TRUE(eval.exceeds);
+}
+
+TEST(RangeVerdict, MaxPlusIsUnknown)
+{
+    const Signature sig = Signature::max_plus({0.0}, {1.0});
+    const auto report = sa::analyze(sig, sa::ValueDomain::kMaxPlus);
+    EXPECT_EQ(serial_path(report).range.verdict,
+              sa::OverflowVerdict::kUnknown);
+}
+
+// ---- float forward-error bounds ----------------------------------------
+
+TEST(ErrorBound, AvailableExactlyWhenRangeProvenSafe)
+{
+    const auto safe = sa::analyze(Signature::parse("(0.2: 0.8)"),
+                                  sa::ValueDomain::kFloat32);
+    EXPECT_TRUE(serial_path(safe).error.available);
+    EXPECT_GT(serial_path(safe).error.abs_bound, 0.0);
+    EXPECT_TRUE(std::isfinite(serial_path(safe).error.abs_bound));
+
+    const auto growing = sa::analyze(Signature::parse("(1: 2)"),
+                                     sa::ValueDomain::kFloat32);
+    EXPECT_FALSE(serial_path(growing).error.available);
+}
+
+TEST(ErrorBound, IntRingHasNoErrorModel)
+{
+    const auto report =
+        sa::analyze(Signature::parse("(1: 1)"), sa::ValueDomain::kInt32);
+    EXPECT_FALSE(serial_path(report).error.available);
+}
+
+TEST(ErrorBound, GrowsWithLengthAndMagnitude)
+{
+    sa::AnalysisOptions small, large;
+    small.n = 256;
+    large.n = 4096;
+    const Signature sig = Signature::parse("(0.2: 0.8)");
+    const auto a = sa::analyze(sig, sa::ValueDomain::kFloat32, small);
+    const auto b = sa::analyze(sig, sa::ValueDomain::kFloat32, large);
+    EXPECT_LT(serial_path(a).error.abs_bound,
+              serial_path(b).error.abs_bound);
+}
+
+// ---- log-space path legality -------------------------------------------
+
+TEST(LogSpaceLegality, DecayCoefficientProven)
+{
+    const auto report = sa::analyze(Signature::parse("(0.2: 0.8)"),
+                                    sa::ValueDomain::kFloat32);
+    const sa::PathReport* log = report.find(sa::PathKind::kSimdLogSpace);
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->legality, sa::Legality::kProven);
+    EXPECT_GT(log->log_block_heuristic, 0u);
+    EXPECT_LE(log->log_block_heuristic, log->log_block_proven_max);
+}
+
+TEST(LogSpaceLegality, GrowthCoefficientRejected)
+{
+    const auto report = sa::analyze(Signature::parse("(1: 1.5)"),
+                                    sa::ValueDomain::kFloat32);
+    const sa::PathReport* log = report.find(sa::PathKind::kSimdLogSpace);
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->legality, sa::Legality::kRejected);
+}
+
+TEST(LogSpaceLegality, IntDomainRejected)
+{
+    const auto report = sa::analyze(Signature::parse("(1: 2)"),
+                                    sa::ValueDomain::kInt32);
+    EXPECT_EQ(report.find(sa::PathKind::kSimdLogSpace)->legality,
+              sa::Legality::kRejected);
+}
+
+TEST(LogSpaceLegality, TinyCoefficientOverflowsTheLadderAndIsRejected)
+{
+    // b = 1e-7: the heuristic block is 8, but even 8 steps of the b^-u
+    // scale ladder leave the float range (1e-7^-8 = 1e56 >> FLT_MAX).
+    // The heuristic exponent-budget classification accepted this; the
+    // proven bound rejects it.
+    EXPECT_EQ(sa::heinsen_heuristic_block_length(1e-7), 8u);
+    EXPECT_LT(sa::log_space_proven_max_block(1e-7, 1.0, 1.0), 8u);
+    const auto report = sa::analyze(Signature::parse("(1: 1e-7)"),
+                                    sa::ValueDomain::kFloat32);
+    EXPECT_EQ(report.find(sa::PathKind::kSimdLogSpace)->legality,
+              sa::Legality::kRejected);
+    // ...and the kernel path decision falls back to the direct scan even
+    // when log-space is requested.
+    const auto dec =
+        sa::choose_simd_path(Signature::parse("(1: 1e-7)"),
+                             sa::ValueDomain::kFloat32,
+                             sa::FirstOrderMode::kLog);
+    EXPECT_EQ(dec.shape, sa::SimdShape::kFirstOrder);
+    EXPECT_EQ(dec.log_legality, sa::Legality::kRejected);
+}
+
+TEST(LogSpaceLegality, HeuristicBlockLengthMatchesKernelConstants)
+{
+    // Exact replica of the kernel's block heuristic: largest L with
+    // b^-L <= 2^20, clamped to [8, 4096], rounded down to a multiple of 8.
+    EXPECT_EQ(sa::heinsen_heuristic_block_length(0.5), 16u);
+    EXPECT_EQ(sa::heinsen_heuristic_block_length(0.9), 128u);
+    EXPECT_EQ(sa::heinsen_heuristic_block_length(0.999), 4096u);
+}
+
+// ---- SIMD path decision ------------------------------------------------
+
+TEST(SimdPathDecision, MatchesHistoricalClassification)
+{
+    using Shape = sa::SimdShape;
+    const auto decide = [](const char* text, sa::ValueDomain domain) {
+        return sa::choose_simd_path(Signature::parse(text), domain,
+                                    sa::FirstOrderMode::kAuto);
+    };
+    EXPECT_EQ(decide("(1: 1)", sa::ValueDomain::kInt32).shape,
+              Shape::kPrefix);
+    EXPECT_EQ(decide("(1: 1)", sa::ValueDomain::kFloat32).shape,
+              Shape::kPrefix);
+    EXPECT_EQ(decide("(2: 1)", sa::ValueDomain::kInt32).shape,
+              Shape::kFirstOrder);
+    EXPECT_EQ(decide("(1: 3)", sa::ValueDomain::kInt32).shape,
+              Shape::kFirstOrder);
+    EXPECT_EQ(decide("(1: 0.8)", sa::ValueDomain::kFloat32).shape,
+              Shape::kFirstOrderLog);
+    // The int ring rounds coefficients: 0.8 becomes 1 and the shape is a
+    // plain prefix sum — exactly what the historical classifier did.
+    EXPECT_EQ(decide("(1: 0.8)", sa::ValueDomain::kInt32).shape,
+              Shape::kPrefix);
+    EXPECT_EQ(decide("(1: 0.4)", sa::ValueDomain::kInt32).shape,
+              Shape::kFirstOrder);
+    const auto tuple = decide("(1: 0, 0, 1)", sa::ValueDomain::kInt32);
+    EXPECT_EQ(tuple.shape, Shape::kTuple);
+    EXPECT_EQ(tuple.tuple, 3u);
+    EXPECT_EQ(decide("(1: 2, -1)", sa::ValueDomain::kInt32).shape,
+              Shape::kScalar);
+}
+
+TEST(SimdPathDecision, DirectModeOverridesProvenLog)
+{
+    const auto dec = sa::choose_simd_path(Signature::parse("(1: 0.8)"),
+                                          sa::ValueDomain::kFloat32,
+                                          sa::FirstOrderMode::kDirect);
+    EXPECT_EQ(dec.shape, sa::SimdShape::kFirstOrder);
+    EXPECT_EQ(dec.log_legality, sa::Legality::kProven);
+}
+
+TEST(SimdPathDecision, MaxPlusFallsBackToScalar)
+{
+    const Signature sig = Signature::max_plus({0.0}, {1.0});
+    const auto dec = sa::choose_simd_path(sig, sa::ValueDomain::kMaxPlus,
+                                          sa::FirstOrderMode::kAuto);
+    EXPECT_EQ(dec.shape, sa::SimdShape::kScalar);
+}
+
+TEST(SimdPathDecision, SingleTapMapIsFused)
+{
+    const auto dec = sa::choose_simd_path(Signature::parse("(3: 5)"),
+                                          sa::ValueDomain::kInt32,
+                                          sa::FirstOrderMode::kAuto);
+    EXPECT_EQ(dec.shape, sa::SimdShape::kFirstOrder);
+    EXPECT_TRUE(dec.fuse_map);
+}
+
+// ---- decayed-tail truncation bounds ------------------------------------
+
+TEST(Truncation, ExactInTheIntRing)
+{
+    const auto report =
+        sa::analyze(Signature::parse("(1: 2, -1)"), sa::ValueDomain::kInt32);
+    const sa::PathReport* resume =
+        report.find(sa::PathKind::kSuperpositionResume);
+    ASSERT_NE(resume, nullptr);
+    EXPECT_TRUE(resume->truncation_exact);
+    EXPECT_EQ(resume->truncation_bound, 0.0);
+}
+
+TEST(Truncation, FloatTailBoundIsTinyWhenFactorsFlush)
+{
+    // 0.8^t drops below the denormal flush threshold near t = 391, so a
+    // 4096-chunk suppresses a real (unflushed) tail — bounded, and far
+    // below any meaningful tolerance.
+    sa::AnalysisOptions opts;
+    opts.chunk = 4096;
+    const auto report = sa::analyze(Signature::parse("(0.2: 0.8)"),
+                                    sa::ValueDomain::kFloat32, opts);
+    const sa::PathReport* resume =
+        report.find(sa::PathKind::kSuperpositionResume);
+    ASSERT_NE(resume, nullptr);
+    EXPECT_FALSE(resume->truncation_exact);
+    EXPECT_GT(resume->truncation_bound, 0.0);
+    EXPECT_LT(resume->truncation_bound, 1e-30);
+}
+
+TEST(Truncation, NoFlushingMeansExactSuppression)
+{
+    // With a 64-chunk none of the 0.8^t factors flush: the effective
+    // length is the full chunk and nothing is suppressed.
+    sa::AnalysisOptions opts;
+    opts.chunk = 64;
+    const auto report = sa::analyze(Signature::parse("(0.2: 0.8)"),
+                                    sa::ValueDomain::kFloat32, opts);
+    EXPECT_TRUE(
+        report.find(sa::PathKind::kSuperpositionResume)->truncation_exact);
+}
+
+// ---- report structure and JSON round-trip ------------------------------
+
+TEST(StaticReport, OrderZeroAnalyzesSerialOnly)
+{
+    const auto report = sa::analyze(
+        Signature({1.0, 2.0, 3.0}, {}, /*allow_fir=*/true),
+        sa::ValueDomain::kInt32);
+    EXPECT_EQ(report.paths.size(), 1u);
+    EXPECT_EQ(report.paths[0].path, sa::PathKind::kSerial);
+}
+
+TEST(StaticReport, JsonRoundTripPreservesVerdicts)
+{
+    sa::AnalysisOptions opts;
+    opts.n = 512;
+    opts.chunk = 32;
+    const auto report = sa::analyze(Signature::parse("(1: 2, -1)"),
+                                    sa::ValueDomain::kInt32, opts);
+    const plr::json::Value doc =
+        plr::json::parse(report.to_json().dump(2));
+    const sa::StaticReport back = sa::StaticReport::from_json(doc);
+    EXPECT_EQ(back.signature, report.signature);
+    EXPECT_EQ(back.domain, report.domain);
+    EXPECT_EQ(back.n, report.n);
+    EXPECT_EQ(back.chunk, report.chunk);
+    ASSERT_EQ(back.paths.size(), report.paths.size());
+    for (std::size_t i = 0; i < report.paths.size(); ++i) {
+        EXPECT_EQ(back.paths[i].path, report.paths[i].path);
+        EXPECT_EQ(back.paths[i].legality, report.paths[i].legality);
+        EXPECT_EQ(back.paths[i].range.verdict, report.paths[i].range.verdict);
+        EXPECT_EQ(back.paths[i].range.witness_index,
+                  report.paths[i].range.witness_index);
+        EXPECT_EQ(back.paths[i].error.available,
+                  report.paths[i].error.available);
+    }
+}
+
+TEST(StaticReport, JsonRoundTripPreservesInfinities)
+{
+    // A saturating envelope serializes its infinite bound as the string
+    // "inf" and must parse back to +inf, not garbage.
+    const auto report = sa::analyze(Signature::parse("(1: 10)"),
+                                    sa::ValueDomain::kFloat32);
+    const sa::StaticReport back = sa::StaticReport::from_json(
+        plr::json::parse(report.to_json().dump()));
+    const sa::PathReport* resume =
+        back.find(sa::PathKind::kSuperpositionResume);
+    ASSERT_NE(resume, nullptr);
+    EXPECT_EQ(resume->truncation_bound,
+              report.find(sa::PathKind::kSuperpositionResume)
+                  ->truncation_bound);
+}
+
+TEST(StaticReport, FromJsonRejectsWrongSchema)
+{
+    plr::json::Value doc = plr::json::Value::object();
+    doc.set("schema", "plr-static:v999");
+    EXPECT_THROW(sa::StaticReport::from_json(doc), plr::FatalError);
+}
+
+TEST(ReportEnums, ParseInvertsToString)
+{
+    for (auto v : {sa::OverflowVerdict::kProvenSafe,
+                   sa::OverflowVerdict::kMayOverflow,
+                   sa::OverflowVerdict::kProvenOverflow,
+                   sa::OverflowVerdict::kUnknown})
+        EXPECT_EQ(sa::parse_overflow_verdict(sa::to_string(v)), v);
+    for (auto l : {sa::Legality::kProven, sa::Legality::kFallback,
+                   sa::Legality::kRejected, sa::Legality::kUnknown})
+        EXPECT_EQ(sa::parse_legality(sa::to_string(l)), l);
+    for (auto p : {sa::PathKind::kSerial, sa::PathKind::kChunkedTwoPhase,
+                   sa::PathKind::kSimdDirect, sa::PathKind::kSimdLogSpace,
+                   sa::PathKind::kSuperpositionResume})
+        EXPECT_EQ(sa::parse_path_kind(sa::to_string(p)), p);
+    EXPECT_THROW(sa::parse_overflow_verdict("bogus"), plr::FatalError);
+    EXPECT_THROW(sa::parse_legality("bogus"), plr::FatalError);
+    EXPECT_THROW(sa::parse_path_kind("bogus"), plr::FatalError);
+}
+
+}  // namespace

@@ -417,5 +417,67 @@ TEST(Env, StringPassesFreeFormValuesThrough)
     EXPECT_EQ(env::string_or(kVar, ""), "/tmp/some log.txt");
 }
 
+// The production SIMD knobs, exercised with their exact accepted-value
+// lists (kernels/simd/simd_scan.cpp and kernels/cpu_simd.cpp). The
+// consumers cache their parse in function-local statics, so the contract
+// is pinned here at the env layer: every documented spelling parses, and
+// a present-but-misspelled value is a typed FatalError naming the
+// variable — never a silent fallback to the default.
+
+TEST(Env, PlrSimdAcceptsTheDocumentedTables)
+{
+    for (const char* ok : {"auto", "scalar", "avx2"}) {
+        ScopedEnv guard("PLR_SIMD", ok);
+        EXPECT_EQ(env::choice_or("PLR_SIMD", {"auto", "scalar", "avx2"},
+                                 "auto"),
+                  ok);
+    }
+    ScopedEnv unset("PLR_SIMD", nullptr);
+    EXPECT_EQ(env::choice_or("PLR_SIMD", {"auto", "scalar", "avx2"}, "auto"),
+              "auto");
+}
+
+TEST(Env, PlrSimdRejectsUnknownTables)
+{
+    for (const char* bad : {"sse9", "AVX2", "avx512", "scalar ", "1"}) {
+        ScopedEnv guard("PLR_SIMD", bad);
+        try {
+            env::choice_or("PLR_SIMD", {"auto", "scalar", "avx2"}, "auto");
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError& e) {
+            // The diagnostic must name the variable and the bad value.
+            EXPECT_NE(std::string(e.what()).find("PLR_SIMD"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find(bad), std::string::npos);
+        }
+    }
+}
+
+TEST(Env, PlrSimdFirstOrderAcceptsTheDocumentedPaths)
+{
+    for (const char* ok : {"auto", "direct", "log"}) {
+        ScopedEnv guard("PLR_SIMD_FIRST_ORDER", ok);
+        EXPECT_EQ(env::choice_or("PLR_SIMD_FIRST_ORDER",
+                                 {"auto", "direct", "log"}, "auto"),
+                  ok);
+    }
+    ScopedEnv unset("PLR_SIMD_FIRST_ORDER", nullptr);
+    EXPECT_EQ(
+        env::choice_or("PLR_SIMD_FIRST_ORDER", {"auto", "direct", "log"},
+                       "auto"),
+        "auto");
+}
+
+TEST(Env, PlrSimdFirstOrderRejectsUnknownPaths)
+{
+    for (const char* bad : {"logspace", "Direct", "heinsen", "0"}) {
+        ScopedEnv guard("PLR_SIMD_FIRST_ORDER", bad);
+        EXPECT_THROW(env::choice_or("PLR_SIMD_FIRST_ORDER",
+                                    {"auto", "direct", "log"}, "auto"),
+                     FatalError)
+            << bad;
+    }
+}
+
 }  // namespace
 }  // namespace plr
