@@ -14,7 +14,7 @@ namespace {
 #endif
 
 json::Value
-environment_json()
+environment_json(unsigned hardware_concurrency)
 {
     json::Value env = json::Value::object();
 #if defined(__VERSION__)
@@ -24,7 +24,7 @@ environment_json()
 #endif
     env.set("build_type", PLR_BUILD_TYPE);
     env.set("hardware_concurrency",
-            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+            static_cast<std::uint64_t>(hardware_concurrency));
     env.set("pointer_bits", static_cast<std::uint64_t>(sizeof(void*) * 8));
     return env;
 }
@@ -52,7 +52,11 @@ phase_ns_json(const kernels::CpuRunStats& stats)
 }  // namespace
 
 Reporter::Reporter(std::string name, std::string title)
-    : name_(std::move(name)), title_(std::move(title))
+    : name_(std::move(name)), title_(std::move(title)),
+      // Captured at construction: to_json() may run inside a sandboxed
+      // or affinity-restricted child where hardware_concurrency() lies
+      // (the committed baselines once recorded 1 for this reason).
+      hardware_concurrency_(std::thread::hardware_concurrency())
 {
 }
 
@@ -141,7 +145,7 @@ Reporter::to_json() const
     doc.set("title", title_);
     if (!signature_.empty())
         doc.set("signature", signature_);
-    doc.set("environment", environment_json());
+    doc.set("environment", environment_json(hardware_concurrency_));
     doc.set("series", series_);
     doc.set("counters", counters_);
     doc.set("validation", validation_);

@@ -99,6 +99,8 @@ class Reporter {
     json::Value info_ = json::Value::array();
     json::Value cpu_ = json::Value::array();
     bool validations_ok_ = true;
+    /** Queried once at construction (see report.cpp). */
+    unsigned hardware_concurrency_ = 0;
 };
 
 /**

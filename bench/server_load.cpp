@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Multi-tenant server load benchmark (docs/SERVER.md): the mixed
+ * Table-1 workload pushed through the in-process Server at 1, 8 and
+ * 64 concurrent tenants, A/B-ing the batching coalescer against
+ * request-at-a-time dispatch through the *same* pipeline
+ * (ServerConfig::batching on/off), on both backends. Every response
+ * is validated against the serial-oracle answer precomputed per
+ * corpus entry (bit-exact for int and the fused host path, the
+ * repo-wide 512-ULP gate for simulated-GPU float reassociation) — a
+ * load test that returns wrong answers fast would be worthless.
+ *
+ * Two kinds of regression signal:
+ *
+ *  - Wall clock: requests/s and p50/p99 latency per tenant count and
+ *    backend, and the fused-vs-serial speedup at 64 tenants. Legs are
+ *    interleaved in pairs with alternating order and the speedup
+ *    statistic uses the best (minimum) wall of each leg, so transient
+ *    interference on a time-shared machine cannot fail the gate
+ *    spuriously. The gate — fused throughput at least --min-speedup
+ *    (default 2x) the request-at-a-time pipeline at 64 tenants on the
+ *    simulated-GPU backend — is committed to the baseline as a
+ *    validation boolean; raw wall numbers are machine-dependent and
+ *    excluded from the committed baseline.
+ *
+ *  - Deterministic counts — requests served, corpus size, and the
+ *    launch count of the unbatched pipeline (exactly one launch per
+ *    request by construction) — which go into bench/baselines/ so a
+ *    silent change in admission or dispatch accounting fails
+ *    bench_compare.
+ *
+ * The gate lives on the gpusim backend under a uniform single-plan
+ * workload, because that is the scenario batching exists for: 64
+ * tenants of the *same* recurrence, where every launch pays the
+ * simulated device's fixed setup and pass-scheduling cost, so one
+ * fused batched_segments_recurrence launch per coalescing round
+ * amortizes what request-at-a-time dispatch pays 64 times over (the
+ * paper's launch-overhead story). The mixed workload dilutes fusion
+ * across 14 plan keys and the host backend is bound by per-request
+ * client wakeups in both pipelines — those points are reported for
+ * context but not gated.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "testing/corpus.h"
+#include "util/cli.h"
+#include "util/compare.h"
+#include "util/ring.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace plr::server;
+using plr::FloatRing;
+using plr::IntRing;
+using plr::Rng;
+using plr::Signature;
+namespace pk = plr::kernels;
+namespace pt = plr::testing;
+
+/** Plain DSL text (Signature::to_string prefixes max-plus signatures
+    with "max+", which the wire deliberately does not carry). */
+std::string
+sig_text(const Signature& sig)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "(";
+    for (std::size_t i = 0; i < sig.a().size(); ++i)
+        os << (i ? ", " : "") << sig.a()[i];
+    os << " :";
+    for (std::size_t i = 0; i < sig.b().size(); ++i)
+        os << (i ? "," : "") << " " << sig.b()[i];
+    os << ")";
+    return os.str();
+}
+
+std::uint64_t
+elapsed_ns(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** One Table-1 request, fully precomputed: wire payload and the
+    serial-oracle answer it must match. */
+struct WorkItem {
+    pk::Domain domain = pk::Domain::kInt;
+    std::string sig;
+    std::vector<std::uint32_t> payload;
+    std::vector<std::uint32_t> expected_bits;
+    /** Decoded oracle answer for the float ULP comparison. */
+    std::vector<float> expected_floats;
+};
+
+/** Status ok and the payload matches the oracle: bit-exact, or within
+    the repo-wide 512-ULP gate for float answers that came off the
+    simulated GPU's reassociated scan. */
+bool
+response_matches(const WorkItem& item, const ResponseFrame& response)
+{
+    if (response.status != kStatusOk)
+        return false;
+    if (response.payload == item.expected_bits)
+        return true;
+    if (item.domain == pk::Domain::kInt)
+        return false;
+    std::vector<float> actual;
+    actual.reserve(response.payload.size());
+    for (const auto word : response.payload)
+        actual.push_back(pk::bits_value<float>(word));
+    return plr::validate_ulp(item.expected_floats, actual, 512, 1e-3).ok;
+}
+
+/**
+ * The mixed workload: every table1_corpus() entry at a small request
+ * size (unstable recurrences shorter still, matching the oracle's
+ * growth cap). Small payloads keep per-request compute minor next to
+ * dispatch overhead — the quantity the A/B isolates.
+ */
+std::vector<WorkItem>
+build_workload(std::size_t n_stable, std::size_t n_unstable)
+{
+    std::vector<WorkItem> items;
+    std::uint64_t seed = 0xB41C;
+    for (const auto& entry : pt::table1_corpus()) {
+        WorkItem item;
+        item.domain = entry.domain;
+        item.sig = sig_text(entry.sig);
+        const std::size_t n = entry.stable ? n_stable : n_unstable;
+        if (entry.domain == pk::Domain::kInt) {
+            const auto input = pt::conformance_input_int(n, ++seed);
+            const auto want = pk::serial_recurrence<IntRing>(entry.sig, input);
+            for (const auto v : input)
+                item.payload.push_back(pk::value_bits(v));
+            for (const auto v : want)
+                item.expected_bits.push_back(pk::value_bits(v));
+        } else {
+            const auto input =
+                pt::conformance_input_float(entry.domain, n, ++seed);
+            const auto want =
+                pk::serial_recurrence<FloatRing>(entry.sig, input);
+            for (const auto v : input)
+                item.payload.push_back(pk::value_bits(v));
+            for (const auto v : want)
+                item.expected_bits.push_back(pk::value_bits(v));
+            item.expected_floats = want;
+        }
+        items.push_back(std::move(item));
+    }
+    return items;
+}
+
+/** The gate workload: every tenant runs the same order-2 integer IIR,
+    so a coalescing round can fuse the whole burst into one launch. */
+std::vector<WorkItem>
+build_uniform_workload(std::size_t n)
+{
+    const auto sig = Signature::parse("(1 : 2, -1)");
+    WorkItem item;
+    item.domain = pk::Domain::kInt;
+    item.sig = sig_text(sig);
+    const auto input = pt::conformance_input_int(n, 0x5EED);
+    const auto want = pk::serial_recurrence<IntRing>(sig, input);
+    for (const auto v : input)
+        item.payload.push_back(pk::value_bits(v));
+    for (const auto v : want)
+        item.expected_bits.push_back(pk::value_bits(v));
+    return {item};
+}
+
+struct LegResult {
+    std::uint64_t wall_ns = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t wrong = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;
+    std::vector<double> latencies_us;
+};
+
+/**
+ * One leg: @p tenants client threads, each firing @p requests randomly
+ * chosen WorkItems at a fresh Server and checking every answer. The
+ * queue is sized so admission control never rejects — this bench
+ * measures the dispatch pipeline, not backpressure.
+ */
+LegResult
+run_leg(const std::vector<WorkItem>& items, std::size_t tenants,
+        std::size_t requests, bool batching, ServerBackend backend,
+        std::uint64_t seed)
+{
+    ServerConfig config;
+    config.batching = batching;
+    config.backend = backend;
+    config.queue_depth = 1024;
+    config.tenant_inflight_cap = 64;
+    config.plan_cache_capacity = 32;
+    config.max_batch = 64;
+    Server server(config);
+
+    LegResult leg;
+    std::vector<std::vector<double>> latencies(tenants);
+    std::vector<std::uint64_t> wrong(tenants, 0);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(tenants);
+    for (std::size_t t = 0; t < tenants; ++t) {
+        clients.emplace_back([&, t] {
+            Rng rng(seed * 0x9E37u + t * 131u + (batching ? 1u : 0u));
+            latencies[t].reserve(requests);
+            for (std::size_t r = 0; r < requests; ++r) {
+                const auto& item = items[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(items.size()) - 1))];
+                RequestFrame frame;
+                frame.request_id = t * 100000 + r + 1;
+                frame.tenant = t + 1;
+                frame.domain = item.domain;
+                frame.signature_text = item.sig;
+                frame.payload = item.payload;
+                const auto begin = std::chrono::steady_clock::now();
+                const auto response = server.submit(frame);
+                latencies[t].push_back(
+                    static_cast<double>(elapsed_ns(begin)) / 1000.0);
+                if (!response_matches(item, response))
+                    ++wrong[t];
+            }
+        });
+    }
+    for (auto& c : clients)
+        c.join();
+    leg.wall_ns = elapsed_ns(start);
+
+    // Join the batcher before reading counters: its per-round
+    // accounting runs after the last response is delivered, so a
+    // pre-shutdown read can miss the final round.
+    server.shutdown();
+    const auto stats = server.stats();
+    leg.requests = stats.served;
+    leg.batches = stats.batches;
+    leg.max_batch = stats.max_batch_fused;
+    for (std::size_t t = 0; t < tenants; ++t) {
+        leg.wrong += wrong[t];
+        leg.latencies_us.insert(leg.latencies_us.end(),
+                                latencies[t].begin(), latencies[t].end());
+    }
+    return leg;
+}
+
+struct TenantPoint {
+    std::size_t tenants = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t wrong = 0;
+    std::uint64_t best_fused_ns = 0;
+    std::uint64_t best_serial_ns = 0;
+    std::uint64_t serial_batches = 0;
+    std::uint64_t fused_max_batch = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double speedup = 0.0;
+};
+
+double
+percentile(std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/** Paired fused/serial legs with alternating order; the speedup
+    statistic is best-of-leg over all reps. */
+TenantPoint
+run_tenant_point(const std::vector<WorkItem>& items, std::size_t tenants,
+                 std::size_t requests, int reps, ServerBackend backend)
+{
+    TenantPoint point;
+    point.tenants = tenants;
+    std::vector<double> fused_latencies;
+    for (int r = 0; r < reps; ++r) {
+        // Alternate which pipeline runs first so ramping machine load
+        // does not systematically land on one configuration.
+        LegResult fused, serial;
+        const auto seed = static_cast<std::uint64_t>(11 + r);
+        if (r % 2 == 0) {
+            fused = run_leg(items, tenants, requests, true, backend, seed);
+            serial = run_leg(items, tenants, requests, false, backend, seed);
+        } else {
+            serial = run_leg(items, tenants, requests, false, backend, seed);
+            fused = run_leg(items, tenants, requests, true, backend, seed);
+        }
+        point.requests += fused.requests + serial.requests;
+        point.wrong += fused.wrong + serial.wrong;
+        if (point.best_fused_ns == 0 || fused.wall_ns < point.best_fused_ns)
+            point.best_fused_ns = fused.wall_ns;
+        if (point.best_serial_ns == 0 ||
+            serial.wall_ns < point.best_serial_ns)
+            point.best_serial_ns = serial.wall_ns;
+        point.serial_batches += serial.batches;
+        point.fused_max_batch =
+            std::max(point.fused_max_batch, fused.max_batch);
+        fused_latencies.insert(fused_latencies.end(),
+                               fused.latencies_us.begin(),
+                               fused.latencies_us.end());
+    }
+    std::sort(fused_latencies.begin(), fused_latencies.end());
+    point.p50_us = percentile(fused_latencies, 0.50);
+    point.p99_us = percentile(fused_latencies, 0.99);
+    point.speedup = static_cast<double>(point.best_serial_ns) /
+                    static_cast<double>(point.best_fused_ns);
+    return point;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const plr::CliArgs args(argc, argv);
+    const int reps = static_cast<int>(args.get_int("reps", 3));
+    const auto requests =
+        static_cast<std::size_t>(args.get_int("requests", 20));
+    const auto n_stable =
+        static_cast<std::size_t>(args.get_int("n-stable", 512));
+    const auto n_unstable =
+        static_cast<std::size_t>(args.get_int("n-unstable", 96));
+    const double min_speedup = args.get_double("min-speedup", 2.0);
+
+    const auto items = build_workload(n_stable, n_unstable);
+    const std::size_t tenant_counts[] = {1, 8, 64};
+    const struct {
+        ServerBackend backend;
+        const char* name;
+    } backends[] = {
+        {ServerBackend::kFusedCpu, "cpu"},
+        {ServerBackend::kGpusim, "gpusim"},
+    };
+
+    plr::bench::Reporter reporter(
+        "server_load",
+        "Server load: mixed Table-1 workload, fused vs request-at-a-time");
+    reporter.add_info(
+        "config", "tenants {1,8,64} x " + std::to_string(requests) +
+                      " requests over " + std::to_string(reps) +
+                      " paired reps; n=" + std::to_string(n_stable) +
+                      " (stable) / " + std::to_string(n_unstable) +
+                      " (growing); backends cpu + gpusim");
+
+    std::cout << "== server load: mixed Table-1 workload ==\n"
+              << items.size() << " corpus entries, " << requests
+              << " requests/tenant, " << reps << " paired reps per point\n";
+
+    double gate_speedup = 0.0;
+    for (const auto& [backend, backend_name] : backends) {
+        std::cout << "-- backend: " << backend_name << " --\n";
+        for (const auto tenants : tenant_counts) {
+            const auto point =
+                run_tenant_point(items, tenants, requests, reps, backend);
+            const auto tag =
+                "." + std::string(backend_name) + ".t" + std::to_string(tenants);
+            const auto total = static_cast<double>(tenants * requests);
+            const double fused_rps =
+                total * 1e9 / static_cast<double>(point.best_fused_ns);
+            const double serial_rps =
+                total * 1e9 / static_cast<double>(point.best_serial_ns);
+
+            reporter.add_validation("server.all_answers_match" + tag,
+                                    point.wrong == 0);
+            // Deterministic by construction: every rep of both
+            // pipelines serves exactly tenants*requests, and the
+            // unbatched pipeline dispatches exactly one launch per
+            // request.
+            reporter.add_metric("served_per_leg" + tag, total);
+            reporter.add_metric(
+                "serial_launches_per_leg" + tag,
+                static_cast<double>(point.serial_batches) / reps);
+            // Machine-dependent: reported fresh, excluded from the
+            // committed baseline (see bench/baselines/server_load.json).
+            reporter.add_metric("fused_req_per_s" + tag, fused_rps);
+            reporter.add_metric("serial_req_per_s" + tag, serial_rps);
+            reporter.add_metric("fused_p50_us" + tag, point.p50_us);
+            reporter.add_metric("fused_p99_us" + tag, point.p99_us);
+            reporter.add_metric("fused_speedup" + tag, point.speedup);
+
+            std::cout << "  " << tenants << " tenant(s):\n"
+                      << "    fused     : " << fused_rps << " req/s (p50 "
+                      << point.p50_us << " us, p99 " << point.p99_us
+                      << " us, max batch " << point.fused_max_batch << ")\n"
+                      << "    serial    : " << serial_rps << " req/s\n"
+                      << "    speedup   : " << point.speedup << "x (best-of-"
+                      << reps << " legs)\n";
+        }
+    }
+    // The gate point: a uniform single-plan burst, 64 tenants on the
+    // simulated GPU — batching's home turf. Request-at-a-time pays one
+    // device launch per request; the coalescer pays one per round.
+    {
+        const auto uniform = build_uniform_workload(n_stable);
+        const auto point = run_tenant_point(uniform, 64, requests, reps,
+                                            ServerBackend::kGpusim);
+        gate_speedup = point.speedup;
+        const auto total = static_cast<double>(64 * requests);
+        const double fused_rps =
+            total * 1e9 / static_cast<double>(point.best_fused_ns);
+        const double serial_rps =
+            total * 1e9 / static_cast<double>(point.best_serial_ns);
+        reporter.add_validation("server.all_answers_match.uniform.t64",
+                                point.wrong == 0);
+        reporter.add_validation("server.fused_beats_serial_2x.t64",
+                                point.speedup >= min_speedup);
+        reporter.add_metric("served_per_leg.uniform.t64", total);
+        reporter.add_metric(
+            "serial_launches_per_leg.uniform.t64",
+            static_cast<double>(point.serial_batches) / reps);
+        reporter.add_metric("fused_req_per_s.uniform.t64", fused_rps);
+        reporter.add_metric("serial_req_per_s.uniform.t64", serial_rps);
+        reporter.add_metric("fused_speedup.uniform.t64", point.speedup);
+        std::cout << "-- gate: uniform plan, 64 tenants, gpusim --\n"
+                  << "    fused     : " << fused_rps << " req/s (p50 "
+                  << point.p50_us << " us, p99 " << point.p99_us
+                  << " us, max batch " << point.fused_max_batch << ")\n"
+                  << "    serial    : " << serial_rps << " req/s\n"
+                  << "    speedup   : " << point.speedup << "x (gate >= "
+                  << min_speedup << "x)\n";
+    }
+
+    reporter.add_metric("corpus_entries",
+                        static_cast<double>(items.size()));
+
+    plr::bench::write_json_if_requested(reporter, argc, argv);
+
+    if (!reporter.all_validations_ok()) {
+        std::cout << "server_load: GATE FAILED\n";
+        return 1;
+    }
+    std::cout << "server_load: ok\n";
+    return 0;
+}

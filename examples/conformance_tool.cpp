@@ -74,6 +74,7 @@ usage()
            "          [--race-detect] [--invariants]\n"
            "          [--sdc-seed S] [--verify]\n"
            "          [--checkpoint-every K] [--crash-seed S]\n"
+           "          [--batch-seed S]\n"
            "          [--repro-log FILE]   run the conformance sweep\n"
            "  replay  '<reproducer line>'  re-run one failing case\n"
            "  shrink  '<reproducer line>'  bisect the case to a minimal n\n"
@@ -155,6 +156,10 @@ cmd_run(const plr::CliArgs& args)
         static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
     opts.crash_seed =
         static_cast<std::uint64_t>(args.get_int("crash-seed", 0));
+    // --batch-seed arms the fused multi-tenant batching check
+    // (docs/SERVER.md); failures carry a batch= token.
+    opts.batch_seed =
+        static_cast<std::uint64_t>(args.get_int("batch-seed", 0));
     opts.repro_log = args.get("repro-log", "");
 
     const auto report = run_conformance(kernels, corpus, opts);

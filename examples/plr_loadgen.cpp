@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Multi-tenant load generator and client-side oracle for the
+ * recurrence server (docs/SERVER.md). N tenant threads fire a mixed
+ * Table-1 workload — stateless one-shots plus chunked session streams
+ * — at either an in-process Server (default) or a running plr_server
+ * socket (--socket PATH), validate every answer against the serial
+ * reference (integers bit-identical, floats ULP-gated), and report
+ * req/s with p50/p99 latency. Exit status is nonzero on any wrong
+ * answer or unexpected rejection — this is the acceptance harness CI
+ * runs against the socket server, not just a traffic source.
+ *
+ *   ./plr_loadgen --tenants 64 --requests 50            # in-process
+ *   ./plr_loadgen --socket /tmp/plr.sock --tenants 64   # wire mode
+ *
+ * Flags: --tenants N, --requests R (per tenant), --max-n E (longest
+ * request payload), --seed S, --no-batching / --queue-depth /
+ * --tenant-cap / --backend / --fault-seed (in-process server tuning).
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "server/error.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "testing/corpus.h"
+#include "util/cli.h"
+#include "util/compare.h"
+#include "util/diag.h"
+#include "util/ring.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace plr::server;
+using plr::FloatRing;
+using plr::IntRing;
+using plr::Rng;
+using plr::Signature;
+using plr::TropicalRing;
+namespace pk = plr::kernels;
+namespace pt = plr::testing;
+
+// ------------------------------------------------------------------
+// Transport: in-process or length-prefixed frames over AF_UNIX.
+
+class Transport {
+  public:
+    virtual ~Transport() = default;
+    virtual ResponseFrame roundtrip(const RequestFrame& request) = 0;
+};
+
+class InProcessTransport : public Transport {
+  public:
+    explicit InProcessTransport(Server& server) : server_(server) {}
+
+    ResponseFrame
+    roundtrip(const RequestFrame& request) override
+    {
+        return server_.submit(request);
+    }
+
+  private:
+    Server& server_;
+};
+
+class SocketTransport : public Transport {
+  public:
+    explicit SocketTransport(const std::string& path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PLR_REQUIRE(fd_ >= 0, "socket() failed: " << strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PLR_REQUIRE(path.size() < sizeof(addr.sun_path),
+                    "socket path too long: " << path);
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        PLR_REQUIRE(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)) == 0,
+                    "connect(" << path << ") failed: " << strerror(errno));
+    }
+
+    ~SocketTransport() override
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    ResponseFrame
+    roundtrip(const RequestFrame& request) override
+    {
+        const auto bytes = encode_request(request);
+        const auto len = static_cast<std::uint32_t>(bytes.size());
+        const std::uint8_t len_bytes[4] = {
+            static_cast<std::uint8_t>(len & 0xff),
+            static_cast<std::uint8_t>((len >> 8) & 0xff),
+            static_cast<std::uint8_t>((len >> 16) & 0xff),
+            static_cast<std::uint8_t>((len >> 24) & 0xff),
+        };
+        PLR_REQUIRE(write_all(len_bytes, 4) &&
+                        write_all(bytes.data(), bytes.size()),
+                    "socket write failed");
+        std::uint8_t rlen_bytes[4];
+        PLR_REQUIRE(read_all(rlen_bytes, 4), "socket read failed (EOF?)");
+        const std::uint32_t rlen =
+            static_cast<std::uint32_t>(rlen_bytes[0]) |
+            (static_cast<std::uint32_t>(rlen_bytes[1]) << 8) |
+            (static_cast<std::uint32_t>(rlen_bytes[2]) << 16) |
+            (static_cast<std::uint32_t>(rlen_bytes[3]) << 24);
+        PLR_REQUIRE(rlen > 0 && rlen <= (1u << 27), "bad response length");
+        std::vector<std::uint8_t> frame(rlen);
+        PLR_REQUIRE(read_all(frame.data(), rlen), "socket read failed");
+        return parse_response(frame);
+    }
+
+  private:
+    bool
+    read_all(void* buf, std::size_t n)
+    {
+        auto* p = static_cast<std::uint8_t*>(buf);
+        while (n > 0) {
+            const ssize_t got = ::read(fd_, p, n);
+            if (got <= 0)
+                return false;
+            p += got;
+            n -= static_cast<std::size_t>(got);
+        }
+        return true;
+    }
+
+    bool
+    write_all(const void* buf, std::size_t n)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(buf);
+        while (n > 0) {
+            const ssize_t put = ::write(fd_, p, n);
+            if (put <= 0)
+                return false;
+            p += put;
+            n -= static_cast<std::size_t>(put);
+        }
+        return true;
+    }
+
+    int fd_ = -1;
+};
+
+// ------------------------------------------------------------------
+// Workload + client-side oracle.
+
+/** Plain DSL text (Signature::to_string prefixes max-plus signatures
+    with "max+", which the wire deliberately does not carry). */
+std::string
+sig_text(const Signature& sig)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "(";
+    for (std::size_t i = 0; i < sig.a().size(); ++i)
+        os << (i ? ", " : "") << sig.a()[i];
+    os << " :";
+    for (std::size_t i = 0; i < sig.b().size(); ++i)
+        os << (i ? "," : "") << " " << sig.b()[i];
+    os << ")";
+    return os.str();
+}
+
+struct TenantResult {
+    std::uint64_t requests = 0;
+    std::uint64_t wrong = 0;
+    std::uint64_t rejected = 0;
+    std::vector<double> latencies_us;
+    std::string first_error;
+};
+
+void
+note_error(TenantResult& result, const std::string& what)
+{
+    ++result.wrong;
+    if (result.first_error.empty())
+        result.first_error = what;
+}
+
+/** One tenant: mixed stateless requests plus one chunked session. */
+void
+run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
+           std::size_t requests, std::size_t max_n,
+           const std::vector<pt::CorpusEntry>& corpus, TenantResult& result)
+{
+    Rng rng(seed * 0x9E37u + tenant);
+    std::uint64_t next_id = 1;
+
+    // The session stream: an integer IIR chunked across the whole run,
+    // stitched and compared against the one-shot serial answer at the
+    // end — bit-identical or bust.
+    const auto session_sig = Signature::parse("(1 : 2, -1)");
+    const auto stream =
+        pt::conformance_input_int(64 * requests, seed * 131 + tenant);
+    std::vector<std::int32_t> stitched;
+    std::size_t stream_pos = 0;
+
+    const auto submit_timed = [&](const RequestFrame& frame) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto response = transport.roundtrip(frame);
+        const auto stop = std::chrono::steady_clock::now();
+        result.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(stop - start).count());
+        ++result.requests;
+        return response;
+    };
+
+    for (std::size_t r = 0; r < requests; ++r) {
+        // Stateless request from the Table-1 mix.
+        const auto& entry = corpus[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(corpus.size() - 1)))];
+        const bool unstable_float =
+            entry.domain != pk::Domain::kInt && !entry.stable;
+        const auto n = static_cast<std::size_t>(rng.uniform_int(
+            1,
+            static_cast<std::int64_t>(unstable_float
+                                          ? std::min<std::size_t>(max_n, 128)
+                                          : max_n)));
+        RequestFrame frame;
+        frame.request_id = next_id++;
+        frame.tenant = tenant;
+        frame.domain = entry.domain;
+        frame.signature_text = sig_text(entry.sig);
+        std::vector<std::int32_t> int_input;
+        std::vector<float> float_input;
+        if (entry.domain == pk::Domain::kInt) {
+            int_input =
+                pt::conformance_input_int(n, seed * 1000 + tenant * 100 + r);
+            for (const auto v : int_input)
+                frame.payload.push_back(pk::value_bits(v));
+        } else {
+            float_input = pt::conformance_input_float(
+                entry.domain, n, seed * 1000 + tenant * 100 + r);
+            for (const auto v : float_input)
+                frame.payload.push_back(pk::value_bits(v));
+        }
+
+        const auto response = submit_timed(frame);
+        if (response.status == status_of(ServerErrorKind::kOverloaded)) {
+            ++result.rejected;  // backpressure is a legal answer
+        } else if (response.status != kStatusOk) {
+            note_error(result, entry.name + ": unexpected status " +
+                                   std::to_string(response.status));
+        } else if (response.payload.size() != n) {
+            note_error(result, entry.name + ": short payload");
+        } else if (entry.domain == pk::Domain::kInt) {
+            std::vector<std::int32_t> actual;
+            for (const auto w : response.payload)
+                actual.push_back(pk::bits_value<std::int32_t>(w));
+            const auto expected =
+                pk::serial_recurrence<IntRing>(entry.sig, int_input);
+            const auto check = plr::validate_exact(expected, actual);
+            if (!check.ok)
+                note_error(result, entry.name + ": " + check.describe());
+        } else {
+            std::vector<float> actual;
+            for (const auto w : response.payload)
+                actual.push_back(pk::bits_value<float>(w));
+            const auto expected =
+                entry.domain == pk::Domain::kTropical
+                    ? pk::serial_recurrence<TropicalRing>(entry.sig,
+                                                          float_input)
+                    : pk::serial_recurrence<FloatRing>(entry.sig,
+                                                       float_input);
+            const auto check =
+                plr::validate_ulp(expected, actual, 512, 1e-3);
+            if (!check.ok)
+                note_error(result, entry.name + ": " + check.describe());
+        }
+
+        // Session chunk (sometimes empty — a keep-alive).
+        const auto chunk_len = std::min<std::size_t>(
+            static_cast<std::size_t>(rng.uniform_int(0, 64)),
+            stream.size() - stream_pos);
+        RequestFrame chunk;
+        chunk.request_id = next_id++;
+        chunk.tenant = tenant;
+        chunk.session = 1;
+        chunk.domain = pk::Domain::kInt;
+        chunk.signature_text = sig_text(session_sig);
+        for (std::size_t i = 0; i < chunk_len; ++i)
+            chunk.payload.push_back(pk::value_bits(stream[stream_pos + i]));
+        const auto sresp = submit_timed(chunk);
+        if (sresp.status == status_of(ServerErrorKind::kOverloaded)) {
+            ++result.rejected;
+            // The chunk was not consumed; the stream simply pauses here.
+        } else if (sresp.status != kStatusOk ||
+                   sresp.payload.size() != chunk_len) {
+            note_error(result, "session chunk: status " +
+                                   std::to_string(sresp.status));
+        } else {
+            for (const auto w : sresp.payload)
+                stitched.push_back(pk::bits_value<std::int32_t>(w));
+            stream_pos += chunk_len;
+        }
+    }
+
+    const auto expected = pk::serial_recurrence<IntRing>(
+        session_sig,
+        std::span<const std::int32_t>(stream.data(), stream_pos));
+    const auto check = plr::validate_exact(expected, stitched);
+    if (!check.ok)
+        note_error(result, "session stream diverged: " + check.describe());
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: plr_loadgen [--socket PATH] [--tenants N] [--requests R]\n"
+        << "                   [--max-n E] [--seed S] [--no-batching]\n"
+        << "                   [--queue-depth D] [--tenant-cap C]\n"
+        << "                   [--backend cpu|gpusim] [--fault-seed F]\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        const plr::CliArgs args(argc, argv);
+        if (args.has("help"))
+            return usage();
+
+        const auto tenants =
+            static_cast<std::size_t>(args.get_int("tenants", 8));
+        const auto requests =
+            static_cast<std::size_t>(args.get_int("requests", 50));
+        const auto max_n =
+            static_cast<std::size_t>(args.get_int("max-n", 512));
+        const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+        const std::string socket_path = args.get("socket", "");
+        const auto corpus = pt::table1_corpus();
+
+        // In-process mode owns a server; socket mode talks to plr_server.
+        std::unique_ptr<Server> server;
+        if (socket_path.empty()) {
+            ServerConfig config;
+            config.queue_depth = static_cast<std::size_t>(
+                args.get_int("queue-depth", 256));
+            config.tenant_inflight_cap =
+                static_cast<std::size_t>(args.get_int("tenant-cap", 16));
+            config.batching = !args.get_bool("no-batching", false);
+            config.fault_seed =
+                static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+            if (args.get("backend", "cpu") == "gpusim")
+                config.backend = ServerBackend::kGpusim;
+            server = std::make_unique<Server>(config);
+        }
+
+        std::vector<TenantResult> results(tenants);
+        std::vector<std::thread> threads;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t t = 0; t < tenants; ++t)
+            threads.emplace_back([&, t] {
+                try {
+                    std::unique_ptr<Transport> transport;
+                    if (socket_path.empty())
+                        transport =
+                            std::make_unique<InProcessTransport>(*server);
+                    else
+                        transport =
+                            std::make_unique<SocketTransport>(socket_path);
+                    run_tenant(*transport, t + 1, seed, requests, max_n,
+                               corpus, results[t]);
+                } catch (const std::exception& e) {
+                    note_error(results[t], e.what());
+                }
+            });
+        for (auto& thread : threads)
+            thread.join();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+
+        std::uint64_t total = 0, wrong = 0, rejected = 0;
+        std::vector<double> latencies;
+        for (const auto& result : results) {
+            total += result.requests;
+            wrong += result.wrong;
+            rejected += result.rejected;
+            latencies.insert(latencies.end(), result.latencies_us.begin(),
+                             result.latencies_us.end());
+            if (!result.first_error.empty())
+                std::cerr << "tenant error: " << result.first_error << "\n";
+        }
+        std::sort(latencies.begin(), latencies.end());
+        const auto pct = [&](double p) {
+            if (latencies.empty())
+                return 0.0;
+            const auto idx = static_cast<std::size_t>(
+                p * static_cast<double>(latencies.size() - 1));
+            return latencies[idx];
+        };
+
+        std::cout << "plr_loadgen: " << tenants << " tenants, " << total
+                  << " requests in " << seconds << " s ("
+                  << (seconds > 0 ? static_cast<double>(total) / seconds : 0)
+                  << " req/s)\n"
+                  << "  latency p50 " << pct(0.50) << " us, p99 "
+                  << pct(0.99) << " us\n"
+                  << "  rejected (backpressure) " << rejected << ", wrong "
+                  << wrong << "\n";
+        if (wrong != 0) {
+            std::cerr << "plr_loadgen: FAILED — " << wrong
+                      << " wrong or unexpected answers\n";
+            return 1;
+        }
+        std::cout << "plr_loadgen: all answers validated against the serial "
+                     "oracle\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "plr_loadgen: " << e.what() << "\n";
+        return 1;
+    }
+}

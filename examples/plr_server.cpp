@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Recurrence-as-a-service over a local socket (docs/SERVER.md): binds
+ * an AF_UNIX stream socket and serves length-prefixed wire frames
+ * (server/wire.h) through the in-process Server — plan cache, batching
+ * coalescer, admission control and all. Pair with examples/plr_loadgen
+ * for an end-to-end multi-tenant load test:
+ *
+ *   ./plr_server --socket /tmp/plr.sock --serve-connections 64 &
+ *   ./plr_loadgen --socket /tmp/plr.sock --tenants 64
+ *
+ * Transport framing: each frame is a little-endian u32 byte length
+ * followed by that many frame bytes, both directions. Anything else —
+ * oversized lengths, torn frames, sealed-but-damaged bodies — is
+ * answered with a typed kBadFrame response or a dropped connection,
+ * never a crash.
+ *
+ * Flags: --socket PATH, --serve-connections N (exit 0 after N client
+ * connections have closed; 0 = serve forever), --queue-depth,
+ * --tenant-cap, --plan-cache, --max-batch, --no-batching, --threads,
+ * --backend cpu|gpusim, --fault-seed.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/cli.h"
+#include "util/diag.h"
+
+namespace {
+
+using namespace plr::server;
+
+/** Transport sanity bound: a frame longer than this is a bad client. */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 27;  // 128 MiB
+
+bool
+read_all(int fd, void* buf, std::size_t len)
+{
+    auto* p = static_cast<std::uint8_t*>(buf);
+    while (len > 0) {
+        const ssize_t got = ::read(fd, p, len);
+        if (got <= 0)
+            return false;  // EOF or error: the connection is done
+        p += got;
+        len -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool
+write_all(int fd, const void* buf, std::size_t len)
+{
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    while (len > 0) {
+        const ssize_t put = ::write(fd, p, len);
+        if (put <= 0)
+            return false;
+        p += put;
+        len -= static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+/** One client connection: length-prefixed frames until EOF. */
+void
+serve_connection(Server& server, int fd)
+{
+    for (;;) {
+        std::uint8_t len_bytes[4];
+        if (!read_all(fd, len_bytes, 4))
+            break;
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(len_bytes[0]) |
+            (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+            (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+            (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+        if (len == 0 || len > kMaxFrameBytes)
+            break;  // not a frame; drop the connection
+        std::vector<std::uint8_t> frame(len);
+        if (!read_all(fd, frame.data(), len))
+            break;
+        const auto response = server.handle(frame);
+        const std::uint32_t rlen =
+            static_cast<std::uint32_t>(response.size());
+        const std::uint8_t rlen_bytes[4] = {
+            static_cast<std::uint8_t>(rlen & 0xff),
+            static_cast<std::uint8_t>((rlen >> 8) & 0xff),
+            static_cast<std::uint8_t>((rlen >> 16) & 0xff),
+            static_cast<std::uint8_t>((rlen >> 24) & 0xff),
+        };
+        if (!write_all(fd, rlen_bytes, 4) ||
+            !write_all(fd, response.data(), response.size()))
+            break;
+    }
+    ::close(fd);
+}
+
+int
+usage()
+{
+    std::cerr << "usage: plr_server [--socket PATH] [--serve-connections N]\n"
+              << "                  [--queue-depth D] [--tenant-cap C]\n"
+              << "                  [--plan-cache P] [--max-batch B]\n"
+              << "                  [--no-batching] [--threads T]\n"
+              << "                  [--backend cpu|gpusim] [--fault-seed S]\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        const plr::CliArgs args(argc, argv);
+        if (args.has("help"))
+            return usage();
+
+        ServerConfig config;
+        config.queue_depth = static_cast<std::size_t>(
+            args.get_int("queue-depth", 256));
+        config.tenant_inflight_cap =
+            static_cast<std::size_t>(args.get_int("tenant-cap", 16));
+        config.plan_cache_capacity =
+            static_cast<std::size_t>(args.get_int("plan-cache", 64));
+        config.max_batch =
+            static_cast<std::size_t>(args.get_int("max-batch", 64));
+        config.batching = !args.get_bool("no-batching", false);
+        config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+        config.fault_seed =
+            static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+        const std::string backend = args.get("backend", "cpu");
+        if (backend == "gpusim") {
+            config.backend = ServerBackend::kGpusim;
+        } else if (backend != "cpu") {
+            std::cerr << "unknown --backend " << backend << "\n";
+            return usage();
+        }
+
+        const std::string path = args.get("socket", "/tmp/plr_server.sock");
+        const auto serve_connections =
+            static_cast<std::uint64_t>(args.get_int("serve-connections", 0));
+
+        const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PLR_REQUIRE(listener >= 0, "socket() failed: " << strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PLR_REQUIRE(path.size() < sizeof(addr.sun_path),
+                    "socket path too long: " << path);
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        PLR_REQUIRE(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                    "bind(" << path << ") failed: " << strerror(errno));
+        PLR_REQUIRE(::listen(listener, 128) == 0,
+                    "listen failed: " << strerror(errno));
+
+        Server server(config);
+        std::cout << "plr_server listening on " << path
+                  << (serve_connections
+                          ? " for " + std::to_string(serve_connections) +
+                                " connections"
+                          : "")
+                  << "\n"
+                  << std::flush;
+
+        std::vector<std::thread> workers;
+        std::atomic<std::uint64_t> closed{0};
+        std::uint64_t accepted = 0;
+        while (serve_connections == 0 || accepted < serve_connections) {
+            const int fd = ::accept(listener, nullptr, nullptr);
+            if (fd < 0)
+                break;
+            ++accepted;
+            workers.emplace_back([&server, &closed, fd] {
+                serve_connection(server, fd);
+                ++closed;
+            });
+        }
+        for (auto& w : workers)
+            w.join();
+        ::close(listener);
+        ::unlink(path.c_str());
+
+        const auto stats = server.stats();
+        std::cout << "plr_server done: served " << stats.served
+                  << " requests in " << stats.batches << " launches ("
+                  << stats.fused_requests << " fused, max batch "
+                  << stats.max_batch_fused << "); plan cache "
+                  << stats.plan_cache.hits << " hits / "
+                  << stats.plan_cache.misses << " misses; rejected "
+                  << stats.rejected_overloaded << " overloaded, "
+                  << stats.rejected_bad_frame << " bad-frame, "
+                  << stats.rejected_plan << " plan, "
+                  << stats.rejected_session << " session\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "plr_server: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,6 +1,44 @@
 #include "kernels/batched.h"
 
+#include <algorithm>
+
+#include "kernels/serial.h"
+#include "util/thread_pool.h"
+
 namespace plr::kernels {
+
+namespace {
+
+/** Shared precondition checks of the fused segment launches. */
+void
+validate_segments(const Signature& sig, std::size_t n,
+                  std::span<const CrossSegment> segments,
+                  std::size_t seed_count)
+{
+    PLR_REQUIRE(sig.order() >= 1, "batched segments need order >= 1");
+    PLR_REQUIRE(seed_count == 0 || seed_count == segments.size(),
+                "seeds must be empty or one per segment ("
+                    << seed_count << " for " << segments.size()
+                    << " segments)");
+    for (const CrossSegment& seg : segments) {
+        PLR_REQUIRE(seg.length <= n && seg.offset <= n - seg.length,
+                    "segment [" << seg.offset << ", +" << seg.length
+                                << ") exceeds input size " << n);
+    }
+    // Overlapping segments would race on the fused output array.
+    std::vector<CrossSegment> sorted(segments.begin(), segments.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CrossSegment& l, const CrossSegment& r) {
+                  return l.offset < r.offset;
+              });
+    for (std::size_t s = 1; s < sorted.size(); ++s) {
+        PLR_REQUIRE(sorted[s - 1].offset + sorted[s - 1].length <=
+                        sorted[s].offset,
+                    "segments overlap at offset " << sorted[s].offset);
+    }
+}
+
+}  // namespace
 
 template <typename Ring>
 std::vector<typename Ring::value_type>
@@ -91,5 +129,176 @@ template std::vector<float>
 batched_recurrence<TropicalRing>(gpusim::Device&, const Signature&,
                                  std::span<const float>, std::size_t,
                                  std::size_t, Axis, BatchedRunStats*);
+
+template <typename Ring>
+void
+batched_segments_cpu(const Signature& sig,
+                     std::span<const typename Ring::value_type> input,
+                     std::span<const CrossSegment> segments,
+                     std::span<const SegmentSeed<Ring>> seeds,
+                     std::span<typename Ring::value_type> output,
+                     std::size_t threads)
+{
+    using V = typename Ring::value_type;
+    PLR_REQUIRE(output.size() == input.size(),
+                "fused output size " << output.size() << " != input size "
+                                     << input.size());
+    validate_segments(sig, input.size(), segments, seeds.size());
+
+    auto run_one = [&](std::size_t s) {
+        const CrossSegment& seg = segments[s];
+        if (seg.length == 0)
+            return;
+        std::span<const V> y_tail, x_tail;
+        if (!seeds.empty()) {
+            y_tail = seeds[s].y_tail;
+            x_tail = seeds[s].x_tail;
+        }
+        serial_recurrence_seeded_into<Ring>(
+            sig, y_tail, x_tail, input.subspan(seg.offset, seg.length),
+            output.subspan(seg.offset, seg.length));
+    };
+
+    if (threads == 1 || segments.size() <= 1) {
+        for (std::size_t s = 0; s < segments.size(); ++s)
+            run_one(s);
+        return;
+    }
+    ThreadPool& pool = ThreadPool::shared();
+    if (threads > 1)
+        pool.ensure_workers(threads - 1);
+    pool.parallel_for(segments.size(), run_one);
+}
+
+template <typename Ring>
+std::vector<typename Ring::value_type>
+batched_segments_recurrence(gpusim::Device& device, const Signature& sig,
+                            std::span<const typename Ring::value_type> input,
+                            std::span<const CrossSegment> segments,
+                            std::span<const SegmentSeed<Ring>> seeds,
+                            BatchedRunStats* stats)
+{
+    using V = typename Ring::value_type;
+    validate_segments(sig, input.size(), segments, seeds.size());
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+        PLR_REQUIRE(seeds[s].y_tail.empty() ||
+                        seeds[s].y_tail.size() == sig.order(),
+                    "segment " << s << " y seed must hold " << sig.order()
+                               << " values");
+        PLR_REQUIRE(seeds[s].x_tail.empty() ||
+                        seeds[s].x_tail.size() == sig.fir_taps(),
+                    "segment " << s << " x seed must hold "
+                               << sig.fir_taps() << " values");
+    }
+
+    std::vector<V> a(sig.a().size());
+    for (std::size_t j = 0; j < a.size(); ++j)
+        a[j] = Ring::from_coefficient(sig.a()[j]);
+    std::vector<V> b(sig.order());
+    for (std::size_t j = 0; j < b.size(); ++j)
+        b[j] = Ring::from_coefficient(sig.b()[j]);
+
+    const std::size_t n = input.size();
+    auto in = device.alloc<V>(n, "batched.seg.input");
+    auto out = device.alloc<V>(n, "batched.seg.output");
+    device.upload<V>(in, input);
+    // Zero-fill so gaps between segments stay defined in the download.
+    if (n > 0) {
+        std::vector<V> zeros(n, Ring::zero());
+        device.upload<V>(out, zeros);
+    }
+    const auto before = device.snapshot();
+
+    device.launch(segments.size(), [&](gpusim::BlockContext& ctx) {
+        const std::size_t s = ctx.block_index();
+        const CrossSegment& seg = segments[s];
+        if (seg.length == 0)
+            return;
+        std::span<const V> y_seed, x_seed;
+        if (!seeds.empty()) {
+            y_seed = seeds[s].y_tail;
+            x_seed = seeds[s].x_tail;
+        }
+
+        std::vector<V> x(seg.length);
+        ctx.ld_bulk<V>(in, seg.offset, x);
+
+        // The seeded serial loop of serial_recurrence_seeded_into,
+        // in-block: references before the segment base read the carry
+        // seed (newest first) or ring zero for a fresh stream.
+        std::vector<V> y(seg.length);
+        for (std::size_t i = 0; i < seg.length; ++i) {
+            V acc = Ring::zero();
+            for (std::size_t j = 0; j < a.size(); ++j) {
+                V xv;
+                if (j <= i)
+                    xv = x[i - j];
+                else if (j - i - 1 < x_seed.size())
+                    xv = x_seed[j - i - 1];
+                else
+                    continue;
+                acc = Ring::mul_add(acc, a[j], xv);
+                ctx.count_flop(2);
+            }
+            for (std::size_t j = 1; j <= b.size(); ++j) {
+                V yv;
+                if (j <= i)
+                    yv = y[i - j];
+                else if (j - i - 1 < y_seed.size())
+                    yv = y_seed[j - i - 1];
+                else
+                    continue;
+                acc = Ring::mul_add(acc, b[j - 1], yv);
+                ctx.count_flop(2);
+            }
+            y[i] = acc;
+        }
+
+        ctx.st_bulk<V>(out, seg.offset, std::span<const V>(y));
+    });
+
+    auto result = device.download<V>(out);
+    if (stats) {
+        stats->lines = segments.size();
+        stats->counters = device.snapshot() - before;
+    }
+    device.memory().free(in);
+    device.memory().free(out);
+    return result;
+}
+
+template void
+batched_segments_cpu<IntRing>(const Signature&, std::span<const std::int32_t>,
+                              std::span<const CrossSegment>,
+                              std::span<const SegmentSeed<IntRing>>,
+                              std::span<std::int32_t>, std::size_t);
+template void
+batched_segments_cpu<FloatRing>(const Signature&, std::span<const float>,
+                                std::span<const CrossSegment>,
+                                std::span<const SegmentSeed<FloatRing>>,
+                                std::span<float>, std::size_t);
+template void
+batched_segments_cpu<TropicalRing>(const Signature&, std::span<const float>,
+                                   std::span<const CrossSegment>,
+                                   std::span<const SegmentSeed<TropicalRing>>,
+                                   std::span<float>, std::size_t);
+
+template std::vector<std::int32_t>
+batched_segments_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                                     std::span<const std::int32_t>,
+                                     std::span<const CrossSegment>,
+                                     std::span<const SegmentSeed<IntRing>>,
+                                     BatchedRunStats*);
+template std::vector<float>
+batched_segments_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                                       std::span<const float>,
+                                       std::span<const CrossSegment>,
+                                       std::span<const SegmentSeed<FloatRing>>,
+                                       BatchedRunStats*);
+template std::vector<float>
+batched_segments_recurrence<TropicalRing>(
+    gpusim::Device&, const Signature&, std::span<const float>,
+    std::span<const CrossSegment>,
+    std::span<const SegmentSeed<TropicalRing>>, BatchedRunStats*);
 
 }  // namespace plr::kernels

@@ -65,6 +65,100 @@ batched_recurrence<TropicalRing>(gpusim::Device&, const Signature&,
                                  std::span<const float>, std::size_t,
                                  std::size_t, Axis, BatchedRunStats*);
 
+/**
+ * One independent line of a fused cross-request batch: @p length
+ * elements starting at @p offset of the fused input array. Segments of
+ * one launch must be disjoint (they usually tile the array); length 0
+ * is legal and produces no outputs.
+ */
+struct CrossSegment {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+};
+
+/**
+ * Optional carry seed of one segment: the outputs/inputs preceding its
+ * first element, newest first — exactly the tail layout of
+ * serial_recurrence_seeded_into (and StreamState). Empty tails mean a
+ * fresh stream. Non-empty tails must be sig.order() / sig.fir_taps()
+ * long.
+ */
+template <typename Ring>
+struct SegmentSeed {
+    std::vector<typename Ring::value_type> y_tail;
+    std::vector<typename Ring::value_type> x_tail;
+};
+
+/**
+ * Evaluate @p sig independently over every segment of @p input on the
+ * host, writing each segment's outputs into the same positions of
+ * @p output. This is the server's fused-launch primitive: many
+ * concurrent small requests become one parallel region instead of one
+ * kernel dispatch each, with the carry reset (or seeded) at every
+ * segment boundary so tenants cannot observe each other's state.
+ *
+ * @p seeds is empty (all segments fresh) or exactly one per segment.
+ * @p threads = 0 uses the shared pool; 1 runs inline on the caller.
+ * Each segment is bit-identical to serial_recurrence_seeded_into on its
+ * slice, for every ring.
+ */
+template <typename Ring>
+void
+batched_segments_cpu(const Signature& sig,
+                     std::span<const typename Ring::value_type> input,
+                     std::span<const CrossSegment> segments,
+                     std::span<const SegmentSeed<Ring>> seeds,
+                     std::span<typename Ring::value_type> output,
+                     std::size_t threads = 0);
+
+/**
+ * The same fused launch on the simulated GPU: one block per segment
+ * (the ScanWeaver-style segmented lowering — per-tenant reset
+ * boundaries in one grid), each block running the seeded in-block
+ * recurrence over its slice. Returns the fused output array.
+ */
+template <typename Ring>
+std::vector<typename Ring::value_type>
+batched_segments_recurrence(gpusim::Device& device, const Signature& sig,
+                            std::span<const typename Ring::value_type> input,
+                            std::span<const CrossSegment> segments,
+                            std::span<const SegmentSeed<Ring>> seeds,
+                            BatchedRunStats* stats = nullptr);
+
+extern template void
+batched_segments_cpu<IntRing>(const Signature&, std::span<const std::int32_t>,
+                              std::span<const CrossSegment>,
+                              std::span<const SegmentSeed<IntRing>>,
+                              std::span<std::int32_t>, std::size_t);
+extern template void
+batched_segments_cpu<FloatRing>(const Signature&, std::span<const float>,
+                                std::span<const CrossSegment>,
+                                std::span<const SegmentSeed<FloatRing>>,
+                                std::span<float>, std::size_t);
+extern template void
+batched_segments_cpu<TropicalRing>(const Signature&, std::span<const float>,
+                                   std::span<const CrossSegment>,
+                                   std::span<const SegmentSeed<TropicalRing>>,
+                                   std::span<float>, std::size_t);
+
+extern template std::vector<std::int32_t>
+batched_segments_recurrence<IntRing>(gpusim::Device&, const Signature&,
+                                     std::span<const std::int32_t>,
+                                     std::span<const CrossSegment>,
+                                     std::span<const SegmentSeed<IntRing>>,
+                                     BatchedRunStats*);
+extern template std::vector<float>
+batched_segments_recurrence<FloatRing>(gpusim::Device&, const Signature&,
+                                       std::span<const float>,
+                                       std::span<const CrossSegment>,
+                                       std::span<const SegmentSeed<FloatRing>>,
+                                       BatchedRunStats*);
+extern template std::vector<float>
+batched_segments_recurrence<TropicalRing>(
+    gpusim::Device&, const Signature&, std::span<const float>,
+    std::span<const CrossSegment>,
+    std::span<const SegmentSeed<TropicalRing>>, BatchedRunStats*);
+
 }  // namespace plr::kernels
 
 #endif  // PLR_KERNELS_BATCHED_H_

@@ -107,6 +107,13 @@ struct RunOptions {
      * it as the crash= token. Kernels ignore it.
      */
     std::uint64_t crash_seed = 0;
+    /**
+     * Seed of the cross-request segment layout the batched-segments
+     * conformance check derives (kernels/batched.h, docs/SERVER.md);
+     * 0 disables the check. Reproducer lines carry it as the batch=
+     * token. Kernels ignore it — the harness drives the fused launches.
+     */
+    std::uint64_t batch_seed = 0;
 };
 
 /** One registered kernel with type-erased entry points per domain. */

@@ -96,6 +96,16 @@ StreamSession<Ring>::feed(std::span<const V> segment)
 }
 
 template <typename Ring>
+void
+StreamSession<Ring>::advance(std::span<const V> segment,
+                             std::span<const V> outputs)
+{
+    if (segment.empty())
+        return;
+    state_.advance(segment, outputs);
+}
+
+template <typename Ring>
 std::vector<typename Ring::value_type>
 StreamSession<Ring>::run_segment(std::span<const V> segment)
 {

@@ -86,6 +86,15 @@ class StreamSession {
     /** Evaluate the next segment; advances the carry state. */
     std::vector<V> feed(std::span<const V> segment);
 
+    /**
+     * Advance the carry state over a segment whose outputs were
+     * computed externally — the server's fused-batch path: it seeds a
+     * cross-request segment launch (kernels/batched.h) from state()'s
+     * tails, then commits the launch's outputs here. Equivalent to
+     * feed(segment) when @p outputs is what feed would have returned.
+     */
+    void advance(std::span<const V> segment, std::span<const V> outputs);
+
     /** Seal the current state into a durable checkpoint. */
     Checkpoint checkpoint() const;
 

@@ -1,0 +1,66 @@
+#ifndef PLR_SERVER_ERROR_H_
+#define PLR_SERVER_ERROR_H_
+
+/**
+ * @file
+ * The server's failure taxonomy (docs/SERVER.md). Every request either
+ * succeeds or is answered with exactly one of these kinds — the server
+ * never drops a request on the floor and never wedges a client.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "util/diag.h"
+
+namespace plr::server {
+
+/** Why a request was not served. */
+enum class ServerErrorKind {
+    /** The frame failed wire validation (FrameError). */
+    kBadFrame,
+    /** The frame parsed but its signature cannot be planned: DSL parse
+        failure, order 0, an int-domain request with non-integral
+        coefficients, or carry shape outside the wire bounds. */
+    kPlanRejected,
+    /** Admission control: the bounded queue is full or the tenant is
+        over its in-flight cap. Retry later — backpressure, not error. */
+    kOverloaded,
+    /** A session id was reused with a different signature or domain. */
+    kSessionMismatch,
+    /** The launch (and every recovery rung) failed. */
+    kLaunchFailed,
+    /** The server is draining; no new work is accepted. */
+    kShutdown,
+};
+
+/** Stable lowercase name ("overloaded", "bad-frame", ...). */
+const char* to_string(ServerErrorKind kind);
+
+/** Wire status code of an error kind (0 is reserved for success). */
+constexpr std::uint32_t
+status_of(ServerErrorKind kind)
+{
+    return static_cast<std::uint32_t>(kind) + 1;
+}
+
+/**
+ * Typed server-side rejection. Derives FatalError: a rejected request
+ * is caller-visible state, not a library bug.
+ */
+class ServerError : public FatalError {
+  public:
+    ServerError(ServerErrorKind kind, const std::string& what)
+        : FatalError(what), kind_(kind)
+    {
+    }
+
+    ServerErrorKind kind() const { return kind_; }
+
+  private:
+    ServerErrorKind kind_;
+};
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_ERROR_H_

@@ -1,0 +1,136 @@
+#include "server/plan_cache.h"
+
+#include "kernels/checkpoint.h"
+#include "server/error.h"
+
+namespace plr::server {
+
+namespace {
+
+static_analysis::ValueDomain
+value_domain_of(kernels::Domain domain)
+{
+    switch (domain) {
+      case kernels::Domain::kInt: return static_analysis::ValueDomain::kInt32;
+      case kernels::Domain::kFloat:
+        return static_analysis::ValueDomain::kFloat32;
+      case kernels::Domain::kTropical:
+        return static_analysis::ValueDomain::kMaxPlus;
+    }
+    return static_analysis::ValueDomain::kInt32;
+}
+
+[[noreturn]] void
+reject_plan(const std::string& detail)
+{
+    throw ServerError(ServerErrorKind::kPlanRejected,
+                      "plan rejected: " + detail);
+}
+
+/** The miss path: parse, validate, analyze, decide — once. */
+std::shared_ptr<const Plan>
+compile_plan(const std::string& text, kernels::Domain domain)
+{
+    auto plan = std::make_shared<Plan>();
+    plan->domain = domain;
+    try {
+        plan->sig = Signature::parse(text);
+    } catch (const FatalError& error) {
+        reject_plan(error.what());
+    }
+    // The DSL cannot spell max-plus; the domain field selects the
+    // semiring, so rebuild the parsed coefficients under it.
+    if (domain == kernels::Domain::kTropical)
+        plan->sig = Signature::max_plus(plan->sig.a(), plan->sig.b());
+    if (domain == kernels::Domain::kInt && !plan->sig.is_integral())
+        reject_plan("int-domain request with non-integral coefficients in " +
+                    plan->sig.to_string());
+    // The carry state must fit the checkpoint wire bounds, or sessions
+    // over this plan could never seal a resumable state.
+    if (plan->sig.order() > kernels::kCheckpointMaxOrder)
+        reject_plan("order " + std::to_string(plan->sig.order()) +
+                    " above the carry bound " +
+                    std::to_string(kernels::kCheckpointMaxOrder));
+    if (plan->sig.fir_taps() > kernels::kCheckpointMaxTaps)
+        reject_plan("fir taps " + std::to_string(plan->sig.fir_taps()) +
+                    " above the carry bound " +
+                    std::to_string(kernels::kCheckpointMaxTaps));
+
+    plan->key = kernels::signature_hash(plan->sig, domain);
+    const auto vd = value_domain_of(domain);
+    plan->report = static_analysis::analyze(plan->sig, vd);
+    plan->simd = static_analysis::choose_simd_path(
+        plan->sig, vd, static_analysis::FirstOrderMode::kAuto);
+    return plan;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1)
+{
+}
+
+std::shared_ptr<const Plan>
+PlanCache::lookup(const std::string& text, kernels::Domain domain, bool* hit)
+{
+    // Parsing is needed to derive the key at all, so a probe costs one
+    // parse + hash; the analyze()/choose_simd_path() plan body is what
+    // the cache amortizes.
+    Signature sig({1.0}, {1.0});
+    try {
+        sig = Signature::parse(text);
+    } catch (const FatalError& error) {
+        reject_plan(error.what());
+    }
+    if (domain == kernels::Domain::kTropical)
+        sig = Signature::max_plus(sig.a(), sig.b());
+    const std::uint64_t key = kernels::signature_hash(sig, domain);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = by_key_.find(key);
+        if (it != by_key_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++hits_;
+            if (hit)
+                *hit = true;
+            return lru_.front();
+        }
+    }
+
+    // Compile outside the lock: a slow analyze() of one novel signature
+    // must not stall every concurrent hit.
+    std::shared_ptr<const Plan> plan = compile_plan(text, domain);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        // A concurrent miss compiled it first; use the incumbent.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        if (hit)
+            *hit = true;
+        return lru_.front();
+    }
+    ++misses_;
+    if (hit)
+        *hit = false;
+    lru_.push_front(plan);
+    by_key_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        by_key_.erase(lru_.back()->key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return plan;
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {hits_, misses_, evictions_, lru_.size()};
+}
+
+}  // namespace plr::server

@@ -1,0 +1,91 @@
+#ifndef PLR_SERVER_PLAN_CACHE_H_
+#define PLR_SERVER_PLAN_CACHE_H_
+
+/**
+ * @file
+ * The compiled-plan cache (docs/SERVER.md): parse + static-analyze +
+ * choose the SIMD path once per distinct (signature, domain), serve
+ * every later request from the cached Plan. Keyed by the FNV-1a
+ * signature hash from kernels/checkpoint.h — two requests share an
+ * entry iff they evaluate the same recurrence in the same ring, however
+ * their DSL text was spelled. LRU eviction bounds the footprint against
+ * a million-tenant signature churn; hit/miss/eviction counters feed the
+ * server stats and the load bench.
+ */
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/static/analyzer.h"
+#include "core/signature.h"
+#include "kernels/registry.h"
+
+namespace plr::server {
+
+/** Everything planned once per (signature, domain). */
+struct Plan {
+    /** Parsed signature; rebuilt max-plus for the tropical domain. */
+    Signature sig;
+    kernels::Domain domain = kernels::Domain::kInt;
+    /** signature_hash(sig, domain) — the cache key. */
+    std::uint64_t key = 0;
+    /** Plan-time verdicts (docs/STATIC_ANALYSIS.md). */
+    static_analysis::StaticReport report;
+    /** The analyzer's Phase-1 path decision. */
+    static_analysis::SimdPathDecision simd;
+
+    Plan() : sig({1.0}, {1.0}) {}
+};
+
+/** Point-in-time cache counters. */
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+};
+
+/**
+ * Thread-safe LRU cache of compiled Plans.
+ *
+ * lookup() throws ServerError(kPlanRejected) when the text cannot be
+ * planned (DSL parse failure, order 0, int domain with non-integral
+ * coefficients, carry shape outside the wire-format bounds); rejections
+ * are not cached — they are cheap to re-derive and must not evict real
+ * plans.
+ */
+class PlanCache {
+  public:
+    explicit PlanCache(std::size_t capacity);
+
+    /**
+     * Return the plan for @p text in @p domain, compiling it on a miss.
+     * @p hit, when non-null, receives whether the plan was served from
+     * the cache.
+     */
+    std::shared_ptr<const Plan> lookup(const std::string& text,
+                                       kernels::Domain domain,
+                                       bool* hit = nullptr);
+
+    PlanCacheStats stats() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    /** Most recently used first. */
+    std::list<std::shared_ptr<const Plan>> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::shared_ptr<const Plan>>::iterator>
+        by_key_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_PLAN_CACHE_H_

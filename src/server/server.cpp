@@ -1,0 +1,548 @@
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "kernels/batched.h"
+#include "kernels/serial.h"
+#include "kernels/stream.h"
+#include "kernels/stream_state.h"
+#include "server/error.h"
+#include "util/ring.h"
+
+namespace plr::server {
+
+namespace {
+
+ResponseFrame
+error_response(const RequestFrame& frame, ServerErrorKind kind)
+{
+    ResponseFrame r;
+    r.request_id = frame.request_id;
+    r.tenant = frame.tenant;
+    r.status = status_of(kind);
+    return r;
+}
+
+}  // namespace
+
+const char*
+to_string(ServerErrorKind kind)
+{
+    switch (kind) {
+      case ServerErrorKind::kBadFrame: return "bad-frame";
+      case ServerErrorKind::kPlanRejected: return "plan-rejected";
+      case ServerErrorKind::kOverloaded: return "overloaded";
+      case ServerErrorKind::kSessionMismatch: return "session-mismatch";
+      case ServerErrorKind::kLaunchFailed: return "launch-failed";
+      case ServerErrorKind::kShutdown: return "shutdown";
+    }
+    return "unknown";
+}
+
+/** One admitted request waiting for (or receiving) its response. */
+struct Server::Pending {
+    RequestFrame frame;
+    std::shared_ptr<const Plan> plan;
+    bool cache_hit = false;
+    /** Only the batcher touches these after admission. */
+    bool done = false;
+    std::promise<ResponseFrame> promise;
+};
+
+/** One (tenant, session) resumable stream. */
+struct Server::Session {
+    std::uint64_t plan_key = 0;
+    std::variant<std::unique_ptr<kernels::StreamSession<IntRing>>,
+                 std::unique_ptr<kernels::StreamSession<FloatRing>>,
+                 std::unique_ptr<kernels::StreamSession<TropicalRing>>>
+        stream;
+};
+
+struct Server::Impl {
+    explicit Impl(const ServerConfig& c)
+        : config(c), cache(c.plan_cache_capacity)
+    {
+    }
+
+    ServerConfig config;
+    PlanCache cache;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Pending>> queue;
+    /** Queued + in-service requests per tenant. */
+    std::map<std::uint64_t, std::size_t> inflight;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, Session> sessions;
+    bool stopping = false;
+    bool paused = false;
+    std::thread batcher;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> rejected_overloaded{0};
+    std::atomic<std::uint64_t> rejected_bad_frame{0};
+    std::atomic<std::uint64_t> rejected_plan{0};
+    std::atomic<std::uint64_t> rejected_session{0};
+    std::atomic<std::uint64_t> failed_launches{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> fused_requests{0};
+    std::atomic<std::uint64_t> max_batch_fused{0};
+    std::atomic<std::uint64_t> recovered{0};
+    std::atomic<std::uint64_t> shutdown_drained{0};
+
+    ResponseFrame submit(const RequestFrame& frame);
+    void batcher_loop();
+    void serve_group(std::vector<std::shared_ptr<Pending>>& group);
+    template <typename Ring>
+    void run_group(std::vector<std::shared_ptr<Pending>>& group);
+
+    static void
+    finish(Pending& p, ResponseFrame r)
+    {
+        if (p.done)
+            return;
+        p.done = true;
+        p.promise.set_value(std::move(r));
+    }
+};
+
+ResponseFrame
+Server::Impl::submit(const RequestFrame& frame)
+{
+    // Plan before admission: a request that cannot be planned must not
+    // occupy a queue slot, and the cache probe is a parse + hash.
+    std::shared_ptr<const Plan> plan;
+    bool cache_hit = false;
+    try {
+        plan = cache.lookup(frame.signature_text, frame.domain, &cache_hit);
+    } catch (const ServerError& error) {
+        ++rejected_plan;
+        return error_response(frame, error.kind());
+    }
+
+    auto pending = std::make_shared<Pending>();
+    pending->frame = frame;
+    pending->plan = std::move(plan);
+    pending->cache_hit = cache_hit;
+    auto future = pending->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) {
+            ++shutdown_drained;
+            return error_response(frame, ServerErrorKind::kShutdown);
+        }
+        if (queue.size() >= config.queue_depth) {
+            ++rejected_overloaded;
+            return error_response(frame, ServerErrorKind::kOverloaded);
+        }
+        auto it = inflight.find(frame.tenant);
+        const std::size_t current = it == inflight.end() ? 0 : it->second;
+        if (current >= config.tenant_inflight_cap) {
+            ++rejected_overloaded;
+            return error_response(frame, ServerErrorKind::kOverloaded);
+        }
+        inflight[frame.tenant] = current + 1;
+        ++accepted;
+        queue.push_back(pending);
+    }
+    cv.notify_all();
+    return future.get();
+}
+
+void
+Server::Impl::batcher_loop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cv.wait(lock,
+                [&] { return stopping || (!paused && !queue.empty()); });
+        if (stopping)
+            break;
+
+        // One coalescing round: take up to max_batch queued requests
+        // sharing the front request's plan, at most one per live
+        // session (a session's later requests need the carry this
+        // round advances). Requests of other plans keep their order
+        // and go in a later round.
+        const std::size_t limit =
+            config.batching ? std::max<std::size_t>(1, config.max_batch) : 1;
+
+        std::vector<std::shared_ptr<Pending>> group;
+        std::set<std::pair<std::uint64_t, std::uint64_t>> group_sessions;
+        std::uint64_t key = 0;
+        for (auto it = queue.begin();
+             it != queue.end() && group.size() < limit;) {
+            const auto& p = *it;
+            if (!group.empty() && p->plan->key != key) {
+                ++it;
+                continue;
+            }
+            if (p->frame.session != 0 &&
+                !group_sessions.insert({p->frame.tenant, p->frame.session})
+                     .second) {
+                ++it;
+                continue;
+            }
+            key = p->plan->key;
+            group.push_back(p);
+            it = queue.erase(it);
+        }
+
+        lock.unlock();
+        serve_group(group);
+        lock.lock();
+
+        ++batches;
+        fused_requests += group.size();
+        if (group.size() > max_batch_fused.load())
+            max_batch_fused = group.size();
+        for (const auto& p : group) {
+            auto it = inflight.find(p->frame.tenant);
+            if (it != inflight.end() && --it->second == 0)
+                inflight.erase(it);
+        }
+    }
+
+    // Drain: every queued request is answered, never dropped.
+    while (!queue.empty()) {
+        auto p = queue.front();
+        queue.pop_front();
+        ++shutdown_drained;
+        auto it = inflight.find(p->frame.tenant);
+        if (it != inflight.end() && --it->second == 0)
+            inflight.erase(it);
+        finish(*p, error_response(p->frame, ServerErrorKind::kShutdown));
+    }
+}
+
+void
+Server::Impl::serve_group(std::vector<std::shared_ptr<Pending>>& group)
+{
+    if (group.empty())
+        return;
+    try {
+        switch (group.front()->frame.domain) {
+          case kernels::Domain::kInt:
+            run_group<IntRing>(group);
+            break;
+          case kernels::Domain::kFloat:
+            run_group<FloatRing>(group);
+            break;
+          case kernels::Domain::kTropical:
+            run_group<TropicalRing>(group);
+            break;
+        }
+    } catch (...) {
+        // Fall through to the per-request accounting below.
+    }
+    for (const auto& p : group) {
+        if (!p->done) {
+            ++failed_launches;
+            finish(*p,
+                   error_response(p->frame, ServerErrorKind::kLaunchFailed));
+        }
+    }
+}
+
+template <typename Ring>
+void
+Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
+{
+    using V = typename Ring::value_type;
+    using Stream = kernels::StreamSession<Ring>;
+    const Plan& plan = *group.front()->plan;
+
+    // Resolve sessions first: a mismatched session is rejected before
+    // any carry state is touched.
+    std::vector<Stream*> streams(group.size(), nullptr);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            Pending& p = *group[i];
+            if (p.frame.session == 0)
+                continue;
+            const auto skey = std::make_pair(p.frame.tenant, p.frame.session);
+            auto it = sessions.find(skey);
+            if (it == sessions.end()) {
+                Session s;
+                s.plan_key = plan.key;
+                s.stream = std::make_unique<Stream>(plan.sig, nullptr,
+                                                    kernels::RunOptions{});
+                it = sessions.emplace(skey, std::move(s)).first;
+            } else if (it->second.plan_key != plan.key ||
+                       !std::holds_alternative<std::unique_ptr<Stream>>(
+                           it->second.stream)) {
+                ++rejected_session;
+                finish(p, error_response(
+                              p.frame, ServerErrorKind::kSessionMismatch));
+                continue;
+            }
+            streams[i] =
+                std::get<std::unique_ptr<Stream>>(it->second.stream).get();
+        }
+    }
+
+    // The simulated-GPU backend: with fault injection off, the whole
+    // stateless side of the group goes up in ONE fused device launch
+    // (batched_segments_recurrence) — the per-launch overhead
+    // amortization the coalescer exists for. With faults armed (or if
+    // the fused launch itself dies) every stateless request goes
+    // through the per-request recovery ladder instead, so each one
+    // gets its own verify/repair/relaunch/degrade decision. Session
+    // requests stay on the fused host path either way (their carry
+    // lives in host StreamSessions).
+    if (config.backend == ServerBackend::kGpusim) {
+        bool device_done = config.fault_seed == 0;
+        if (device_done) {
+            std::vector<V> device_in;
+            std::vector<kernels::CrossSegment> device_segs;
+            std::vector<std::size_t> stateless;  // indices into group
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                Pending& p = *group[i];
+                if (p.done || streams[i] != nullptr)
+                    continue;
+                device_segs.push_back(
+                    {device_in.size(), p.frame.payload.size()});
+                for (std::uint32_t word : p.frame.payload)
+                    device_in.push_back(kernels::bits_value<V>(word));
+                stateless.push_back(i);
+            }
+            if (!stateless.empty()) {
+                try {
+                    gpusim::Device device;
+                    const std::vector<V> y =
+                        kernels::batched_segments_recurrence<Ring>(
+                            device, plan.sig, device_in, device_segs, {});
+                    for (std::size_t j = 0; j < stateless.size(); ++j) {
+                        Pending& p = *group[stateless[j]];
+                        ResponseFrame r;
+                        r.request_id = p.frame.request_id;
+                        r.tenant = p.frame.tenant;
+                        r.batch =
+                            static_cast<std::uint32_t>(stateless.size());
+                        if (p.cache_hit)
+                            r.flags |= kResponseFlagPlanCacheHit;
+                        if (stateless.size() > 1)
+                            r.flags |= kResponseFlagFusedBatch;
+                        const auto slice =
+                            std::span<const V>(y).subspan(
+                                device_segs[j].offset, device_segs[j].length);
+                        r.payload.reserve(slice.size());
+                        for (V v : slice)
+                            r.payload.push_back(kernels::value_bits(v));
+                        ++served;
+                        finish(p, std::move(r));
+                    }
+                } catch (const std::exception&) {
+                    device_done = false;  // bottom rung: one at a time
+                }
+            }
+        }
+        if (!device_done) {
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                Pending& p = *group[i];
+                if (p.done || streams[i] != nullptr)
+                    continue;
+                std::vector<V> input(p.frame.payload.size());
+                for (std::size_t j = 0; j < input.size(); ++j)
+                    input[j] = kernels::bits_value<V>(p.frame.payload[j]);
+                kernels::RunnerOptions ro;
+                ro.backend = kernels::Backend::kSimulatedGpu;
+                ro.on_failure = config.on_failure;
+                ro.fault_seed = config.fault_seed;
+                ro.verify = config.fault_seed != 0;
+                kernels::RecoveryReport recovery;
+                ro.recovery_out = &recovery;
+                try {
+                    const std::vector<V> y =
+                        kernels::run_recurrence(plan.sig, input, ro);
+                    ResponseFrame r;
+                    r.request_id = p.frame.request_id;
+                    r.tenant = p.frame.tenant;
+                    r.batch = 1;
+                    if (p.cache_hit)
+                        r.flags |= kResponseFlagPlanCacheHit;
+                    if (recovery.stage != kernels::RecoveryStage::kClean) {
+                        r.flags |= kResponseFlagRecovered;
+                        ++recovered;
+                    }
+                    r.payload.reserve(y.size());
+                    for (V v : y)
+                        r.payload.push_back(kernels::value_bits(v));
+                    ++served;
+                    finish(p, std::move(r));
+                } catch (const std::exception&) {
+                    ++failed_launches;
+                    finish(p, error_response(p.frame,
+                                             ServerErrorKind::kLaunchFailed));
+                }
+            }
+        }
+    }
+
+    // Fuse everything still pending into one cross-request launch.
+    std::vector<V> fused;
+    std::vector<kernels::CrossSegment> segments;
+    std::vector<kernels::SegmentSeed<Ring>> seeds;
+    std::vector<std::size_t> members;  // indices into group
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        Pending& p = *group[i];
+        if (p.done)
+            continue;
+        kernels::CrossSegment seg{fused.size(), p.frame.payload.size()};
+        for (std::uint32_t word : p.frame.payload)
+            fused.push_back(kernels::bits_value<V>(word));
+        segments.push_back(seg);
+        if (streams[i] != nullptr)
+            seeds.push_back({streams[i]->state().y_tail,
+                             streams[i]->state().x_tail});
+        else
+            seeds.push_back({});
+        members.push_back(i);
+    }
+    if (members.empty())
+        return;
+
+    std::vector<V> out(fused.size());
+    bool launched = false;
+    try {
+        kernels::batched_segments_cpu<Ring>(plan.sig, fused, segments, seeds,
+                                            out, config.threads);
+        launched = true;
+    } catch (const std::exception&) {
+        // Fused launch faulted: degrade to request-at-a-time serial —
+        // the bottom rung of the recovery ladder.
+    }
+    const auto out_span = std::span<V>(out);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        Pending& p = *group[members[j]];
+        const auto in_slice = std::span<const V>(fused).subspan(
+            segments[j].offset, segments[j].length);
+        auto slice = out_span.subspan(segments[j].offset, segments[j].length);
+        if (!launched) {
+            try {
+                kernels::serial_recurrence_seeded_into<Ring>(
+                    plan.sig, seeds[j].y_tail, seeds[j].x_tail, in_slice,
+                    slice);
+            } catch (const std::exception&) {
+                ++failed_launches;
+                finish(p, error_response(p.frame,
+                                         ServerErrorKind::kLaunchFailed));
+                continue;
+            }
+        }
+        if (streams[members[j]] != nullptr)
+            streams[members[j]]->advance(in_slice, slice);
+        ResponseFrame r;
+        r.request_id = p.frame.request_id;
+        r.tenant = p.frame.tenant;
+        r.batch = static_cast<std::uint32_t>(members.size());
+        if (p.cache_hit)
+            r.flags |= kResponseFlagPlanCacheHit;
+        if (members.size() > 1)
+            r.flags |= kResponseFlagFusedBatch;
+        if (!launched)
+            r.flags |= kResponseFlagRecovered;
+        r.payload.reserve(slice.size());
+        for (V v : slice)
+            r.payload.push_back(kernels::value_bits(v));
+        ++served;
+        finish(p, std::move(r));
+    }
+}
+
+Server::Server(const ServerConfig& config) : impl_(new Impl(config))
+{
+    impl_->batcher = std::thread([this] { impl_->batcher_loop(); });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+ResponseFrame
+Server::submit(const RequestFrame& frame)
+{
+    return impl_->submit(frame);
+}
+
+std::vector<std::uint8_t>
+Server::handle(std::span<const std::uint8_t> bytes)
+{
+    RequestFrame frame;
+    try {
+        frame = parse_request(bytes);
+    } catch (const FrameError&) {
+        ++impl_->rejected_bad_frame;
+        ResponseFrame r;
+        r.status = status_of(ServerErrorKind::kBadFrame);
+        return encode_response(r);
+    }
+    return encode_response(submit(frame));
+}
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->stopping = true;
+    }
+    impl_->cv.notify_all();
+    if (impl_->batcher.joinable())
+        impl_->batcher.join();
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats s;
+    s.accepted = impl_->accepted.load();
+    s.served = impl_->served.load();
+    s.rejected_overloaded = impl_->rejected_overloaded.load();
+    s.rejected_bad_frame = impl_->rejected_bad_frame.load();
+    s.rejected_plan = impl_->rejected_plan.load();
+    s.rejected_session = impl_->rejected_session.load();
+    s.failed_launches = impl_->failed_launches.load();
+    s.batches = impl_->batches.load();
+    s.fused_requests = impl_->fused_requests.load();
+    s.max_batch_fused = impl_->max_batch_fused.load();
+    s.recovered = impl_->recovered.load();
+    s.shutdown_drained = impl_->shutdown_drained.load();
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        s.sessions = impl_->sessions.size();
+    }
+    s.plan_cache = impl_->cache.stats();
+    return s;
+}
+
+void
+Server::pause()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->paused = true;
+}
+
+void
+Server::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->paused = false;
+    }
+    impl_->cv.notify_all();
+}
+
+}  // namespace plr::server

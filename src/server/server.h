@@ -1,0 +1,151 @@
+#ifndef PLR_SERVER_SERVER_H_
+#define PLR_SERVER_SERVER_H_
+
+/**
+ * @file
+ * Recurrence-as-a-service (docs/SERVER.md): a multi-tenant front end
+ * over the kernel stack for ROADMAP item 2's million-user scenario.
+ *
+ * Requests enter through submit() (in-process) or handle() (wire
+ * frames, server/wire.h) and pass admission control — a bounded queue
+ * plus per-tenant in-flight caps; over-limit requests are answered
+ * kOverloaded immediately (backpressure), never silently dropped or
+ * wedged. Admitted requests are planned once per distinct signature
+ * through the LRU PlanCache (server/plan_cache.h) and handed to the
+ * batching coalescer: a single batcher thread drains the queue and
+ * fuses concurrent same-plan requests into one cross-request segment
+ * launch (kernels/batched.h) with per-tenant carry reset — many small
+ * scans pay one dispatch instead of one each. Session requests
+ * (session id != 0) keep a StreamSession (kernels/stream.h) per
+ * (tenant, session): fused launches seed from its carry state and
+ * commit their outputs back through StreamSession::advance(), so a
+ * tenant's chunked stream resumes bit-identically across requests.
+ *
+ * The simulated-GPU backend serves a clean device with one fused
+ * batched_segments_recurrence launch per coalescing round — the
+ * per-launch overhead amortization bench/server_load.cpp gates. With
+ * fault injection armed (or if the fused launch dies) stateless
+ * requests fall back to run_recurrence's per-request recovery ladder
+ * (kernels/runner.h): faulted launches are repaired, relaunched, or
+ * degraded to the CPU per the configured FailurePolicy, and survivors
+ * carry kResponseFlagRecovered.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kernels/runner.h"
+#include "server/plan_cache.h"
+#include "server/wire.h"
+
+namespace plr::server {
+
+/** Which engine serves stateless requests. */
+enum class ServerBackend {
+    /** Fused cross-request segment launches on the host. */
+    kFusedCpu,
+    /** Fused batched launches on the simulated GPU; per-request PLR
+        kernels behind the recovery ladder when fault injection is
+        armed. Session requests still use the fused host path — their
+        carry lives in host StreamSessions. */
+    kGpusim,
+};
+
+/** Server tuning. */
+struct ServerConfig {
+    /** Bounded admission queue; a full queue answers kOverloaded. */
+    std::size_t queue_depth = 256;
+    /** Per-tenant in-flight cap (queued + being served). */
+    std::size_t tenant_inflight_cap = 16;
+    /** Distinct compiled plans kept (LRU beyond this). */
+    std::size_t plan_cache_capacity = 64;
+    /** Most requests fused into one launch. */
+    std::size_t max_batch = 64;
+    /** false = request-at-a-time through the same pipeline (the load
+        bench's A/B control for the fused-batch speedup gate). */
+    bool batching = true;
+    /** Host threads for fused launches (0 = shared pool default). */
+    std::size_t threads = 0;
+    ServerBackend backend = ServerBackend::kFusedCpu;
+    /** Fault-injection seed for the simulated-GPU backend (0 = off). */
+    std::uint64_t fault_seed = 0;
+    /** What the recovery ladder does when the GPU launch fails. */
+    kernels::FailurePolicy on_failure =
+        kernels::FailurePolicy::kDegradeToCpu;
+};
+
+/** Point-in-time server counters. */
+struct ServerStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected_overloaded = 0;
+    std::uint64_t rejected_bad_frame = 0;
+    std::uint64_t rejected_plan = 0;
+    std::uint64_t rejected_session = 0;
+    std::uint64_t failed_launches = 0;
+    /** Fused launches dispatched, and requests they carried. */
+    std::uint64_t batches = 0;
+    std::uint64_t fused_requests = 0;
+    std::uint64_t max_batch_fused = 0;
+    /** GPU-backend runs that needed any recovery rung. */
+    std::uint64_t recovered = 0;
+    /** Requests answered kShutdown while draining. */
+    std::uint64_t shutdown_drained = 0;
+    std::size_t sessions = 0;
+    PlanCacheStats plan_cache;
+};
+
+/**
+ * The in-process server. One batcher thread; submit() may be called
+ * from any number of client threads concurrently.
+ */
+class Server {
+  public:
+    explicit Server(const ServerConfig& config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Serve one request, blocking until its response is ready. Every
+     * outcome is a response — rejections carry the typed status code,
+     * never an exception.
+     */
+    ResponseFrame submit(const RequestFrame& frame);
+
+    /**
+     * Wire entry: parse the frame, serve it, encode the response. A
+     * frame failing validation is answered with status kBadFrame
+     * (request id 0 — the id cannot be trusted from a bad frame).
+     */
+    std::vector<std::uint8_t> handle(std::span<const std::uint8_t> bytes);
+
+    /**
+     * Stop accepting work, answer every queued request kShutdown, and
+     * join the batcher. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    ServerStats stats() const;
+
+    /**
+     * Test hooks: freeze the batcher so concurrent submissions pile up
+     * behind it, then release them — the only way a test can *prove*
+     * coalescing (N paused requests must come back with batch == N).
+     */
+    void pause();
+    void resume();
+
+  private:
+    struct Pending;
+    struct Session;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_SERVER_H_

@@ -1,0 +1,277 @@
+#include "server/wire.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "kernels/verify.h"
+
+namespace plr::server {
+
+namespace {
+
+/** Fixed request-header bytes before the variable sections. */
+constexpr std::size_t kRequestHeaderBytes = 48;
+/** Fixed response-header bytes before the payload. */
+constexpr std::size_t kResponseHeaderBytes = 40;
+/** Trailing Fletcher-32 seal. */
+constexpr std::size_t kSealBytes = 4;
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffull));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+get_u32(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint32_t>(bytes[offset]) |
+           (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+std::uint64_t
+get_u64(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint64_t>(get_u32(bytes, offset)) |
+           (static_cast<std::uint64_t>(get_u32(bytes, offset + 4)) << 32);
+}
+
+/** Signature text bytes rounded up to whole 32-bit words. */
+std::size_t
+padded_text_bytes(std::size_t text_len)
+{
+    return (text_len + 3) / 4 * 4;
+}
+
+/** Fletcher-32 over the byte range decoded as little-endian words. */
+std::uint32_t
+seal_over(std::span<const std::uint8_t> bytes)
+{
+    std::vector<std::uint32_t> words(bytes.size() / 4);
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] = get_u32(bytes, w * 4);
+    return kernels::fletcher32(words.data(), words.size());
+}
+
+[[noreturn]] void
+reject(FrameErrorKind kind, const std::string& detail)
+{
+    throw FrameError(kind,
+                     std::string("frame ") + to_string(kind) + ": " + detail);
+}
+
+/**
+ * The magic/version/length/seal validation shared by both frame kinds.
+ * Returns nothing; every reject throws. @p expected is the exact frame
+ * size the already-validated header fields imply.
+ */
+void
+check_envelope(std::span<const std::uint8_t> bytes, const char (&magic)[4],
+               std::size_t header_bytes)
+{
+    if (bytes.size() < sizeof(magic))
+        reject(FrameErrorKind::kTruncated,
+               "only " + std::to_string(bytes.size()) +
+                   " bytes, shorter than the magic");
+    if (std::memcmp(bytes.data(), magic, sizeof(magic)) != 0)
+        reject(FrameErrorKind::kBadMagic,
+               std::string("frame does not start with \"") +
+                   std::string(magic, 4) + "\"");
+    if (bytes.size() < 8)
+        reject(FrameErrorKind::kTruncated,
+               "header ends before the format version");
+    const std::uint32_t version = get_u32(bytes, 4);
+    if (version != kWireFormatVersion)
+        reject(FrameErrorKind::kVersionSkew,
+               "format version " + std::to_string(version) +
+                   ", this build speaks version " +
+                   std::to_string(kWireFormatVersion));
+    if (bytes.size() < header_bytes)
+        reject(FrameErrorKind::kTruncated,
+               "header is " + std::to_string(bytes.size()) + " of " +
+                   std::to_string(header_bytes) + " bytes");
+}
+
+/** Verify the trailing seal once the exact frame size is known. */
+void
+check_seal(std::span<const std::uint8_t> bytes, std::size_t expected)
+{
+    if (bytes.size() < expected)
+        reject(FrameErrorKind::kTruncated,
+               std::to_string(bytes.size()) + " of " +
+                   std::to_string(expected) + " bytes (torn read?)");
+    if (bytes.size() > expected)
+        reject(FrameErrorKind::kMalformed,
+               std::to_string(bytes.size() - expected) +
+                   " trailing bytes after the seal");
+    const std::uint32_t stored = get_u32(bytes, expected - kSealBytes);
+    const std::uint32_t computed =
+        seal_over(bytes.subspan(0, expected - kSealBytes));
+    if (stored != computed) {
+        std::ostringstream what;
+        what << "Fletcher-32 seal mismatch (stored 0x" << std::hex << stored
+             << ", computed 0x" << computed << ")";
+        reject(FrameErrorKind::kCorrupt, what.str());
+    }
+}
+
+}  // namespace
+
+const char*
+to_string(FrameErrorKind kind)
+{
+    switch (kind) {
+      case FrameErrorKind::kBadMagic: return "bad-magic";
+      case FrameErrorKind::kVersionSkew: return "version-skew";
+      case FrameErrorKind::kTruncated: return "truncated";
+      case FrameErrorKind::kMalformed: return "malformed";
+      case FrameErrorKind::kCorrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encode_request(const RequestFrame& frame)
+{
+    PLR_REQUIRE(frame.signature_text.size() <= kMaxSignatureText,
+                "signature text exceeds " << kMaxSignatureText << " bytes");
+    PLR_REQUIRE(frame.payload.size() <= kMaxPayloadElements,
+                "payload exceeds " << kMaxPayloadElements << " elements");
+    const std::size_t padded = padded_text_bytes(frame.signature_text.size());
+    std::vector<std::uint8_t> out;
+    out.reserve(kRequestHeaderBytes + padded + 4 * frame.payload.size() +
+                kSealBytes);
+    for (char c : kRequestMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    put_u32(out, kWireFormatVersion);
+    put_u64(out, frame.request_id);
+    put_u64(out, frame.tenant);
+    put_u64(out, frame.session);
+    put_u32(out, static_cast<std::uint32_t>(frame.domain));
+    put_u32(out, 0);  // reserved flags
+    put_u32(out, static_cast<std::uint32_t>(frame.signature_text.size()));
+    put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    for (char c : frame.signature_text)
+        out.push_back(static_cast<std::uint8_t>(c));
+    for (std::size_t i = frame.signature_text.size(); i < padded; ++i)
+        out.push_back(0);
+    for (std::uint32_t word : frame.payload)
+        put_u32(out, word);
+    put_u32(out, seal_over(out));
+    return out;
+}
+
+RequestFrame
+parse_request(std::span<const std::uint8_t> bytes)
+{
+    check_envelope(bytes, kRequestMagic, kRequestHeaderBytes);
+
+    const std::uint32_t domain = get_u32(bytes, 32);
+    if (domain > static_cast<std::uint32_t>(kernels::Domain::kTropical))
+        reject(FrameErrorKind::kMalformed,
+               "unknown domain id " + std::to_string(domain));
+    const std::uint32_t flags = get_u32(bytes, 36);
+    if (flags != 0)
+        reject(FrameErrorKind::kMalformed,
+               "reserved request flags 0x" + std::to_string(flags) +
+                   " must be zero");
+    const std::uint32_t text_len = get_u32(bytes, 40);
+    if (text_len > kMaxSignatureText)
+        reject(FrameErrorKind::kMalformed,
+               "signature text length " + std::to_string(text_len) +
+                   " above " + std::to_string(kMaxSignatureText));
+    const std::uint32_t n = get_u32(bytes, 44);
+    if (n > kMaxPayloadElements)
+        reject(FrameErrorKind::kMalformed,
+               "payload count " + std::to_string(n) + " above " +
+                   std::to_string(kMaxPayloadElements));
+    const std::size_t padded = padded_text_bytes(text_len);
+    const std::size_t expected =
+        kRequestHeaderBytes + padded + 4 * std::size_t{n} + kSealBytes;
+    check_seal(bytes, expected);
+
+    // Padding bytes beyond the text must be NUL so every frame has one
+    // canonical encoding (a covert channel in the pad would also dodge
+    // the fuzzer's byte-identity checks).
+    for (std::size_t i = text_len; i < padded; ++i)
+        if (bytes[kRequestHeaderBytes + i] != 0)
+            reject(FrameErrorKind::kMalformed,
+                   "nonzero signature padding byte at offset " +
+                       std::to_string(kRequestHeaderBytes + i));
+
+    RequestFrame frame;
+    frame.request_id = get_u64(bytes, 8);
+    frame.tenant = get_u64(bytes, 16);
+    frame.session = get_u64(bytes, 24);
+    frame.domain = static_cast<kernels::Domain>(domain);
+    frame.signature_text.assign(
+        reinterpret_cast<const char*>(bytes.data()) + kRequestHeaderBytes,
+        text_len);
+    frame.payload.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        frame.payload[i] =
+            get_u32(bytes, kRequestHeaderBytes + padded + 4 * i);
+    return frame;
+}
+
+std::vector<std::uint8_t>
+encode_response(const ResponseFrame& frame)
+{
+    PLR_REQUIRE(frame.payload.size() <= kMaxPayloadElements,
+                "payload exceeds " << kMaxPayloadElements << " elements");
+    std::vector<std::uint8_t> out;
+    out.reserve(kResponseHeaderBytes + 4 * frame.payload.size() + kSealBytes);
+    for (char c : kResponseMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    put_u32(out, kWireFormatVersion);
+    put_u64(out, frame.request_id);
+    put_u64(out, frame.tenant);
+    put_u32(out, frame.status);
+    put_u32(out, frame.flags);
+    put_u32(out, frame.batch);
+    put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+    for (std::uint32_t word : frame.payload)
+        put_u32(out, word);
+    put_u32(out, seal_over(out));
+    return out;
+}
+
+ResponseFrame
+parse_response(std::span<const std::uint8_t> bytes)
+{
+    check_envelope(bytes, kResponseMagic, kResponseHeaderBytes);
+
+    const std::uint32_t n = get_u32(bytes, 36);
+    if (n > kMaxPayloadElements)
+        reject(FrameErrorKind::kMalformed,
+               "payload count " + std::to_string(n) + " above " +
+                   std::to_string(kMaxPayloadElements));
+    const std::size_t expected =
+        kResponseHeaderBytes + 4 * std::size_t{n} + kSealBytes;
+    check_seal(bytes, expected);
+
+    ResponseFrame frame;
+    frame.request_id = get_u64(bytes, 8);
+    frame.tenant = get_u64(bytes, 16);
+    frame.status = get_u32(bytes, 24);
+    frame.flags = get_u32(bytes, 28);
+    frame.batch = get_u32(bytes, 32);
+    frame.payload.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        frame.payload[i] = get_u32(bytes, kResponseHeaderBytes + 4 * i);
+    return frame;
+}
+
+}  // namespace plr::server

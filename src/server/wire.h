@@ -1,0 +1,160 @@
+#ifndef PLR_SERVER_WIRE_H_
+#define PLR_SERVER_WIRE_H_
+
+/**
+ * @file
+ * The recurrence-serving wire format (docs/SERVER.md).
+ *
+ * Requests and responses travel as length-prefixed binary frames —
+ * over a local socket (examples/plr_server.cpp) or an in-process queue
+ * (server.h). The frame body is versioned, endian-stable, and sealed
+ * with the same Fletcher-32 the checkpoint format uses
+ * (kernels/checkpoint.h), so a torn read, a flipped bit, or a frame
+ * from a different build is rejected with a typed FrameError — never
+ * dispatched as a silently wrong request.
+ *
+ * Request frame layout (all fields little-endian):
+ *
+ *   offset  size  field
+ *        0     4  magic "PLRQ"
+ *        4     4  u32 format version (kWireFormatVersion)
+ *        8     8  u64 request id (client-chosen; echoed in the response)
+ *       16     8  u64 tenant id
+ *       24     8  u64 session id (0 = stateless one-shot)
+ *       32     4  u32 domain (0 int, 1 float, 2 tropical)
+ *       36     4  u32 flags (must be 0; reserved)
+ *       40     4  u32 signature text length in bytes (s)
+ *       44     4  u32 payload element count (n)
+ *       48   s..  signature text, NUL-padded to a 4-byte boundary
+ *        ..   4n  payload element bit patterns
+ *     end-4     4  u32 Fletcher-32 over every preceding 32-bit word
+ *
+ * The signature travels as DSL text ("(1 : 2, -1)"); the text cannot
+ * express max-plus, so domain=tropical instructs the server to rebuild
+ * the parsed coefficients with Signature::max_plus. Payload elements
+ * are the 32-bit bit patterns of the domain's value type
+ * (kernels/stream_state.h value_bits/bits_value).
+ *
+ * Response frame layout:
+ *
+ *   offset  size  field
+ *        0     4  magic "PLRS"
+ *        4     4  u32 format version
+ *        8     8  u64 request id (echoed)
+ *       16     8  u64 tenant id (echoed)
+ *       24     4  u32 status (0 = ok; else ServerErrorKind code + 1)
+ *       28     4  u32 flags (kResponseFlag* bits below)
+ *       32     4  u32 batch — segments in the fused launch that served
+ *                  this request (1 = ran alone)
+ *       36     4  u32 payload element count (n)
+ *       40   4n   output element bit patterns
+ *     end-4     4  u32 Fletcher-32 seal
+ */
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/registry.h"
+#include "util/diag.h"
+
+namespace plr::server {
+
+/** Serialized format version this build writes and understands. */
+inline constexpr std::uint32_t kWireFormatVersion = 1;
+
+/** Magic prefixes of request and response frames. */
+inline constexpr char kRequestMagic[4] = {'P', 'L', 'R', 'Q'};
+inline constexpr char kResponseMagic[4] = {'P', 'L', 'R', 'S'};
+
+/** Format-level sanity bounds (far above any real request). */
+inline constexpr std::uint32_t kMaxSignatureText = 4096;
+inline constexpr std::uint32_t kMaxPayloadElements = 1u << 24;
+
+/** Why a frame was rejected (mirrors CheckpointErrorKind). */
+enum class FrameErrorKind {
+    /** First four bytes are not the expected magic. */
+    kBadMagic,
+    /** Format version is not kWireFormatVersion. */
+    kVersionSkew,
+    /** Fewer bytes than the header + payload declare. */
+    kTruncated,
+    /** Sizes/fields are internally inconsistent (trailing bytes,
+        unknown domain, reserved flags set, bounds exceeded). */
+    kMalformed,
+    /** Fletcher-32 seal does not match. */
+    kCorrupt,
+};
+
+/** Stable lowercase name ("truncated", "corrupt", ...). */
+const char* to_string(FrameErrorKind kind);
+
+/**
+ * Typed rejection of a frame parse. Derives FatalError: a bad frame is
+ * caller-visible input, not a library bug, and must never surface as a
+ * silently wrong request or response.
+ */
+class FrameError : public FatalError {
+  public:
+    FrameError(FrameErrorKind kind, const std::string& what)
+        : FatalError(what), kind_(kind)
+    {
+    }
+
+    FrameErrorKind kind() const { return kind_; }
+
+  private:
+    FrameErrorKind kind_;
+};
+
+/** In-memory form of a request frame. */
+struct RequestFrame {
+    std::uint64_t request_id = 0;
+    std::uint64_t tenant = 0;
+    /** 0 = stateless one-shot; nonzero = resumable session stream. */
+    std::uint64_t session = 0;
+    kernels::Domain domain = kernels::Domain::kInt;
+    std::string signature_text;
+    /** Input element bit patterns (value_bits of the domain's type). */
+    std::vector<std::uint32_t> payload;
+};
+
+/** Response status: 0 is success, else ServerErrorKind code + 1. */
+inline constexpr std::uint32_t kStatusOk = 0;
+
+/** Response flag bits. */
+inline constexpr std::uint32_t kResponseFlagPlanCacheHit = 1u << 0;
+inline constexpr std::uint32_t kResponseFlagFusedBatch = 1u << 1;
+inline constexpr std::uint32_t kResponseFlagRecovered = 1u << 2;
+
+/** In-memory form of a response frame. */
+struct ResponseFrame {
+    std::uint64_t request_id = 0;
+    std::uint64_t tenant = 0;
+    std::uint32_t status = kStatusOk;
+    std::uint32_t flags = 0;
+    /** Segments in the fused launch that served this request. */
+    std::uint32_t batch = 0;
+    /** Output element bit patterns (empty on error). */
+    std::vector<std::uint32_t> payload;
+};
+
+/** Serialize a request to the sealed byte layout above. */
+std::vector<std::uint8_t> encode_request(const RequestFrame& frame);
+
+/**
+ * Parse and verify a request frame. Throws FrameError — every byte of
+ * the input is validated before any field is trusted.
+ */
+RequestFrame parse_request(std::span<const std::uint8_t> bytes);
+
+/** Serialize a response to the sealed byte layout above. */
+std::vector<std::uint8_t> encode_response(const ResponseFrame& frame);
+
+/** Parse and verify a response frame (client side). Throws FrameError. */
+ResponseFrame parse_response(std::span<const std::uint8_t> bytes);
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_WIRE_H_

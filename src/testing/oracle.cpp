@@ -9,7 +9,10 @@
 #include "analysis/static/analyzer.h"
 #include "dsp/filter_design.h"
 #include "dsp/signal.h"
+#include "gpusim/device.h"
+#include "kernels/batched.h"
 #include "kernels/serial.h"
+#include "kernels/stream_state.h"
 #include "testing/crash.h"
 #include "util/compare.h"
 #include "util/diag.h"
@@ -114,6 +117,132 @@ check_crash_resume(const kernels::KernelInfo& kernel, const Signature& sig,
     return report.failure;
 }
 
+/**
+ * The fused multi-tenant batching trial shared by the int and float
+ * checks (docs/SERVER.md): the input is dealt out as a seeded sequence
+ * of per-tenant requests (uneven lengths, empty keep-alives, 1..4
+ * tenants), each round fuses at most one pending request per tenant
+ * into a single cross-request launch with per-segment carry seeds, and
+ * every tenant's stitched output must match a one-shot serial run of
+ * that tenant's stream alone. Rounds alternate between the host and
+ * the simulated-GPU fused primitives, so the two interoperate on the
+ * same carry stream.
+ */
+template <typename Ring>
+std::optional<std::string>
+check_batched_segments(const Signature& sig,
+                       std::span<const typename Ring::value_type> x,
+                       const kernels::RunOptions& run,
+                       const OracleOptions& opts)
+{
+    using V = typename Ring::value_type;
+    namespace k = kernels;
+    if (x.empty())
+        return std::nullopt;
+
+    std::uint64_t state = run.batch_seed != 0 ? run.batch_seed : 1;
+    auto next = [&state]() {
+        state = derive_seed(state, 0xba7c4ed);
+        return state;
+    };
+
+    // Deal the input into an ordered request sequence.
+    const std::size_t tenants = 1 + next() % 4;
+    const std::size_t max_len =
+        std::max<std::size_t>(std::size_t{1}, run.chunk != 0 ? run.chunk : 64);
+    struct Request {
+        std::size_t tenant;
+        std::span<const V> data;
+        bool done = false;
+    };
+    std::vector<Request> requests;
+    std::size_t pos = 0;
+    while (pos < x.size()) {
+        const std::size_t tenant = next() % tenants;
+        if (next() % 5 == 0)  // an empty keep-alive request
+            requests.push_back({tenant, x.subspan(pos, 0), false});
+        const std::size_t len =
+            std::min(x.size() - pos, 1 + next() % max_len);
+        requests.push_back({tenant, x.subspan(pos, len), false});
+        pos += len;
+    }
+
+    // Each tenant's ground truth: its stream evaluated alone, one shot.
+    std::vector<std::vector<V>> tenant_stream(tenants);
+    for (const Request& r : requests)
+        tenant_stream[r.tenant].insert(tenant_stream[r.tenant].end(),
+                                       r.data.begin(), r.data.end());
+    std::vector<std::vector<V>> expected(tenants);
+    for (std::size_t t = 0; t < tenants; ++t)
+        expected[t] = k::serial_recurrence<Ring>(sig, tenant_stream[t]);
+
+    // Round-by-round fused launches: at most one request per tenant per
+    // round (a session's later requests wait for its carry to advance).
+    std::vector<k::StreamState<Ring>> carry(tenants,
+                                            k::StreamState<Ring>::fresh(sig));
+    std::vector<std::vector<V>> actual(tenants);
+    gpusim::Device device;
+    std::size_t consumed = 0;
+    std::size_t round = 0;
+    while (consumed < requests.size()) {
+        std::vector<std::size_t> picked;
+        std::vector<bool> tenant_in_round(tenants, false);
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            if (requests[r].done || tenant_in_round[requests[r].tenant])
+                continue;
+            tenant_in_round[requests[r].tenant] = true;
+            picked.push_back(r);
+        }
+        std::vector<V> fused;
+        std::vector<k::CrossSegment> segments;
+        std::vector<k::SegmentSeed<Ring>> seeds;
+        for (std::size_t r : picked) {
+            segments.push_back({fused.size(), requests[r].data.size()});
+            fused.insert(fused.end(), requests[r].data.begin(),
+                         requests[r].data.end());
+            const auto& st = carry[requests[r].tenant];
+            seeds.push_back({st.y_tail, st.x_tail});
+        }
+        std::vector<V> out;
+        if (round % 2 == 0) {
+            out.assign(fused.size(), V{});
+            k::batched_segments_cpu<Ring>(sig, fused, segments, seeds, out,
+                                          run.threads);
+        } else {
+            out = k::batched_segments_recurrence<Ring>(device, sig, fused,
+                                                       segments, seeds);
+        }
+        for (std::size_t i = 0; i < picked.size(); ++i) {
+            Request& req = requests[picked[i]];
+            req.done = true;
+            ++consumed;
+            const auto slice = std::span<const V>(out).subspan(
+                segments[i].offset, segments[i].length);
+            actual[req.tenant].insert(actual[req.tenant].end(), slice.begin(),
+                                      slice.end());
+            carry[req.tenant].advance(req.data, slice);
+        }
+        ++round;
+    }
+
+    for (std::size_t t = 0; t < tenants; ++t) {
+        ValidationResult v;
+        if constexpr (std::is_same_v<Ring, IntRing>) {
+            v = validate_exact(expected[t], actual[t]);
+        } else {
+            v = validate_float(expected[t], actual[t], opts);
+        }
+        if (!v.ok) {
+            std::ostringstream os;
+            os << "fused batch diverges from tenant " << t << "'s solo "
+               << "stream (" << tenants << " tenants, " << requests.size()
+               << " requests): " << v.describe();
+            return os.str();
+        }
+    }
+    return std::nullopt;
+}
+
 std::optional<std::string>
 check_int(const kernels::KernelInfo& kernel, const Signature& sig,
           Check check, std::size_t n, const kernels::RunOptions& run,
@@ -172,6 +301,8 @@ check_int(const kernels::KernelInfo& kernel, const Signature& sig,
         return std::nullopt;  // a float-filter property
       case Check::kCheckpointResume:
         return check_crash_resume<IntRing>(kernel, sig, x, run, opts);
+      case Check::kBatchedSegments:
+        return check_batched_segments<IntRing>(sig, x, run, opts);
       case Check::kBoundDominance: {
         namespace sa = static_analysis;
         const sa::StaticReport report =
@@ -318,6 +449,10 @@ check_float(const kernels::KernelInfo& kernel, const Signature& sig,
                    ? check_crash_resume<TropicalRing>(kernel, sig, x, run,
                                                       opts)
                    : check_crash_resume<FloatRing>(kernel, sig, x, run, opts);
+      case Check::kBatchedSegments:
+        return tropical
+                   ? check_batched_segments<TropicalRing>(sig, x, run, opts)
+                   : check_batched_segments<FloatRing>(sig, x, run, opts);
       case Check::kBoundDominance: {
         namespace sa = static_analysis;
         if (tropical)
@@ -392,6 +527,7 @@ to_string(Check c)
       case Check::kSuperposition: return "superposition";
       case Check::kImpulseDecay: return "impulse-decay";
       case Check::kCheckpointResume: return "checkpoint-resume";
+      case Check::kBatchedSegments: return "batched-segments";
       case Check::kBoundDominance: return "bound-dominance";
     }
     return "unknown";
@@ -403,7 +539,7 @@ parse_check(const std::string& name)
     for (Check c : {Check::kDifferential, Check::kChunkInvariance,
                     Check::kHomogeneity, Check::kSuperposition,
                     Check::kImpulseDecay, Check::kCheckpointResume,
-                    Check::kBoundDominance})
+                    Check::kBatchedSegments, Check::kBoundDominance})
         if (name == to_string(c))
             return c;
     // Reached from user-supplied reproducer lines, so fatal, not panic.
@@ -487,6 +623,7 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
             run.verify = opts.verify;
             run.checkpoint_every = opts.checkpoint_every;
             run.crash_seed = opts.crash_seed;
+            run.batch_seed = opts.batch_seed;
             for (std::size_t n : sizes) {
                 const std::uint64_t input_seed = derive_seed(
                     opts.input_seed, n * 2654435761u + entry.sig.order());
@@ -518,6 +655,10 @@ run_conformance(const std::vector<kernels::KernelInfo>& kernels,
                 // by the segment count) and needs a non-empty stream.
                 if (opts.checkpoint_every > 0 && n > 0)
                     checks.push_back(Check::kCheckpointResume);
+                // Fused batching is opt-in too (it replays the stream
+                // round-by-round) and needs a non-empty input.
+                if (opts.batch_seed != 0 && n > 0)
+                    checks.push_back(Check::kBatchedSegments);
                 for (Check check : checks) {
                     ++report.cases_run;
                     auto failure = run_case(kernel, entry.name, entry.sig,

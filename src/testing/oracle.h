@@ -57,6 +57,18 @@ enum class Check {
      */
     kCheckpointResume,
     /**
+     * Cross-request fused batching (kernels/batched.h, docs/SERVER.md):
+     * derive a multi-tenant segment layout from
+     * OracleOptions::batch_seed, interleave the tenants' streams into
+     * one fused array, launch it once through batched_segments_cpu with
+     * per-segment carry seeds, and require every tenant's stitched
+     * output to match a one-shot serial run of that tenant's stream
+     * alone (bit-identical for ints, ULP-gated for floats). Proves
+     * carry isolation between tenants and seeded session resume inside
+     * fused launches. Enabled by OracleOptions::batch_seed.
+     */
+    kBatchedSegments,
+    /**
      * Bound dominance against the plan-time static analyzer
      * (docs/STATIC_ANALYSIS.md): the observed wide-precision output must
      * stay inside the proven growth envelope; an int result under a
@@ -125,6 +137,13 @@ struct OracleOptions {
         the checkpoint matrix sweeps it so kill points cover every
         segment boundary. */
     std::uint64_t crash_seed = 0;
+    /**
+     * Enable the batched-segments check with this layout seed (0 =
+     * off): it decides the tenant count, segment lengths (including
+     * empty ones), and the tenant interleaving. Reproducer lines carry
+     * it as the batch= token.
+     */
+    std::uint64_t batch_seed = 0;
     /** Explicit size schedule; empty = conformance_sizes(chunk, order). */
     std::vector<std::size_t> sizes;
     /**

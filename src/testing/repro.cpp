@@ -113,6 +113,10 @@ encode_reproducer(const ConformanceFailure& failure)
         os << " ckpt=" << failure.run.checkpoint_every;
     if (failure.run.crash_seed != 0)
         os << " crash=" << failure.run.crash_seed;
+    // batch= replays a fused multi-tenant batching trial: the seed
+    // determines the tenant count, segment layout, and interleaving.
+    if (failure.run.batch_seed != 0)
+        os << " batch=" << failure.run.batch_seed;
     return os.str();
 }
 
@@ -176,6 +180,8 @@ parse_reproducer(const std::string& line)
             static_cast<std::size_t>(parse_u64(fields["ckpt"], "ckpt"));
     if (fields.count("crash"))
         repro.run.crash_seed = parse_u64(fields["crash"], "crash");
+    if (fields.count("batch"))
+        repro.run.batch_seed = parse_u64(fields["batch"], "batch");
     repro.input_seed = parse_u64(fields["seed"], "seed");
     (void)repro.signature();  // validate the coefficient lists eagerly
     return repro;

@@ -1,0 +1,389 @@
+// Cross-request segment batching (kernels/batched.h): the primitive the
+// serving layer (src/server) fuses concurrent tenant requests with. The
+// contract under test: each CrossSegment is evaluated independently —
+// seeded from its own SegmentSeed (or fresh), never from a neighbouring
+// segment's carry — and the fused result is bit-identical to running
+// every segment through the seeded serial reference on its own.
+#include "kernels/batched.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "kernels/registry.h"
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "testing/corpus.h"
+#include "testing/oracle.h"
+#include "testing/repro.h"
+#include "util/compare.h"
+#include "util/diag.h"
+#include "util/rng.h"
+
+namespace plr::kernels {
+namespace {
+
+using testing::Check;
+using testing::conformance_input_int;
+using testing::OracleOptions;
+using testing::table1_corpus;
+
+std::vector<std::int32_t>
+segment_inputs(std::span<const CrossSegment> segments, std::uint64_t seed)
+{
+    std::size_t total = 0;
+    for (const auto& seg : segments)
+        total = std::max(total, seg.offset + seg.length);
+    return conformance_input_int(total, seed);
+}
+
+/** Per-segment seeded serial reference over the same fused array. */
+std::vector<std::int32_t>
+expected_int(const Signature& sig, std::span<const std::int32_t> input,
+             std::span<const CrossSegment> segments,
+             std::span<const SegmentSeed<IntRing>> seeds)
+{
+    std::vector<std::int32_t> out(input.size(), 0);
+    static const std::vector<std::int32_t> empty;
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        const auto& y = seeds.empty() ? empty : seeds[s].y_tail;
+        const auto& x = seeds.empty() ? empty : seeds[s].x_tail;
+        serial_recurrence_seeded_into<IntRing>(
+            sig, y, x, input.subspan(segments[s].offset, segments[s].length),
+            std::span<std::int32_t>(out.data() + segments[s].offset,
+                                    segments[s].length));
+    }
+    return out;
+}
+
+TEST(BatchedSegments, UnevenLengthsMatchSeededSerial)
+{
+    const auto sig = Signature::parse("(1 : 2, -1)");
+    // Deliberately ragged: the batcher fuses whatever arrived together.
+    const std::vector<CrossSegment> segments = {
+        {0, 1}, {1, 7}, {8, 64}, {72, 3}, {75, 130}, {205, 289},
+    };
+    const auto input = segment_inputs(segments, 0xBA7C1ull);
+    const auto expected = expected_int(sig, input, segments, {});
+
+    std::vector<std::int32_t> cpu(input.size(), 0);
+    batched_segments_cpu<IntRing>(sig, input, segments, {}, cpu);
+    EXPECT_TRUE(validate_exact(expected, cpu).ok);
+
+    gpusim::Device device;
+    const auto gpu =
+        batched_segments_recurrence<IntRing>(device, sig, input, segments, {});
+    EXPECT_TRUE(validate_exact(expected, gpu).ok);
+}
+
+TEST(BatchedSegments, EmptyAndSingletonSegments)
+{
+    const auto sig = Signature::parse("(1, 1 : 1)");
+    // n=0 segments are legal (a keep-alive request) and must not read
+    // or write anything; n=1 segments exercise the tail-shorter-than-
+    // order path.
+    const std::vector<CrossSegment> segments = {
+        {0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 5}, {7, 0},
+    };
+    const auto input = segment_inputs(segments, 0xBA7C2ull);
+    const auto expected = expected_int(sig, input, segments, {});
+
+    std::vector<std::int32_t> cpu(input.size(), 0);
+    batched_segments_cpu<IntRing>(sig, input, segments, {}, cpu);
+    EXPECT_TRUE(validate_exact(expected, cpu).ok);
+
+    gpusim::Device device;
+    const auto gpu =
+        batched_segments_recurrence<IntRing>(device, sig, input, segments, {});
+    EXPECT_TRUE(validate_exact(expected, gpu).ok);
+
+    // All-empty batch: legal, produces an all-empty result.
+    const std::vector<CrossSegment> empties = {{0, 0}, {0, 0}};
+    const auto none = batched_segments_recurrence<IntRing>(
+        device, sig, std::span<const std::int32_t>{}, empties, {});
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(BatchedSegments, MoreSegmentsThanDeviceChunks)
+{
+    // 96 tiny segments: far more blocks than a normal single-scan
+    // launch would use at this n, so the one-block-per-segment gpusim
+    // mapping is exercised well past the usual chunk count.
+    const auto sig = Signature::parse("(1 : 1)");
+    std::vector<CrossSegment> segments;
+    std::size_t offset = 0;
+    for (std::size_t s = 0; s < 96; ++s) {
+        const std::size_t len = 1 + s % 5;
+        segments.push_back({offset, len});
+        offset += len;
+    }
+    const auto input = segment_inputs(segments, 0xBA7C3ull);
+    const auto expected = expected_int(sig, input, segments, {});
+
+    gpusim::Device device;
+    BatchedRunStats stats;
+    const auto gpu = batched_segments_recurrence<IntRing>(device, sig, input,
+                                                          segments, {}, &stats);
+    EXPECT_TRUE(validate_exact(expected, gpu).ok);
+
+    std::vector<std::int32_t> cpu(input.size(), 0);
+    batched_segments_cpu<IntRing>(sig, input, segments, {}, cpu, 4);
+    EXPECT_TRUE(validate_exact(expected, cpu).ok);
+}
+
+TEST(BatchedSegments, SeededSegmentsResumeExactly)
+{
+    // One long stream cut into segments: seeding each segment from the
+    // stream's carry state must reproduce the one-shot serial result
+    // bit-for-bit — on both fused primitives.
+    const auto sig = Signature::parse("(1, -2 : 3, 0, 1)");
+    const auto input = conformance_input_int(400, 0xBA7C4ull);
+    const auto oneshot = serial_recurrence<IntRing>(sig, input);
+
+    const std::vector<std::size_t> cuts = {0, 1, 37, 64, 65, 170, 400};
+    gpusim::Device device;
+    for (int use_gpu = 0; use_gpu < 2; ++use_gpu) {
+        auto state = StreamState<IntRing>::fresh(sig);
+        std::vector<std::int32_t> stitched;
+        for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+            const std::size_t len = cuts[c + 1] - cuts[c];
+            const auto chunk =
+                std::span<const std::int32_t>(input).subspan(cuts[c], len);
+            const std::vector<CrossSegment> segments = {{0, len}};
+            const std::vector<SegmentSeed<IntRing>> seeds = {
+                {state.y_tail, state.x_tail}};
+            std::vector<std::int32_t> out(len, 0);
+            if (use_gpu) {
+                out = batched_segments_recurrence<IntRing>(device, sig, chunk,
+                                                           segments, seeds);
+            } else {
+                batched_segments_cpu<IntRing>(sig, chunk, segments, seeds,
+                                              out);
+            }
+            state.advance(chunk, out);
+            stitched.insert(stitched.end(), out.begin(), out.end());
+        }
+        ASSERT_EQ(stitched.size(), oneshot.size());
+        EXPECT_TRUE(validate_exact(oneshot, stitched).ok) << "gpu=" << use_gpu;
+    }
+}
+
+TEST(BatchedSegments, CarryIsolationAcrossTenants)
+{
+    // Two interleaved tenants with very different magnitudes: if any
+    // fused launch leaked one tenant's carry into the other, the
+    // stitched streams could not both match their solo serial runs.
+    const auto sig = Signature::parse("(1 : 1)");
+    std::vector<std::int32_t> a_in(200), b_in(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        a_in[i] = 1;
+        b_in[i] = 1000000;
+    }
+    const auto a_solo = serial_recurrence<IntRing>(sig, a_in);
+    const auto b_solo = serial_recurrence<IntRing>(sig, b_in);
+
+    auto a_state = StreamState<IntRing>::fresh(sig);
+    auto b_state = StreamState<IntRing>::fresh(sig);
+    std::vector<std::int32_t> a_out, b_out;
+    gpusim::Device device;
+    std::size_t pos = 0;
+    const std::vector<std::size_t> lens = {1, 9, 40, 64, 86};
+    for (std::size_t round = 0; round < lens.size(); ++round) {
+        const std::size_t len = lens[round];
+        // One fused launch carrying both tenants' chunks.
+        std::vector<std::int32_t> fused(2 * len);
+        std::copy_n(a_in.begin() + static_cast<std::ptrdiff_t>(pos), len,
+                    fused.begin());
+        std::copy_n(b_in.begin() + static_cast<std::ptrdiff_t>(pos), len,
+                    fused.begin() + static_cast<std::ptrdiff_t>(len));
+        const std::vector<CrossSegment> segments = {{0, len}, {len, len}};
+        const std::vector<SegmentSeed<IntRing>> seeds = {
+            {a_state.y_tail, a_state.x_tail},
+            {b_state.y_tail, b_state.x_tail},
+        };
+        std::vector<std::int32_t> out(2 * len, 0);
+        if (round % 2 == 0) {
+            batched_segments_cpu<IntRing>(sig, fused, segments, seeds, out);
+        } else {
+            out = batched_segments_recurrence<IntRing>(device, sig, fused,
+                                                       segments, seeds);
+        }
+        const auto a_slice = std::span<const std::int32_t>(out).first(len);
+        const auto b_slice = std::span<const std::int32_t>(out).subspan(len);
+        a_state.advance(std::span<const std::int32_t>(fused).first(len),
+                        a_slice);
+        b_state.advance(std::span<const std::int32_t>(fused).subspan(len),
+                        b_slice);
+        a_out.insert(a_out.end(), a_slice.begin(), a_slice.end());
+        b_out.insert(b_out.end(), b_slice.begin(), b_slice.end());
+        pos += len;
+    }
+    EXPECT_TRUE(validate_exact(
+                    std::span<const std::int32_t>(a_solo).first(pos), a_out)
+                    .ok);
+    EXPECT_TRUE(validate_exact(
+                    std::span<const std::int32_t>(b_solo).first(pos), b_out)
+                    .ok);
+}
+
+TEST(BatchedSegments, FloatAndTropicalAgreeAcrossPrimitives)
+{
+    const auto lowpass = Signature::parse("(0.5 : 0.5)");
+    const auto relax = Signature::max_plus({0.0}, {-1.5});
+    for (int tropical = 0; tropical < 2; ++tropical) {
+        const auto& sig = tropical ? relax : lowpass;
+        const auto input = testing::conformance_input_float(
+            tropical ? Domain::kTropical : Domain::kFloat, 300, 0xBA7C5ull);
+        const std::vector<CrossSegment> segments = {
+            {0, 50}, {50, 1}, {51, 0}, {51, 149}, {200, 100}};
+        std::vector<SegmentSeed<FloatRing>> seeds(segments.size());
+        for (auto& seed : seeds) {
+            seed.y_tail.assign(sig.order(), tropical ? -2.5f : 0.25f);
+            seed.x_tail.assign(sig.fir_taps(), tropical ? 1.0f : -0.5f);
+        }
+        std::vector<float> expected(input.size(), 0.0f);
+        std::vector<float> cpu(input.size(), 0.0f);
+        gpusim::Device device;
+        if (tropical) {
+            for (std::size_t s = 0; s < segments.size(); ++s)
+                serial_recurrence_seeded_into<TropicalRing>(
+                    sig, seeds[s].y_tail, seeds[s].x_tail,
+                    std::span<const float>(input).subspan(segments[s].offset,
+                                                          segments[s].length),
+                    std::span<float>(expected.data() + segments[s].offset,
+                                     segments[s].length));
+            std::vector<SegmentSeed<TropicalRing>> tseeds(segments.size());
+            for (std::size_t s = 0; s < segments.size(); ++s)
+                tseeds[s] = {seeds[s].y_tail, seeds[s].x_tail};
+            batched_segments_cpu<TropicalRing>(sig, input, segments, tseeds,
+                                               cpu);
+            const auto gpu = batched_segments_recurrence<TropicalRing>(
+                device, sig, input, segments, tseeds);
+            EXPECT_TRUE(validate_ulp(expected, cpu, 0).ok);
+            EXPECT_TRUE(validate_ulp(expected, gpu, 0).ok);
+        } else {
+            for (std::size_t s = 0; s < segments.size(); ++s)
+                serial_recurrence_seeded_into<FloatRing>(
+                    sig, seeds[s].y_tail, seeds[s].x_tail,
+                    std::span<const float>(input).subspan(segments[s].offset,
+                                                          segments[s].length),
+                    std::span<float>(expected.data() + segments[s].offset,
+                                     segments[s].length));
+            batched_segments_cpu<FloatRing>(sig, input, segments, seeds, cpu);
+            const auto gpu = batched_segments_recurrence<FloatRing>(
+                device, sig, input, segments, seeds);
+            EXPECT_TRUE(validate_ulp(expected, cpu, 0).ok);
+            EXPECT_TRUE(validate_ulp(expected, gpu, 0).ok);
+        }
+    }
+}
+
+TEST(BatchedSegments, RejectsIllegalLayouts)
+{
+    const auto sig = Signature::parse("(1 : 1)");
+    const auto input = conformance_input_int(16, 1);
+    std::vector<std::int32_t> out(16, 0);
+    gpusim::Device device;
+
+    // Out-of-bounds segment.
+    const std::vector<CrossSegment> oob = {{8, 16}};
+    EXPECT_THROW(batched_segments_cpu<IntRing>(sig, input, oob, {}, out),
+                 FatalError);
+    // Overlapping segments.
+    const std::vector<CrossSegment> overlap = {{0, 10}, {5, 6}};
+    EXPECT_THROW(batched_segments_cpu<IntRing>(sig, input, overlap, {}, out),
+                 FatalError);
+    // Arrival order is not layout order: disjoint segments may arrive
+    // unsorted and must still be evaluated correctly.
+    const std::vector<CrossSegment> unsorted = {{8, 8}, {0, 8}};
+    const auto shuffled =
+        batched_segments_recurrence<IntRing>(device, sig, input, unsorted, {});
+    const auto straight = expected_int(sig, input, unsorted, {});
+    EXPECT_TRUE(validate_exact(straight, shuffled).ok);
+    // Seed count must be zero or one per segment.
+    const std::vector<CrossSegment> two = {{0, 8}, {8, 8}};
+    const std::vector<SegmentSeed<IntRing>> one_seed(1);
+    EXPECT_THROW(
+        batched_segments_cpu<IntRing>(sig, input, two, one_seed, out),
+        FatalError);
+    // Seed tails must match the signature's carry shape.
+    std::vector<SegmentSeed<IntRing>> bad_tail(2);
+    bad_tail[0].y_tail = {1, 2, 3};
+    EXPECT_THROW(
+        batched_segments_recurrence<IntRing>(device, sig, input, two,
+                                             bad_tail),
+        FatalError);
+    // FIR-only signatures (order 0) have no carry chain to batch.
+    const auto fir = Signature::parse("(1, 1 :)", /*allow_fir=*/true);
+    EXPECT_THROW(batched_segments_cpu<IntRing>(fir, input, two, {}, out),
+                 FatalError);
+}
+
+TEST(BatchedSegments, OracleCheckPassesOverTable1Corpus)
+{
+    // The differential oracle's batched-segments check replays a full
+    // multi-tenant interleaving (random tenants, ragged and empty
+    // segments, alternating CPU/gpusim fused launches) against solo
+    // serial streams — per-tenant carry isolation and session resume in
+    // one check. It must hold across the whole Table-1 corpus.
+    const auto* kernel = find_kernel("serial");
+    ASSERT_NE(kernel, nullptr);
+    OracleOptions opts;
+    opts.metamorphic = false;
+    for (const auto& entry : table1_corpus()) {
+        for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+            opts.batch_seed = seed;
+            kernels::RunOptions run;
+            run.chunk = opts.chunk;
+            run.batch_seed = seed;
+            const auto failure = testing::run_case(
+                *kernel, entry.name, entry.sig, entry.domain,
+                Check::kBatchedSegments, 257, run, opts.input_seed, opts);
+            EXPECT_FALSE(failure.has_value())
+                << entry.name << " seed=" << seed
+                << (failure ? "\n" + failure->reproducer() : "");
+        }
+    }
+}
+
+TEST(BatchedSegments, ReproTokenRoundTrips)
+{
+    // A batched-segments failure must replay from its one-line token:
+    // the batch= field carries the layout seed through encode/parse.
+    testing::ConformanceFailure failure{
+        "serial",      "table1/prefix-sum",      Domain::kInt,
+        Signature::parse("(1 : 1)"), Check::kBatchedSegments,
+        257,           kernels::RunOptions{},    7,
+        ""};
+    failure.run.chunk = 64;
+    failure.run.batch_seed = 42;
+
+    const auto line = testing::encode_reproducer(failure);
+    EXPECT_NE(line.find("plr-repro:v1"), std::string::npos);
+    EXPECT_NE(line.find("check=batched-segments"), std::string::npos);
+    EXPECT_NE(line.find("batch=42"), std::string::npos);
+
+    const auto repro = testing::parse_reproducer(line);
+    EXPECT_EQ(repro.check, Check::kBatchedSegments);
+    EXPECT_EQ(repro.run.batch_seed, 42u);
+    EXPECT_EQ(repro.n, 257u);
+    EXPECT_EQ(testing::parse_check("batched-segments"),
+              Check::kBatchedSegments);
+
+    // And the parsed case must actually replay (and pass) end to end.
+    const auto* kernel = find_kernel("serial");
+    ASSERT_NE(kernel, nullptr);
+    OracleOptions opts;
+    opts.batch_seed = repro.run.batch_seed;
+    const auto replayed = testing::run_case(
+        *kernel, failure.entry, repro.signature(), repro.domain, repro.check,
+        repro.n, repro.run, repro.input_seed, opts);
+    EXPECT_FALSE(replayed.has_value());
+}
+
+}  // namespace
+}  // namespace plr::kernels

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Concurrency suite for the recurrence server (docs/SERVER.md): an
+ * N-thread hammer over the mixed Table-1 workload with every answer
+ * validated against the serial oracle (integers bit-identical, floats
+ * ULP-gated), chunked sessions resuming correctly while other tenants
+ * interleave, admission-control saturation that rejects with a typed
+ * kOverloaded and never wedges a client, and a 16-seed soak. Runs
+ * under the TSan CI matrix — the batcher/submitter handshake is as
+ * much under test as the answers.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "server/error.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "testing/corpus.h"
+#include "util/compare.h"
+#include "util/ring.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace plr::server;
+using plr::FloatRing;
+using plr::IntRing;
+using plr::Rng;
+using plr::Signature;
+using plr::TropicalRing;
+using plr::validate_exact;
+using plr::validate_ulp;
+namespace pk = plr::kernels;
+namespace pt = plr::testing;
+
+/** Plain DSL text for a signature (Signature::to_string prefixes
+    max-plus signatures with "max+", which the parser — deliberately —
+    does not accept; the wire carries coefficients plus a domain id). */
+std::string
+sig_text(const Signature& sig)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "(";
+    for (std::size_t i = 0; i < sig.a().size(); ++i)
+        os << (i ? ", " : "") << sig.a()[i];
+    os << " :";
+    for (std::size_t i = 0; i < sig.b().size(); ++i)
+        os << (i ? "," : "") << " " << sig.b()[i];
+    os << ")";
+    return os.str();
+}
+
+RequestFrame
+make_request(std::uint64_t id, std::uint64_t tenant, std::uint64_t session,
+             const pt::CorpusEntry& entry,
+             std::span<const std::uint32_t> payload)
+{
+    RequestFrame frame;
+    frame.request_id = id;
+    frame.tenant = tenant;
+    frame.session = session;
+    frame.domain = entry.domain;
+    frame.signature_text = sig_text(entry.sig);
+    frame.payload.assign(payload.begin(), payload.end());
+    return frame;
+}
+
+/** Validate one stateless response against the serial oracle. */
+bool
+response_matches(const pt::CorpusEntry& entry,
+                 std::span<const std::uint32_t> payload,
+                 const ResponseFrame& response, std::string* why)
+{
+    if (response.status != kStatusOk) {
+        *why = "status " + std::to_string(response.status);
+        return false;
+    }
+    if (response.payload.size() != payload.size()) {
+        *why = "payload size mismatch";
+        return false;
+    }
+    if (entry.domain == pk::Domain::kInt) {
+        std::vector<std::int32_t> input, actual;
+        for (const auto w : payload)
+            input.push_back(pk::bits_value<std::int32_t>(w));
+        for (const auto w : response.payload)
+            actual.push_back(pk::bits_value<std::int32_t>(w));
+        const auto expected =
+            pk::serial_recurrence<IntRing>(entry.sig, input);
+        const auto result = validate_exact(expected, actual);
+        if (!result.ok)
+            *why = result.describe();
+        return result.ok;
+    }
+    std::vector<float> input, actual;
+    for (const auto w : payload)
+        input.push_back(pk::bits_value<float>(w));
+    for (const auto w : response.payload)
+        actual.push_back(pk::bits_value<float>(w));
+    const auto expected =
+        entry.domain == pk::Domain::kTropical
+            ? pk::serial_recurrence<TropicalRing>(entry.sig, input)
+            : pk::serial_recurrence<FloatRing>(entry.sig, input);
+    const auto result = validate_ulp(expected, actual, 512, 1e-3);
+    if (!result.ok)
+        *why = result.describe();
+    return result.ok;
+}
+
+std::vector<std::uint32_t>
+random_payload(const pt::CorpusEntry& entry, std::size_t n,
+               std::uint64_t seed)
+{
+    std::vector<std::uint32_t> payload;
+    if (entry.domain == pk::Domain::kInt) {
+        for (const auto v : pt::conformance_input_int(n, seed))
+            payload.push_back(pk::value_bits(v));
+    } else {
+        for (const auto v : pt::conformance_input_float(entry.domain, n,
+                                                        seed))
+            payload.push_back(pk::value_bits(v));
+    }
+    return payload;
+}
+
+TEST(ServerConcurrency, HammerMixedTable1WorkloadMatchesOracle)
+{
+    const auto corpus = pt::table1_corpus();
+    ServerConfig config;
+    config.queue_depth = 512;
+    config.tenant_inflight_cap = 64;
+    Server server(config);
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kRequests = 25;
+    std::atomic<std::uint64_t> wrong{0};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        clients.emplace_back([&, t] {
+            Rng rng(0x4A33u + t);
+            for (std::size_t r = 0; r < kRequests; ++r) {
+                const auto& entry = corpus[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(
+                                           corpus.size() - 1)))];
+                // Unstable float recurrences grow without bound; keep
+                // them short enough that the oracle gate is meaningful.
+                const std::size_t cap =
+                    entry.domain != pk::Domain::kInt && !entry.stable ? 128
+                                                                      : 256;
+                const auto n = static_cast<std::size_t>(
+                    rng.uniform_int(1, static_cast<std::int64_t>(cap)));
+                const auto payload =
+                    random_payload(entry, n, 0xA140ull + 131 * t + r);
+                const auto response = server.submit(make_request(
+                    1000 * t + r, /*tenant=*/t + 1, 0, entry, payload));
+                std::string why;
+                if (!response_matches(entry, payload, response, &why)) {
+                    ++wrong;
+                    ADD_FAILURE() << "tenant " << t + 1 << " request " << r
+                                  << " (" << entry.name << ", n=" << n
+                                  << "): " << why;
+                }
+            }
+        });
+    for (auto& t : clients)
+        t.join();
+    EXPECT_EQ(wrong.load(), 0u);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.served, kThreads * kRequests);
+    EXPECT_EQ(stats.served + stats.rejected_overloaded, stats.accepted);
+}
+
+TEST(ServerConcurrency, ConcurrentSessionsResumeEveryTenantExactly)
+{
+    // Six tenants stream the same recurrence in ragged chunks (empty
+    // keep-alives included) while also firing stateless requests; each
+    // tenant's stitched stream must equal its solo one-shot serial run
+    // bit for bit — any cross-tenant carry leak in a fused launch
+    // breaks at least one of them.
+    Server server;
+    const auto sig = Signature::parse("(1 : 2, -1)");
+    pt::CorpusEntry entry{"local/iir", sig, pk::Domain::kInt, false};
+
+    constexpr std::size_t kTenants = 6;
+    constexpr std::size_t kStream = 300;
+    std::atomic<std::uint64_t> wrong{0};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kTenants; ++t)
+        clients.emplace_back([&, t] {
+            const auto input = pt::conformance_input_int(
+                kStream, 0x5E551000ull + t);
+            const auto expected =
+                pk::serial_recurrence<IntRing>(sig, input);
+            Rng rng(0xC4A2u + t);
+            std::vector<std::int32_t> stitched;
+            std::size_t pos = 0;
+            std::uint64_t id = 1;
+            while (pos < kStream) {
+                const auto len = std::min<std::size_t>(
+                    static_cast<std::size_t>(rng.uniform_int(0, 48)),
+                    kStream - pos);
+                std::vector<std::uint32_t> payload;
+                for (std::size_t i = 0; i < len; ++i)
+                    payload.push_back(pk::value_bits(input[pos + i]));
+                const auto response = server.submit(make_request(
+                    id++, t + 1, /*session=*/9, entry, payload));
+                if (response.status != kStatusOk ||
+                    response.payload.size() != len) {
+                    ++wrong;
+                    ADD_FAILURE() << "tenant " << t + 1 << " chunk at "
+                                  << pos << ": status " << response.status;
+                    return;
+                }
+                for (const auto w : response.payload)
+                    stitched.push_back(pk::bits_value<std::int32_t>(w));
+                pos += len;
+                // Interleave a stateless request now and then.
+                if (rng.uniform_int(0, 3) == 0) {
+                    const auto extra = random_payload(
+                        entry, 1 + static_cast<std::size_t>(
+                                       rng.uniform_int(0, 63)),
+                        0xE0ull + id);
+                    const auto r = server.submit(make_request(
+                        id++, t + 1, 0, entry, extra));
+                    std::string why;
+                    if (!response_matches(entry, extra, r, &why)) {
+                        ++wrong;
+                        ADD_FAILURE()
+                            << "tenant " << t + 1 << " stateless: " << why;
+                    }
+                }
+            }
+            const auto result = validate_exact(expected, stitched);
+            if (!result.ok) {
+                ++wrong;
+                ADD_FAILURE() << "tenant " << t + 1
+                              << " stream diverged: " << result.describe();
+            }
+        });
+    for (auto& t : clients)
+        t.join();
+    EXPECT_EQ(wrong.load(), 0u);
+    EXPECT_EQ(server.stats().sessions, kTenants);
+}
+
+TEST(ServerConcurrency, SaturationRejectsTypedAndNeverWedges)
+{
+    ServerConfig config;
+    config.queue_depth = 4;
+    config.tenant_inflight_cap = 1;
+    Server server(config);
+    server.pause();
+
+    // 12 tenants hit a 4-deep queue behind a frozen batcher: exactly 4
+    // are admitted, 8 get an immediate typed kOverloaded. Nobody hangs.
+    constexpr std::size_t kClients = 12;
+    const auto input = pt::conformance_input_int(64, 0x10Aull);
+    const auto expected =
+        pk::serial_recurrence<IntRing>(Signature::parse("(1 : 1)"), input);
+    std::vector<std::uint32_t> payload;
+    for (const auto v : input)
+        payload.push_back(pk::value_bits(v));
+    pt::CorpusEntry entry{"local/prefix-sum", Signature::parse("(1 : 1)"),
+                          pk::Domain::kInt, true};
+
+    std::vector<ResponseFrame> responses(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+            responses[c] =
+                server.submit(make_request(c + 1, c + 1, 0, entry, payload));
+        });
+    // Every client either queued up or was bounced; only then release.
+    while (true) {
+        const auto stats = server.stats();
+        if (stats.accepted + stats.rejected_overloaded >= kClients)
+            break;
+        std::this_thread::yield();
+    }
+    server.resume();
+    for (auto& t : clients)
+        t.join();
+
+    std::size_t ok = 0, overloaded = 0;
+    for (const auto& response : responses) {
+        if (response.status == kStatusOk) {
+            ++ok;
+            EXPECT_TRUE(validate_exact(
+                            expected,
+                            [&] {
+                                std::vector<std::int32_t> out;
+                                for (const auto w : response.payload)
+                                    out.push_back(
+                                        pk::bits_value<std::int32_t>(w));
+                                return out;
+                            }())
+                            .ok);
+        } else {
+            EXPECT_EQ(response.status,
+                      status_of(ServerErrorKind::kOverloaded));
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok, config.queue_depth);
+    EXPECT_EQ(overloaded, kClients - config.queue_depth);
+
+    // Backpressure, not failure: a bounced tenant's retry succeeds.
+    const auto retry = server.submit(make_request(99, 99, 0, entry, payload));
+    EXPECT_EQ(retry.status, kStatusOk);
+}
+
+TEST(ServerConcurrency, SixteenSeedSoakOverMixedWorkload)
+{
+    const auto corpus = pt::table1_corpus();
+    std::atomic<std::uint64_t> wrong{0};
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        ServerConfig config;
+        // A tiny plan cache forces concurrent eviction/recompile churn.
+        config.plan_cache_capacity = 4;
+        config.queue_depth = 64;
+        Server server(config);
+
+        constexpr std::size_t kThreads = 3;
+        constexpr std::size_t kRequests = 12;
+        std::vector<std::thread> clients;
+        for (std::size_t t = 0; t < kThreads; ++t)
+            clients.emplace_back([&, t, seed] {
+                Rng rng(seed * 7919 + t);
+                // One chunked session per thread, validated at the end.
+                const auto ssig = Signature::parse("(1 : 1)");
+                pt::CorpusEntry sentry{"local/prefix-sum", ssig,
+                                       pk::Domain::kInt, true};
+                const auto stream =
+                    pt::conformance_input_int(96, seed * 100 + t);
+                std::vector<std::int32_t> stitched;
+                std::size_t pos = 0;
+                for (std::size_t r = 0; r < kRequests; ++r) {
+                    const auto& entry = corpus[static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(
+                                               corpus.size() - 1)))];
+                    const auto n = static_cast<std::size_t>(
+                        rng.uniform_int(1, 128));
+                    const auto payload = random_payload(
+                        entry, n, seed * 1000 + t * 100 + r);
+                    const auto response = server.submit(make_request(
+                        r + 1, t + 1, 0, entry, payload));
+                    std::string why;
+                    if (!response_matches(entry, payload, response, &why)) {
+                        ++wrong;
+                        ADD_FAILURE() << "seed " << seed << " tenant "
+                                      << t + 1 << ": " << why;
+                    }
+                    // Feed the session a chunk between stateless calls.
+                    const auto len = std::min<std::size_t>(
+                        static_cast<std::size_t>(rng.uniform_int(0, 16)),
+                        stream.size() - pos);
+                    std::vector<std::uint32_t> chunk;
+                    for (std::size_t i = 0; i < len; ++i)
+                        chunk.push_back(pk::value_bits(stream[pos + i]));
+                    const auto sresp = server.submit(make_request(
+                        100 + r, t + 1, /*session=*/1, sentry, chunk));
+                    if (sresp.status != kStatusOk) {
+                        ++wrong;
+                        ADD_FAILURE() << "seed " << seed << " session chunk "
+                                      << r << ": status " << sresp.status;
+                        continue;
+                    }
+                    for (const auto w : sresp.payload)
+                        stitched.push_back(pk::bits_value<std::int32_t>(w));
+                    pos += len;
+                }
+                const auto expected = pk::serial_recurrence<IntRing>(
+                    ssig, std::span<const std::int32_t>(stream.data(), pos));
+                if (!validate_exact(expected, stitched).ok) {
+                    ++wrong;
+                    ADD_FAILURE() << "seed " << seed << " tenant " << t + 1
+                                  << " session stream diverged";
+                }
+            });
+        for (auto& t : clients)
+            t.join();
+        EXPECT_EQ(server.stats().failed_launches, 0u) << "seed " << seed;
+    }
+    EXPECT_EQ(wrong.load(), 0u);
+}
+
+}  // namespace

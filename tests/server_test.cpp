@@ -1,0 +1,760 @@
+/**
+ * @file
+ * The recurrence-serving subsystem (docs/SERVER.md): wire-format
+ * round-trips and systematic frame fuzzing (mirroring
+ * checkpoint_fuzz_test — every damaged frame must raise a typed
+ * FrameError, never crash or serve), plan-cache semantics
+ * (hit/miss/eviction, typed rejection), and the Server itself —
+ * correctness against the serial oracle, session resume, the failure
+ * taxonomy, and the pause/resume proof that concurrent requests really
+ * coalesce into one fused launch. Violating fuzz inputs are saved as
+ * replayable artifacts under $PLR_SERVER_ARTIFACT_DIR (else the test
+ * temp dir).
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/checkpoint.h"
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "server/error.h"
+#include "server/plan_cache.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "testing/corpus.h"
+#include "util/compare.h"
+#include "util/env.h"
+#include "util/ring.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace plr::server;
+using plr::FloatRing;
+using plr::IntRing;
+using plr::Signature;
+using plr::TropicalRing;
+using plr::validate_exact;
+using plr::validate_ulp;
+namespace pk = plr::kernels;
+
+RequestFrame
+int_request(std::uint64_t id, std::uint64_t tenant, std::uint64_t session,
+            const std::string& sig, std::span<const std::int32_t> input)
+{
+    RequestFrame frame;
+    frame.request_id = id;
+    frame.tenant = tenant;
+    frame.session = session;
+    frame.domain = pk::Domain::kInt;
+    frame.signature_text = sig;
+    for (const auto v : input)
+        frame.payload.push_back(pk::value_bits(v));
+    return frame;
+}
+
+std::vector<std::int32_t>
+int_payload(const ResponseFrame& response)
+{
+    std::vector<std::int32_t> out;
+    for (const auto w : response.payload)
+        out.push_back(pk::bits_value<std::int32_t>(w));
+    return out;
+}
+
+std::vector<float>
+float_payload(const ResponseFrame& response)
+{
+    std::vector<float> out;
+    for (const auto w : response.payload)
+        out.push_back(pk::bits_value<float>(w));
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Wire format.
+
+std::vector<std::uint8_t>
+valid_request_bytes()
+{
+    const auto input = plr::testing::conformance_input_int(7, 0x5Eful);
+    return encode_request(int_request(11, 3, 0, "(1 : 2, -1)", input));
+}
+
+std::vector<std::uint8_t>
+valid_response_bytes()
+{
+    ResponseFrame frame;
+    frame.request_id = 11;
+    frame.tenant = 3;
+    frame.status = kStatusOk;
+    frame.flags = kResponseFlagPlanCacheHit | kResponseFlagFusedBatch;
+    frame.batch = 4;
+    frame.payload = {1u, 0xdeadbeefu, 0u, 0x7f800000u};
+    return encode_response(frame);
+}
+
+/** Persist a violating frame so the failure replays offline. */
+std::string
+save_artifact(std::span<const std::uint8_t> bytes, const std::string& tag)
+{
+    std::string dir = plr::env::string_or("PLR_SERVER_ARTIFACT_DIR");
+    if (dir.empty())
+        dir = ::testing::TempDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/server-frame-fuzz-" + tag + ".bin";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+/**
+ * The parser contract: a typed rejection. Returns true when honored;
+ * on violation the frame is saved and described.
+ */
+bool
+must_reject(std::span<const std::uint8_t> bytes, bool response,
+            const std::string& tag)
+{
+    try {
+        if (response)
+            (void)parse_response(bytes);
+        else
+            (void)parse_request(bytes);
+    } catch (const FrameError&) {
+        return true;  // typed rejection — the contract
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "non-typed exception for " << tag << " ("
+                      << e.what()
+                      << "); artifact: " << save_artifact(bytes, tag);
+        return false;
+    }
+    ADD_FAILURE() << "damaged frame accepted for " << tag
+                  << "; artifact: " << save_artifact(bytes, tag);
+    return false;
+}
+
+TEST(ServerWire, RequestRoundTrips)
+{
+    RequestFrame frame;
+    frame.request_id = 0x0123456789abcdefull;
+    frame.tenant = 42;
+    frame.session = 7;
+    frame.domain = pk::Domain::kFloat;
+    frame.signature_text = "(0.5 : 0.5)";
+    frame.payload = {pk::value_bits(1.5f), pk::value_bits(-0.25f)};
+
+    const auto parsed = parse_request(encode_request(frame));
+    EXPECT_EQ(parsed.request_id, frame.request_id);
+    EXPECT_EQ(parsed.tenant, frame.tenant);
+    EXPECT_EQ(parsed.session, frame.session);
+    EXPECT_EQ(parsed.domain, frame.domain);
+    EXPECT_EQ(parsed.signature_text, frame.signature_text);
+    EXPECT_EQ(parsed.payload, frame.payload);
+
+    // Empty payload (a session keep-alive) is a legal frame.
+    frame.payload.clear();
+    EXPECT_EQ(parse_request(encode_request(frame)).payload.size(), 0u);
+}
+
+TEST(ServerWire, ResponseRoundTrips)
+{
+    const auto bytes = valid_response_bytes();
+    const auto parsed = parse_response(bytes);
+    EXPECT_EQ(parsed.request_id, 11u);
+    EXPECT_EQ(parsed.tenant, 3u);
+    EXPECT_EQ(parsed.status, kStatusOk);
+    EXPECT_EQ(parsed.flags,
+              kResponseFlagPlanCacheHit | kResponseFlagFusedBatch);
+    EXPECT_EQ(parsed.batch, 4u);
+    EXPECT_EQ(parsed.payload.size(), 4u);
+    EXPECT_EQ(parsed.payload[1], 0xdeadbeefu);
+}
+
+TEST(ServerWire, RejectsSemanticFieldViolations)
+{
+    const auto base = int_request(1, 1, 0, "(1 : 1)",
+                                  std::vector<std::int32_t>{1, 2, 3});
+    {
+        // A correctly sealed frame with an unknown domain id must be
+        // rejected as malformed (the seal alone cannot save it).
+        auto frame = base;
+        frame.domain = static_cast<pk::Domain>(9);
+        const auto bytes = encode_request(frame);
+        try {
+            (void)parse_request(bytes);
+            ADD_FAILURE() << "unknown domain accepted";
+        } catch (const FrameError& error) {
+            EXPECT_EQ(error.kind(), FrameErrorKind::kMalformed);
+        }
+    }
+    {
+        // Oversized signature text is refused at encode time.
+        auto frame = base;
+        frame.signature_text.assign(kMaxSignatureText + 1, 'x');
+        EXPECT_THROW((void)encode_request(frame), plr::FatalError);
+    }
+}
+
+TEST(ServerFrameFuzz, EverySingleBitFlipIsRejected)
+{
+    for (const bool response : {false, true}) {
+        const auto bytes =
+            response ? valid_response_bytes() : valid_request_bytes();
+        // Sanity: the undamaged frame parses.
+        if (response)
+            EXPECT_NO_THROW((void)parse_response(bytes));
+        else
+            EXPECT_NO_THROW((void)parse_request(bytes));
+        for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+            auto flipped = bytes;
+            flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+            if (!must_reject(flipped, response,
+                             std::string(response ? "resp" : "req") +
+                                 "-bitflip-" + std::to_string(bit)))
+                return;  // artifact saved; stop at the first violation
+        }
+    }
+}
+
+TEST(ServerFrameFuzz, EveryTruncationIsRejected)
+{
+    for (const bool response : {false, true}) {
+        const auto bytes =
+            response ? valid_response_bytes() : valid_request_bytes();
+        for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+            const std::span<const std::uint8_t> prefix(bytes.data(), keep);
+            if (!must_reject(prefix, response,
+                             std::string(response ? "resp" : "req") +
+                                 "-truncate-" + std::to_string(keep)))
+                return;
+        }
+        // Trailing garbage past a valid frame is equally damaged.
+        auto longer = bytes;
+        longer.push_back(0);
+        if (!must_reject(longer, response, "trailing"))
+            return;
+    }
+}
+
+TEST(ServerFrameFuzz, RandomByteCorporaNeverCrashTheParser)
+{
+    plr::Rng rng(0xF4A3ull);
+    for (int trial = 0; trial < 2048; ++trial) {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 200));
+        std::vector<std::uint8_t> junk(len);
+        for (auto& b : junk)
+            b = static_cast<std::uint8_t>(rng.next_u32() & 0xff);
+        // A random frame passing the magic + version + bounds + seal
+        // gauntlet is beyond 2^-64 likely; with this fixed seed it
+        // deterministically never happens.
+        if (!must_reject(junk, trial % 2 == 1,
+                         "random-" + std::to_string(trial)))
+            return;
+    }
+}
+
+TEST(ServerFrameFuzz, MagicPrefixedJunkIsStillRejected)
+{
+    plr::Rng rng(0xC0FEull);
+    for (int trial = 0; trial < 1024; ++trial) {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(4, 200));
+        std::vector<std::uint8_t> junk(len);
+        const bool response = trial % 2 == 1;
+        const char* magic = response ? kResponseMagic : kRequestMagic;
+        for (std::size_t i = 0; i < 4; ++i)
+            junk[i] = static_cast<std::uint8_t>(magic[i]);
+        for (std::size_t i = 4; i < len; ++i)
+            junk[i] = static_cast<std::uint8_t>(rng.next_u32() & 0xff);
+        if (!must_reject(junk, response,
+                         "magic-junk-" + std::to_string(trial)))
+            return;
+    }
+}
+
+TEST(ServerFrameFuzz, ByteValueMutationsAreRejected)
+{
+    // Byte-granular overwrite sweep: every byte set to 0x00, 0xFF, and
+    // its complement. Catches acceptance paths a single-bit sweep could
+    // mask (e.g. compensating checksum structure).
+    const auto bytes = valid_request_bytes();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        for (const std::uint8_t v : {static_cast<std::uint8_t>(0x00),
+                                     static_cast<std::uint8_t>(0xff),
+                                     static_cast<std::uint8_t>(~bytes[i])}) {
+            if (v == bytes[i])
+                continue;
+            auto mutated = bytes;
+            mutated[i] = v;
+            if (!must_reject(mutated, false, "byte-" + std::to_string(i)))
+                return;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Plan cache.
+
+TEST(ServerPlanCache, HitMissEvictionLru)
+{
+    PlanCache cache(2);
+    bool hit = true;
+    const auto a = cache.lookup("(1 : 1)", pk::Domain::kInt, &hit);
+    ASSERT_NE(a, nullptr);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(a->key, pk::signature_hash(a->sig, pk::Domain::kInt));
+
+    // Textually different spellings of the same signature share a plan.
+    (void)cache.lookup("( 1 :  1 )", pk::Domain::kInt, &hit);
+    EXPECT_TRUE(hit);
+    // The same text in a different domain is a different plan.
+    (void)cache.lookup("(1 : 1)", pk::Domain::kFloat, &hit);
+    EXPECT_FALSE(hit);
+
+    // Capacity 2: a third distinct plan evicts the least recent,
+    // which is the float one only if int was touched more recently.
+    (void)cache.lookup("(1 : 1)", pk::Domain::kInt, &hit);  // refresh int
+    EXPECT_TRUE(hit);
+    (void)cache.lookup("(1 : 2, -1)", pk::Domain::kInt, &hit);
+    EXPECT_FALSE(hit);  // miss; evicts the float plan
+    (void)cache.lookup("(1 : 1)", pk::Domain::kFloat, &hit);
+    EXPECT_FALSE(hit);  // evicted — a miss again
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_GE(stats.evictions, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ServerPlanCache, TypedRejections)
+{
+    PlanCache cache(4);
+    const auto expect_rejected = [&](const std::string& text,
+                                     pk::Domain domain) {
+        try {
+            (void)cache.lookup(text, domain, nullptr);
+            ADD_FAILURE() << text << " should have been rejected";
+        } catch (const ServerError& error) {
+            EXPECT_EQ(error.kind(), ServerErrorKind::kPlanRejected) << text;
+        }
+    };
+    expect_rejected("not a signature", pk::Domain::kInt);
+    expect_rejected("", pk::Domain::kFloat);
+    // Order 0 has no recurrence to serve.
+    expect_rejected("(1, 2 :)", pk::Domain::kInt);
+    // Int-domain requests require integral coefficients.
+    expect_rejected("(1 : 0.5)", pk::Domain::kInt);
+    // ... but the same signature is a fine float plan.
+    EXPECT_NE(cache.lookup("(1 : 0.5)", pk::Domain::kFloat, nullptr),
+              nullptr);
+    // Carry shape beyond the checkpoint wire bounds cannot session.
+    std::string huge = "(1 : 1";
+    for (int i = 0; i < 70; ++i)
+        huge += ", 1";
+    huge += ")";
+    expect_rejected(huge, pk::Domain::kInt);
+    // Rejections are not cached: the stats record no entry for them.
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServerPlanCache, TropicalPlansRebuildTheSemiring)
+{
+    PlanCache cache(4);
+    const auto plan =
+        cache.lookup("(1 : -1.5)", pk::Domain::kTropical, nullptr);
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(plan->sig.is_max_plus());
+    EXPECT_EQ(plan->domain, pk::Domain::kTropical);
+    // The same text as a float plan is a different key and semiring.
+    const auto fplan = cache.lookup("(1 : -1.5)", pk::Domain::kFloat, nullptr);
+    EXPECT_FALSE(fplan->sig.is_max_plus());
+    EXPECT_NE(plan->key, fplan->key);
+}
+
+// ------------------------------------------------------------------
+// The server.
+
+TEST(Server, ServesPrefixSumAgainstSerialOracle)
+{
+    Server server;
+    const auto sig = Signature::parse("(1 : 1)");
+    const auto input = plr::testing::conformance_input_int(513, 0xABCul);
+    const auto expected = pk::serial_recurrence<IntRing>(sig, input);
+
+    const auto response = server.submit(int_request(9, 1, 0, "(1 : 1)",
+                                                    input));
+    EXPECT_EQ(response.status, kStatusOk);
+    EXPECT_EQ(response.request_id, 9u);
+    EXPECT_EQ(response.tenant, 1u);
+    EXPECT_GE(response.batch, 1u);
+    EXPECT_TRUE(validate_exact(expected, int_payload(response)).ok);
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.served, 1u);
+    EXPECT_EQ(stats.plan_cache.misses, 1u);
+
+    // A second identical request hits the plan cache and says so.
+    const auto again = server.submit(int_request(10, 1, 0, "(1 : 1)", input));
+    EXPECT_EQ(again.status, kStatusOk);
+    EXPECT_TRUE(again.flags & kResponseFlagPlanCacheHit);
+    EXPECT_EQ(server.stats().plan_cache.hits, 1u);
+}
+
+TEST(Server, FloatAndTropicalDomains)
+{
+    Server server;
+    const auto finput =
+        plr::testing::conformance_input_float(pk::Domain::kFloat, 300, 0xF1ul);
+    const auto fexpected = pk::serial_recurrence<FloatRing>(
+        Signature::parse("(0.5 : 0.5)"), finput);
+    RequestFrame freq;
+    freq.request_id = 1;
+    freq.tenant = 1;
+    freq.domain = pk::Domain::kFloat;
+    freq.signature_text = "(0.5 : 0.5)";
+    for (const auto v : finput)
+        freq.payload.push_back(pk::value_bits(v));
+    const auto fresp = server.submit(freq);
+    EXPECT_EQ(fresp.status, kStatusOk);
+    EXPECT_TRUE(validate_ulp(fexpected, float_payload(fresp), 0).ok);
+
+    const auto tinput = plr::testing::conformance_input_float(
+        pk::Domain::kTropical, 300, 0xF2ul);
+    const auto texpected = pk::serial_recurrence<TropicalRing>(
+        Signature::max_plus({1.0}, {-1.5}), tinput);
+    RequestFrame treq;
+    treq.request_id = 2;
+    treq.tenant = 1;
+    treq.domain = pk::Domain::kTropical;
+    treq.signature_text = "(1 : -1.5)";
+    for (const auto v : tinput)
+        treq.payload.push_back(pk::value_bits(v));
+    const auto tresp = server.submit(treq);
+    EXPECT_EQ(tresp.status, kStatusOk);
+    EXPECT_TRUE(validate_ulp(texpected, float_payload(tresp), 0).ok);
+}
+
+TEST(Server, TypedRejectionStatuses)
+{
+    Server server;
+    // Unplannable signature.
+    const auto bad = server.submit(
+        int_request(1, 1, 0, "garbage", std::vector<std::int32_t>{1}));
+    EXPECT_EQ(bad.status, status_of(ServerErrorKind::kPlanRejected));
+    EXPECT_TRUE(bad.payload.empty());
+    // Int domain with non-integral coefficients.
+    const auto nonint = server.submit(
+        int_request(2, 1, 0, "(1 : 0.5)", std::vector<std::int32_t>{1}));
+    EXPECT_EQ(nonint.status, status_of(ServerErrorKind::kPlanRejected));
+    EXPECT_EQ(server.stats().rejected_plan, 2u);
+
+    // A damaged wire frame answers kBadFrame with request id 0.
+    auto bytes = valid_request_bytes();
+    bytes[bytes.size() / 2] ^= 0x40;
+    const auto response = parse_response(server.handle(bytes));
+    EXPECT_EQ(response.status, status_of(ServerErrorKind::kBadFrame));
+    EXPECT_EQ(response.request_id, 0u);
+    EXPECT_EQ(server.stats().rejected_bad_frame, 1u);
+
+    // An intact wire frame round-trips through handle().
+    const auto input = plr::testing::conformance_input_int(7, 0x5EFull);
+    const auto ok = parse_response(server.handle(valid_request_bytes()));
+    EXPECT_EQ(ok.status, kStatusOk);
+    EXPECT_TRUE(validate_exact(pk::serial_recurrence<IntRing>(
+                                   Signature::parse("(1 : 2, -1)"), input),
+                               int_payload(ok))
+                    .ok);
+}
+
+TEST(Server, SessionResumesAcrossChunkedRequests)
+{
+    Server server;
+    const auto sig = Signature::parse("(1, -2 : 3, 0, 1)");
+    const auto input = plr::testing::conformance_input_int(400, 0x5E55ull);
+    const auto oneshot = pk::serial_recurrence<IntRing>(sig, input);
+
+    // The same stream, submitted as 4 chunks plus an empty keep-alive,
+    // must stitch to the bit-identical one-shot answer.
+    const std::vector<std::size_t> cuts = {0, 64, 65, 200, 200, 400};
+    std::vector<std::int32_t> stitched;
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+        const auto chunk = std::span<const std::int32_t>(input).subspan(
+            cuts[c], cuts[c + 1] - cuts[c]);
+        const auto response = server.submit(
+            int_request(c + 1, 5, /*session=*/77, "(1, -2 : 3, 0, 1)",
+                        chunk));
+        ASSERT_EQ(response.status, kStatusOk) << "chunk " << c;
+        const auto out = int_payload(response);
+        stitched.insert(stitched.end(), out.begin(), out.end());
+    }
+    EXPECT_TRUE(validate_exact(oneshot, stitched).ok);
+    EXPECT_EQ(server.stats().sessions, 1u);
+
+    // Reusing the session id under a different signature is a typed
+    // mismatch, and must not corrupt the existing stream.
+    const auto clash = server.submit(
+        int_request(99, 5, 77, "(1 : 1)", std::vector<std::int32_t>{1}));
+    EXPECT_EQ(clash.status, status_of(ServerErrorKind::kSessionMismatch));
+    EXPECT_EQ(server.stats().rejected_session, 1u);
+
+    // A distinct tenant may use the same session number independently.
+    const auto other = server.submit(
+        int_request(100, 6, 77, "(1 : 1)", std::vector<std::int32_t>{1, 2}));
+    EXPECT_EQ(other.status, kStatusOk);
+    EXPECT_EQ(server.stats().sessions, 2u);
+}
+
+TEST(Server, PausedSubmissionsCoalesceIntoOneFusedLaunch)
+{
+    // The one way to *prove* coalescing: freeze the batcher, pile up N
+    // same-plan requests from N tenants, release — every response must
+    // report batch == N and the fused flag.
+    constexpr std::size_t kClients = 6;
+    Server server;
+    server.pause();
+
+    const auto input = plr::testing::conformance_input_int(64, 0xC0Dull);
+    const auto expected =
+        pk::serial_recurrence<IntRing>(Signature::parse("(1 : 2, -1)"),
+                                       input);
+    std::vector<ResponseFrame> responses(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+            responses[c] = server.submit(
+                int_request(c + 1, /*tenant=*/c + 1, 0, "(1 : 2, -1)",
+                            input));
+        });
+    // Wait until all N are admitted and queued behind the paused
+    // batcher, then release them as one group.
+    while (server.stats().accepted < kClients)
+        std::this_thread::yield();
+    server.resume();
+    for (auto& t : clients)
+        t.join();
+
+    for (std::size_t c = 0; c < kClients; ++c) {
+        EXPECT_EQ(responses[c].status, kStatusOk) << c;
+        EXPECT_EQ(responses[c].batch, kClients) << c;
+        EXPECT_TRUE(responses[c].flags & kResponseFlagFusedBatch) << c;
+        EXPECT_TRUE(validate_exact(expected, int_payload(responses[c])).ok)
+            << c;
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.fused_requests, kClients);
+    EXPECT_EQ(stats.max_batch_fused, kClients);
+}
+
+TEST(Server, SameSessionRequestsKeepTheirOrderAcrossBatches)
+{
+    // Two queued chunks of one session cannot share a fused launch (the
+    // second needs the first's carry); the batcher must serve them in
+    // arrival order across two launches.
+    Server server;
+    server.pause();
+    const auto input = plr::testing::conformance_input_int(200, 0x0DDull);
+    const auto expected =
+        pk::serial_recurrence<IntRing>(Signature::parse("(1 : 1)"), input);
+    const auto first = std::span<const std::int32_t>(input).first(90);
+    const auto second = std::span<const std::int32_t>(input).subspan(90);
+
+    ResponseFrame r1, r2;
+    std::thread c1([&] {
+        r1 = server.submit(int_request(1, 2, 55, "(1 : 1)", first));
+    });
+    while (server.stats().accepted < 1)
+        std::this_thread::yield();
+    std::thread c2([&] {
+        r2 = server.submit(int_request(2, 2, 55, "(1 : 1)", second));
+    });
+    while (server.stats().accepted < 2)
+        std::this_thread::yield();
+    server.resume();
+    c1.join();
+    c2.join();
+
+    ASSERT_EQ(r1.status, kStatusOk);
+    ASSERT_EQ(r2.status, kStatusOk);
+    auto stitched = int_payload(r1);
+    const auto tail = int_payload(r2);
+    stitched.insert(stitched.end(), tail.begin(), tail.end());
+    EXPECT_TRUE(validate_exact(expected, stitched).ok);
+    EXPECT_GE(server.stats().batches, 2u);
+}
+
+TEST(Server, AdmissionControlTenantCapAndQueueDepth)
+{
+    ServerConfig config;
+    config.tenant_inflight_cap = 2;
+    config.queue_depth = 3;
+    Server server(config);
+    server.pause();
+
+    const std::vector<std::int32_t> one = {1};
+    std::vector<std::thread> blocked;
+    ResponseFrame b1, b2;
+    blocked.emplace_back(
+        [&] { b1 = server.submit(int_request(1, 9, 0, "(1 : 1)", one)); });
+    blocked.emplace_back(
+        [&] { b2 = server.submit(int_request(2, 9, 0, "(1 : 1)", one)); });
+    while (server.stats().accepted < 2)
+        std::this_thread::yield();
+
+    // Tenant 9 is at its in-flight cap: the third is turned away now,
+    // with a typed kOverloaded — not queued, not wedged.
+    const auto capped = server.submit(int_request(3, 9, 0, "(1 : 1)", one));
+    EXPECT_EQ(capped.status, status_of(ServerErrorKind::kOverloaded));
+
+    // Another tenant still fits (queue depth 3), then the queue itself
+    // is full and turns the next tenant away.
+    ResponseFrame b3;
+    blocked.emplace_back(
+        [&] { b3 = server.submit(int_request(4, 10, 0, "(1 : 1)", one)); });
+    while (server.stats().accepted < 3)
+        std::this_thread::yield();
+    const auto full = server.submit(int_request(5, 11, 0, "(1 : 1)", one));
+    EXPECT_EQ(full.status, status_of(ServerErrorKind::kOverloaded));
+    EXPECT_EQ(server.stats().rejected_overloaded, 2u);
+
+    // Releasing the batcher drains the admitted three successfully.
+    server.resume();
+    for (auto& t : blocked)
+        t.join();
+    EXPECT_EQ(b1.status, kStatusOk);
+    EXPECT_EQ(b2.status, kStatusOk);
+    EXPECT_EQ(b3.status, kStatusOk);
+    EXPECT_EQ(server.stats().served, 3u);
+}
+
+TEST(Server, ShutdownDrainsQueuedWorkWithTypedStatus)
+{
+    Server server;
+    server.pause();
+    const std::vector<std::int32_t> one = {1};
+    ResponseFrame queued;
+    std::thread client(
+        [&] { queued = server.submit(int_request(1, 1, 0, "(1 : 1)", one)); });
+    while (server.stats().accepted < 1)
+        std::this_thread::yield();
+    server.shutdown();
+    client.join();
+    EXPECT_EQ(queued.status, status_of(ServerErrorKind::kShutdown));
+    EXPECT_EQ(server.stats().shutdown_drained, 1u);
+
+    // After shutdown every submission is answered kShutdown directly.
+    const auto late = server.submit(int_request(2, 1, 0, "(1 : 1)", one));
+    EXPECT_EQ(late.status, status_of(ServerErrorKind::kShutdown));
+    // Idempotent.
+    server.shutdown();
+}
+
+TEST(Server, BatchingDisabledServesRequestAtATime)
+{
+    // The load bench's A/B control: same pipeline, coalescing off.
+    ServerConfig config;
+    config.batching = false;
+    Server server(config);
+    server.pause();
+
+    constexpr std::size_t kClients = 4;
+    const auto input = plr::testing::conformance_input_int(32, 0xABull);
+    const auto expected =
+        pk::serial_recurrence<IntRing>(Signature::parse("(1 : 1)"), input);
+    std::vector<ResponseFrame> responses(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+        clients.emplace_back([&, c] {
+            responses[c] =
+                server.submit(int_request(c + 1, c + 1, 0, "(1 : 1)", input));
+        });
+    while (server.stats().accepted < kClients)
+        std::this_thread::yield();
+    server.resume();
+    for (auto& t : clients)
+        t.join();
+
+    for (const auto& response : responses) {
+        EXPECT_EQ(response.status, kStatusOk);
+        EXPECT_EQ(response.batch, 1u);
+        EXPECT_FALSE(response.flags & kResponseFlagFusedBatch);
+        EXPECT_TRUE(validate_exact(expected, int_payload(response)).ok);
+    }
+    EXPECT_EQ(server.stats().batches, kClients);
+}
+
+TEST(Server, GpusimBackendSurvivesInjectedFaults)
+{
+    // Stateless requests routed through the simulated GPU behind the
+    // recovery ladder: with fault injection armed, every answer must
+    // still match the serial oracle (repaired, relaunched, or degraded
+    // to the CPU — never wrong).
+    ServerConfig config;
+    config.backend = ServerBackend::kGpusim;
+    config.fault_seed = 0xFEEDull;
+    config.on_failure = pk::FailurePolicy::kDegradeToCpu;
+    Server server(config);
+
+    const auto sig = Signature::parse("(1 : 2, -1)");
+    for (std::uint64_t r = 0; r < 6; ++r) {
+        const auto input =
+            plr::testing::conformance_input_int(257 + 13 * r, 0xFA0 + r);
+        const auto response = server.submit(
+            int_request(r + 1, 1, 0, "(1 : 2, -1)", input));
+        ASSERT_EQ(response.status, kStatusOk) << r;
+        EXPECT_TRUE(validate_exact(pk::serial_recurrence<IntRing>(sig, input),
+                                   int_payload(response))
+                        .ok)
+            << r;
+    }
+    // Sessions still take the fused host path under this backend.
+    const auto input = plr::testing::conformance_input_int(100, 0xFAFull);
+    const auto s1 = server.submit(int_request(
+        10, 2, 3, "(1 : 1)",
+        std::span<const std::int32_t>(input).first(50)));
+    const auto s2 = server.submit(int_request(
+        11, 2, 3, "(1 : 1)",
+        std::span<const std::int32_t>(input).subspan(50)));
+    ASSERT_EQ(s1.status, kStatusOk);
+    ASSERT_EQ(s2.status, kStatusOk);
+    auto stitched = int_payload(s1);
+    const auto tail = int_payload(s2);
+    stitched.insert(stitched.end(), tail.begin(), tail.end());
+    EXPECT_TRUE(validate_exact(pk::serial_recurrence<IntRing>(
+                                   Signature::parse("(1 : 1)"), input),
+                               stitched)
+                    .ok);
+}
+
+TEST(Server, ErrorTaxonomyNamesAreStable)
+{
+    EXPECT_STREQ(to_string(ServerErrorKind::kBadFrame), "bad-frame");
+    EXPECT_STREQ(to_string(ServerErrorKind::kPlanRejected), "plan-rejected");
+    EXPECT_STREQ(to_string(ServerErrorKind::kOverloaded), "overloaded");
+    EXPECT_STREQ(to_string(ServerErrorKind::kSessionMismatch),
+                 "session-mismatch");
+    EXPECT_STREQ(to_string(ServerErrorKind::kLaunchFailed), "launch-failed");
+    EXPECT_STREQ(to_string(ServerErrorKind::kShutdown), "shutdown");
+    EXPECT_STREQ(to_string(FrameErrorKind::kBadMagic), "bad-magic");
+    EXPECT_STREQ(to_string(FrameErrorKind::kVersionSkew), "version-skew");
+    EXPECT_STREQ(to_string(FrameErrorKind::kTruncated), "truncated");
+    EXPECT_STREQ(to_string(FrameErrorKind::kMalformed), "malformed");
+    EXPECT_STREQ(to_string(FrameErrorKind::kCorrupt), "corrupt");
+    // Status codes are distinct and nonzero (0 is success).
+    EXPECT_EQ(status_of(ServerErrorKind::kBadFrame), 1u);
+    EXPECT_NE(status_of(ServerErrorKind::kOverloaded), kStatusOk);
+}
+
+}  // namespace
