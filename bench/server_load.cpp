@@ -39,6 +39,16 @@
  * across 14 plan keys and the host backend is bound by per-request
  * client wakeups in both pipelines — those points are reported for
  * context but not gated.
+ *
+ * A third leg exercises the resilience path (docs/SERVER.md): a
+ * seed-deterministic mix of duplicate idempotent retries (which must
+ * come back flagged Replayed and bit-identical to the sealed
+ * original) and unmeetably tiny deadlines (which must be rejected at
+ * admission before any compute is spent). The request schedule is a
+ * pure function of the chaos seed, so the served / replayed /
+ * deadline-rejected counters are committed to the baseline and a
+ * silent change in replay or admission accounting fails
+ * bench_compare; chaos latency percentiles stay fresh-only.
  */
 
 #include <algorithm>
@@ -52,6 +62,7 @@
 
 #include "bench_common.h"
 #include "kernels/serial.h"
+#include "server/error.h"
 #include "kernels/stream_state.h"
 #include "server/server.h"
 #include "server/wire.h"
@@ -328,6 +339,135 @@ run_tenant_point(const std::vector<WorkItem>& items, std::size_t tenants,
     return point;
 }
 
+struct ChaosLegResult {
+    std::uint64_t wall_ns = 0;
+    /** Client-side tallies; the server's stats() must agree exactly. */
+    std::uint64_t computed = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t deadline_rejected = 0;
+    std::uint64_t wrong = 0;
+    /** Replays that were not flagged Replayed or whose payload
+        differed from the sealed original. */
+    std::uint64_t replay_mismatch = 0;
+    bool counters_agree = false;
+    std::vector<double> latencies_us;
+};
+
+/**
+ * The chaos leg: @p tenants clients replay a seed-deterministic
+ * schedule of ordinary requests, duplicate idempotent retries, and
+ * tiny-deadline requests against one server. Per thread, roughly one
+ * request in five is sent twice under the same (tenant, request_id)
+ * key — the second copy must come back Replayed and bit-identical —
+ * and one in seven carries a 1 ms deadline that the admission cost
+ * model (primed at 1 ms of projected work per payload element, so any
+ * deadline request over these >= 96-element payloads is unmeetable
+ * regardless of queue state) must reject before any compute runs.
+ * Every count below is a pure function of the seed, which is what
+ * lets the baseline commit them.
+ */
+ChaosLegResult
+run_chaos_leg(const std::vector<WorkItem>& items, std::size_t tenants,
+              std::size_t requests, std::uint64_t seed)
+{
+    ServerConfig config;
+    config.batching = true;
+    config.backend = ServerBackend::kGpusim;
+    config.queue_depth = 1024;
+    config.tenant_inflight_cap = 64;
+    config.plan_cache_capacity = 32;
+    config.max_batch = 64;
+    // Deadline admission only: requests without a deadline never
+    // consult the cost model, so this cannot reject the ordinary
+    // traffic.
+    config.admission_ns_per_element = 1'000'000;
+    Server server(config);
+
+    ChaosLegResult leg;
+    std::vector<ChaosLegResult> per(tenants);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(tenants);
+    for (std::size_t t = 0; t < tenants; ++t) {
+        clients.emplace_back([&, t] {
+            auto& mine = per[t];
+            Rng rng(seed * 0x517Cu + t * 257u);
+            for (std::size_t r = 0; r < requests; ++r) {
+                const auto& item = items[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<int>(items.size()) - 1))];
+                RequestFrame frame;
+                frame.request_id = t * 100000 + r + 1;
+                frame.tenant = t + 1;
+                frame.flags = kRequestFlagIdempotent;
+                frame.domain = item.domain;
+                frame.signature_text = item.sig;
+                frame.payload = item.payload;
+                const auto roll = rng.uniform_int(0, 34);
+                if (roll < 5) {
+                    // Unmeetable deadline: rejected at admission,
+                    // typed, no compute spent.
+                    frame.deadline_ms = 1;
+                    const auto begin = std::chrono::steady_clock::now();
+                    const auto response = server.submit(frame);
+                    mine.latencies_us.push_back(
+                        static_cast<double>(elapsed_ns(begin)) / 1000.0);
+                    if (response.status ==
+                        status_of(ServerErrorKind::kDeadlineExceeded))
+                        ++mine.deadline_rejected;
+                    else
+                        ++mine.wrong;
+                    continue;
+                }
+                const auto begin = std::chrono::steady_clock::now();
+                const auto response = server.submit(frame);
+                mine.latencies_us.push_back(
+                    static_cast<double>(elapsed_ns(begin)) / 1000.0);
+                ++mine.computed;
+                if (!response_matches(item, response)) {
+                    ++mine.wrong;
+                    continue;
+                }
+                if (roll < 12) {
+                    // Duplicate retry under the same idempotency key:
+                    // the sealed original, not a second computation.
+                    const auto rbegin = std::chrono::steady_clock::now();
+                    const auto replay = server.submit(frame);
+                    mine.latencies_us.push_back(
+                        static_cast<double>(elapsed_ns(rbegin)) / 1000.0);
+                    ++mine.replayed;
+                    if (replay.status != kStatusOk ||
+                        !(replay.flags & kResponseFlagReplayed) ||
+                        replay.payload != response.payload)
+                        ++mine.replay_mismatch;
+                }
+            }
+        });
+    }
+    for (auto& c : clients)
+        c.join();
+    leg.wall_ns = elapsed_ns(start);
+    server.shutdown();
+
+    for (const auto& mine : per) {
+        leg.computed += mine.computed;
+        leg.replayed += mine.replayed;
+        leg.deadline_rejected += mine.deadline_rejected;
+        leg.wrong += mine.wrong;
+        leg.replay_mismatch += mine.replay_mismatch;
+        leg.latencies_us.insert(leg.latencies_us.end(),
+                                mine.latencies_us.begin(),
+                                mine.latencies_us.end());
+    }
+    // Exactly-once: every computed answer was served once, every
+    // duplicate came off the replay cache, every deadline rejection
+    // was typed — the server's books must match the clients'.
+    const auto stats = server.stats();
+    leg.counters_agree = stats.served == leg.computed &&
+                         stats.replayed == leg.replayed &&
+                         stats.rejected_deadline == leg.deadline_rejected;
+    return leg;
+}
+
 }  // namespace
 
 int
@@ -439,6 +579,53 @@ main(int argc, char** argv)
                   << "    serial    : " << serial_rps << " req/s\n"
                   << "    speedup   : " << point.speedup << "x (gate >= "
                   << min_speedup << "x)\n";
+    }
+
+    // The chaos leg: duplicate idempotent retries and unmeetable
+    // deadlines on a seed-deterministic schedule. Counts are pure
+    // functions of the seed and are committed to the baseline;
+    // latency percentiles are machine-dependent and fresh-only.
+    {
+        const auto chaos_seed =
+            static_cast<std::uint64_t>(args.get_int("chaos-seed", 0xC4A05));
+        const std::size_t chaos_tenants = 8;
+        auto chaos = run_chaos_leg(items, chaos_tenants, requests, chaos_seed);
+        const auto ops = static_cast<double>(chaos.latencies_us.size());
+        const double chaos_rps =
+            ops * 1e9 / static_cast<double>(chaos.wall_ns);
+        std::sort(chaos.latencies_us.begin(), chaos.latencies_us.end());
+
+        reporter.add_validation("server.chaos_all_answers_match",
+                                chaos.wrong == 0);
+        reporter.add_validation("server.chaos_replays_bit_identical",
+                                chaos.replay_mismatch == 0);
+        reporter.add_validation("server.chaos_counters_exactly_once",
+                                chaos.counters_agree);
+        // Deterministic given the seed: committed to the baseline.
+        reporter.add_metric("chaos.computed_per_leg",
+                            static_cast<double>(chaos.computed));
+        reporter.add_metric("chaos.replayed_per_leg",
+                            static_cast<double>(chaos.replayed));
+        reporter.add_metric("chaos.deadline_rejected_per_leg",
+                            static_cast<double>(chaos.deadline_rejected));
+        // Machine-dependent: fresh-only.
+        reporter.add_metric("chaos.req_per_s", chaos_rps);
+        reporter.add_metric("chaos.p50_us",
+                            percentile(chaos.latencies_us, 0.50));
+        reporter.add_metric("chaos.p99_us",
+                            percentile(chaos.latencies_us, 0.99));
+
+        std::cout << "-- chaos: idempotent retries + tiny deadlines, "
+                  << chaos_tenants << " tenants, gpusim --\n"
+                  << "    computed  : " << chaos.computed << " (replayed "
+                  << chaos.replayed << ", deadline-rejected "
+                  << chaos.deadline_rejected << ", wrong " << chaos.wrong
+                  << ")\n"
+                  << "    throughput: " << chaos_rps << " req/s (p50 "
+                  << percentile(chaos.latencies_us, 0.50) << " us, p99 "
+                  << percentile(chaos.latencies_us, 0.99) << " us)\n"
+                  << "    exactly-once counters "
+                  << (chaos.counters_agree ? "agree" : "DISAGREE") << "\n";
     }
 
     reporter.add_metric("corpus_entries",

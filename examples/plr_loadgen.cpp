@@ -1,21 +1,43 @@
 /**
  * @file
- * Multi-tenant load generator and client-side oracle for the
- * recurrence server (docs/SERVER.md). N tenant threads fire a mixed
- * Table-1 workload — stateless one-shots plus chunked session streams
- * — at either an in-process Server (default) or a running plr_server
- * socket (--socket PATH), validate every answer against the serial
- * reference (integers bit-identical, floats ULP-gated), and report
- * req/s with p50/p99 latency. Exit status is nonzero on any wrong
- * answer or unexpected rejection — this is the acceptance harness CI
- * runs against the socket server, not just a traffic source.
+ * Multi-tenant load generator, chaos client, and client-side oracle
+ * for the recurrence server (docs/SERVER.md). N tenant threads fire a
+ * mixed Table-1 workload — stateless one-shots plus chunked session
+ * streams — at either an in-process Server (default) or a running
+ * plr_server socket (--socket PATH), validate every answer against
+ * the serial reference (integers bit-identical, floats ULP-gated),
+ * and report req/s with p50/p99 latency. Exit status is nonzero on
+ * any wrong answer or unexpected rejection — this is the acceptance
+ * harness CI runs against the socket server, not just a traffic
+ * source.
  *
  *   ./plr_loadgen --tenants 64 --requests 50            # in-process
  *   ./plr_loadgen --socket /tmp/plr.sock --tenants 64   # wire mode
+ *   ./plr_loadgen --socket /tmp/plr.sock --chaos-seed 7 # chaos mode
  *
- * Flags: --tenants N, --requests R (per tenant), --max-n E (longest
- * request payload), --seed S, --no-batching / --queue-depth /
- * --tenant-cap / --backend / --fault-seed (in-process server tuning).
+ * Requests carry the v2 idempotency flag and a per-request deadline
+ * (--deadline-ms); rejected or lost sends are retried under the
+ * testing/chaos.h policy — capped exponential backoff, deterministic
+ * jitter, honoring the server's kRetryAfter hint — with the SAME
+ * request id, so a retry that raced a served original must come back
+ * kResponseFlagReplayed (the sealed original), never a recomputed
+ * divergent answer.
+ *
+ * Chaos mode (--chaos-seed S, --fault-percent P) draws seed-
+ * deterministic socket-level faults per request: disconnect after a
+ * strict prefix of the frame (then reconnect and retry), slow-loris
+ * dribble writes, and sealed-length garbage floods that must each be
+ * answered kBadFrame with the connection intact. In-process runs map
+ * the disconnect fault to "response lost after the server served it"
+ * — the sharpest exactly-once probe there is.
+ *
+ * Deterministic stream mode (--stream-chunks N [--stream-skip K])
+ * replaces the mixed workload with fixed 64-element session chunks —
+ * the kill-and-restart acceptance: phase 1 feeds chunks [0, K), the
+ * server is kill -9ed and restarted on the same --session-store, and
+ * phase 2 (--stream-skip K) feeds chunks [K, N) and validates the
+ * stitched tail bit-identically against the serial oracle over the
+ * WHOLE stream, then replays the final chunk to prove exactly-once.
  */
 
 #include <sys/socket.h>
@@ -29,6 +51,7 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,7 +61,9 @@
 #include "kernels/stream_state.h"
 #include "server/error.h"
 #include "server/server.h"
+#include "server/transport.h"
 #include "server/wire.h"
+#include "testing/chaos.h"
 #include "testing/corpus.h"
 #include "util/cli.h"
 #include "util/compare.h"
@@ -58,22 +83,57 @@ namespace pk = plr::kernels;
 namespace pt = plr::testing;
 
 // ------------------------------------------------------------------
-// Transport: in-process or length-prefixed frames over AF_UNIX.
+// Transport: in-process or length-prefixed frames over AF_UNIX, with
+// seed-deterministic fault injection on the send side.
 
 class Transport {
   public:
     virtual ~Transport() = default;
-    virtual ResponseFrame roundtrip(const RequestFrame& request) = 0;
+
+    /**
+     * Send one request, injecting @p fault (shaped by @p plan and
+     * @p chaos_index). Returns nullopt when the fault ate the
+     * response — the caller retries with the same request id. Throws
+     * on chaos-contract violations (a garbage frame answered anything
+     * but kBadFrame) and unrecoverable transport failures.
+     */
+    virtual std::optional<ResponseFrame> roundtrip(
+        const RequestFrame& request, pt::ChaosFault fault,
+        std::uint64_t chaos_index, const pt::ChaosPlan* plan) = 0;
 };
+
+/** Require a garbage frame's typed rejection. */
+void
+require_bad_frame(const ResponseFrame& response)
+{
+    PLR_REQUIRE(response.status == status_of(ServerErrorKind::kBadFrame),
+                "chaos violation: garbage frame answered status "
+                    << response.status << " instead of kBadFrame");
+}
 
 class InProcessTransport : public Transport {
   public:
     explicit InProcessTransport(Server& server) : server_(server) {}
 
-    ResponseFrame
-    roundtrip(const RequestFrame& request) override
+    std::optional<ResponseFrame>
+    roundtrip(const RequestFrame& request, pt::ChaosFault fault,
+              std::uint64_t chaos_index, const pt::ChaosPlan* plan) override
     {
-        return server_.submit(request);
+        if (fault == pt::ChaosFault::kGarbageFlood && plan) {
+            const auto floods = plan->flood_count(chaos_index);
+            for (std::size_t i = 0; i < floods; ++i) {
+                const auto garbage =
+                    plan->garbage_frame(chaos_index + i * 0x10001u);
+                require_bad_frame(parse_response(server_.handle(garbage)));
+            }
+        }
+        auto response = server_.submit(request);
+        // In-process "disconnect": the server served the request but
+        // the response never reached the client — the retry must hit
+        // the replay cache, not recompute.
+        if (fault == pt::ChaosFault::kDisconnectMidFrame)
+            return std::nullopt;
+        return response;
     }
 
   private:
@@ -82,18 +142,9 @@ class InProcessTransport : public Transport {
 
 class SocketTransport : public Transport {
   public:
-    explicit SocketTransport(const std::string& path)
+    explicit SocketTransport(std::string path) : path_(std::move(path))
     {
-        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        PLR_REQUIRE(fd_ >= 0, "socket() failed: " << strerror(errno));
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        PLR_REQUIRE(path.size() < sizeof(addr.sun_path),
-                    "socket path too long: " << path);
-        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-        PLR_REQUIRE(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                              sizeof(addr)) == 0,
-                    "connect(" << path << ") failed: " << strerror(errno));
+        connect_now();
     }
 
     ~SocketTransport() override
@@ -102,62 +153,108 @@ class SocketTransport : public Transport {
             ::close(fd_);
     }
 
-    ResponseFrame
-    roundtrip(const RequestFrame& request) override
+    std::optional<ResponseFrame>
+    roundtrip(const RequestFrame& request, pt::ChaosFault fault,
+              std::uint64_t chaos_index, const pt::ChaosPlan* plan) override
     {
-        const auto bytes = encode_request(request);
-        const auto len = static_cast<std::uint32_t>(bytes.size());
-        const std::uint8_t len_bytes[4] = {
-            static_cast<std::uint8_t>(len & 0xff),
-            static_cast<std::uint8_t>((len >> 8) & 0xff),
-            static_cast<std::uint8_t>((len >> 16) & 0xff),
-            static_cast<std::uint8_t>((len >> 24) & 0xff),
-        };
-        PLR_REQUIRE(write_all(len_bytes, 4) &&
-                        write_all(bytes.data(), bytes.size()),
-                    "socket write failed");
-        std::uint8_t rlen_bytes[4];
-        PLR_REQUIRE(read_all(rlen_bytes, 4), "socket read failed (EOF?)");
-        const std::uint32_t rlen =
-            static_cast<std::uint32_t>(rlen_bytes[0]) |
-            (static_cast<std::uint32_t>(rlen_bytes[1]) << 8) |
-            (static_cast<std::uint32_t>(rlen_bytes[2]) << 16) |
-            (static_cast<std::uint32_t>(rlen_bytes[3]) << 24);
-        PLR_REQUIRE(rlen > 0 && rlen <= (1u << 27), "bad response length");
-        std::vector<std::uint8_t> frame(rlen);
-        PLR_REQUIRE(read_all(frame.data(), rlen), "socket read failed");
-        return parse_response(frame);
+        if (fd_ < 0)
+            connect_now();
+
+        if (fault == pt::ChaosFault::kGarbageFlood && plan) {
+            const auto floods = plan->flood_count(chaos_index);
+            for (std::size_t i = 0; i < floods; ++i) {
+                const auto garbage =
+                    plan->garbage_frame(chaos_index + i * 0x10001u);
+                write_frame(fd_, garbage);
+                require_bad_frame(read_response());
+            }
+        }
+
+        const auto frame = encode_request(request);
+        if (fault == pt::ChaosFault::kDisconnectMidFrame && plan) {
+            // Cut the connection after a strict prefix of the wire
+            // bytes (length prefix included): the server never sees a
+            // complete frame, drops this connection with a typed
+            // truncation, and the retry goes over a fresh one.
+            const auto wire = wire_bytes(frame);
+            const auto cut = plan->cut_point(chaos_index, wire.size());
+            write_raw(wire.data(), cut);
+            ::close(fd_);
+            fd_ = -1;
+            return std::nullopt;
+        }
+        if (fault == pt::ChaosFault::kSlowLoris && plan) {
+            // Same bytes, dribbled: the server's framing must survive
+            // a short read at every offset.
+            const auto wire = wire_bytes(frame);
+            std::size_t off = 0;
+            for (const auto take :
+                 plan->loris_chunks(chaos_index, wire.size())) {
+                write_raw(wire.data() + off, take);
+                off += take;
+            }
+        } else {
+            write_frame(fd_, frame);
+        }
+        return read_response();
     }
 
   private:
-    bool
-    read_all(void* buf, std::size_t n)
+    void
+    connect_now()
     {
-        auto* p = static_cast<std::uint8_t*>(buf);
-        while (n > 0) {
-            const ssize_t got = ::read(fd_, p, n);
-            if (got <= 0)
-                return false;
-            p += got;
-            n -= static_cast<std::size_t>(got);
-        }
-        return true;
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PLR_REQUIRE(fd_ >= 0, "socket() failed: " << strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PLR_REQUIRE(path_.size() < sizeof(addr.sun_path),
+                    "socket path too long: " << path_);
+        std::strncpy(addr.sun_path, path_.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        PLR_REQUIRE(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)) == 0,
+                    "connect(" << path_ << ") failed: " << strerror(errno));
     }
 
-    bool
-    write_all(const void* buf, std::size_t n)
+    /** Length prefix + frame, as one buffer chaos can slice. */
+    static std::vector<std::uint8_t>
+    wire_bytes(const std::vector<std::uint8_t>& frame)
     {
-        const auto* p = static_cast<const std::uint8_t*>(buf);
+        const auto len = static_cast<std::uint32_t>(frame.size());
+        std::vector<std::uint8_t> wire;
+        wire.reserve(4 + frame.size());
+        wire.push_back(static_cast<std::uint8_t>(len & 0xff));
+        wire.push_back(static_cast<std::uint8_t>((len >> 8) & 0xff));
+        wire.push_back(static_cast<std::uint8_t>((len >> 16) & 0xff));
+        wire.push_back(static_cast<std::uint8_t>((len >> 24) & 0xff));
+        wire.insert(wire.end(), frame.begin(), frame.end());
+        return wire;
+    }
+
+    void
+    write_raw(const std::uint8_t* p, std::size_t n)
+    {
         while (n > 0) {
             const ssize_t put = ::write(fd_, p, n);
-            if (put <= 0)
-                return false;
+            if (put < 0 && errno == EINTR)
+                continue;
+            PLR_REQUIRE(put > 0,
+                        "socket write failed: " << strerror(errno));
             p += put;
             n -= static_cast<std::size_t>(put);
         }
-        return true;
     }
 
+    ResponseFrame
+    read_response()
+    {
+        auto bytes = read_frame(fd_);
+        PLR_REQUIRE(bytes.has_value(),
+                    "server closed the connection mid-conversation");
+        return parse_response(*bytes);
+    }
+
+    std::string path_;
     int fd_ = -1;
 };
 
@@ -181,10 +278,22 @@ sig_text(const Signature& sig)
     return os.str();
 }
 
+struct ClientOptions {
+    std::uint32_t deadline_ms = 0;
+    bool idempotent = true;
+    const pt::ChaosPlan* plan = nullptr;
+    pt::RetryPolicy retry;
+    std::uint64_t seed = 0;
+};
+
 struct TenantResult {
     std::uint64_t requests = 0;
     std::uint64_t wrong = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t deadline_miss = 0;
+    std::uint64_t faults = 0;
     std::vector<double> latencies_us;
     std::string first_error;
 };
@@ -197,14 +306,90 @@ note_error(TenantResult& result, const std::string& what)
         result.first_error = what;
 }
 
+/**
+ * Send @p frame with the full client policy: idempotency flag,
+ * deadline, chaos fault on the first attempt only, and retries (same
+ * request id) with backoff honoring the server's kRetryAfter hint.
+ * Returns nullopt when every attempt was eaten or backpressured —
+ * which with @p require_answer set is upgraded to an error, because
+ * giving up on a session chunk that MIGHT have committed would let
+ * the client and server carries diverge silently.
+ */
+std::optional<ResponseFrame>
+send_with_retries(Transport& transport, RequestFrame frame,
+                  const ClientOptions& options, std::uint64_t chaos_index,
+                  bool require_answer, TenantResult& result)
+{
+    frame.deadline_ms = options.deadline_ms;
+    if (options.idempotent)
+        frame.flags |= kRequestFlagIdempotent;
+
+    const std::size_t max_attempts =
+        require_answer ? std::max<std::size_t>(options.retry.max_attempts,
+                                               100)
+                       : options.retry.max_attempts;
+    std::optional<ResponseFrame> last;
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        // Faults hit the first attempt only: the retry path itself is
+        // what chaos is probing, and a clean retry makes every trial
+        // terminate.
+        const auto fault = (attempt == 1 && options.plan)
+                               ? options.plan->fault_for(chaos_index)
+                               : pt::ChaosFault::kNone;
+        if (fault != pt::ChaosFault::kNone)
+            ++result.faults;
+
+        const auto start = std::chrono::steady_clock::now();
+        const auto response =
+            transport.roundtrip(frame, fault, chaos_index, options.plan);
+        const auto stop = std::chrono::steady_clock::now();
+        ++result.requests;
+
+        std::uint64_t hint_ms = 0;
+        if (response) {
+            result.latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(stop - start)
+                    .count());
+            if (response->flags & kResponseFlagReplayed)
+                ++result.replayed;
+            if (response->status ==
+                status_of(ServerErrorKind::kDeadlineExceeded))
+                ++result.deadline_miss;
+            if (!pt::retryable_status(response->status))
+                return response;
+            last = response;
+            hint_ms = response->retry_after_ms;
+        }
+        if (attempt == max_attempts)
+            break;
+        ++result.retries;
+        const auto delay = pt::backoff_ms(
+            options.retry, attempt, options.seed ^ chaos_index, hint_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    // Out of attempts: hand back the last typed rejection (or nullopt
+    // when every attempt was eaten mid-frame).
+    if (require_answer)
+        note_error(result,
+                   "gave up on request " + std::to_string(frame.request_id) +
+                       " after " + std::to_string(max_attempts) +
+                       " attempts");
+    return last;
+}
+
 /** One tenant: mixed stateless requests plus one chunked session. */
 void
 run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
            std::size_t requests, std::size_t max_n,
-           const std::vector<pt::CorpusEntry>& corpus, TenantResult& result)
+           const std::vector<pt::CorpusEntry>& corpus,
+           const ClientOptions& options, TenantResult& result)
 {
     Rng rng(seed * 0x9E37u + tenant);
     std::uint64_t next_id = 1;
+    std::uint64_t chaos_counter = 0;
+    const auto next_chaos = [&] {
+        return (tenant << 20) | chaos_counter++;
+    };
 
     // The session stream: an integer IIR chunked across the whole run,
     // stitched and compared against the one-shot serial answer at the
@@ -214,16 +399,6 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
         pt::conformance_input_int(64 * requests, seed * 131 + tenant);
     std::vector<std::int32_t> stitched;
     std::size_t stream_pos = 0;
-
-    const auto submit_timed = [&](const RequestFrame& frame) {
-        const auto start = std::chrono::steady_clock::now();
-        const auto response = transport.roundtrip(frame);
-        const auto stop = std::chrono::steady_clock::now();
-        result.latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(stop - start).count());
-        ++result.requests;
-        return response;
-    };
 
     for (std::size_t r = 0; r < requests; ++r) {
         // Stateless request from the Table-1 mix.
@@ -255,17 +430,18 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
                 frame.payload.push_back(pk::value_bits(v));
         }
 
-        const auto response = submit_timed(frame);
-        if (response.status == status_of(ServerErrorKind::kOverloaded)) {
-            ++result.rejected;  // backpressure is a legal answer
-        } else if (response.status != kStatusOk) {
+        const auto response = send_with_retries(
+            transport, frame, options, next_chaos(), false, result);
+        if (!response || pt::retryable_status(response->status)) {
+            ++result.rejected;  // backpressure / lost: a legal outcome
+        } else if (response->status != kStatusOk) {
             note_error(result, entry.name + ": unexpected status " +
-                                   std::to_string(response.status));
-        } else if (response.payload.size() != n) {
+                                   std::to_string(response->status));
+        } else if (response->payload.size() != n) {
             note_error(result, entry.name + ": short payload");
         } else if (entry.domain == pk::Domain::kInt) {
             std::vector<std::int32_t> actual;
-            for (const auto w : response.payload)
+            for (const auto w : response->payload)
                 actual.push_back(pk::bits_value<std::int32_t>(w));
             const auto expected =
                 pk::serial_recurrence<IntRing>(entry.sig, int_input);
@@ -274,7 +450,7 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
                 note_error(result, entry.name + ": " + check.describe());
         } else {
             std::vector<float> actual;
-            for (const auto w : response.payload)
+            for (const auto w : response->payload)
                 actual.push_back(pk::bits_value<float>(w));
             const auto expected =
                 entry.domain == pk::Domain::kTropical
@@ -288,7 +464,9 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
                 note_error(result, entry.name + ": " + check.describe());
         }
 
-        // Session chunk (sometimes empty — a keep-alive).
+        // Session chunk (sometimes empty — a keep-alive). A chunk the
+        // server might have committed must get a definitive answer —
+        // see send_with_retries.
         const auto chunk_len = std::min<std::size_t>(
             static_cast<std::size_t>(rng.uniform_int(0, 64)),
             stream.size() - stream_pos);
@@ -300,16 +478,20 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
         chunk.signature_text = sig_text(session_sig);
         for (std::size_t i = 0; i < chunk_len; ++i)
             chunk.payload.push_back(pk::value_bits(stream[stream_pos + i]));
-        const auto sresp = submit_timed(chunk);
-        if (sresp.status == status_of(ServerErrorKind::kOverloaded)) {
+        const auto sresp = send_with_retries(transport, chunk, options,
+                                             next_chaos(), true, result);
+        if (!sresp) {
+            // Already counted as an error by send_with_retries.
+        } else if (pt::retryable_status(sresp->status)) {
             ++result.rejected;
-            // The chunk was not consumed; the stream simply pauses here.
-        } else if (sresp.status != kStatusOk ||
-                   sresp.payload.size() != chunk_len) {
+            // The chunk was not consumed; the stream simply pauses
+            // here. (Admission-time rejections commit nothing.)
+        } else if (sresp->status != kStatusOk ||
+                   sresp->payload.size() != chunk_len) {
             note_error(result, "session chunk: status " +
-                                   std::to_string(sresp.status));
+                                   std::to_string(sresp->status));
         } else {
-            for (const auto w : sresp.payload)
+            for (const auto w : sresp->payload)
                 stitched.push_back(pk::bits_value<std::int32_t>(w));
             stream_pos += chunk_len;
         }
@@ -323,14 +505,104 @@ run_tenant(Transport& transport, std::uint64_t tenant, std::uint64_t seed,
         note_error(result, "session stream diverged: " + check.describe());
 }
 
+/**
+ * Deterministic stream mode: fixed 64-element chunks [skip, skip +
+ * chunks) of a stream whose prefix [0, skip) a PREVIOUS run (before a
+ * server kill -9 and restart) already fed. Chunk c always carries
+ * request id kStreamIdBase + c, so a retried chunk is the same
+ * idempotency key in every phase of the acceptance.
+ */
+constexpr std::uint64_t kStreamIdBase = 0x53540000ull;  // "ST"
+
+void
+run_stream_tenant(Transport& transport, std::uint64_t tenant,
+                  std::uint64_t seed, std::size_t chunks, std::size_t skip,
+                  const ClientOptions& options, TenantResult& result)
+{
+    constexpr std::size_t kChunk = 64;
+    const auto session_sig = Signature::parse("(1 : 2, -1)");
+    const auto total = skip + chunks;
+    const auto stream =
+        pt::conformance_input_int(kChunk * total, seed * 131 + tenant);
+
+    std::vector<std::int32_t> stitched;
+    RequestFrame last_chunk;
+    std::vector<std::uint32_t> last_output;
+    for (std::size_t c = skip; c < total; ++c) {
+        RequestFrame chunk;
+        chunk.request_id = kStreamIdBase + c;
+        chunk.tenant = tenant;
+        chunk.session = 1;
+        chunk.domain = pk::Domain::kInt;
+        chunk.signature_text = sig_text(session_sig);
+        for (std::size_t i = 0; i < kChunk; ++i)
+            chunk.payload.push_back(
+                pk::value_bits(stream[c * kChunk + i]));
+        const auto response = send_with_retries(transport, chunk, options,
+                                                (tenant << 20) | c, true,
+                                                result);
+        if (!response)
+            return;
+        if (response->status != kStatusOk ||
+            response->payload.size() != kChunk) {
+            note_error(result, "stream chunk " + std::to_string(c) +
+                                   ": status " +
+                                   std::to_string(response->status));
+            return;
+        }
+        for (const auto w : response->payload)
+            stitched.push_back(pk::bits_value<std::int32_t>(w));
+        last_chunk = chunk;
+        last_output = response->payload;
+    }
+
+    // The stitched tail must match the serial answer over the WHOLE
+    // stream — including the prefix a previous run (and a previous
+    // server process) fed. Bit-identical resume or bust.
+    const auto expected = pk::serial_recurrence<IntRing>(
+        session_sig,
+        std::span<const std::int32_t>(stream.data(), total * kChunk));
+    const std::vector<std::int32_t> expected_tail(
+        expected.begin() +
+            static_cast<std::ptrdiff_t>(skip * kChunk),
+        expected.end());
+    const auto check = plr::validate_exact(expected_tail, stitched);
+    if (!check.ok) {
+        note_error(result,
+                   "stream resume diverged: " + check.describe());
+        return;
+    }
+
+    // Exactly-once probe: resend the final chunk under its original
+    // idempotency key. The answer must be the sealed original —
+    // flagged replayed, bit-identical payload — not a recomputation
+    // (which would double-advance the carry and poison the session).
+    if (chunks > 0 && options.idempotent) {
+        const auto replay = send_with_retries(
+            transport, last_chunk, options, (tenant << 20) | total, true,
+            result);
+        if (!replay || replay->status != kStatusOk ||
+            !(replay->flags & kResponseFlagReplayed) ||
+            replay->payload != last_output)
+            note_error(result,
+                       "exactly-once probe failed: retried chunk was not "
+                       "replayed bit-identically");
+    }
+}
+
 int
 usage()
 {
     std::cerr
         << "usage: plr_loadgen [--socket PATH] [--tenants N] [--requests R]\n"
-        << "                   [--max-n E] [--seed S] [--no-batching]\n"
-        << "                   [--queue-depth D] [--tenant-cap C]\n"
-        << "                   [--backend cpu|gpusim] [--fault-seed F]\n";
+        << "                   [--max-n E] [--seed S] [--deadline-ms MS]\n"
+        << "                   [--chaos-seed S] [--fault-percent P]\n"
+        << "                   [--retries A] [--no-idempotent]\n"
+        << "                   [--stream-chunks N] [--stream-skip K]\n"
+        << "                   [--no-batching] [--queue-depth D]\n"
+        << "                   [--tenant-cap C] [--backend cpu|gpusim]\n"
+        << "                   [--fault-seed F] [--spin-watchdog W]\n"
+        << "                   [--session-store DIR] [--replay-capacity R]\n";
     return 2;
 }
 
@@ -352,6 +624,29 @@ main(int argc, char** argv)
             static_cast<std::size_t>(args.get_int("max-n", 512));
         const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
         const std::string socket_path = args.get("socket", "");
+        const auto stream_chunks =
+            static_cast<std::size_t>(args.get_int("stream-chunks", 0));
+        const auto stream_skip =
+            static_cast<std::size_t>(args.get_int("stream-skip", 0));
+
+        ClientOptions options;
+        options.deadline_ms =
+            static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
+        options.idempotent = !args.get_bool("no-idempotent", false);
+        options.retry.max_attempts =
+            static_cast<std::size_t>(args.get_int("retries", 6));
+        options.seed = seed;
+        const auto chaos_seed =
+            static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+        pt::ChaosPlan plan;
+        if (chaos_seed != 0) {
+            plan = pt::make_chaos_plan(
+                chaos_seed,
+                static_cast<double>(args.get_int("fault-percent", 10)) /
+                    100.0);
+            options.plan = &plan;
+        }
+
         const auto corpus = pt::table1_corpus();
 
         // In-process mode owns a server; socket mode talks to plr_server.
@@ -365,6 +660,13 @@ main(int argc, char** argv)
             config.batching = !args.get_bool("no-batching", false);
             config.fault_seed =
                 static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+            config.spin_watchdog = static_cast<std::uint64_t>(
+                args.get_int("spin-watchdog", 0));
+            config.replay_cache_capacity = static_cast<std::size_t>(
+                args.get_int("replay-capacity",
+                             static_cast<long>(
+                                 config.replay_cache_capacity)));
+            config.session_store_dir = args.get("session-store", "");
             if (args.get("backend", "cpu") == "gpusim")
                 config.backend = ServerBackend::kGpusim;
             server = std::make_unique<Server>(config);
@@ -383,8 +685,13 @@ main(int argc, char** argv)
                     else
                         transport =
                             std::make_unique<SocketTransport>(socket_path);
-                    run_tenant(*transport, t + 1, seed, requests, max_n,
-                               corpus, results[t]);
+                    if (stream_chunks > 0)
+                        run_stream_tenant(*transport, t + 1, seed,
+                                          stream_chunks, stream_skip,
+                                          options, results[t]);
+                    else
+                        run_tenant(*transport, t + 1, seed, requests, max_n,
+                                   corpus, options, results[t]);
                 } catch (const std::exception& e) {
                     note_error(results[t], e.what());
                 }
@@ -395,12 +702,17 @@ main(int argc, char** argv)
         const double seconds =
             std::chrono::duration<double>(t1 - t0).count();
 
-        std::uint64_t total = 0, wrong = 0, rejected = 0;
+        std::uint64_t total = 0, wrong = 0, rejected = 0, retries = 0;
+        std::uint64_t replayed = 0, deadline_miss = 0, faults = 0;
         std::vector<double> latencies;
         for (const auto& result : results) {
             total += result.requests;
             wrong += result.wrong;
             rejected += result.rejected;
+            retries += result.retries;
+            replayed += result.replayed;
+            deadline_miss += result.deadline_miss;
+            faults += result.faults;
             latencies.insert(latencies.end(), result.latencies_us.begin(),
                              result.latencies_us.end());
             if (!result.first_error.empty())
@@ -421,8 +733,11 @@ main(int argc, char** argv)
                   << " req/s)\n"
                   << "  latency p50 " << pct(0.50) << " us, p99 "
                   << pct(0.99) << " us\n"
-                  << "  rejected (backpressure) " << rejected << ", wrong "
-                  << wrong << "\n";
+                  << "  rejected (backpressure) " << rejected
+                  << ", deadline misses " << deadline_miss << ", wrong "
+                  << wrong << "\n"
+                  << "  faults injected " << faults << ", retries "
+                  << retries << ", replayed " << replayed << "\n";
         if (wrong != 0) {
             std::cerr << "plr_loadgen: FAILED — " << wrong
                       << " wrong or unexpected answers\n";

@@ -3,22 +3,25 @@
  * Recurrence-as-a-service over a local socket (docs/SERVER.md): binds
  * an AF_UNIX stream socket and serves length-prefixed wire frames
  * (server/wire.h) through the in-process Server — plan cache, batching
- * coalescer, admission control and all. Pair with examples/plr_loadgen
- * for an end-to-end multi-tenant load test:
+ * coalescer, admission control, deadlines, idempotent replay, durable
+ * sessions and all. Pair with examples/plr_loadgen for an end-to-end
+ * multi-tenant load test:
  *
  *   ./plr_server --socket /tmp/plr.sock --serve-connections 64 &
  *   ./plr_loadgen --socket /tmp/plr.sock --tenants 64
  *
- * Transport framing: each frame is a little-endian u32 byte length
- * followed by that many frame bytes, both directions. Anything else —
- * oversized lengths, torn frames, sealed-but-damaged bodies — is
- * answered with a typed kBadFrame response or a dropped connection,
- * never a crash.
+ * Transport framing lives in server/transport.h: short reads/writes
+ * and EINTR are looped, a torn or oversized length prefix drops only
+ * that connection with a typed FrameError, and a garbage frame with
+ * an honest length is answered kBadFrame with the connection intact.
  *
  * Flags: --socket PATH, --serve-connections N (exit 0 after N client
  * connections have closed; 0 = serve forever), --queue-depth,
  * --tenant-cap, --plan-cache, --max-batch, --no-batching, --threads,
- * --backend cpu|gpusim, --fault-seed.
+ * --backend cpu|gpusim, --fault-seed, --spin-watchdog,
+ * --deadline-ms (server-side default deadline), --replay-capacity,
+ * --session-store DIR (durable crash-recoverable sessions). The
+ * PLR_SERVER_* environment knobs (util/env.h) overlay the flags.
  */
 
 #include <sys/socket.h>
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "server/server.h"
+#include "server/transport.h"
 #include "server/wire.h"
 #include "util/cli.h"
 #include "util/diag.h"
@@ -42,71 +46,6 @@ namespace {
 
 using namespace plr::server;
 
-/** Transport sanity bound: a frame longer than this is a bad client. */
-constexpr std::uint32_t kMaxFrameBytes = 1u << 27;  // 128 MiB
-
-bool
-read_all(int fd, void* buf, std::size_t len)
-{
-    auto* p = static_cast<std::uint8_t*>(buf);
-    while (len > 0) {
-        const ssize_t got = ::read(fd, p, len);
-        if (got <= 0)
-            return false;  // EOF or error: the connection is done
-        p += got;
-        len -= static_cast<std::size_t>(got);
-    }
-    return true;
-}
-
-bool
-write_all(int fd, const void* buf, std::size_t len)
-{
-    const auto* p = static_cast<const std::uint8_t*>(buf);
-    while (len > 0) {
-        const ssize_t put = ::write(fd, p, len);
-        if (put <= 0)
-            return false;
-        p += put;
-        len -= static_cast<std::size_t>(put);
-    }
-    return true;
-}
-
-/** One client connection: length-prefixed frames until EOF. */
-void
-serve_connection(Server& server, int fd)
-{
-    for (;;) {
-        std::uint8_t len_bytes[4];
-        if (!read_all(fd, len_bytes, 4))
-            break;
-        const std::uint32_t len =
-            static_cast<std::uint32_t>(len_bytes[0]) |
-            (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
-            (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
-            (static_cast<std::uint32_t>(len_bytes[3]) << 24);
-        if (len == 0 || len > kMaxFrameBytes)
-            break;  // not a frame; drop the connection
-        std::vector<std::uint8_t> frame(len);
-        if (!read_all(fd, frame.data(), len))
-            break;
-        const auto response = server.handle(frame);
-        const std::uint32_t rlen =
-            static_cast<std::uint32_t>(response.size());
-        const std::uint8_t rlen_bytes[4] = {
-            static_cast<std::uint8_t>(rlen & 0xff),
-            static_cast<std::uint8_t>((rlen >> 8) & 0xff),
-            static_cast<std::uint8_t>((rlen >> 16) & 0xff),
-            static_cast<std::uint8_t>((rlen >> 24) & 0xff),
-        };
-        if (!write_all(fd, rlen_bytes, 4) ||
-            !write_all(fd, response.data(), response.size()))
-            break;
-    }
-    ::close(fd);
-}
-
 int
 usage()
 {
@@ -114,7 +53,10 @@ usage()
               << "                  [--queue-depth D] [--tenant-cap C]\n"
               << "                  [--plan-cache P] [--max-batch B]\n"
               << "                  [--no-batching] [--threads T]\n"
-              << "                  [--backend cpu|gpusim] [--fault-seed S]\n";
+              << "                  [--backend cpu|gpusim] [--fault-seed S]\n"
+              << "                  [--spin-watchdog W] [--deadline-ms MS]\n"
+              << "                  [--replay-capacity R]\n"
+              << "                  [--session-store DIR]\n";
     return 2;
 }
 
@@ -141,6 +83,14 @@ main(int argc, char** argv)
         config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
         config.fault_seed =
             static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+        config.spin_watchdog =
+            static_cast<std::uint64_t>(args.get_int("spin-watchdog", 0));
+        config.default_deadline_ms =
+            static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
+        config.replay_cache_capacity = static_cast<std::size_t>(
+            args.get_int("replay-capacity",
+                         static_cast<long>(config.replay_cache_capacity)));
+        config.session_store_dir = args.get("session-store", "");
         const std::string backend = args.get("backend", "cpu");
         if (backend == "gpusim") {
             config.backend = ServerBackend::kGpusim;
@@ -148,6 +98,9 @@ main(int argc, char** argv)
             std::cerr << "unknown --backend " << backend << "\n";
             return usage();
         }
+        // Environment knobs overlay the flags (validated; malformed
+        // values are fatal with the knob named).
+        config = server_config_from_env(config);
 
         const std::string path = args.get("socket", "/tmp/plr_server.sock");
         const auto serve_connections =
@@ -173,20 +126,27 @@ main(int argc, char** argv)
                           ? " for " + std::to_string(serve_connections) +
                                 " connections"
                           : "")
+                  << (config.session_store_dir.empty()
+                          ? ""
+                          : " (session store " + config.session_store_dir +
+                                ")")
                   << "\n"
                   << std::flush;
 
         std::vector<std::thread> workers;
-        std::atomic<std::uint64_t> closed{0};
+        std::atomic<std::uint64_t> dirty_disconnects{0};
         std::uint64_t accepted = 0;
         while (serve_connections == 0 || accepted < serve_connections) {
             const int fd = ::accept(listener, nullptr, nullptr);
             if (fd < 0)
                 break;
             ++accepted;
-            workers.emplace_back([&server, &closed, fd] {
-                serve_connection(server, fd);
-                ++closed;
+            workers.emplace_back([&server, &dirty_disconnects, fd] {
+                const ConnectionSummary summary =
+                    serve_connection(server, fd);
+                if (!summary.clean_eof)
+                    ++dirty_disconnects;
+                ::close(fd);
             });
         }
         for (auto& w : workers)
@@ -204,7 +164,12 @@ main(int argc, char** argv)
                   << stats.rejected_overloaded << " overloaded, "
                   << stats.rejected_bad_frame << " bad-frame, "
                   << stats.rejected_plan << " plan, "
-                  << stats.rejected_session << " session\n";
+                  << stats.rejected_session << " session, "
+                  << stats.rejected_deadline << " deadline, "
+                  << stats.rejected_corrupt << " corrupt; replayed "
+                  << stats.replayed << ", resumed sessions "
+                  << stats.sessions_resumed << ", dirty disconnects "
+                  << dirty_disconnects.load() << "\n";
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "plr_server: " << e.what() << "\n";

@@ -32,6 +32,16 @@ enum class ServerErrorKind {
     kLaunchFailed,
     /** The server is draining; no new work is accepted. */
     kShutdown,
+    /** The request's deadline passed before (or while) it could be
+        served; no work was committed on its behalf. */
+    kDeadlineExceeded,
+    /** Backpressure with a hint: retry after the response's
+        retry_after_ms. Only sent to wire-v2 clients (v1 clients get
+        kOverloaded, which carries no hint field). */
+    kRetryAfter,
+    /** A durable session record exists but failed its seal or shape
+        validation; the stream cannot be resumed safely. */
+    kSessionCorrupt,
 };
 
 /** Stable lowercase name ("overloaded", "bad-frame", ...). */

@@ -1,12 +1,15 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <list>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
@@ -17,6 +20,8 @@
 #include "kernels/stream.h"
 #include "kernels/stream_state.h"
 #include "server/error.h"
+#include "server/session_store.h"
+#include "util/env.h"
 #include "util/ring.h"
 
 namespace plr::server {
@@ -27,6 +32,7 @@ ResponseFrame
 error_response(const RequestFrame& frame, ServerErrorKind kind)
 {
     ResponseFrame r;
+    r.wire_version = frame.wire_version;
     r.request_id = frame.request_id;
     r.tenant = frame.tenant;
     r.status = status_of(kind);
@@ -45,8 +51,27 @@ to_string(ServerErrorKind kind)
       case ServerErrorKind::kSessionMismatch: return "session-mismatch";
       case ServerErrorKind::kLaunchFailed: return "launch-failed";
       case ServerErrorKind::kShutdown: return "shutdown";
+      case ServerErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+      case ServerErrorKind::kRetryAfter: return "retry-after";
+      case ServerErrorKind::kSessionCorrupt: return "session-corrupt";
     }
     return "unknown";
+}
+
+ServerConfig
+server_config_from_env(ServerConfig base)
+{
+    const std::uint64_t deadline = env::count_or("PLR_SERVER_DEADLINE_MS",
+                                                 base.default_deadline_ms);
+    PLR_REQUIRE(deadline <= UINT32_MAX,
+                "$PLR_SERVER_DEADLINE_MS=" << deadline
+                                           << " does not fit 32 bits");
+    base.default_deadline_ms = static_cast<std::uint32_t>(deadline);
+    base.replay_cache_capacity = static_cast<std::size_t>(env::count_or(
+        "PLR_SERVER_REPLAY_CAPACITY", base.replay_cache_capacity));
+    base.session_store_dir =
+        env::string_or("PLR_SERVER_SESSION_STORE", base.session_store_dir);
+    return base;
 }
 
 /** One admitted request waiting for (or receiving) its response. */
@@ -54,9 +79,14 @@ struct Server::Pending {
     RequestFrame frame;
     std::shared_ptr<const Plan> plan;
     bool cache_hit = false;
+    bool idempotent = false;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline_at;
     /** Only the batcher touches these after admission. */
     bool done = false;
     std::promise<ResponseFrame> promise;
+    /** Shared so a duplicate idempotent submit can join the wait. */
+    std::shared_future<ResponseFrame> result;
 };
 
 /** One (tenant, session) resumable stream. */
@@ -66,26 +96,48 @@ struct Server::Session {
                  std::unique_ptr<kernels::StreamSession<FloatRing>>,
                  std::unique_ptr<kernels::StreamSession<TropicalRing>>>
         stream;
+    /** Last request committed to this stream, for retry replay: a
+        repeat of this id must return this sealed response, never
+        advance the carry twice. */
+    bool has_last = false;
+    std::uint64_t last_request_id = 0;
+    ResponseFrame last_response;
 };
 
 struct Server::Impl {
     explicit Impl(const ServerConfig& c)
         : config(c), cache(c.plan_cache_capacity)
     {
+        if (!config.session_store_dir.empty())
+            store.emplace(config.session_store_dir);
     }
+
+    using IdemKey = std::pair<std::uint64_t, std::uint64_t>;
 
     ServerConfig config;
     PlanCache cache;
+    /** Durable (tenant, session) records; nullopt = memory only. */
+    std::optional<SessionStore> store;
 
     mutable std::mutex mu;
     std::condition_variable cv;
     std::deque<std::shared_ptr<Pending>> queue;
+    /** Payload elements sitting in the queue (deadline admission). */
+    std::size_t queued_elements = 0;
     /** Queued + in-service requests per tenant. */
     std::map<std::uint64_t, std::size_t> inflight;
     std::map<std::pair<std::uint64_t, std::uint64_t>, Session> sessions;
     bool stopping = false;
     bool paused = false;
     std::thread batcher;
+
+    /** Replay cache + in-flight dedup, keyed (tenant, request id).
+        idem_mu nests INSIDE mu (mu -> idem_mu) or stands alone. */
+    std::mutex idem_mu;
+    std::list<std::pair<IdemKey, ResponseFrame>> replay_lru;
+    std::map<IdemKey, std::list<std::pair<IdemKey, ResponseFrame>>::iterator>
+        replay_map;
+    std::map<IdemKey, std::weak_ptr<Pending>> inflight_idem;
 
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> served{0};
@@ -99,6 +151,12 @@ struct Server::Impl {
     std::atomic<std::uint64_t> max_batch_fused{0};
     std::atomic<std::uint64_t> recovered{0};
     std::atomic<std::uint64_t> shutdown_drained{0};
+    std::atomic<std::uint64_t> rejected_deadline{0};
+    std::atomic<std::uint64_t> retry_after_hints{0};
+    std::atomic<std::uint64_t> replayed{0};
+    std::atomic<std::uint64_t> joined_inflight{0};
+    std::atomic<std::uint64_t> sessions_resumed{0};
+    std::atomic<std::uint64_t> rejected_corrupt{0};
 
     ResponseFrame submit(const RequestFrame& frame);
     void batcher_loop();
@@ -106,12 +164,45 @@ struct Server::Impl {
     template <typename Ring>
     void run_group(std::vector<std::shared_ptr<Pending>>& group);
 
-    static void
+    /** Projected queue-drain time, the kRetryAfter hint (mu held). */
+    std::uint32_t
+    drain_hint_ms() const
+    {
+        const std::uint64_t ns =
+            config.admission_ns_per_request * queue.size() +
+            config.admission_ns_per_element * queued_elements;
+        const std::uint64_t ms = ns / 1'000'000ull + 1;
+        return static_cast<std::uint32_t>(std::min<std::uint64_t>(ms, 60'000));
+    }
+
+    void
     finish(Pending& p, ResponseFrame r)
     {
         if (p.done)
             return;
         p.done = true;
+        if (p.idempotent) {
+            std::lock_guard<std::mutex> lock(idem_mu);
+            const IdemKey key{p.frame.tenant, p.frame.request_id};
+            inflight_idem.erase(key);
+            // Only sealed successes replay: a rejected request was
+            // never computed, so its retry must be computed (once).
+            if (r.status == kStatusOk && config.replay_cache_capacity > 0) {
+                auto it = replay_map.find(key);
+                if (it != replay_map.end()) {
+                    it->second->second = r;
+                    replay_lru.splice(replay_lru.begin(), replay_lru,
+                                      it->second);
+                } else {
+                    replay_lru.emplace_front(key, r);
+                    replay_map[key] = replay_lru.begin();
+                    while (replay_lru.size() > config.replay_cache_capacity) {
+                        replay_map.erase(replay_lru.back().first);
+                        replay_lru.pop_back();
+                    }
+                }
+            }
+        }
         p.promise.set_value(std::move(r));
     }
 };
@@ -119,6 +210,41 @@ struct Server::Impl {
 ResponseFrame
 Server::Impl::submit(const RequestFrame& frame)
 {
+    const bool idempotent = (frame.flags & kRequestFlagIdempotent) != 0;
+    const IdemKey key{frame.tenant, frame.request_id};
+
+    // Idempotent retry? Answer from the sealed original BEFORE
+    // planning — replay must work even after the plan cache evicted
+    // the plan (and must never recompute-diverge).
+    if (idempotent) {
+        std::shared_ptr<Pending> original;
+        {
+            std::lock_guard<std::mutex> lock(idem_mu);
+            auto it = replay_map.find(key);
+            if (it != replay_map.end()) {
+                replay_lru.splice(replay_lru.begin(), replay_lru,
+                                  it->second);
+                ResponseFrame r = it->second->second;
+                r.wire_version = frame.wire_version;
+                r.flags |= kResponseFlagReplayed;
+                ++replayed;
+                return r;
+            }
+            auto in = inflight_idem.find(key);
+            if (in != inflight_idem.end())
+                original = in->second.lock();
+        }
+        if (original != nullptr) {
+            // The original is still being served: join its wait so a
+            // racing retry cannot enqueue (and compute) it twice.
+            ++joined_inflight;
+            ResponseFrame r = original->result.get();
+            r.wire_version = frame.wire_version;
+            r.flags |= kResponseFlagReplayed;
+            return r;
+        }
+    }
+
     // Plan before admission: a request that cannot be planned must not
     // occupy a queue slot, and the cache probe is a parse + hash.
     std::shared_ptr<const Plan> plan;
@@ -134,29 +260,64 @@ Server::Impl::submit(const RequestFrame& frame)
     pending->frame = frame;
     pending->plan = std::move(plan);
     pending->cache_hit = cache_hit;
-    auto future = pending->promise.get_future();
+    pending->idempotent = idempotent;
+    pending->result = pending->promise.get_future().share();
+    // Deadlines are a wire-v2 contract; a v1 frame cannot carry one.
+    const std::uint32_t deadline_ms =
+        frame.wire_version >= 2
+            ? (frame.deadline_ms != 0 ? frame.deadline_ms
+                                      : config.default_deadline_ms)
+            : 0;
     {
         std::lock_guard<std::mutex> lock(mu);
         if (stopping) {
             ++shutdown_drained;
             return error_response(frame, ServerErrorKind::kShutdown);
         }
-        if (queue.size() >= config.queue_depth) {
-            ++rejected_overloaded;
-            return error_response(frame, ServerErrorKind::kOverloaded);
-        }
         auto it = inflight.find(frame.tenant);
         const std::size_t current = it == inflight.end() ? 0 : it->second;
-        if (current >= config.tenant_inflight_cap) {
+        if (queue.size() >= config.queue_depth ||
+            current >= config.tenant_inflight_cap) {
+            // Backpressure: v2 clients get a typed retry-after hint,
+            // v1 clients the classic kOverloaded (no hint field).
             ++rejected_overloaded;
+            if (frame.wire_version >= 2) {
+                ++retry_after_hints;
+                ResponseFrame r =
+                    error_response(frame, ServerErrorKind::kRetryAfter);
+                r.retry_after_ms = drain_hint_ms();
+                return r;
+            }
             return error_response(frame, ServerErrorKind::kOverloaded);
+        }
+        if (deadline_ms != 0) {
+            // Reject-on-admission: if the projected queue wait already
+            // blows the deadline, say so now instead of timing out in
+            // the queue after the client gave up.
+            const std::uint64_t projected_ns =
+                config.admission_ns_per_request * (queue.size() + 1) +
+                config.admission_ns_per_element *
+                    (queued_elements + frame.payload.size());
+            if (projected_ns > std::uint64_t{deadline_ms} * 1'000'000ull) {
+                ++rejected_deadline;
+                return error_response(frame,
+                                      ServerErrorKind::kDeadlineExceeded);
+            }
+            pending->has_deadline = true;
+            pending->deadline_at = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(deadline_ms);
         }
         inflight[frame.tenant] = current + 1;
         ++accepted;
+        queued_elements += frame.payload.size();
         queue.push_back(pending);
+        if (idempotent) {
+            std::lock_guard<std::mutex> ilock(idem_mu);
+            inflight_idem[key] = pending;
+        }
     }
     cv.notify_all();
-    return future.get();
+    return pending->result.get();
 }
 
 void
@@ -168,6 +329,28 @@ Server::Impl::batcher_loop()
                 [&] { return stopping || (!paused && !queue.empty()); });
         if (stopping)
             break;
+
+        // Expired-in-queue requests are answered kDeadlineExceeded and
+        // never reach a launch: no work is committed on their behalf,
+        // so a client retry of the same id computes exactly once.
+        const auto now = std::chrono::steady_clock::now();
+        for (auto it = queue.begin(); it != queue.end();) {
+            auto& p = *it;
+            if (p->has_deadline && now >= p->deadline_at) {
+                ++rejected_deadline;
+                queued_elements -= p->frame.payload.size();
+                auto inf = inflight.find(p->frame.tenant);
+                if (inf != inflight.end() && --inf->second == 0)
+                    inflight.erase(inf);
+                finish(*p, error_response(p->frame,
+                                          ServerErrorKind::kDeadlineExceeded));
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (queue.empty())
+            continue;
 
         // One coalescing round: take up to max_batch queued requests
         // sharing the front request's plan, at most one per live
@@ -194,6 +377,7 @@ Server::Impl::batcher_loop()
                 continue;
             }
             key = p->plan->key;
+            queued_elements -= p->frame.payload.size();
             group.push_back(p);
             it = queue.erase(it);
         }
@@ -217,6 +401,7 @@ Server::Impl::batcher_loop()
     while (!queue.empty()) {
         auto p = queue.front();
         queue.pop_front();
+        queued_elements -= p->frame.payload.size();
         ++shutdown_drained;
         auto it = inflight.find(p->frame.tenant);
         if (it != inflight.end() && --it->second == 0)
@@ -263,7 +448,10 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
     const Plan& plan = *group.front()->plan;
 
     // Resolve sessions first: a mismatched session is rejected before
-    // any carry state is touched.
+    // any carry state is touched. A miss with a durable store probes
+    // disk — lazy crash recovery: the first post-restart request for a
+    // session resumes it from its sealed record, and damage of any
+    // kind is a typed kSessionCorrupt, never a wrong resume.
     std::vector<Stream*> streams(group.size(), nullptr);
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -273,6 +461,46 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
                 continue;
             const auto skey = std::make_pair(p.frame.tenant, p.frame.session);
             auto it = sessions.find(skey);
+            if (it == sessions.end() && store.has_value()) {
+                try {
+                    auto rec = store->load(p.frame.tenant, p.frame.session);
+                    if (rec.has_value()) {
+                        const kernels::Checkpoint ckpt =
+                            kernels::parse_checkpoint(rec->checkpoint);
+                        Session s;
+                        s.plan_key = plan.key;
+                        s.stream = std::make_unique<Stream>(
+                            Stream::resume_from(ckpt, plan.sig, nullptr,
+                                                kernels::RunOptions{}));
+                        s.has_last = true;
+                        s.last_request_id = rec->last_request_id;
+                        s.last_response = parse_response(rec->response);
+                        it = sessions.emplace(skey, std::move(s)).first;
+                        ++sessions_resumed;
+                    }
+                } catch (const kernels::CheckpointError& error) {
+                    if (error.kind() ==
+                        kernels::CheckpointErrorKind::kSignatureMismatch) {
+                        // The record is intact but belongs to another
+                        // recurrence: the client switched signatures.
+                        ++rejected_session;
+                        finish(p, error_response(
+                                      p.frame,
+                                      ServerErrorKind::kSessionMismatch));
+                        continue;
+                    }
+                    ++rejected_corrupt;
+                    finish(p, error_response(
+                                  p.frame, ServerErrorKind::kSessionCorrupt));
+                    continue;
+                } catch (const FatalError&) {
+                    // SessionStoreError / FrameError: damaged record.
+                    ++rejected_corrupt;
+                    finish(p, error_response(
+                                  p.frame, ServerErrorKind::kSessionCorrupt));
+                    continue;
+                }
+            }
             if (it == sessions.end()) {
                 Session s;
                 s.plan_key = plan.key;
@@ -285,6 +513,19 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
                 ++rejected_session;
                 finish(p, error_response(
                               p.frame, ServerErrorKind::kSessionMismatch));
+                continue;
+            }
+            // Exactly-once: an idempotent repeat of the last committed
+            // request id replays its sealed response — the carry is
+            // NOT advanced a second time. This is what makes a retry
+            // across a crash (or a lost response) safe.
+            if (p.idempotent && it->second.has_last &&
+                p.frame.request_id == it->second.last_request_id) {
+                ResponseFrame r = it->second.last_response;
+                r.wire_version = p.frame.wire_version;
+                r.flags |= kResponseFlagReplayed;
+                ++replayed;
+                finish(p, std::move(r));
                 continue;
             }
             streams[i] =
@@ -326,6 +567,7 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
                     for (std::size_t j = 0; j < stateless.size(); ++j) {
                         Pending& p = *group[stateless[j]];
                         ResponseFrame r;
+                        r.wire_version = p.frame.wire_version;
                         r.request_id = p.frame.request_id;
                         r.tenant = p.frame.tenant;
                         r.batch =
@@ -361,12 +603,17 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
                 ro.on_failure = config.on_failure;
                 ro.fault_seed = config.fault_seed;
                 ro.verify = config.fault_seed != 0;
+                // Per-launch budget: a hung device burns at most this
+                // many watchdog polls before the typed LaunchError
+                // hands it to the recovery ladder.
+                ro.spin_watchdog = config.spin_watchdog;
                 kernels::RecoveryReport recovery;
                 ro.recovery_out = &recovery;
                 try {
                     const std::vector<V> y =
                         kernels::run_recurrence(plan.sig, input, ro);
                     ResponseFrame r;
+                    r.wire_version = p.frame.wire_version;
                     r.request_id = p.frame.request_id;
                     r.tenant = p.frame.tenant;
                     r.batch = 1;
@@ -444,6 +691,7 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
         if (streams[members[j]] != nullptr)
             streams[members[j]]->advance(in_slice, slice);
         ResponseFrame r;
+        r.wire_version = p.frame.wire_version;
         r.request_id = p.frame.request_id;
         r.tenant = p.frame.tenant;
         r.batch = static_cast<std::uint32_t>(members.size());
@@ -456,6 +704,49 @@ Server::Impl::run_group(std::vector<std::shared_ptr<Pending>>& group)
         r.payload.reserve(slice.size());
         for (V v : slice)
             r.payload.push_back(kernels::value_bits(v));
+        if (streams[members[j]] != nullptr) {
+            // Commit the session: persist carry + response as ONE
+            // sealed record BEFORE answering. A crash on either side
+            // of the save keeps exactly-once: before it, the client
+            // never saw an answer and the old record replays or
+            // recomputes the chunk from the old carry; after it, a
+            // retried id replays the embedded response.
+            if (store.has_value()) {
+                try {
+                    SessionRecord rec;
+                    rec.tenant = p.frame.tenant;
+                    rec.session = p.frame.session;
+                    rec.last_request_id = p.frame.request_id;
+                    rec.checkpoint = kernels::serialize_checkpoint(
+                        streams[members[j]]->checkpoint());
+                    rec.response = encode_response(r);
+                    store->save(rec);
+                } catch (const FatalError&) {
+                    // The carry advanced in memory but is not durable;
+                    // answering success would promise durability we do
+                    // not have. Poison the session (memory and disk)
+                    // and reject typed — the client restarts the
+                    // stream, never resumes silently wrong.
+                    {
+                        std::lock_guard<std::mutex> lock(mu);
+                        sessions.erase(
+                            {p.frame.tenant, p.frame.session});
+                    }
+                    store->erase(p.frame.tenant, p.frame.session);
+                    ++rejected_corrupt;
+                    finish(p, error_response(
+                                  p.frame, ServerErrorKind::kSessionCorrupt));
+                    continue;
+                }
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            auto sit = sessions.find({p.frame.tenant, p.frame.session});
+            if (sit != sessions.end()) {
+                sit->second.has_last = true;
+                sit->second.last_request_id = p.frame.request_id;
+                sit->second.last_response = r;
+            }
+        }
         ++served;
         finish(p, std::move(r));
     }
@@ -486,6 +777,18 @@ Server::handle(std::span<const std::uint8_t> bytes)
     } catch (const FrameError&) {
         ++impl_->rejected_bad_frame;
         ResponseFrame r;
+        // Echo the claimed version when it is one we speak, so an old
+        // client can still parse its own rejection.
+        if (bytes.size() >= 8) {
+            const std::uint32_t claimed =
+                static_cast<std::uint32_t>(bytes[4]) |
+                (static_cast<std::uint32_t>(bytes[5]) << 8) |
+                (static_cast<std::uint32_t>(bytes[6]) << 16) |
+                (static_cast<std::uint32_t>(bytes[7]) << 24);
+            if (claimed >= kWireMinFormatVersion &&
+                claimed <= kWireFormatVersion)
+                r.wire_version = claimed;
+        }
         r.status = status_of(ServerErrorKind::kBadFrame);
         return encode_response(r);
     }
@@ -520,6 +823,12 @@ Server::stats() const
     s.max_batch_fused = impl_->max_batch_fused.load();
     s.recovered = impl_->recovered.load();
     s.shutdown_drained = impl_->shutdown_drained.load();
+    s.rejected_deadline = impl_->rejected_deadline.load();
+    s.retry_after_hints = impl_->retry_after_hints.load();
+    s.replayed = impl_->replayed.load();
+    s.joined_inflight = impl_->joined_inflight.load();
+    s.sessions_resumed = impl_->sessions_resumed.load();
+    s.rejected_corrupt = impl_->rejected_corrupt.load();
     {
         std::lock_guard<std::mutex> lock(impl_->mu);
         s.sessions = impl_->sessions.size();

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "kernels/runner.h"
@@ -74,7 +75,34 @@ struct ServerConfig {
     /** What the recovery ladder does when the GPU launch fails. */
     kernels::FailurePolicy on_failure =
         kernels::FailurePolicy::kDegradeToCpu;
+    /** Deadline applied to wire-v2 requests that carry none
+        (milliseconds; 0 = no server-side default). */
+    std::uint32_t default_deadline_ms = 0;
+    /** Sealed responses kept for idempotent replay (LRU beyond this;
+        0 disables the replay cache). */
+    std::size_t replay_cache_capacity = 1024;
+    /** Directory of durable (tenant, session) records; empty keeps
+        session carries in memory only (lost on crash). */
+    std::string session_store_dir;
+    /** Admission-control cost model: projected per-request dispatch
+        and per-element work, in nanoseconds. A request whose projected
+        queue wait already exceeds its deadline is rejected
+        kDeadlineExceeded at admission instead of timing out inside. */
+    std::uint64_t admission_ns_per_request = 50'000;
+    std::uint64_t admission_ns_per_element = 20;
+    /** Spin-watchdog bound for simulated-GPU launches (polls; 0 =
+        backend default) — the per-launch budget that turns a hung
+        device into a typed LaunchError for the recovery ladder. */
+    std::uint64_t spin_watchdog = 0;
 };
+
+/**
+ * Overlay the PLR_SERVER_* environment knobs onto @p base:
+ * PLR_SERVER_DEADLINE_MS, PLR_SERVER_REPLAY_CAPACITY, and
+ * PLR_SERVER_SESSION_STORE (util/env.h). Malformed values are fatal
+ * with the knob named, never silently ignored.
+ */
+ServerConfig server_config_from_env(ServerConfig base = {});
 
 /** Point-in-time server counters. */
 struct ServerStats {
@@ -93,6 +121,19 @@ struct ServerStats {
     std::uint64_t recovered = 0;
     /** Requests answered kShutdown while draining. */
     std::uint64_t shutdown_drained = 0;
+    /** Requests rejected kDeadlineExceeded (admission or in-queue). */
+    std::uint64_t rejected_deadline = 0;
+    /** Backpressure rejections that carried a kRetryAfter hint. */
+    std::uint64_t retry_after_hints = 0;
+    /** Idempotent retries answered from a sealed original response
+        (replay cache or durable session record), not recomputed. */
+    std::uint64_t replayed = 0;
+    /** Idempotent retries that joined a still-in-flight original. */
+    std::uint64_t joined_inflight = 0;
+    /** Sessions resumed from durable records after a restart. */
+    std::uint64_t sessions_resumed = 0;
+    /** Requests rejected kSessionCorrupt (damaged durable record). */
+    std::uint64_t rejected_corrupt = 0;
     std::size_t sessions = 0;
     PlanCacheStats plan_cache;
 };

@@ -1,0 +1,256 @@
+#include "server/session_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/verify.h"
+
+namespace plr::server {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fixed header bytes before the two variable sections. */
+constexpr std::size_t kRecordHeaderBytes = 40;
+constexpr std::size_t kSealBytes = 4;
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffull));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+get_u32(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint32_t>(bytes[offset]) |
+           (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+std::uint64_t
+get_u64(std::span<const std::uint8_t> bytes, std::size_t offset)
+{
+    return static_cast<std::uint64_t>(get_u32(bytes, offset)) |
+           (static_cast<std::uint64_t>(get_u32(bytes, offset + 4)) << 32);
+}
+
+/** Fletcher-32 over the byte range decoded as little-endian words. */
+std::uint32_t
+seal_over(std::span<const std::uint8_t> bytes)
+{
+    std::vector<std::uint32_t> words(bytes.size() / 4);
+    for (std::size_t w = 0; w < words.size(); ++w)
+        words[w] = get_u32(bytes, w * 4);
+    return kernels::fletcher32(words.data(), words.size());
+}
+
+[[noreturn]] void
+reject(SessionStoreErrorKind kind, const std::string& detail)
+{
+    throw SessionStoreError(kind, std::string("session record ") +
+                                      to_string(kind) + ": " + detail);
+}
+
+}  // namespace
+
+const char*
+to_string(SessionStoreErrorKind kind)
+{
+    switch (kind) {
+      case SessionStoreErrorKind::kIo: return "io";
+      case SessionStoreErrorKind::kBadMagic: return "bad-magic";
+      case SessionStoreErrorKind::kVersionSkew: return "version-skew";
+      case SessionStoreErrorKind::kTruncated: return "truncated";
+      case SessionStoreErrorKind::kMalformed: return "malformed";
+      case SessionStoreErrorKind::kCorrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+serialize_session_record(const SessionRecord& rec)
+{
+    PLR_REQUIRE(rec.checkpoint.size() % 4 == 0,
+                "checkpoint bytes not word-aligned");
+    PLR_REQUIRE(rec.response.size() % 4 == 0,
+                "response bytes not word-aligned");
+    std::vector<std::uint8_t> out;
+    out.reserve(kRecordHeaderBytes + rec.checkpoint.size() +
+                rec.response.size() + kSealBytes);
+    for (char c : kSessionRecordMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    put_u32(out, kSessionRecordVersion);
+    put_u64(out, rec.tenant);
+    put_u64(out, rec.session);
+    put_u64(out, rec.last_request_id);
+    put_u32(out, static_cast<std::uint32_t>(rec.checkpoint.size()));
+    put_u32(out, static_cast<std::uint32_t>(rec.response.size()));
+    out.insert(out.end(), rec.checkpoint.begin(), rec.checkpoint.end());
+    out.insert(out.end(), rec.response.begin(), rec.response.end());
+    put_u32(out, seal_over(out));
+    return out;
+}
+
+SessionRecord
+parse_session_record(std::span<const std::uint8_t> bytes)
+{
+    if (bytes.size() < sizeof(kSessionRecordMagic))
+        reject(SessionStoreErrorKind::kTruncated,
+               "only " + std::to_string(bytes.size()) +
+                   " bytes, shorter than the magic");
+    if (std::memcmp(bytes.data(), kSessionRecordMagic,
+                    sizeof(kSessionRecordMagic)) != 0)
+        reject(SessionStoreErrorKind::kBadMagic,
+               "record does not start with \"PLRD\"");
+    if (bytes.size() < 8)
+        reject(SessionStoreErrorKind::kTruncated,
+               "header ends before the record version");
+    const std::uint32_t version = get_u32(bytes, 4);
+    if (version != kSessionRecordVersion)
+        reject(SessionStoreErrorKind::kVersionSkew,
+               "record version " + std::to_string(version) +
+                   ", this build speaks version " +
+                   std::to_string(kSessionRecordVersion));
+    if (bytes.size() < kRecordHeaderBytes)
+        reject(SessionStoreErrorKind::kTruncated,
+               "header is " + std::to_string(bytes.size()) + " of " +
+                   std::to_string(kRecordHeaderBytes) + " bytes");
+    const std::uint32_t ckpt_len = get_u32(bytes, 32);
+    const std::uint32_t resp_len = get_u32(bytes, 36);
+    if (ckpt_len % 4 != 0 || resp_len % 4 != 0)
+        reject(SessionStoreErrorKind::kMalformed,
+               "section lengths are not word-aligned");
+    const std::size_t expected = kRecordHeaderBytes + std::size_t{ckpt_len} +
+                                 std::size_t{resp_len} + kSealBytes;
+    if (bytes.size() < expected)
+        reject(SessionStoreErrorKind::kTruncated,
+               std::to_string(bytes.size()) + " of " +
+                   std::to_string(expected) + " bytes (torn write?)");
+    if (bytes.size() > expected)
+        reject(SessionStoreErrorKind::kMalformed,
+               std::to_string(bytes.size() - expected) +
+                   " trailing bytes after the seal");
+    const std::uint32_t stored = get_u32(bytes, expected - kSealBytes);
+    const std::uint32_t computed =
+        seal_over(bytes.subspan(0, expected - kSealBytes));
+    if (stored != computed) {
+        std::ostringstream what;
+        what << "Fletcher-32 seal mismatch (stored 0x" << std::hex << stored
+             << ", computed 0x" << computed << ")";
+        reject(SessionStoreErrorKind::kCorrupt, what.str());
+    }
+
+    SessionRecord rec;
+    rec.tenant = get_u64(bytes, 8);
+    rec.session = get_u64(bytes, 16);
+    rec.last_request_id = get_u64(bytes, 24);
+    rec.checkpoint.assign(bytes.begin() + kRecordHeaderBytes,
+                          bytes.begin() + kRecordHeaderBytes + ckpt_len);
+    rec.response.assign(
+        bytes.begin() + kRecordHeaderBytes + ckpt_len,
+        bytes.begin() + kRecordHeaderBytes + ckpt_len + resp_len);
+    return rec;
+}
+
+SessionStore::SessionStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        reject(SessionStoreErrorKind::kIo,
+               "cannot create session store directory " + dir_ +
+                   (ec ? ": " + ec.message() : ""));
+}
+
+std::string
+SessionStore::path_for(std::uint64_t tenant, std::uint64_t session) const
+{
+    return dir_ + "/t" + std::to_string(tenant) + "-s" +
+           std::to_string(session) + ".plrd";
+}
+
+void
+SessionStore::save(const SessionRecord& rec) const
+{
+    const std::vector<std::uint8_t> bytes = serialize_session_record(rec);
+    const std::string path = path_for(rec.tenant, rec.session);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            reject(SessionStoreErrorKind::kIo, "cannot open " + tmp);
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            reject(SessionStoreErrorKind::kIo, "cannot write " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        reject(SessionStoreErrorKind::kIo,
+               "cannot rename " + tmp + " into place: " + ec.message());
+}
+
+std::optional<SessionRecord>
+SessionStore::load(std::uint64_t tenant, std::uint64_t session) const
+{
+    const std::string path = path_for(tenant, session);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (in.bad())
+        reject(SessionStoreErrorKind::kIo, "cannot read " + path);
+    SessionRecord rec = parse_session_record(bytes);
+    if (rec.tenant != tenant || rec.session != session)
+        reject(SessionStoreErrorKind::kMalformed,
+               path + " holds the record of (tenant " +
+                   std::to_string(rec.tenant) + ", session " +
+                   std::to_string(rec.session) + ")");
+    return rec;
+}
+
+void
+SessionStore::erase(std::uint64_t tenant, std::uint64_t session) const
+{
+    std::error_code ec;
+    fs::remove(path_for(tenant, session), ec);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+SessionStore::list() const
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        std::uint64_t tenant = 0, session = 0;
+        if (std::sscanf(name.c_str(), "t%" SCNu64 "-s%" SCNu64 ".plrd",
+                        &tenant, &session) == 2)
+            keys.emplace_back(tenant, session);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+}  // namespace plr::server

@@ -1,0 +1,160 @@
+#ifndef PLR_SERVER_SESSION_STORE_H_
+#define PLR_SERVER_SESSION_STORE_H_
+
+/**
+ * @file
+ * Durable (tenant, session) records: crash-recoverable stream state
+ * (docs/SERVER.md).
+ *
+ * A server crash must not cost a tenant its stream, and a client retry
+ * of the last chunk after a crash must not advance the stream twice.
+ * Both require the same invariant: the session's carry state and the
+ * response that produced it persist ATOMICALLY, as one sealed record —
+ * two separate files would always leave a crash window in which one
+ * exists without the other, and either ordering turns that window into
+ * a silently wrong answer (a lost advance or a double advance).
+ *
+ * A record bundles the session's sealed carry checkpoint
+ * (kernels/checkpoint.h) with the sealed wire response
+ * (server/wire.h) of the last request committed to it, keyed by that
+ * request's id. On restart the server lazily reloads the record,
+ * resumes the StreamSession from the embedded checkpoint, and — when
+ * the first request after the crash repeats the last committed
+ * request id — replays the embedded response instead of recomputing
+ * (exactly-once across kill -9).
+ *
+ * Record layout (all fields little-endian):
+ *
+ *   offset  size  field
+ *        0     4  magic "PLRD"
+ *        4     4  u32 format version (kSessionRecordVersion)
+ *        8     8  u64 tenant id
+ *       16     8  u64 session id
+ *       24     8  u64 last committed request id
+ *       32     4  u32 checkpoint byte length (c; multiple of 4)
+ *       36     4  u32 response byte length (r; multiple of 4)
+ *       40     c  serialized checkpoint (itself sealed)
+ *     40+c     r  encoded response frame (itself sealed)
+ *     end-4    4  u32 Fletcher-32 over every preceding 32-bit word
+ *
+ * Records are written atomically (tmp file + rename) so a crash
+ * mid-write leaves either the old record or the new one — never a
+ * torn mix. Damage of any kind is a typed SessionStoreError; the
+ * server surfaces it as kSessionCorrupt, never a wrong resume.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/diag.h"
+
+namespace plr::server {
+
+/** Serialized record version this build writes and understands. */
+inline constexpr std::uint32_t kSessionRecordVersion = 1;
+
+/** Magic prefix of every session record file. */
+inline constexpr char kSessionRecordMagic[4] = {'P', 'L', 'R', 'D'};
+
+/** Why a session record was rejected (mirrors CheckpointErrorKind). */
+enum class SessionStoreErrorKind {
+    /** File or directory could not be read/written/created. */
+    kIo,
+    /** First four bytes are not "PLRD". */
+    kBadMagic,
+    /** Record version is not kSessionRecordVersion. */
+    kVersionSkew,
+    /** Fewer bytes than the header declares (torn write). */
+    kTruncated,
+    /** Sizes/fields are internally inconsistent. */
+    kMalformed,
+    /** Fletcher-32 seal does not match. */
+    kCorrupt,
+};
+
+/** Stable lowercase name ("truncated", "corrupt", ...). */
+const char* to_string(SessionStoreErrorKind kind);
+
+/**
+ * Typed rejection of a session record load or save. Derives
+ * FatalError: a damaged record is caller-visible state, not a library
+ * bug, and must never resume as a silently wrong stream.
+ */
+class SessionStoreError : public FatalError {
+  public:
+    SessionStoreError(SessionStoreErrorKind kind, const std::string& what)
+        : FatalError(what), kind_(kind)
+    {
+    }
+
+    SessionStoreErrorKind kind() const { return kind_; }
+
+  private:
+    SessionStoreErrorKind kind_;
+};
+
+/** In-memory form of one durable session record. */
+struct SessionRecord {
+    std::uint64_t tenant = 0;
+    std::uint64_t session = 0;
+    /** Request id of the last request committed to this session. */
+    std::uint64_t last_request_id = 0;
+    /** serialize_checkpoint() bytes of the post-commit carry state. */
+    std::vector<std::uint8_t> checkpoint;
+    /** encode_response() bytes of that request's response. */
+    std::vector<std::uint8_t> response;
+};
+
+/** Serialize to the sealed byte layout above. */
+std::vector<std::uint8_t> serialize_session_record(const SessionRecord& rec);
+
+/**
+ * Parse and verify a session record. Throws SessionStoreError — every
+ * byte is validated before any field is trusted. The embedded
+ * checkpoint and response carry their own seals and are validated by
+ * their own parsers when used.
+ */
+SessionRecord parse_session_record(std::span<const std::uint8_t> bytes);
+
+/**
+ * A directory of session records, one file per (tenant, session).
+ * Thread-compatible: the server serializes access under its own lock.
+ */
+class SessionStore {
+  public:
+    /** Opens (creating if needed) @p dir. Throws SessionStoreError(kIo). */
+    explicit SessionStore(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+
+    /** File path a (tenant, session) record lives at. */
+    std::string path_for(std::uint64_t tenant, std::uint64_t session) const;
+
+    /** Atomically persist @p rec (tmp + rename). Throws on failure. */
+    void save(const SessionRecord& rec) const;
+
+    /**
+     * Load the record for (tenant, session). Returns nullopt when no
+     * record exists; throws SessionStoreError when one exists but is
+     * damaged (the caller surfaces kSessionCorrupt, never resumes).
+     */
+    std::optional<SessionRecord> load(std::uint64_t tenant,
+                                      std::uint64_t session) const;
+
+    /** Remove the record for (tenant, session), if any. */
+    void erase(std::uint64_t tenant, std::uint64_t session) const;
+
+    /** Every (tenant, session) with a record on disk (sorted). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> list() const;
+
+  private:
+    std::string dir_;
+};
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_SESSION_STORE_H_

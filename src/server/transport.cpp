@@ -1,0 +1,128 @@
+#include "server/transport.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace plr::server {
+
+namespace {
+
+[[noreturn]] void
+reject(FrameErrorKind kind, const std::string& detail)
+{
+    throw FrameError(kind,
+                     std::string("frame ") + to_string(kind) + ": " + detail);
+}
+
+/**
+ * Read exactly @p len bytes unless EOF intervenes. Returns the bytes
+ * actually read (< len only at EOF); EINTR is retried, other errno
+ * failures throw FrameError(kIo).
+ */
+std::size_t
+read_fully(int fd, std::uint8_t* buf, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t got = ::read(fd, buf + off, len - off);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            reject(FrameErrorKind::kIo,
+                   std::string("read() failed: ") + std::strerror(errno));
+        }
+        if (got == 0)
+            break;  // EOF
+        off += static_cast<std::size_t>(got);
+    }
+    return off;
+}
+
+void
+write_fully(int fd, const std::uint8_t* buf, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t put = ::write(fd, buf + off, len - off);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            reject(FrameErrorKind::kIo,
+                   std::string("write() failed: ") + std::strerror(errno));
+        }
+        if (put == 0)
+            reject(FrameErrorKind::kIo, "write() moved zero bytes");
+        off += static_cast<std::size_t>(put);
+    }
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>>
+read_frame(int fd, std::uint32_t max_bytes)
+{
+    std::uint8_t len_bytes[4];
+    const std::size_t got = read_fully(fd, len_bytes, 4);
+    if (got == 0)
+        return std::nullopt;  // clean EOF at a frame boundary
+    if (got < 4)
+        reject(FrameErrorKind::kTruncated,
+               "EOF after " + std::to_string(got) +
+                   " of 4 length-prefix bytes");
+    const std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                              (static_cast<std::uint32_t>(len_bytes[1]) << 8) |
+                              (static_cast<std::uint32_t>(len_bytes[2]) << 16) |
+                              (static_cast<std::uint32_t>(len_bytes[3]) << 24);
+    if (len == 0)
+        reject(FrameErrorKind::kMalformed, "zero-length frame");
+    if (len > max_bytes)
+        reject(FrameErrorKind::kMalformed,
+               "frame length " + std::to_string(len) + " above the " +
+                   std::to_string(max_bytes) + "-byte transport bound");
+    std::vector<std::uint8_t> frame(len);
+    const std::size_t body = read_fully(fd, frame.data(), len);
+    if (body < len)
+        reject(FrameErrorKind::kTruncated,
+               "EOF after " + std::to_string(body) + " of " +
+                   std::to_string(len) + " frame bytes");
+    return frame;
+}
+
+void
+write_frame(int fd, std::span<const std::uint8_t> frame)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+    const std::uint8_t len_bytes[4] = {
+        static_cast<std::uint8_t>(len & 0xff),
+        static_cast<std::uint8_t>((len >> 8) & 0xff),
+        static_cast<std::uint8_t>((len >> 16) & 0xff),
+        static_cast<std::uint8_t>((len >> 24) & 0xff),
+    };
+    write_fully(fd, len_bytes, 4);
+    write_fully(fd, frame.data(), frame.size());
+}
+
+ConnectionSummary
+serve_connection(Server& server, int fd)
+{
+    ConnectionSummary summary;
+    try {
+        for (;;) {
+            const auto frame = read_frame(fd);
+            if (!frame.has_value()) {
+                summary.clean_eof = true;
+                break;
+            }
+            const auto response = server.handle(*frame);
+            write_frame(fd, response);
+            ++summary.frames_served;
+        }
+    } catch (const FrameError& error) {
+        summary.error = error.what();
+    }
+    return summary;
+}
+
+}  // namespace plr::server

@@ -1,0 +1,76 @@
+#ifndef PLR_SERVER_TRANSPORT_H_
+#define PLR_SERVER_TRANSPORT_H_
+
+/**
+ * @file
+ * Fault-hardened length-prefixed framing over a byte-stream fd
+ * (docs/SERVER.md).
+ *
+ * Each frame on the wire is a little-endian u32 byte length followed
+ * by that many frame bytes, both directions. POSIX read()/write() may
+ * return short or be interrupted at ANY byte of that — a partial read
+ * of the 4-byte length prefix must not desync the stream, and EINTR
+ * is not end-of-stream. These helpers loop until the full count moves
+ * (retrying EINTR) and turn every failure into a typed FrameError:
+ *
+ *   - clean EOF at a frame boundary     -> read_frame returns nullopt
+ *   - EOF inside a prefix or body       -> FrameError(kTruncated)
+ *   - length 0 or above the bound       -> FrameError(kMalformed)
+ *   - read()/write() errno failures     -> FrameError(kIo)
+ *
+ * A frame with a *valid* length whose bytes then fail wire validation
+ * is NOT a transport error: it is handed to Server::handle, answered
+ * with a typed kBadFrame response, and the connection lives on (a
+ * garbage flood costs the flooder, not the neighbors). A broken
+ * length prefix, by contrast, makes the byte stream unrecoverable —
+ * serve_connection drops that connection, alone.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+
+namespace plr::server {
+
+/** Transport sanity bound: a frame longer than this is a bad client. */
+inline constexpr std::uint32_t kMaxTransportFrameBytes = 1u << 27;
+
+/**
+ * Read one length-prefixed frame. Returns nullopt on clean EOF (the
+ * peer closed between frames); throws FrameError on everything else
+ * (see the taxonomy above). Retries EINTR; loops on short reads.
+ */
+std::optional<std::vector<std::uint8_t>> read_frame(
+    int fd, std::uint32_t max_bytes = kMaxTransportFrameBytes);
+
+/**
+ * Write one frame as length prefix + body, looping on short writes
+ * and retrying EINTR. Throws FrameError(kIo) when the fd fails.
+ */
+void write_frame(int fd, std::span<const std::uint8_t> frame);
+
+/** What one connection did before it ended (for logs and tests). */
+struct ConnectionSummary {
+    /** Frames answered (including typed kBadFrame rejections). */
+    std::uint64_t frames_served = 0;
+    /** true = the peer closed cleanly at a frame boundary. */
+    bool clean_eof = false;
+    /** FrameError text when the transport died mid-frame; empty on a
+        clean EOF. */
+    std::string error;
+};
+
+/**
+ * Serve length-prefixed frames from @p fd through @p server until the
+ * peer closes or the transport fails. Never throws and never closes
+ * @p fd — the caller owns its lifetime.
+ */
+ConnectionSummary serve_connection(Server& server, int fd);
+
+}  // namespace plr::server
+
+#endif  // PLR_SERVER_TRANSPORT_H_

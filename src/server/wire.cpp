@@ -10,11 +10,25 @@ namespace plr::server {
 namespace {
 
 /** Fixed request-header bytes before the variable sections. */
-constexpr std::size_t kRequestHeaderBytes = 48;
+constexpr std::size_t kRequestHeaderBytesV1 = 48;
+constexpr std::size_t kRequestHeaderBytesV2 = 52;
 /** Fixed response-header bytes before the payload. */
-constexpr std::size_t kResponseHeaderBytes = 40;
+constexpr std::size_t kResponseHeaderBytesV1 = 40;
+constexpr std::size_t kResponseHeaderBytesV2 = 44;
 /** Trailing Fletcher-32 seal. */
 constexpr std::size_t kSealBytes = 4;
+
+std::size_t
+request_header_bytes(std::uint32_t version)
+{
+    return version >= 2 ? kRequestHeaderBytesV2 : kRequestHeaderBytesV1;
+}
+
+std::size_t
+response_header_bytes(std::uint32_t version)
+{
+    return version >= 2 ? kResponseHeaderBytesV2 : kResponseHeaderBytesV1;
+}
 
 void
 put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
@@ -73,13 +87,13 @@ reject(FrameErrorKind kind, const std::string& detail)
 }
 
 /**
- * The magic/version/length/seal validation shared by both frame kinds.
- * Returns nothing; every reject throws. @p expected is the exact frame
- * size the already-validated header fields imply.
+ * The magic/version/length validation shared by both frame kinds.
+ * Returns the (accepted) format version; every reject throws. The
+ * caller picks its header size from the returned version.
  */
-void
+std::uint32_t
 check_envelope(std::span<const std::uint8_t> bytes, const char (&magic)[4],
-               std::size_t header_bytes)
+               std::size_t (*header_bytes)(std::uint32_t))
 {
     if (bytes.size() < sizeof(magic))
         reject(FrameErrorKind::kTruncated,
@@ -93,15 +107,17 @@ check_envelope(std::span<const std::uint8_t> bytes, const char (&magic)[4],
         reject(FrameErrorKind::kTruncated,
                "header ends before the format version");
     const std::uint32_t version = get_u32(bytes, 4);
-    if (version != kWireFormatVersion)
+    if (version < kWireMinFormatVersion || version > kWireFormatVersion)
         reject(FrameErrorKind::kVersionSkew,
                "format version " + std::to_string(version) +
-                   ", this build speaks version " +
+                   ", this build speaks versions " +
+                   std::to_string(kWireMinFormatVersion) + ".." +
                    std::to_string(kWireFormatVersion));
-    if (bytes.size() < header_bytes)
+    if (bytes.size() < header_bytes(version))
         reject(FrameErrorKind::kTruncated,
                "header is " + std::to_string(bytes.size()) + " of " +
-                   std::to_string(header_bytes) + " bytes");
+                   std::to_string(header_bytes(version)) + " bytes");
+    return version;
 }
 
 /** Verify the trailing seal once the exact frame size is known. */
@@ -138,6 +154,7 @@ to_string(FrameErrorKind kind)
       case FrameErrorKind::kTruncated: return "truncated";
       case FrameErrorKind::kMalformed: return "malformed";
       case FrameErrorKind::kCorrupt: return "corrupt";
+      case FrameErrorKind::kIo: return "io";
     }
     return "unknown";
 }
@@ -145,22 +162,34 @@ to_string(FrameErrorKind kind)
 std::vector<std::uint8_t>
 encode_request(const RequestFrame& frame)
 {
+    PLR_REQUIRE(frame.wire_version >= kWireMinFormatVersion &&
+                    frame.wire_version <= kWireFormatVersion,
+                "wire version " << frame.wire_version
+                                << " is not encodable by this build");
     PLR_REQUIRE(frame.signature_text.size() <= kMaxSignatureText,
                 "signature text exceeds " << kMaxSignatureText << " bytes");
     PLR_REQUIRE(frame.payload.size() <= kMaxPayloadElements,
                 "payload exceeds " << kMaxPayloadElements << " elements");
+    PLR_REQUIRE((frame.flags & ~kRequestFlagsMask) == 0,
+                "unknown request flag bits 0x" << std::hex << frame.flags);
+    const bool v2 = frame.wire_version >= 2;
+    PLR_REQUIRE(v2 || (frame.flags == 0 && frame.deadline_ms == 0),
+                "flags/deadline are wire-v2 fields; a v1 frame cannot "
+                "carry them");
     const std::size_t padded = padded_text_bytes(frame.signature_text.size());
     std::vector<std::uint8_t> out;
-    out.reserve(kRequestHeaderBytes + padded + 4 * frame.payload.size() +
-                kSealBytes);
+    out.reserve(request_header_bytes(frame.wire_version) + padded +
+                4 * frame.payload.size() + kSealBytes);
     for (char c : kRequestMagic)
         out.push_back(static_cast<std::uint8_t>(c));
-    put_u32(out, kWireFormatVersion);
+    put_u32(out, frame.wire_version);
     put_u64(out, frame.request_id);
     put_u64(out, frame.tenant);
     put_u64(out, frame.session);
     put_u32(out, static_cast<std::uint32_t>(frame.domain));
-    put_u32(out, 0);  // reserved flags
+    put_u32(out, frame.flags);
+    if (v2)
+        put_u32(out, frame.deadline_ms);
     put_u32(out, static_cast<std::uint32_t>(frame.signature_text.size()));
     put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
     for (char c : frame.signature_text)
@@ -176,71 +205,89 @@ encode_request(const RequestFrame& frame)
 RequestFrame
 parse_request(std::span<const std::uint8_t> bytes)
 {
-    check_envelope(bytes, kRequestMagic, kRequestHeaderBytes);
+    const std::uint32_t version =
+        check_envelope(bytes, kRequestMagic, request_header_bytes);
+    const std::size_t header = request_header_bytes(version);
 
     const std::uint32_t domain = get_u32(bytes, 32);
     if (domain > static_cast<std::uint32_t>(kernels::Domain::kTropical))
         reject(FrameErrorKind::kMalformed,
                "unknown domain id " + std::to_string(domain));
     const std::uint32_t flags = get_u32(bytes, 36);
-    if (flags != 0)
+    if (version < 2 && flags != 0)
         reject(FrameErrorKind::kMalformed,
-               "reserved request flags 0x" + std::to_string(flags) +
+               "reserved v1 request flags 0x" + std::to_string(flags) +
                    " must be zero");
-    const std::uint32_t text_len = get_u32(bytes, 40);
+    if ((flags & ~kRequestFlagsMask) != 0)
+        reject(FrameErrorKind::kMalformed,
+               "unknown request flag bits 0x" + std::to_string(flags));
+    const std::uint32_t deadline_ms = version >= 2 ? get_u32(bytes, 40) : 0;
+    const std::uint32_t text_len = get_u32(bytes, header - 8);
     if (text_len > kMaxSignatureText)
         reject(FrameErrorKind::kMalformed,
                "signature text length " + std::to_string(text_len) +
                    " above " + std::to_string(kMaxSignatureText));
-    const std::uint32_t n = get_u32(bytes, 44);
+    const std::uint32_t n = get_u32(bytes, header - 4);
     if (n > kMaxPayloadElements)
         reject(FrameErrorKind::kMalformed,
                "payload count " + std::to_string(n) + " above " +
                    std::to_string(kMaxPayloadElements));
     const std::size_t padded = padded_text_bytes(text_len);
     const std::size_t expected =
-        kRequestHeaderBytes + padded + 4 * std::size_t{n} + kSealBytes;
+        header + padded + 4 * std::size_t{n} + kSealBytes;
     check_seal(bytes, expected);
 
     // Padding bytes beyond the text must be NUL so every frame has one
     // canonical encoding (a covert channel in the pad would also dodge
     // the fuzzer's byte-identity checks).
     for (std::size_t i = text_len; i < padded; ++i)
-        if (bytes[kRequestHeaderBytes + i] != 0)
+        if (bytes[header + i] != 0)
             reject(FrameErrorKind::kMalformed,
                    "nonzero signature padding byte at offset " +
-                       std::to_string(kRequestHeaderBytes + i));
+                       std::to_string(header + i));
 
     RequestFrame frame;
+    frame.wire_version = version;
     frame.request_id = get_u64(bytes, 8);
     frame.tenant = get_u64(bytes, 16);
     frame.session = get_u64(bytes, 24);
     frame.domain = static_cast<kernels::Domain>(domain);
+    frame.flags = flags;
+    frame.deadline_ms = deadline_ms;
     frame.signature_text.assign(
-        reinterpret_cast<const char*>(bytes.data()) + kRequestHeaderBytes,
-        text_len);
+        reinterpret_cast<const char*>(bytes.data()) + header, text_len);
     frame.payload.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        frame.payload[i] =
-            get_u32(bytes, kRequestHeaderBytes + padded + 4 * i);
+        frame.payload[i] = get_u32(bytes, header + padded + 4 * i);
     return frame;
 }
 
 std::vector<std::uint8_t>
 encode_response(const ResponseFrame& frame)
 {
+    PLR_REQUIRE(frame.wire_version >= kWireMinFormatVersion &&
+                    frame.wire_version <= kWireFormatVersion,
+                "wire version " << frame.wire_version
+                                << " is not encodable by this build");
     PLR_REQUIRE(frame.payload.size() <= kMaxPayloadElements,
                 "payload exceeds " << kMaxPayloadElements << " elements");
+    const bool v2 = frame.wire_version >= 2;
+    PLR_REQUIRE(v2 || frame.retry_after_ms == 0,
+                "retry_after_ms is a wire-v2 field; a v1 frame cannot "
+                "carry it");
     std::vector<std::uint8_t> out;
-    out.reserve(kResponseHeaderBytes + 4 * frame.payload.size() + kSealBytes);
+    out.reserve(response_header_bytes(frame.wire_version) +
+                4 * frame.payload.size() + kSealBytes);
     for (char c : kResponseMagic)
         out.push_back(static_cast<std::uint8_t>(c));
-    put_u32(out, kWireFormatVersion);
+    put_u32(out, frame.wire_version);
     put_u64(out, frame.request_id);
     put_u64(out, frame.tenant);
     put_u32(out, frame.status);
     put_u32(out, frame.flags);
     put_u32(out, frame.batch);
+    if (v2)
+        put_u32(out, frame.retry_after_ms);
     put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
     for (std::uint32_t word : frame.payload)
         put_u32(out, word);
@@ -251,26 +298,29 @@ encode_response(const ResponseFrame& frame)
 ResponseFrame
 parse_response(std::span<const std::uint8_t> bytes)
 {
-    check_envelope(bytes, kResponseMagic, kResponseHeaderBytes);
+    const std::uint32_t version =
+        check_envelope(bytes, kResponseMagic, response_header_bytes);
+    const std::size_t header = response_header_bytes(version);
 
-    const std::uint32_t n = get_u32(bytes, 36);
+    const std::uint32_t n = get_u32(bytes, header - 4);
     if (n > kMaxPayloadElements)
         reject(FrameErrorKind::kMalformed,
                "payload count " + std::to_string(n) + " above " +
                    std::to_string(kMaxPayloadElements));
-    const std::size_t expected =
-        kResponseHeaderBytes + 4 * std::size_t{n} + kSealBytes;
+    const std::size_t expected = header + 4 * std::size_t{n} + kSealBytes;
     check_seal(bytes, expected);
 
     ResponseFrame frame;
+    frame.wire_version = version;
     frame.request_id = get_u64(bytes, 8);
     frame.tenant = get_u64(bytes, 16);
     frame.status = get_u32(bytes, 24);
     frame.flags = get_u32(bytes, 28);
     frame.batch = get_u32(bytes, 32);
+    frame.retry_after_ms = version >= 2 ? get_u32(bytes, 36) : 0;
     frame.payload.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        frame.payload[i] = get_u32(bytes, kResponseHeaderBytes + 4 * i);
+        frame.payload[i] = get_u32(bytes, header + 4 * i);
     return frame;
 }
 

@@ -13,21 +13,32 @@
  * from a different build is rejected with a typed FrameError — never
  * dispatched as a silently wrong request.
  *
+ * Two format versions are live. Version 1 (the PR 9 format) is still
+ * accepted byte-for-byte: a v1 client talks to this server unchanged
+ * and gets v1 responses back. Version 2 adds the resilience fields —
+ * a per-request deadline, an idempotent-retry flag, and a retry-after
+ * backpressure hint in responses. The parser accepts either version
+ * and records which one it saw (RequestFrame::wire_version); the
+ * server answers in the version the request spoke.
+ *
  * Request frame layout (all fields little-endian):
  *
  *   offset  size  field
  *        0     4  magic "PLRQ"
- *        4     4  u32 format version (kWireFormatVersion)
+ *        4     4  u32 format version (1 or 2)
  *        8     8  u64 request id (client-chosen; echoed in the response)
  *       16     8  u64 tenant id
  *       24     8  u64 session id (0 = stateless one-shot)
  *       32     4  u32 domain (0 int, 1 float, 2 tropical)
- *       36     4  u32 flags (must be 0; reserved)
- *       40     4  u32 signature text length in bytes (s)
- *       44     4  u32 payload element count (n)
- *       48   s..  signature text, NUL-padded to a 4-byte boundary
- *        ..   4n  payload element bit patterns
+ *       36     4  u32 flags (v1: must be 0; v2: kRequestFlag* bits)
+ *    [v2] 40    4  u32 deadline_ms (0 = no deadline)
+ *        ..     4  u32 signature text length in bytes (s)
+ *        ..     4  u32 payload element count (n)
+ *        ..   s..  signature text, NUL-padded to a 4-byte boundary
+ *        ..    4n  payload element bit patterns
  *     end-4     4  u32 Fletcher-32 over every preceding 32-bit word
+ *
+ * (v1 header is 48 bytes — no deadline word; v2 is 52.)
  *
  * The signature travels as DSL text ("(1 : 2, -1)"); the text cannot
  * express max-plus, so domain=tropical instructs the server to rebuild
@@ -35,20 +46,28 @@
  * are the 32-bit bit patterns of the domain's value type
  * (kernels/stream_state.h value_bits/bits_value).
  *
+ * The (tenant, request id) pair is the idempotency key: a request
+ * carrying kRequestFlagIdempotent that reuses a key replays the sealed
+ * original response from the server's replay cache instead of being
+ * recomputed (docs/SERVER.md).
+ *
  * Response frame layout:
  *
  *   offset  size  field
  *        0     4  magic "PLRS"
- *        4     4  u32 format version
+ *        4     4  u32 format version (echoes the request's version)
  *        8     8  u64 request id (echoed)
  *       16     8  u64 tenant id (echoed)
  *       24     4  u32 status (0 = ok; else ServerErrorKind code + 1)
  *       28     4  u32 flags (kResponseFlag* bits below)
  *       32     4  u32 batch — segments in the fused launch that served
  *                  this request (1 = ran alone)
- *       36     4  u32 payload element count (n)
- *       40   4n   output element bit patterns
+ *    [v2] 36    4  u32 retry_after_ms (nonzero only with kRetryAfter)
+ *        ..     4  u32 payload element count (n)
+ *        ..   4n   output element bit patterns
  *     end-4     4  u32 Fletcher-32 seal
+ *
+ * (v1 header is 40 bytes — no retry_after word; v2 is 44.)
  */
 
 #include <cstdint>
@@ -61,8 +80,11 @@
 
 namespace plr::server {
 
-/** Serialized format version this build writes and understands. */
-inline constexpr std::uint32_t kWireFormatVersion = 1;
+/** Newest format version this build writes and understands. */
+inline constexpr std::uint32_t kWireFormatVersion = 2;
+
+/** Oldest format version still accepted (v1 clients keep working). */
+inline constexpr std::uint32_t kWireMinFormatVersion = 1;
 
 /** Magic prefixes of request and response frames. */
 inline constexpr char kRequestMagic[4] = {'P', 'L', 'R', 'Q'};
@@ -76,7 +98,8 @@ inline constexpr std::uint32_t kMaxPayloadElements = 1u << 24;
 enum class FrameErrorKind {
     /** First four bytes are not the expected magic. */
     kBadMagic,
-    /** Format version is not kWireFormatVersion. */
+    /** Format version is outside [kWireMinFormatVersion,
+        kWireFormatVersion]. */
     kVersionSkew,
     /** Fewer bytes than the header + payload declare. */
     kTruncated,
@@ -85,6 +108,8 @@ enum class FrameErrorKind {
     kMalformed,
     /** Fletcher-32 seal does not match. */
     kCorrupt,
+    /** Transport-level read/write failure (server/transport.h). */
+    kIo,
 };
 
 /** Stable lowercase name ("truncated", "corrupt", ...). */
@@ -108,13 +133,25 @@ class FrameError : public FatalError {
     FrameErrorKind kind_;
 };
 
+/** Request flag bits (wire v2 only; v1 requires flags == 0). */
+inline constexpr std::uint32_t kRequestFlagIdempotent = 1u << 0;
+
+/** Every request flag bit this build understands. */
+inline constexpr std::uint32_t kRequestFlagsMask = kRequestFlagIdempotent;
+
 /** In-memory form of a request frame. */
 struct RequestFrame {
+    /** Format version to encode as / that was parsed. */
+    std::uint32_t wire_version = kWireFormatVersion;
     std::uint64_t request_id = 0;
     std::uint64_t tenant = 0;
     /** 0 = stateless one-shot; nonzero = resumable session stream. */
     std::uint64_t session = 0;
     kernels::Domain domain = kernels::Domain::kInt;
+    /** kRequestFlag* bits (v2; always 0 on a v1 frame). */
+    std::uint32_t flags = 0;
+    /** Client deadline in milliseconds from admission; 0 = none (v2). */
+    std::uint32_t deadline_ms = 0;
     std::string signature_text;
     /** Input element bit patterns (value_bits of the domain's type). */
     std::vector<std::uint32_t> payload;
@@ -127,15 +164,23 @@ inline constexpr std::uint32_t kStatusOk = 0;
 inline constexpr std::uint32_t kResponseFlagPlanCacheHit = 1u << 0;
 inline constexpr std::uint32_t kResponseFlagFusedBatch = 1u << 1;
 inline constexpr std::uint32_t kResponseFlagRecovered = 1u << 2;
+/** Served from the replay cache / durable session record, not
+    recomputed — the retried request got the sealed original answer. */
+inline constexpr std::uint32_t kResponseFlagReplayed = 1u << 3;
 
 /** In-memory form of a response frame. */
 struct ResponseFrame {
+    /** Format version to encode as (echoes the request's version). */
+    std::uint32_t wire_version = kWireFormatVersion;
     std::uint64_t request_id = 0;
     std::uint64_t tenant = 0;
     std::uint32_t status = kStatusOk;
     std::uint32_t flags = 0;
     /** Segments in the fused launch that served this request. */
     std::uint32_t batch = 0;
+    /** Backpressure hint in milliseconds (v2; nonzero only when status
+        is kRetryAfter's code). */
+    std::uint32_t retry_after_ms = 0;
     /** Output element bit patterns (empty on error). */
     std::vector<std::uint32_t> payload;
 };

@@ -1,0 +1,149 @@
+#include "testing/chaos.h"
+
+#include <algorithm>
+
+#include "server/error.h"
+#include "util/rng.h"
+
+namespace plr::testing {
+
+namespace {
+
+/** Distinct stream constants so each decision has its own Rng stream
+    (the crash.cpp idiom: seed ^ purpose-constant). */
+constexpr std::uint64_t kFaultStream = 0x7a3d'91c6'e5f0'2b84ull;
+constexpr std::uint64_t kCutStream = 0x1f66'0ac2'9d38'57ebull;
+constexpr std::uint64_t kLorisStream = 0xb420'73fe'618c'a95dull;
+constexpr std::uint64_t kGarbageStream = 0x93e8'5b01'c7d4'2f6aull;
+constexpr std::uint64_t kFloodStream = 0x2c5f'ed83'0b97'416dull;
+constexpr std::uint64_t kJitterStream = 0x60d9'3af7'84e1'bc25ull;
+
+Rng
+stream_rng(std::uint64_t seed, std::uint64_t stream, std::uint64_t index)
+{
+    // splitmix64-seeded xoshiro: mixing the index in multiplicatively
+    // keeps neighboring indices decorrelated.
+    return Rng(seed ^ stream ^ (index * 0x9e37'79b9'7f4a'7c15ull));
+}
+
+}  // namespace
+
+const char*
+to_string(ChaosFault fault)
+{
+    switch (fault) {
+      case ChaosFault::kNone: return "none";
+      case ChaosFault::kDisconnectMidFrame: return "disconnect";
+      case ChaosFault::kSlowLoris: return "slow-loris";
+      case ChaosFault::kGarbageFlood: return "garbage-flood";
+    }
+    return "unknown";
+}
+
+ChaosFault
+ChaosPlan::fault_for(std::uint64_t request_index) const
+{
+    Rng rng = stream_rng(seed, kFaultStream, request_index);
+    if (rng.uniform_double() >= fault_rate)
+        return ChaosFault::kNone;
+    switch (rng.uniform_int(0, 2)) {
+      case 0: return ChaosFault::kDisconnectMidFrame;
+      case 1: return ChaosFault::kSlowLoris;
+      default: return ChaosFault::kGarbageFlood;
+    }
+}
+
+std::size_t
+ChaosPlan::cut_point(std::uint64_t request_index,
+                     std::size_t total_bytes) const
+{
+    if (total_bytes <= 1)
+        return 1;
+    Rng rng = stream_rng(seed, kCutStream, request_index);
+    return static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(total_bytes) - 1));
+}
+
+std::vector<std::size_t>
+ChaosPlan::loris_chunks(std::uint64_t request_index,
+                        std::size_t total_bytes) const
+{
+    Rng rng = stream_rng(seed, kLorisStream, request_index);
+    std::vector<std::size_t> chunks;
+    std::size_t remaining = total_bytes;
+    while (remaining > 0) {
+        const std::size_t take = std::min<std::size_t>(
+            remaining, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+        chunks.push_back(take);
+        remaining -= take;
+    }
+    return chunks;
+}
+
+std::vector<std::uint8_t>
+ChaosPlan::garbage_frame(std::uint64_t request_index) const
+{
+    Rng rng = stream_rng(seed, kGarbageStream, request_index);
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform_int(1, 512));
+    std::vector<std::uint8_t> frame(len);
+    for (auto& b : frame)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    // Half the floods masquerade as requests: the right magic with a
+    // garbage body exercises the deep validators, not just the magic
+    // check.
+    if (len >= 4 && rng.uniform_double() < 0.5) {
+        frame[0] = 'P';
+        frame[1] = 'L';
+        frame[2] = 'R';
+        frame[3] = 'Q';
+    }
+    return frame;
+}
+
+std::size_t
+ChaosPlan::flood_count(std::uint64_t request_index) const
+{
+    Rng rng = stream_rng(seed, kFloodStream, request_index);
+    return static_cast<std::size_t>(rng.uniform_int(1, 4));
+}
+
+ChaosPlan
+make_chaos_plan(std::uint64_t seed, double fault_rate)
+{
+    ChaosPlan plan;
+    plan.seed = seed;
+    plan.fault_rate = fault_rate;
+    return plan;
+}
+
+std::uint64_t
+backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+           std::uint64_t seed, std::uint64_t retry_after_hint_ms)
+{
+    // Capped exponential: base * 2^(attempt-1), saturating at cap.
+    std::uint64_t backoff = policy.base_ms;
+    for (std::size_t i = 1; i < attempt && backoff < policy.cap_ms; ++i)
+        backoff *= 2;
+    backoff = std::min(backoff, policy.cap_ms);
+    // Deterministic jitter in [0, backoff/2]: decorrelates a retrying
+    // herd without losing replayability.
+    Rng rng = stream_rng(seed, kJitterStream, attempt);
+    const std::uint64_t jitter =
+        backoff > 1 ? rng.next_u64() % (backoff / 2 + 1) : 0;
+    // The server's hint floors the result: never retry earlier than
+    // the server asked.
+    return std::max(retry_after_hint_ms, backoff + jitter);
+}
+
+bool
+retryable_status(std::uint32_t status)
+{
+    using plr::server::ServerErrorKind;
+    using plr::server::status_of;
+    return status == status_of(ServerErrorKind::kOverloaded) ||
+           status == status_of(ServerErrorKind::kRetryAfter) ||
+           status == status_of(ServerErrorKind::kDeadlineExceeded);
+}
+
+}  // namespace plr::testing

@@ -1,0 +1,120 @@
+#ifndef PLR_TESTING_CHAOS_H_
+#define PLR_TESTING_CHAOS_H_
+
+/**
+ * @file
+ * Seed-deterministic chaos planning for the serving stack
+ * (docs/SERVER.md), modeled on the CrashPlan methodology of crash.h:
+ * every fault a trial injects is a pure function of (seed, request
+ * index), so a failing 16-seed matrix entry replays exactly from its
+ * seed — chaos without flakes.
+ *
+ * The plan drives socket-level client misbehavior against
+ * plr_server / serve_connection (server/transport.h):
+ *
+ *   - kDisconnectMidFrame: the client cuts the connection after a
+ *     seed-chosen strict prefix of the frame (length prefix included)
+ *     — the server must answer with a typed truncation, never desync
+ *     or wedge;
+ *   - kSlowLoris: the frame dribbles in seed-chosen 1..8-byte writes
+ *     — short reads at every offset, same bytes, same answer;
+ *   - kGarbageFlood: sealed-length garbage frames precede the real
+ *     request — each one must come back kBadFrame with the
+ *     connection (and every neighbor) intact.
+ *
+ * Hung-backend chaos is server-side (ServerConfig::fault_seed +
+ * spin_watchdog, docs/FAULTS.md) and composes with these.
+ *
+ * The retry side lives here too: a capped exponential backoff with
+ * deterministic jitter that honors the server's kRetryAfter hint —
+ * the client policy plr_loadgen applies when chaos (or backpressure)
+ * eats a response.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace plr::testing {
+
+/** Client-side fault one request draws. */
+enum class ChaosFault {
+    /** Send normally. */
+    kNone,
+    /** Cut the connection after a strict prefix of the frame. */
+    kDisconnectMidFrame,
+    /** Dribble the frame in tiny writes (always completes). */
+    kSlowLoris,
+    /** Send garbage frames before the real request. */
+    kGarbageFlood,
+};
+
+/** Short lowercase name ("none", "disconnect", "slow-loris", ...). */
+const char* to_string(ChaosFault fault);
+
+/**
+ * Deterministic chaos schedule: which fault (if any) each request
+ * index draws, and the fault's shape. Stateless — every method is a
+ * pure function of (seed, request_index), so interleaving and retry
+ * order cannot change what a trial injects.
+ */
+struct ChaosPlan {
+    std::uint64_t seed = 0;
+    /** Fraction of requests that draw a fault (default 10%). */
+    double fault_rate = 0.1;
+
+    /** The fault request @p request_index draws. */
+    ChaosFault fault_for(std::uint64_t request_index) const;
+
+    /** Mid-frame cut point: a strict prefix length in [1, total-1]
+        of the length-prefixed wire bytes (prefix + frame). */
+    std::size_t cut_point(std::uint64_t request_index,
+                          std::size_t total_bytes) const;
+
+    /** Slow-loris write sizes: a partition of @p total_bytes into
+        1..8-byte chunks. */
+    std::vector<std::size_t> loris_chunks(std::uint64_t request_index,
+                                          std::size_t total_bytes) const;
+
+    /** One sealed-length garbage frame (these bytes are the frame
+        body; the transport length prefix is written honestly). */
+    std::vector<std::uint8_t> garbage_frame(std::uint64_t request_index)
+        const;
+
+    /** How many garbage frames a kGarbageFlood request sends (1..4). */
+    std::size_t flood_count(std::uint64_t request_index) const;
+};
+
+/** Derive the plan for @p seed (chaos trials use one plan per seed). */
+ChaosPlan make_chaos_plan(std::uint64_t seed, double fault_rate = 0.1);
+
+/** Client retry policy: capped exponential backoff, full determinism. */
+struct RetryPolicy {
+    /** Total attempts (first try included). */
+    std::size_t max_attempts = 6;
+    /** Backoff of the first retry, milliseconds. */
+    std::uint64_t base_ms = 1;
+    /** Backoff cap, milliseconds. */
+    std::uint64_t cap_ms = 50;
+};
+
+/**
+ * Delay before retry @p attempt (1-based): capped exponential backoff
+ * plus deterministic jitter derived from (@p seed, @p attempt). A
+ * nonzero @p retry_after_hint_ms (the server's kRetryAfter hint)
+ * floors the delay — the client never retries earlier than the
+ * server asked.
+ */
+std::uint64_t backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+                         std::uint64_t seed,
+                         std::uint64_t retry_after_hint_ms);
+
+/**
+ * Whether a wire status is worth retrying with the same idempotency
+ * key: backpressure (kOverloaded, kRetryAfter) and deadline misses
+ * (kDeadlineExceeded) are; typed permanent rejections are not.
+ */
+bool retryable_status(std::uint32_t status);
+
+}  // namespace plr::testing
+
+#endif  // PLR_TESTING_CHAOS_H_

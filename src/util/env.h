@@ -22,6 +22,12 @@
  *   PLR_FORENSIC_LOG     path (free-form)
  *   PLR_REPRO_LOG        path (free-form)
  *   PLR_CHECKPOINT_ARTIFACT_DIR  path (free-form; docs/STREAMING.md)
+ *   PLR_SERVER_DEADLINE_MS       positive count (default request
+ *                                deadline, ms; docs/SERVER.md)
+ *   PLR_SERVER_REPLAY_CAPACITY   positive count (idempotent replay
+ *                                cache entries; docs/SERVER.md)
+ *   PLR_SERVER_SESSION_STORE     path (durable session record
+ *                                directory; docs/SERVER.md)
  */
 
 #include <cstdint>

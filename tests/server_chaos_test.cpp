@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Seed-deterministic chaos matrix for the serving stack
+ * (docs/SERVER.md, testing/chaos.h): socket-level faults — mid-frame
+ * disconnects, slow-loris dribble writes, sealed-length garbage
+ * floods — driven against serve_connection over socketpairs, with the
+ * retrying client policy on top. Every trial validates the acceptance
+ * bar: zero silent wrong answers, every failure typed, retried
+ * requests exactly-once, session streams bit-identical despite the
+ * faults. Plus the plan/policy determinism proofs and the
+ * hung-simulated-GPU leg (spin watchdog + recovery ladder under
+ * injected device faults).
+ */
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/serial.h"
+#include "kernels/stream_state.h"
+#include "server/error.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "server/wire.h"
+#include "testing/chaos.h"
+#include "testing/corpus.h"
+#include "util/compare.h"
+#include "util/ring.h"
+
+namespace {
+
+using namespace plr::server;
+using plr::IntRing;
+using plr::Signature;
+using plr::validate_exact;
+namespace pk = plr::kernels;
+namespace pt = plr::testing;
+
+RequestFrame
+int_request(std::uint64_t id, std::uint64_t tenant, std::uint64_t session,
+            const std::string& sig, std::span<const std::int32_t> input)
+{
+    RequestFrame frame;
+    frame.request_id = id;
+    frame.tenant = tenant;
+    frame.session = session;
+    frame.domain = pk::Domain::kInt;
+    frame.signature_text = sig;
+    frame.flags = kRequestFlagIdempotent;
+    for (const auto v : input)
+        frame.payload.push_back(pk::value_bits(v));
+    return frame;
+}
+
+std::vector<std::int32_t>
+int_payload(const ResponseFrame& response)
+{
+    std::vector<std::int32_t> out;
+    for (const auto w : response.payload)
+        out.push_back(pk::bits_value<std::int32_t>(w));
+    return out;
+}
+
+/**
+ * A chaos client over socketpairs: owns the client fd, a serve thread
+ * on the server fd, and reconnects (fresh socketpair + serve thread)
+ * after an injected disconnect — the test-local analog of the
+ * loadgen's reconnecting SocketTransport.
+ */
+class ChaosClient {
+  public:
+    explicit ChaosClient(Server& server) : server_(server) { connect(); }
+
+    ~ChaosClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        for (auto& t : serve_threads_)
+            t.join();
+    }
+
+    /** Send with fault injection; nullopt = response eaten by a cut. */
+    std::optional<ResponseFrame>
+    send(const RequestFrame& request, pt::ChaosFault fault,
+         std::uint64_t index, const pt::ChaosPlan& plan)
+    {
+        if (fd_ < 0)
+            connect();
+        if (fault == pt::ChaosFault::kGarbageFlood) {
+            for (std::size_t i = 0; i < plan.flood_count(index); ++i) {
+                write_frame(fd_, plan.garbage_frame(index + i * 0x10001u));
+                const auto r = read_frame(fd_);
+                if (!r.has_value())
+                    return std::nullopt;  // caller fails the trial
+                EXPECT_EQ(parse_response(*r).status,
+                          status_of(ServerErrorKind::kBadFrame));
+            }
+        }
+        const auto frame = encode_request(request);
+        std::vector<std::uint8_t> wire;
+        const auto len = static_cast<std::uint32_t>(frame.size());
+        for (int i = 0; i < 4; ++i)
+            wire.push_back(
+                static_cast<std::uint8_t>((len >> (8 * i)) & 0xff));
+        wire.insert(wire.end(), frame.begin(), frame.end());
+
+        if (fault == pt::ChaosFault::kDisconnectMidFrame) {
+            const auto cut = plan.cut_point(index, wire.size());
+            (void)!::write(fd_, wire.data(), cut);
+            ::close(fd_);
+            fd_ = -1;
+            return std::nullopt;
+        }
+        if (fault == pt::ChaosFault::kSlowLoris) {
+            std::size_t off = 0;
+            for (const auto take : plan.loris_chunks(index, wire.size())) {
+                write_raw(wire.data() + off, take);
+                off += take;
+            }
+        } else {
+            write_frame(fd_, frame);
+        }
+        const auto r = read_frame(fd_);
+        if (!r.has_value())
+            return std::nullopt;
+        return parse_response(*r);
+    }
+
+  private:
+    void
+    write_raw(const std::uint8_t* p, std::size_t n)
+    {
+        while (n > 0) {
+            const ssize_t put = ::write(fd_, p, n);
+            if (put < 0 && errno == EINTR)
+                continue;
+            ASSERT_GT(put, 0);
+            p += put;
+            n -= static_cast<std::size_t>(put);
+        }
+    }
+
+    void
+    connect()
+    {
+        int fds[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        fd_ = fds[0];
+        const int sfd = fds[1];
+        serve_threads_.emplace_back([this, sfd] {
+            (void)serve_connection(server_, sfd);
+            ::close(sfd);
+        });
+    }
+
+    Server& server_;
+    int fd_ = -1;
+    std::vector<std::thread> serve_threads_;
+};
+
+/**
+ * One chaos trial: a chunked session interleaved with stateless
+ * requests, faults per the seed's plan, retries with the same
+ * idempotency key. Returns the number of wrong answers (0 required).
+ */
+void
+run_trial(std::uint64_t seed)
+{
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    ServerConfig config;
+    config.replay_cache_capacity = 64;
+    Server server(config);
+    const auto plan = pt::make_chaos_plan(seed, 0.35);
+    const pt::RetryPolicy policy{/*max_attempts=*/8, /*base_ms=*/1,
+                                 /*cap_ms=*/8};
+    ChaosClient client(server);
+
+    const auto sig = Signature::parse("(1 : 2, -1)");
+    const auto stream = pt::conformance_input_int(64 * 8, seed * 977 + 3);
+    std::vector<std::int32_t> stitched;
+    std::uint64_t replayed = 0;
+
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        const bool is_session = (i % 2) == 1;
+        RequestFrame request;
+        std::vector<std::int32_t> input;
+        if (is_session) {
+            const auto chunk = std::span<const std::int32_t>(stream)
+                                   .subspan((i / 2) * 64, 64);
+            input.assign(chunk.begin(), chunk.end());
+            request = int_request(100 + i, /*tenant=*/1 + (seed % 3),
+                                  /*session=*/5, "(1 : 2, -1)", input);
+        } else {
+            input = pt::conformance_input_int(
+                32 + static_cast<std::size_t>(i), seed * 131 + i);
+            request = int_request(100 + i, /*tenant=*/1 + (seed % 3), 0,
+                                  "(1 : 1)", input);
+        }
+
+        // Retry loop: fault on the first attempt only, same key after.
+        std::optional<ResponseFrame> response;
+        for (std::size_t attempt = 1; attempt <= policy.max_attempts;
+             ++attempt) {
+            const auto fault =
+                attempt == 1 ? plan.fault_for(i) : pt::ChaosFault::kNone;
+            response = client.send(request, fault, i, plan);
+            if (response &&
+                !pt::retryable_status(response->status))
+                break;
+            const auto delay = pt::backoff_ms(
+                policy, attempt, seed ^ i,
+                response ? response->retry_after_ms : 0);
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+        ASSERT_TRUE(response.has_value()) << "request " << i;
+        ASSERT_EQ(response->status, kStatusOk) << "request " << i;
+        if (response->flags & kResponseFlagReplayed)
+            ++replayed;
+
+        const auto actual = int_payload(*response);
+        if (is_session) {
+            stitched.insert(stitched.end(), actual.begin(), actual.end());
+        } else {
+            EXPECT_TRUE(
+                validate_exact(pk::serial_recurrence<IntRing>(
+                                   Signature::parse("(1 : 1)"), input),
+                               actual)
+                    .ok)
+                << "request " << i;
+        }
+    }
+
+    // The session stream must stitch bit-identically despite every
+    // injected fault and retry along the way.
+    EXPECT_TRUE(validate_exact(
+                    pk::serial_recurrence<IntRing>(
+                        sig, std::span<const std::int32_t>(stream)
+                                 .first(stitched.size())),
+                    stitched)
+                    .ok);
+    EXPECT_EQ(stitched.size(), 64u * 8u);
+
+    // Every replay the server reports was one of ours, and a retried
+    // served request never recomputed (exactly-once): served counts
+    // distinct requests only.
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.served, 16u);
+    EXPECT_EQ(stats.replayed, replayed);
+}
+
+TEST(ServerChaos, SixteenSeedSocketMatrix)
+{
+    for (std::uint64_t seed = 1; seed <= 16; ++seed)
+        run_trial(seed);
+}
+
+TEST(ServerChaos, PlanIsDeterministicAndWellFormed)
+{
+    const auto a = pt::make_chaos_plan(42, 0.5);
+    const auto b = pt::make_chaos_plan(42, 0.5);
+    std::size_t faulted = 0;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        EXPECT_EQ(a.fault_for(i), b.fault_for(i)) << i;
+        if (a.fault_for(i) != pt::ChaosFault::kNone)
+            ++faulted;
+        // Cut points are strict prefixes.
+        const auto cut = a.cut_point(i, 100);
+        EXPECT_EQ(cut, b.cut_point(i, 100));
+        EXPECT_GE(cut, 1u);
+        EXPECT_LT(cut, 100u);
+        // Loris chunks partition the frame.
+        std::size_t sum = 0;
+        for (const auto take : a.loris_chunks(i, 333)) {
+            EXPECT_GE(take, 1u);
+            EXPECT_LE(take, 8u);
+            sum += take;
+        }
+        EXPECT_EQ(sum, 333u);
+        EXPECT_EQ(a.garbage_frame(i), b.garbage_frame(i));
+        EXPECT_GE(a.flood_count(i), 1u);
+        EXPECT_LE(a.flood_count(i), 4u);
+    }
+    // ~50% fault rate: comfortably nonzero on both sides.
+    EXPECT_GT(faulted, 128u);
+    EXPECT_LT(faulted, 384u);
+    // Different seeds draw different schedules.
+    const auto c = pt::make_chaos_plan(43, 0.5);
+    std::size_t differ = 0;
+    for (std::uint64_t i = 0; i < 512; ++i)
+        differ += a.fault_for(i) != c.fault_for(i) ? 1 : 0;
+    EXPECT_GT(differ, 0u);
+}
+
+TEST(ServerChaos, BackoffPolicyIsDeterministicCappedAndHonorsHints)
+{
+    const pt::RetryPolicy policy{6, 2, 50};
+    for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+        const auto d1 = pt::backoff_ms(policy, attempt, 7, 0);
+        const auto d2 = pt::backoff_ms(policy, attempt, 7, 0);
+        EXPECT_EQ(d1, d2);  // deterministic jitter
+        // Capped exponential + jitter <= cap * 1.5.
+        EXPECT_LE(d1, 75u);
+        EXPECT_GE(d1, 1u);
+    }
+    // The server's hint floors the delay.
+    EXPECT_GE(pt::backoff_ms(policy, 1, 7, 40), 40u);
+    // Retryable statuses are exactly the backpressure/deadline trio.
+    EXPECT_TRUE(pt::retryable_status(
+        status_of(ServerErrorKind::kOverloaded)));
+    EXPECT_TRUE(pt::retryable_status(
+        status_of(ServerErrorKind::kRetryAfter)));
+    EXPECT_TRUE(pt::retryable_status(
+        status_of(ServerErrorKind::kDeadlineExceeded)));
+    EXPECT_FALSE(pt::retryable_status(kStatusOk));
+    EXPECT_FALSE(pt::retryable_status(
+        status_of(ServerErrorKind::kBadFrame)));
+    EXPECT_FALSE(pt::retryable_status(
+        status_of(ServerErrorKind::kSessionCorrupt)));
+}
+
+TEST(ServerChaos, HungSimulatedGpuIsBoundedByTheWatchdog)
+{
+    // Device-side chaos: fault injection armed on the simulated GPU
+    // with a small spin watchdog. Every launch that hangs or faults
+    // must be caught by the watchdog and recovered through the ladder
+    // — answers stay correct, failures stay typed, nothing wedges.
+    ServerConfig config;
+    config.backend = ServerBackend::kGpusim;
+    config.fault_seed = 0xC0A5ull;
+    config.spin_watchdog = 2'000;
+    config.on_failure = pk::FailurePolicy::kDegradeToCpu;
+    Server server(config);
+
+    for (std::uint64_t r = 0; r < 8; ++r) {
+        const auto input = pt::conformance_input_int(
+            200 + static_cast<std::size_t>(r) * 17, 0xAB0 + r);
+        const auto response = server.submit(
+            int_request(r + 1, 1, 0, "(1 : 2, -1)", input));
+        ASSERT_EQ(response.status, kStatusOk) << r;
+        EXPECT_TRUE(
+            validate_exact(pk::serial_recurrence<IntRing>(
+                               Signature::parse("(1 : 2, -1)"), input),
+                           int_payload(response))
+                .ok)
+            << r;
+    }
+}
+
+}  // namespace

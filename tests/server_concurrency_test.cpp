@@ -262,7 +262,9 @@ TEST(ServerConcurrency, SaturationRejectsTypedAndNeverWedges)
     server.pause();
 
     // 12 tenants hit a 4-deep queue behind a frozen batcher: exactly 4
-    // are admitted, 8 get an immediate typed kOverloaded. Nobody hangs.
+    // are admitted, 8 get an immediate typed rejection — kRetryAfter
+    // with a drain hint, since these are v2 frames (docs/SERVER.md).
+    // Nobody hangs.
     constexpr std::size_t kClients = 12;
     const auto input = pt::conformance_input_int(64, 0x10Aull);
     const auto expected =
@@ -307,7 +309,8 @@ TEST(ServerConcurrency, SaturationRejectsTypedAndNeverWedges)
                             .ok);
         } else {
             EXPECT_EQ(response.status,
-                      status_of(ServerErrorKind::kOverloaded));
+                      status_of(ServerErrorKind::kRetryAfter));
+            EXPECT_GT(response.retry_after_ms, 0u);
             ++overloaded;
         }
     }

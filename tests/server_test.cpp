@@ -83,16 +83,23 @@ float_payload(const ResponseFrame& response)
 // Wire format.
 
 std::vector<std::uint8_t>
-valid_request_bytes()
+valid_request_bytes(std::uint32_t version = kWireFormatVersion)
 {
     const auto input = plr::testing::conformance_input_int(7, 0x5Eful);
-    return encode_request(int_request(11, 3, 0, "(1 : 2, -1)", input));
+    auto frame = int_request(11, 3, 0, "(1 : 2, -1)", input);
+    frame.wire_version = version;
+    if (version >= 2) {
+        frame.flags = kRequestFlagIdempotent;
+        frame.deadline_ms = 250;
+    }
+    return encode_request(frame);
 }
 
 std::vector<std::uint8_t>
-valid_response_bytes()
+valid_response_bytes(std::uint32_t version = kWireFormatVersion)
 {
     ResponseFrame frame;
+    frame.wire_version = version;
     frame.request_id = 11;
     frame.tenant = 3;
     frame.status = kStatusOk;
@@ -206,44 +213,145 @@ TEST(ServerWire, RejectsSemanticFieldViolations)
     }
 }
 
+TEST(ServerWire, V2ResilienceFieldsRoundTrip)
+{
+    RequestFrame request;
+    request.request_id = 77;
+    request.tenant = 8;
+    request.domain = pk::Domain::kInt;
+    request.signature_text = "(1 : 1)";
+    request.flags = kRequestFlagIdempotent;
+    request.deadline_ms = 1500;
+    request.payload = {1u, 2u};
+    const auto parsed = parse_request(encode_request(request));
+    EXPECT_EQ(parsed.wire_version, kWireFormatVersion);
+    EXPECT_EQ(parsed.flags, kRequestFlagIdempotent);
+    EXPECT_EQ(parsed.deadline_ms, 1500u);
+
+    ResponseFrame response;
+    response.request_id = 77;
+    response.tenant = 8;
+    response.status = status_of(ServerErrorKind::kRetryAfter);
+    response.retry_after_ms = 42;
+    const auto rparsed = parse_response(encode_response(response));
+    EXPECT_EQ(rparsed.wire_version, kWireFormatVersion);
+    EXPECT_EQ(rparsed.status, status_of(ServerErrorKind::kRetryAfter));
+    EXPECT_EQ(rparsed.retry_after_ms, 42u);
+}
+
+TEST(ServerWire, V1FramesStayByteCompatible)
+{
+    // A v1 client's frames are accepted unchanged: 48-byte request
+    // header, 40-byte response header, no resilience fields.
+    RequestFrame request;
+    request.wire_version = 1;
+    request.request_id = 5;
+    request.tenant = 2;
+    request.domain = pk::Domain::kInt;
+    request.signature_text = "(1 : 1)";
+    request.payload = {9u};
+    const auto bytes = encode_request(request);
+    // 48-byte header + 8 bytes padded signature + 4 payload + 4 seal.
+    EXPECT_EQ(bytes.size(), 48u + 8u + 4u + 4u);
+    const auto parsed = parse_request(bytes);
+    EXPECT_EQ(parsed.wire_version, 1u);
+    EXPECT_EQ(parsed.flags, 0u);
+    EXPECT_EQ(parsed.deadline_ms, 0u);
+
+    ResponseFrame response;
+    response.wire_version = 1;
+    response.request_id = 5;
+    response.tenant = 2;
+    response.payload = {3u};
+    const auto rbytes = encode_response(response);
+    EXPECT_EQ(rbytes.size(), 40u + 4u + 4u);
+    EXPECT_EQ(parse_response(rbytes).wire_version, 1u);
+
+    // A v1 frame cannot carry the v2 fields — encode refuses rather
+    // than silently dropping the caller's intent.
+    request.flags = kRequestFlagIdempotent;
+    EXPECT_THROW((void)encode_request(request), plr::FatalError);
+    request.flags = 0;
+    request.deadline_ms = 10;
+    EXPECT_THROW((void)encode_request(request), plr::FatalError);
+    response.retry_after_ms = 10;
+    EXPECT_THROW((void)encode_response(response), plr::FatalError);
+}
+
+TEST(ServerWire, VersionNegotiationRejectsOutOfRange)
+{
+    for (const std::uint32_t bad : {0u, kWireFormatVersion + 1, 999u}) {
+        auto bytes = valid_request_bytes();
+        bytes[4] = static_cast<std::uint8_t>(bad & 0xff);
+        bytes[5] = static_cast<std::uint8_t>((bad >> 8) & 0xff);
+        bytes[6] = static_cast<std::uint8_t>((bad >> 16) & 0xff);
+        bytes[7] = static_cast<std::uint8_t>((bad >> 24) & 0xff);
+        try {
+            (void)parse_request(bytes);
+            ADD_FAILURE() << "version " << bad << " accepted";
+        } catch (const FrameError& error) {
+            EXPECT_EQ(error.kind(), FrameErrorKind::kVersionSkew) << bad;
+        }
+    }
+    // Unknown flag bits are reserved for future versions: a sealed v2
+    // frame carrying one is malformed, not silently honored.
+    RequestFrame request;
+    request.request_id = 1;
+    request.tenant = 1;
+    request.domain = pk::Domain::kInt;
+    request.signature_text = "(1 : 1)";
+    request.flags = 1u << 7;
+    EXPECT_THROW((void)encode_request(request), plr::FatalError);
+}
+
 TEST(ServerFrameFuzz, EverySingleBitFlipIsRejected)
 {
-    for (const bool response : {false, true}) {
-        const auto bytes =
-            response ? valid_response_bytes() : valid_request_bytes();
-        // Sanity: the undamaged frame parses.
-        if (response)
-            EXPECT_NO_THROW((void)parse_response(bytes));
-        else
-            EXPECT_NO_THROW((void)parse_request(bytes));
-        for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
-            auto flipped = bytes;
-            flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-            if (!must_reject(flipped, response,
-                             std::string(response ? "resp" : "req") +
-                                 "-bitflip-" + std::to_string(bit)))
-                return;  // artifact saved; stop at the first violation
+    // Both live wire versions: the v2 sweep covers the resilience
+    // fields (flags, deadline, retry_after) bit by bit.
+    for (const std::uint32_t version : {1u, 2u}) {
+        for (const bool response : {false, true}) {
+            const auto bytes = response ? valid_response_bytes(version)
+                                        : valid_request_bytes(version);
+            // Sanity: the undamaged frame parses.
+            if (response)
+                EXPECT_NO_THROW((void)parse_response(bytes));
+            else
+                EXPECT_NO_THROW((void)parse_request(bytes));
+            for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+                auto flipped = bytes;
+                flipped[bit / 8] ^=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+                if (!must_reject(flipped, response,
+                                 "v" + std::to_string(version) +
+                                     (response ? "-resp" : "-req") +
+                                     "-bitflip-" + std::to_string(bit)))
+                    return;  // artifact saved; stop at first violation
+            }
         }
     }
 }
 
 TEST(ServerFrameFuzz, EveryTruncationIsRejected)
 {
-    for (const bool response : {false, true}) {
-        const auto bytes =
-            response ? valid_response_bytes() : valid_request_bytes();
-        for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
-            const std::span<const std::uint8_t> prefix(bytes.data(), keep);
-            if (!must_reject(prefix, response,
-                             std::string(response ? "resp" : "req") +
-                                 "-truncate-" + std::to_string(keep)))
+    for (const std::uint32_t version : {1u, 2u}) {
+        for (const bool response : {false, true}) {
+            const auto bytes = response ? valid_response_bytes(version)
+                                        : valid_request_bytes(version);
+            for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+                const std::span<const std::uint8_t> prefix(bytes.data(),
+                                                           keep);
+                if (!must_reject(prefix, response,
+                                 "v" + std::to_string(version) +
+                                     (response ? "-resp" : "-req") +
+                                     "-truncate-" + std::to_string(keep)))
+                    return;
+            }
+            // Trailing garbage past a valid frame is equally damaged.
+            auto longer = bytes;
+            longer.push_back(0);
+            if (!must_reject(longer, response, "trailing"))
                 return;
         }
-        // Trailing garbage past a valid frame is equally damaged.
-        auto longer = bytes;
-        longer.push_back(0);
-        if (!must_reject(longer, response, "trailing"))
-            return;
     }
 }
 
@@ -613,10 +721,12 @@ TEST(Server, AdmissionControlTenantCapAndQueueDepth)
     while (server.stats().accepted < 2)
         std::this_thread::yield();
 
-    // Tenant 9 is at its in-flight cap: the third is turned away now,
-    // with a typed kOverloaded — not queued, not wedged.
+    // Tenant 9 is at its in-flight cap: the third is turned away now
+    // — a v2 client gets the typed kRetryAfter with a drain hint, not
+    // queued, not wedged.
     const auto capped = server.submit(int_request(3, 9, 0, "(1 : 1)", one));
-    EXPECT_EQ(capped.status, status_of(ServerErrorKind::kOverloaded));
+    EXPECT_EQ(capped.status, status_of(ServerErrorKind::kRetryAfter));
+    EXPECT_GT(capped.retry_after_ms, 0u);
 
     // Another tenant still fits (queue depth 3), then the queue itself
     // is full and turns the next tenant away.
@@ -626,8 +736,20 @@ TEST(Server, AdmissionControlTenantCapAndQueueDepth)
     while (server.stats().accepted < 3)
         std::this_thread::yield();
     const auto full = server.submit(int_request(5, 11, 0, "(1 : 1)", one));
-    EXPECT_EQ(full.status, status_of(ServerErrorKind::kOverloaded));
+    EXPECT_EQ(full.status, status_of(ServerErrorKind::kRetryAfter));
     EXPECT_EQ(server.stats().rejected_overloaded, 2u);
+    EXPECT_EQ(server.stats().retry_after_hints, 2u);
+
+    // A v1 client cannot express retry-after: the same backpressure
+    // answers the classic kOverloaded, version echoed.
+    auto v1 = int_request(6, 12, 0, "(1 : 1)", one);
+    v1.wire_version = 1;
+    const auto old_style = server.submit(v1);
+    EXPECT_EQ(old_style.status, status_of(ServerErrorKind::kOverloaded));
+    EXPECT_EQ(old_style.wire_version, 1u);
+    EXPECT_EQ(old_style.retry_after_ms, 0u);
+    EXPECT_EQ(server.stats().rejected_overloaded, 3u);
+    EXPECT_EQ(server.stats().retry_after_hints, 2u);
 
     // Releasing the batcher drains the admitted three successfully.
     server.resume();
@@ -747,14 +869,142 @@ TEST(Server, ErrorTaxonomyNamesAreStable)
                  "session-mismatch");
     EXPECT_STREQ(to_string(ServerErrorKind::kLaunchFailed), "launch-failed");
     EXPECT_STREQ(to_string(ServerErrorKind::kShutdown), "shutdown");
+    EXPECT_STREQ(to_string(ServerErrorKind::kDeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(to_string(ServerErrorKind::kRetryAfter), "retry-after");
+    EXPECT_STREQ(to_string(ServerErrorKind::kSessionCorrupt),
+                 "session-corrupt");
     EXPECT_STREQ(to_string(FrameErrorKind::kBadMagic), "bad-magic");
     EXPECT_STREQ(to_string(FrameErrorKind::kVersionSkew), "version-skew");
     EXPECT_STREQ(to_string(FrameErrorKind::kTruncated), "truncated");
     EXPECT_STREQ(to_string(FrameErrorKind::kMalformed), "malformed");
     EXPECT_STREQ(to_string(FrameErrorKind::kCorrupt), "corrupt");
-    // Status codes are distinct and nonzero (0 is success).
+    EXPECT_STREQ(to_string(FrameErrorKind::kIo), "io");
+    // Status codes are distinct and nonzero (0 is success). The v2
+    // additions extend the sequence without renumbering v1 codes.
     EXPECT_EQ(status_of(ServerErrorKind::kBadFrame), 1u);
     EXPECT_NE(status_of(ServerErrorKind::kOverloaded), kStatusOk);
+    EXPECT_EQ(status_of(ServerErrorKind::kDeadlineExceeded), 7u);
+    EXPECT_EQ(status_of(ServerErrorKind::kRetryAfter), 8u);
+    EXPECT_EQ(status_of(ServerErrorKind::kSessionCorrupt), 9u);
+}
+
+// ------------------------------------------------------------------
+// Idempotent replay.
+
+TEST(Server, IdempotentRetryReplaysTheSealedOriginal)
+{
+    Server server;
+    const auto input = plr::testing::conformance_input_int(100, 0x1D3ull);
+    auto frame = int_request(21, 4, 0, "(1 : 2, -1)", input);
+    frame.flags = kRequestFlagIdempotent;
+
+    const auto first = server.submit(frame);
+    ASSERT_EQ(first.status, kStatusOk);
+    EXPECT_FALSE(first.flags & kResponseFlagReplayed);
+
+    // The retry reuses the (tenant, request id) key: the sealed
+    // original comes back — flagged, bit-identical, not recomputed.
+    const auto retry = server.submit(frame);
+    EXPECT_EQ(retry.status, kStatusOk);
+    EXPECT_TRUE(retry.flags & kResponseFlagReplayed);
+    EXPECT_EQ(retry.payload, first.payload);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.replayed, 1u);
+    EXPECT_EQ(stats.served, 1u);  // computed exactly once
+
+    // A v1-version retry of the same key still replays — and the
+    // response speaks v1.
+    auto v1 = frame;
+    v1.wire_version = 1;
+    v1.flags = 0;  // v1 cannot carry the flag; key match suffices...
+    v1.deadline_ms = 0;
+    const auto non_idem = server.submit(v1);
+    // ...but without the idempotent flag the duplicate id is a fresh
+    // request and recomputes (v1 semantics unchanged).
+    EXPECT_EQ(non_idem.status, kStatusOk);
+    EXPECT_FALSE(non_idem.flags & kResponseFlagReplayed);
+    EXPECT_EQ(non_idem.wire_version, 1u);
+    EXPECT_EQ(non_idem.payload, first.payload);
+    EXPECT_EQ(server.stats().served, 2u);
+}
+
+TEST(Server, ReplaySurvivesPlanCacheEviction)
+{
+    // The replay cache holds sealed responses, not plans: evicting the
+    // plan that computed an answer must not turn a retry into a
+    // recompute (or worse, a divergent one).
+    ServerConfig config;
+    config.plan_cache_capacity = 1;
+    Server server(config);
+    const auto input = plr::testing::conformance_input_int(50, 0xE51Cull);
+    auto frame = int_request(31, 7, 0, "(1 : 2, -1)", input);
+    frame.flags = kRequestFlagIdempotent;
+    const auto first = server.submit(frame);
+    ASSERT_EQ(first.status, kStatusOk);
+
+    // Evict the plan with a different signature.
+    const auto other = server.submit(
+        int_request(32, 7, 0, "(1 : 1)", std::vector<std::int32_t>{1}));
+    ASSERT_EQ(other.status, kStatusOk);
+
+    const auto retry = server.submit(frame);
+    EXPECT_EQ(retry.status, kStatusOk);
+    EXPECT_TRUE(retry.flags & kResponseFlagReplayed);
+    EXPECT_EQ(retry.payload, first.payload);
+    EXPECT_EQ(server.stats().served, 2u);
+}
+
+TEST(Server, ReplayCacheIsBoundedAndOptional)
+{
+    // Capacity 1: the second key evicts the first, whose retry then
+    // recomputes (same answer, no replay flag).
+    ServerConfig config;
+    config.replay_cache_capacity = 1;
+    Server server(config);
+    const std::vector<std::int32_t> one = {1, 2, 3};
+    auto a = int_request(1, 1, 0, "(1 : 1)", one);
+    a.flags = kRequestFlagIdempotent;
+    auto b = int_request(2, 1, 0, "(1 : 1)", one);
+    b.flags = kRequestFlagIdempotent;
+    const auto first = server.submit(a);
+    ASSERT_EQ(first.status, kStatusOk);
+    ASSERT_EQ(server.submit(b).status, kStatusOk);
+    const auto evicted_retry = server.submit(a);
+    EXPECT_EQ(evicted_retry.status, kStatusOk);
+    EXPECT_FALSE(evicted_retry.flags & kResponseFlagReplayed);
+    EXPECT_EQ(evicted_retry.payload, first.payload);
+
+    // Capacity 0 disables replay entirely.
+    ServerConfig off;
+    off.replay_cache_capacity = 0;
+    Server plain(off);
+    const auto r1 = plain.submit(a);
+    const auto r2 = plain.submit(a);
+    EXPECT_EQ(r2.status, kStatusOk);
+    EXPECT_FALSE(r2.flags & kResponseFlagReplayed);
+    EXPECT_EQ(r2.payload, r1.payload);
+}
+
+TEST(Server, ResponsesEchoTheRequestWireVersion)
+{
+    Server server;
+    const std::vector<std::int32_t> one = {4};
+    auto v1 = int_request(1, 1, 0, "(1 : 1)", one);
+    v1.wire_version = 1;
+    EXPECT_EQ(server.submit(v1).wire_version, 1u);
+    EXPECT_EQ(server.submit(int_request(2, 1, 0, "(1 : 1)", one))
+                  .wire_version,
+              kWireFormatVersion);
+
+    // Through the wire: a v1 request frame gets a v1 response frame
+    // (40-byte header — parseable by a v1-only client).
+    auto req = int_request(3, 1, 0, "(1 : 1)", one);
+    req.wire_version = 1;
+    const auto rbytes = server.handle(encode_request(req));
+    const auto response = parse_response(rbytes);
+    EXPECT_EQ(response.wire_version, 1u);
+    EXPECT_EQ(rbytes.size(), 40u + 4u + 4u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "server/server.h"
 #include "util/cli.h"
 #include "util/code_writer.h"
 #include "util/compare.h"
@@ -475,6 +476,62 @@ TEST(Env, PlrSimdFirstOrderRejectsUnknownPaths)
         EXPECT_THROW(env::choice_or("PLR_SIMD_FIRST_ORDER",
                                     {"auto", "direct", "log"}, "auto"),
                      FatalError)
+            << bad;
+    }
+}
+
+// The PLR_SERVER_* resilience knobs (docs/SERVER.md), routed through
+// server_config_from_env: set values overlay the base config, unset
+// keeps it, and a malformed value is a typed FatalError naming the
+// knob — a typo'd deadline must never silently run without one.
+
+TEST(Env, ServerKnobsOverlayTheBaseConfig)
+{
+    ScopedEnv d("PLR_SERVER_DEADLINE_MS", "250");
+    ScopedEnv r("PLR_SERVER_REPLAY_CAPACITY", "32");
+    ScopedEnv s("PLR_SERVER_SESSION_STORE", "/tmp/plr-env-store");
+    const auto config = server::server_config_from_env();
+    EXPECT_EQ(config.default_deadline_ms, 250u);
+    EXPECT_EQ(config.replay_cache_capacity, 32u);
+    EXPECT_EQ(config.session_store_dir, "/tmp/plr-env-store");
+}
+
+TEST(Env, ServerKnobsUnsetKeepTheBaseConfig)
+{
+    ScopedEnv d("PLR_SERVER_DEADLINE_MS", nullptr);
+    ScopedEnv r("PLR_SERVER_REPLAY_CAPACITY", nullptr);
+    ScopedEnv s("PLR_SERVER_SESSION_STORE", nullptr);
+    server::ServerConfig base;
+    base.default_deadline_ms = 9;
+    base.replay_cache_capacity = 7;
+    base.session_store_dir = "keep-me";
+    const auto config = server::server_config_from_env(base);
+    EXPECT_EQ(config.default_deadline_ms, 9u);
+    EXPECT_EQ(config.replay_cache_capacity, 7u);
+    EXPECT_EQ(config.session_store_dir, "keep-me");
+}
+
+TEST(Env, MalformedServerDeadlineIsFatalAndNamesTheKnob)
+{
+    for (const char* bad :
+         {"0", "-1", "soon", "1.5", "10ms", "4294967296"}) {
+        ScopedEnv guard("PLR_SERVER_DEADLINE_MS", bad);
+        try {
+            (void)server::server_config_from_env();
+            FAIL() << "accepted '" << bad << "'";
+        } catch (const FatalError& e) {
+            EXPECT_NE(std::string(e.what()).find("PLR_SERVER_DEADLINE_MS"),
+                      std::string::npos)
+                << bad;
+        }
+    }
+}
+
+TEST(Env, MalformedServerReplayCapacityIsFatal)
+{
+    for (const char* bad : {"0", "lots", "-5", "0x20"}) {
+        ScopedEnv guard("PLR_SERVER_REPLAY_CAPACITY", bad);
+        EXPECT_THROW((void)server::server_config_from_env(), FatalError)
             << bad;
     }
 }
